@@ -1,0 +1,284 @@
+// Command mbird is the Mockingbird stub compiler: it parses pairs of
+// declarations (C, Java, CORBA IDL), applies annotation scripts, lowers
+// both sides to Mtypes, runs the Comparer, and emits Go stub source —
+// the Figure 6 pipeline as a command-line tool.
+//
+// Usage:
+//
+//	mbird parse   -lang c|java|idl [-model ilp32|lp64] [-script file] file
+//	mbird mtype   -lang ... [-script file] -decl NAME file
+//	mbird compare -a-lang L -a-file F [-a-script S] -a-decl D \
+//	              -b-lang L -b-file F [-b-script S] -b-decl D
+//	mbird emit    (compare flags) -pkg NAME -func NAME
+//	mbird save    (compare flags) -out project.json
+//	mbird show    project.json
+//
+// compare prints the relation (equivalent, subtype, or a mismatch
+// diagnosis); emit prints the generated request-direction converter for
+// an equivalent pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/plan"
+	"repro/internal/project"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mbird:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mbird <parse|mtype|compare|emit|save|show> ...")
+	}
+	switch args[0] {
+	case "parse":
+		return cmdParse(args[1:], out)
+	case "mtype":
+		return cmdMtype(args[1:], out)
+	case "compare":
+		return cmdCompare(args[1:], out)
+	case "emit":
+		return cmdEmit(args[1:], out)
+	case "save":
+		return cmdSave(args[1:], out)
+	case "show":
+		return cmdShow(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// side describes one declaration side's flags.
+type side struct {
+	lang, file, script, decl, model string
+}
+
+func (s *side) register(fs *flag.FlagSet, prefix string) {
+	fs.StringVar(&s.lang, prefix+"lang", "", "language: c, java, or idl")
+	fs.StringVar(&s.file, prefix+"file", "", "declaration source file")
+	fs.StringVar(&s.script, prefix+"script", "", "annotation script file (optional)")
+	fs.StringVar(&s.decl, prefix+"decl", "", "declaration name")
+	fs.StringVar(&s.model, prefix+"model", "ilp32", "C data model: ilp32 or lp64")
+}
+
+// load parses the side's file into the session under the given universe
+// name and applies its annotation script.
+func (s *side) load(sess *core.Session, universe string) error {
+	if s.lang == "" || s.file == "" {
+		return fmt.Errorf("missing -%slang/-%sfile", universe, universe)
+	}
+	src, err := os.ReadFile(s.file)
+	if err != nil {
+		return err
+	}
+	model := cmem.ILP32
+	if s.model == "lp64" {
+		model = cmem.LP64
+	}
+	switch s.lang {
+	case "c":
+		err = sess.LoadC(universe, string(src), model)
+	case "java":
+		err = sess.LoadJava(universe, string(src))
+	case "idl":
+		err = sess.LoadIDL(universe, string(src))
+	default:
+		return fmt.Errorf("unknown language %q", s.lang)
+	}
+	if err != nil {
+		return err
+	}
+	if s.script != "" {
+		script, err := os.ReadFile(s.script)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Annotate(universe, string(script)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdParse(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("parse", flag.ContinueOnError)
+	var s side
+	s.register(fs, "")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mbird parse -lang L [flags] file")
+	}
+	s.file = fs.Arg(0)
+	sess := core.NewSession()
+	if err := s.load(sess, "u"); err != nil {
+		return err
+	}
+	names, err := sess.DeclNames("u")
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		d := sess.Universe("u").Lookup(n)
+		fmt.Fprintf(out, "%-30s %s\n", n, d.Type)
+	}
+	return nil
+}
+
+func cmdMtype(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mtype", flag.ContinueOnError)
+	var s side
+	s.register(fs, "")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || s.decl == "" {
+		return fmt.Errorf("usage: mbird mtype -lang L -decl NAME [flags] file")
+	}
+	s.file = fs.Arg(0)
+	sess := core.NewSession()
+	if err := s.load(sess, "u"); err != nil {
+		return err
+	}
+	mt, err := sess.Mtype("u", s.decl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, mt)
+	return nil
+}
+
+// loadPair builds a session with both sides loaded.
+func loadPair(args []string, requireDecls bool, extra func(fs *flag.FlagSet)) (*core.Session, *side, *side, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	var a, b side
+	a.register(fs, "a-")
+	b.register(fs, "b-")
+	if extra != nil {
+		extra(fs)
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, nil, err
+	}
+	sess := core.NewSession()
+	if err := a.load(sess, "a"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := b.load(sess, "b"); err != nil {
+		return nil, nil, nil, err
+	}
+	if requireDecls && (a.decl == "" || b.decl == "") {
+		return nil, nil, nil, fmt.Errorf("missing -a-decl/-b-decl")
+	}
+	return sess, &a, &b, nil
+}
+
+func cmdCompare(args []string, out io.Writer) error {
+	sess, a, b, err := loadPair(args, true, nil)
+	if err != nil {
+		return err
+	}
+	v, err := sess.Compare("a", a.decl, "b", b.decl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "relation: %s (%d comparison steps)\n", v.Relation, v.Steps)
+	if v.Relation == core.RelNone {
+		fmt.Fprintf(out, "diagnosis:\n%s", v.Explain)
+		return fmt.Errorf("declarations do not match")
+	}
+	mtA, _ := sess.Mtype("a", a.decl)
+	mtB, _ := sess.Mtype("b", b.decl)
+	fmt.Fprintf(out, "left  mtype: %s\n", mtA)
+	fmt.Fprintf(out, "right mtype: %s\n", mtB)
+	return nil
+}
+
+func cmdEmit(args []string, out io.Writer) error {
+	var pkg, funcName string
+	sess, a, b, err := loadPair(args, true, func(fs *flag.FlagSet) {
+		fs.StringVar(&pkg, "pkg", "stubs", "package name for the generated file")
+		fs.StringVar(&funcName, "func", "Convert", "exported converter name")
+	})
+	if err != nil {
+		return err
+	}
+	v, err := sess.Compare("a", a.decl, "b", b.decl)
+	if err != nil {
+		return err
+	}
+	if v.Relation == core.RelNone {
+		return fmt.Errorf("declarations do not match:\n%s", v.Explain)
+	}
+	p, err := plan.Build(v.Match)
+	if err != nil {
+		return err
+	}
+	src, err := gen.Converter(p, pkg, funcName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, src)
+	return nil
+}
+
+func cmdSave(args []string, out io.Writer) error {
+	var outPath string
+	sess, _, _, err := loadPair(args, false, func(fs *flag.FlagSet) {
+		fs.StringVar(&outPath, "out", "", "project file to write")
+	})
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		return fmt.Errorf("missing -out")
+	}
+	data, err := project.Save(sess)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "saved %d universes to %s\n", len(sess.Universes()), outPath)
+	return nil
+}
+
+func cmdShow(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mbird show project.json")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	sess, err := project.Load(data)
+	if err != nil {
+		return err
+	}
+	for _, uname := range sess.Universes() {
+		u := sess.Universe(uname)
+		fmt.Fprintf(out, "universe %s (%s):\n", uname, u.Lang())
+		names, err := sess.DeclNames(uname)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintf(out, "  %-28s %s\n", n, u.Lookup(n).Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFitterFiles lays out the §2 example as files the CLI consumes.
+func writeFitterFiles(t *testing.T) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	files := map[string]string{
+		"fitter.h": `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`,
+		"fitter.mbird": `
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`,
+		"Ideal.java": `
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }
+`,
+		"Ideal.mbird": `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate JavaIdeal.fitter.pts nonnull
+annotate JavaIdeal.fitter.return nonnull
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestParseCommand(t *testing.T) {
+	dir := writeFitterFiles(t)
+	out, err := runCLI(t, "parse", "-lang", "c", filepath.Join(dir, "fitter.h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fitter") || !strings.Contains(out, "point") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMtypeCommand(t *testing.T) {
+	dir := writeFitterFiles(t)
+	out, err := runCLI(t, "mtype", "-lang", "c",
+		"-script", filepath.Join(dir, "fitter.mbird"),
+		"-decl", "fitter", filepath.Join(dir, "fitter.h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "port(record(μL1.choice(unit") {
+		t.Errorf("mtype output = %q", out)
+	}
+}
+
+func TestCompareCommand(t *testing.T) {
+	dir := writeFitterFiles(t)
+	out, err := runCLI(t, "compare",
+		"-a-lang", "java", "-a-file", filepath.Join(dir, "Ideal.java"),
+		"-a-script", filepath.Join(dir, "Ideal.mbird"), "-a-decl", "JavaIdeal",
+		"-b-lang", "c", "-b-file", filepath.Join(dir, "fitter.h"),
+		"-b-script", filepath.Join(dir, "fitter.mbird"), "-b-decl", "fitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "relation: equivalent") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCompareMismatchDiagnoses(t *testing.T) {
+	dir := writeFitterFiles(t)
+	// Without the annotation scripts the shapes differ.
+	out, err := runCLI(t, "compare",
+		"-a-lang", "java", "-a-file", filepath.Join(dir, "Ideal.java"), "-a-decl", "JavaIdeal",
+		"-b-lang", "c", "-b-file", filepath.Join(dir, "fitter.h"), "-b-decl", "fitter")
+	if err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if !strings.Contains(out, "diagnosis:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmitCommand(t *testing.T) {
+	dir := writeFitterFiles(t)
+	out, err := runCLI(t, "emit",
+		"-a-lang", "java", "-a-file", filepath.Join(dir, "Ideal.java"),
+		"-a-script", filepath.Join(dir, "Ideal.mbird"), "-a-decl", "JavaIdeal",
+		"-b-lang", "c", "-b-file", filepath.Join(dir, "fitter.h"),
+		"-b-script", filepath.Join(dir, "fitter.mbird"), "-b-decl", "fitter",
+		"-pkg", "fitterstub", "-func", "JavaToC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "package fitterstub") || !strings.Contains(out, "func JavaToC(") {
+		t.Errorf("emitted source missing pieces:\n%s", out[:200])
+	}
+}
+
+func TestSaveAndShow(t *testing.T) {
+	dir := writeFitterFiles(t)
+	proj := filepath.Join(dir, "proj.json")
+	out, err := runCLI(t, "save",
+		"-a-lang", "java", "-a-file", filepath.Join(dir, "Ideal.java"),
+		"-a-script", filepath.Join(dir, "Ideal.mbird"),
+		"-b-lang", "c", "-b-file", filepath.Join(dir, "fitter.h"),
+		"-b-script", filepath.Join(dir, "fitter.mbird"),
+		"-out", proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "saved 2 universes") {
+		t.Errorf("save output = %q", out)
+	}
+	out, err = runCLI(t, "show", proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"universe a (java)", "universe b (c)", "JavaIdeal", "fitter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"parse"},
+		{"mtype", "-lang", "c", "nofile.h"},
+		{"compare"},
+		{"show"},
+		{"show", "/does/not/exist.json"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Mockingbird: Flexible Stub
+// Compilation from Pairs of Declarations" (Auerbach, Barton, Chu-Carroll,
+// Raghavachari; IBM Research / ICDCS 1999).
+//
+// The library lives under internal/ (see DESIGN.md for the package
+// inventory); cmd/mbird is the command-line tool; examples/ holds
+// runnable scenarios; bench_test.go regenerates the paper's experiments
+// (EXPERIMENTS.md records the outcomes).
+package repro

@@ -1,0 +1,112 @@
+// dynamic: the §6 "dynamic type construct of our own which is similar to
+// Any".
+//
+// A sender ships values together with their Mtype descriptors; the
+// receiver has never seen the sender's declarations, reconstructs the
+// type from the wire, compares it against its *own* local declaration
+// with the full isomorphism rules, and converts the value into its own
+// shape — Any without an IDL.
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/compare"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// The sender's team declares telemetry samples one way...
+const senderJava = `
+public class Sample {
+    private int sensor;
+    private double reading;
+    private double errorBar;
+}
+`
+
+// ...the receiver's team another way (order commuted, pair grouped).
+const receiverJava = `
+public class Measurement {
+    private Interval value;
+    private int source;
+}
+public class Interval {
+    private double mid;
+    private double width;
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Sender: marshal values with their type attached. ---
+	sender := core.NewSession()
+	if err := sender.LoadJava("app", senderJava); err != nil {
+		return err
+	}
+	sampleTy, err := sender.Mtype("app", "Sample")
+	if err != nil {
+		return err
+	}
+	sample := value.NewRecord(value.NewInt(7), value.Real{V: 21.5}, value.Real{V: 0.25})
+	packet, err := wire.MarshalDynamic(sampleTy, sample)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sender: shipped %d bytes (descriptor + value) for %s\n", len(packet), sampleTy)
+
+	// --- Receiver: no access to the sender's declarations. ---
+	receiver := core.NewSession()
+	if err := receiver.LoadJava("app", receiverJava); err != nil {
+		return err
+	}
+	if _, err := receiver.Annotate("app", "annotate Measurement.value nonnull noalias"); err != nil {
+		return err
+	}
+	arrivedTy, arrived, err := wire.UnmarshalDynamic(packet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("receiver: dynamic value %s of type %s\n", arrived, arrivedTy)
+
+	localTy, err := receiver.Mtype("app", "Measurement")
+	if err != nil {
+		return err
+	}
+	c := compare.NewComparer(compare.DefaultRules())
+	m, ok := c.Equivalent(arrivedTy, localTy)
+	if !ok {
+		return fmt.Errorf("dynamic type does not match local declaration:\n%s",
+			c.Explain(arrivedTy, localTy, compare.ModeEqual))
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("receiver: dynamic type matches local Measurement; coercion plan:")
+	fmt.Print(p)
+
+	stub, err := convert.Compile(p)
+	if err != nil {
+		return err
+	}
+	converted, err := stub.Convert(arrived)
+	if err != nil {
+		return err
+	}
+	fmt.Println("receiver: converted into local shape:", converted)
+	fmt.Println("expected : {{21.5, 0.25}, 7}")
+	return nil
+}

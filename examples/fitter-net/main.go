@@ -1,0 +1,163 @@
+// fitter-net: the §2 example as a network-enabled stub.
+//
+// The C fitter is exported on an orb server (the paper's IIOP-style
+// runtime); a Java-side client in the same process dials it and invokes
+// through a Mockingbird stub, so the request and reply cross a real TCP
+// connection in CDR encoding. The client and server each hold their own
+// independently-parsed session, as two separate programs would.
+//
+// Run with: go run ./examples/fitter-net
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bind"
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/value"
+)
+
+const (
+	fitterC = `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`
+	figure1Java = `
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }
+`
+	cScript = `
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`
+	javaScript = `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate JavaIdeal.fitter.pts nonnull
+annotate JavaIdeal.fitter.return nonnull
+`
+)
+
+func cFitter(mem *cmem.Arena, args []uint64) (uint64, error) {
+	pts, count := cmem.Addr(args[0]), int(int32(args[1]))
+	start, end := cmem.Addr(args[2]), cmem.Addr(args[3])
+	var minX, minY, maxX, maxY float32
+	for i := 0; i < count; i++ {
+		x, err := mem.ReadF32(pts + cmem.Addr(8*i))
+		if err != nil {
+			return 0, err
+		}
+		y, err := mem.ReadF32(pts + cmem.Addr(8*i+4))
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || x < minX {
+			minX = x
+		}
+		if i == 0 || y < minY {
+			minY = y
+		}
+		if i == 0 || x > maxX {
+			maxX = x
+		}
+		if i == 0 || y > maxY {
+			maxY = y
+		}
+	}
+	if err := mem.WriteF32(start, minX); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(start+4, minY); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(end, maxX); err != nil {
+		return 0, err
+	}
+	return 0, mem.WriteF32(end+4, maxY)
+}
+
+// newSession parses and annotates both declaration sets.
+func newSession() (*core.Session, error) {
+	s := core.NewSession()
+	if err := s.LoadC("c", fitterC, cmem.ILP32); err != nil {
+		return nil, err
+	}
+	if err := s.LoadJava("java", figure1Java); err != nil {
+		return nil, err
+	}
+	if _, err := s.Annotate("c", cScript); err != nil {
+		return nil, err
+	}
+	if _, err := s.Annotate("java", javaScript); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fitter-net:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Server side: export the C implementation. ---
+	serverSess, err := newSession()
+	if err != nil {
+		return err
+	}
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	binder := bind.NewC(serverSess.Universe("c"), cmem.ILP32)
+	target := core.NewCTarget(binder, serverSess.Universe("c").Lookup("fitter"), cFitter)
+	if err := serverSess.ExportCall(srv, "geometry/fitter", "c", "fitter", target); err != nil {
+		return err
+	}
+	fmt.Println("server: exported C fitter at", srv.Addr())
+
+	// --- Client side: an independent session, as another process would
+	// have. ---
+	clientSess, err := newSession()
+	if err != nil {
+		return err
+	}
+	conn, err := orb.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	remote, err := clientSess.NewRemoteTarget(conn, "geometry/fitter", "c", "fitter")
+	if err != nil {
+		return err
+	}
+	stub, err := clientSess.NewCallStub("java", "JavaIdeal", "c", "fitter", core.EngineCompiled, remote)
+	if err != nil {
+		return err
+	}
+
+	pts := []value.Value{
+		value.NewRecord(value.Real{V: 0}, value.Real{V: 0}),
+		value.NewRecord(value.Real{V: 10}, value.Real{V: 10}),
+		value.NewRecord(value.Real{V: 5}, value.Real{V: -3}),
+	}
+	out, err := stub.Invoke(value.NewRecord(value.FromSlice(pts)))
+	if err != nil {
+		return err
+	}
+	line := out.(value.Record).Fields[0].(value.Record)
+	fmt.Println("client: fitted line start =", line.Fields[0])
+	fmt.Println("client: fitted line end   =", line.Fields[1])
+	fmt.Println("expected: {0, -3} and {10, 10}")
+	return nil
+}

@@ -1,0 +1,71 @@
+// notes: the §5 Lotus Notes experiment — bridging a large, method-heavy
+// C++ API surface to Java with batch annotation scripts.
+//
+// The real Notes API is proprietary; the synth package generates a
+// 30-class suite with the reported shape (a small set of data carriers
+// plus 22 method-heavy service classes), presented as a Java declaration
+// set and a shuffled IDL declaration set. The batch annotation script —
+// "worked out in detail with representative classes, … applied in batch
+// mode to a much larger set" — aligns them, and every class pair is then
+// matched by the Comparer.
+//
+// Run with: go run ./examples/notes
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "notes:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite := synth.Generate(synth.NotesAPI())
+	fmt.Printf("generated API surface: %d data classes, %d service classes\n",
+		len(suite.DataClassNames), len(suite.ServiceClassNames))
+	fmt.Printf("batch annotation script:\n%s\n", suite.JavaScript)
+
+	sess := core.NewSession()
+	if err := sess.LoadJava("java", suite.JavaSource); err != nil {
+		return err
+	}
+	if err := sess.LoadIDL("api", suite.IDLSource); err != nil {
+		return err
+	}
+	res, err := sess.Annotate("java", suite.JavaScript)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("annotations: %d script lines annotated %d nodes\n\n", res.Lines, res.Applied)
+
+	matched, steps := 0, 0
+	names := append(append([]string(nil), suite.DataClassNames...), suite.ServiceClassNames...)
+	for _, name := range names {
+		v, err := sess.Compare("java", name, "api", name)
+		if err != nil {
+			return err
+		}
+		steps += v.Steps
+		status := "MATCH"
+		if v.Relation != core.RelEquivalent {
+			status = "FAIL: " + v.Relation.String()
+		} else {
+			matched++
+		}
+		fmt.Printf("  %-6s %s\n", name, status)
+	}
+	fmt.Printf("\nbridged %d/%d classes (%d comparison steps total)\n", matched, len(names), steps)
+	if matched != len(names) {
+		return fmt.Errorf("some classes failed to match")
+	}
+	fmt.Println("feasibility of covering the complete API demonstrated (paper §5)")
+	return nil
+}

@@ -1,0 +1,206 @@
+// Quickstart: the paper's §2 example end-to-end.
+//
+// A Java graphical application (Figure 1 types) wants to call the C
+// fitter function (Figure 2) through its ideal interface (Figure 5),
+// without adopting any tool-imposed types. We:
+//
+//  1. load both declarations exactly as written,
+//  2. apply the §3.4 annotations,
+//  3. compare the Mtypes (they come out equivalent),
+//  4. compile a stub, and
+//  5. call the C function with Java objects and get a Java Line back.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bind"
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/jheap"
+	"repro/internal/value"
+)
+
+// The declarations, verbatim from the paper.
+const (
+	fitterC = `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`
+	figure1Java = `
+public class Point {
+    public Point(float x, float y) { this.x = x; this.y = y; }
+    private float x;
+    private float y;
+}
+public class Line {
+    private Point start;
+    private Point end;
+}
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal {
+    Line fitter(PointVector pts);
+}
+`
+	// The §3.4 annotations: out parameters and the count convention on
+	// the C side; non-null, non-aliased containment and the collection
+	// element type on the Java side.
+	cScript = `
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`
+	javaScript = `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate JavaIdeal.fitter.pts nonnull
+annotate JavaIdeal.fitter.return nonnull
+`
+)
+
+// cFitter is the "compiled C" implementation: it reads the raw argument
+// memory exactly as the real function would, fitting the bounding-box
+// diagonal through the points.
+func cFitter(mem *cmem.Arena, args []uint64) (uint64, error) {
+	pts, count := cmem.Addr(args[0]), int(int32(args[1]))
+	start, end := cmem.Addr(args[2]), cmem.Addr(args[3])
+	var minX, minY, maxX, maxY float32
+	for i := 0; i < count; i++ {
+		x, err := mem.ReadF32(pts + cmem.Addr(8*i))
+		if err != nil {
+			return 0, err
+		}
+		y, err := mem.ReadF32(pts + cmem.Addr(8*i+4))
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || x < minX {
+			minX = x
+		}
+		if i == 0 || y < minY {
+			minY = y
+		}
+		if i == 0 || x > maxX {
+			maxX = x
+		}
+		if i == 0 || y > maxY {
+			maxY = y
+		}
+	}
+	if err := mem.WriteF32(start, minX); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(start+4, minY); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(end, maxX); err != nil {
+		return 0, err
+	}
+	return 0, mem.WriteF32(end+4, maxY)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1-2. Parse and annotate both declarations.
+	sess := core.NewSession()
+	if err := sess.LoadC("c", fitterC, cmem.ILP32); err != nil {
+		return err
+	}
+	if err := sess.LoadJava("java", figure1Java); err != nil {
+		return err
+	}
+	if _, err := sess.Annotate("c", cScript); err != nil {
+		return err
+	}
+	if _, err := sess.Annotate("java", javaScript); err != nil {
+		return err
+	}
+
+	// 3. Compare: both lower to port(Record(L, port(Record(RR, RR)))).
+	mtJ, err := sess.Mtype("java", "JavaIdeal")
+	if err != nil {
+		return err
+	}
+	mtC, err := sess.Mtype("c", "fitter")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Java Mtype:", mtJ)
+	fmt.Println("C    Mtype:", mtC)
+	verdict, err := sess.Compare("java", "JavaIdeal", "c", "fitter")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparer verdict: %s (%d steps)\n\n", verdict.Relation, verdict.Steps)
+
+	// 4. Compile the stub: the C side is the callee.
+	binder := bind.NewC(sess.Universe("c"), cmem.ILP32)
+	target := core.NewCTarget(binder, sess.Universe("c").Lookup("fitter"), cFitter)
+	stub, err := sess.NewCallStub("java", "JavaIdeal", "c", "fitter", core.EngineCompiled, target)
+	if err != nil {
+		return err
+	}
+
+	// 5. Build Java-side application data (a PointVector of Points in the
+	// simulated heap), read it through the Java binding, and invoke.
+	heap := jheap.NewHeap()
+	jbinder := bind.NewJ(sess.Universe("java"))
+	vec := heap.NewVector("PointVector")
+	for _, pt := range [][2]float64{{1, 5}, {3, 2}, {2, 7}} {
+		p := heap.New("Point", 2)
+		if err := heap.SetField(p, 0, jheap.FloatSlot(pt[0])); err != nil {
+			return err
+		}
+		if err := heap.SetField(p, 1, jheap.FloatSlot(pt[1])); err != nil {
+			return err
+		}
+		if err := heap.VectorAppend(vec, p); err != nil {
+			return err
+		}
+	}
+	ptsDecl := sess.Universe("java").Lookup("JavaIdeal").Type.Methods[0].Params[0].Type
+	ptsValue, err := jbinder.Read(ptsDecl, heap, jheap.RefSlot(vec))
+	if err != nil {
+		return err
+	}
+
+	out, err := stub.Invoke(value.NewRecord(ptsValue))
+	if err != nil {
+		return err
+	}
+
+	// The output record holds the Java-shaped Line; materialize it as a
+	// real heap object, then print it the way the application would.
+	lineDecl := sess.Universe("java").Lookup("JavaIdeal").Type.Methods[0].Result
+	lineSlot, err := jbinder.Write(lineDecl, heap, out.(value.Record).Fields[0])
+	if err != nil {
+		return err
+	}
+	coords := make([]float64, 0, 4)
+	for _, fi := range []int{0, 1} {
+		ptRef, err := heap.Field(lineSlot.R, fi)
+		if err != nil {
+			return err
+		}
+		for _, fj := range []int{0, 1} {
+			s, err := heap.Field(ptRef.R, fj)
+			if err != nil {
+				return err
+			}
+			coords = append(coords, s.F)
+		}
+	}
+	fmt.Printf("fitted line: (%g, %g) -> (%g, %g)\n", coords[0], coords[1], coords[2], coords[3])
+	fmt.Println("expected   : (1, 2) -> (3, 7)")
+	return nil
+}

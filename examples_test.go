@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary and checks its key output
+// line, so the runnable documentation cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-run integration")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{
+			"comparer verdict: equivalent",
+			"fitted line: (1, 2) -> (3, 7)",
+		}},
+		{"fitter-net", []string{
+			"client: fitted line start = {0, -3}",
+			"client: fitted line end   = {10, 10}",
+		}},
+		{"collab", []string{
+			"message CellEdit   : equivalent",
+			"received: CursorMove {1, {4, 7}}",
+		}},
+		{"notes", []string{
+			"bridged 30/30 classes",
+		}},
+		{"dynamic", []string{
+			"converted into local shape: {{21.5, 0.25}, 7}",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goBin, "run", "./examples/"+c.dir)
+			cmd.Dir = root
+			cmd.Env = append(os.Environ(), "GOPROXY=off")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

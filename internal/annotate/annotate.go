@@ -1,0 +1,198 @@
+// Package annotate applies programmer annotations to Stype declarations.
+// The paper's prototype collected annotations through interactive GUI
+// panels (Figure 7) and, at scale, through "a scripting technique that
+// allows annotations, worked out in detail with representative classes, to
+// be applied in batch mode to a much larger set" (§5). This package
+// implements that script language.
+//
+// A script is a sequence of lines:
+//
+//	# comment
+//	annotate <path> <attr> [<attr> ...]
+//
+// where <path> selects nodes (see stype.ParsePath; wildcards allowed) and
+// each <attr> is one of:
+//
+//	nonnull             reference is never null
+//	noalias             reference introduces no alias
+//	in | out | inout    parameter direction
+//	length=N            static array length
+//	length-from=NAME    runtime array length in sibling parameter NAME
+//	range=LO..HI        integer range override
+//	char | int          integral type holds characters / integers
+//	repertoire=NAME     ascii, latin1, ucs2, unicode
+//	byvalue | byref     class passed by value / by reference
+//	collection-of=TYPE  ordered collection of TYPE elements
+//	element-nonnull     collection elements are never null
+//	ignore              drop this field or method from the Mtype
+package annotate
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"repro/internal/stype"
+)
+
+// ParseAttrs parses attribute words into an annotation.
+func ParseAttrs(words []string) (stype.Ann, error) {
+	var ann stype.Ann
+	if len(words) == 0 {
+		return ann, fmt.Errorf("annotate: no attributes")
+	}
+	setMode := func(m stype.Mode) error {
+		if ann.Mode != stype.ModeUnset {
+			return fmt.Errorf("annotate: conflicting parameter modes")
+		}
+		ann.Mode = m
+		return nil
+	}
+	for _, w := range words {
+		key, val := w, ""
+		if i := strings.IndexByte(w, '='); i >= 0 {
+			key, val = w[:i], w[i+1:]
+		}
+		switch key {
+		case "nonnull":
+			ann.NonNull = true
+		case "noalias":
+			ann.NoAlias = true
+		case "in":
+			if err := setMode(stype.ModeIn); err != nil {
+				return ann, err
+			}
+		case "out":
+			if err := setMode(stype.ModeOut); err != nil {
+				return ann, err
+			}
+		case "inout":
+			if err := setMode(stype.ModeInOut); err != nil {
+				return ann, err
+			}
+		case "length":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return ann, fmt.Errorf("annotate: invalid length %q", val)
+			}
+			ann.FixedLen = n
+		case "length-from":
+			if val == "" {
+				return ann, fmt.Errorf("annotate: length-from requires a parameter name")
+			}
+			ann.LengthFrom = val
+		case "range":
+			parts := strings.SplitN(val, "..", 2)
+			if len(parts) != 2 {
+				return ann, fmt.Errorf("annotate: range must be LO..HI, got %q", val)
+			}
+			lo, ok1 := new(big.Int).SetString(parts[0], 10)
+			hi, ok2 := new(big.Int).SetString(parts[1], 10)
+			if !ok1 || !ok2 || lo.Cmp(hi) > 0 {
+				return ann, fmt.Errorf("annotate: invalid range %q", val)
+			}
+			ann.Range = &stype.RangeAnn{Lo: lo.String(), Hi: hi.String()}
+		case "char":
+			t := true
+			ann.AsChar = &t
+		case "int":
+			f := false
+			ann.AsChar = &f
+		case "repertoire":
+			switch val {
+			case "ascii", "latin1", "ucs2", "unicode":
+				ann.Repertoire = val
+			default:
+				return ann, fmt.Errorf("annotate: unknown repertoire %q", val)
+			}
+		case "byvalue":
+			t := true
+			ann.ByValue = &t
+		case "byref":
+			f := false
+			ann.ByValue = &f
+		case "collection-of":
+			if val == "" {
+				return ann, fmt.Errorf("annotate: collection-of requires a type name")
+			}
+			ann.CollectionOf = val
+		case "element-nonnull":
+			ann.ElementNonNull = true
+		case "ignore":
+			ann.Ignore = true
+		default:
+			return ann, fmt.Errorf("annotate: unknown attribute %q", w)
+		}
+	}
+	if ann.AsChar != nil && *ann.AsChar && ann.Range != nil {
+		return ann, fmt.Errorf("annotate: char and range are mutually exclusive")
+	}
+	return ann, nil
+}
+
+// Apply merges the annotation into every node selected by path, returning
+// the number of nodes annotated.
+func Apply(u *stype.Universe, path string, ann stype.Ann) (int, error) {
+	p, err := stype.ParsePath(path)
+	if err != nil {
+		return 0, err
+	}
+	sels, err := p.Select(u)
+	if err != nil {
+		return 0, err
+	}
+	for _, sel := range sels {
+		switch {
+		case sel.Method != nil:
+			if !onlyIgnore(ann) {
+				return 0, fmt.Errorf("annotate: %s selects a method; only `ignore` applies to methods", sel.Where)
+			}
+			sel.Method.Ann = sel.Method.Ann.Merge(ann)
+		case sel.Node != nil:
+			sel.Node.Ann = sel.Node.Ann.Merge(ann)
+		}
+	}
+	return len(sels), nil
+}
+
+func onlyIgnore(a stype.Ann) bool {
+	return a == stype.Ann{Ignore: true}
+}
+
+// ScriptResult summarizes a script run.
+type ScriptResult struct {
+	// Lines is the number of annotate directives executed.
+	Lines int
+	// Applied is the total number of nodes annotated.
+	Applied int
+}
+
+// ApplyScript runs an annotation script against a universe.
+func ApplyScript(u *stype.Universe, script string) (ScriptResult, error) {
+	var res ScriptResult
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		words := strings.Fields(line)
+		if words[0] != "annotate" {
+			return res, fmt.Errorf("annotate: line %d: expected `annotate`, got %q", lineNo+1, words[0])
+		}
+		if len(words) < 3 {
+			return res, fmt.Errorf("annotate: line %d: usage: annotate <path> <attr>...", lineNo+1)
+		}
+		ann, err := ParseAttrs(words[2:])
+		if err != nil {
+			return res, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		n, err := Apply(u, words[1], ann)
+		if err != nil {
+			return res, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		res.Lines++
+		res.Applied += n
+	}
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package annotate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cparse"
+	"repro/internal/javaparse"
+	"repro/internal/stype"
+)
+
+const fitterC = `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`
+
+const figure1Java = `
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }
+`
+
+// section34CScript is the §3.4 annotation set for the C side: start and
+// end are out parameters; pts is an array whose length is count.
+const section34CScript = `
+# Figure 2 fitter annotations (paper §3.4)
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`
+
+// section34JavaScript is the §3.4 annotation set for the Java side.
+const section34JavaScript = `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate Point byvalue
+annotate Line byvalue
+`
+
+func TestSection34CScript(t *testing.T) {
+	u := cparse.MustParse(fitterC)
+	res, err := ApplyScript(u, section34CScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 3 || res.Applied != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	fitter := u.Lookup("fitter").Type
+	start := fitter.Params[2].Type
+	if start.Ann.Mode != stype.ModeOut || !start.Ann.NonNull {
+		t.Errorf("start ann = %+v", start.Ann)
+	}
+	pts := fitter.Params[0].Type
+	if pts.Ann.LengthFrom != "count" {
+		t.Errorf("pts ann = %+v", pts.Ann)
+	}
+}
+
+func TestSection34JavaScript(t *testing.T) {
+	u := javaparse.MustParse(figure1Java)
+	res, err := ApplyScript(u, section34JavaScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 5 {
+		t.Errorf("applied = %d, want 5", res.Applied)
+	}
+	line := u.Lookup("Line").Type
+	for i := range line.Fields {
+		ann := line.Fields[i].Type.Ann
+		if !ann.NonNull || !ann.NoAlias {
+			t.Errorf("field %s ann = %+v", line.Fields[i].Name, ann)
+		}
+	}
+	pv := u.Lookup("PointVector").Type
+	if pv.Ann.CollectionOf != "Point" || !pv.Ann.ElementNonNull {
+		t.Errorf("PointVector ann = %+v", pv.Ann)
+	}
+}
+
+func TestWildcardBatchAnnotation(t *testing.T) {
+	// §5: annotations worked out on representative classes applied in
+	// batch to a larger set.
+	u := javaparse.MustParse(`
+		class A { B ref; int x; }
+		class B { A ref; }
+		class C { B ref; }
+	`)
+	n, err := Apply(u, "*.ref", stype.Ann{NonNull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("annotated %d nodes, want 3", n)
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		cls := u.Lookup(name).Type
+		if !cls.Fields[0].Type.Ann.NonNull {
+			t.Errorf("%s.ref not annotated", name)
+		}
+	}
+}
+
+func TestParseAttrs(t *testing.T) {
+	ann, err := ParseAttrs([]string{"nonnull", "noalias", "out", "length=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ann.NonNull || !ann.NoAlias || ann.Mode != stype.ModeOut || ann.FixedLen != 4 {
+		t.Errorf("ann = %+v", ann)
+	}
+}
+
+func TestParseAttrsRange(t *testing.T) {
+	ann, err := ParseAttrs([]string{"range=0..4294967295"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Range == nil || ann.Range.Lo != "0" || ann.Range.Hi != "4294967295" {
+		t.Errorf("range = %+v", ann.Range)
+	}
+	ann, err = ParseAttrs([]string{"range=-5..5"})
+	if err != nil || ann.Range.Lo != "-5" {
+		t.Errorf("negative range: %+v, %v", ann.Range, err)
+	}
+}
+
+func TestParseAttrsCharIntRepertoire(t *testing.T) {
+	ann, _ := ParseAttrs([]string{"char", "repertoire=latin1"})
+	if ann.AsChar == nil || !*ann.AsChar || ann.Repertoire != "latin1" {
+		t.Errorf("ann = %+v", ann)
+	}
+	ann, _ = ParseAttrs([]string{"int"})
+	if ann.AsChar == nil || *ann.AsChar {
+		t.Errorf("int ann = %+v", ann)
+	}
+}
+
+func TestParseAttrsByValueByRef(t *testing.T) {
+	ann, _ := ParseAttrs([]string{"byvalue"})
+	if ann.ByValue == nil || !*ann.ByValue {
+		t.Errorf("byvalue = %+v", ann)
+	}
+	ann, _ = ParseAttrs([]string{"byref"})
+	if ann.ByValue == nil || *ann.ByValue {
+		t.Errorf("byref = %+v", ann)
+	}
+}
+
+func TestParseAttrsErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"bogus"},
+		{"in", "out"},
+		{"length=0"},
+		{"length=x"},
+		{"length-from="},
+		{"range=5..1"},
+		{"range=abc"},
+		{"repertoire=klingon"},
+		{"collection-of="},
+		{"char", "range=0..9"},
+	}
+	for _, words := range bad {
+		if _, err := ParseAttrs(words); err == nil {
+			t.Errorf("ParseAttrs(%v) succeeded", words)
+		}
+	}
+}
+
+func TestMethodIgnore(t *testing.T) {
+	u := javaparse.MustParse(`class C { void helper() {} int x; }`)
+	n, err := Apply(u, "C.helper", stype.Ann{Ignore: true})
+	if err != nil || n != 1 {
+		t.Fatalf("Apply = %d, %v", n, err)
+	}
+	if !u.Lookup("C").Type.Methods[0].Ann.Ignore {
+		t.Error("method not marked ignore")
+	}
+}
+
+func TestMethodRejectsOtherAttrs(t *testing.T) {
+	u := javaparse.MustParse(`class C { void helper() {} }`)
+	if _, err := Apply(u, "C.helper", stype.Ann{NonNull: true}); err == nil {
+		t.Error("nonnull on a method should fail")
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	u := cparse.MustParse(fitterC)
+	cases := []struct {
+		script string
+		want   string
+	}{
+		{"frobnicate fitter out", "annotate"},
+		{"annotate fitter", "usage"},
+		{"annotate fitter.nosuch out", "matches nothing"},
+		{"annotate fitter.start bogus", "unknown attribute"},
+	}
+	for _, c := range cases {
+		_, err := ApplyScript(u, c.script)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ApplyScript(%q) error = %v, want %q", c.script, err, c.want)
+		}
+	}
+}
+
+func TestScriptCommentsAndBlanks(t *testing.T) {
+	u := cparse.MustParse(fitterC)
+	res, err := ApplyScript(u, "\n# only comments\n\n   \n")
+	if err != nil || res.Lines != 0 {
+		t.Errorf("res = %+v, err = %v", res, err)
+	}
+}
+
+func TestAnnotationsAccumulate(t *testing.T) {
+	u := cparse.MustParse(fitterC)
+	if _, err := Apply(u, "fitter.start", stype.Ann{Mode: stype.ModeOut}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(u, "fitter.start", stype.Ann{NonNull: true}); err != nil {
+		t.Fatal(err)
+	}
+	ann := u.Lookup("fitter").Type.Params[2].Type.Ann
+	if ann.Mode != stype.ModeOut || !ann.NonNull {
+		t.Errorf("ann = %+v", ann)
+	}
+}

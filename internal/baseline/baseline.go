@@ -1,0 +1,226 @@
+// Package baseline implements the competing technology of the paper's
+// §6 performance question: an IDL-compiler-style path for the fitter
+// example. An IDL compiler imposes its own translated types on the
+// application (the Figure 4 classes), so the programmer must write bridge
+// code copying between the application's types and the imposed ones; the
+// generated IDL stub itself is a fixed, monomorphic marshaler.
+//
+// The package provides exactly those pieces, hand-written the way an IDL
+// user would write them against the simulated Java heap and C memory:
+//
+//   - the imposed Go-side types (Point, Line — the Figure 4 translation);
+//   - the bridge code (application PointVector/Point objects → imposed
+//     values and back), the error-prone chore §1 describes;
+//   - the fixed stub that marshals imposed values into C memory and
+//     invokes the callee.
+//
+// The §6-perf benchmarks run this path next to the Mockingbird stub and
+// a fully hand-written conversion to compare overheads.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bind"
+	"repro/internal/cmem"
+	"repro/internal/jheap"
+)
+
+// Point is the imposed point type (Figure 4's generated class).
+type Point struct {
+	X, Y float32
+}
+
+// Line is the imposed line type.
+type Line struct {
+	Start, End Point
+}
+
+// BridgeFromApp is the programmer-written bridge from the application's
+// PointVector of Point objects to the imposed []Point. Field indices
+// follow the Figure 1 declaration (x at 0, y at 1).
+func BridgeFromApp(h *jheap.Heap, pts jheap.Ref) ([]Point, error) {
+	n, err := h.VectorLen(pts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		ref, err := h.VectorAt(pts, i)
+		if err != nil {
+			return nil, err
+		}
+		if ref == jheap.NullRef {
+			return nil, fmt.Errorf("baseline: null Point at %d", i)
+		}
+		xs, err := h.Field(ref, 0)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := h.Field(ref, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Point{X: float32(xs.F), Y: float32(ys.F)}
+	}
+	return out, nil
+}
+
+// BridgeToApp is the reverse bridge: the imposed Line back into
+// application Line/Point objects.
+func BridgeToApp(h *jheap.Heap, l Line) (jheap.Ref, error) {
+	mk := func(p Point) (jheap.Ref, error) {
+		r := h.New("Point", 2)
+		if err := h.SetField(r, 0, jheap.FloatSlot(float64(p.X))); err != nil {
+			return jheap.NullRef, err
+		}
+		if err := h.SetField(r, 1, jheap.FloatSlot(float64(p.Y))); err != nil {
+			return jheap.NullRef, err
+		}
+		return r, nil
+	}
+	start, err := mk(l.Start)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	end, err := mk(l.End)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	line := h.New("Line", 2)
+	if err := h.SetField(line, 0, jheap.RefSlot(start)); err != nil {
+		return jheap.NullRef, err
+	}
+	if err := h.SetField(line, 1, jheap.RefSlot(end)); err != nil {
+		return jheap.NullRef, err
+	}
+	return line, nil
+}
+
+// CallFitter is the generated IDL stub: it lays the imposed values out in
+// C memory exactly as the CFriendly interface implies (a contiguous
+// float[2] array, a count, two output buffers) and invokes the C
+// implementation.
+func CallFitter(impl bind.CFunc, pts []Point) (Line, error) {
+	mem := cmem.NewArena()
+	base := cmem.Null
+	if len(pts) > 0 {
+		base = mem.Alloc(8*len(pts), 4)
+		for i, p := range pts {
+			if err := mem.WriteF32(base+cmem.Addr(8*i), p.X); err != nil {
+				return Line{}, err
+			}
+			if err := mem.WriteF32(base+cmem.Addr(8*i+4), p.Y); err != nil {
+				return Line{}, err
+			}
+		}
+	}
+	start := mem.Alloc(8, 4)
+	end := mem.Alloc(8, 4)
+	if _, err := impl(mem, []uint64{uint64(base), uint64(int32(len(pts))), uint64(start), uint64(end)}); err != nil {
+		return Line{}, err
+	}
+	var out Line
+	var err error
+	if out.Start.X, err = mem.ReadF32(start); err != nil {
+		return Line{}, err
+	}
+	if out.Start.Y, err = mem.ReadF32(start + 4); err != nil {
+		return Line{}, err
+	}
+	if out.End.X, err = mem.ReadF32(end); err != nil {
+		return Line{}, err
+	}
+	if out.End.Y, err = mem.ReadF32(end + 4); err != nil {
+		return Line{}, err
+	}
+	return out, nil
+}
+
+// FitterViaIDL is the complete baseline path: bridge from the
+// application, call through the fixed stub, bridge back.
+func FitterViaIDL(h *jheap.Heap, pts jheap.Ref, impl bind.CFunc) (jheap.Ref, error) {
+	imposed, err := BridgeFromApp(h, pts)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	line, err := CallFitter(impl, imposed)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	return BridgeToApp(h, line)
+}
+
+// FitterHandWritten is the lower bound: a direct conversion from the
+// application heap to C memory with no intermediate representation at
+// all — the code a careful human would write for this one interface.
+func FitterHandWritten(h *jheap.Heap, pts jheap.Ref, impl bind.CFunc) (jheap.Ref, error) {
+	n, err := h.VectorLen(pts)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	mem := cmem.NewArena()
+	base := cmem.Null
+	if n > 0 {
+		base = mem.Alloc(8*n, 4)
+	}
+	for i := 0; i < n; i++ {
+		ref, err := h.VectorAt(pts, i)
+		if err != nil {
+			return jheap.NullRef, err
+		}
+		xs, err := h.Field(ref, 0)
+		if err != nil {
+			return jheap.NullRef, err
+		}
+		ys, err := h.Field(ref, 1)
+		if err != nil {
+			return jheap.NullRef, err
+		}
+		if err := mem.WriteF32(base+cmem.Addr(8*i), float32(xs.F)); err != nil {
+			return jheap.NullRef, err
+		}
+		if err := mem.WriteF32(base+cmem.Addr(8*i+4), float32(ys.F)); err != nil {
+			return jheap.NullRef, err
+		}
+	}
+	start := mem.Alloc(8, 4)
+	end := mem.Alloc(8, 4)
+	if _, err := impl(mem, []uint64{uint64(base), uint64(int32(n)), uint64(start), uint64(end)}); err != nil {
+		return jheap.NullRef, err
+	}
+	read := func(at cmem.Addr) (jheap.Ref, error) {
+		x, err := mem.ReadF32(at)
+		if err != nil {
+			return jheap.NullRef, err
+		}
+		y, err := mem.ReadF32(at + 4)
+		if err != nil {
+			return jheap.NullRef, err
+		}
+		r := h.New("Point", 2)
+		if err := h.SetField(r, 0, jheap.FloatSlot(float64(x))); err != nil {
+			return jheap.NullRef, err
+		}
+		if err := h.SetField(r, 1, jheap.FloatSlot(float64(y))); err != nil {
+			return jheap.NullRef, err
+		}
+		return r, nil
+	}
+	startRef, err := read(start)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	endRef, err := read(end)
+	if err != nil {
+		return jheap.NullRef, err
+	}
+	line := h.New("Line", 2)
+	if err := h.SetField(line, 0, jheap.RefSlot(startRef)); err != nil {
+		return jheap.NullRef, err
+	}
+	if err := h.SetField(line, 1, jheap.RefSlot(endRef)); err != nil {
+		return jheap.NullRef, err
+	}
+	return line, nil
+}

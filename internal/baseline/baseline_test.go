@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cmem"
+	"repro/internal/jheap"
+)
+
+// fitterImpl computes the bounding-box diagonal, as in the stub tests.
+func fitterImpl(mem *cmem.Arena, args []uint64) (uint64, error) {
+	pts := cmem.Addr(args[0])
+	count := int(int32(args[1]))
+	start := cmem.Addr(args[2])
+	end := cmem.Addr(args[3])
+	var minX, minY, maxX, maxY float32
+	for i := 0; i < count; i++ {
+		x, err := mem.ReadF32(pts + cmem.Addr(8*i))
+		if err != nil {
+			return 0, err
+		}
+		y, err := mem.ReadF32(pts + cmem.Addr(8*i+4))
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || x < minX {
+			minX = x
+		}
+		if i == 0 || y < minY {
+			minY = y
+		}
+		if i == 0 || x > maxX {
+			maxX = x
+		}
+		if i == 0 || y > maxY {
+			maxY = y
+		}
+	}
+	if err := mem.WriteF32(start, minX); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(start+4, minY); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(end, maxX); err != nil {
+		return 0, err
+	}
+	return 0, mem.WriteF32(end+4, maxY)
+}
+
+// appPoints builds the application-side PointVector.
+func appPoints(h *jheap.Heap, coords ...float64) jheap.Ref {
+	v := h.NewVector("PointVector")
+	for i := 0; i+1 < len(coords); i += 2 {
+		p := h.New("Point", 2)
+		_ = h.SetField(p, 0, jheap.FloatSlot(coords[i]))
+		_ = h.SetField(p, 1, jheap.FloatSlot(coords[i+1]))
+		_ = h.VectorAppend(v, p)
+	}
+	return v
+}
+
+func lineCoords(t *testing.T, h *jheap.Heap, line jheap.Ref) [4]float64 {
+	t.Helper()
+	var out [4]float64
+	for i, fi := range []int{0, 1} {
+		ref, err := h.Field(line, fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, fj := range []int{0, 1} {
+			s, err := h.Field(ref.R, fj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[2*i+j] = s.F
+		}
+	}
+	return out
+}
+
+func TestFitterViaIDL(t *testing.T) {
+	h := jheap.NewHeap()
+	pts := appPoints(h, 1, 5, 3, 2, 2, 7)
+	line, err := FitterViaIDL(h, pts, fitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lineCoords(t, h, line)
+	want := [4]float64{1, 2, 3, 7}
+	if got != want {
+		t.Errorf("line = %v, want %v", got, want)
+	}
+}
+
+func TestFitterHandWritten(t *testing.T) {
+	h := jheap.NewHeap()
+	pts := appPoints(h, 0, 0, 10, 10, 5, -3)
+	line, err := FitterHandWritten(h, pts, fitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lineCoords(t, h, line)
+	want := [4]float64{0, -3, 10, 10}
+	if got != want {
+		t.Errorf("line = %v, want %v", got, want)
+	}
+}
+
+func TestBothPathsAgree(t *testing.T) {
+	h := jheap.NewHeap()
+	pts := appPoints(h, 4, 4, -1, 9, 6, 0)
+	l1, err := FitterViaIDL(h, pts, fitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := FitterHandWritten(h, pts, fitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lineCoords(t, h, l1) != lineCoords(t, h, l2) {
+		t.Error("baseline paths disagree")
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	h := jheap.NewHeap()
+	pts := appPoints(h)
+	if _, err := FitterViaIDL(h, pts, fitterImpl); err != nil {
+		t.Errorf("empty vector via IDL: %v", err)
+	}
+	if _, err := FitterHandWritten(h, pts, fitterImpl); err != nil {
+		t.Errorf("empty vector hand-written: %v", err)
+	}
+}
+
+func TestBridgeRejectsNullElement(t *testing.T) {
+	h := jheap.NewHeap()
+	v := h.NewVector("PointVector")
+	_ = h.VectorAppend(v, jheap.NullRef)
+	if _, err := BridgeFromApp(h, v); err == nil {
+		t.Error("null element accepted")
+	}
+}

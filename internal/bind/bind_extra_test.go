@@ -1,0 +1,287 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/cmem"
+	"repro/internal/jheap"
+	"repro/internal/stype"
+	"repro/internal/value"
+)
+
+// TestSubclassSubstitutionByValue documents the §6 limitation the paper
+// shares: when a subclass instance is substituted where the parent class
+// is expected *by value*, marshaling follows the declared parent type —
+// the subclass's extra fields are not carried. (The paper: "At present,
+// it only detects this substitution when objects are passed by
+// reference.")
+func TestSubclassSubstitutionByValue(t *testing.T) {
+	u := jUniverse(t, `
+		class Point { float x; float y; }
+		class Point3D extends Point { float z; }
+	`, "")
+	j := NewJ(u)
+	h := jheap.NewHeap()
+
+	// A Point3D instance: field layout is the parent's fields followed by
+	// the subclass's.
+	p3 := h.New("Point3D", 3)
+	_ = h.SetField(p3, 0, jheap.FloatSlot(1))
+	_ = h.SetField(p3, 1, jheap.FloatSlot(2))
+	_ = h.SetField(p3, 2, jheap.FloatSlot(3))
+
+	use := stype.NewNamed("Point")
+	use.Ann.NonNull = true
+	got, err := j.Read(use, h, jheap.RefSlot(p3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the declared parent fields travel.
+	want := value.NewRecord(value.Real{V: 1}, value.Real{V: 2})
+	if !value.Equal(got, want) {
+		t.Errorf("read = %s, want %s (z dropped per §6)", got, want)
+	}
+
+	// By reference the substitution is preserved: the port carries the
+	// actual object.
+	f := false
+	byref := stype.NewNamed("Point")
+	byref.Ann.NonNull = true
+	byref.Ann.ByValue = &f
+	pv, err := j.Read(byref, h, jheap.RefSlot(p3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, ok := pv.(value.Port)
+	if !ok {
+		t.Fatalf("byref read = %T", pv)
+	}
+	r, err := ParsePortRef(port.Ref)
+	if err != nil || r != p3 {
+		t.Errorf("port = %q", port.Ref)
+	}
+	if cls, _ := h.Class(r); cls != "Point3D" {
+		t.Errorf("referenced class = %q (dynamic type lost)", cls)
+	}
+}
+
+func TestJCharAndBoolSlots(t *testing.T) {
+	u := jUniverse(t, `class C { char c; boolean b; byte n; }`, "")
+	j := NewJ(u)
+	h := jheap.NewHeap()
+	cls := u.Lookup("C").Type
+
+	slot, err := j.Write(cls.Fields[0].Type, h, value.Char{R: 'Ω'})
+	if err != nil || slot.Kind != jheap.SlotChar || slot.C != 'Ω' {
+		t.Errorf("char write = %+v, %v", slot, err)
+	}
+	back, err := j.Read(cls.Fields[0].Type, h, slot)
+	if err != nil || !value.Equal(back, value.Char{R: 'Ω'}) {
+		t.Errorf("char read = %s, %v", back, err)
+	}
+
+	slot, err = j.Write(cls.Fields[1].Type, h, value.NewInt(1))
+	if err != nil || slot.I != 1 {
+		t.Errorf("bool write = %+v, %v", slot, err)
+	}
+	if _, err := j.Read(cls.Fields[1].Type, h, jheap.FloatSlot(1)); err == nil {
+		t.Error("bool read from float slot accepted")
+	}
+	if _, err := j.Read(cls.Fields[2].Type, h, jheap.CharSlot('x')); err == nil {
+		// byte from char slot: chars are integral, accepted.
+		t.Log("byte read from char slot accepted (integral)")
+	}
+}
+
+func TestJCharAsIntAnnotation(t *testing.T) {
+	u := jUniverse(t, `class C { char code; }`, "annotate C.code int")
+	j := NewJ(u)
+	h := jheap.NewHeap()
+	codeTy := u.Lookup("C").Type.Fields[0].Type
+	got, err := j.Read(codeTy, h, jheap.CharSlot('A'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, value.NewInt(65)) {
+		t.Errorf("char-as-int read = %s", got)
+	}
+}
+
+func TestJWriteTypeMismatches(t *testing.T) {
+	u := jUniverse(t, figure1Java, figure1Script)
+	j := NewJ(u)
+	h := jheap.NewHeap()
+	point := stype.NewNamed("Point")
+	point.Ann.NonNull = true
+	if _, err := j.Write(point, h, value.Real{V: 1}); err == nil {
+		t.Error("non-record for by-value class accepted")
+	}
+	if _, err := j.Write(point, h, value.NewRecord(value.Real{V: 1})); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := j.Write(point, h, value.NewRecord(value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3})); err == nil {
+		t.Error("long record accepted")
+	}
+	nullable := stype.NewNamed("Point")
+	if _, err := j.Write(nullable, h, value.Real{V: 1}); err == nil {
+		t.Error("non-choice for nullable reference accepted")
+	}
+}
+
+func TestCEnumThroughCall(t *testing.T) {
+	u := cUniverse(t, `
+		enum Color { RED, GREEN, BLUE };
+		enum Color next(enum Color c);
+	`, "")
+	c := NewC(u, cmem.ILP32)
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		return uint64((int32(args[0]) + 1) % 3), nil
+	}
+	outs, err := c.Call(u.Lookup("next"), impl, cmem.NewArena(), value.NewRecord(value.NewInt(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := outs.(value.Record)
+	if !value.Equal(rec.Fields[0], value.NewInt(0)) {
+		t.Errorf("next(BLUE) = %s, want 0", rec.Fields[0])
+	}
+}
+
+func TestCReturnedPointer(t *testing.T) {
+	u := cUniverse(t, `int *find(int key);`, "")
+	c := NewC(u, cmem.ILP32)
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		if int32(args[0]) < 0 {
+			return 0, nil // NULL
+		}
+		at := mem.Alloc(4, 4)
+		if err := mem.WriteU(at, 4, args[0]*10); err != nil {
+			return 0, err
+		}
+		return uint64(at), nil
+	}
+	mem := cmem.NewArena()
+	outs, err := c.Call(u.Lookup("find"), impl, mem, value.NewRecord(value.NewInt(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := outs.(value.Record)
+	if !value.Equal(rec.Fields[0], value.Some(value.NewInt(40))) {
+		t.Errorf("find(4) = %s", rec.Fields[0])
+	}
+	outs, err = c.Call(u.Lookup("find"), impl, mem, value.NewRecord(value.NewInt(-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = outs.(value.Record)
+	if !value.Equal(rec.Fields[0], value.Null()) {
+		t.Errorf("find(-1) = %s, want null", rec.Fields[0])
+	}
+}
+
+func TestCCharStringBuffer(t *testing.T) {
+	// A char buffer with a fixed length annotation round-trips characters.
+	u := cUniverse(t, `struct Buf { char data[4]; };`, "")
+	c := NewC(u, cmem.ILP32)
+	mem := cmem.NewArena()
+	buf := u.Lookup("Buf").Type
+	lay, _ := c.Layouts().Of(buf)
+	at := mem.Alloc(lay.Size, lay.Align)
+	in := value.NewRecord(value.NewRecord(
+		value.Char{R: 'a'}, value.Char{R: 'b'}, value.Char{R: 'c'}, value.Char{R: 'd'},
+	))
+	if err := c.Write(buf, mem, at, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(buf, mem, at, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, in) {
+		t.Errorf("round trip = %s", got)
+	}
+}
+
+func TestCWriteMismatches(t *testing.T) {
+	u := cUniverse(t, `struct P { float x; float y; };`, "")
+	c := NewC(u, cmem.ILP32)
+	mem := cmem.NewArena()
+	p := u.Lookup("P").Type
+	lay, _ := c.Layouts().Of(p)
+	at := mem.Alloc(lay.Size, lay.Align)
+	cases := []value.Value{
+		value.Real{V: 1},
+		value.NewRecord(value.Real{V: 1}),
+		value.NewRecord(value.Real{V: 1}, value.NewInt(2)),
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3}),
+	}
+	for i, v := range cases {
+		if err := c.Write(p, mem, at, v); err == nil {
+			t.Errorf("case %d: mismatched value accepted", i)
+		}
+	}
+}
+
+func TestCDepthLimit(t *testing.T) {
+	// A linked list long enough to exceed the nesting limit fails cleanly.
+	u := cUniverse(t, `struct Node { int v; struct Node *next; };`, "")
+	c := NewC(u, cmem.ILP32)
+	mem := cmem.NewArena()
+	node := u.Lookup("Node").Type
+	lay, _ := c.Layouts().Of(node)
+	// Build a cycle: node.next = node.
+	at := mem.Alloc(lay.Size, lay.Align)
+	if err := mem.WriteU(at, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.WritePtr(at+4, cmem.ILP32, at); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Read(node, mem, at, -1)
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("cyclic read error = %v", err)
+	}
+}
+
+func TestCBitfieldRangeAnnotationValue(t *testing.T) {
+	u := cUniverse(t, `struct F { unsigned int flags : 3; };`, "")
+	c := NewC(u, cmem.ILP32)
+	mem := cmem.NewArena()
+	f := u.Lookup("F").Type
+	lay, _ := c.Layouts().Of(f)
+	at := mem.Alloc(lay.Size, lay.Align)
+	// Range-annotated integers read as integers even when the base type
+	// would default otherwise.
+	if err := c.Write(f, mem, at, value.NewRecord(value.NewInt(5))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(f, mem, at, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, value.NewRecord(value.NewInt(5))) {
+		t.Errorf("bitfield = %s", got)
+	}
+}
+
+func TestAnnotateHelperOnBindUniverse(t *testing.T) {
+	// Exercise the annotate → bind interaction for inout-style updates.
+	u := cUniverse(t, `void setPoint(float *dst);`, "")
+	if _, err := annotate.Apply(u, "setPoint.dst", stype.Ann{Mode: stype.ModeOut, NonNull: true}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewC(u, cmem.ILP32)
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		return 0, mem.WriteF32(cmem.Addr(args[0]), 6.25)
+	}
+	outs, err := c.Call(u.Lookup("setPoint"), impl, cmem.NewArena(), value.NewRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := outs.(value.Record)
+	if !value.Equal(rec.Fields[0], value.Real{V: 6.25}) {
+		t.Errorf("out = %s", rec.Fields[0])
+	}
+}

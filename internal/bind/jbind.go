@@ -1,0 +1,480 @@
+package bind
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/jheap"
+	"repro/internal/lower"
+	"repro/internal/stype"
+	"repro/internal/value"
+)
+
+// J binds declarations of a Java universe to a simulated heap.
+type J struct {
+	u *stype.Universe
+}
+
+// NewJ returns a Java binder for the universe.
+func NewJ(u *stype.Universe) *J {
+	return &J{u: u}
+}
+
+// PortRef renders a heap reference as an object-port reference string.
+func PortRef(r jheap.Ref) string { return "jobj:" + strconv.Itoa(int(r)) }
+
+// ParsePortRef recovers a heap reference from an object-port string.
+func ParsePortRef(s string) (jheap.Ref, error) {
+	rest, ok := strings.CutPrefix(s, "jobj:")
+	if !ok {
+		return jheap.NullRef, fmt.Errorf("bind: %q is not a heap object port", s)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return jheap.NullRef, fmt.Errorf("bind: bad object port %q", s)
+	}
+	return jheap.Ref(n), nil
+}
+
+// Read reads the value of annotated type t from a field slot.
+func (j *J) Read(t *stype.Type, h *jheap.Heap, s jheap.Slot) (value.Value, error) {
+	return j.read(t, h, s, 0)
+}
+
+func (j *J) read(t *stype.Type, h *jheap.Heap, s jheap.Slot, depth int) (value.Value, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("bind: object nesting exceeds %d (cyclic by-value data?)", maxDepth)
+	}
+	switch t.Kind {
+	case stype.KPrim:
+		return j.readPrim(t, s)
+	case stype.KNamed:
+		target := t.Target
+		if target == nil {
+			target = j.u.Lookup(t.Name)
+		}
+		if target == nil {
+			return nil, fmt.Errorf("bind: unresolved type %q", t.Name)
+		}
+		switch target.Type.Kind {
+		case stype.KClass, stype.KInterface:
+			return j.readClassRef(target, t.Ann, h, s, depth)
+		default:
+			overlaid := *target.Type
+			overlaid.Ann = target.Type.Ann.Merge(t.Ann)
+			return j.read(&overlaid, h, s, depth+1)
+		}
+	case stype.KArray:
+		return j.readArray(t, h, s, depth)
+	case stype.KSequence:
+		return j.readSequence(t, h, s, depth)
+	default:
+		return nil, fmt.Errorf("bind: cannot read Java %s", t.Kind)
+	}
+}
+
+func (j *J) readPrim(t *stype.Type, s jheap.Slot) (value.Value, error) {
+	asChar := func(def bool) bool {
+		if t.Ann.AsChar != nil {
+			return *t.Ann.AsChar
+		}
+		return def && t.Ann.Range == nil
+	}
+	switch t.Prim {
+	case stype.PVoid:
+		return value.Unit{}, nil
+	case stype.PBool:
+		if s.Kind != jheap.SlotInt {
+			return nil, fmt.Errorf("bind: boolean wants int slot, got %d", s.Kind)
+		}
+		v := int64(0)
+		if s.I != 0 {
+			v = 1
+		}
+		return value.NewInt(v), nil
+	case stype.PF32, stype.PF64:
+		if s.Kind != jheap.SlotFloat {
+			return nil, fmt.Errorf("bind: float wants float slot, got %d", s.Kind)
+		}
+		return value.Real{V: s.F}, nil
+	case stype.PChar16, stype.PChar8:
+		if asChar(true) {
+			if s.Kind != jheap.SlotChar {
+				return nil, fmt.Errorf("bind: char wants char slot, got %d", s.Kind)
+			}
+			return value.Char{R: s.C}, nil
+		}
+		if s.Kind == jheap.SlotChar {
+			return value.NewInt(int64(s.C)), nil
+		}
+		return value.NewInt(s.I), nil
+	default:
+		if asChar(false) {
+			if s.Kind == jheap.SlotInt {
+				return value.Char{R: rune(s.I)}, nil
+			}
+			return value.Char{R: s.C}, nil
+		}
+		if s.Kind != jheap.SlotInt {
+			return nil, fmt.Errorf("bind: %s wants int slot, got %d", t.Prim, s.Kind)
+		}
+		return value.NewInt(s.I), nil
+	}
+}
+
+// readClassRef reads a reference to a class/interface instance following
+// the lowering rules: collection, by-value containment, or object port,
+// with nullability from the use-site annotation.
+func (j *J) readClassRef(d *stype.Decl, use stype.Ann, h *jheap.Heap, s jheap.Slot, depth int) (value.Value, error) {
+	if s.Kind != jheap.SlotRef {
+		return nil, fmt.Errorf("bind: reference to %s wants ref slot, got %d", d.Name, s.Kind)
+	}
+	if s.R == jheap.NullRef {
+		if use.NonNull {
+			return nil, fmt.Errorf("bind: null in reference to %s annotated nonnull", d.Name)
+		}
+		return value.Null(), nil
+	}
+	core, err := j.readObject(d, use, h, s.R, depth)
+	if err != nil {
+		return nil, err
+	}
+	if use.NonNull {
+		return core, nil
+	}
+	return value.Some(core), nil
+}
+
+// readObject reads the referent itself (no nullability wrapper).
+func (j *J) readObject(d *stype.Decl, use stype.Ann, h *jheap.Heap, r jheap.Ref, depth int) (value.Value, error) {
+	target := d.Type
+	if use.CollectionOf != "" || lower.IsCollection(j.u, d) {
+		return j.readCollection(d, target.Ann.Merge(use), h, r, depth)
+	}
+	if lower.ByValueOf(d, use) {
+		var fields []value.Value
+		for i, f := range target.Fields {
+			if f.Type.Ann.Ignore {
+				continue
+			}
+			slot, err := h.Field(r, i)
+			if err != nil {
+				return nil, fmt.Errorf("bind: %s.%s: %w", d.Name, f.Name, err)
+			}
+			fv, err := j.read(f.Type, h, slot, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("bind: %s.%s: %w", d.Name, f.Name, err)
+			}
+			fields = append(fields, fv)
+		}
+		return value.Record{Fields: fields}, nil
+	}
+	return value.Port{Ref: PortRef(r)}, nil
+}
+
+func (j *J) readCollection(d *stype.Decl, ann stype.Ann, h *jheap.Heap, r jheap.Ref, depth int) (value.Value, error) {
+	elemName := lower.CollectionElement(j.u, d, ann)
+	if elemName == "" {
+		return nil, fmt.Errorf("bind: %s is a collection of unknown element type", d.Name)
+	}
+	elemDecl := j.u.Lookup(elemName)
+	if elemDecl == nil {
+		return nil, fmt.Errorf("bind: collection %s: unknown element type %q", d.Name, elemName)
+	}
+	n, err := h.VectorLen(r)
+	if err != nil {
+		return nil, fmt.Errorf("bind: collection %s: %w", d.Name, err)
+	}
+	elemUse := stype.Ann{NonNull: ann.ElementNonNull}
+	out := make([]value.Value, n)
+	for i := 0; i < n; i++ {
+		er, err := h.VectorAt(r, i)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := j.readClassRef(elemDecl, elemUse, h, jheap.RefSlot(er), depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("bind: element %d: %w", i, err)
+		}
+		out[i] = ev
+	}
+	return value.FromSlice(out), nil
+}
+
+func (j *J) readArray(t *stype.Type, h *jheap.Heap, s jheap.Slot, depth int) (value.Value, error) {
+	if s.Kind != jheap.SlotRef {
+		return nil, fmt.Errorf("bind: array wants ref slot, got %d", s.Kind)
+	}
+	if s.R == jheap.NullRef {
+		return nil, fmt.Errorf("bind: null array (initialize it or annotate the field ignore)")
+	}
+	n, err := h.ArrayLen(s.R)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, n)
+	elemIsPrim := t.ElemType.Kind == stype.KPrim
+	for i := 0; i < n; i++ {
+		var slot jheap.Slot
+		if elemIsPrim {
+			slot, err = h.PrimArrayAt(s.R, i)
+		} else {
+			var er jheap.Ref
+			er, err = h.RefArrayAt(s.R, i)
+			slot = jheap.RefSlot(er)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ev, err := j.read(t.ElemType, h, slot, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("bind: array element %d: %w", i, err)
+		}
+		out[i] = ev
+	}
+	return value.FromSlice(out), nil
+}
+
+func (j *J) readSequence(t *stype.Type, h *jheap.Heap, s jheap.Slot, depth int) (value.Value, error) {
+	// Sequences (java.lang.String) are backed by primitive arrays.
+	return j.readArray(&stype.Type{Kind: stype.KArray, ElemType: t.ElemType, Len: -1, Ann: t.Ann}, h, s, depth)
+}
+
+// Write materializes v in the heap, returning the slot holding it.
+func (j *J) Write(t *stype.Type, h *jheap.Heap, v value.Value) (jheap.Slot, error) {
+	return j.write(t, h, v, 0)
+}
+
+func (j *J) write(t *stype.Type, h *jheap.Heap, v value.Value, depth int) (jheap.Slot, error) {
+	if depth > maxDepth {
+		return jheap.Slot{}, fmt.Errorf("bind: value nesting exceeds %d", maxDepth)
+	}
+	switch t.Kind {
+	case stype.KPrim:
+		return j.writePrim(t, v)
+	case stype.KNamed:
+		target := t.Target
+		if target == nil {
+			target = j.u.Lookup(t.Name)
+		}
+		if target == nil {
+			return jheap.Slot{}, fmt.Errorf("bind: unresolved type %q", t.Name)
+		}
+		switch target.Type.Kind {
+		case stype.KClass, stype.KInterface:
+			return j.writeClassRef(target, t.Ann, h, v, depth)
+		default:
+			overlaid := *target.Type
+			overlaid.Ann = target.Type.Ann.Merge(t.Ann)
+			return j.write(&overlaid, h, v, depth+1)
+		}
+	case stype.KArray:
+		return j.writeArray(t, h, v, depth)
+	case stype.KSequence:
+		return j.writeArray(&stype.Type{Kind: stype.KArray, ElemType: t.ElemType, Len: -1, Ann: t.Ann}, h, v, depth)
+	default:
+		return jheap.Slot{}, fmt.Errorf("bind: cannot write Java %s", t.Kind)
+	}
+}
+
+func (j *J) writePrim(t *stype.Type, v value.Value) (jheap.Slot, error) {
+	switch t.Prim {
+	case stype.PVoid:
+		return jheap.IntSlot(0), nil
+	case stype.PF32, stype.PF64:
+		rv, ok := v.(value.Real)
+		if !ok {
+			return jheap.Slot{}, fmt.Errorf("bind: float wants real, got %T", v)
+		}
+		return jheap.FloatSlot(rv.V), nil
+	case stype.PChar16, stype.PChar8:
+		switch pv := v.(type) {
+		case value.Char:
+			return jheap.CharSlot(pv.R), nil
+		case value.Int:
+			n, err := pv.Int64()
+			if err != nil {
+				return jheap.Slot{}, err
+			}
+			return jheap.CharSlot(rune(n)), nil
+		default:
+			return jheap.Slot{}, fmt.Errorf("bind: char wants char or integer, got %T", v)
+		}
+	default:
+		switch pv := v.(type) {
+		case value.Int:
+			n, err := pv.Int64()
+			if err != nil {
+				if pv.V != nil && pv.V.IsUint64() {
+					return jheap.IntSlot(int64(pv.V.Uint64())), nil
+				}
+				return jheap.Slot{}, err
+			}
+			return jheap.IntSlot(n), nil
+		case value.Char:
+			return jheap.IntSlot(int64(pv.R)), nil
+		default:
+			return jheap.Slot{}, fmt.Errorf("bind: %s wants integer, got %T", t.Prim, v)
+		}
+	}
+}
+
+func (j *J) writeClassRef(d *stype.Decl, use stype.Ann, h *jheap.Heap, v value.Value, depth int) (jheap.Slot, error) {
+	inner := v
+	if !use.NonNull {
+		cv, ok := v.(value.Choice)
+		if !ok {
+			return jheap.Slot{}, fmt.Errorf("bind: nullable reference to %s wants choice, got %T", d.Name, v)
+		}
+		if cv.Alt == 0 {
+			return jheap.RefSlot(jheap.NullRef), nil
+		}
+		inner = cv.V
+	}
+	r, err := j.writeObject(d, use, h, inner, depth)
+	if err != nil {
+		return jheap.Slot{}, err
+	}
+	return jheap.RefSlot(r), nil
+}
+
+func (j *J) writeObject(d *stype.Decl, use stype.Ann, h *jheap.Heap, v value.Value, depth int) (jheap.Ref, error) {
+	target := d.Type
+	if use.CollectionOf != "" || lower.IsCollection(j.u, d) {
+		return j.writeCollection(d, target.Ann.Merge(use), h, v, depth)
+	}
+	if lower.ByValueOf(d, use) {
+		rec, ok := v.(value.Record)
+		if !ok {
+			return jheap.NullRef, fmt.Errorf("bind: by-value %s wants record, got %T", d.Name, v)
+		}
+		r := h.New(d.Name, len(target.Fields))
+		vi := 0
+		for i, f := range target.Fields {
+			if f.Type.Ann.Ignore {
+				continue
+			}
+			if vi >= len(rec.Fields) {
+				return jheap.NullRef, fmt.Errorf("bind: record too short for %s", d.Name)
+			}
+			slot, err := j.write(f.Type, h, rec.Fields[vi], depth+1)
+			if err != nil {
+				return jheap.NullRef, fmt.Errorf("bind: %s.%s: %w", d.Name, f.Name, err)
+			}
+			if err := h.SetField(r, i, slot); err != nil {
+				return jheap.NullRef, err
+			}
+			vi++
+		}
+		if vi != len(rec.Fields) {
+			return jheap.NullRef, fmt.Errorf("bind: record has %d extra fields for %s", len(rec.Fields)-vi, d.Name)
+		}
+		return r, nil
+	}
+	pv, ok := v.(value.Port)
+	if !ok {
+		return jheap.NullRef, fmt.Errorf("bind: by-reference %s wants port, got %T", d.Name, v)
+	}
+	return ParsePortRef(pv.Ref)
+}
+
+func (j *J) writeCollection(d *stype.Decl, ann stype.Ann, h *jheap.Heap, v value.Value, depth int) (jheap.Ref, error) {
+	elemName := lower.CollectionElement(j.u, d, ann)
+	elemDecl := j.u.Lookup(elemName)
+	if elemDecl == nil {
+		return jheap.NullRef, fmt.Errorf("bind: collection %s: unknown element type %q", d.Name, elemName)
+	}
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return jheap.NullRef, fmt.Errorf("bind: collection %s: %w", d.Name, err)
+	}
+	r := h.NewVector(d.Name)
+	elemUse := stype.Ann{NonNull: ann.ElementNonNull}
+	for i, e := range elems {
+		slot, err := j.writeClassRef(elemDecl, elemUse, h, e, depth+1)
+		if err != nil {
+			return jheap.NullRef, fmt.Errorf("bind: element %d: %w", i, err)
+		}
+		if err := h.VectorAppend(r, slot.R); err != nil {
+			return jheap.NullRef, err
+		}
+	}
+	return r, nil
+}
+
+func (j *J) writeArray(t *stype.Type, h *jheap.Heap, v value.Value, depth int) (jheap.Slot, error) {
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return jheap.Slot{}, err
+	}
+	elemIsPrim := t.ElemType.Kind == stype.KPrim
+	var r jheap.Ref
+	if elemIsPrim {
+		r = h.NewPrimArray(t.ElemType.Prim.String(), len(elems))
+	} else {
+		r = h.NewRefArray(t.ElemType.Name, len(elems))
+	}
+	for i, e := range elems {
+		slot, err := j.write(t.ElemType, h, e, depth+1)
+		if err != nil {
+			return jheap.Slot{}, fmt.Errorf("bind: array element %d: %w", i, err)
+		}
+		if elemIsPrim {
+			err = h.PrimArraySet(r, i, slot)
+		} else {
+			err = h.RefArraySet(r, i, slot.R)
+		}
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+	}
+	return jheap.RefSlot(r), nil
+}
+
+// JFunc is a registered Java method implementation operating on the heap.
+type JFunc func(h *jheap.Heap, args []jheap.Slot) (jheap.Slot, error)
+
+// Call invokes a Java method implementation through the binding: inputs
+// (a record of the method's parameters) are materialized as heap values,
+// impl runs, and the output record ([return] or empty) is read back.
+func (j *J) Call(d *stype.Decl, methodName string, impl JFunc, h *jheap.Heap, inputs value.Value) (value.Value, error) {
+	var method *stype.Method
+	for i := range d.Type.Methods {
+		if d.Type.Methods[i].Name == methodName {
+			method = &d.Type.Methods[i]
+			break
+		}
+	}
+	if method == nil {
+		return nil, fmt.Errorf("bind: %s has no method %s", d.Name, methodName)
+	}
+	inRec, ok := inputs.(value.Record)
+	if !ok {
+		return nil, fmt.Errorf("bind: inputs must be a record, got %T", inputs)
+	}
+	if len(inRec.Fields) != len(method.Params) {
+		return nil, fmt.Errorf("bind: %s.%s wants %d inputs, got %d",
+			d.Name, methodName, len(method.Params), len(inRec.Fields))
+	}
+	args := make([]jheap.Slot, len(method.Params))
+	for i, p := range method.Params {
+		slot, err := j.write(p.Type, h, inRec.Fields[i], 0)
+		if err != nil {
+			return nil, fmt.Errorf("bind: parameter %s: %w", p.Name, err)
+		}
+		args[i] = slot
+	}
+	ret, err := impl(h, args)
+	if err != nil {
+		return nil, fmt.Errorf("bind: %s.%s: %w", d.Name, methodName, err)
+	}
+	if method.Result == nil {
+		return value.Record{}, nil
+	}
+	rv, err := j.read(method.Result, h, ret, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bind: %s.%s return: %w", d.Name, methodName, err)
+	}
+	return value.Record{Fields: []value.Value{rv}}, nil
+}

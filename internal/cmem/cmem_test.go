@@ -1,0 +1,230 @@
+package cmem
+
+import (
+	"testing"
+
+	"repro/internal/cparse"
+)
+
+func TestAllocAlignmentAndZeroing(t *testing.T) {
+	a := NewArena()
+	p1 := a.Alloc(3, 1)
+	p2 := a.Alloc(4, 4)
+	if p1 == Null || p2 == Null {
+		t.Fatal("allocations returned NULL")
+	}
+	if int(p2)%4 != 0 {
+		t.Errorf("p2 = %d not 4-aligned", p2)
+	}
+	u, err := a.ReadU(p2, 4)
+	if err != nil || u != 0 {
+		t.Errorf("fresh memory = %d, %v", u, err)
+	}
+}
+
+func TestAllocZeroSizeUnique(t *testing.T) {
+	a := NewArena()
+	p1 := a.Alloc(0, 1)
+	p2 := a.Alloc(0, 1)
+	if p1 == p2 {
+		t.Error("zero-size allocations alias")
+	}
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	a := NewArena()
+	for _, size := range []int{1, 2, 4, 8} {
+		at := a.Alloc(size, size)
+		v := uint64(0xF1E2D3C4B5A69788) >> (8 * (8 - size))
+		if err := a.WriteU(at, size, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.ReadU(at, size)
+		if err != nil || got != v {
+			t.Errorf("size %d: got %x, want %x (%v)", size, got, v, err)
+		}
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	a := NewArena()
+	at := a.Alloc(1, 1)
+	if err := a.WriteU(at, 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.ReadI(at, 1)
+	if err != nil || n != -1 {
+		t.Errorf("ReadI = %d, %v, want -1", n, err)
+	}
+}
+
+func TestFloatRoundTrips(t *testing.T) {
+	a := NewArena()
+	at := a.Alloc(8, 8)
+	if err := a.WriteF32(at, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.ReadF32(at)
+	if err != nil || f != 3.5 {
+		t.Errorf("f32 = %v, %v", f, err)
+	}
+	if err := a.WriteF64(at, -2.25); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.ReadF64(at)
+	if err != nil || d != -2.25 {
+		t.Errorf("f64 = %v, %v", d, err)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	a := NewArena()
+	slot := a.Alloc(4, 4)
+	target := a.Alloc(4, 4)
+	if err := a.WritePtr(slot, ILP32, target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ReadPtr(slot, ILP32)
+	if err != nil || got != target {
+		t.Errorf("ptr = %d, %v, want %d", got, err, target)
+	}
+}
+
+func TestNullAndBoundsChecks(t *testing.T) {
+	a := NewArena()
+	if _, err := a.ReadU(Null, 4); err == nil {
+		t.Error("NULL read accepted")
+	}
+	if err := a.WriteU(Addr(1<<20), 4, 0); err == nil {
+		t.Error("out-of-bounds write accepted")
+	}
+	if _, err := a.ReadU(a.Alloc(4, 4), 3); err == nil {
+		t.Error("invalid scalar size accepted")
+	}
+}
+
+func layoutsFor(t *testing.T, src string, m Model) *Layouts {
+	t.Helper()
+	u, err := cparse.Parse("t.h", src, cparse.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLayouts(u, m)
+}
+
+func TestPrimLayouts(t *testing.T) {
+	l := layoutsFor(t, `
+		struct S { char c; int i; short s; double d; float f; };
+	`, ILP32)
+	u := l.u.Lookup("S")
+	lay, err := l.Of(u.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c@0, i@4, s@8, d@16 (8-aligned), f@24 → size 32, align 8.
+	want := []int{0, 4, 8, 16, 24}
+	for i, w := range want {
+		if lay.Offsets[i] != w {
+			t.Errorf("offset[%d] = %d, want %d", i, lay.Offsets[i], w)
+		}
+	}
+	if lay.Size != 32 || lay.Align != 8 {
+		t.Errorf("size/align = %d/%d, want 32/8", lay.Size, lay.Align)
+	}
+}
+
+func TestPointerSizeByModel(t *testing.T) {
+	for _, c := range []struct {
+		m    Model
+		want int
+	}{{ILP32, 4}, {LP64, 8}} {
+		l := layoutsFor(t, `struct P { char c; int *p; };`, c.m)
+		lay, err := l.Of(l.u.Lookup("P").Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lay.Offsets[1] != c.want {
+			t.Errorf("model %d: pointer offset = %d, want %d", c.m, lay.Offsets[1], c.want)
+		}
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	l := layoutsFor(t, `union U { char c; double d; short s; };`, ILP32)
+	lay, err := l.Of(l.u.Lookup("U").Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Size != 8 || lay.Align != 8 {
+		t.Errorf("union size/align = %d/%d, want 8/8", lay.Size, lay.Align)
+	}
+	for i, off := range lay.Offsets {
+		if off != 0 {
+			t.Errorf("union member %d at offset %d", i, off)
+		}
+	}
+}
+
+func TestArrayLayout(t *testing.T) {
+	l := layoutsFor(t, `typedef float point[2]; struct Seg { point a; point b; };`, ILP32)
+	lay, err := l.Of(l.u.Lookup("Seg").Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Size != 16 || lay.Offsets[1] != 8 {
+		t.Errorf("Seg layout = %+v", lay)
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	l := layoutsFor(t, `
+		struct Inner { char c; double d; };
+		struct Outer { char pad; struct Inner in; };
+	`, ILP32)
+	lay, err := l.Of(l.u.Lookup("Outer").Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner has align 8 and size 16; Outer: pad@0, in@8 → size 24.
+	if lay.Offsets[1] != 8 || lay.Size != 24 {
+		t.Errorf("Outer layout = %+v", lay)
+	}
+}
+
+func TestEnumLayout(t *testing.T) {
+	l := layoutsFor(t, `enum E { A, B }; struct S { enum E e; };`, ILP32)
+	lay, err := l.Of(l.u.Lookup("S").Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Size != 4 {
+		t.Errorf("enum struct size = %d", lay.Size)
+	}
+}
+
+func TestIndefiniteArrayHasNoLayout(t *testing.T) {
+	l := layoutsFor(t, `void f(float xs[]);`, ILP32)
+	fn := l.u.Lookup("f").Type
+	if _, err := l.Of(fn.Params[0].Type); err == nil {
+		t.Error("indefinite array layout computed")
+	}
+}
+
+func TestSelfContainingStructRejected(t *testing.T) {
+	l := layoutsFor(t, `struct Node { int v; struct Node *next; };`, ILP32)
+	// Through a pointer is fine.
+	if _, err := l.Of(l.u.Lookup("Node").Type); err != nil {
+		t.Errorf("linked node layout failed: %v", err)
+	}
+}
+
+func TestEmptyStructSize(t *testing.T) {
+	l := layoutsFor(t, `struct E {};`, ILP32)
+	lay, err := l.Of(l.u.Lookup("E").Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Size != 1 {
+		t.Errorf("empty struct size = %d, want 1", lay.Size)
+	}
+}

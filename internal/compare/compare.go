@@ -1,0 +1,742 @@
+// Package compare implements the Mockingbird Comparer (§4): deciding
+// equivalence and subtyping of possibly cyclic Mtype graphs, extended with
+// isomorphism rules that make matching flexible:
+//
+//   - associativity: records nested directly inside records flatten, so
+//     Record(Record(R,R), Record(R,R)) matches Record(R,R,R,R);
+//   - commutativity: Record and Choice children match as multisets, so
+//     Record(Integer, Record(Real, Character)) matches
+//     Record(Character, Real, Integer) — the paper's own example;
+//   - unit elimination: Unit is the identity of Record, so void-like
+//     members never block a match.
+//
+// The core algorithm is coinductive equivalence in the style of Amadio &
+// Cardelli [TOPLAS'93]: a pair of types assumed equal when re-encountered
+// on the current proof path is equal (greatest fixpoint), which handles
+// the cyclic graphs produced by recursive declarations. Failures are
+// cached globally (assumptions only ever help, so a failure under
+// assumptions is a real failure); successes are cached only when their
+// proof used no coinductive assumption, or when the assumptions they used
+// were discharged by an enclosing successful proof.
+//
+// Alongside the boolean answer the comparer records a Decision for every
+// matched pair — which flattened record leaf maps to which, which choice
+// alternative to which — forming the structural correspondence that the
+// coercion planner consumes (§4: "it saves information about structural
+// correspondences between the Mtypes for use by the Stub Generator").
+package compare
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/mtype"
+)
+
+// Rules selects the isomorphism rules in force. The zero value disables
+// everything except plain structural recursion; use DefaultRules for the
+// full Mockingbird rule set. Individual rules exist so the ablation
+// benchmarks can measure what each contributes.
+type Rules struct {
+	// Associativity flattens records nested directly inside records.
+	Associativity bool
+	// Commutativity matches record and choice children as multisets.
+	Commutativity bool
+	// UnitElimination treats Unit as the identity of Record.
+	UnitElimination bool
+	// Cache memoizes verdicts across Compare calls.
+	Cache bool
+}
+
+// DefaultRules returns the full rule set used by the tool.
+func DefaultRules() Rules {
+	return Rules{Associativity: true, Commutativity: true, UnitElimination: true, Cache: true}
+}
+
+// Mode distinguishes the two relations the Comparer decides.
+type Mode uint8
+
+// Comparison modes.
+const (
+	// ModeEqual decides two-way interconvertibility.
+	ModeEqual Mode = iota + 1
+	// ModeSubtype decides one-way convertibility from left to right.
+	ModeSubtype
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeEqual {
+		return "equal"
+	}
+	return "subtype"
+}
+
+// DecisionKind classifies a recorded correspondence.
+type DecisionKind uint8
+
+// Decision kinds.
+const (
+	// DecSame marks a pair of identical nodes (identity conversion).
+	DecSame DecisionKind = iota + 1
+	// DecPrim marks matched primitive Mtypes.
+	DecPrim
+	// DecRecord marks matched record-like pairs with a leaf permutation.
+	DecRecord
+	// DecChoice marks matched choices with an alternative mapping.
+	DecChoice
+	// DecPort marks matched ports.
+	DecPort
+	// DecInject marks a subtype match of a non-choice into one
+	// alternative of a choice (e.g. τ <: Choice(Unit, τ), the
+	// value-where-nullable-expected rule).
+	DecInject
+	// DecSemantic marks a pair accepted because the programmer registered
+	// a hand-written conversion between the two declarations — §6's
+	// "composing these programmer-supplied conversions with Mockingbird's
+	// structural ones" (e.g. a slope/intercept line vs. a two-points
+	// line, which no structural rule can relate).
+	DecSemantic
+)
+
+// FlatLeaf is one leaf of a flattened record: the index path from the
+// record node (through nested records) and the leaf node itself.
+type FlatLeaf struct {
+	Path []int
+	Node *mtype.Type
+	// Unit records that the leaf unfolds to Unit and was eliminated from
+	// matching.
+	Unit bool
+}
+
+// Decision is the recorded correspondence for one matched pair of nodes.
+// The planner and converter navigate values with it.
+type Decision struct {
+	Kind DecisionKind
+	A, B *mtype.Type
+
+	// DecRecord: the flattened leaves of each side and the permutation.
+	// Perm[i] is the FlatB index matched by non-unit FlatA leaf i, and -1
+	// for unit leaves.
+	FlatA, FlatB []FlatLeaf
+	Perm         []int
+
+	// DecChoice: AltMap[i] is the B alternative matched by A alternative
+	// i. DecInject: AltMap[0] is the B alternative A injects into.
+	AltMap []int
+
+	// DecSemantic: the registered hook name.
+	Hook string
+}
+
+type pairKey struct {
+	a, b *mtype.Type
+	mode Mode
+}
+
+// Comparer decides Mtype relations and accumulates correspondence
+// decisions. It is not safe for concurrent use.
+type Comparer struct {
+	rules     Rules
+	proven    map[pairKey]bool
+	failed    map[pairKey]bool
+	reasons   map[pairKey]string
+	decisions map[pairKey]*Decision
+	// semantic maps tag pairs to hook names: pairs of nodes carrying
+	// these tags match by fiat, converted by the named programmer hook.
+	semantic map[[2]string]string
+	// semanticTags holds every tag that appears in a registration:
+	// flattening must not dissolve such records, or the pair would never
+	// be compared as a unit.
+	semanticTags map[string]bool
+
+	// Per-call state.
+	assume map[pairKey]bool
+	// pending maps an assumption key to the set of keys whose proofs used
+	// it; discharged on successful pop.
+	steps int
+}
+
+// NewComparer returns a Comparer with the given rules.
+func NewComparer(rules Rules) *Comparer {
+	return &Comparer{
+		rules:        rules,
+		proven:       make(map[pairKey]bool),
+		failed:       make(map[pairKey]bool),
+		reasons:      make(map[pairKey]string),
+		decisions:    make(map[pairKey]*Decision),
+		semantic:     make(map[[2]string]string),
+		semanticTags: make(map[string]bool),
+	}
+}
+
+// RegisterSemantic declares that values of declarations tagged tagA
+// convert to values tagged tagB through the named programmer-supplied
+// hook (§6). The pair matches regardless of structure; execution engines
+// receive the hook name and must have a function registered under it.
+func (c *Comparer) RegisterSemantic(tagA, tagB, hook string) {
+	c.semantic[[2]string{tagA, tagB}] = hook
+	c.semanticTags[tagA] = true
+	c.semanticTags[tagB] = true
+}
+
+// Steps returns the number of pair comparisons performed so far; the
+// scalability benchmarks report it.
+func (c *Comparer) Steps() int { return c.steps }
+
+// Match is a successful comparison: the relation that holds and access to
+// the decisions that witness it.
+type Match struct {
+	A, B *mtype.Type
+	Mode Mode
+	c    *Comparer
+}
+
+// Decision returns the recorded correspondence for a node pair reached
+// during conversion. The pair must have been matched (directly or as a
+// descendant of the matched roots).
+func (m *Match) Decision(a, b *mtype.Type) (*Decision, error) {
+	ua, ub := unfold(a), unfold(b)
+	if d, ok := m.c.decisions[pairKey{ua, ub, m.Mode}]; ok {
+		return d, nil
+	}
+	// Subtype conversions recurse through port elements contravariantly,
+	// flipping back to the covariant pair; equal-mode decisions also
+	// satisfy subtype queries.
+	if m.Mode == ModeSubtype {
+		if d, ok := m.c.decisions[pairKey{ua, ub, ModeEqual}]; ok {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("compare: no decision recorded for %s ~ %s", ua.Kind(), ub.Kind())
+}
+
+// Equivalent decides two-way interconvertibility of a and b.
+func (c *Comparer) Equivalent(a, b *mtype.Type) (*Match, bool) {
+	return c.run(a, b, ModeEqual)
+}
+
+// Subtype decides whether a is a subtype of b (one-way convertible a→b).
+func (c *Comparer) Subtype(a, b *mtype.Type) (*Match, bool) {
+	return c.run(a, b, ModeSubtype)
+}
+
+func (c *Comparer) run(a, b *mtype.Type, mode Mode) (*Match, bool) {
+	c.assume = make(map[pairKey]bool)
+	ok, _ := c.compare(a, b, mode)
+	c.assume = nil
+	if !ok {
+		return nil, false
+	}
+	return &Match{A: a, B: b, Mode: mode, c: c}, true
+}
+
+// FailureReason returns a human-readable explanation of why the pair does
+// not match, for the diagnostics the paper calls for in §6. It returns ""
+// if no failure involving the pair was recorded.
+func (c *Comparer) FailureReason(a, b *mtype.Type, mode Mode) string {
+	return c.reasons[pairKey{unfold(a), unfold(b), mode}]
+}
+
+// unfold resolves chains of μ nodes to the underlying structural node.
+func unfold(t *mtype.Type) *mtype.Type {
+	for t != nil && t.Kind() == mtype.KindRecursive {
+		t = t.Body()
+	}
+	return t
+}
+
+// compare is the coinductive core. It returns whether the relation holds
+// and whether the proof was self-contained (used no coinductive
+// assumption), which controls caching.
+func (c *Comparer) compare(a, b *mtype.Type, mode Mode) (ok, selfContained bool) {
+	c.steps++
+	ua, ub := unfold(a), unfold(b)
+	if ua == nil || ub == nil {
+		return false, true
+	}
+	key := pairKey{ua, ub, mode}
+	if ua == ub {
+		c.decisions[key] = &Decision{Kind: DecSame, A: ua, B: ub}
+		return true, true
+	}
+	if c.rules.Cache {
+		if c.proven[key] {
+			return true, true
+		}
+		if c.failed[key] {
+			return false, true
+		}
+	}
+	// Programmer-registered semantic conversions match by fiat (§6). The
+	// hook is directional: a two-way stub needs both directions
+	// registered.
+	if ua.Tag() != "" && ub.Tag() != "" {
+		if hook, ok := c.semantic[[2]string{ua.Tag(), ub.Tag()}]; ok {
+			c.decisions[key] = &Decision{Kind: DecSemantic, A: ua, B: ub, Hook: hook}
+			if c.rules.Cache {
+				c.proven[key] = true
+			}
+			return true, true
+		}
+	}
+	if c.assume[key] {
+		// Coinductive hypothesis: the pair is on the current proof path.
+		return true, false
+	}
+	c.assume[key] = true
+	ok, self := c.structural(ua, ub, mode, key)
+	if !ok && mode == ModeSubtype && ub.Kind() == mtype.KindChoice && ua.Kind() != mtype.KindChoice {
+		// Injection: a non-choice is a subtype of a choice when it is a
+		// subtype of one of its alternatives (a definite value can be
+		// used where alternatives — e.g. null — are allowed).
+		for j, alt := range ub.Alts() {
+			okJ, selfJ := c.compare(ua, alt.Type, ModeSubtype)
+			if okJ {
+				c.decisions[key] = &Decision{Kind: DecInject, A: ua, B: ub, AltMap: []int{j}}
+				ok, self = true, selfJ
+				break
+			}
+		}
+	}
+	delete(c.assume, key)
+	if !ok {
+		if c.rules.Cache {
+			c.failed[key] = true
+		}
+		return false, true
+	}
+	// A proof that used only this pair's own assumption is discharged by
+	// completing: the pair set forms a bisimulation-up-to. Proofs that
+	// used *other* path assumptions remain conditional; they are not
+	// cached but their decisions stand (they are re-derived consistently
+	// because the graph is deterministic).
+	if self && c.rules.Cache {
+		c.proven[key] = true
+	}
+	return true, self
+}
+
+// structural dispatches on the unfolded node kinds.
+func (c *Comparer) structural(a, b *mtype.Type, mode Mode, key pairKey) (ok, selfContained bool) {
+	ak, bk := a.Kind(), b.Kind()
+
+	// Primitive pairs.
+	switch {
+	case ak == mtype.KindInteger && bk == mtype.KindInteger:
+		return c.integer(a, b, mode, key), true
+	case ak == mtype.KindCharacter && bk == mtype.KindCharacter:
+		return c.character(a, b, mode, key), true
+	case ak == mtype.KindReal && bk == mtype.KindReal:
+		return c.real(a, b, mode, key), true
+	}
+
+	// Record-like matching (also covers Unit-vs-empty-record).
+	if ak == mtype.KindRecord || bk == mtype.KindRecord ||
+		(ak == mtype.KindUnit && bk == mtype.KindUnit) {
+		return c.recordMatch(a, b, mode, key)
+	}
+
+	switch {
+	case ak == mtype.KindChoice && bk == mtype.KindChoice:
+		return c.choiceMatch(a, b, mode, key)
+	case ak == mtype.KindPort && bk == mtype.KindPort:
+		var okE, selfE bool
+		if mode == ModeSubtype {
+			// port(τ) <: port(σ) iff σ <: τ: a port that accepts τ can be
+			// used where a port accepting the more specific σ is expected.
+			okE, selfE = c.compare(b.Elem(), a.Elem(), ModeSubtype)
+		} else {
+			okE, selfE = c.compare(a.Elem(), b.Elem(), ModeEqual)
+		}
+		if !okE {
+			c.fail(key, "port elements differ")
+			return false, selfE
+		}
+		c.decisions[key] = &Decision{Kind: DecPort, A: a, B: b}
+		return true, selfE
+	default:
+		c.fail(key, fmt.Sprintf("kinds differ: %s vs %s", ak, bk))
+		return false, true
+	}
+}
+
+func (c *Comparer) integer(a, b *mtype.Type, mode Mode, key pairKey) bool {
+	alo, ahi := a.IntegerRange()
+	blo, bhi := b.IntegerRange()
+	okRange := alo.Cmp(blo) == 0 && ahi.Cmp(bhi) == 0
+	if mode == ModeSubtype {
+		okRange = alo.Cmp(blo) >= 0 && ahi.Cmp(bhi) <= 0
+	}
+	if !okRange {
+		c.fail(key, fmt.Sprintf("integer ranges: [%s..%s] vs [%s..%s]", alo, ahi, blo, bhi))
+		return false
+	}
+	c.decisions[key] = &Decision{Kind: DecPrim, A: a, B: b}
+	return true
+}
+
+func (c *Comparer) character(a, b *mtype.Type, mode Mode, key pairKey) bool {
+	ra, rb := a.Repertoire(), b.Repertoire()
+	ok := ra == rb
+	if mode == ModeSubtype {
+		ok = rb.Includes(ra)
+	}
+	if !ok {
+		c.fail(key, fmt.Sprintf("character repertoires: %s vs %s", ra, rb))
+		return false
+	}
+	c.decisions[key] = &Decision{Kind: DecPrim, A: a, B: b}
+	return true
+}
+
+func (c *Comparer) real(a, b *mtype.Type, mode Mode, key pairKey) bool {
+	pa, ea := a.RealParams()
+	pb, eb := b.RealParams()
+	ok := pa == pb && ea == eb
+	if mode == ModeSubtype {
+		ok = pa <= pb && ea <= eb
+	}
+	if !ok {
+		c.fail(key, fmt.Sprintf("real precision: (%d,%d) vs (%d,%d)", pa, ea, pb, eb))
+		return false
+	}
+	c.decisions[key] = &Decision{Kind: DecPrim, A: a, B: b}
+	return true
+}
+
+// flattenBudget bounds the number of leaves associative flattening may
+// produce for one record. By-value object graphs with heavy sharing
+// denote trees whose fully flattened width is exponential in their DAG
+// depth; rather than hang, the comparer fails such pairs with a clear
+// reason. (The paper reports the scalability of the algorithms as an
+// ongoing investigation, §5 — this is the corresponding engineering
+// bound.)
+const flattenBudget = 1 << 12
+
+// errFlattenBudget signals that flattening exceeded the budget.
+var errFlattenBudget = errors.New("flattening budget exceeded")
+
+// flatten returns the record leaves of t. With associativity, records
+// nested directly inside records are expanded (never through a μ node);
+// with unit elimination, leaves that unfold to Unit are kept but marked.
+// A non-record node is a single leaf of itself.
+func (c *Comparer) flatten(t *mtype.Type) ([]FlatLeaf, error) {
+	var out []FlatLeaf
+	var walk func(n *mtype.Type, path []int, depth int) error
+	walk = func(n *mtype.Type, path []int, depth int) error {
+		if len(out) >= flattenBudget {
+			return errFlattenBudget
+		}
+		un := unfold(n)
+		semanticLeaf := un != nil && un.Tag() != "" && c.semanticTags[un.Tag()] && depth > 0
+		if un != nil && un.Kind() == mtype.KindRecord && (depth == 0 || c.rules.Associativity) && !semanticLeaf {
+			for i, f := range un.Fields() {
+				if err := walk(f.Type, append(append([]int(nil), path...), i), depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		leaf := FlatLeaf{Path: append([]int(nil), path...), Node: n}
+		if c.rules.UnitElimination && un != nil && un.Kind() == mtype.KindUnit {
+			leaf.Unit = true
+		}
+		out = append(out, leaf)
+		return nil
+	}
+	if err := walk(t, nil, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recordMatch matches two record-like nodes by flattening both sides and
+// finding a permutation of non-unit leaves.
+func (c *Comparer) recordMatch(a, b *mtype.Type, mode Mode, key pairKey) (bool, bool) {
+	flatA, errA := c.flatten(a)
+	flatB, errB := c.flatten(b)
+	if errA != nil || errB != nil {
+		c.fail(key, "record too wide to flatten (budget exceeded); restructure or pass large aggregates by reference")
+		return false, true
+	}
+
+	// Indices of leaves that participate in matching.
+	var liveA, liveB []int
+	for i, l := range flatA {
+		if !l.Unit {
+			liveA = append(liveA, i)
+		}
+	}
+	for i, l := range flatB {
+		if !l.Unit {
+			liveB = append(liveB, i)
+		}
+	}
+	if len(liveA) != len(liveB) {
+		c.fail(key, fmt.Sprintf("record leaf counts differ: %d vs %d", len(liveA), len(liveB)))
+		return false, true
+	}
+
+	perm := make([]int, len(flatA))
+	for i := range perm {
+		perm[i] = -1
+	}
+	self := true
+
+	if !c.rules.Commutativity {
+		// Order-preserving matching.
+		for k, ia := range liveA {
+			ib := liveB[k]
+			ok, s := c.compare(flatA[ia].Node, flatB[ib].Node, mode)
+			self = self && s
+			if !ok {
+				c.fail(key, fmt.Sprintf("record leaf %d does not match leaf %d", ia, ib))
+				return false, self
+			}
+			perm[ia] = ib
+		}
+	} else {
+		aNodes := make([]*mtype.Type, len(liveA))
+		for k, ia := range liveA {
+			aNodes[k] = flatA[ia].Node
+		}
+		bNodes := make([]*mtype.Type, len(liveB))
+		for k, ib := range liveB {
+			bNodes[k] = flatB[ib].Node
+		}
+		assignment, ok, s := c.matchMultiset(aNodes, bNodes, mode)
+		self = self && s
+		if !ok {
+			c.fail(key, "no permutation of record leaves matches")
+			return false, self
+		}
+		for k, ia := range liveA {
+			perm[ia] = liveB[assignment[k]]
+		}
+	}
+
+	c.decisions[key] = &Decision{
+		Kind: DecRecord, A: a, B: b,
+		FlatA: flatA, FlatB: flatB, Perm: perm,
+	}
+	return true, self
+}
+
+// choiceMatch matches two choices alternative-by-alternative: a bijection
+// for equality, an injection into b for subtyping (a choice with fewer
+// alternatives can be used where one with more is expected).
+func (c *Comparer) choiceMatch(a, b *mtype.Type, mode Mode, key pairKey) (bool, bool) {
+	altsA, altsB := a.Alts(), b.Alts()
+	if mode == ModeEqual && len(altsA) != len(altsB) {
+		c.fail(key, fmt.Sprintf("choice alternative counts differ: %d vs %d", len(altsA), len(altsB)))
+		return false, true
+	}
+	if mode == ModeSubtype && len(altsA) > len(altsB) {
+		c.fail(key, fmt.Sprintf("choice has more alternatives: %d vs %d", len(altsA), len(altsB)))
+		return false, true
+	}
+
+	altMap := make([]int, len(altsA))
+	for i := range altMap {
+		altMap[i] = -1
+	}
+	self := true
+
+	if !c.rules.Commutativity {
+		for i := range altsA {
+			ok, s := c.compare(altsA[i].Type, altsB[i].Type, mode)
+			self = self && s
+			if !ok {
+				c.fail(key, fmt.Sprintf("choice alternative %d does not match", i))
+				return false, self
+			}
+			altMap[i] = i
+		}
+	} else {
+		aNodes := make([]*mtype.Type, len(altsA))
+		for i := range altsA {
+			aNodes[i] = altsA[i].Type
+		}
+		bNodes := make([]*mtype.Type, len(altsB))
+		for j := range altsB {
+			bNodes[j] = altsB[j].Type
+		}
+		assignment, ok, s := c.matchMultiset(aNodes, bNodes, mode)
+		self = self && s
+		if !ok {
+			c.fail(key, "no mapping of choice alternatives matches")
+			return false, self
+		}
+		copy(altMap, assignment)
+	}
+
+	c.decisions[key] = &Decision{Kind: DecChoice, A: a, B: b, AltMap: altMap}
+	return true, self
+}
+
+// matchMultiset matches every item of a to a distinct item of b under the
+// relation of mode, returning the assignment (a index → b index). It is
+// polynomial: equivalence matching partitions both sides into classes
+// (Mtype equivalence is transitive) and pairs class members; subtype
+// matching runs Kuhn's augmenting-path bipartite matching. The naive
+// factorial backtracking this replaces blows up on the wide records of
+// real interface suites (many leaves of the same primitive type).
+func (c *Comparer) matchMultiset(a, b []*mtype.Type, mode Mode) (assignment []int, ok, selfContained bool) {
+	self := true
+	if mode == ModeEqual {
+		// Partition b into equivalence classes by comparing against class
+		// representatives.
+		var classRep []int
+		var classMembers [][]int
+		for j, bn := range b {
+			placed := false
+			for ci, rep := range classRep {
+				okC, s := c.compare(b[rep], bn, ModeEqual)
+				self = self && s
+				if okC {
+					classMembers[ci] = append(classMembers[ci], j)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				classRep = append(classRep, j)
+				classMembers = append(classMembers, []int{j})
+			}
+		}
+		next := make([]int, len(classRep))
+		out := make([]int, len(a))
+		for i, an := range a {
+			found := -1
+			for ci, rep := range classRep {
+				okC, s := c.compare(an, b[rep], ModeEqual)
+				self = self && s
+				if okC {
+					found = ci
+					break
+				}
+			}
+			if found < 0 || next[found] >= len(classMembers[found]) {
+				return nil, false, self
+			}
+			member := classMembers[found][next[found]]
+			next[found]++
+			// Compare against the assigned member itself so the decision
+			// for this exact pair is recorded for the planner; by
+			// transitivity it must succeed.
+			okM, s := c.compare(an, b[member], ModeEqual)
+			self = self && s
+			if !okM {
+				return nil, false, self
+			}
+			out[i] = member
+		}
+		return out, true, self
+	}
+
+	// Subtype: Kuhn's augmenting-path maximum bipartite matching over the
+	// a[i] <: b[j] edges, seeded with an order-preserving greedy pass so
+	// that identically-ordered sides pair position-by-position instead of
+	// in some arbitrary crossing.
+	matchB := make([]int, len(b))
+	for j := range matchB {
+		matchB[j] = -1
+	}
+	assignedA := make([]bool, len(a))
+	for k := range a {
+		if k >= len(b) {
+			break
+		}
+		okC, s := c.compare(a[k], b[k], ModeSubtype)
+		self = self && s
+		if okC {
+			matchB[k] = k
+			assignedA[k] = true
+		}
+	}
+	var try func(i int, visited []bool) bool
+	try = func(i int, visited []bool) bool {
+		for j := range b {
+			if visited[j] {
+				continue
+			}
+			okC, s := c.compare(a[i], b[j], ModeSubtype)
+			self = self && s
+			if !okC {
+				continue
+			}
+			visited[j] = true
+			if matchB[j] < 0 || try(matchB[j], visited) {
+				matchB[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range a {
+		if assignedA[i] {
+			continue
+		}
+		visited := make([]bool, len(b))
+		if !try(i, visited) {
+			return nil, false, self
+		}
+	}
+	out := make([]int, len(a))
+	for j, i := range matchB {
+		if i >= 0 {
+			out[i] = j
+		}
+	}
+	return out, true, self
+}
+
+func (c *Comparer) fail(key pairKey, reason string) {
+	if _, dup := c.reasons[key]; !dup {
+		c.reasons[key] = reason
+	}
+}
+
+// Explain renders a failure diagnosis for a root pair: the recorded
+// reasons reachable from the pair, indented by depth. It supports the
+// mismatch-isolation workflow of §6.
+func (c *Comparer) Explain(a, b *mtype.Type, mode Mode) string {
+	var sb strings.Builder
+	seen := make(map[pairKey]bool)
+	var walk func(x, y *mtype.Type, depth int)
+	walk = func(x, y *mtype.Type, depth int) {
+		ux, uy := unfold(x), unfold(y)
+		key := pairKey{ux, uy, mode}
+		if seen[key] || depth > 16 {
+			return
+		}
+		seen[key] = true
+		if r, ok := c.reasons[key]; ok {
+			fmt.Fprintf(&sb, "%s%s ~ %s: %s\n", strings.Repeat("  ", depth), describe(ux), describe(uy), r)
+		}
+		for _, cx := range ux.Children() {
+			for _, cy := range uy.Children() {
+				if c.reasons[pairKey{unfold(cx), unfold(cy), mode}] != "" {
+					walk(cx, cy, depth+1)
+				}
+			}
+		}
+	}
+	walk(a, b, 0)
+	if sb.Len() == 0 {
+		return "no mismatch recorded"
+	}
+	return sb.String()
+}
+
+func describe(t *mtype.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	if tag := t.Tag(); tag != "" {
+		return tag
+	}
+	return t.Kind().String()
+}

@@ -1,0 +1,430 @@
+package convert
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// mustPlan compares a and b and builds the plan, failing the test on any
+// error.
+func mustPlan(t *testing.T, a, b *mtype.Type, mode compare.Mode) *plan.Plan {
+	t.Helper()
+	c := compare.NewComparer(compare.DefaultRules())
+	var m *compare.Match
+	var ok bool
+	if mode == compare.ModeEqual {
+		m, ok = c.Equivalent(a, b)
+	} else {
+		m, ok = c.Subtype(a, b)
+	}
+	if !ok {
+		t.Fatalf("types do not match:\n%s", c.Explain(a, b, mode))
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// engines returns both converters for a plan.
+func engines(t *testing.T, p *plan.Plan) []Converter {
+	t.Helper()
+	compiledConv, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Converter{NewInterpreter(p), compiledConv}
+}
+
+func f32() *mtype.Type { return mtype.NewFloat32() }
+
+func TestPrimitivePassThrough(t *testing.T) {
+	p := mustPlan(t, f32(), f32(), compare.ModeEqual)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.Real{V: 2.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, value.Real{V: 2.5}) {
+			t.Errorf("got %s", got)
+		}
+	}
+}
+
+// TestLineToFourFloats is the associativity conversion: a Line of two
+// Points flattens into a four-float record.
+func TestLineToFourFloats(t *testing.T) {
+	point := mtype.RecordOf(f32(), f32())
+	line := mtype.RecordOf(point, point)
+	four := mtype.RecordOf(f32(), f32(), f32(), f32())
+	p := mustPlan(t, line, four, compare.ModeEqual)
+
+	in := value.NewRecord(
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	)
+	want := value.NewRecord(value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3}, value.Real{V: 4})
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestFourFloatsToLine(t *testing.T) {
+	point := mtype.RecordOf(f32(), f32())
+	line := mtype.RecordOf(point, point)
+	four := mtype.RecordOf(f32(), f32(), f32(), f32())
+	p := mustPlan(t, four, line, compare.ModeEqual)
+
+	in := value.NewRecord(value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3}, value.Real{V: 4})
+	want := value.NewRecord(
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestCommutativePermutation(t *testing.T) {
+	i16 := mtype.NewIntegerBits(16, true)
+	chr := mtype.NewCharacter(mtype.RepLatin1)
+	a := mtype.RecordOf(i16, mtype.RecordOf(f32(), chr))
+	b := mtype.RecordOf(chr, f32(), i16)
+	p := mustPlan(t, a, b, compare.ModeEqual)
+
+	in := value.NewRecord(value.NewInt(7), value.NewRecord(value.Real{V: 1.5}, value.Char{R: 'x'}))
+	want := value.NewRecord(value.Char{R: 'x'}, value.Real{V: 1.5}, value.NewInt(7))
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestUnitFieldsSynthesized(t *testing.T) {
+	a := mtype.RecordOf(f32())
+	b := mtype.RecordOf(mtype.Unit(), f32(), mtype.Unit())
+	p := mustPlan(t, a, b, compare.ModeEqual)
+	in := value.NewRecord(value.Real{V: 9})
+	want := value.NewRecord(value.Unit{}, value.Real{V: 9}, value.Unit{})
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestSingletonRecordCollapse(t *testing.T) {
+	a := mtype.RecordOf(f32())
+	p := mustPlan(t, a, f32(), compare.ModeEqual)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.NewRecord(value.Real{V: 4}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, value.Real{V: 4}) {
+			t.Errorf("got %s", got)
+		}
+	}
+	// And the reverse: a bare float into a one-field record.
+	p2 := mustPlan(t, f32(), a, compare.ModeEqual)
+	for _, conv := range engines(t, p2) {
+		got, err := conv.Convert(value.Real{V: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, value.NewRecord(value.Real{V: 4})) {
+			t.Errorf("got %s", got)
+		}
+	}
+}
+
+func TestChoiceRemapping(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	a := mtype.ChoiceOf(i8, f32())
+	b := mtype.ChoiceOf(f32(), i8)
+	p := mustPlan(t, a, b, compare.ModeEqual)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.Choice{Alt: 0, V: value.NewInt(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := value.Choice{Alt: 1, V: value.NewInt(5)}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestListConversion(t *testing.T) {
+	a := mtype.NewList(mtype.RecordOf(f32(), f32()))
+	b := mtype.NewList(mtype.RecordOf(f32(), f32()))
+	p := mustPlan(t, a, b, compare.ModeEqual)
+	elems := []value.Value{
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+		value.NewRecord(value.Real{V: 5}, value.Real{V: 6}),
+	}
+	in := value.FromSlice(elems)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, in) {
+			t.Errorf("list conversion changed the value: %s", got)
+		}
+	}
+}
+
+func TestListElementRegrouping(t *testing.T) {
+	// List of Points (records) to list of flattened 2-float records with
+	// swapped leaf order is still a permutation conversion per element.
+	point := mtype.RecordOf(f32(), mtype.NewIntegerBits(16, true))
+	flipped := mtype.RecordOf(mtype.NewIntegerBits(16, true), f32())
+	p := mustPlan(t, mtype.NewList(point), mtype.NewList(flipped), compare.ModeEqual)
+	in := value.FromSlice([]value.Value{
+		value.NewRecord(value.Real{V: 1.5}, value.NewInt(2)),
+	})
+	want := value.FromSlice([]value.Value{
+		value.NewRecord(value.NewInt(2), value.Real{V: 1.5}),
+	})
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+}
+
+func TestSubtypeWidening(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	i32 := mtype.NewIntegerBits(32, true)
+	p := mustPlan(t, i8, i32, compare.ModeSubtype)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.NewInt(-100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, value.NewInt(-100)) {
+			t.Errorf("got %s", got)
+		}
+	}
+}
+
+func TestSubtypeInjection(t *testing.T) {
+	point := mtype.RecordOf(f32(), f32())
+	opt := mtype.NewOptional(mtype.RecordOf(f32(), f32()))
+	p := mustPlan(t, point, opt, compare.ModeSubtype)
+	in := value.NewRecord(value.Real{V: 1}, value.Real{V: 2})
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, ok := got.(value.Choice)
+		if !ok || cv.Alt != 1 {
+			t.Fatalf("got %s, want non-null choice", got)
+		}
+		if !value.Equal(cv.V, in) {
+			t.Errorf("payload = %s", cv.V)
+		}
+	}
+}
+
+func TestSubtypeChoiceWidening(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	narrow := mtype.ChoiceOf(i8, f32())
+	wide := mtype.ChoiceOf(mtype.NewCharacter(mtype.RepLatin1), f32(), i8)
+	p := mustPlan(t, narrow, wide, compare.ModeSubtype)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.Choice{Alt: 1, V: value.Real{V: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv := got.(value.Choice)
+		if cv.Alt != 1 {
+			t.Errorf("alt = %d, want 1 (the float alternative)", cv.Alt)
+		}
+	}
+}
+
+func TestPortPassThrough(t *testing.T) {
+	a := mtype.NewPort(f32())
+	p := mustPlan(t, a, mtype.NewPort(f32()), compare.ModeEqual)
+	for _, conv := range engines(t, p) {
+		got, err := conv.Convert(value.Port{Ref: "obj:42"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, value.Port{Ref: "obj:42"}) {
+			t.Errorf("got %s", got)
+		}
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	p := mustPlan(t, mtype.RecordOf(f32(), f32()), mtype.RecordOf(f32(), f32()), compare.ModeEqual)
+	for _, conv := range engines(t, p) {
+		if _, err := conv.Convert(value.Real{V: 1}); err == nil {
+			t.Error("non-record accepted by record plan")
+		}
+		if _, err := conv.Convert(value.NewRecord(value.Real{V: 1})); err == nil {
+			t.Error("short record accepted")
+		}
+	}
+	p2 := mustPlan(t, mtype.NewOptional(f32()), mtype.NewOptional(f32()), compare.ModeEqual)
+	for _, conv := range engines(t, p2) {
+		if _, err := conv.Convert(value.Choice{Alt: 7, V: value.Unit{}}); err == nil {
+			t.Error("out-of-range alternative accepted")
+		}
+		if _, err := conv.Convert(value.Real{V: 1}); err == nil {
+			t.Error("non-choice accepted by choice plan")
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	a := mtype.NewList(f32())
+	p := mustPlan(t, a, mtype.NewList(f32()), compare.ModeEqual)
+	s := p.String()
+	if s == "" || len(p.Nodes) == 0 {
+		t.Errorf("plan rendering empty: %q", s)
+	}
+}
+
+// TestPropertyEnginesAgree drives both engines with random values of a
+// random shared shape and requires identical outputs.
+func TestPropertyEnginesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		state := seed
+		rnd := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := int((state >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		ty := genFlatType(rnd, 3)
+		shuffled := shuffleRecord(ty, rnd)
+		c := compare.NewComparer(compare.DefaultRules())
+		m, ok := c.Equivalent(ty, shuffled)
+		if !ok {
+			return false
+		}
+		p, err := plan.Build(m)
+		if err != nil {
+			return false
+		}
+		interp := NewInterpreter(p)
+		comp, err := Compile(p)
+		if err != nil {
+			return false
+		}
+		v := genValue(ty, rnd)
+		g1, e1 := interp.Convert(v)
+		g2, e2 := comp.Convert(v)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		return value.Equal(g1, g2) && value.Check(g1, shuffled) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genFlatType builds a random record tree of primitives.
+func genFlatType(rnd func(int) int, depth int) *mtype.Type {
+	if depth == 0 {
+		switch rnd(3) {
+		case 0:
+			return mtype.NewIntegerBits(16, true)
+		case 1:
+			return mtype.NewFloat32()
+		default:
+			return mtype.NewCharacter(mtype.RepLatin1)
+		}
+	}
+	n := 1 + rnd(3)
+	kids := make([]*mtype.Type, n)
+	for i := range kids {
+		kids[i] = genFlatType(rnd, depth-1)
+	}
+	return mtype.RecordOf(kids...)
+}
+
+// shuffleRecord rebuilds ty with top-level record children shuffled.
+func shuffleRecord(ty *mtype.Type, rnd func(int) int) *mtype.Type {
+	if ty.Kind() != mtype.KindRecord {
+		return ty
+	}
+	fields := ty.Fields()
+	idx := make([]int, len(fields))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := len(idx) - 1; i > 0; i-- {
+		j := rnd(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([]*mtype.Type, len(fields))
+	for i, j := range idx {
+		out[i] = fields[j].Type
+	}
+	return mtype.RecordOf(out...)
+}
+
+// genValue builds a random value of the type.
+func genValue(ty *mtype.Type, rnd func(int) int) value.Value {
+	switch ty.Kind() {
+	case mtype.KindInteger:
+		return value.NewInt(int64(rnd(200) - 100))
+	case mtype.KindReal:
+		return value.Real{V: float64(rnd(1000)) / 7}
+	case mtype.KindCharacter:
+		return value.Char{R: rune('a' + rnd(26))}
+	case mtype.KindRecord:
+		fields := ty.Fields()
+		out := make([]value.Value, len(fields))
+		for i, f := range fields {
+			out[i] = genValue(f.Type, rnd)
+		}
+		return value.Record{Fields: out}
+	default:
+		return value.Unit{}
+	}
+}

@@ -1,0 +1,239 @@
+package convert
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// These property tests pin the soundness story end to end: take one
+// multiset of primitive leaves, build two *different* random groupings
+// (record nestings) of a random permutation of it — by construction the
+// two types are equivalent under associativity+commutativity — then
+// require that (1) the comparer agrees, (2) converting a random value
+// produces a value of the target type, and (3) converting back through
+// the reverse match returns the original value exactly.
+
+type lcg struct{ s int64 }
+
+func (r *lcg) n(n int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	v := int((r.s >> 33) % int64(n))
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// leafMakers builds distinguishable primitive types and matching values.
+var leafMakers = []struct {
+	ty  func() *mtype.Type
+	val func(r *lcg) value.Value
+}{
+	{func() *mtype.Type { return mtype.NewIntegerBits(16, true) },
+		func(r *lcg) value.Value { return value.NewInt(int64(r.n(1000) - 500)) }},
+	{func() *mtype.Type { return mtype.NewFloat32() },
+		func(r *lcg) value.Value { return value.Real{V: float64(r.n(100))} }},
+	{func() *mtype.Type { return mtype.NewCharacter(mtype.RepLatin1) },
+		func(r *lcg) value.Value { return value.Char{R: rune('a' + r.n(26))} }},
+	{func() *mtype.Type { return mtype.NewFloat64() },
+		func(r *lcg) value.Value { return value.Real{V: float64(r.n(9)) / 4} }},
+}
+
+// groupLeaves builds a random nesting tree over the given leaf types, in
+// order, returning the type and a parallel builder for values.
+func groupLeaves(r *lcg, leaves []int) (*mtype.Type, func(vals []value.Value) value.Value) {
+	if len(leaves) == 1 && r.n(2) == 0 {
+		k := leaves[0]
+		return leafMakers[k].ty(), func(vals []value.Value) value.Value { return vals[0] }
+	}
+	// Split into 1..3 groups.
+	var chunks [][]int
+	rest := leaves
+	for len(rest) > 0 {
+		sz := 1 + r.n(3)
+		if sz > len(rest) {
+			sz = len(rest)
+		}
+		chunks = append(chunks, rest[:sz])
+		rest = rest[sz:]
+	}
+	kids := make([]*mtype.Type, len(chunks))
+	builders := make([]func([]value.Value) value.Value, len(chunks))
+	for i, ch := range chunks {
+		if len(ch) == 1 {
+			k := ch[0]
+			kids[i] = leafMakers[k].ty()
+			builders[i] = func(vals []value.Value) value.Value { return vals[0] }
+		} else {
+			kids[i], builders[i] = groupLeaves(r, ch)
+		}
+	}
+	ty := mtype.RecordOf(kids...)
+	sizes := make([]int, len(chunks))
+	for i, ch := range chunks {
+		sizes[i] = len(ch)
+	}
+	builder := func(vals []value.Value) value.Value {
+		fields := make([]value.Value, len(chunks))
+		off := 0
+		for i := range chunks {
+			fields[i] = builders[i](vals[off : off+sizes[i]])
+			off += sizes[i]
+		}
+		return value.Record{Fields: fields}
+	}
+	return ty, builder
+}
+
+func TestPropertyRegroupedConversionRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := &lcg{s: seed}
+		n := 2 + r.n(6)
+		// The leaf multiset, as indices into leafMakers.
+		kinds := make([]int, n)
+		for i := range kinds {
+			kinds[i] = r.n(len(leafMakers))
+		}
+		// Side A: the leaves in order, grouped randomly.
+		tyA, buildA := groupLeaves(r, kinds)
+		// Side B: a permutation of the same multiset, grouped differently.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.n(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		kindsB := make([]int, n)
+		for i, p := range perm {
+			kindsB[i] = kinds[p]
+		}
+		tyB, _ := groupLeaves(r, kindsB)
+
+		// (1) The comparer must find them equivalent.
+		c := compare.NewComparer(compare.DefaultRules())
+		m, ok := c.Equivalent(tyA, tyB)
+		if !ok {
+			t.Logf("equivalence failed:\n%s", c.Explain(tyA, tyB, compare.ModeEqual))
+			return false
+		}
+		pAB, err := plan.Build(m)
+		if err != nil {
+			return false
+		}
+		convAB, err := Compile(pAB)
+		if err != nil {
+			return false
+		}
+		m2, ok := c.Equivalent(tyB, tyA)
+		if !ok {
+			return false
+		}
+		pBA, err := plan.Build(m2)
+		if err != nil {
+			return false
+		}
+		convBA, err := Compile(pBA)
+		if err != nil {
+			return false
+		}
+
+		// (2) Convert a random A value; it must inhabit B.
+		leafVals := make([]value.Value, n)
+		for i, k := range kinds {
+			leafVals[i] = leafMakers[k].val(r)
+		}
+		vA := buildA(leafVals)
+		vB, err := convAB.Convert(vA)
+		if err != nil {
+			t.Logf("convert A→B: %v", err)
+			return false
+		}
+		if err := value.Check(vB, tyB); err != nil {
+			t.Logf("converted value does not inhabit B: %v", err)
+			return false
+		}
+
+		// (3) Converting back must return the original value — but only
+		// when the leaf kinds are pairwise distinct enough that the
+		// permutations invert each other; with duplicate kinds the two
+		// independently-chosen matchings may pair duplicates differently,
+		// which is still type-sound. So check the weaker invariant for
+		// duplicates and exact round-trip when all kinds are distinct.
+		vA2, err := convBA.Convert(vB)
+		if err != nil {
+			t.Logf("convert B→A: %v", err)
+			return false
+		}
+		if err := value.Check(vA2, tyA); err != nil {
+			t.Logf("round-tripped value does not inhabit A: %v", err)
+			return false
+		}
+		distinct := true
+		seen := map[int]bool{}
+		for _, k := range kinds {
+			if seen[k] {
+				distinct = false
+				break
+			}
+			seen[k] = true
+		}
+		if distinct && !value.Equal(vA2, vA) {
+			t.Logf("round trip changed value: %s → %s", vA, vA2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInterpreterMatchesCompiledOnRegroupings repeats the check
+// with both engines, requiring identical outputs.
+func TestPropertyInterpreterMatchesCompiledOnRegroupings(t *testing.T) {
+	f := func(seed int64) bool {
+		r := &lcg{s: seed}
+		n := 2 + r.n(5)
+		kinds := make([]int, n)
+		for i := range kinds {
+			kinds[i] = r.n(len(leafMakers))
+		}
+		tyA, buildA := groupLeaves(r, kinds)
+		tyB, _ := groupLeaves(r, kinds)
+		c := compare.NewComparer(compare.DefaultRules())
+		m, ok := c.Equivalent(tyA, tyB)
+		if !ok {
+			return false
+		}
+		p, err := plan.Build(m)
+		if err != nil {
+			return false
+		}
+		comp, err := Compile(p)
+		if err != nil {
+			return false
+		}
+		interp := NewInterpreter(p)
+		leafVals := make([]value.Value, n)
+		for i, k := range kinds {
+			leafVals[i] = leafMakers[k].val(r)
+		}
+		vA := buildA(leafVals)
+		g1, e1 := comp.Convert(vA)
+		g2, e2 := interp.Convert(vA)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		return e1 != nil || value.Equal(g1, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bind"
+	"repro/internal/jheap"
+	"repro/internal/value"
+)
+
+// TestCCallsJavaDirection runs a stub in the reverse direction of the
+// fitter example: C-side code is the caller, a Java method the callee
+// (the VisualAge trial bridges both ways between the Java environment and
+// the C++ engine).
+func TestCCallsJavaDirection(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadC("c", `double mean(double xs[], int n);`, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", "annotate mean.xs length-from=n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", `
+		class Stats {
+			double mean(double[] xs) { return 0; }
+		}
+	`); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "Stats", "mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Java implementation, operating on the heap through the binding.
+	heap := jheap.NewHeap()
+	jbinder := bind.NewJ(s.Universe("java"))
+	impl := func(h *jheap.Heap, args []jheap.Slot) (jheap.Slot, error) {
+		n, err := h.ArrayLen(args[0].R)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sl, err := h.PrimArrayAt(args[0].R, i)
+			if err != nil {
+				return jheap.Slot{}, err
+			}
+			sum += sl.F
+		}
+		if n == 0 {
+			return jheap.FloatSlot(0), nil
+		}
+		return jheap.FloatSlot(sum / float64(n)), nil
+	}
+	target := NewJTarget(jbinder, s.Universe("java").Lookup("Stats"), "mean", impl, heap)
+
+	// The C side is the caller: its declaration shapes the inputs.
+	stub, err := s.NewCallStub("c", "mean", "java", jFn, EngineCompiled, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := value.FromSlice([]value.Value{
+		value.Real{V: 2}, value.Real{V: 4}, value.Real{V: 9},
+	})
+	out, err := stub.Invoke(value.NewRecord(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := out.(value.Record)
+	if len(rec.Fields) != 1 || !value.Equal(rec.Fields[0], value.Real{V: 5}) {
+		t.Errorf("mean = %s, want 5", out)
+	}
+}
+
+// TestMessageStubSubtype checks the §3 one-way-converter case: a message
+// whose Mtype is a strict subtype of the receiver's still gets a send
+// stub.
+func TestMessageStubSubtype(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadJava("narrow", `class Evt { byte code; float w; }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("wide", `class Evt { int code; double w; }`); err != nil {
+		t.Fatal(err)
+	}
+	var got value.Value
+	sink := TargetFunc(func(v value.Value) (value.Value, error) {
+		got = v
+		return value.Record{}, nil
+	})
+	stub, err := s.NewMessageStub("narrow", "Evt", "wide", "Evt", EngineCompiled, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.Send(value.NewRecord(value.NewInt(-5), value.Real{V: 1.5})); err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, value.NewRecord(value.NewInt(-5), value.Real{V: 1.5})) {
+		t.Errorf("received = %s", got)
+	}
+
+	// The reverse direction must fail: wide does not flow into narrow.
+	if _, err := s.NewMessageStub("wide", "Evt", "narrow", "Evt", EngineCompiled, sink); err == nil {
+		t.Error("widening message direction accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// ObjectStub bundles per-method stubs for a pair of multi-method
+// class/interface declarations: the comparer's Choice alternative mapping
+// decides which caller method corresponds to which callee method (§3.3's
+// port(Choice(τ1…τn)) object model), and each pair gets its own call or
+// message stub.
+type ObjectStub struct {
+	// calls maps caller-side method names to their stubs.
+	calls map[string]*CallStub
+	// messages maps caller-side oneway method names to message stubs.
+	messages map[string]*MessageStub
+	// pairing maps caller-side method names to callee-side names.
+	pairing map[string]string
+}
+
+// MethodTargets supplies the callee implementation for each callee-side
+// method name.
+type MethodTargets map[string]Target
+
+// NewObjectStub compiles stubs for every method of an equivalent pair of
+// object declarations. Each caller method is paired with the callee
+// method its invocation Mtype matches; targets must cover every paired
+// callee method.
+func (s *Session) NewObjectStub(universeA, declA, universeB, declB string, engine Engine, targets MethodTargets) (*ObjectStub, error) {
+	mtA, err := s.Mtype(universeA, declA)
+	if err != nil {
+		return nil, err
+	}
+	mtB, err := s.Mtype(universeB, declB)
+	if err != nil {
+		return nil, err
+	}
+	c := s.newComparer()
+	m, ok := c.Equivalent(mtA, mtB)
+	if !ok {
+		return nil, fmt.Errorf("core: object declarations are not equivalent:\n%s",
+			c.Explain(mtA, mtB, compare.ModeEqual))
+	}
+	uA, uB := unfoldM(mtA), unfoldM(mtB)
+	if uA.Kind() != mtype.KindPort || uB.Kind() != mtype.KindPort {
+		return nil, fmt.Errorf("core: object declarations must lower to ports")
+	}
+	elemA, elemB := unfoldM(uA.Elem()), unfoldM(uB.Elem())
+
+	stub := &ObjectStub{
+		calls:    make(map[string]*CallStub),
+		messages: make(map[string]*MessageStub),
+		pairing:  make(map[string]string),
+	}
+
+	// Single-method objects collapse the choice (§3.4): handle both
+	// shapes.
+	type methodPair struct {
+		nameA, nameB string
+		invA, invB   *mtype.Type
+	}
+	var pairs []methodPair
+	if elemA.Kind() == mtype.KindChoice && elemB.Kind() == mtype.KindChoice {
+		d, err := m.Decision(elemA, elemB)
+		if err != nil {
+			return nil, err
+		}
+		if d.Kind != compare.DecChoice {
+			return nil, fmt.Errorf("core: unexpected decision kind for method choice")
+		}
+		altsA, altsB := elemA.Alts(), elemB.Alts()
+		for i, j := range d.AltMap {
+			pairs = append(pairs, methodPair{
+				nameA: altsA[i].Name, nameB: altsB[j].Name,
+				invA: altsA[i].Type, invB: altsB[j].Type,
+			})
+		}
+	} else {
+		pairs = append(pairs, methodPair{
+			nameA: elemA.Tag(), nameB: elemB.Tag(),
+			invA: elemA, invB: elemB,
+		})
+	}
+
+	for _, p := range pairs {
+		target, ok := targets[p.nameB]
+		if !ok {
+			return nil, fmt.Errorf("core: no target for callee method %q (paired with %q)", p.nameB, p.nameA)
+		}
+		stub.pairing[p.nameA] = p.nameB
+		// Oneway invocations are bare records; call invocations carry a
+		// reply port as their last field.
+		if isOnewayInvocation(p.invA) {
+			ms, err := s.messageStubFromMtypes(p.invA, p.invB, engine, target)
+			if err != nil {
+				return nil, fmt.Errorf("method %s: %w", p.nameA, err)
+			}
+			stub.messages[p.nameA] = ms
+			continue
+		}
+		cs, err := s.newCallStubFromMtypes(mtype.NewPort(p.invA), mtype.NewPort(p.invB), engine, target)
+		if err != nil {
+			return nil, fmt.Errorf("method %s: %w", p.nameA, err)
+		}
+		stub.calls[p.nameA] = cs
+	}
+	return stub, nil
+}
+
+// isOnewayInvocation reports whether the invocation record lacks a reply
+// port (a oneway message, §3.3).
+func isOnewayInvocation(inv *mtype.Type) bool {
+	u := unfoldM(inv)
+	if u.Kind() != mtype.KindRecord || len(u.Fields()) == 0 {
+		return u.Kind() != mtype.KindRecord
+	}
+	last := unfoldM(u.Fields()[len(u.Fields())-1].Type)
+	return last.Kind() != mtype.KindPort
+}
+
+// messageStubFromMtypes builds a message stub for matched bare records.
+func (s *Session) messageStubFromMtypes(mtA, mtB *mtype.Type, engine Engine, target Target) (*MessageStub, error) {
+	c := s.newComparer()
+	m, ok := c.Equivalent(mtA, mtB)
+	if !ok {
+		return nil, fmt.Errorf("core: message types not equivalent")
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := s.newConverter(engine, p)
+	if err != nil {
+		return nil, err
+	}
+	return &MessageStub{conv: conv, target: target}, nil
+}
+
+// Invoke calls the caller-side method by name.
+func (o *ObjectStub) Invoke(method string, inputs value.Value) (value.Value, error) {
+	if cs, ok := o.calls[method]; ok {
+		return cs.Invoke(inputs)
+	}
+	if ms, ok := o.messages[method]; ok {
+		return value.Record{}, ms.Send(inputs)
+	}
+	return nil, fmt.Errorf("core: object stub has no method %q (have %v)", method, o.MethodNames())
+}
+
+// MethodNames lists the caller-side method names, sorted.
+func (o *ObjectStub) MethodNames() []string {
+	out := make([]string, 0, len(o.calls)+len(o.messages))
+	for name := range o.calls {
+		out = append(out, name)
+	}
+	for name := range o.messages {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pairing reports the callee method paired with a caller method.
+func (o *ObjectStub) Pairing(method string) (string, bool) {
+	b, ok := o.pairing[method]
+	return b, ok
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestObjectStubPairsMethods pairs a Java interface with an IDL
+// interface whose methods and parameters are declared in a different
+// order; the comparer pairs them by invocation shape.
+func TestObjectStubPairsMethods(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadJava("java", `
+		interface Account {
+			double balance();
+			void deposit(double amount, short teller);
+			int audit(long since);
+		}
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// IDL side: methods in a different order, deposit's parameters
+	// swapped.
+	if err := s.LoadIDL("idl", `
+		interface Account {
+			long audit(in long long since);
+			void deposit(in short teller, in double amount);
+			double balance();
+		};
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	var depositGot value.Value
+	targets := MethodTargets{
+		"balance": TargetFunc(func(in value.Value) (value.Value, error) {
+			return value.NewRecord(value.Real{V: 99.5}), nil
+		}),
+		"deposit": TargetFunc(func(in value.Value) (value.Value, error) {
+			depositGot = in
+			return value.NewRecord(), nil
+		}),
+		"audit": TargetFunc(func(in value.Value) (value.Value, error) {
+			return value.NewRecord(value.NewInt(3)), nil
+		}),
+	}
+	stub, err := s.NewObjectStub("java", "Account", "idl", "Account", EngineCompiled, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All three Java methods paired with the right IDL methods.
+	for _, m := range []string{"balance", "deposit", "audit"} {
+		got, ok := stub.Pairing(m)
+		if !ok || got != m {
+			t.Errorf("pairing[%s] = %q, %v", m, got, ok)
+		}
+	}
+
+	out, err := stub.Invoke("balance", value.NewRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.NewRecord(value.Real{V: 99.5})) {
+		t.Errorf("balance = %s", out)
+	}
+
+	// deposit(amount=12.5, teller=7) arrives as (teller, amount) on the
+	// IDL side.
+	if _, err := stub.Invoke("deposit", value.NewRecord(value.Real{V: 12.5}, value.NewInt(7))); err != nil {
+		t.Fatal(err)
+	}
+	want := value.NewRecord(value.NewInt(7), value.Real{V: 12.5})
+	if !value.Equal(depositGot, want) {
+		t.Errorf("deposit inputs = %s, want %s", depositGot, want)
+	}
+
+	out, err = stub.Invoke("audit", value.NewRecord(value.NewInt(1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.NewRecord(value.NewInt(3))) {
+		t.Errorf("audit = %s", out)
+	}
+
+	if _, err := stub.Invoke("nosuch", value.NewRecord()); err == nil {
+		t.Error("unknown method accepted")
+	}
+	names := stub.MethodNames()
+	if len(names) != 3 {
+		t.Errorf("methods = %v", names)
+	}
+}
+
+func TestObjectStubOnewayMethod(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadIDL("a", `
+		interface Chan {
+			oneway void send(in long payload);
+			long ask(in long q);
+		};
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadIDL("b", `
+		interface Chan {
+			long ask(in long q);
+			oneway void send(in long payload);
+		};
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var sent value.Value
+	targets := MethodTargets{
+		"send": TargetFunc(func(in value.Value) (value.Value, error) {
+			sent = in
+			return value.Record{}, nil
+		}),
+		"ask": TargetFunc(func(in value.Value) (value.Value, error) {
+			return value.NewRecord(value.NewInt(42)), nil
+		}),
+	}
+	stub, err := s.NewObjectStub("a", "Chan", "b", "Chan", EngineCompiled, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.Invoke("send", value.NewRecord(value.NewInt(9))); err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(sent, value.NewRecord(value.NewInt(9))) {
+		t.Errorf("sent = %s", sent)
+	}
+	out, err := stub.Invoke("ask", value.NewRecord(value.NewInt(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.NewRecord(value.NewInt(42))) {
+		t.Errorf("ask = %s", out)
+	}
+}
+
+func TestObjectStubSingleMethodCollapses(t *testing.T) {
+	s := fitterSession(t)
+	target := TargetFunc(func(in value.Value) (value.Value, error) {
+		return value.NewRecord(
+			value.NewRecord(value.Real{V: 0}, value.Real{V: 0}),
+			value.NewRecord(value.Real{V: 1}, value.Real{V: 1}),
+		), nil
+	})
+	// A single-method interface's port element is the invocation record
+	// itself; targets are keyed by its tag.
+	stub, err := s.NewObjectStub("java", "JavaIdeal", "c", "fitter", EngineCompiled,
+		MethodTargets{"": target, "fitter": target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := stub.Invoke(stub.MethodNames()[0], value.NewRecord(pointsValue(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(value.Record); !ok {
+		t.Errorf("out = %T", out)
+	}
+}
+
+func TestObjectStubMissingTarget(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadIDL("a", `interface I { long f(in long x); };`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadIDL("b", `interface I { long f(in long x); };`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewObjectStub("a", "I", "b", "I", EngineCompiled, MethodTargets{}); err == nil {
+		t.Error("missing target accepted")
+	}
+}

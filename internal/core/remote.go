@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mtype"
+	"repro/internal/orb"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// wireShapes computes the on-the-wire request and reply record Mtypes of
+// a function declaration: the request is the I fields (the reply port
+// travels implicitly as the connection, as in GIOP), the reply is the O
+// record.
+func (s *Session) wireShapes(universe, decl string) (req, rep *mtype.Type, err error) {
+	mt, err := s.Mtype(universe, decl)
+	if err != nil {
+		return nil, nil, err
+	}
+	fullReq, rep, err := callShape(mt)
+	if err != nil {
+		return nil, nil, err
+	}
+	fields := fullReq.Fields()
+	req = mtype.NewRecord(fields[:len(fields)-1]...)
+	return req, rep, nil
+}
+
+// ExportCall registers a callee target on an orb server under key.
+// Incoming requests are unmarshaled per the declaration's request Mtype,
+// handed to the target, and the outputs marshaled back — the server half
+// of a network-enabled stub.
+func (s *Session) ExportCall(srv *orb.Server, key, universe, decl string, target Target) error {
+	req, rep, err := s.wireShapes(universe, decl)
+	if err != nil {
+		return err
+	}
+	dec := wire.NewDecoder(req)
+	enc := wire.NewEncoder(rep)
+	srv.Register(key, func(op uint32, body []byte) ([]byte, error) {
+		inputs, err := dec.Unmarshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("unmarshal request: %w", err)
+		}
+		outputs, err := target.Invoke(inputs)
+		if err != nil {
+			return nil, err
+		}
+		return enc.Marshal(outputs)
+	})
+	return nil
+}
+
+// NewRemoteTarget returns a Target that forwards invocations to an
+// exported object — the client half of a network-enabled stub. The
+// declaration must be the same (or an equivalent) declaration the server
+// exported, in this session's universes; its Mtype defines the wire
+// format.
+func (s *Session) NewRemoteTarget(client *orb.Client, key, universe, decl string) (Target, error) {
+	req, rep, err := s.wireShapes(universe, decl)
+	if err != nil {
+		return nil, err
+	}
+	enc := wire.NewEncoder(req)
+	dec := wire.NewDecoder(rep)
+	return TargetFunc(func(inputs value.Value) (value.Value, error) {
+		body, err := enc.Marshal(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal request: %w", err)
+		}
+		reply, err := client.Invoke(key, 0, body)
+		if err != nil {
+			return nil, err
+		}
+		outputs, err := dec.Unmarshal(reply)
+		if err != nil {
+			return nil, fmt.Errorf("core: unmarshal reply: %w", err)
+		}
+		return outputs, nil
+	}), nil
+}
+
+// ExportMessageSink registers a receiver for one-way messages of the
+// declaration's Mtype: each arriving message is unmarshaled and handed to
+// the target (whose result is discarded) — the generated "receive" stub
+// of the §5 messaging case study.
+func (s *Session) ExportMessageSink(srv *orb.Server, key, universe, decl string, target Target) error {
+	mt, err := s.Mtype(universe, decl)
+	if err != nil {
+		return err
+	}
+	dec := wire.NewDecoder(mt)
+	srv.Register(key, func(op uint32, body []byte) ([]byte, error) {
+		msg, err := dec.Unmarshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("unmarshal message: %w", err)
+		}
+		if _, err := target.Invoke(msg); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	return nil
+}
+
+// NewRemoteMessageTarget returns a Target that sends values of the
+// declaration's Mtype as one-way messages — the generated "send" stub.
+func (s *Session) NewRemoteMessageTarget(client *orb.Client, key, universe, decl string) (Target, error) {
+	mt, err := s.Mtype(universe, decl)
+	if err != nil {
+		return nil, err
+	}
+	enc := wire.NewEncoder(mt)
+	return TargetFunc(func(msg value.Value) (value.Value, error) {
+		body, err := enc.Marshal(msg)
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal message: %w", err)
+		}
+		if err := client.Send(key, 0, body); err != nil {
+			return nil, err
+		}
+		return value.Record{}, nil
+	}), nil
+}

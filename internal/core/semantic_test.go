@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestSemanticLineConversion reproduces the §6 future-work example the
+// paper gives for programmer-supplied conversions: "perhaps one line is
+// represented as a slope/intercept pair, and another line as two points,
+// and the programmer wishes to convert between the two representations.
+// Dealing with such information requires the programmer to provide
+// hand-written conversions which are then integrated with the automated
+// structural ones."
+//
+// The two Line declarations are structurally incomparable (two reals vs.
+// four); the registered hooks make the pair match, and the surrounding
+// structural machinery (the method request/reply records) still converts
+// automatically.
+func TestSemanticLineConversion(t *testing.T) {
+	s := NewSession()
+	// Caller: lines as slope/intercept.
+	if err := s.LoadJava("analytic", `
+		class SlopeLine { double slope; double intercept; }
+		interface Clipper { SlopeLine clip(int window, SlopeLine l); }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Callee: lines as two points.
+	if err := s.LoadJava("geometric", `
+		class Pt { double x; double y; }
+		class SegLine { Pt a; Pt b; }
+		interface Clipper { SegLine clip(int window, SegLine l); }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	script := `
+annotate SegLine.a nonnull noalias
+annotate SegLine.b nonnull noalias
+annotate Clipper.clip.l nonnull
+annotate Clipper.clip.return nonnull
+`
+	if _, err := s.Annotate("geometric", script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("analytic", `
+annotate Clipper.clip.l nonnull
+annotate Clipper.clip.return nonnull
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without hooks the pair must NOT match (2 reals vs 4 reals).
+	v, err := s.Compare("analytic", "Clipper", "geometric", "Clipper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation == RelEquivalent {
+		t.Fatal("structurally different lines matched without hooks")
+	}
+
+	// The hand-written conversions: slope/intercept ↔ the segment through
+	// x=0 and x=1.
+	s.RegisterSemantic("SlopeLine", "SegLine", "slope→seg", func(v value.Value) (value.Value, error) {
+		rec, ok := v.(value.Record)
+		if !ok || len(rec.Fields) != 2 {
+			return nil, fmt.Errorf("want slope/intercept record, got %s", v)
+		}
+		m := rec.Fields[0].(value.Real).V
+		b := rec.Fields[1].(value.Real).V
+		pt := func(x float64) value.Value {
+			return value.NewRecord(value.Real{V: x}, value.Real{V: m*x + b})
+		}
+		return value.NewRecord(pt(0), pt(1)), nil
+	})
+	s.RegisterSemantic("SegLine", "SlopeLine", "seg→slope", func(v value.Value) (value.Value, error) {
+		rec, ok := v.(value.Record)
+		if !ok || len(rec.Fields) != 2 {
+			return nil, fmt.Errorf("want two-point record, got %s", v)
+		}
+		a := rec.Fields[0].(value.Record)
+		b := rec.Fields[1].(value.Record)
+		x1, y1 := a.Fields[0].(value.Real).V, a.Fields[1].(value.Real).V
+		x2, y2 := b.Fields[0].(value.Real).V, b.Fields[1].(value.Real).V
+		if x1 == x2 {
+			return nil, fmt.Errorf("vertical line has no slope form")
+		}
+		m := (y2 - y1) / (x2 - x1)
+		return value.NewRecord(value.Real{V: m}, value.Real{V: y1 - m*x1}), nil
+	})
+
+	// With the hooks registered, the interfaces match.
+	v, err = s.Compare("analytic", "Clipper", "geometric", "Clipper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != RelEquivalent {
+		t.Fatalf("relation with hooks = %s\n%s", v.Relation, v.Explain)
+	}
+
+	// And the stub composes the hook with the structural pieces: the int
+	// window converts structurally, the line semantically.
+	var gotWindow value.Value
+	target := TargetFunc(func(in value.Value) (value.Value, error) {
+		rec := in.(value.Record)
+		gotWindow = rec.Fields[0]
+		// The geometric implementation returns the line unchanged.
+		return value.NewRecord(rec.Fields[1]), nil
+	})
+	for _, engine := range []Engine{EngineCompiled, EngineInterpreted} {
+		stub, err := s.NewCallStub("analytic", "Clipper", "geometric", "Clipper", engine, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// clip(window=3, line: y = 2x + 1).
+		out, err := stub.Invoke(value.NewRecord(
+			value.NewInt(3),
+			value.NewRecord(value.Real{V: 2}, value.Real{V: 1}),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(gotWindow, value.NewInt(3)) {
+			t.Errorf("window = %s", gotWindow)
+		}
+		// The reply passed through seg form and back: y = 2x + 1 again.
+		rec := out.(value.Record)
+		want := value.NewRecord(value.Real{V: 2}, value.Real{V: 1})
+		if !value.Equal(rec.Fields[0], want) {
+			t.Errorf("engine %d: returned line = %s, want %s", engine, rec.Fields[0], want)
+		}
+	}
+}
+
+func TestSemanticHookMissingFunction(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadJava("a", `class L { double m; double b; }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("b", `class L { double x1; double y1; double x2; double y2; }`); err != nil {
+		t.Fatal(err)
+	}
+	// Register the pair on the comparer but sabotage the hook table by
+	// registering under a different name via direct struct manipulation:
+	// simplest path — register, then verify a stub built with a missing
+	// hook name fails cleanly. Use a fresh session sharing no hook.
+	s.RegisterSemantic("L", "L", "missing-hook", nil)
+	delete(s.hooks, "missing-hook")
+	target := TargetFunc(func(in value.Value) (value.Value, error) { return value.Record{}, nil })
+	if _, err := s.NewMessageStub("a", "L", "b", "L", EngineCompiled, target); err == nil {
+		t.Error("stub with unregistered hook compiled")
+	}
+}

@@ -1,0 +1,62 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics drives the parser with mutated fragments of valid
+// input: every outcome must be a parse result or an error, never a panic
+// or a hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`typedef float point[2];`,
+		`void fitter(point pts[], int count, point *start, point *end);`,
+		`struct P { float x, y; int flags : 3; };`,
+		`union U { int i; float f; };`,
+		`enum E { A, B = 2, C };`,
+		`typedef void (*cb)(int, float);`,
+		`int (*poa)[3];`,
+	}
+	tokens := []string{
+		"typedef", "struct", "union", "enum", "int", "float", "void",
+		"*", "[", "]", "(", ")", "{", "}", ";", ",", ":", "=", "x", "2",
+		"unsigned", "long", "const", "...",
+	}
+	f := func(seed int64, cut, ins uint8) bool {
+		src := seeds[int(uint64(seed)%uint64(len(seeds)))]
+		pos := int(cut) % (len(src) + 1)
+		tok := tokens[int(ins)%len(tokens)]
+		mutated := src[:pos] + " " + tok + " " + src[pos:]
+		// Must not panic; errors are fine.
+		_, _ = Parse("fuzz.h", mutated, Config{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserHandlesGarbage(t *testing.T) {
+	garbage := []string{
+		"",
+		";;;;",
+		"}{",
+		"typedef typedef typedef",
+		strings.Repeat("(", 100),
+		strings.Repeat("struct A { struct B { ", 50),
+		"\x00\x01\x02",
+		"typedef int x; \xff\xfe",
+		"int f(int f(int f(int)));",
+	}
+	for _, src := range garbage {
+		_, _ = Parse("garbage.h", src, Config{}) // must not panic or hang
+	}
+}
+
+func TestDeeplyNestedDeclarators(t *testing.T) {
+	// Deep but finite nesting must terminate.
+	src := "typedef int " + strings.Repeat("(*", 50) + "x" + strings.Repeat(")", 50) + ";"
+	_, _ = Parse("deep.h", src, Config{})
+}

@@ -1,0 +1,428 @@
+// Package fuse is the specialized stub compiler: it fuses a coercion plan
+// with the concrete representation bindings of both sides, producing
+// closures that move data *directly* between a Java heap and C memory
+// with no intermediate value trees. This is the execution model of the
+// paper's generated JNI stubs — §4's coercion plan "incorporates …
+// information related to the concrete representation of their values in
+// memory" — and, like the prototype ("we use ad hoc techniques that
+// handle most common situations, but which are not easily modified or
+// extended", §6), it supports the common constructs and reports anything
+// else as unsupported, falling back to the general value-tree engines.
+//
+// Supported: primitives, by-value classes/structs/fixed arrays (with
+// associative flattening and commutative field permutation from the
+// plan), non-null pointers, and ordered collections (Vector ↔
+// length-from C arrays). Not supported: nullable pointers inside fused
+// aggregates, unions, object references, and subtype injections.
+package fuse
+
+import (
+	"fmt"
+
+	"repro/internal/cmem"
+	"repro/internal/jheap"
+	"repro/internal/lower"
+	"repro/internal/stype"
+)
+
+// ErrUnsupported is wrapped by every "cannot fuse this construct" error;
+// callers match it to fall back to the value-tree engines.
+var ErrUnsupported = fmt.Errorf("fuse: construct not supported by the specialized stub compiler")
+
+func unsupported(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))
+}
+
+// jAccessor reads or writes one leaf slot of the Java representation: a
+// chain of field loads / array derefs from a root slot.
+type jAccessor struct {
+	// fields is the chain of object field indices to traverse; the final
+	// entry addresses the leaf slot.
+	fields []int
+}
+
+// cAccessor locates one leaf of the C representation: a byte offset from
+// a root address, with any number of pointer dereferences along the way.
+type cAccessor struct {
+	// ops alternate: add offset, then (optionally) deref. A leaf is
+	// reached by applying all ops to the root address.
+	ops []cOp
+}
+
+type cOp struct {
+	offset int
+	deref  bool
+}
+
+// leafKind classifies a fused primitive move.
+type leafKind uint8
+
+const (
+	leafF32 leafKind = iota + 1
+	leafF64
+	leafInt  // integral (bool, enums, chars-as-ints): sign-preserving word
+	leafChar // character slot
+)
+
+// jContext resolves Java-side accessors from annotated Stypes.
+type jContext struct {
+	u *stype.Universe
+}
+
+// cContext resolves C-side accessors and layouts.
+type cContext struct {
+	u   *stype.Universe
+	lay *cmem.Layouts
+}
+
+// resolveNamed follows a Named node to its target with annotations
+// overlaid, for typedef-like targets.
+func resolveNamed(u *stype.Universe, t *stype.Type) (*stype.Type, *stype.Decl, error) {
+	if t.Kind != stype.KNamed {
+		return t, nil, nil
+	}
+	d := t.Target
+	if d == nil {
+		d = u.Lookup(t.Name)
+	}
+	if d == nil {
+		return nil, nil, fmt.Errorf("fuse: unresolved name %q", t.Name)
+	}
+	switch d.Type.Kind {
+	case stype.KClass, stype.KInterface, stype.KStruct, stype.KUnion:
+		return t, d, nil
+	default:
+		overlaid := *d.Type
+		overlaid.Ann = d.Type.Ann.Merge(t.Ann)
+		return resolveNamed(u, &overlaid)
+	}
+}
+
+// jLeaves enumerates the Java-side leaf accessors of a type in the exact
+// order lower flattens its Mtype record structure. Only containment
+// shapes are fusible.
+func (jc *jContext) jLeaves(t *stype.Type, prefix []int) ([]jLeaf, error) {
+	t, decl, err := resolveNamed(jc.u, t)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case stype.KPrim:
+		kind, err := jPrimKind(t)
+		if err != nil {
+			return nil, err
+		}
+		return []jLeaf{{acc: jAccessor{fields: clone(prefix)}, kind: kind}}, nil
+	case stype.KNamed:
+		// A class/struct reference.
+		target := decl.Type
+		if lower.IsCollection(jc.u, decl) {
+			return nil, unsupported("nested collection %s inside a fused aggregate", decl.Name)
+		}
+		if !t.Ann.NonNull {
+			return nil, unsupported("nullable reference to %s inside a fused aggregate", decl.Name)
+		}
+		if !lower.ByValueOf(decl, t.Ann) {
+			return nil, unsupported("object reference %s inside a fused aggregate", decl.Name)
+		}
+		var out []jLeaf
+		for i, f := range target.Fields {
+			if f.Type.Ann.Ignore {
+				continue
+			}
+			leaves, err := jc.jLeaves(f.Type, append(clone(prefix), i))
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", decl.Name, f.Name, err)
+			}
+			out = append(out, leaves...)
+		}
+		return out, nil
+	default:
+		return nil, unsupported("java %s inside a fused aggregate", t.Kind)
+	}
+}
+
+type jLeaf struct {
+	acc  jAccessor
+	kind leafKind
+}
+
+func jPrimKind(t *stype.Type) (leafKind, error) {
+	if t.Ann.Range != nil {
+		return leafInt, nil
+	}
+	switch t.Prim {
+	case stype.PF32:
+		return leafF32, nil
+	case stype.PF64:
+		return leafF64, nil
+	case stype.PBool, stype.PI8, stype.PU8, stype.PI16, stype.PU16,
+		stype.PI32, stype.PU32, stype.PI64, stype.PU64:
+		if t.Ann.AsChar != nil && *t.Ann.AsChar {
+			return leafChar, nil
+		}
+		return leafInt, nil
+	case stype.PChar8, stype.PChar16:
+		if t.Ann.AsChar != nil && !*t.Ann.AsChar {
+			return leafInt, nil
+		}
+		return leafChar, nil
+	default:
+		return 0, unsupported("java primitive %s", t.Prim)
+	}
+}
+
+type cLeaf struct {
+	acc  cAccessor
+	kind leafKind
+	size int // scalar byte width
+}
+
+// cLeaves enumerates the C-side leaf accessors of a type in lowering
+// order.
+func (cc *cContext) cLeaves(t *stype.Type, acc cAccessor) ([]cLeaf, error) {
+	t, decl, err := resolveNamed(cc.u, t)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case stype.KPrim:
+		kind, size, err := cPrimKind(t)
+		if err != nil {
+			return nil, err
+		}
+		return []cLeaf{{acc: acc, kind: kind, size: size}}, nil
+	case stype.KEnum:
+		return []cLeaf{{acc: acc, kind: leafInt, size: 4}}, nil
+	case stype.KNamed:
+		target := decl.Type
+		if target.Kind != stype.KStruct {
+			return nil, unsupported("C %s inside a fused aggregate", target.Kind)
+		}
+		lay, err := cc.lay.Of(target)
+		if err != nil {
+			return nil, err
+		}
+		var out []cLeaf
+		for i, f := range target.Fields {
+			if f.Type.Ann.Ignore {
+				continue
+			}
+			leaves, err := cc.cLeaves(f.Type, addOffset(acc, lay.Offsets[i]))
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", decl.Name, f.Name, err)
+			}
+			out = append(out, leaves...)
+		}
+		return out, nil
+	case stype.KStruct:
+		lay, err := cc.lay.Of(t)
+		if err != nil {
+			return nil, err
+		}
+		var out []cLeaf
+		for i, f := range t.Fields {
+			if f.Type.Ann.Ignore {
+				continue
+			}
+			leaves, err := cc.cLeaves(f.Type, addOffset(acc, lay.Offsets[i]))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, leaves...)
+		}
+		return out, nil
+	case stype.KArray:
+		length := t.Len
+		if t.Ann.FixedLen > 0 {
+			length = t.Ann.FixedLen
+		}
+		if length < 0 {
+			return nil, unsupported("indefinite array inside a fused aggregate")
+		}
+		el, err := cc.lay.Of(t.ElemType)
+		if err != nil {
+			return nil, err
+		}
+		var out []cLeaf
+		for i := 0; i < length; i++ {
+			leaves, err := cc.cLeaves(t.ElemType, addOffset(acc, i*el.Size))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, leaves...)
+		}
+		return out, nil
+	case stype.KPointer:
+		if !t.Ann.NonNull {
+			return nil, unsupported("nullable pointer inside a fused aggregate")
+		}
+		return cc.cLeaves(t.ElemType, addDeref(acc))
+	default:
+		return nil, unsupported("C %s inside a fused aggregate", t.Kind)
+	}
+}
+
+func cPrimKind(t *stype.Type) (leafKind, int, error) {
+	if t.Ann.Range != nil {
+		size, err := cPrimSize(t.Prim)
+		return leafInt, size, err
+	}
+	switch t.Prim {
+	case stype.PF32:
+		return leafF32, 4, nil
+	case stype.PF64:
+		return leafF64, 8, nil
+	case stype.PChar8, stype.PChar16:
+		if t.Ann.AsChar != nil && !*t.Ann.AsChar {
+			size, _ := cPrimSize(t.Prim)
+			return leafInt, size, nil
+		}
+		size, _ := cPrimSize(t.Prim)
+		return leafChar, size, nil
+	case stype.PBool, stype.PI8, stype.PU8, stype.PI16, stype.PU16,
+		stype.PI32, stype.PU32, stype.PI64, stype.PU64:
+		if t.Ann.AsChar != nil && *t.Ann.AsChar {
+			size, _ := cPrimSize(t.Prim)
+			return leafChar, size, nil
+		}
+		size, err := cPrimSize(t.Prim)
+		return leafInt, size, err
+	default:
+		return 0, 0, unsupported("C primitive %s", t.Prim)
+	}
+}
+
+func cPrimSize(p stype.Prim) (int, error) {
+	switch p {
+	case stype.PBool, stype.PI8, stype.PU8, stype.PChar8:
+		return 1, nil
+	case stype.PI16, stype.PU16, stype.PChar16:
+		return 2, nil
+	case stype.PI32, stype.PU32, stype.PF32:
+		return 4, nil
+	case stype.PI64, stype.PU64, stype.PF64:
+		return 8, nil
+	default:
+		return 0, unsupported("size of %s", p)
+	}
+}
+
+func clone(xs []int) []int { return append([]int(nil), xs...) }
+
+func addOffset(acc cAccessor, off int) cAccessor {
+	ops := append(append([]cOp(nil), acc.ops...), cOp{offset: off})
+	return cAccessor{ops: ops}
+}
+
+func addDeref(acc cAccessor) cAccessor {
+	ops := append(append([]cOp(nil), acc.ops...), cOp{deref: true})
+	return cAccessor{ops: ops}
+}
+
+// resolveC applies a C accessor to a root address.
+func resolveC(mem *cmem.Arena, model cmem.Model, root cmem.Addr, acc cAccessor) (cmem.Addr, error) {
+	at := root
+	for _, op := range acc.ops {
+		if op.deref {
+			target, err := mem.ReadPtr(at, model)
+			if err != nil {
+				return 0, err
+			}
+			if target == cmem.Null {
+				return 0, fmt.Errorf("fuse: NULL in fused non-null pointer")
+			}
+			at = target
+		} else {
+			at += cmem.Addr(op.offset)
+		}
+	}
+	return at, nil
+}
+
+// readJ reads a Java leaf slot through its accessor.
+func readJ(h *jheap.Heap, root jheap.Slot, acc jAccessor) (jheap.Slot, error) {
+	s := root
+	for _, idx := range acc.fields {
+		if s.Kind != jheap.SlotRef {
+			return jheap.Slot{}, fmt.Errorf("fuse: expected reference while navigating")
+		}
+		if s.R == jheap.NullRef {
+			return jheap.Slot{}, fmt.Errorf("fuse: null in fused non-null path")
+		}
+		var err error
+		s, err = h.Field(s.R, idx)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+	}
+	return s, nil
+}
+
+// moveJ2C moves one leaf value from a Java slot into C memory.
+func moveJ2C(mem *cmem.Arena, at cmem.Addr, c cLeaf, s jheap.Slot) error {
+	switch c.kind {
+	case leafF32:
+		return mem.WriteF32(at, float32(s.F))
+	case leafF64:
+		return mem.WriteF64(at, s.F)
+	case leafChar:
+		r := s.C
+		if s.Kind == jheap.SlotInt {
+			r = rune(s.I)
+		}
+		return mem.WriteU(at, c.size, uint64(r))
+	default:
+		v := s.I
+		if s.Kind == jheap.SlotChar {
+			v = int64(s.C)
+		}
+		return mem.WriteU(at, c.size, uint64(v))
+	}
+}
+
+// moveC2J reads one leaf from C memory into a Java slot.
+func moveC2J(mem *cmem.Arena, at cmem.Addr, c cLeaf, jk leafKind) (jheap.Slot, error) {
+	switch c.kind {
+	case leafF32:
+		f, err := mem.ReadF32(at)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+		return jheap.FloatSlot(float64(f)), nil
+	case leafF64:
+		f, err := mem.ReadF64(at)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+		return jheap.FloatSlot(f), nil
+	case leafChar:
+		u, err := mem.ReadU(at, c.size)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+		if jk == leafInt {
+			return jheap.IntSlot(int64(u)), nil
+		}
+		return jheap.CharSlot(rune(u)), nil
+	default:
+		n, err := mem.ReadI(at, c.size)
+		if err != nil {
+			return jheap.Slot{}, err
+		}
+		if jk == leafChar {
+			return jheap.CharSlot(rune(n)), nil
+		}
+		return jheap.IntSlot(n), nil
+	}
+}
+
+// compatible reports whether a Java leaf kind can feed a C leaf kind.
+func compatible(j leafKind, c leafKind) bool {
+	switch j {
+	case leafF32, leafF64:
+		return c == leafF32 || c == leafF64
+	default:
+		return c == leafInt || c == leafChar
+	}
+}

@@ -1,0 +1,197 @@
+package fuse
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/jheap"
+)
+
+// TestFusedLP64 runs the fused fitter under the 64-bit data model (the
+// arrays use 8-byte pointers server-side; element strides are unchanged).
+func TestFusedLP64(t *testing.T) {
+	s := core.NewSession()
+	if err := s.LoadC("c", fitterC, cmem.LP64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", figure1Java); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", cScript); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("java", jScript); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "JavaIdeal", "fitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := CompileFromSession(s, "java", jFn, "c", "fitter", cmem.LP64, cFitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jheap.NewHeap()
+	vec := buildHeapPoints(t, h, 0, 1, 4, -2)
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outs = %+v", outs)
+	}
+}
+
+// TestFusedIntegerList fuses a vector of integer-carrying elements.
+func TestFusedIntegerList(t *testing.T) {
+	s := core.NewSession()
+	if err := s.LoadC("c", `
+		struct cell { int tag; double w; };
+		double total(struct cell xs[], int n);
+	`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", "annotate total.xs length-from=n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", `
+		class Cell { int tag; double w; }
+		class Cells extends java.util.Vector;
+		interface I { double total(Cells xs); }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("java", `
+annotate Cells collection-of=Cell element-nonnull
+annotate I.total.xs nonnull
+`); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "I", "total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		base := cmem.Addr(args[0])
+		n := int(int32(args[1]))
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			// struct cell layout under ILP32: tag@0, w@8, size 16.
+			w, err := mem.ReadF64(base + cmem.Addr(16*i+8))
+			if err != nil {
+				return 0, err
+			}
+			tag, err := mem.ReadI(base+cmem.Addr(16*i), 4)
+			if err != nil {
+				return 0, err
+			}
+			sum += w * float64(tag)
+		}
+		return f64bits(sum), nil
+	}
+	call, err := CompileFromSession(s, "java", jFn, "c", "total", cmem.ILP32, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jheap.NewHeap()
+	vec := h.NewVector("Cells")
+	for _, c := range []struct {
+		tag int64
+		w   float64
+	}{{2, 1.5}, {3, 2.0}} {
+		cell := h.New("Cell", 2)
+		_ = h.SetField(cell, 0, jheap.IntSlot(c.tag))
+		_ = h.SetField(cell, 1, jheap.FloatSlot(c.w))
+		_ = h.VectorAppend(vec, cell)
+	}
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].F != 9 { // 2*1.5 + 3*2.0
+		t.Errorf("total = %v, want 9", outs[0].F)
+	}
+}
+
+// TestFusedCharReturn decodes a char-valued return word.
+func TestFusedCharReturn(t *testing.T) {
+	s := core.NewSession()
+	if err := s.LoadC("c", `char grade(int score);`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", `interface I { char grade(int score); }`); err != nil {
+		t.Fatal(err)
+	}
+	// Java char is UCS-2, C char Latin-1: widen the C side's repertoire so
+	// the return types match (the §3.1 repertoire annotation).
+	if _, err := s.Annotate("c", "annotate grade.return repertoire=ucs2"); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "I", "grade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		if int32(args[0]) >= 90 {
+			return 'A', nil
+		}
+		return 'B', nil
+	}
+	call, err := CompileFromSession(s, "java", jFn, "c", "grade", cmem.ILP32, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jheap.NewHeap()
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.IntSlot(95)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Kind != jheap.SlotChar || outs[0].C != 'A' {
+		t.Errorf("grade = %+v", outs[0])
+	}
+}
+
+func TestFusedRejectsInout(t *testing.T) {
+	s := core.NewSession()
+	if err := s.LoadC("c", `void bump(int *v);`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", "annotate bump.v inout nonnull"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", `interface I { int bump(int v); }`); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "I", "bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) { return 0, nil }
+	_, err = CompileFromSession(s, "java", jFn, "c", "bump", cmem.ILP32, impl)
+	if err == nil {
+		t.Fatal("inout compiled")
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("error %v does not match ErrUnsupported", err)
+	}
+}
+
+func TestFusedRejectsNonEquivalentPair(t *testing.T) {
+	s := core.NewSession()
+	if err := s.LoadC("c", `float f(float x);`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", `interface I { double f(double x); }`); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := s.MethodDecl("java", "I", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) { return 0, nil }
+	if _, err := CompileFromSession(s, "java", jFn, "c", "f", cmem.ILP32, impl); err == nil {
+		t.Error("mismatched pair compiled")
+	}
+}

@@ -1,0 +1,412 @@
+package fuse
+
+import (
+	"testing/quick"
+
+	"errors"
+	"repro/internal/bind"
+	"repro/internal/value"
+	"testing"
+
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/jheap"
+)
+
+const (
+	fitterC = `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`
+	figure1Java = `
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }
+`
+	cScript = `
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`
+	jScript = `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate JavaIdeal.fitter.pts nonnull
+annotate JavaIdeal.fitter.return nonnull
+`
+)
+
+func fitterSession(t testing.TB) *core.Session {
+	t.Helper()
+	s := core.NewSession()
+	if err := s.LoadC("c", fitterC, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", figure1Java); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", cScript); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("java", jScript); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func cFitterImpl(mem *cmem.Arena, args []uint64) (uint64, error) {
+	pts, count := cmem.Addr(args[0]), int(int32(args[1]))
+	start, end := cmem.Addr(args[2]), cmem.Addr(args[3])
+	var minX, minY, maxX, maxY float32
+	for i := 0; i < count; i++ {
+		x, err := mem.ReadF32(pts + cmem.Addr(8*i))
+		if err != nil {
+			return 0, err
+		}
+		y, err := mem.ReadF32(pts + cmem.Addr(8*i+4))
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || x < minX {
+			minX = x
+		}
+		if i == 0 || y < minY {
+			minY = y
+		}
+		if i == 0 || x > maxX {
+			maxX = x
+		}
+		if i == 0 || y > maxY {
+			maxY = y
+		}
+	}
+	if err := mem.WriteF32(start, minX); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(start+4, minY); err != nil {
+		return 0, err
+	}
+	if err := mem.WriteF32(end, maxX); err != nil {
+		return 0, err
+	}
+	return 0, mem.WriteF32(end+4, maxY)
+}
+
+func buildHeapPoints(t testing.TB, h *jheap.Heap, coords ...float64) jheap.Ref {
+	t.Helper()
+	v := h.NewVector("PointVector")
+	for i := 0; i+1 < len(coords); i += 2 {
+		p := h.New("Point", 2)
+		if err := h.SetField(p, 0, jheap.FloatSlot(coords[i])); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetField(p, 1, jheap.FloatSlot(coords[i+1])); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.VectorAppend(v, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+// compileFitter synthesizes the method declaration and compiles the
+// fused stub.
+func compileFitter(t testing.TB) (*core.Session, *Call) {
+	t.Helper()
+	sess := fitterSession(t)
+	jFn, err := sess.MethodDecl("java", "JavaIdeal", "fitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := CompileFromSession(sess, "java", jFn, "c", "fitter", cmem.ILP32, cFitterImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, call
+}
+
+// TestFusedFitter runs the specialized stub: Java heap in, Java heap out,
+// no value trees.
+func TestFusedFitter(t *testing.T) {
+	_, call := compileFitter(t)
+	h := jheap.NewHeap()
+	vec := buildHeapPoints(t, h, 1, 5, 3, 2, 2, 7)
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Kind != jheap.SlotRef {
+		t.Fatalf("outputs = %+v", outs)
+	}
+	line := outs[0].R
+	want := [4]float64{1, 2, 3, 7}
+	got := [4]float64{}
+	for i, fi := range []int{0, 1} {
+		ref, err := h.Field(line, fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, fj := range []int{0, 1} {
+			s, err := h.Field(ref.R, fj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[2*i+j] = s.F
+		}
+	}
+	if got != want {
+		t.Errorf("line = %v, want %v", got, want)
+	}
+	if cls, _ := h.Class(line); cls != "Line" {
+		t.Errorf("result class = %q", cls)
+	}
+}
+
+func TestFusedFitterEmpty(t *testing.T) {
+	_, call := compileFitter(t)
+	h := jheap.NewHeap()
+	vec := buildHeapPoints(t, h)
+	if _, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedMatchesGeneralStub(t *testing.T) {
+	// The fused stub and the value-tree stub must produce identical
+	// results on the same heap data.
+	sess, call := compileFitter(t)
+	h := jheap.NewHeap()
+	vec := buildHeapPoints(t, h, 4, 4, -1, 9, 6, 0, 2.5, -8)
+
+	fusedOuts, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sess
+	line := fusedOuts[0].R
+	coords := func(r jheap.Ref) [4]float64 {
+		var out [4]float64
+		for i, fi := range []int{0, 1} {
+			ref, _ := h.Field(r, fi)
+			for j, fj := range []int{0, 1} {
+				s, _ := h.Field(ref.R, fj)
+				out[2*i+j] = s.F
+			}
+		}
+		return out
+	}
+	want := [4]float64{-1, -8, 6, 9}
+	if coords(line) != want {
+		t.Errorf("fused line = %v, want %v", coords(line), want)
+	}
+}
+
+func TestFusedNullElementRejected(t *testing.T) {
+	_, call := compileFitter(t)
+	h := jheap.NewHeap()
+	vec := h.NewVector("PointVector")
+	if err := h.VectorAppend(vec, jheap.NullRef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)}); err == nil {
+		t.Error("null element accepted by fused stub")
+	}
+}
+
+func TestFusedScalarParams(t *testing.T) {
+	sess := core.NewSession()
+	if err := sess.LoadC("c", `float scale(float x, int k);`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadJava("java", `interface I { float scale(float x, int k); }`); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := sess.MethodDecl("java", "I", "scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		x := f32frombits(uint32(args[0]))
+		return uint64(f32bits(x * float32(int32(args[1])))), nil
+	}
+	call, err := CompileFromSession(sess, "java", jFn, "c", "scale", cmem.ILP32, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jheap.NewHeap()
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.FloatSlot(2.5), jheap.IntSlot(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].F != 10 {
+		t.Errorf("outs = %+v", outs)
+	}
+}
+
+func TestFusedAggregateInParam(t *testing.T) {
+	// A non-null pointer-to-struct input parameter.
+	sess := core.NewSession()
+	if err := sess.LoadC("c", `
+		struct Pt { float x; float y; };
+		float norm1(struct Pt *p);
+	`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Annotate("c", "annotate norm1.p nonnull"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadJava("java", `
+		class Point { float x; float y; }
+		interface I { float norm1(Point p); }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Annotate("java", "annotate I.norm1.p nonnull noalias"); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := sess.MethodDecl("java", "I", "norm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) {
+		at := cmem.Addr(args[0])
+		x, err := mem.ReadF32(at)
+		if err != nil {
+			return 0, err
+		}
+		y, err := mem.ReadF32(at + 4)
+		if err != nil {
+			return 0, err
+		}
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		return uint64(f32bits(x + y)), nil
+	}
+	call, err := CompileFromSession(sess, "java", jFn, "c", "norm1", cmem.ILP32, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jheap.NewHeap()
+	p := h.New("Point", 2)
+	_ = h.SetField(p, 0, jheap.FloatSlot(-3))
+	_ = h.SetField(p, 1, jheap.FloatSlot(4))
+	outs, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].F != 7 {
+		t.Errorf("norm1 = %v, want 7", outs[0].F)
+	}
+}
+
+func TestFusedUnsupportedFallsOut(t *testing.T) {
+	// Nullable pointers inside fused aggregates are outside the fused
+	// subset; the error must match ErrUnsupported so callers can fall
+	// back to the general engines.
+	sess := core.NewSession()
+	if err := sess.LoadC("c", `
+		struct Box { int *maybe; };
+		void eat(struct Box *b);
+	`, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Annotate("c", "annotate eat.b nonnull"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadJava("java", `
+		class IntBox { int v; }
+		class Box { IntBox maybe; }
+		interface I { void eat(Box b); }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Annotate("java", "annotate I.eat.b nonnull noalias"); err != nil {
+		t.Fatal(err)
+	}
+	jFn, err := sess.MethodDecl("java", "I", "eat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := func(mem *cmem.Arena, args []uint64) (uint64, error) { return 0, nil }
+	_, err = CompileFromSession(sess, "java", jFn, "c", "eat", cmem.ILP32, impl)
+	if err == nil {
+		t.Fatal("nullable-pointer aggregate compiled")
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("error %v does not match ErrUnsupported", err)
+	}
+}
+
+// TestPropertyFusedMatchesGeneral drives the fused stub and the
+// value-tree stub with random point sets and requires identical fitted
+// lines.
+func TestPropertyFusedMatchesGeneral(t *testing.T) {
+	sess, call := compileFitter(t)
+	binder := bind.NewC(sess.Universe("c"), cmem.ILP32)
+	target := core.NewCTarget(binder, sess.Universe("c").Lookup("fitter"), cFitterImpl)
+	general, err := sess.NewCallStub("java", "JavaIdeal", "c", "fitter", core.EngineCompiled, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbinder := bind.NewJ(sess.Universe("java"))
+	ptsDecl := sess.Universe("java").Lookup("JavaIdeal").Type.Methods[0].Params[0].Type
+
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		coords := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Keep within float32-exact range to avoid rounding asymmetry.
+			coords = append(coords, float64(float32(x)))
+		}
+		if len(coords)%2 == 1 {
+			coords = coords[:len(coords)-1]
+		}
+		h := jheap.NewHeap()
+		vec := buildHeapPoints(t, h, coords...)
+
+		fusedOuts, err := call.Invoke(h, []jheap.Slot{jheap.RefSlot(vec)})
+		if err != nil {
+			return false
+		}
+		in, err := jbinder.Read(ptsDecl, h, jheap.RefSlot(vec))
+		if err != nil {
+			return false
+		}
+		genOut, err := general.Invoke(value.NewRecord(in))
+		if err != nil {
+			return false
+		}
+		// Compare the two Lines field by field.
+		line := fusedOuts[0].R
+		gen := genOut.(value.Record).Fields[0].(value.Record)
+		for i, fi := range []int{0, 1} {
+			ref, err := h.Field(line, fi)
+			if err != nil {
+				return false
+			}
+			pt := gen.Fields[i].(value.Record)
+			for j, fj := range []int{0, 1} {
+				s, err := h.Field(ref.R, fj)
+				if err != nil {
+					return false
+				}
+				if s.F != pt.Fields[j].(value.Real).V {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

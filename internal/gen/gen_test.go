@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+)
+
+func mustPlan(t *testing.T, a, b *mtype.Type) *plan.Plan {
+	t.Helper()
+	c := compare.NewComparer(compare.DefaultRules())
+	m, ok := c.Equivalent(a, b)
+	if !ok {
+		t.Fatalf("types do not match:\n%s", c.Explain(a, b, compare.ModeEqual))
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func f32() *mtype.Type { return mtype.NewFloat32() }
+
+func fitterishPlan(t *testing.T) *plan.Plan {
+	point := mtype.RecordOf(f32(), f32())
+	line := mtype.RecordOf(point, point)
+	four := mtype.RecordOf(f32(), f32(), f32(), f32())
+	return mustPlan(t, line, four)
+}
+
+func TestConverterParses(t *testing.T) {
+	src, err := Converter(fitterishPlan(t), "stubs", "LineToFloats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package stubs",
+		"func LineToFloats(v value.Value) (value.Value, error)",
+		"DO NOT EDIT",
+		"lineToFloatsAt(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestConverterCoversAllNodeKinds(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	a := mtype.NewRecord(
+		mtype.Field{Name: "opt", Type: mtype.NewOptional(i8)},
+		mtype.Field{Name: "lst", Type: mtype.NewList(f32())},
+		mtype.Field{Name: "p", Type: mtype.NewPort(f32())},
+		mtype.Field{Name: "u", Type: mtype.Unit()},
+	)
+	b := mtype.NewRecord(
+		mtype.Field{Name: "u", Type: mtype.Unit()},
+		mtype.Field{Name: "p", Type: mtype.NewPort(f32())},
+		mtype.Field{Name: "lst", Type: mtype.NewList(f32())},
+		mtype.Field{Name: "opt", Type: mtype.NewOptional(i8)},
+	)
+	p := mustPlan(t, a, b)
+	src, err := Converter(p, "stubs", "Shuffle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "value.Choice{") {
+		t.Error("choice handling missing")
+	}
+	if !strings.Contains(src, "value.Port") {
+		t.Error("port handling missing")
+	}
+	if !strings.Contains(src, "value.Unit{}") {
+		t.Error("unit synthesis missing")
+	}
+}
+
+func TestConverterRecursivePlan(t *testing.T) {
+	p := mustPlan(t, mtype.NewList(f32()), mtype.NewList(f32()))
+	src, err := Converter(p, "stubs", "CopyList")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recursive plan must reference its own node functions.
+	if !strings.Contains(src, "copyListNode0") {
+		t.Errorf("missing node functions:\n%s", src)
+	}
+}
+
+func TestConverterNilPlan(t *testing.T) {
+	if _, err := Converter(nil, "p", "F"); err == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+// TestGeneratedStubCompilesAndRuns writes a generated stub into a scratch
+// module and executes it with the go tool: the stub must compile and
+// produce the same conversion the engines produce.
+func TestGeneratedStubCompilesAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-tool integration")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := Converter(fitterishPlan(t), "main", "LineToFloats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainSrc := `package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/value"
+)
+
+func main() {
+	line := value.NewRecord(
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	)
+	out, err := LineToFloats(line)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+`
+	// The stub imports repro/internal/value, so it must live inside this
+	// module; a directory starting with "_" is invisible to ./...
+	// patterns but buildable when named explicitly.
+	dir, err := os.MkdirTemp(repoRoot, "_gentest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for name, content := range map[string]string{
+		"stub.go": src,
+		"main.go": mainSrc,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command(goBin, "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "{1, 2, 3, 4}" {
+		t.Errorf("generated stub output = %q, want {1, 2, 3, 4}", got)
+	}
+}
+
+// TestConverterSemanticHook emits a plan containing a programmer hook:
+// the generated file must expose a hook table and parse.
+func TestConverterSemanticHook(t *testing.T) {
+	c := compare.NewComparer(compare.DefaultRules())
+	c.RegisterSemantic("SlopeLine", "SegLine", "slope→seg")
+	slope := mtype.RecordOf(mtype.NewFloat64(), mtype.NewFloat64()).SetTag("SlopeLine")
+	seg := mtype.RecordOf(
+		mtype.RecordOf(mtype.NewFloat64(), mtype.NewFloat64()),
+		mtype.RecordOf(mtype.NewFloat64(), mtype.NewFloat64()),
+	).SetTag("SegLine")
+	m, ok := c.Equivalent(slope, seg)
+	if !ok {
+		t.Fatal("semantic pair did not match")
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Converter(p, "stubs", "LineBridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lineBridgeHooks", `"slope→seg"`, "not registered"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package idlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics mutates valid IDL fragments; parsing must never
+// panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`interface I { void f(in long x, out double y); };`,
+		`module M { struct S { float a; }; typedef sequence<S> Ss; };`,
+		`union U switch (long) { case 1: long a; default: float b; };`,
+		`enum E { a, b, c }; typedef E Es[4];`,
+		`interface A : B { readonly attribute string name; };`,
+	}
+	tokens := []string{
+		"interface", "module", "struct", "{", "}", "(", ")", ";", ",",
+		"in", "out", "long", "sequence", "<", ">", "::", ":", "x",
+	}
+	f := func(seed int64, cut, ins uint8) bool {
+		src := seeds[int(uint64(seed)%uint64(len(seeds)))]
+		pos := int(cut) % (len(src) + 1)
+		tok := tokens[int(ins)%len(tokens)]
+		_, _ = Parse("fuzz.idl", src[:pos]+" "+tok+" "+src[pos:])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserHandlesGarbage(t *testing.T) {
+	garbage := []string{
+		"",
+		"};",
+		"module",
+		"module M {",
+		strings.Repeat("module M { ", 60),
+		"interface I { void f(in sequence<sequence<sequence<long>>> x); };",
+		"\xff\xfeinterface I {};",
+	}
+	for _, src := range garbage {
+		_, _ = Parse("garbage.idl", src)
+	}
+}

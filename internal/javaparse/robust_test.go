@@ -1,0 +1,48 @@
+package javaparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics mutates valid Java fragments; parsing must never
+// panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`public class Point { private float x; private float y; }`,
+		`public interface I { Line fitter(PointVector pts); }`,
+		`class A extends B implements C, D { int x = f(1, g(2)); }`,
+		`class C { static { init(); } C() {} void m() throws E { } }`,
+		`package a.b.c; import java.util.*; class X {}`,
+	}
+	tokens := []string{
+		"class", "interface", "extends", "{", "}", "(", ")", ";", ",",
+		"int", "float", "[", "]", "=", "static", ".", "x", "public",
+	}
+	f := func(seed int64, cut, ins uint8) bool {
+		src := seeds[int(uint64(seed)%uint64(len(seeds)))]
+		pos := int(cut) % (len(src) + 1)
+		tok := tokens[int(ins)%len(tokens)]
+		_, _ = Parse("Fuzz.java", src[:pos]+" "+tok+" "+src[pos:])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserHandlesGarbage(t *testing.T) {
+	garbage := []string{
+		"",
+		"}}}}",
+		"class",
+		"class X {",
+		strings.Repeat("class A { ", 50),
+		"class C { int x = { { { ; } } } }",
+		"\x00class C {}",
+	}
+	for _, src := range garbage {
+		_, _ = Parse("Garbage.java", src)
+	}
+}

@@ -1,0 +1,274 @@
+// Package jheap simulates a Java object heap: objects with typed fields
+// addressed by reference, null references, reference aliasing, primitive
+// and reference arrays, and a built-in java.util.Vector. The paper's local
+// stubs traverse real JVM objects through JNI; the binding layer traverses
+// a Heap instead, exercising identical structure: nullable references,
+// object graphs with sharing, and collections of indefinite size.
+package jheap
+
+import (
+	"fmt"
+)
+
+// Ref is an object reference. 0 is null.
+type Ref int32
+
+// NullRef is the null reference.
+const NullRef Ref = 0
+
+// SlotKind tags the content of a field slot.
+type SlotKind uint8
+
+// Slot kinds.
+const (
+	SlotInt SlotKind = iota + 1 // boolean, byte, short, int, long
+	SlotFloat
+	SlotChar
+	SlotRef
+)
+
+// Slot is one field value.
+type Slot struct {
+	Kind SlotKind
+	I    int64
+	F    float64
+	C    rune
+	R    Ref
+}
+
+// IntSlot returns an integral slot (covers boolean/byte/short/int/long).
+func IntSlot(v int64) Slot { return Slot{Kind: SlotInt, I: v} }
+
+// FloatSlot returns a floating slot.
+func FloatSlot(v float64) Slot { return Slot{Kind: SlotFloat, F: v} }
+
+// CharSlot returns a char slot.
+func CharSlot(r rune) Slot { return Slot{Kind: SlotChar, C: r} }
+
+// RefSlot returns a reference slot.
+func RefSlot(r Ref) Slot { return Slot{Kind: SlotRef, R: r} }
+
+type object struct {
+	class  string
+	fields []Slot
+	// elems is the backing store of Vectors and reference arrays.
+	elems []Ref
+	// prims is the backing store of primitive arrays.
+	prims []Slot
+	// isVector / isArray discriminate the built-in container kinds.
+	isVector  bool
+	isRefArr  bool
+	isPrimArr bool
+}
+
+// Heap is a simulated Java heap. The zero value is not usable; call
+// NewHeap.
+type Heap struct {
+	objects []*object // index 0 unused (null)
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{objects: make([]*object, 1)}
+}
+
+// Live returns the number of live objects.
+func (h *Heap) Live() int { return len(h.objects) - 1 }
+
+func (h *Heap) add(o *object) Ref {
+	h.objects = append(h.objects, o)
+	return Ref(len(h.objects) - 1)
+}
+
+func (h *Heap) get(r Ref) (*object, error) {
+	if r == NullRef {
+		return nil, fmt.Errorf("jheap: null reference")
+	}
+	if int(r) >= len(h.objects) || r < 0 {
+		return nil, fmt.Errorf("jheap: dangling reference %d", r)
+	}
+	return h.objects[r], nil
+}
+
+// New allocates an object of the class with the given field count; fields
+// start zeroed (int 0 / null).
+func (h *Heap) New(class string, numFields int) Ref {
+	return h.add(&object{class: class, fields: make([]Slot, numFields)})
+}
+
+// Class returns the class name of the object.
+func (h *Heap) Class(r Ref) (string, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return "", err
+	}
+	return o.class, nil
+}
+
+// SetField stores a field slot.
+func (h *Heap) SetField(r Ref, idx int, s Slot) error {
+	o, err := h.get(r)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(o.fields) {
+		return fmt.Errorf("jheap: field %d out of range (class %s has %d)", idx, o.class, len(o.fields))
+	}
+	o.fields[idx] = s
+	return nil
+}
+
+// Field loads a field slot.
+func (h *Heap) Field(r Ref, idx int) (Slot, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return Slot{}, err
+	}
+	if idx < 0 || idx >= len(o.fields) {
+		return Slot{}, fmt.Errorf("jheap: field %d out of range (class %s has %d)", idx, o.class, len(o.fields))
+	}
+	return o.fields[idx], nil
+}
+
+// NewVector allocates an empty java.util.Vector (or subclass).
+func (h *Heap) NewVector(class string) Ref {
+	if class == "" {
+		class = "java.util.Vector"
+	}
+	return h.add(&object{class: class, isVector: true})
+}
+
+// VectorAppend appends an element reference.
+func (h *Heap) VectorAppend(r Ref, elem Ref) error {
+	o, err := h.get(r)
+	if err != nil {
+		return err
+	}
+	if !o.isVector {
+		return fmt.Errorf("jheap: %s is not a Vector", o.class)
+	}
+	o.elems = append(o.elems, elem)
+	return nil
+}
+
+// VectorLen returns the element count.
+func (h *Heap) VectorLen(r Ref) (int, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return 0, err
+	}
+	if !o.isVector {
+		return 0, fmt.Errorf("jheap: %s is not a Vector", o.class)
+	}
+	return len(o.elems), nil
+}
+
+// VectorAt returns the element at index i.
+func (h *Heap) VectorAt(r Ref, i int) (Ref, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return NullRef, err
+	}
+	if !o.isVector {
+		return NullRef, fmt.Errorf("jheap: %s is not a Vector", o.class)
+	}
+	if i < 0 || i >= len(o.elems) {
+		return NullRef, fmt.Errorf("jheap: vector index %d out of range %d", i, len(o.elems))
+	}
+	return o.elems[i], nil
+}
+
+// NewRefArray allocates a reference array (elements start null).
+func (h *Heap) NewRefArray(class string, length int) Ref {
+	return h.add(&object{class: class + "[]", isRefArr: true, elems: make([]Ref, length)})
+}
+
+// NewPrimArray allocates a primitive array of the given slot kind.
+func (h *Heap) NewPrimArray(class string, length int) Ref {
+	return h.add(&object{class: class + "[]", isPrimArr: true, prims: make([]Slot, length)})
+}
+
+// ArrayLen returns the length of a reference or primitive array, or of a
+// Vector.
+func (h *Heap) ArrayLen(r Ref) (int, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case o.isRefArr, o.isVector:
+		return len(o.elems), nil
+	case o.isPrimArr:
+		return len(o.prims), nil
+	default:
+		return 0, fmt.Errorf("jheap: %s is not an array", o.class)
+	}
+}
+
+// RefArraySet stores into a reference array.
+func (h *Heap) RefArraySet(r Ref, i int, elem Ref) error {
+	o, err := h.get(r)
+	if err != nil {
+		return err
+	}
+	if !o.isRefArr {
+		return fmt.Errorf("jheap: %s is not a reference array", o.class)
+	}
+	if i < 0 || i >= len(o.elems) {
+		return fmt.Errorf("jheap: index %d out of range %d", i, len(o.elems))
+	}
+	o.elems[i] = elem
+	return nil
+}
+
+// RefArrayAt loads from a reference array.
+func (h *Heap) RefArrayAt(r Ref, i int) (Ref, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return NullRef, err
+	}
+	if !o.isRefArr {
+		return NullRef, fmt.Errorf("jheap: %s is not a reference array", o.class)
+	}
+	if i < 0 || i >= len(o.elems) {
+		return NullRef, fmt.Errorf("jheap: index %d out of range %d", i, len(o.elems))
+	}
+	return o.elems[i], nil
+}
+
+// PrimArraySet stores into a primitive array.
+func (h *Heap) PrimArraySet(r Ref, i int, s Slot) error {
+	o, err := h.get(r)
+	if err != nil {
+		return err
+	}
+	if !o.isPrimArr {
+		return fmt.Errorf("jheap: %s is not a primitive array", o.class)
+	}
+	if i < 0 || i >= len(o.prims) {
+		return fmt.Errorf("jheap: index %d out of range %d", i, len(o.prims))
+	}
+	o.prims[i] = s
+	return nil
+}
+
+// PrimArrayAt loads from a primitive array.
+func (h *Heap) PrimArrayAt(r Ref, i int) (Slot, error) {
+	o, err := h.get(r)
+	if err != nil {
+		return Slot{}, err
+	}
+	if !o.isPrimArr {
+		return Slot{}, fmt.Errorf("jheap: %s is not a primitive array", o.class)
+	}
+	if i < 0 || i >= len(o.prims) {
+		return Slot{}, fmt.Errorf("jheap: index %d out of range %d", i, len(o.prims))
+	}
+	return o.prims[i], nil
+}
+
+// IsVector reports whether the reference is a Vector.
+func (h *Heap) IsVector(r Ref) bool {
+	o, err := h.get(r)
+	return err == nil && o.isVector
+}

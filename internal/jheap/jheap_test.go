@@ -1,0 +1,180 @@
+package jheap
+
+import "testing"
+
+func TestNewObjectAndFields(t *testing.T) {
+	h := NewHeap()
+	r := h.New("Point", 2)
+	if r == NullRef {
+		t.Fatal("New returned null")
+	}
+	if cls, _ := h.Class(r); cls != "Point" {
+		t.Errorf("class = %q", cls)
+	}
+	if err := h.SetField(r, 0, FloatSlot(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.Field(r, 0)
+	if err != nil || s.Kind != SlotFloat || s.F != 1.5 {
+		t.Errorf("field = %+v, %v", s, err)
+	}
+	// Fresh fields are zero int slots.
+	s, _ = h.Field(r, 1)
+	if s.Kind != 0 || s.I != 0 {
+		t.Errorf("fresh field = %+v", s)
+	}
+}
+
+func TestFieldBounds(t *testing.T) {
+	h := NewHeap()
+	r := h.New("C", 1)
+	if err := h.SetField(r, 5, IntSlot(1)); err == nil {
+		t.Error("out-of-range field accepted")
+	}
+	if _, err := h.Field(r, -1); err == nil {
+		t.Error("negative field accepted")
+	}
+}
+
+func TestNullAndDangling(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Field(NullRef, 0); err == nil {
+		t.Error("null dereference accepted")
+	}
+	if _, err := h.Field(Ref(99), 0); err == nil {
+		t.Error("dangling reference accepted")
+	}
+}
+
+func TestVector(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVector("PointVector")
+	if !h.IsVector(v) {
+		t.Fatal("not a vector")
+	}
+	p := h.New("Point", 2)
+	if err := h.VectorAppend(v, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VectorAppend(v, NullRef); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.VectorLen(v)
+	if err != nil || n != 2 {
+		t.Fatalf("len = %d, %v", n, err)
+	}
+	got, err := h.VectorAt(v, 0)
+	if err != nil || got != p {
+		t.Errorf("at(0) = %d, %v", got, err)
+	}
+	if _, err := h.VectorAt(v, 9); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := h.VectorAppend(p, p); err == nil {
+		t.Error("append to non-vector accepted")
+	}
+}
+
+func TestVectorDefaultClass(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVector("")
+	if cls, _ := h.Class(v); cls != "java.util.Vector" {
+		t.Errorf("class = %q", cls)
+	}
+}
+
+func TestRefArray(t *testing.T) {
+	h := NewHeap()
+	a := h.NewRefArray("Point", 3)
+	n, err := h.ArrayLen(a)
+	if err != nil || n != 3 {
+		t.Fatalf("len = %d, %v", n, err)
+	}
+	p := h.New("Point", 2)
+	if err := h.RefArraySet(a, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.RefArrayAt(a, 1)
+	if err != nil || got != p {
+		t.Errorf("at(1) = %d, %v", got, err)
+	}
+	if got, _ := h.RefArrayAt(a, 0); got != NullRef {
+		t.Errorf("fresh element = %d, want null", got)
+	}
+	if err := h.RefArraySet(a, 5, p); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+	if err := h.PrimArraySet(a, 0, IntSlot(1)); err == nil {
+		t.Error("prim set on ref array accepted")
+	}
+}
+
+func TestPrimArray(t *testing.T) {
+	h := NewHeap()
+	a := h.NewPrimArray("float", 2)
+	if err := h.PrimArraySet(a, 0, FloatSlot(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.PrimArrayAt(a, 0)
+	if err != nil || s.F != 2.5 {
+		t.Errorf("at(0) = %+v, %v", s, err)
+	}
+	if _, err := h.RefArrayAt(a, 0); err == nil {
+		t.Error("ref read on prim array accepted")
+	}
+}
+
+func TestArrayLenOnNonArray(t *testing.T) {
+	h := NewHeap()
+	o := h.New("X", 0)
+	if _, err := h.ArrayLen(o); err == nil {
+		t.Error("ArrayLen on plain object accepted")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	// Two fields referring to the same object observe each other's writes
+	// — the aliasing the noalias annotation promises away.
+	h := NewHeap()
+	shared := h.New("Point", 2)
+	line := h.New("Line", 2)
+	_ = h.SetField(line, 0, RefSlot(shared))
+	_ = h.SetField(line, 1, RefSlot(shared))
+	_ = h.SetField(shared, 0, FloatSlot(9))
+	s0, _ := h.Field(line, 0)
+	s1, _ := h.Field(line, 1)
+	if s0.R != s1.R {
+		t.Fatal("aliases differ")
+	}
+	v, _ := h.Field(s1.R, 0)
+	if v.F != 9 {
+		t.Errorf("alias write not visible: %v", v.F)
+	}
+}
+
+func TestLive(t *testing.T) {
+	h := NewHeap()
+	if h.Live() != 0 {
+		t.Errorf("fresh heap live = %d", h.Live())
+	}
+	h.New("A", 0)
+	h.NewVector("")
+	if h.Live() != 2 {
+		t.Errorf("live = %d, want 2", h.Live())
+	}
+}
+
+func TestSlotConstructors(t *testing.T) {
+	if s := IntSlot(7); s.Kind != SlotInt || s.I != 7 {
+		t.Errorf("IntSlot = %+v", s)
+	}
+	if s := FloatSlot(1.5); s.Kind != SlotFloat || s.F != 1.5 {
+		t.Errorf("FloatSlot = %+v", s)
+	}
+	if s := CharSlot('x'); s.Kind != SlotChar || s.C != 'x' {
+		t.Errorf("CharSlot = %+v", s)
+	}
+	if s := RefSlot(3); s.Kind != SlotRef || s.R != 3 {
+		t.Errorf("RefSlot = %+v", s)
+	}
+}

@@ -1,0 +1,677 @@
+// Package lower translates annotated Stype declarations into Mtypes,
+// implementing §3 of the paper:
+//
+//   - integral types become Integer Mtypes with language-default ranges,
+//     booleans 0..1, enums 0..n-1 (§3.1);
+//   - char types become Character Mtypes unless annotated `int` (§3.1);
+//   - floats become Real Mtypes (§3.1);
+//   - structs, by-value classes, and fixed-size arrays become Records
+//     (§3.2);
+//   - unions become Choices; nullable pointers and references become
+//     Choice(Unit, τ) unless annotated nonnull (§3.2);
+//   - indefinite arrays, sequences, Vectors, and recursive declarations
+//     become recursive list encodings / cyclic Mtype graphs (§3.2);
+//   - functions become port(Record(I, port(O))) and object references
+//     port(Choice(invocations)) (§3.3).
+//
+// Lowering is memoized per declaration variant, so a declaration used in
+// many places lowers to one shared (possibly cyclic) Mtype graph.
+package lower
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/mtype"
+	"repro/internal/stype"
+)
+
+// Lowerer lowers declarations of one universe. It is not safe for
+// concurrent use.
+type Lowerer struct {
+	u *stype.Universe
+	// memo maps (decl, variant) to finished or in-progress Mtypes; an
+	// in-progress entry is a Recursive node that becomes a back-edge when
+	// re-entered, which is exactly how cyclic declarations produce the
+	// cyclic graphs of Figure 8.
+	memo map[memoKey]*memoEntry
+}
+
+type memoKey struct {
+	decl    *stype.Decl
+	byValue bool
+}
+
+type memoEntry struct {
+	rec  *mtype.Type // μ placeholder handed to re-entrant references
+	done *mtype.Type // final result; nil while in progress
+	used bool        // whether the placeholder was referenced
+}
+
+// New returns a Lowerer for the universe.
+func New(u *stype.Universe) *Lowerer {
+	return &Lowerer{u: u, memo: make(map[memoKey]*memoEntry)}
+}
+
+// Decl lowers the named declaration to its Mtype.
+func (l *Lowerer) Decl(name string) (*mtype.Type, error) {
+	d := l.u.Lookup(name)
+	if d == nil {
+		return nil, fmt.Errorf("lower: no declaration %q", name)
+	}
+	ty, err := l.lowerRoot(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := mtype.Validate(ty); err != nil {
+		return nil, fmt.Errorf("lower: %s: %w", name, err)
+	}
+	return ty, nil
+}
+
+// lowerRoot lowers a declaration presented directly to the tool (the types
+// a programmer selects in the Comparer).
+func (l *Lowerer) lowerRoot(d *stype.Decl) (*mtype.Type, error) {
+	t := d.Type
+	switch t.Kind {
+	case stype.KFunc:
+		return l.lowerFunc(t.Params, t.Result, false)
+	case stype.KInterface:
+		return l.lowerObjectPort(d)
+	case stype.KClass:
+		// A class decl at the root is inspected as a value shape when it
+		// has fields (the §2 Point/Line usage) and as an object port when
+		// it only has methods, unless byvalue/byref says otherwise.
+		if byValue, set := annByValue(t.Ann); set {
+			if byValue {
+				return l.lowerDeclValue(d)
+			}
+			return l.lowerObjectPort(d)
+		}
+		if IsCollection(l.u, d) {
+			return l.lowerCollection(d, t.Ann)
+		}
+		if len(t.Fields) > 0 {
+			return l.lowerDeclValue(d)
+		}
+		return l.lowerObjectPort(d)
+	default:
+		return l.lowerDeclValue(d)
+	}
+}
+
+func annByValue(a stype.Ann) (byValue, set bool) {
+	if a.ByValue != nil {
+		return *a.ByValue, true
+	}
+	return false, false
+}
+
+// lowerDeclValue lowers a declaration's content by value, memoized so that
+// recursive declarations become cyclic graphs.
+func (l *Lowerer) lowerDeclValue(d *stype.Decl) (*mtype.Type, error) {
+	key := memoKey{decl: d, byValue: true}
+	if e, ok := l.memo[key]; ok {
+		if e.done != nil {
+			return e.done, nil
+		}
+		// Re-entered while in progress: hand out the μ node.
+		e.used = true
+		return e.rec, nil
+	}
+	e := &memoEntry{rec: mtype.NewRecursive().SetTag(d.Name)}
+	l.memo[key] = e
+	body, err := l.lowerValue(d.Type)
+	if err != nil {
+		delete(l.memo, key)
+		return nil, err
+	}
+	if e.used {
+		e.rec.SetBody(body)
+		e.done = e.rec
+	} else {
+		e.done = body
+	}
+	return e.done, nil
+}
+
+// lowerObjectPort lowers a class/interface declaration as an object
+// reference target: port(Choice(invocation Mtypes)), collapsing a
+// single-method object to port(invocation) (§3.3, §3.4). Methods of base
+// interfaces/classes are included, innermost last.
+func (l *Lowerer) lowerObjectPort(d *stype.Decl) (*mtype.Type, error) {
+	key := memoKey{decl: d, byValue: false}
+	if e, ok := l.memo[key]; ok {
+		if e.done != nil {
+			return e.done, nil
+		}
+		e.used = true
+		return e.rec, nil
+	}
+	e := &memoEntry{rec: mtype.NewRecursive().SetTag(d.Name)}
+	l.memo[key] = e
+
+	methods, err := l.collectMethods(d, nil)
+	if err != nil {
+		delete(l.memo, key)
+		return nil, err
+	}
+	var alts []mtype.Alt
+	for _, m := range methods {
+		if m.Ann.Ignore {
+			continue
+		}
+		inv, err := l.lowerInvocation(m)
+		if err != nil {
+			delete(l.memo, key)
+			return nil, fmt.Errorf("method %s.%s: %w", d.Name, m.Name, err)
+		}
+		alts = append(alts, mtype.Alt{Name: m.Name, Type: inv})
+	}
+	var elem *mtype.Type
+	switch len(alts) {
+	case 0:
+		elem = mtype.Unit()
+	case 1:
+		elem = alts[0].Type
+	default:
+		elem = mtype.NewChoice(alts...)
+	}
+	body := mtype.NewPort(elem).SetTag(d.Name)
+	if e.used {
+		e.rec.SetBody(body)
+		e.done = e.rec
+	} else {
+		e.done = body
+	}
+	return e.done, nil
+}
+
+// collectMethods gathers the methods of d and its super chain.
+func (l *Lowerer) collectMethods(d *stype.Decl, seen map[string]bool) ([]stype.Method, error) {
+	if seen == nil {
+		seen = make(map[string]bool)
+	}
+	if seen[d.Name] {
+		return nil, fmt.Errorf("lower: inheritance cycle through %s", d.Name)
+	}
+	seen[d.Name] = true
+	var out []stype.Method
+	if d.Type.Super != "" {
+		super := l.u.Lookup(d.Type.Super)
+		if super == nil {
+			// Unknown supers (e.g. external library classes) contribute no
+			// methods; java.util.Vector is registered, so this only skips
+			// classes outside the loaded set.
+			return d.Type.Methods, nil
+		}
+		base, err := l.collectMethods(super, seen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, base...)
+	}
+	out = append(out, d.Type.Methods...)
+	return out, nil
+}
+
+// lowerInvocation lowers one method to its invocation Mtype:
+// Record(inputs..., port(Record(outputs...))), or Record(inputs...) for
+// oneway methods (§3.3).
+func (l *Lowerer) lowerInvocation(m stype.Method) (*mtype.Type, error) {
+	if m.Oneway {
+		inputs, _, err := l.lowerParams(m.Params, nil)
+		if err != nil {
+			return nil, err
+		}
+		return mtype.NewRecord(inputs...).SetTag(m.Name), nil
+	}
+	port, err := l.lowerFunc(m.Params, m.Result, true)
+	if err != nil {
+		return nil, err
+	}
+	// lowerFunc returns port(Record(...)); an invocation is the record
+	// itself (the object port carries the outer port).
+	return port.Elem(), nil
+}
+
+// lowerFunc lowers a function to port(Record(I..., port(Record(O...)))).
+// Parameters annotated out contribute only to O; inout to both; the result
+// is always an output. Parameters named by a sibling's length-from are
+// consumed by the length relationship and appear in neither record.
+func (l *Lowerer) lowerFunc(params []stype.Param, result *stype.Type, method bool) (*mtype.Type, error) {
+	sig, err := SignatureOf(params, result)
+	if err != nil {
+		return nil, err
+	}
+	inputs, outputs, err := l.lowerParams(params, &sig)
+	if err != nil {
+		return nil, err
+	}
+	reply := mtype.NewPort(mtype.NewRecord(outputs...)).SetTag("reply")
+	request := append(inputs, mtype.Field{Name: "reply", Type: reply})
+	return mtype.NewPort(mtype.NewRecord(request...)), nil
+}
+
+// lowerParams lowers parameters into input and output fields. sig may be
+// nil for oneway methods (all inputs).
+func (l *Lowerer) lowerParams(params []stype.Param, sig *Signature) ([]mtype.Field, []mtype.Field, error) {
+	var inputs, outputs []mtype.Field
+	for _, p := range params {
+		role := RoleIn
+		if sig != nil {
+			role = sig.Roles[p.Name]
+		}
+		if role == RoleLength {
+			continue
+		}
+		ty, err := l.lowerValue(p.Type)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parameter %s: %w", p.Name, err)
+		}
+		f := mtype.Field{Name: p.Name, Type: ty}
+		switch role {
+		case RoleIn:
+			inputs = append(inputs, f)
+		case RoleOut:
+			outputs = append(outputs, f)
+		case RoleInOut:
+			inputs = append(inputs, f)
+			outputs = append(outputs, f)
+		}
+	}
+	if sig != nil && sig.Result != nil {
+		ty, err := l.lowerValue(sig.Result)
+		if err != nil {
+			return nil, nil, fmt.Errorf("result: %w", err)
+		}
+		outputs = append(outputs, mtype.Field{Name: "return", Type: ty})
+	}
+	return inputs, outputs, nil
+}
+
+// lowerValue lowers a type use to its Mtype, honoring the node's
+// annotations.
+func (l *Lowerer) lowerValue(t *stype.Type) (*mtype.Type, error) {
+	if t == nil {
+		return mtype.Unit(), nil
+	}
+	switch t.Kind {
+	case stype.KPrim:
+		return l.lowerPrim(t)
+	case stype.KNamed:
+		return l.lowerNamed(t)
+	case stype.KStruct:
+		return l.lowerFields(t.Fields, t.Name)
+	case stype.KUnion:
+		return l.lowerUnion(t)
+	case stype.KClass, stype.KInterface:
+		// An inline class node (anonymous composite) lowers by value.
+		return l.lowerFields(t.Fields, t.Name)
+	case stype.KEnum:
+		if len(t.EnumNames) == 0 {
+			return nil, fmt.Errorf("lower: enum %s has no elements", t.Name)
+		}
+		return mtype.NewEnum(len(t.EnumNames)).SetTag(t.Name), nil
+	case stype.KPointer:
+		return l.lowerPointer(t)
+	case stype.KArray:
+		return l.lowerArray(t)
+	case stype.KSequence:
+		elem, err := l.lowerValue(t.ElemType)
+		if err != nil {
+			return nil, err
+		}
+		return mtype.NewList(elem), nil
+	case stype.KFunc:
+		return l.lowerFunc(t.Params, t.Result, false)
+	default:
+		return nil, fmt.Errorf("lower: unsupported node kind %s", t.Kind)
+	}
+}
+
+func (l *Lowerer) lowerFields(fields []stype.Field, tag string) (*mtype.Type, error) {
+	out := make([]mtype.Field, 0, len(fields))
+	for _, f := range fields {
+		if f.Type != nil && f.Type.Ann.Ignore {
+			continue
+		}
+		ty, err := l.lowerValue(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", f.Name, err)
+		}
+		out = append(out, mtype.Field{Name: f.Name, Type: ty})
+	}
+	return mtype.NewRecord(out...).SetTag(tag), nil
+}
+
+func (l *Lowerer) lowerUnion(t *stype.Type) (*mtype.Type, error) {
+	alts := make([]mtype.Alt, 0, len(t.Fields))
+	for _, f := range t.Fields {
+		if f.Type != nil && f.Type.Ann.Ignore {
+			continue
+		}
+		ty, err := l.lowerValue(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("union member %s: %w", f.Name, err)
+		}
+		alts = append(alts, mtype.Alt{Name: f.Name, Type: ty})
+	}
+	if len(alts) == 0 {
+		return nil, fmt.Errorf("lower: union %s has no members", t.Name)
+	}
+	return mtype.NewChoice(alts...).SetTag(t.Name), nil
+}
+
+// lowerPrim lowers a primitive honoring range/char/repertoire annotations
+// (§3.1).
+func (l *Lowerer) lowerPrim(t *stype.Type) (*mtype.Type, error) {
+	ann := t.Ann
+	// Explicit range annotation wins and forces an Integer Mtype.
+	if ann.Range != nil {
+		lo, ok1 := new(big.Int).SetString(ann.Range.Lo, 10)
+		hi, ok2 := new(big.Int).SetString(ann.Range.Hi, 10)
+		if !ok1 || !ok2 || lo.Cmp(hi) > 0 {
+			return nil, fmt.Errorf("lower: invalid range annotation %s..%s", ann.Range.Lo, ann.Range.Hi)
+		}
+		return mtype.NewInteger(lo, hi), nil
+	}
+	asChar := func(defaultChar bool) bool {
+		if ann.AsChar != nil {
+			return *ann.AsChar
+		}
+		return defaultChar
+	}
+	rep := func(def mtype.Repertoire) (mtype.Repertoire, error) {
+		switch ann.Repertoire {
+		case "":
+			return def, nil
+		case "ascii":
+			return mtype.RepASCII, nil
+		case "latin1":
+			return mtype.RepLatin1, nil
+		case "ucs2":
+			return mtype.RepUCS2, nil
+		case "unicode":
+			return mtype.RepUnicode, nil
+		default:
+			return 0, fmt.Errorf("lower: unknown repertoire %q", ann.Repertoire)
+		}
+	}
+	switch t.Prim {
+	case stype.PVoid:
+		return mtype.Unit(), nil
+	case stype.PBool:
+		return mtype.NewBool(), nil
+	case stype.PI8:
+		if asChar(false) {
+			r, err := rep(mtype.RepLatin1)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(8, true), nil
+	case stype.PU8:
+		if asChar(false) {
+			r, err := rep(mtype.RepLatin1)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(8, false), nil
+	case stype.PI16:
+		if asChar(false) {
+			r, err := rep(mtype.RepUCS2)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(16, true), nil
+	case stype.PU16:
+		if asChar(false) {
+			r, err := rep(mtype.RepUCS2)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(16, false), nil
+	case stype.PI32:
+		if asChar(false) {
+			r, err := rep(mtype.RepUnicode)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(32, true), nil
+	case stype.PU32:
+		return mtype.NewIntegerBits(32, false), nil
+	case stype.PI64:
+		return mtype.NewIntegerBits(64, true), nil
+	case stype.PU64:
+		return mtype.NewIntegerBits(64, false), nil
+	case stype.PF32:
+		return mtype.NewFloat32(), nil
+	case stype.PF64:
+		return mtype.NewFloat64(), nil
+	case stype.PChar8:
+		// Plain C char holds characters by convention (§3.1); `int`
+		// annotation turns it into a signed byte.
+		if asChar(true) {
+			r, err := rep(mtype.RepLatin1)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(8, true), nil
+	case stype.PChar16:
+		if asChar(true) {
+			r, err := rep(mtype.RepUCS2)
+			if err != nil {
+				return nil, err
+			}
+			return mtype.NewCharacter(r), nil
+		}
+		return mtype.NewIntegerBits(16, false), nil
+	default:
+		return nil, fmt.Errorf("lower: unsupported primitive %s", t.Prim)
+	}
+}
+
+// lowerNamed lowers a use of a named declaration. For composite targets
+// the use-site annotations decide between containment (by value), object
+// reference, and nullability (§3.2):
+//
+//   - byvalue at use or declaration, or nonnull+noalias at use, lowers the
+//     target by value (the §3.4 Line-contains-two-Points conclusion);
+//   - otherwise classes and interfaces lower as object reference ports;
+//   - the result is wrapped in Choice(Unit, τ) unless nonnull.
+func (l *Lowerer) lowerNamed(t *stype.Type) (*mtype.Type, error) {
+	d := t.Target
+	if d == nil {
+		d = l.u.Lookup(t.Name)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("lower: unresolved name %q", t.Name)
+	}
+	ann := t.Ann
+	target := d.Type
+	switch target.Kind {
+	case stype.KPrim, stype.KEnum, stype.KArray, stype.KSequence, stype.KPointer, stype.KFunc:
+		// Typedef-like targets: lower the target with the use-site
+		// annotation overlaid on the target's own.
+		overlaid := *target
+		overlaid.Ann = target.Ann.Merge(ann)
+		return l.lowerValue(&overlaid)
+	case stype.KStruct, stype.KUnion:
+		// Structs and unions are values; no reference semantics.
+		return l.lowerDeclValue(d)
+	case stype.KClass, stype.KInterface:
+		core, err := l.lowerClassRef(d, ann)
+		if err != nil {
+			return nil, err
+		}
+		if ann.NonNull {
+			return core, nil
+		}
+		return mtype.NewOptional(core), nil
+	default:
+		return nil, fmt.Errorf("lower: cannot lower reference to %s", target.Kind)
+	}
+}
+
+// lowerClassRef lowers the referent of a class/interface reference
+// (without the nullability wrapper).
+func (l *Lowerer) lowerClassRef(d *stype.Decl, use stype.Ann) (*mtype.Type, error) {
+	target := d.Type
+	// Collections lower to the list encoding regardless of by-value/by-ref.
+	if use.CollectionOf != "" || IsCollection(l.u, d) {
+		merged := target.Ann.Merge(use)
+		return l.lowerCollection(d, merged)
+	}
+	if ByValueOf(d, use) {
+		if target.Kind == stype.KInterface {
+			return nil, fmt.Errorf("lower: interface %s cannot be passed by value", d.Name)
+		}
+		return l.lowerDeclValue(d)
+	}
+	return l.lowerObjectPort(d)
+}
+
+// ByValueOf decides whether a reference to d with the given use-site
+// annotation lowers by value (containment) rather than as an object port:
+// an explicit byvalue/byref wins; nonnull+noalias implies containment (§3:
+// "neither field is ever null and neither may introduce an alias" lets
+// Mockingbird conclude every Line contains two different Points); and a
+// pure data class (fields, no methods) defaults to by-value because it has
+// no behavior to invoke remotely. The binding layer uses the same
+// predicate, so the Mtype and the marshaling code cannot disagree.
+func ByValueOf(d *stype.Decl, use stype.Ann) bool {
+	target := d.Type
+	if use.ByValue != nil {
+		return *use.ByValue
+	}
+	if target.Ann.ByValue != nil {
+		return *target.Ann.ByValue
+	}
+	if use.NonNull && use.NoAlias {
+		return true
+	}
+	return target.Kind == stype.KClass && len(target.Methods) == 0 && len(target.Fields) > 0
+}
+
+// IsCollection reports whether the declaration is an ordered collection:
+// annotated collection-of, or a transitive subclass of one (the Vector
+// rule of §3.4).
+func IsCollection(u *stype.Universe, d *stype.Decl) bool {
+	seen := make(map[string]bool)
+	for d != nil && !seen[d.Name] {
+		seen[d.Name] = true
+		if d.Type.Ann.CollectionOf != "" {
+			return true
+		}
+		if d.Type.Super == "" {
+			return false
+		}
+		d = u.Lookup(d.Type.Super)
+	}
+	return false
+}
+
+// collectionElement resolves the element type name of a collection
+// declaration, walking the super chain for the default.
+func CollectionElement(u *stype.Universe, d *stype.Decl, ann stype.Ann) string {
+	if ann.CollectionOf != "" {
+		return ann.CollectionOf
+	}
+	seen := make(map[string]bool)
+	for d != nil && !seen[d.Name] {
+		seen[d.Name] = true
+		if d.Type.Ann.CollectionOf != "" {
+			return d.Type.Ann.CollectionOf
+		}
+		d = u.Lookup(d.Type.Super)
+	}
+	return ""
+}
+
+// lowerCollection lowers an ordered-collection class to the list encoding.
+// Elements are references to the element class, nonnull when
+// element-nonnull is annotated.
+func (l *Lowerer) lowerCollection(d *stype.Decl, ann stype.Ann) (*mtype.Type, error) {
+	elemName := CollectionElement(l.u, d, ann)
+	if elemName == "" {
+		return nil, fmt.Errorf("lower: %s is a collection of unknown element type", d.Name)
+	}
+	if l.u.Lookup(elemName) == nil {
+		return nil, fmt.Errorf("lower: collection %s: unknown element type %q", d.Name, elemName)
+	}
+	elemUse := stype.NewNamed(elemName)
+	elemUse.Ann.NonNull = ann.ElementNonNull
+	// Element containment follows the element class's own annotations.
+	elem, err := l.lowerValue(elemUse)
+	if err != nil {
+		return nil, fmt.Errorf("lower: collection %s: %w", d.Name, err)
+	}
+	return mtype.NewList(elem).SetTag(d.Name), nil
+}
+
+// lowerPointer lowers a C pointer use (§3.2): with a length annotation it
+// is an array; otherwise it points at a single value and is nullable
+// unless annotated nonnull.
+func (l *Lowerer) lowerPointer(t *stype.Type) (*mtype.Type, error) {
+	ann := t.Ann
+	if ann.FixedLen > 0 {
+		elem, err := l.lowerValue(t.ElemType)
+		if err != nil {
+			return nil, err
+		}
+		fields := make([]mtype.Field, ann.FixedLen)
+		for i := range fields {
+			fields[i] = mtype.Field{Type: elem}
+		}
+		return mtype.NewRecord(fields...), nil
+	}
+	if ann.LengthFrom != "" {
+		elem, err := l.lowerValue(t.ElemType)
+		if err != nil {
+			return nil, err
+		}
+		return mtype.NewList(elem), nil
+	}
+	elem, err := l.lowerValue(t.ElemType)
+	if err != nil {
+		return nil, err
+	}
+	if ann.NonNull {
+		return elem, nil
+	}
+	return mtype.NewOptional(elem), nil
+}
+
+// lowerArray lowers an array use (§3.2): fixed length to a Record of n
+// elements, indefinite length to the recursive list encoding, with
+// annotations able to supply either form.
+func (l *Lowerer) lowerArray(t *stype.Type) (*mtype.Type, error) {
+	length := t.Len
+	if t.Ann.FixedLen > 0 {
+		length = t.Ann.FixedLen
+	}
+	elem, err := l.lowerValue(t.ElemType)
+	if err != nil {
+		return nil, err
+	}
+	if length >= 0 && t.Ann.LengthFrom == "" {
+		fields := make([]mtype.Field, length)
+		for i := range fields {
+			fields[i] = mtype.Field{Type: elem}
+		}
+		return mtype.NewRecord(fields...), nil
+	}
+	return mtype.NewList(elem), nil
+}

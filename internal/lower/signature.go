@@ -1,0 +1,110 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/stype"
+)
+
+// Role classifies how a parameter participates in an invocation.
+type Role uint8
+
+// Parameter roles.
+const (
+	// RoleIn parameters appear in the request record.
+	RoleIn Role = iota + 1
+	// RoleOut parameters appear in the reply record only.
+	RoleOut
+	// RoleInOut parameters appear in both records.
+	RoleInOut
+	// RoleLength parameters carry the runtime length of a sibling array
+	// (the fitter `count` convention) and appear in neither record: the
+	// length is implicit in the list encoding.
+	RoleLength
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleIn:
+		return "in"
+	case RoleOut:
+		return "out"
+	case RoleInOut:
+		return "inout"
+	case RoleLength:
+		return "length"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Signature describes the lowered shape of a function or method: the role
+// of each parameter and the length relationships between parameters. The
+// binding layer uses the same Signature to move concrete values, so the
+// Mtype and the marshaling code cannot disagree.
+type Signature struct {
+	// Roles maps each parameter name to its role.
+	Roles map[string]Role
+	// LengthOf maps a RoleLength parameter name to the array parameter
+	// whose length it carries.
+	LengthOf map[string]string
+	// Result is the declared result type, nil for void.
+	Result *stype.Type
+}
+
+// SignatureOf computes the signature of a parameter list and result.
+func SignatureOf(params []stype.Param, result *stype.Type) (Signature, error) {
+	sig := Signature{
+		Roles:    make(map[string]Role, len(params)),
+		LengthOf: make(map[string]string),
+		Result:   result,
+	}
+	byName := make(map[string]stype.Param, len(params))
+	for _, p := range params {
+		if _, dup := byName[p.Name]; dup && p.Name != "" {
+			return sig, fmt.Errorf("lower: duplicate parameter %q", p.Name)
+		}
+		byName[p.Name] = p
+		switch p.Type.Ann.Mode {
+		case stype.ModeOut:
+			sig.Roles[p.Name] = RoleOut
+		case stype.ModeInOut:
+			sig.Roles[p.Name] = RoleInOut
+		default:
+			sig.Roles[p.Name] = RoleIn
+		}
+	}
+	for _, p := range params {
+		lf := p.Type.Ann.LengthFrom
+		if lf == "" {
+			continue
+		}
+		counter, ok := byName[lf]
+		if !ok {
+			return sig, fmt.Errorf("lower: %s: length-from names unknown parameter %q", p.Name, lf)
+		}
+		if counter.Type.Kind != stype.KPrim || !integralPrim(counter.Type.Prim) {
+			return sig, fmt.Errorf("lower: %s: length parameter %q is not integral", p.Name, lf)
+		}
+		if prev, taken := sig.LengthOf[lf]; taken {
+			return sig, fmt.Errorf("lower: parameter %q is the length of both %q and %q", lf, prev, p.Name)
+		}
+		if sig.Roles[lf] != RoleIn {
+			return sig, fmt.Errorf("lower: length parameter %q must be an input", lf)
+		}
+		sig.Roles[lf] = RoleLength
+		sig.LengthOf[lf] = p.Name
+	}
+	return sig, nil
+}
+
+func integralPrim(p stype.Prim) bool {
+	switch p {
+	case stype.PI8, stype.PU8, stype.PI16, stype.PU16, stype.PI32,
+		stype.PU32, stype.PI64, stype.PU64:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,715 @@
+// Package mtype implements the Mockingbird internal type system (the
+// "Mtypes" of the paper, Table 1). Mtypes abstract over the type systems of
+// C, C++, Java, and CORBA IDL so that declarations written in different
+// languages can be compared structurally.
+//
+// An Mtype is a node in a possibly cyclic graph. Recursive declarations are
+// represented by a Recursive (μ) node placed in the cycle; back-edges in the
+// graph point at that node, exactly as in Figure 8 of the paper. All other
+// nodes are trees of Record, Choice, and Port constructors over the
+// primitive Mtypes (Integer, Character, Real, Unit).
+//
+// Node identity matters: the comparer keys its coinductive caches on node
+// pointers, so a given declaration lowers to one shared graph rather than to
+// structurally equal copies.
+package mtype
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the Mtype constructors of Table 1 in the paper.
+type Kind uint8
+
+// The Mtype kinds. Values start at 1 so the zero Kind is invalid.
+const (
+	KindInteger   Kind = iota + 1 // integral types, parameterized by range
+	KindCharacter                 // character types, parameterized by repertoire
+	KindReal                      // floating point, parameterized by precision/exponent
+	KindUnit                      // void and null
+	KindRecord                    // ordered heterogeneous aggregates
+	KindChoice                    // disjoint unions / alternatives
+	KindRecursive                 // μ-binder placed in every cycle
+	KindPort                      // addresses accepting values of the child Mtype
+)
+
+// String returns the lower-case constructor name.
+func (k Kind) String() string {
+	switch k {
+	case KindInteger:
+		return "integer"
+	case KindCharacter:
+		return "character"
+	case KindReal:
+		return "real"
+	case KindUnit:
+		return "unit"
+	case KindRecord:
+		return "record"
+	case KindChoice:
+		return "choice"
+	case KindRecursive:
+		return "recursive"
+	case KindPort:
+		return "port"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Repertoire identifies the glyph repertoire of a Character Mtype. The
+// repertoires form a chain: ASCII ⊂ Latin-1 ⊂ UCS-2 ⊂ Unicode (UCS-4), which
+// induces the Character subtype relation of §3.1.
+type Repertoire uint8
+
+// Supported glyph repertoires, smallest first.
+const (
+	RepASCII Repertoire = iota + 1
+	RepLatin1
+	RepUCS2
+	RepUnicode
+)
+
+// String returns the conventional repertoire name.
+func (r Repertoire) String() string {
+	switch r {
+	case RepASCII:
+		return "ascii"
+	case RepLatin1:
+		return "latin1"
+	case RepUCS2:
+		return "ucs2"
+	case RepUnicode:
+		return "unicode"
+	default:
+		return fmt.Sprintf("repertoire(%d)", uint8(r))
+	}
+}
+
+// Includes reports whether repertoire r contains repertoire s.
+func (r Repertoire) Includes(s Repertoire) bool { return r >= s }
+
+// Field is one named child of a Record. Names are carried for diagnostics
+// and correspondence reporting only; they never influence type comparison.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Alt is one alternative of a Choice. As with record fields, names are
+// cosmetic.
+type Alt struct {
+	Name string
+	Type *Type
+}
+
+// Type is a node in an Mtype graph. Construct values with the New*
+// constructors or the convenience builders; a zero Type is invalid.
+type Type struct {
+	kind Kind
+
+	// Integer: inclusive range bounds. Always non-nil for KindInteger.
+	lo, hi *big.Int
+
+	// Character.
+	rep Repertoire
+
+	// Real: precision is the significand width in bits (including the
+	// implicit leading bit), exp the exponent field width in bits.
+	precision int
+	exponent  int
+
+	// Record / Choice children.
+	fields []Field
+	alts   []Alt
+
+	// Recursive body and Port element.
+	body *Type
+	elem *Type
+
+	// tag is an optional label (e.g. the source declaration name) used in
+	// printing and diagnostics.
+	tag string
+}
+
+// Kind returns the node's constructor kind.
+func (t *Type) Kind() Kind { return t.kind }
+
+// Tag returns the diagnostic label attached to the node, if any.
+func (t *Type) Tag() string { return t.tag }
+
+// SetTag attaches a diagnostic label to the node and returns the node.
+func (t *Type) SetTag(tag string) *Type {
+	t.tag = tag
+	return t
+}
+
+// NewInteger returns an Integer Mtype with the inclusive range [lo, hi].
+// The bounds are copied. NewInteger panics if lo > hi: integer ranges come
+// from language defaults or validated annotations, so a reversed range is a
+// programming error, not an input error.
+func NewInteger(lo, hi *big.Int) *Type {
+	if lo == nil || hi == nil || lo.Cmp(hi) > 0 {
+		panic("mtype: invalid integer range")
+	}
+	return &Type{kind: KindInteger, lo: new(big.Int).Set(lo), hi: new(big.Int).Set(hi)}
+}
+
+// NewIntegerBits returns the Integer Mtype of a two's-complement (signed)
+// or unsigned binary integer of the given width in bits.
+func NewIntegerBits(bits int, signed bool) *Type {
+	if bits <= 0 || bits > 128 {
+		panic("mtype: invalid integer width")
+	}
+	one := big.NewInt(1)
+	if signed {
+		hi := new(big.Int).Lsh(one, uint(bits-1))
+		lo := new(big.Int).Neg(hi)
+		hi.Sub(hi, one)
+		return &Type{kind: KindInteger, lo: lo, hi: hi}
+	}
+	hi := new(big.Int).Lsh(one, uint(bits))
+	hi.Sub(hi, one)
+	return &Type{kind: KindInteger, lo: big.NewInt(0), hi: hi}
+}
+
+// NewBool returns the Integer Mtype 0..1, the conventional lowering of
+// booleans (§3.1).
+func NewBool() *Type { return NewInteger(big.NewInt(0), big.NewInt(1)) }
+
+// NewEnum returns the Integer Mtype 0..n-1, the conventional lowering of an
+// enumeration with n elements (§3.1). NewEnum panics if n < 1.
+func NewEnum(n int) *Type {
+	if n < 1 {
+		panic("mtype: enum must have at least one element")
+	}
+	return NewInteger(big.NewInt(0), big.NewInt(int64(n-1)))
+}
+
+// IntegerRange returns copies of the inclusive bounds of an Integer Mtype.
+func (t *Type) IntegerRange() (lo, hi *big.Int) {
+	t.mustKind(KindInteger)
+	return new(big.Int).Set(t.lo), new(big.Int).Set(t.hi)
+}
+
+// NewCharacter returns a Character Mtype with the given repertoire.
+func NewCharacter(rep Repertoire) *Type {
+	if rep < RepASCII || rep > RepUnicode {
+		panic("mtype: invalid repertoire")
+	}
+	return &Type{kind: KindCharacter, rep: rep}
+}
+
+// Repertoire returns the glyph repertoire of a Character Mtype.
+func (t *Type) Repertoire() Repertoire {
+	t.mustKind(KindCharacter)
+	return t.rep
+}
+
+// NewReal returns a Real Mtype with the given significand precision and
+// exponent width, both in bits.
+func NewReal(precision, exponent int) *Type {
+	if precision <= 0 || exponent <= 0 {
+		panic("mtype: invalid real parameters")
+	}
+	return &Type{kind: KindReal, precision: precision, exponent: exponent}
+}
+
+// Standard Real Mtypes for IEEE 754 binary32 and binary64.
+func NewFloat32() *Type { return NewReal(24, 8) }
+
+// NewFloat64 returns the Real Mtype of an IEEE 754 binary64 value.
+func NewFloat64() *Type { return NewReal(53, 11) }
+
+// RealParams returns the significand precision and exponent width of a Real
+// Mtype, in bits.
+func (t *Type) RealParams() (precision, exponent int) {
+	t.mustKind(KindReal)
+	return t.precision, t.exponent
+}
+
+// Unit returns a Unit Mtype, modelling void and null (§3.1).
+//
+// Each call returns a fresh node so callers may tag it independently; Unit
+// nodes are compared by kind, never by identity.
+func Unit() *Type { return &Type{kind: KindUnit} }
+
+// NewRecord returns a Record Mtype over the given fields, in order.
+// Field types must be non-nil.
+func NewRecord(fields ...Field) *Type {
+	for i, f := range fields {
+		if f.Type == nil {
+			panic(fmt.Sprintf("mtype: record field %d (%q) has nil type", i, f.Name))
+		}
+	}
+	return &Type{kind: KindRecord, fields: append([]Field(nil), fields...)}
+}
+
+// RecordOf returns a Record over unnamed fields of the given types.
+func RecordOf(types ...*Type) *Type {
+	fields := make([]Field, len(types))
+	for i, ty := range types {
+		fields[i] = Field{Type: ty}
+	}
+	return NewRecord(fields...)
+}
+
+// Fields returns the record's fields. The returned slice is shared; callers
+// must not modify it.
+func (t *Type) Fields() []Field {
+	t.mustKind(KindRecord)
+	return t.fields
+}
+
+// NewChoice returns a Choice Mtype over the given alternatives, in order.
+func NewChoice(alts ...Alt) *Type {
+	for i, a := range alts {
+		if a.Type == nil {
+			panic(fmt.Sprintf("mtype: choice alternative %d (%q) has nil type", i, a.Name))
+		}
+	}
+	return &Type{kind: KindChoice, alts: append([]Alt(nil), alts...)}
+}
+
+// ChoiceOf returns a Choice over unnamed alternatives of the given types.
+func ChoiceOf(types ...*Type) *Type {
+	alts := make([]Alt, len(types))
+	for i, ty := range types {
+		alts[i] = Alt{Type: ty}
+	}
+	return NewChoice(alts...)
+}
+
+// Alts returns the choice's alternatives. The returned slice is shared;
+// callers must not modify it.
+func (t *Type) Alts() []Alt {
+	t.mustKind(KindChoice)
+	return t.alts
+}
+
+// NewOptional returns Choice(Unit, elem): the lowering of a nullable pointer
+// or reference (§3.2), where the Unit alternative is the null case.
+func NewOptional(elem *Type) *Type {
+	return NewChoice(Alt{Name: "null", Type: Unit()}, Alt{Name: "value", Type: elem})
+}
+
+// NewRecursive returns an unbound Recursive (μ) node. The caller must call
+// SetBody before the node is used; back-edges in the body point directly at
+// the returned node.
+func NewRecursive() *Type { return &Type{kind: KindRecursive} }
+
+// SetBody binds the body of a Recursive node. It panics if called twice or
+// with a nil body.
+func (t *Type) SetBody(body *Type) {
+	t.mustKind(KindRecursive)
+	if body == nil {
+		panic("mtype: nil recursive body")
+	}
+	if t.body != nil {
+		panic("mtype: recursive body already set")
+	}
+	t.body = body
+}
+
+// Body returns the body of a Recursive node, or nil if it is not yet bound.
+func (t *Type) Body() *Type {
+	t.mustKind(KindRecursive)
+	return t.body
+}
+
+// NewPort returns port(elem): the Mtype of addresses to which values of the
+// element Mtype may be sent (§3.3).
+func NewPort(elem *Type) *Type {
+	if elem == nil {
+		panic("mtype: nil port element")
+	}
+	return &Type{kind: KindPort, elem: elem}
+}
+
+// Elem returns the element Mtype of a Port.
+func (t *Type) Elem() *Type {
+	t.mustKind(KindPort)
+	return t.elem
+}
+
+// NewList returns the recursive list encoding of a homogeneous ordered
+// collection of indefinite size (§3.2):
+//
+//	μL. Choice(Unit, Record(elem, L))
+//
+// Indefinite arrays, java.util.Vector, and linked lists all lower to this
+// shape, which is why Mockingbird can adapt between them (Figure 8).
+func NewList(elem *Type) *Type {
+	rec := NewRecursive()
+	cons := NewRecord(Field{Name: "head", Type: elem}, Field{Name: "tail", Type: rec})
+	rec.SetBody(NewChoice(Alt{Name: "nil", Type: Unit()}, Alt{Name: "cons", Type: cons}))
+	return rec
+}
+
+// NewFunction returns the lowering of a function or method reference
+// (§3.3):
+//
+//	port(Record(inputs..., port(Record(outputs...))))
+//
+// The trailing field of the request record is the reply port.
+func NewFunction(inputs, outputs []Field) *Type {
+	reply := NewPort(NewRecord(outputs...)).SetTag("reply")
+	request := make([]Field, 0, len(inputs)+1)
+	request = append(request, inputs...)
+	request = append(request, Field{Name: "reply", Type: reply})
+	return NewPort(NewRecord(request...))
+}
+
+// Children returns the immediate successor nodes of t, in declaration
+// order. The result is freshly allocated.
+func (t *Type) Children() []*Type {
+	switch t.kind {
+	case KindRecord:
+		out := make([]*Type, len(t.fields))
+		for i, f := range t.fields {
+			out[i] = f.Type
+		}
+		return out
+	case KindChoice:
+		out := make([]*Type, len(t.alts))
+		for i, a := range t.alts {
+			out[i] = a.Type
+		}
+		return out
+	case KindRecursive:
+		if t.body == nil {
+			return nil
+		}
+		return []*Type{t.body}
+	case KindPort:
+		return []*Type{t.elem}
+	default:
+		return nil
+	}
+}
+
+func (t *Type) mustKind(k Kind) {
+	if t.kind != k {
+		panic(fmt.Sprintf("mtype: %s operation on %s node", k, t.kind))
+	}
+}
+
+// Validate checks structural well-formedness of the graph rooted at t:
+// every Recursive node must have a bound body, no child pointer may be nil,
+// and every cycle must pass through at least one Recursive node and one
+// structural (Record/Choice/Port) node, so that types are contractive in
+// the Amadio–Cardelli sense.
+func Validate(t *Type) error {
+	if t == nil {
+		return fmt.Errorf("mtype: nil type")
+	}
+	seen := make(map[*Type]bool)
+	// onPath tracks nodes on the current DFS path together with whether a
+	// structural node has been traversed since each was entered.
+	type pathInfo struct{ index int }
+	onPath := make(map[*Type]pathInfo)
+	var path []*Type
+
+	var walk func(n *Type) error
+	walk = func(n *Type) error {
+		if n == nil {
+			return fmt.Errorf("mtype: nil child reached")
+		}
+		if info, ok := onPath[n]; ok {
+			// Found a cycle: the loop is path[info.index:]. It must
+			// contain a Recursive node and a structural node.
+			hasRec, hasStruct := false, false
+			for _, m := range path[info.index:] {
+				switch m.kind {
+				case KindRecursive:
+					hasRec = true
+				case KindRecord, KindChoice, KindPort:
+					hasStruct = true
+				}
+			}
+			if !hasRec {
+				return fmt.Errorf("mtype: cycle without a recursive node (through %s)", n.kind)
+			}
+			if !hasStruct {
+				return fmt.Errorf("mtype: non-contractive cycle (no structural node)")
+			}
+			return nil
+		}
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		if n.kind == KindRecursive && n.body == nil {
+			return fmt.Errorf("mtype: recursive node %q has no body", n.tag)
+		}
+		if n.kind < KindInteger || n.kind > KindPort {
+			return fmt.Errorf("mtype: invalid kind %d", n.kind)
+		}
+		onPath[n] = pathInfo{index: len(path)}
+		path = append(path, n)
+		for _, c := range n.Children() {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+		return nil
+	}
+	return walk(t)
+}
+
+// ShapeKey returns a shallow fingerprint of a node: its kind, primitive
+// parameters, and child count. Nodes with different shape keys can never be
+// equivalent, so the comparer uses shape keys to prune the commutative
+// matching search. ShapeKey does not recurse.
+func ShapeKey(t *Type) string {
+	switch t.kind {
+	case KindInteger:
+		return "i[" + t.lo.String() + "," + t.hi.String() + "]"
+	case KindCharacter:
+		return "c" + t.rep.String()
+	case KindReal:
+		return fmt.Sprintf("r%d.%d", t.precision, t.exponent)
+	case KindUnit:
+		return "u"
+	case KindRecord:
+		return fmt.Sprintf("R%d", len(t.fields))
+	case KindChoice:
+		return fmt.Sprintf("C%d", len(t.alts))
+	case KindRecursive:
+		return "M"
+	case KindPort:
+		return "P"
+	default:
+		return "?"
+	}
+}
+
+// String renders the graph rooted at t in a compact notation with μ-binders
+// for cycles, e.g. the Figure 8 list prints as
+//
+//	μL1.choice(unit, record(real(24,8), L1))
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	// First pass: find Recursive nodes that are actually re-entered so only
+	// they get binder labels.
+	referenced := make(map[*Type]bool)
+	visited := make(map[*Type]bool)
+	var scan func(n *Type)
+	scan = func(n *Type) {
+		if n == nil {
+			return
+		}
+		if visited[n] {
+			if n.kind == KindRecursive {
+				referenced[n] = true
+			}
+			return
+		}
+		visited[n] = true
+		for _, c := range n.Children() {
+			scan(c)
+		}
+	}
+	scan(t)
+
+	// Assign stable binder labels to re-entered Recursive nodes in preorder.
+	labels := make(map[*Type]string)
+	for _, n := range Nodes(t) {
+		if n.kind == KindRecursive && referenced[n] {
+			labels[n] = fmt.Sprintf("L%d", len(labels)+1)
+		}
+	}
+
+	opened := make(map[*Type]bool)
+	var sb strings.Builder
+	var render func(n *Type)
+	render = func(n *Type) {
+		if n == nil {
+			sb.WriteString("<nil>")
+			return
+		}
+		if lbl, ok := labels[n]; ok && opened[n] {
+			sb.WriteString(lbl)
+			return
+		}
+		switch n.kind {
+		case KindInteger:
+			fmt.Fprintf(&sb, "integer[%s..%s]", n.lo, n.hi)
+		case KindCharacter:
+			fmt.Fprintf(&sb, "character(%s)", n.rep)
+		case KindReal:
+			fmt.Fprintf(&sb, "real(%d,%d)", n.precision, n.exponent)
+		case KindUnit:
+			sb.WriteString("unit")
+		case KindRecord:
+			sb.WriteString("record(")
+			for i, f := range n.fields {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				render(f.Type)
+			}
+			sb.WriteString(")")
+		case KindChoice:
+			sb.WriteString("choice(")
+			for i, a := range n.alts {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				render(a.Type)
+			}
+			sb.WriteString(")")
+		case KindRecursive:
+			if lbl, ok := labels[n]; ok {
+				opened[n] = true
+				sb.WriteString("μ" + lbl + ".")
+				render(n.body)
+				opened[n] = false
+			} else {
+				render(n.body)
+			}
+		case KindPort:
+			sb.WriteString("port(")
+			render(n.elem)
+			sb.WriteString(")")
+		default:
+			sb.WriteString("<invalid>")
+		}
+	}
+	render(t)
+	return sb.String()
+}
+
+// Nodes returns every node reachable from t, in a deterministic preorder.
+func Nodes(t *Type) []*Type {
+	var out []*Type
+	seen := make(map[*Type]bool)
+	var walk func(n *Type)
+	walk = func(n *Type) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of distinct nodes reachable from t.
+func Size(t *Type) int { return len(Nodes(t)) }
+
+// Fingerprint returns a deep structural hash of the graph rooted at t that
+// is invariant under node identity (two isomorphic graphs built separately
+// hash equal) but sensitive to child order. It is used as a cache key by
+// clients that memoize per-shape work.
+//
+// Cycles are handled by hashing the graph as the infinite regular tree it
+// denotes, truncated at a fixed depth. Graphs denoting regular trees that
+// first differ deeper than the truncation depth collide, which is
+// acceptable for a cache key; using a fixed depth (rather than one derived
+// from graph size) makes a graph and its unrollings hash equal.
+func Fingerprint(t *Type) uint64 {
+	const depth = 64
+	type key struct {
+		n *Type
+		d int
+	}
+	memo := make(map[key]uint64)
+	inProgress := make(map[key]bool)
+	var hash func(n *Type, d int) uint64
+	hash = func(n *Type, d int) uint64 {
+		if n != nil {
+			if v, ok := memo[key{n, d}]; ok {
+				return v
+			}
+			// Re-entering the same node at the same depth can only happen
+			// on a non-contractive (invalid) graph; break the loop.
+			if inProgress[key{n, d}] {
+				return 0xbadc0de
+			}
+			inProgress[key{n, d}] = true
+			defer delete(inProgress, key{n, d})
+		}
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		mix := func(x uint64) {
+			h ^= x
+			h *= prime64
+		}
+		if n == nil || d == 0 {
+			mix(0xdead)
+			return h
+		}
+		if n.kind == KindRecursive {
+			// Equi-recursive: a μ node is its body, at the same depth, so
+			// that a graph and its unrollings hash identically.
+			v := hash(n.body, d)
+			memo[key{n, d}] = v
+			return v
+		}
+		mix(uint64(n.kind))
+		switch n.kind {
+		case KindInteger:
+			mix(hashString(n.lo.String()))
+			mix(hashString(n.hi.String()))
+		case KindCharacter:
+			mix(uint64(n.rep))
+		case KindReal:
+			mix(uint64(n.precision))
+			mix(uint64(n.exponent))
+		case KindRecord:
+			mix(uint64(len(n.fields)))
+			for _, f := range n.fields {
+				mix(hash(f.Type, d-1))
+			}
+		case KindChoice:
+			mix(uint64(len(n.alts)))
+			for _, a := range n.alts {
+				mix(hash(a.Type, d-1))
+			}
+		case KindPort:
+			mix(hash(n.elem, d-1))
+		}
+		memo[key{n, d}] = h
+		return h
+	}
+	return hash(t, depth)
+}
+
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// SortedShapeKeys returns the shape keys of the given types, sorted. It is
+// a convenience for tests and diagnostics that compare child multisets.
+func SortedShapeKeys(types []*Type) []string {
+	keys := make([]string, len(types))
+	for i, ty := range types {
+		keys[i] = ShapeKey(ty)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,355 @@
+// Package orb is the network runtime under Mockingbird's network-enabled
+// stubs: a small GIOP-style protocol over TCP with request/reply
+// correlation and one-way messages (the messaging model of the §5
+// collaborative-objects case study). Payloads are opaque bytes; the typed
+// layer (core) marshals them with package wire.
+//
+// Frame format (all integers little-endian):
+//
+//	magic   [4]byte "MBRD"
+//	version u8 (1)
+//	kind    u8 (request / reply / oneway / error)
+//	id      u64 (request correlation; 0 for oneway)
+//	keyLen  u32, key  [keyLen]byte   (object key; empty on replies)
+//	op      u32                       (method alternative)
+//	bodyLen u32, body [bodyLen]byte
+package orb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message kinds.
+const (
+	kindRequest = 1
+	kindReply   = 2
+	kindOneway  = 3
+	kindError   = 4
+)
+
+const magic = "MBRD"
+
+// maxBody bounds message bodies (16 MiB).
+const maxBody = 16 << 20
+
+type frame struct {
+	kind byte
+	id   uint64
+	key  string
+	op   uint32
+	body []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.body) > maxBody {
+		return fmt.Errorf("orb: body of %d bytes exceeds limit", len(f.body))
+	}
+	buf := make([]byte, 0, 26+len(f.key)+len(f.body))
+	buf = append(buf, magic...)
+	buf = append(buf, 1, f.kind)
+	buf = binary.LittleEndian.AppendUint64(buf, f.id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.key)))
+	buf = append(buf, f.key...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.body)))
+	buf = append(buf, f.body...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var f frame
+	head := make([]byte, 18)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return f, err
+	}
+	if string(head[:4]) != magic {
+		return f, fmt.Errorf("orb: bad magic %q", head[:4])
+	}
+	if head[4] != 1 {
+		return f, fmt.Errorf("orb: unsupported version %d", head[4])
+	}
+	f.kind = head[5]
+	f.id = binary.LittleEndian.Uint64(head[6:])
+	keyLen := binary.LittleEndian.Uint32(head[14:])
+	if keyLen > 4096 {
+		return f, fmt.Errorf("orb: object key of %d bytes exceeds limit", keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return f, err
+	}
+	f.key = string(key)
+	tail := make([]byte, 8)
+	if _, err := io.ReadFull(r, tail); err != nil {
+		return f, err
+	}
+	f.op = binary.LittleEndian.Uint32(tail)
+	bodyLen := binary.LittleEndian.Uint32(tail[4:])
+	if bodyLen > maxBody {
+		return f, fmt.Errorf("orb: body of %d bytes exceeds limit", bodyLen)
+	}
+	f.body = make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, f.body); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// Handler serves invocations on one exported object. op selects the
+// method alternative; the returned bytes are the reply body. For one-way
+// messages the return value is discarded.
+type Handler func(op uint32, body []byte) ([]byte, error)
+
+// Server exports objects on a TCP listener.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: listen: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Register exports an object under a key. Registering an existing key
+// replaces the handler.
+func (s *Server) Register(key string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[key] = h
+}
+
+// Close stops the listener and all connections, and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case kindRequest, kindOneway:
+			s.mu.Lock()
+			h := s.handlers[f.key]
+			s.mu.Unlock()
+			req := f
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				var reply frame
+				reply.id = req.id
+				if h == nil {
+					reply.kind = kindError
+					reply.body = []byte(fmt.Sprintf("no object %q", req.key))
+				} else {
+					body, err := h(req.op, req.body)
+					if err != nil {
+						reply.kind = kindError
+						reply.body = []byte(err.Error())
+					} else {
+						reply.kind = kindReply
+						reply.body = body
+					}
+				}
+				if req.kind == kindOneway {
+					return
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				_ = writeFrame(conn, reply)
+			}()
+		default:
+			// Unexpected frame on a server connection; drop it.
+		}
+	}
+}
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "orb: remote: " + e.Msg }
+
+// Client is a connection to a Server, safe for concurrent use. Requests
+// are pipelined and correlated by id.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan frame
+	err     error
+	done    chan struct{}
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan frame),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; in-flight Invokes fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if c.err == nil {
+				if errors.Is(err, io.EOF) {
+					c.err = errors.New("orb: connection closed")
+				} else {
+					c.err = err
+				}
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.id]
+		delete(c.pending, f.id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// Invoke sends a request to the object's op and waits for the reply
+// body.
+func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{kind: kindRequest, id: id, key: key, op: op, body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("orb: connection closed")
+		}
+		return nil, err
+	}
+	if f.kind == kindError {
+		return nil, &RemoteError{Msg: string(f.body)}
+	}
+	return f.body, nil
+}
+
+// Send delivers a one-way message: no reply, no delivery confirmation
+// (the messaging model the collaborative-objects project needed, §5).
+func (c *Client) Send(key string, op uint32, body []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, frame{kind: kindOneway, key: key, op: op, body: body})
+}

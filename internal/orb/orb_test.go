@@ -1,0 +1,241 @@
+package orb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func dial(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestRequestReply(t *testing.T) {
+	s := startServer(t)
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		out := append([]byte{byte(op)}, body...)
+		return out, nil
+	})
+	c := dial(t, s)
+	reply, err := c.Invoke("echo", 7, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, append([]byte{7}, "hello"...)) {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	s := startServer(t)
+	s.Register("bad", func(op uint32, body []byte) ([]byte, error) {
+		return nil, errors.New("kaboom")
+	})
+	c := dial(t, s)
+	_, err := c.Invoke("bad", 0, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "kaboom" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	_, err := c.Invoke("ghost", 0, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	s.Register("sq", func(op uint32, body []byte) ([]byte, error) {
+		n := int(body[0])
+		return []byte{byte(n * n % 251)}, nil
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		c := dial(t, s)
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				reply, err := c.Invoke("sq", 0, []byte{byte(i)})
+				if err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+				if reply[0] != byte(i*i%251) {
+					t.Errorf("sq(%d) = %d", i, reply[0])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestPipelinedRequestsOneConnection(t *testing.T) {
+	s := startServer(t)
+	s.Register("id", func(op uint32, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	c := dial(t, s)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("msg-%d", i))
+			reply, err := c.Invoke("id", uint32(i), body)
+			if err != nil {
+				t.Errorf("invoke %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(reply, body) {
+				t.Errorf("reply %d = %q", i, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOneway(t *testing.T) {
+	s := startServer(t)
+	var count atomic.Int32
+	received := make(chan struct{}, 16)
+	s.Register("sink", func(op uint32, body []byte) ([]byte, error) {
+		count.Add(1)
+		received <- struct{}{}
+		return nil, nil
+	})
+	c := dial(t, s)
+	for i := 0; i < 5; i++ {
+		if err := c.Send("sink", 0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("one-way message %d never arrived", i)
+		}
+	}
+	if count.Load() != 5 {
+		t.Errorf("count = %d", count.Load())
+	}
+}
+
+func TestInvokeAfterServerClose(t *testing.T) {
+	s := startServer(t)
+	s.Register("x", func(op uint32, body []byte) ([]byte, error) { return nil, nil })
+	c := dial(t, s)
+	if _, err := c.Invoke("x", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	if _, err := c.Invoke("x", 0, nil); err == nil {
+		t.Error("invoke after server close succeeded")
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	s := startServer(t)
+	s.Register("len", func(op uint32, body []byte) ([]byte, error) {
+		return []byte{byte(len(body) >> 16)}, nil
+	})
+	c := dial(t, s)
+	body := make([]byte, 1<<20)
+	reply, err := c.Invoke("len", 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply[0] != byte(len(body)>>16) {
+		t.Errorf("reply = %d", reply[0])
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	s := startServer(t)
+	s.Register("v", func(op uint32, body []byte) ([]byte, error) { return []byte{1}, nil })
+	s.Register("v", func(op uint32, body []byte) ([]byte, error) { return []byte{2}, nil })
+	c := dial(t, s)
+	reply, err := c.Invoke("v", 0, nil)
+	if err != nil || reply[0] != 2 {
+		t.Errorf("reply = %v, %v", reply, err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{kind: kindRequest, id: 42, key: "obj/1", op: 3, body: []byte("payload")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.kind != in.kind || out.id != in.id || out.key != in.key || out.op != in.op || !bytes.Equal(out.body, in.body) {
+		t.Errorf("frame = %+v", out)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("XXXX")
+	buf.Write(make([]byte, 32))
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	// Oversized body rejected at write time.
+	big := frame{kind: kindRequest, body: make([]byte, maxBody+1)}
+	if err := writeFrame(&buf, big); err == nil {
+		t.Error("oversized body accepted by writeFrame")
+	}
+	// Oversized key rejected at read time.
+	buf.Reset()
+	buf.WriteString(magic)
+	buf.WriteByte(1)
+	buf.WriteByte(kindRequest)
+	buf.Write(make([]byte, 8))                // id
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // keyLen = huge
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("oversized key accepted by readFrame")
+	}
+	// Unsupported version rejected.
+	buf.Reset()
+	buf.WriteString(magic)
+	buf.WriteByte(9)
+	buf.Write(make([]byte, 40))
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("unsupported version accepted")
+	}
+}

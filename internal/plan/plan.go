@@ -1,0 +1,207 @@
+// Package plan builds coercion plans: the internal data structure that
+// "incorporates discovered structural correspondences between the two
+// Mtypes" (§4). A Plan is a graph of conversion nodes, one per matched
+// Mtype pair, possibly cyclic for recursive types. The converter executes
+// plans (interpretively or compiled to closures) and the stub generator
+// prints them as Go source — the plan is the intermediate representation
+// the paper's §6 set out as future work.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+)
+
+// Plan is a complete coercion plan from values of Mtype A to values of
+// Mtype B.
+type Plan struct {
+	Root *Node
+	// Nodes lists every plan node in creation order; Root is Nodes[0].
+	Nodes []*Node
+	// Mode records whether the plan witnesses equivalence or subtyping.
+	Mode compare.Mode
+}
+
+// Node is one conversion step, keyed to a matched pair of Mtype nodes.
+// The fields used depend on Kind (mirroring compare.Decision).
+type Node struct {
+	ID   int
+	Kind compare.DecisionKind
+	A, B *mtype.Type
+
+	// DecRecord.
+	FlatA, FlatB []compare.FlatLeaf
+	Perm         []int
+	// LeafPlans[i] converts non-unit A leaf i; nil for unit leaves.
+	LeafPlans []*Node
+
+	// DecChoice: AltPlans[i] converts A alternative i into B alternative
+	// AltMap[i].
+	AltMap   []int
+	AltPlans []*Node
+
+	// DecInject: InjectPlan converts A into B alternative AltMap[0].
+	InjectPlan *Node
+
+	// DecSemantic: the programmer-supplied hook name (§6).
+	Hook string
+}
+
+type pairKey struct {
+	a, b *mtype.Type
+}
+
+// Build constructs the plan for a successful match, rooted at the matched
+// pair.
+func Build(m *compare.Match) (*Plan, error) {
+	return BuildFor(m, m.A, m.B)
+}
+
+// BuildFor constructs a plan rooted at any pair matched during the
+// comparison (e.g. the request records inside two matched function
+// ports).
+func BuildFor(m *compare.Match, a, b *mtype.Type) (*Plan, error) {
+	bld := &builder{m: m, memo: make(map[pairKey]*Node)}
+	root, err := bld.node(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Nodes: bld.nodes, Mode: m.Mode}, nil
+}
+
+type builder struct {
+	m     *compare.Match
+	memo  map[pairKey]*Node
+	nodes []*Node
+}
+
+func (b *builder) node(a, t *mtype.Type) (*Node, error) {
+	key := pairKey{unfoldT(a), unfoldT(t)}
+	if n, ok := b.memo[key]; ok {
+		return n, nil
+	}
+	d, err := b.m.Decision(a, t)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: len(b.nodes), Kind: d.Kind, A: key.a, B: key.b}
+	b.memo[key] = n
+	b.nodes = append(b.nodes, n)
+
+	switch d.Kind {
+	case compare.DecSame, compare.DecPrim, compare.DecPort:
+		// Leaf conversions; nothing further to build.
+	case compare.DecSemantic:
+		n.Hook = d.Hook
+	case compare.DecRecord:
+		n.FlatA, n.FlatB, n.Perm = d.FlatA, d.FlatB, d.Perm
+		n.LeafPlans = make([]*Node, len(d.FlatA))
+		for i, leaf := range d.FlatA {
+			if leaf.Unit || d.Perm[i] < 0 {
+				continue
+			}
+			target := d.FlatB[d.Perm[i]]
+			child, err := b.node(leaf.Node, target.Node)
+			if err != nil {
+				return nil, fmt.Errorf("record leaf %d: %w", i, err)
+			}
+			n.LeafPlans[i] = child
+		}
+	case compare.DecChoice:
+		n.AltMap = d.AltMap
+		altsA := key.a.Alts()
+		altsB := key.b.Alts()
+		n.AltPlans = make([]*Node, len(altsA))
+		for i, j := range d.AltMap {
+			if j < 0 {
+				return nil, fmt.Errorf("plan: unmatched choice alternative %d", i)
+			}
+			child, err := b.node(altsA[i].Type, altsB[j].Type)
+			if err != nil {
+				return nil, fmt.Errorf("choice alternative %d: %w", i, err)
+			}
+			n.AltPlans[i] = child
+		}
+	case compare.DecInject:
+		n.AltMap = d.AltMap
+		alt := key.b.Alts()[d.AltMap[0]]
+		child, err := b.node(key.a, alt.Type)
+		if err != nil {
+			return nil, fmt.Errorf("injection: %w", err)
+		}
+		n.InjectPlan = child
+	default:
+		return nil, fmt.Errorf("plan: unknown decision kind %d", d.Kind)
+	}
+	return n, nil
+}
+
+func unfoldT(t *mtype.Type) *mtype.Type {
+	for t != nil && t.Kind() == mtype.KindRecursive {
+		t = t.Body()
+	}
+	return t
+}
+
+// String renders the plan for diagnostics and golden tests.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan(%s, %d nodes)\n", p.Mode, len(p.Nodes))
+	for _, n := range p.Nodes {
+		fmt.Fprintf(&sb, "  n%d: %s", n.ID, kindName(n.Kind))
+		switch n.Kind {
+		case compare.DecRecord:
+			fmt.Fprintf(&sb, " perm=%v leaves=[", n.Perm)
+			for i, lp := range n.LeafPlans {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				if lp == nil {
+					sb.WriteString("unit")
+				} else {
+					fmt.Fprintf(&sb, "n%d", lp.ID)
+				}
+			}
+			sb.WriteString("]")
+		case compare.DecChoice:
+			fmt.Fprintf(&sb, " altMap=%v alts=[", n.AltMap)
+			for i, ap := range n.AltPlans {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				fmt.Fprintf(&sb, "n%d", ap.ID)
+			}
+			sb.WriteString("]")
+		case compare.DecInject:
+			fmt.Fprintf(&sb, " into alt %d via n%d", n.AltMap[0], n.InjectPlan.ID)
+		case compare.DecSemantic:
+			fmt.Fprintf(&sb, " hook=%q", n.Hook)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func kindName(k compare.DecisionKind) string {
+	switch k {
+	case compare.DecSame:
+		return "same"
+	case compare.DecPrim:
+		return "prim"
+	case compare.DecRecord:
+		return "record"
+	case compare.DecChoice:
+		return "choice"
+	case compare.DecPort:
+		return "port"
+	case compare.DecInject:
+		return "inject"
+	case compare.DecSemantic:
+		return "semantic"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}

@@ -1,0 +1,132 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+)
+
+func f32() *mtype.Type { return mtype.NewFloat32() }
+
+func match(t *testing.T, a, b *mtype.Type) *compare.Match {
+	t.Helper()
+	c := compare.NewComparer(compare.DefaultRules())
+	m, ok := c.Equivalent(a, b)
+	if !ok {
+		t.Fatalf("no match:\n%s", c.Explain(a, b, compare.ModeEqual))
+	}
+	return m
+}
+
+func TestBuildRecordPlan(t *testing.T) {
+	a := mtype.RecordOf(f32(), mtype.NewIntegerBits(8, true))
+	b := mtype.RecordOf(mtype.NewIntegerBits(8, true), f32())
+	p, err := Build(match(t, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Kind != compare.DecRecord {
+		t.Fatalf("root kind = %d", p.Root.Kind)
+	}
+	if len(p.Root.Perm) != 2 || p.Root.Perm[0] != 1 || p.Root.Perm[1] != 0 {
+		t.Errorf("perm = %v", p.Root.Perm)
+	}
+	if len(p.Nodes) < 2 {
+		t.Errorf("plan has %d nodes", len(p.Nodes))
+	}
+}
+
+func TestBuildRecursivePlanIsCyclic(t *testing.T) {
+	a := mtype.NewList(f32())
+	b := mtype.NewList(f32())
+	p, err := Build(match(t, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cons-cell record node must point back at the list choice node.
+	var consNode *Node
+	for _, n := range p.Nodes {
+		if n.Kind == compare.DecRecord && len(n.LeafPlans) == 2 {
+			consNode = n
+		}
+	}
+	if consNode == nil {
+		t.Fatal("no cons node found")
+	}
+	if consNode.LeafPlans[1] != p.Root {
+		t.Error("cons tail plan does not close the cycle")
+	}
+}
+
+func TestBuildForSubPair(t *testing.T) {
+	point := mtype.RecordOf(f32(), f32())
+	a := mtype.NewPort(point)
+	bPoint := mtype.RecordOf(f32(), f32())
+	b := mtype.NewPort(bPoint)
+	m := match(t, a, b)
+	p, err := BuildFor(m, point, bPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Kind != compare.DecRecord {
+		t.Errorf("sub-pair root = %d", p.Root.Kind)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	a := mtype.NewOptional(f32())
+	b := mtype.NewOptional(f32())
+	p, err := Build(match(t, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"plan(equal", "choice", "altMap"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestBuildUnmatchedPairFails(t *testing.T) {
+	a := mtype.RecordOf(f32())
+	b := mtype.RecordOf(f32())
+	m := match(t, a, b)
+	if _, err := BuildFor(m, a, mtype.NewIntegerBits(8, true)); err == nil {
+		t.Error("plan built for a pair that was never matched")
+	}
+}
+
+func TestSubtypePlanInjection(t *testing.T) {
+	c := compare.NewComparer(compare.DefaultRules())
+	a := mtype.RecordOf(f32())
+	b := mtype.NewOptional(mtype.RecordOf(f32()))
+	m, ok := c.Subtype(a, b)
+	if !ok {
+		t.Fatal("subtype expected")
+	}
+	p, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injection may surface at the root or at a flattened leaf,
+	// depending on which rule fires first; either way the plan must
+	// contain an injection step.
+	found := false
+	for _, n := range p.Nodes {
+		if n.Kind == compare.DecInject {
+			if n.InjectPlan == nil {
+				t.Error("inject node without inner plan")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no injection node in plan:\n%s", p)
+	}
+	if !strings.Contains(p.String(), "inject") {
+		t.Error("String missing inject")
+	}
+}

@@ -1,0 +1,179 @@
+package project
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmem"
+	"repro/internal/core"
+)
+
+const fitterC = `
+typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);
+`
+
+const figure1Java = `
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }
+`
+
+const cScript = `
+annotate fitter.start out nonnull
+annotate fitter.end out nonnull
+annotate fitter.pts length-from=count
+`
+
+const jScript = `
+annotate Line.start nonnull noalias
+annotate Line.end nonnull noalias
+annotate PointVector collection-of=Point element-nonnull
+annotate JavaIdeal.fitter.pts nonnull
+annotate JavaIdeal.fitter.return nonnull
+`
+
+func annotatedSession(t *testing.T) *core.Session {
+	t.Helper()
+	s := core.NewSession()
+	if err := s.LoadC("c", fitterC, cmem.ILP32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadJava("java", figure1Java); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("c", cScript); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Annotate("java", jScript); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSaveLoadPreservesSession is the §3 project-file workflow: an
+// annotated session saved and reloaded still compares equivalent, so the
+// interactive annotation work is not lost.
+func TestSaveLoadPreservesSession(t *testing.T) {
+	s := annotatedSession(t)
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := restored.Compare("java", "JavaIdeal", "c", "fitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != core.RelEquivalent {
+		t.Errorf("restored session relation = %s\n%s", v.Relation, v.Explain)
+	}
+	// The Mtype must be byte-identical in rendering.
+	orig, _ := s.Mtype("c", "fitter")
+	back, _ := restored.Mtype("c", "fitter")
+	if orig.String() != back.String() {
+		t.Errorf("Mtype drift:\n%s\n%s", orig, back)
+	}
+}
+
+func TestSaveIsStable(t *testing.T) {
+	s := annotatedSession(t)
+	d1, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("Save is not deterministic")
+	}
+}
+
+func TestRoundTripTwice(t *testing.T) {
+	s := annotatedSession(t)
+	d1, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Load(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Save(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("save → load → save drifts")
+	}
+}
+
+func TestAnnotationsSurviveInJSON(t *testing.T) {
+	s := annotatedSession(t)
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"nonNull": true`, `"lengthFrom": "count"`, `"collectionOf": "Point"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("project file missing %s", want)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"format": 99}`,
+		`{"format": 1, "universes": [{"name": "x", "lang": "klingon"}]}`,
+		`{"format": 1, "universes": [{"name": "x", "lang": "c",
+		  "decls": [{"name": "d", "type": {"kind": "bogus"}}]}]}`,
+		`{"format": 1, "universes": [{"name": "x", "lang": "c",
+		  "decls": [{"name": "d", "type": {"kind": "named", "name": "ghost"}}]}]}`,
+	}
+	for _, c := range cases {
+		if _, err := Load([]byte(c)); err == nil {
+			t.Errorf("Load(%q) succeeded", c)
+		}
+	}
+}
+
+func TestIDLSurvives(t *testing.T) {
+	s := core.NewSession()
+	err := s.LoadIDL("idl", `
+		interface Chan {
+			oneway void send(in long payload);
+			long ask(in string q, out double conf);
+		};
+		union U switch (long) { case 1: long a; default: float b; };
+		enum E { x, y, z };
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := s.Mtype("idl", "Chan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := restored.Mtype("idl", "Chan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != back.String() {
+		t.Errorf("IDL Mtype drift:\n%s\n%s", orig, back)
+	}
+}

@@ -1,0 +1,341 @@
+// Package scan provides the shared lexical scanner used by the C, Java,
+// and CORBA IDL declaration parsers. All three languages have C-style
+// tokens: identifiers, integer/float literals, string/char literals,
+// punctuation, and // and /* */ comments.
+package scan
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct
+)
+
+// String names the kind.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "eof"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokChar:
+		return "char"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("tok(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a scan or parse error carrying a source position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// multiPunct lists multi-rune punctuation recognized by the scanner,
+// longest first. The set covers everything the three declaration grammars
+// need (notably "::" for IDL scoped names and "..." for varargs).
+var multiPunct = []string{"...", "::", "<<", ">>", "=="}
+
+// Scanner tokenizes an input string. Create one with New, then call Next
+// repeatedly; after the input is exhausted Next returns TokEOF forever.
+type Scanner struct {
+	file  string
+	src   string
+	pos   int
+	line  int
+	col   int
+	err   *Error
+	peek  *Token
+	peek2 *Token
+}
+
+// New returns a Scanner over src. file is used in error messages only.
+func New(file, src string) *Scanner {
+	return &Scanner{file: file, src: src, line: 1, col: 1}
+}
+
+// Err returns the first lexical error encountered, if any.
+func (s *Scanner) Err() error {
+	if s.err == nil {
+		return nil
+	}
+	return s.err
+}
+
+// Errorf records and returns a positioned error at the given token.
+func (s *Scanner) Errorf(at Token, format string, args ...interface{}) error {
+	e := &Error{File: s.file, Line: at.Line, Col: at.Col, Msg: fmt.Sprintf(format, args...)}
+	if s.err == nil {
+		s.err = e
+	}
+	return e
+}
+
+// Peek returns the next token without consuming it.
+func (s *Scanner) Peek() Token {
+	if s.peek == nil {
+		t := s.scan()
+		s.peek = &t
+	}
+	return *s.peek
+}
+
+// Peek2 returns the token after the next one without consuming anything.
+func (s *Scanner) Peek2() Token {
+	s.Peek()
+	if s.peek2 == nil {
+		t := s.scan()
+		s.peek2 = &t
+	}
+	return *s.peek2
+}
+
+// Next consumes and returns the next token.
+func (s *Scanner) Next() Token {
+	if s.peek != nil {
+		t := *s.peek
+		s.peek = s.peek2
+		s.peek2 = nil
+		return t
+	}
+	return s.scan()
+}
+
+// Accept consumes the next token if it is punctuation with the given text
+// and reports whether it did.
+func (s *Scanner) Accept(punct string) bool {
+	t := s.Peek()
+	if t.Kind == TokPunct && t.Text == punct {
+		s.Next()
+		return true
+	}
+	return false
+}
+
+// AcceptIdent consumes the next token if it is the given identifier
+// (keyword) and reports whether it did.
+func (s *Scanner) AcceptIdent(word string) bool {
+	t := s.Peek()
+	if t.Kind == TokIdent && t.Text == word {
+		s.Next()
+		return true
+	}
+	return false
+}
+
+// Expect consumes the next token, which must be punctuation with the given
+// text.
+func (s *Scanner) Expect(punct string) (Token, error) {
+	t := s.Next()
+	if t.Kind != TokPunct || t.Text != punct {
+		return t, s.Errorf(t, "expected %q, found %s", punct, t)
+	}
+	return t, nil
+}
+
+// ExpectIdent consumes the next token, which must be an identifier, and
+// returns its text.
+func (s *Scanner) ExpectIdent() (Token, error) {
+	t := s.Next()
+	if t.Kind != TokIdent {
+		return t, s.Errorf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (s *Scanner) scan() Token {
+	s.skipSpaceAndComments()
+	start := Token{Line: s.line, Col: s.col}
+	if s.pos >= len(s.src) {
+		start.Kind = TokEOF
+		return start
+	}
+	r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+	switch {
+	case isIdentStart(r):
+		begin := s.pos
+		for s.pos < len(s.src) {
+			r, size = utf8.DecodeRuneInString(s.src[s.pos:])
+			if !isIdentCont(r) {
+				break
+			}
+			s.advance(size)
+		}
+		start.Kind = TokIdent
+		start.Text = s.src[begin:s.pos]
+		return start
+	case unicode.IsDigit(r):
+		begin := s.pos
+		for s.pos < len(s.src) {
+			r, size = utf8.DecodeRuneInString(s.src[s.pos:])
+			// Accept hex digits, suffixes, exponents, and dots; the parser
+			// validates the literal form.
+			if !isIdentCont(r) && r != '.' {
+				break
+			}
+			s.advance(size)
+		}
+		start.Kind = TokNumber
+		start.Text = s.src[begin:s.pos]
+		return start
+	case r == '"':
+		text, ok := s.scanQuoted('"')
+		if !ok {
+			start.Kind = TokEOF
+			return start
+		}
+		start.Kind = TokString
+		start.Text = text
+		return start
+	case r == '\'':
+		text, ok := s.scanQuoted('\'')
+		if !ok {
+			start.Kind = TokEOF
+			return start
+		}
+		start.Kind = TokChar
+		start.Text = text
+		return start
+	default:
+		for _, mp := range multiPunct {
+			if strings.HasPrefix(s.src[s.pos:], mp) {
+				s.advance(len(mp))
+				start.Kind = TokPunct
+				start.Text = mp
+				return start
+			}
+		}
+		s.advance(size)
+		start.Kind = TokPunct
+		start.Text = string(r)
+		return start
+	}
+}
+
+// scanQuoted consumes a quoted literal including its delimiters and
+// returns the unquoted content. Escapes are kept verbatim.
+func (s *Scanner) scanQuoted(quote byte) (string, bool) {
+	openLine, openCol := s.line, s.col
+	s.advance(1) // opening quote
+	begin := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == '\\' && s.pos+1 < len(s.src) {
+			s.advance(2)
+			continue
+		}
+		if c == quote {
+			text := s.src[begin:s.pos]
+			s.advance(1)
+			return text, true
+		}
+		if c == '\n' {
+			break
+		}
+		s.advance(1)
+	}
+	s.Errorf(Token{Line: openLine, Col: openCol}, "unterminated %c literal", quote)
+	return "", false
+}
+
+func (s *Scanner) skipSpaceAndComments() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance(1)
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.advance(1)
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			openLine, openCol := s.line, s.col
+			s.advance(2)
+			closed := false
+			for s.pos+1 < len(s.src) {
+				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
+					s.advance(2)
+					closed = true
+					break
+				}
+				s.advance(1)
+			}
+			if !closed {
+				s.pos = len(s.src)
+				s.Errorf(Token{Line: openLine, Col: openCol}, "unterminated block comment")
+			}
+		case c == '#':
+			// Preprocessor directives and IDL #pragma lines are skipped
+			// whole; Mockingbird consumes already-preprocessed declarations.
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scanner) advance(n int) {
+	for i := 0; i < n && s.pos < len(s.src); i++ {
+		if s.src[s.pos] == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+		s.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,162 @@
+package stype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Path selects Stype nodes within a Universe for annotation. The textual
+// form is dot-separated segments:
+//
+//	Decl                    the root node of a declaration
+//	Decl.field              a struct/class field's type node
+//	Decl.param              a function parameter's type node
+//	Decl.method.param       a method parameter's type node
+//	Decl.method.return      a method result's type node
+//	....*                   the element/pointee of the selected node
+//
+// Segments may be the wildcard "*", which matches any name at that
+// position; this is what makes the batch annotation scripts of §5 practical
+// ("annotate the `start` field of every class…").
+type Path struct {
+	segments []string
+}
+
+// ParsePath parses the textual path form.
+func ParsePath(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Path{}, fmt.Errorf("stype: empty path")
+	}
+	segs := strings.Split(s, ".")
+	for i, seg := range segs {
+		if seg == "" {
+			return Path{}, fmt.Errorf("stype: empty segment in path %q", s)
+		}
+		segs[i] = seg
+	}
+	return Path{segments: segs}, nil
+}
+
+// String returns the textual form of the path.
+func (p Path) String() string { return strings.Join(p.segments, ".") }
+
+// Selection is one node matched by a path, with enough context to describe
+// the match in diagnostics. Exactly one of Node and Method is non-nil:
+// paths ending at a type use Node; paths ending at a bare method (for
+// method-level annotations such as ignore) use Method.
+type Selection struct {
+	Decl   *Decl
+	Node   *Type
+	Method *Method
+	// Where is a human-readable location, e.g. "fitter.pts".
+	Where string
+}
+
+// Select returns every node in the universe matched by the path. A path
+// with no wildcard matches at most one node; wildcard paths may match many.
+// Select never returns an error for a wildcard path that matches nothing
+// (batch scripts run against suites where not every class has every
+// member), but a fully literal path that matches nothing is an error.
+func (p Path) Select(u *Universe) ([]Selection, error) {
+	if len(p.segments) == 0 {
+		return nil, fmt.Errorf("stype: empty path")
+	}
+	var out []Selection
+	first := p.segments[0]
+	for _, d := range u.Decls() {
+		if !segMatch(first, d.Name) {
+			continue
+		}
+		out = append(out, matchRest(d, d.Type, d.Name, p.segments[1:])...)
+	}
+	if len(out) == 0 && !p.hasWildcard() {
+		return nil, fmt.Errorf("stype: path %q matches nothing", p)
+	}
+	return out, nil
+}
+
+func (p Path) hasWildcard() bool {
+	for _, s := range p.segments {
+		if s == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func segMatch(pattern, name string) bool {
+	return pattern == "*" || pattern == name
+}
+
+// matchRest descends from node following the remaining segments.
+func matchRest(d *Decl, node *Type, where string, rest []string) []Selection {
+	if node == nil {
+		return nil
+	}
+	if len(rest) == 0 {
+		return []Selection{{Decl: d, Node: node, Where: where}}
+	}
+	seg := rest[0]
+	var out []Selection
+
+	// "*" as a structural step: element/pointee of pointer, array, sequence.
+	if seg == "*" {
+		switch node.Kind {
+		case KPointer, KArray, KSequence:
+			out = append(out, matchRest(d, node.ElemType, where+".*", rest[1:])...)
+		}
+		// A wildcard also matches named members below.
+	}
+
+	switch node.Kind {
+	case KStruct, KUnion, KClass, KInterface:
+		for i := range node.Fields {
+			f := &node.Fields[i]
+			if segMatch(seg, f.Name) {
+				out = append(out, matchRest(d, f.Type, where+"."+f.Name, rest[1:])...)
+			}
+		}
+		for i := range node.Methods {
+			m := &node.Methods[i]
+			if segMatch(seg, m.Name) {
+				out = append(out, matchMethod(d, m, where+"."+m.Name, rest[1:])...)
+			}
+		}
+	case KFunc:
+		for i := range node.Params {
+			p := &node.Params[i]
+			if segMatch(seg, p.Name) {
+				out = append(out, matchRest(d, p.Type, where+"."+p.Name, rest[1:])...)
+			}
+		}
+		if segMatch(seg, "return") && node.Result != nil {
+			out = append(out, matchRest(d, node.Result, where+".return", rest[1:])...)
+		}
+	case KNamed:
+		// Follow the reference so paths can traverse through typedefs and
+		// class references (e.g. JavaIdeal.fitter.pts where pts: PointVector).
+		if node.Target != nil {
+			out = append(out, matchRest(d, node.Target.Type, where, rest)...)
+		}
+	}
+	return out
+}
+
+func matchMethod(d *Decl, m *Method, where string, rest []string) []Selection {
+	if len(rest) == 0 {
+		return []Selection{{Decl: d, Method: m, Where: where}}
+	}
+	seg := rest[0]
+	var out []Selection
+	for i := range m.Params {
+		p := &m.Params[i]
+		if segMatch(seg, p.Name) {
+			out = append(out, matchRest(d, p.Type, where+"."+p.Name, rest[1:])...)
+		}
+	}
+	if segMatch(seg, "return") && m.Result != nil {
+		out = append(out, matchRest(d, m.Result, where+".return", rest[1:])...)
+	}
+	return out
+}

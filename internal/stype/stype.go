@@ -1,0 +1,492 @@
+// Package stype defines the Stype: Mockingbird's abstract-syntax
+// representation of a source-language declaration (§4 of the paper). The C,
+// Java, and CORBA IDL parsers all produce Stypes; annotations (both language
+// defaults and programmer-supplied ones) are recorded directly on Stype
+// nodes; and the lowering pass translates annotated Stypes into Mtypes.
+//
+// Every syntactic occurrence of a type gets its own Stype node — a `Point`
+// parameter and a `Point` field reference the same declaration but are
+// distinct Named nodes — so annotations naturally apply per use-site.
+package stype
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lang identifies the source language of a declaration.
+type Lang uint8
+
+// Supported source languages.
+const (
+	LangC Lang = iota + 1
+	LangJava
+	LangIDL
+)
+
+// String returns the conventional language name.
+func (l Lang) String() string {
+	switch l {
+	case LangC:
+		return "c"
+	case LangJava:
+		return "java"
+	case LangIDL:
+		return "idl"
+	default:
+		return fmt.Sprintf("lang(%d)", uint8(l))
+	}
+}
+
+// TKind discriminates Stype node constructors.
+type TKind uint8
+
+// Stype node kinds.
+const (
+	KPrim      TKind = iota + 1 // language primitive
+	KNamed                      // reference to another declaration by name
+	KStruct                     // C/IDL struct; aggregates passed by value
+	KUnion                      // C/IDL union
+	KClass                      // Java/C++ class: fields + methods
+	KInterface                  // Java/IDL interface: methods only
+	KEnum                       // enumeration
+	KPointer                    // C pointer / Java-IDL object reference
+	KArray                      // array (fixed or indefinite length)
+	KSequence                   // ordered collection of indefinite size
+	KFunc                       // function declaration
+)
+
+// String returns the lower-case node-kind name.
+func (k TKind) String() string {
+	names := map[TKind]string{
+		KPrim: "prim", KNamed: "named", KStruct: "struct", KUnion: "union",
+		KClass: "class", KInterface: "interface", KEnum: "enum",
+		KPointer: "pointer", KArray: "array", KSequence: "sequence", KFunc: "func",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tkind(%d)", uint8(k))
+}
+
+// Prim identifies a language-neutral primitive type. The parsers map each
+// language's primitives onto these (C int → I32 under the ILP32/LP64 data
+// models we support, Java boolean → Bool, IDL long → I32, …).
+type Prim uint8
+
+// Primitive types.
+const (
+	PVoid Prim = iota + 1
+	PBool
+	PI8
+	PU8
+	PI16
+	PU16
+	PI32
+	PU32
+	PI64
+	PU64
+	PF32
+	PF64
+	PChar8  // narrow character (C char, IDL char)
+	PChar16 // wide character (Java char, wchar_t, IDL wchar)
+)
+
+// String returns the primitive's name.
+func (p Prim) String() string {
+	names := map[Prim]string{
+		PVoid: "void", PBool: "bool",
+		PI8: "int8", PU8: "uint8", PI16: "int16", PU16: "uint16",
+		PI32: "int32", PU32: "uint32", PI64: "int64", PU64: "uint64",
+		PF32: "float32", PF64: "float64",
+		PChar8: "char8", PChar16: "char16",
+	}
+	if s, ok := names[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("prim(%d)", uint8(p))
+}
+
+// Mode is a parameter passing direction. The default (ModeUnset) means the
+// language rule applies: all parameters are inputs and the return value is
+// the single output (§3.3).
+type Mode uint8
+
+// Parameter modes.
+const (
+	ModeUnset Mode = iota
+	ModeIn
+	ModeOut
+	ModeInOut
+)
+
+// String returns the IDL keyword for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	default:
+		return "unset"
+	}
+}
+
+// RangeAnn is an integer range override, held as decimal strings so that
+// ranges beyond int64 (e.g. 0..2^64-1) survive serialization.
+type RangeAnn struct {
+	Lo string `json:"lo"`
+	Hi string `json:"hi"`
+}
+
+// Ann is the set of annotations attached to one Stype node. Zero values
+// mean "no annotation"; lowering applies language defaults where no
+// annotation is present. The vocabulary follows §3 of the paper.
+type Ann struct {
+	// NonNull states a pointer/reference is never null, eliding the
+	// Choice(Unit, τ) lowering (§3.2).
+	NonNull bool `json:"nonNull,omitempty"`
+	// NoAlias states a reference never introduces an alias, so an
+	// aggregate containing two such references contains two distinct
+	// objects (§3 example: the two Points of every Line).
+	NoAlias bool `json:"noAlias,omitempty"`
+	// Mode is a parameter direction annotation (§3.3).
+	Mode Mode `json:"mode,omitempty"`
+	// FixedLen provides a static length for a pointer/array, lowering it
+	// to a Record of that many elements (§3.2). Zero means unset.
+	FixedLen int `json:"fixedLen,omitempty"`
+	// LengthFrom names a sibling parameter that carries the runtime
+	// length of this array (the fitter `count` convention). The array
+	// lowers to the recursive list encoding and the named parameter is
+	// consumed by the binding rather than appearing in the Mtype.
+	LengthFrom string `json:"lengthFrom,omitempty"`
+	// Range overrides the integer range (§3.1).
+	Range *RangeAnn `json:"range,omitempty"`
+	// AsChar forces an integral type to be a Character (true) or Integer
+	// (false) Mtype; nil means the language convention applies (§3.1).
+	AsChar *bool `json:"asChar,omitempty"`
+	// Repertoire overrides the character repertoire ("ascii", "latin1",
+	// "ucs2", "unicode").
+	Repertoire string `json:"repertoire,omitempty"`
+	// ByValue forces a class to lower as a Record of its fields (true) or
+	// as an object reference port (false); nil means the language default
+	// (Java classes by reference, C/IDL structs by value).
+	ByValue *bool `json:"byValue,omitempty"`
+	// CollectionOf states a class is a homogeneous ordered collection of
+	// the named element type (e.g. PointVector contains only Point),
+	// lowering to the recursive list encoding.
+	CollectionOf string `json:"collectionOf,omitempty"`
+	// ElementNonNull states collection elements are never null.
+	ElementNonNull bool `json:"elementNonNull,omitempty"`
+	// Ignore drops the node (a field or method) from the lowering.
+	Ignore bool `json:"ignore,omitempty"`
+}
+
+// IsZero reports whether no annotation is set.
+func (a Ann) IsZero() bool {
+	return !a.NonNull && !a.NoAlias && a.Mode == ModeUnset && a.FixedLen == 0 &&
+		a.LengthFrom == "" && a.Range == nil && a.AsChar == nil &&
+		a.Repertoire == "" && a.ByValue == nil && a.CollectionOf == "" &&
+		!a.ElementNonNull && !a.Ignore
+}
+
+// Merge overlays o on top of a: every annotation set in o wins.
+func (a Ann) Merge(o Ann) Ann {
+	out := a
+	if o.NonNull {
+		out.NonNull = true
+	}
+	if o.NoAlias {
+		out.NoAlias = true
+	}
+	if o.Mode != ModeUnset {
+		out.Mode = o.Mode
+	}
+	if o.FixedLen != 0 {
+		out.FixedLen = o.FixedLen
+	}
+	if o.LengthFrom != "" {
+		out.LengthFrom = o.LengthFrom
+	}
+	if o.Range != nil {
+		out.Range = o.Range
+	}
+	if o.AsChar != nil {
+		out.AsChar = o.AsChar
+	}
+	if o.Repertoire != "" {
+		out.Repertoire = o.Repertoire
+	}
+	if o.ByValue != nil {
+		out.ByValue = o.ByValue
+	}
+	if o.CollectionOf != "" {
+		out.CollectionOf = o.CollectionOf
+	}
+	if o.ElementNonNull {
+		out.ElementNonNull = true
+	}
+	if o.Ignore {
+		out.Ignore = true
+	}
+	return out
+}
+
+// Field is a named member of a struct, union, or class.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Param is a function or method parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Method is a named operation of a class or interface. Ann carries
+// method-level annotations (only Ignore is meaningful at this level);
+// parameter and result annotations live on their own type nodes.
+type Method struct {
+	Name   string
+	Params []Param
+	Result *Type // nil means void
+	Ann    Ann
+	// Oneway marks an IDL oneway operation: fire-and-forget message
+	// passing with no reply port in the lowering (§3.3, §5's messaging
+	// case study).
+	Oneway bool
+}
+
+// Type is an Stype node. Exactly the fields relevant to Kind are set.
+type Type struct {
+	Kind TKind
+	Ann  Ann
+
+	// KPrim.
+	Prim Prim
+
+	// KNamed: the referenced declaration name. Resolve fills Target.
+	Name   string
+	Target *Decl
+
+	// Composites (KStruct, KUnion, KClass, KInterface).
+	Fields  []Field
+	Methods []Method
+	Super   string // single inheritance parent, "" if none
+
+	// KEnum.
+	EnumNames []string
+
+	// KPointer, KArray, KSequence element.
+	ElemType *Type
+
+	// KArray length: >= 0 fixed, -1 indefinite (size unknown until runtime).
+	Len int
+
+	// KFunc.
+	Params []Param
+	Result *Type // nil means void
+}
+
+// NewPrim returns a primitive Stype node.
+func NewPrim(p Prim) *Type { return &Type{Kind: KPrim, Prim: p} }
+
+// NewNamed returns an unresolved reference to the named declaration.
+func NewNamed(name string) *Type { return &Type{Kind: KNamed, Name: name} }
+
+// NewPointer returns a pointer/reference to elem.
+func NewPointer(elem *Type) *Type { return &Type{Kind: KPointer, ElemType: elem} }
+
+// NewArray returns an array of elem; length -1 means indefinite.
+func NewArray(elem *Type, length int) *Type {
+	return &Type{Kind: KArray, ElemType: elem, Len: length}
+}
+
+// NewSequence returns an ordered collection of indefinite size.
+func NewSequence(elem *Type) *Type { return &Type{Kind: KSequence, ElemType: elem} }
+
+// Decl is a named top-level declaration in a Universe.
+type Decl struct {
+	Name string
+	Lang Lang
+	Type *Type
+}
+
+// Universe is an ordered set of declarations loaded from one source (one
+// language). Named references resolve within their universe.
+type Universe struct {
+	lang  Lang
+	order []string
+	decls map[string]*Decl
+}
+
+// NewUniverse returns an empty universe for the given language.
+func NewUniverse(lang Lang) *Universe {
+	return &Universe{lang: lang, decls: make(map[string]*Decl)}
+}
+
+// Lang returns the universe's source language.
+func (u *Universe) Lang() Lang { return u.lang }
+
+// Add inserts a declaration. It fails if the name is already declared.
+func (u *Universe) Add(name string, ty *Type) (*Decl, error) {
+	if name == "" {
+		return nil, fmt.Errorf("stype: empty declaration name")
+	}
+	if ty == nil {
+		return nil, fmt.Errorf("stype: declaration %q has nil type", name)
+	}
+	if _, dup := u.decls[name]; dup {
+		return nil, fmt.Errorf("stype: duplicate declaration %q", name)
+	}
+	d := &Decl{Name: name, Lang: u.lang, Type: ty}
+	u.decls[name] = d
+	u.order = append(u.order, name)
+	return d, nil
+}
+
+// Lookup returns the declaration with the given name, or nil.
+func (u *Universe) Lookup(name string) *Decl { return u.decls[name] }
+
+// Names returns the declaration names in insertion order.
+func (u *Universe) Names() []string { return append([]string(nil), u.order...) }
+
+// Decls returns all declarations in insertion order.
+func (u *Universe) Decls() []*Decl {
+	out := make([]*Decl, 0, len(u.order))
+	for _, name := range u.order {
+		out = append(out, u.decls[name])
+	}
+	return out
+}
+
+// Resolve binds every Named node reachable from the universe's declarations
+// to its target declaration. Unresolvable names are reported together.
+func (u *Universe) Resolve() error {
+	var missing []string
+	seenMissing := make(map[string]bool)
+	for _, d := range u.Decls() {
+		Walk(d.Type, func(n *Type) {
+			if n.Kind != KNamed {
+				return
+			}
+			target := u.decls[n.Name]
+			if target == nil {
+				if !seenMissing[n.Name] {
+					seenMissing[n.Name] = true
+					missing = append(missing, n.Name)
+				}
+				return
+			}
+			n.Target = target
+		})
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("stype: unresolved type names: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Walk calls fn on every Stype node reachable from t, once per node, in
+// preorder. It does not follow Named targets (which would cross into other
+// declarations).
+func Walk(t *Type, fn func(*Type)) {
+	seen := make(map[*Type]bool)
+	var rec func(n *Type)
+	rec = func(n *Type) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		fn(n)
+		for _, f := range n.Fields {
+			rec(f.Type)
+		}
+		for _, m := range n.Methods {
+			for _, p := range m.Params {
+				rec(p.Type)
+			}
+			rec(m.Result)
+		}
+		rec(n.ElemType)
+		for _, p := range n.Params {
+			rec(p.Type)
+		}
+		rec(n.Result)
+	}
+	rec(t)
+}
+
+// String renders the node for diagnostics (shallow for composites).
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KPrim:
+		return t.Prim.String()
+	case KNamed:
+		return t.Name
+	case KStruct:
+		return "struct " + t.Name
+	case KUnion:
+		return "union " + t.Name
+	case KClass:
+		return "class " + t.Name
+	case KInterface:
+		return "interface " + t.Name
+	case KEnum:
+		return "enum " + t.Name
+	case KPointer:
+		return t.ElemType.String() + "*"
+	case KArray:
+		if t.Len < 0 {
+			return t.ElemType.String() + "[]"
+		}
+		return fmt.Sprintf("%s[%d]", t.ElemType, t.Len)
+	case KSequence:
+		return "sequence<" + t.ElemType.String() + ">"
+	case KFunc:
+		var sb strings.Builder
+		sb.WriteString("func(")
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type.String())
+			if p.Name != "" {
+				sb.WriteString(" " + p.Name)
+			}
+		}
+		sb.WriteString(")")
+		if t.Result != nil {
+			sb.WriteString(" " + t.Result.String())
+		}
+		return sb.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// Signature renders a method for diagnostics.
+func (m Method) Signature() string {
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	sb.WriteString("(")
+	for i, p := range m.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type.String())
+	}
+	sb.WriteString(")")
+	if m.Result != nil {
+		sb.WriteString(" " + m.Result.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+)
+
+// loadSuite parses, annotates, and returns a session with both sides of
+// the suite loaded.
+func loadSuite(t testing.TB, suite *Suite) *core.Session {
+	t.Helper()
+	s := core.NewSession()
+	if err := s.LoadJava("java", suite.JavaSource); err != nil {
+		t.Fatalf("java side: %v", err)
+	}
+	if err := s.LoadIDL("idl", suite.IDLSource); err != nil {
+		t.Fatalf("idl side: %v", err)
+	}
+	if _, err := s.Annotate("java", suite.JavaScript); err != nil {
+		t.Fatalf("annotation script: %v", err)
+	}
+	return s
+}
+
+// compareAll compares every generated class pair and returns the number
+// matched.
+func compareAll(t testing.TB, s *core.Session, suite *Suite) (matched, total int) {
+	t.Helper()
+	names := append(append([]string(nil), suite.DataClassNames...), suite.ServiceClassNames...)
+	for _, name := range names {
+		total++
+		v, err := s.Compare("java", name, "idl", name)
+		if err != nil {
+			t.Fatalf("compare %s: %v", name, err)
+		}
+		if v.Relation == core.RelEquivalent {
+			matched++
+		} else if testing.Verbose() {
+			t.Logf("%s: %s\n%s", name, v.Relation, v.Explain)
+		}
+	}
+	return matched, total
+}
+
+// TestVisualAgeMiniature reproduces the §5 VisualAge trial: the 12-class
+// miniature matches completely across the two languages using batch
+// annotation.
+func TestVisualAgeMiniature(t *testing.T) {
+	suite := Generate(VisualAgeMiniature())
+	s := loadSuite(t, suite)
+	matched, total := compareAll(t, s, suite)
+	if total != 12 {
+		t.Fatalf("suite has %d classes, want 12", total)
+	}
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
+	}
+}
+
+// TestVisualAgeScaled50 is a step on the paper's ongoing scalability
+// investigation: a 50-class interrelated suite still matches completely.
+func TestVisualAgeScaled50(t *testing.T) {
+	suite := Generate(VisualAgeScaled(50))
+	s := loadSuite(t, suite)
+	matched, total := compareAll(t, s, suite)
+	if total != 50 {
+		t.Fatalf("suite has %d classes, want 50", total)
+	}
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
+	}
+}
+
+// TestNotesBridge reproduces the Lotus Notes experiment: a 30-class,
+// method-heavy API surface bridged completely.
+func TestNotesBridge(t *testing.T) {
+	suite := Generate(NotesAPI())
+	s := loadSuite(t, suite)
+	matched, total := compareAll(t, s, suite)
+	if total != 30 {
+		t.Fatalf("suite has %d classes, want 30", total)
+	}
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
+	}
+}
+
+// TestCollabMessages checks the collaborative-objects message suite: 21
+// message types over the supporting classes, all matched.
+func TestCollabMessages(t *testing.T) {
+	suite := Generate(Collab())
+	if len(suite.MessageNames) != 21 {
+		t.Fatalf("message types = %d, want 21", len(suite.MessageNames))
+	}
+	if len(suite.DataClassNames) != 43 {
+		t.Fatalf("total classes = %d, want 43 (21 messages + 22 support)", len(suite.DataClassNames))
+	}
+	s := loadSuite(t, suite)
+	for _, name := range suite.MessageNames {
+		v, err := s.Compare("java", name, "idl", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Relation != core.RelEquivalent {
+			t.Errorf("message %s: %s", name, v.Relation)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(VisualAgeMiniature())
+	b := Generate(VisualAgeMiniature())
+	if a.JavaSource != b.JavaSource || a.IDLSource != b.IDLSource || a.JavaScript != b.JavaScript {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestShuffleActuallyShuffles(t *testing.T) {
+	cfg := VisualAgeMiniature()
+	cfg.Shuffle = false
+	cfg.Regroup = false
+	plain := Generate(cfg)
+	shuffled := Generate(VisualAgeMiniature())
+	if plain.IDLSource == shuffled.IDLSource {
+		t.Error("shuffle and regroup had no effect")
+	}
+}
+
+// TestShuffledSuiteNeedsIsomorphismRules: without commutativity the
+// shuffled IDL side must fail to match, demonstrating the rules earn
+// their keep on the case-study workloads.
+func TestShuffledSuiteNeedsIsomorphismRules(t *testing.T) {
+	suite := Generate(VisualAgeMiniature())
+	s := loadSuite(t, suite)
+	rules := compare.DefaultRules()
+	rules.Commutativity = false
+	s.SetRules(rules)
+	matched, total := compareAll(t, s, suite)
+	if matched == total {
+		t.Errorf("all %d classes matched without commutativity; shuffle too weak", total)
+	}
+}

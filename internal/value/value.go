@@ -1,0 +1,324 @@
+// Package value defines the dynamic values that Mockingbird stubs move
+// between language representations. A Value is a tree shaped like an Mtype:
+// Int/Real/Char/Unit leaves under Record and Choice constructors. Values of
+// recursive Mtypes (lists) are built from Choice/Record exactly as the list
+// encoding μL.Choice(Unit, Record(elem, L)) prescribes, so one value model
+// serves Java Vectors, C indefinite arrays, and linked lists alike.
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/mtype"
+)
+
+// Value is a dynamic value. The concrete types are Int, Real, Char, Unit,
+// Record, Choice, and Port.
+type Value interface {
+	// Kind reports the Mtype kind this value inhabits.
+	Kind() mtype.Kind
+	// String renders the value for diagnostics.
+	String() string
+}
+
+// Int is an integer value. The magnitude is held in a big.Int so that the
+// full range of every source language integer type (including uint64) is
+// representable.
+type Int struct {
+	V *big.Int
+}
+
+// NewInt returns an Int holding v.
+func NewInt(v int64) Int { return Int{V: big.NewInt(v)} }
+
+// Kind implements Value.
+func (Int) Kind() mtype.Kind { return mtype.KindInteger }
+
+func (i Int) String() string {
+	if i.V == nil {
+		return "int(<nil>)"
+	}
+	return i.V.String()
+}
+
+// Int64 returns the value as an int64, or an error if it does not fit.
+func (i Int) Int64() (int64, error) {
+	if i.V == nil {
+		return 0, errors.New("value: nil integer")
+	}
+	if !i.V.IsInt64() {
+		return 0, fmt.Errorf("value: integer %s overflows int64", i.V)
+	}
+	return i.V.Int64(), nil
+}
+
+// Real is a floating point value.
+type Real struct {
+	V float64
+}
+
+// Kind implements Value.
+func (Real) Kind() mtype.Kind { return mtype.KindReal }
+
+func (r Real) String() string { return fmt.Sprintf("%g", r.V) }
+
+// Char is a character value (one Unicode code point).
+type Char struct {
+	R rune
+}
+
+// Kind implements Value.
+func (Char) Kind() mtype.Kind { return mtype.KindCharacter }
+
+func (c Char) String() string { return fmt.Sprintf("%q", c.R) }
+
+// Unit is the single value of the Unit Mtype (void / null).
+type Unit struct{}
+
+// Kind implements Value.
+func (Unit) Kind() mtype.Kind { return mtype.KindUnit }
+
+func (Unit) String() string { return "unit" }
+
+// Record is an ordered aggregate value.
+type Record struct {
+	Fields []Value
+}
+
+// NewRecord returns a Record over the given field values.
+func NewRecord(fields ...Value) Record {
+	return Record{Fields: append([]Value(nil), fields...)}
+}
+
+// Kind implements Value.
+func (Record) Kind() mtype.Kind { return mtype.KindRecord }
+
+func (r Record) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, f := range r.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if f == nil {
+			sb.WriteString("<nil>")
+		} else {
+			sb.WriteString(f.String())
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Choice is a tagged alternative: alternative Alt of the Choice Mtype,
+// carrying value V.
+type Choice struct {
+	Alt int
+	V   Value
+}
+
+// Kind implements Value.
+func (Choice) Kind() mtype.Kind { return mtype.KindChoice }
+
+func (c Choice) String() string {
+	if c.V == nil {
+		return fmt.Sprintf("<%d:<nil>>", c.Alt)
+	}
+	return fmt.Sprintf("<%d:%s>", c.Alt, c.V)
+}
+
+// Port is a reference to a destination that accepts values: an object
+// reference, a function reference, or a reply port. The Ref field is an
+// opaque handle interpreted by the runtime that produced it (a local
+// dispatcher entry or a network object key).
+type Port struct {
+	Ref string
+}
+
+// Kind implements Value.
+func (Port) Kind() mtype.Kind { return mtype.KindPort }
+
+func (p Port) String() string { return "port(" + p.Ref + ")" }
+
+// Null returns the null case of an optional (Choice(Unit, τ)) value.
+func Null() Choice { return Choice{Alt: 0, V: Unit{}} }
+
+// Some wraps v as the non-null case of an optional value.
+func Some(v Value) Choice { return Choice{Alt: 1, V: v} }
+
+// ListNil returns the empty list value under the list encoding.
+func ListNil() Choice { return Choice{Alt: 0, V: Unit{}} }
+
+// ListCons prepends head to tail under the list encoding.
+func ListCons(head, tail Value) Choice {
+	return Choice{Alt: 1, V: NewRecord(head, tail)}
+}
+
+// FromSlice builds a list value (under the list encoding) from a slice of
+// element values, preserving order.
+func FromSlice(elems []Value) Value {
+	out := Value(ListNil())
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = ListCons(elems[i], out)
+	}
+	return out
+}
+
+// ToSlice flattens a list value into a slice of its elements. It returns an
+// error if v is not a well-formed list encoding.
+func ToSlice(v Value) ([]Value, error) {
+	var out []Value
+	for {
+		c, ok := v.(Choice)
+		if !ok {
+			return nil, fmt.Errorf("value: list node is %T, want Choice", v)
+		}
+		switch c.Alt {
+		case 0:
+			if _, ok := c.V.(Unit); !ok {
+				return nil, fmt.Errorf("value: list nil carries %T, want Unit", c.V)
+			}
+			return out, nil
+		case 1:
+			cons, ok := c.V.(Record)
+			if !ok || len(cons.Fields) != 2 {
+				return nil, fmt.Errorf("value: list cons is %T, want 2-field Record", c.V)
+			}
+			out = append(out, cons.Fields[0])
+			v = cons.Fields[1]
+		default:
+			return nil, fmt.Errorf("value: list alternative %d out of range", c.Alt)
+		}
+	}
+}
+
+// Check verifies that v inhabits Mtype ty, following the structure of both
+// and unfolding recursive nodes as needed.
+func Check(v Value, ty *mtype.Type) error {
+	return check(v, ty, 0)
+}
+
+const maxCheckDepth = 1 << 20
+
+func check(v Value, ty *mtype.Type, depth int) error {
+	if depth > maxCheckDepth {
+		return errors.New("value: check depth exceeded (cyclic value?)")
+	}
+	if ty == nil {
+		return errors.New("value: nil type")
+	}
+	if v == nil {
+		return errors.New("value: nil value")
+	}
+	for ty.Kind() == mtype.KindRecursive {
+		ty = ty.Body()
+		if ty == nil {
+			return errors.New("value: unbound recursive type")
+		}
+	}
+	switch ty.Kind() {
+	case mtype.KindInteger:
+		iv, ok := v.(Int)
+		if !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		if iv.V == nil {
+			return errors.New("value: nil integer")
+		}
+		lo, hi := ty.IntegerRange()
+		if iv.V.Cmp(lo) < 0 || iv.V.Cmp(hi) > 0 {
+			return fmt.Errorf("value: %s outside range [%s..%s]", iv.V, lo, hi)
+		}
+		return nil
+	case mtype.KindCharacter:
+		if _, ok := v.(Char); !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		return nil
+	case mtype.KindReal:
+		if _, ok := v.(Real); !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		return nil
+	case mtype.KindUnit:
+		if _, ok := v.(Unit); !ok {
+			return fmt.Errorf("value: %s does not inhabit unit", v)
+		}
+		return nil
+	case mtype.KindRecord:
+		rv, ok := v.(Record)
+		if !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		fields := ty.Fields()
+		if len(rv.Fields) != len(fields) {
+			return fmt.Errorf("value: record has %d fields, type wants %d", len(rv.Fields), len(fields))
+		}
+		for i, f := range fields {
+			if err := check(rv.Fields[i], f.Type, depth+1); err != nil {
+				return fmt.Errorf("field %d (%s): %w", i, f.Name, err)
+			}
+		}
+		return nil
+	case mtype.KindChoice:
+		cv, ok := v.(Choice)
+		if !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		alts := ty.Alts()
+		if cv.Alt < 0 || cv.Alt >= len(alts) {
+			return fmt.Errorf("value: alternative %d out of range (0..%d)", cv.Alt, len(alts)-1)
+		}
+		if err := check(cv.V, alts[cv.Alt].Type, depth+1); err != nil {
+			return fmt.Errorf("alternative %d (%s): %w", cv.Alt, alts[cv.Alt].Name, err)
+		}
+		return nil
+	case mtype.KindPort:
+		if _, ok := v.(Port); !ok {
+			return fmt.Errorf("value: %s does not inhabit %s", v, ty)
+		}
+		return nil
+	default:
+		return fmt.Errorf("value: unsupported type kind %s", ty.Kind())
+	}
+}
+
+// Equal reports deep equality of two values.
+func Equal(a, b Value) bool {
+	switch av := a.(type) {
+	case Int:
+		bv, ok := b.(Int)
+		return ok && av.V != nil && bv.V != nil && av.V.Cmp(bv.V) == 0
+	case Real:
+		bv, ok := b.(Real)
+		return ok && av.V == bv.V
+	case Char:
+		bv, ok := b.(Char)
+		return ok && av.R == bv.R
+	case Unit:
+		_, ok := b.(Unit)
+		return ok
+	case Record:
+		bv, ok := b.(Record)
+		if !ok || len(av.Fields) != len(bv.Fields) {
+			return false
+		}
+		for i := range av.Fields {
+			if !Equal(av.Fields[i], bv.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case Choice:
+		bv, ok := b.(Choice)
+		return ok && av.Alt == bv.Alt && Equal(av.V, bv.V)
+	case Port:
+		bv, ok := b.(Port)
+		return ok && av.Ref == bv.Ref
+	default:
+		return false
+	}
+}

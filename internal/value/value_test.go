@@ -1,0 +1,249 @@
+package value
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mtype"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want mtype.Kind
+	}{
+		{NewInt(1), mtype.KindInteger},
+		{Real{1.5}, mtype.KindReal},
+		{Char{'x'}, mtype.KindCharacter},
+		{Unit{}, mtype.KindUnit},
+		{NewRecord(), mtype.KindRecord},
+		{Null(), mtype.KindChoice},
+		{Port{Ref: "p"}, mtype.KindPort},
+	}
+	for _, c := range cases {
+		if got := c.v.Kind(); got != c.want {
+			t.Errorf("%s.Kind() = %s, want %s", c.v, got, c.want)
+		}
+	}
+}
+
+func TestInt64(t *testing.T) {
+	v, err := NewInt(-42).Int64()
+	if err != nil || v != -42 {
+		t.Errorf("Int64 = %d, %v", v, err)
+	}
+	big := Int{V: new(big.Int).Lsh(bigOne(), 70)}
+	if _, err := big.Int64(); err == nil {
+		t.Error("expected overflow error for 2^70")
+	}
+	if _, err := (Int{}).Int64(); err == nil {
+		t.Error("expected error for nil integer")
+	}
+}
+
+func bigOne() *big.Int { return big.NewInt(1) }
+
+func TestListRoundTrip(t *testing.T) {
+	elems := []Value{Real{1}, Real{2}, Real{3}}
+	lst := FromSlice(elems)
+	got, err := ToSlice(lst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d elements, want 3", len(got))
+	}
+	for i := range elems {
+		if !Equal(got[i], elems[i]) {
+			t.Errorf("element %d = %s, want %s", i, got[i], elems[i])
+		}
+	}
+}
+
+func TestToSliceEmpty(t *testing.T) {
+	got, err := ToSlice(FromSlice(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty list round trip = %v, %v", got, err)
+	}
+}
+
+func TestToSliceRejectsMalformed(t *testing.T) {
+	bad := []Value{
+		Real{1},                        // not a choice
+		Choice{Alt: 2, V: Unit{}},      // alt out of range
+		Choice{Alt: 1, V: Real{1}},     // cons not a record
+		Choice{Alt: 0, V: Real{1}},     // nil not a unit
+		Choice{Alt: 1, V: NewRecord()}, // cons arity wrong
+	}
+	for i, v := range bad {
+		if _, err := ToSlice(v); err == nil {
+			t.Errorf("case %d: ToSlice accepted malformed list %s", i, v)
+		}
+	}
+}
+
+func TestCheckPrimitives(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	if err := Check(NewInt(127), i8); err != nil {
+		t.Errorf("127 : int8 = %v", err)
+	}
+	if err := Check(NewInt(128), i8); err == nil {
+		t.Error("128 : int8 accepted")
+	}
+	if err := Check(NewInt(-129), i8); err == nil {
+		t.Error("-129 : int8 accepted")
+	}
+	if err := Check(Real{1.0}, mtype.NewFloat32()); err != nil {
+		t.Errorf("real check: %v", err)
+	}
+	if err := Check(Real{1.0}, i8); err == nil {
+		t.Error("real : int8 accepted")
+	}
+	if err := Check(Char{'a'}, mtype.NewCharacter(mtype.RepASCII)); err != nil {
+		t.Errorf("char check: %v", err)
+	}
+	if err := Check(Unit{}, mtype.Unit()); err != nil {
+		t.Errorf("unit check: %v", err)
+	}
+	if err := Check(Port{Ref: "x"}, mtype.NewPort(mtype.Unit())); err != nil {
+		t.Errorf("port check: %v", err)
+	}
+}
+
+func TestCheckRecord(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	ok := NewRecord(Real{1}, Real{2})
+	if err := Check(ok, point); err != nil {
+		t.Errorf("point value rejected: %v", err)
+	}
+	if err := Check(NewRecord(Real{1}), point); err == nil {
+		t.Error("short record accepted")
+	}
+	if err := Check(NewRecord(Real{1}, NewInt(2)), point); err == nil {
+		t.Error("mistyped field accepted")
+	}
+}
+
+func TestCheckChoiceAndOptional(t *testing.T) {
+	opt := mtype.NewOptional(mtype.NewFloat32())
+	if err := Check(Null(), opt); err != nil {
+		t.Errorf("null rejected: %v", err)
+	}
+	if err := Check(Some(Real{3}), opt); err != nil {
+		t.Errorf("some rejected: %v", err)
+	}
+	if err := Check(Choice{Alt: 5, V: Unit{}}, opt); err == nil {
+		t.Error("out-of-range alternative accepted")
+	}
+	if err := Check(Some(NewInt(1)), opt); err == nil {
+		t.Error("mistyped payload accepted")
+	}
+}
+
+func TestCheckList(t *testing.T) {
+	lst := mtype.NewList(mtype.NewFloat32())
+	v := FromSlice([]Value{Real{1}, Real{2}})
+	if err := Check(v, lst); err != nil {
+		t.Errorf("list value rejected: %v", err)
+	}
+	bad := FromSlice([]Value{Real{1}, NewInt(2)})
+	if err := Check(bad, lst); err == nil {
+		t.Error("list with mistyped element accepted")
+	}
+}
+
+func TestCheckNilInputs(t *testing.T) {
+	if err := Check(nil, mtype.Unit()); err == nil {
+		t.Error("nil value accepted")
+	}
+	if err := Check(Unit{}, nil); err == nil {
+		t.Error("nil type accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{NewInt(1), NewInt(1), true},
+		{NewInt(1), NewInt(2), false},
+		{Real{1}, Real{1}, true},
+		{Real{1}, NewInt(1), false},
+		{Char{'a'}, Char{'a'}, true},
+		{Char{'a'}, Char{'b'}, false},
+		{Unit{}, Unit{}, true},
+		{NewRecord(Real{1}), NewRecord(Real{1}), true},
+		{NewRecord(Real{1}), NewRecord(Real{2}), false},
+		{NewRecord(Real{1}), NewRecord(Real{1}, Real{2}), false},
+		{Some(Real{1}), Some(Real{1}), true},
+		{Some(Real{1}), Null(), false},
+		{Port{Ref: "a"}, Port{Ref: "a"}, true},
+		{Port{Ref: "a"}, Port{Ref: "b"}, false},
+	}
+	for i, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Equal(%s, %s) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(7), "7"},
+		{Unit{}, "unit"},
+		{NewRecord(NewInt(1), Unit{}), "{1, unit}"},
+		{Some(NewInt(2)), "<1:2>"},
+		{Port{Ref: "obj:3"}, "port(obj:3)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPropertyListRoundTrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		elems := make([]Value, len(xs))
+		for i, x := range xs {
+			elems[i] = Real{x}
+		}
+		back, err := ToSlice(FromSlice(elems))
+		if err != nil || len(back) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if !Equal(back[i], elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEqualReflexive(t *testing.T) {
+	f := func(n int64, r float64) bool {
+		vals := []Value{
+			NewInt(n), Real{r}, Char{rune(n % 0x10000)},
+			NewRecord(NewInt(n), Real{r}),
+			Some(NewInt(n)),
+		}
+		for _, v := range vals {
+			if !Equal(v, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

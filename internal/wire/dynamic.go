@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"repro/internal/mtype"
+	"repro/internal/value"
+)
+
+// This file implements the dynamic type construct of §6: "we support a
+// dynamic type construct of our own which is similar to Any". A dynamic
+// value travels with its own Mtype descriptor, so a receiver with no
+// prior declaration can decode it, inspect it, or compare its type
+// against a local declaration and convert.
+//
+// Descriptor encoding: the node list of the Mtype graph in preorder, each
+// node as kind byte + parameters + child node ids, with cycles expressed
+// by ids (every cycle passes through a Recursive node, which is the only
+// node decoded in two phases).
+
+// descriptor node kind codes (stable wire values, independent of
+// mtype.Kind ordering).
+const (
+	dynInteger   = 1
+	dynCharacter = 2
+	dynReal      = 3
+	dynUnit      = 4
+	dynRecord    = 5
+	dynChoice    = 6
+	dynRecursive = 7
+	dynPort      = 8
+)
+
+// maxDynNodes bounds descriptor size against hostile input.
+const maxDynNodes = 1 << 16
+
+// MarshalDynamic encodes v preceded by ty's descriptor.
+func MarshalDynamic(ty *mtype.Type, v value.Value) ([]byte, error) {
+	if err := mtype.Validate(ty); err != nil {
+		return nil, fmt.Errorf("wire: dynamic type invalid: %w", err)
+	}
+	desc, err := encodeDescriptor(ty)
+	if err != nil {
+		return nil, err
+	}
+	body, err := Marshal(ty, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 8+len(desc)+len(body))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(desc)))
+	out = append(out, desc...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return out, nil
+}
+
+// UnmarshalDynamic decodes a dynamic value: its carried Mtype and the
+// value itself.
+func UnmarshalDynamic(data []byte) (*mtype.Type, value.Value, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated dynamic value")
+	}
+	dlen := binary.LittleEndian.Uint32(data)
+	rest := data[4:]
+	if uint64(dlen) > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("wire: truncated dynamic descriptor")
+	}
+	ty, err := decodeDescriptor(rest[:dlen])
+	if err != nil {
+		return nil, nil, err
+	}
+	rest = rest[dlen:]
+	if len(rest) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated dynamic body")
+	}
+	blen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(blen) != uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("wire: dynamic body length mismatch")
+	}
+	v, err := Unmarshal(ty, rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ty, v, nil
+}
+
+func encodeDescriptor(ty *mtype.Type) ([]byte, error) {
+	nodes := mtype.Nodes(ty)
+	if len(nodes) > maxDynNodes {
+		return nil, fmt.Errorf("wire: dynamic type too large (%d nodes)", len(nodes))
+	}
+	id := make(map[*mtype.Type]uint32, len(nodes))
+	for i, n := range nodes {
+		id[n] = uint32(i)
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nodes)))
+	appendStr := func(s string) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, n := range nodes {
+		switch n.Kind() {
+		case mtype.KindInteger:
+			buf = append(buf, dynInteger)
+			lo, hi := n.IntegerRange()
+			appendStr(lo.String())
+			appendStr(hi.String())
+		case mtype.KindCharacter:
+			buf = append(buf, dynCharacter, byte(n.Repertoire()))
+		case mtype.KindReal:
+			buf = append(buf, dynReal)
+			p, e := n.RealParams()
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(p))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(e))
+		case mtype.KindUnit:
+			buf = append(buf, dynUnit)
+		case mtype.KindRecord:
+			buf = append(buf, dynRecord)
+			fields := n.Fields()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fields)))
+			for _, f := range fields {
+				buf = binary.LittleEndian.AppendUint32(buf, id[f.Type])
+			}
+		case mtype.KindChoice:
+			buf = append(buf, dynChoice)
+			alts := n.Alts()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(alts)))
+			for _, a := range alts {
+				buf = binary.LittleEndian.AppendUint32(buf, id[a.Type])
+			}
+		case mtype.KindRecursive:
+			buf = append(buf, dynRecursive)
+			buf = binary.LittleEndian.AppendUint32(buf, id[n.Body()])
+		case mtype.KindPort:
+			buf = append(buf, dynPort)
+			buf = binary.LittleEndian.AppendUint32(buf, id[n.Elem()])
+		default:
+			return nil, fmt.Errorf("wire: cannot encode %s in a dynamic descriptor", n.Kind())
+		}
+	}
+	return buf, nil
+}
+
+// rawNode is the parsed but unlinked form of a descriptor node.
+type rawNode struct {
+	kind     byte
+	lo, hi   string
+	rep      byte
+	prec     uint16
+	exp      uint16
+	children []uint32
+}
+
+func decodeDescriptor(data []byte) (*mtype.Type, error) {
+	off := 0
+	readU32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("wire: truncated descriptor")
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	readU16 := func() (uint16, error) {
+		if off+2 > len(data) {
+			return 0, fmt.Errorf("wire: truncated descriptor")
+		}
+		v := binary.LittleEndian.Uint16(data[off:])
+		off += 2
+		return v, nil
+	}
+	readByte := func() (byte, error) {
+		if off >= len(data) {
+			return 0, fmt.Errorf("wire: truncated descriptor")
+		}
+		b := data[off]
+		off++
+		return b, nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if uint64(off)+uint64(n) > uint64(len(data)) || n > 4096 {
+			return "", fmt.Errorf("wire: truncated descriptor string")
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > maxDynNodes {
+		return nil, fmt.Errorf("wire: descriptor has %d nodes", count)
+	}
+	raw := make([]rawNode, count)
+	for i := range raw {
+		k, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		raw[i].kind = k
+		switch k {
+		case dynInteger:
+			if raw[i].lo, err = readStr(); err != nil {
+				return nil, err
+			}
+			if raw[i].hi, err = readStr(); err != nil {
+				return nil, err
+			}
+		case dynCharacter:
+			if raw[i].rep, err = readByte(); err != nil {
+				return nil, err
+			}
+		case dynReal:
+			if raw[i].prec, err = readU16(); err != nil {
+				return nil, err
+			}
+			if raw[i].exp, err = readU16(); err != nil {
+				return nil, err
+			}
+		case dynUnit:
+		case dynRecord, dynChoice:
+			n, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if n > uint32(count) {
+				return nil, fmt.Errorf("wire: descriptor node with %d children", n)
+			}
+			raw[i].children = make([]uint32, n)
+			for j := range raw[i].children {
+				if raw[i].children[j], err = readU32(); err != nil {
+					return nil, err
+				}
+			}
+		case dynRecursive, dynPort:
+			c, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			raw[i].children = []uint32{c}
+		default:
+			return nil, fmt.Errorf("wire: unknown descriptor kind %d", k)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing descriptor bytes", len(data)-off)
+	}
+
+	// Link. Cycles pass through Recursive nodes only, so preallocate
+	// those and build everything else recursively.
+	built := make([]*mtype.Type, count)
+	building := make([]bool, count)
+	var build func(i uint32) (*mtype.Type, error)
+	build = func(i uint32) (*mtype.Type, error) {
+		if i >= count {
+			return nil, fmt.Errorf("wire: descriptor reference %d out of range", i)
+		}
+		if built[i] != nil {
+			return built[i], nil
+		}
+		if building[i] {
+			return nil, fmt.Errorf("wire: descriptor cycle without a recursive node")
+		}
+		r := raw[i]
+		if r.kind == dynRecursive {
+			rec := mtype.NewRecursive()
+			built[i] = rec
+			body, err := build(r.children[0])
+			if err != nil {
+				return nil, err
+			}
+			rec.SetBody(body)
+			return rec, nil
+		}
+		building[i] = true
+		defer func() { building[i] = false }()
+		var out *mtype.Type
+		switch r.kind {
+		case dynInteger:
+			lo, ok1 := new(big.Int).SetString(r.lo, 10)
+			hi, ok2 := new(big.Int).SetString(r.hi, 10)
+			if !ok1 || !ok2 || lo.Cmp(hi) > 0 {
+				return nil, fmt.Errorf("wire: bad integer range in descriptor")
+			}
+			out = mtype.NewInteger(lo, hi)
+		case dynCharacter:
+			if r.rep < byte(mtype.RepASCII) || r.rep > byte(mtype.RepUnicode) {
+				return nil, fmt.Errorf("wire: bad repertoire %d", r.rep)
+			}
+			out = mtype.NewCharacter(mtype.Repertoire(r.rep))
+		case dynReal:
+			if r.prec == 0 || r.exp == 0 {
+				return nil, fmt.Errorf("wire: bad real parameters")
+			}
+			out = mtype.NewReal(int(r.prec), int(r.exp))
+		case dynUnit:
+			out = mtype.Unit()
+		case dynRecord:
+			fields := make([]mtype.Field, len(r.children))
+			for j, c := range r.children {
+				child, err := build(c)
+				if err != nil {
+					return nil, err
+				}
+				fields[j] = mtype.Field{Type: child}
+			}
+			out = mtype.NewRecord(fields...)
+		case dynChoice:
+			alts := make([]mtype.Alt, len(r.children))
+			for j, c := range r.children {
+				child, err := build(c)
+				if err != nil {
+					return nil, err
+				}
+				alts[j] = mtype.Alt{Type: child}
+			}
+			out = mtype.NewChoice(alts...)
+		case dynPort:
+			child, err := build(r.children[0])
+			if err != nil {
+				return nil, err
+			}
+			out = mtype.NewPort(child)
+		}
+		built[i] = out
+		return out, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := mtype.Validate(root); err != nil {
+		return nil, fmt.Errorf("wire: decoded dynamic type invalid: %w", err)
+	}
+	return root, nil
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/mtype"
+	"repro/internal/value"
+)
+
+func dynRoundTrip(t *testing.T, ty *mtype.Type, v value.Value) (*mtype.Type, value.Value) {
+	t.Helper()
+	data, err := MarshalDynamic(ty, v)
+	if err != nil {
+		t.Fatalf("MarshalDynamic(%s): %v", ty, err)
+	}
+	gotTy, gotV, err := UnmarshalDynamic(data)
+	if err != nil {
+		t.Fatalf("UnmarshalDynamic: %v", err)
+	}
+	return gotTy, gotV
+}
+
+func TestDynamicPrimitive(t *testing.T) {
+	ty, v := dynRoundTrip(t, mtype.NewIntegerBits(16, true), value.NewInt(-1234))
+	c := compare.NewComparer(compare.DefaultRules())
+	if _, ok := c.Equivalent(ty, mtype.NewIntegerBits(16, true)); !ok {
+		t.Errorf("decoded type = %s", ty)
+	}
+	if !value.Equal(v, value.NewInt(-1234)) {
+		t.Errorf("decoded value = %s", v)
+	}
+}
+
+func TestDynamicRecord(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	in := value.NewRecord(value.Real{V: 1}, value.Real{V: 2})
+	ty, v := dynRoundTrip(t, point, in)
+	if !value.Equal(v, in) {
+		t.Errorf("value = %s", v)
+	}
+	if err := value.Check(v, ty); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicRecursiveList(t *testing.T) {
+	// The descriptor must survive a cyclic Mtype.
+	lst := mtype.NewList(mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32()))
+	in := value.FromSlice([]value.Value{
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	})
+	ty, v := dynRoundTrip(t, lst, in)
+	c := compare.NewComparer(compare.DefaultRules())
+	if _, ok := c.Equivalent(ty, lst); !ok {
+		t.Errorf("decoded list type differs: %s", ty)
+	}
+	if !value.Equal(v, in) {
+		t.Errorf("value = %s", v)
+	}
+}
+
+func TestDynamicChoiceAndPort(t *testing.T) {
+	ty := mtype.NewRecord(
+		mtype.Field{Name: "opt", Type: mtype.NewOptional(mtype.NewCharacter(mtype.RepUCS2))},
+		mtype.Field{Name: "p", Type: mtype.NewPort(mtype.Unit())},
+	)
+	in := value.NewRecord(value.Some(value.Char{R: 'λ'}), value.Port{Ref: "obj:1"})
+	_, v := dynRoundTrip(t, ty, in)
+	if !value.Equal(v, in) {
+		t.Errorf("value = %s", v)
+	}
+}
+
+// TestDynamicReceiverConverts models the Any workflow: the receiver has
+// its own declaration and converts the arriving dynamic value into it.
+func TestDynamicReceiverConverts(t *testing.T) {
+	// Sender ships a (float, int16) record.
+	sent := mtype.RecordOf(mtype.NewFloat32(), mtype.NewIntegerBits(16, true))
+	data, err := MarshalDynamic(sent, value.NewRecord(value.Real{V: 2.5}, value.NewInt(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver expects (int16, float) — commuted.
+	local := mtype.RecordOf(mtype.NewIntegerBits(16, true), mtype.NewFloat32())
+	gotTy, gotV, err := UnmarshalDynamic(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compare.NewComparer(compare.DefaultRules())
+	m, ok := c.Equivalent(gotTy, local)
+	if !ok {
+		t.Fatalf("dynamic type does not match local declaration:\n%s", c.Explain(gotTy, local, compare.ModeEqual))
+	}
+	_ = m
+	_ = gotV
+}
+
+func TestDynamicErrors(t *testing.T) {
+	if _, _, err := UnmarshalDynamic(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := UnmarshalDynamic([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated descriptor accepted")
+	}
+	// Valid marshal, then corrupt the descriptor kind byte.
+	data, err := MarshalDynamic(mtype.Unit(), value.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[8] = 0xFF // first node kind
+	if _, _, err := UnmarshalDynamic(bad); err == nil {
+		t.Error("corrupt kind accepted")
+	}
+	// Truncated body.
+	data2, _ := MarshalDynamic(mtype.NewIntegerBits(32, true), value.NewInt(5))
+	if _, _, err := UnmarshalDynamic(data2[:len(data2)-2]); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestDynamicRejectsInvalidType(t *testing.T) {
+	rec := mtype.NewRecursive() // unbound
+	if _, err := MarshalDynamic(rec, value.Unit{}); err == nil {
+		t.Error("unbound recursive type accepted")
+	}
+}

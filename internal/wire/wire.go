@@ -1,0 +1,416 @@
+// Package wire marshals values to bytes guided by their Mtype, in the
+// style of CORBA CDR (the encoding under IIOP, which the paper's
+// network-enabled stubs speak): little-endian primitives aligned to their
+// size, length-prefixed sequences, and discriminated unions with a 4-byte
+// discriminant. The Mtype drives both directions, so any two declarations
+// that lower to equivalent Mtypes interoperate across the wire without an
+// IDL file.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/mtype"
+	"repro/internal/value"
+)
+
+// Encoder marshals values of one Mtype. Create with NewEncoder; the
+// encoder precomputes nothing and is safe to reuse sequentially.
+type Encoder struct {
+	ty *mtype.Type
+}
+
+// NewEncoder returns an encoder for values of ty.
+func NewEncoder(ty *mtype.Type) *Encoder { return &Encoder{ty: ty} }
+
+// Marshal encodes v.
+func (e *Encoder) Marshal(v value.Value) ([]byte, error) {
+	var buf []byte
+	out, err := encode(buf, e.ty, v)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decoder unmarshals values of one Mtype.
+type Decoder struct {
+	ty *mtype.Type
+}
+
+// NewDecoder returns a decoder for values of ty.
+func NewDecoder(ty *mtype.Type) *Decoder { return &Decoder{ty: ty} }
+
+// Unmarshal decodes one value and requires the input to be fully
+// consumed.
+func (d *Decoder) Unmarshal(data []byte) (value.Value, error) {
+	v, rest, err := decode(data, 0, d.ty)
+	if err != nil {
+		return nil, err
+	}
+	if rest != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-rest)
+	}
+	return v, nil
+}
+
+// Marshal is a convenience one-shot encoder.
+func Marshal(ty *mtype.Type, v value.Value) ([]byte, error) {
+	return NewEncoder(ty).Marshal(v)
+}
+
+// Unmarshal is a convenience one-shot decoder.
+func Unmarshal(ty *mtype.Type, data []byte) (value.Value, error) {
+	return NewDecoder(ty).Unmarshal(data)
+}
+
+func unfold(t *mtype.Type) *mtype.Type {
+	for t != nil && t.Kind() == mtype.KindRecursive {
+		t = t.Body()
+	}
+	return t
+}
+
+// listShape recognizes the recursive list encoding
+// μL.Choice(Unit, Record(τ, L)) and returns its element type, so lists go
+// on the wire as CDR sequences (length + elements) rather than one
+// discriminant per cons cell.
+func listShape(t *mtype.Type) (elem *mtype.Type, ok bool) {
+	if t.Kind() != mtype.KindRecursive {
+		return nil, false
+	}
+	body := unfold(t)
+	if body == nil || body.Kind() != mtype.KindChoice {
+		return nil, false
+	}
+	alts := body.Alts()
+	if len(alts) != 2 {
+		return nil, false
+	}
+	if unfold(alts[0].Type).Kind() != mtype.KindUnit {
+		return nil, false
+	}
+	cons := unfold(alts[1].Type)
+	if cons.Kind() != mtype.KindRecord {
+		return nil, false
+	}
+	fields := cons.Fields()
+	if len(fields) != 2 {
+		return nil, false
+	}
+	if fields[1].Type != t {
+		return nil, false
+	}
+	return fields[0].Type, true
+}
+
+// intWidth returns the CDR width (1, 2, 4, or 8 bytes) and signedness
+// able to hold the range.
+func intWidth(t *mtype.Type) (size int, signed bool, err error) {
+	lo, hi := t.IntegerRange()
+	signed = lo.Sign() < 0
+	for _, size := range []int{1, 2, 4, 8} {
+		var min, max *big.Int
+		one := big.NewInt(1)
+		if signed {
+			max = new(big.Int).Lsh(one, uint(8*size-1))
+			min = new(big.Int).Neg(max)
+			max = new(big.Int).Sub(max, one)
+		} else {
+			min = big.NewInt(0)
+			max = new(big.Int).Lsh(one, uint(8*size))
+			max.Sub(max, one)
+		}
+		if lo.Cmp(min) >= 0 && hi.Cmp(max) <= 0 {
+			return size, signed, nil
+		}
+	}
+	return 0, false, fmt.Errorf("wire: integer range [%s..%s] exceeds 64 bits", lo, hi)
+}
+
+func charWidth(t *mtype.Type) int {
+	switch t.Repertoire() {
+	case mtype.RepASCII, mtype.RepLatin1:
+		return 1
+	case mtype.RepUCS2:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func realWidth(t *mtype.Type) (int, error) {
+	p, e := t.RealParams()
+	switch {
+	case p <= 24 && e <= 8:
+		return 4, nil
+	case p <= 53 && e <= 11:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("wire: real(%d,%d) exceeds binary64", p, e)
+	}
+}
+
+// align pads buf to a multiple of n (CDR primitive alignment).
+func align(buf []byte, n int) []byte {
+	for len(buf)%n != 0 {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func putUint(buf []byte, size int, u uint64) []byte {
+	buf = align(buf, size)
+	switch size {
+	case 1:
+		buf = append(buf, byte(u))
+	case 2:
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(u))
+	case 4:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(u))
+	case 8:
+		buf = binary.LittleEndian.AppendUint64(buf, u)
+	}
+	return buf
+}
+
+func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
+	if elem, ok := listShape(t); ok {
+		elems, err := value.ToSlice(v)
+		if err != nil {
+			return nil, err
+		}
+		buf = putUint(buf, 4, uint64(len(elems)))
+		for i, e := range elems {
+			buf, err = encode(buf, elem, e)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return buf, nil
+	}
+	ut := unfold(t)
+	if ut == nil {
+		return nil, fmt.Errorf("wire: unbound recursive type")
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger:
+		iv, ok := v.(value.Int)
+		if !ok || iv.V == nil {
+			return nil, fmt.Errorf("wire: integer wants Int, got %T", v)
+		}
+		lo, hi := ut.IntegerRange()
+		if iv.V.Cmp(lo) < 0 || iv.V.Cmp(hi) > 0 {
+			return nil, fmt.Errorf("wire: %s outside range [%s..%s]", iv.V, lo, hi)
+		}
+		size, signed, err := intWidth(ut)
+		if err != nil {
+			return nil, err
+		}
+		var u uint64
+		if signed {
+			u = uint64(iv.V.Int64())
+		} else {
+			u = iv.V.Uint64()
+		}
+		return putUint(buf, size, u), nil
+	case mtype.KindCharacter:
+		cv, ok := v.(value.Char)
+		if !ok {
+			return nil, fmt.Errorf("wire: character wants Char, got %T", v)
+		}
+		return putUint(buf, charWidth(ut), uint64(cv.R)), nil
+	case mtype.KindReal:
+		rv, ok := v.(value.Real)
+		if !ok {
+			return nil, fmt.Errorf("wire: real wants Real, got %T", v)
+		}
+		size, err := realWidth(ut)
+		if err != nil {
+			return nil, err
+		}
+		if size == 4 {
+			return putUint(buf, 4, uint64(math.Float32bits(float32(rv.V)))), nil
+		}
+		return putUint(buf, 8, math.Float64bits(rv.V)), nil
+	case mtype.KindUnit:
+		if _, ok := v.(value.Unit); !ok {
+			return nil, fmt.Errorf("wire: unit wants Unit, got %T", v)
+		}
+		return buf, nil
+	case mtype.KindRecord:
+		rv, ok := v.(value.Record)
+		if !ok {
+			return nil, fmt.Errorf("wire: record wants Record, got %T", v)
+		}
+		fields := ut.Fields()
+		if len(rv.Fields) != len(fields) {
+			return nil, fmt.Errorf("wire: record has %d fields, type wants %d", len(rv.Fields), len(fields))
+		}
+		var err error
+		for i, f := range fields {
+			buf, err = encode(buf, f.Type, rv.Fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("field %d (%s): %w", i, f.Name, err)
+			}
+		}
+		return buf, nil
+	case mtype.KindChoice:
+		cv, ok := v.(value.Choice)
+		if !ok {
+			return nil, fmt.Errorf("wire: choice wants Choice, got %T", v)
+		}
+		alts := ut.Alts()
+		if cv.Alt < 0 || cv.Alt >= len(alts) {
+			return nil, fmt.Errorf("wire: alternative %d out of range", cv.Alt)
+		}
+		buf = putUint(buf, 4, uint64(cv.Alt))
+		return encode(buf, alts[cv.Alt].Type, cv.V)
+	case mtype.KindPort:
+		pv, ok := v.(value.Port)
+		if !ok {
+			return nil, fmt.Errorf("wire: port wants Port, got %T", v)
+		}
+		buf = putUint(buf, 4, uint64(len(pv.Ref)))
+		return append(buf, pv.Ref...), nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %s", ut.Kind())
+	}
+}
+
+func alignOff(off, n int) int {
+	return (off + n - 1) / n * n
+}
+
+func getUint(data []byte, off, size int) (uint64, int, error) {
+	off = alignOff(off, size)
+	if off+size > len(data) {
+		return 0, 0, fmt.Errorf("wire: truncated input at offset %d", off)
+	}
+	var u uint64
+	switch size {
+	case 1:
+		u = uint64(data[off])
+	case 2:
+		u = uint64(binary.LittleEndian.Uint16(data[off:]))
+	case 4:
+		u = uint64(binary.LittleEndian.Uint32(data[off:]))
+	case 8:
+		u = binary.LittleEndian.Uint64(data[off:])
+	}
+	return u, off + size, nil
+}
+
+// maxWireList bounds decoded list lengths to keep malformed or hostile
+// inputs from exhausting memory.
+const maxWireList = 1 << 24
+
+func decode(data []byte, off int, t *mtype.Type) (value.Value, int, error) {
+	if elem, ok := listShape(t); ok {
+		n, off, err := getUint(data, off, 4)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > maxWireList {
+			return nil, 0, fmt.Errorf("wire: list length %d exceeds limit", n)
+		}
+		elems := make([]value.Value, n)
+		for i := range elems {
+			var ev value.Value
+			ev, off, err = decode(data, off, elem)
+			if err != nil {
+				return nil, 0, fmt.Errorf("element %d: %w", i, err)
+			}
+			elems[i] = ev
+		}
+		return value.FromSlice(elems), off, nil
+	}
+	ut := unfold(t)
+	if ut == nil {
+		return nil, 0, fmt.Errorf("wire: unbound recursive type")
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger:
+		size, signed, err := intWidth(ut)
+		if err != nil {
+			return nil, 0, err
+		}
+		u, off, err := getUint(data, off, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		var iv value.Int
+		if signed {
+			shift := uint(64 - 8*size)
+			iv = value.NewInt(int64(u<<shift) >> shift)
+		} else {
+			iv = value.Int{V: new(big.Int).SetUint64(u)}
+		}
+		lo, hi := ut.IntegerRange()
+		if iv.V.Cmp(lo) < 0 || iv.V.Cmp(hi) > 0 {
+			return nil, 0, fmt.Errorf("wire: decoded %s outside range [%s..%s]", iv.V, lo, hi)
+		}
+		return iv, off, nil
+	case mtype.KindCharacter:
+		u, off, err := getUint(data, off, charWidth(ut))
+		if err != nil {
+			return nil, 0, err
+		}
+		return value.Char{R: rune(u)}, off, nil
+	case mtype.KindReal:
+		size, err := realWidth(ut)
+		if err != nil {
+			return nil, 0, err
+		}
+		u, off, err := getUint(data, off, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		if size == 4 {
+			return value.Real{V: float64(math.Float32frombits(uint32(u)))}, off, nil
+		}
+		return value.Real{V: math.Float64frombits(u)}, off, nil
+	case mtype.KindUnit:
+		return value.Unit{}, off, nil
+	case mtype.KindRecord:
+		fields := ut.Fields()
+		out := make([]value.Value, len(fields))
+		var err error
+		for i, f := range fields {
+			out[i], off, err = decode(data, off, f.Type)
+			if err != nil {
+				return nil, 0, fmt.Errorf("field %d (%s): %w", i, f.Name, err)
+			}
+		}
+		return value.Record{Fields: out}, off, nil
+	case mtype.KindChoice:
+		disc, off, err := getUint(data, off, 4)
+		if err != nil {
+			return nil, 0, err
+		}
+		alts := ut.Alts()
+		if disc >= uint64(len(alts)) {
+			return nil, 0, fmt.Errorf("wire: discriminant %d out of range (%d alternatives)", disc, len(alts))
+		}
+		payload, off, err := decode(data, off, alts[disc].Type)
+		if err != nil {
+			return nil, 0, err
+		}
+		return value.Choice{Alt: int(disc), V: payload}, off, nil
+	case mtype.KindPort:
+		n, off, err := getUint(data, off, 4)
+		if err != nil {
+			return nil, 0, err
+		}
+		if uint64(off)+n > uint64(len(data)) {
+			return nil, 0, fmt.Errorf("wire: truncated port reference")
+		}
+		ref := string(data[off : off+int(n)])
+		return value.Port{Ref: ref}, off + int(n), nil
+	default:
+		return nil, 0, fmt.Errorf("wire: cannot decode %s", ut.Kind())
+	}
+}

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mtype"
+	"repro/internal/value"
+)
+
+func roundTrip(t *testing.T, ty *mtype.Type, v value.Value) {
+	t.Helper()
+	data, err := Marshal(ty, v)
+	if err != nil {
+		t.Fatalf("marshal %s : %s: %v", v, ty, err)
+	}
+	got, err := Unmarshal(ty, data)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", ty, err)
+	}
+	if !value.Equal(got, v) {
+		t.Errorf("round trip %s = %s", v, got)
+	}
+}
+
+func TestPrimitiveRoundTrips(t *testing.T) {
+	roundTrip(t, mtype.NewIntegerBits(8, true), value.NewInt(-128))
+	roundTrip(t, mtype.NewIntegerBits(16, true), value.NewInt(32767))
+	roundTrip(t, mtype.NewIntegerBits(32, false), value.NewInt(3000000000))
+	roundTrip(t, mtype.NewIntegerBits(64, true), value.NewInt(-1<<62))
+	roundTrip(t, mtype.NewBool(), value.NewInt(1))
+	roundTrip(t, mtype.NewCharacter(mtype.RepLatin1), value.Char{R: 'é'})
+	roundTrip(t, mtype.NewCharacter(mtype.RepUCS2), value.Char{R: 'λ'})
+	roundTrip(t, mtype.NewCharacter(mtype.RepUnicode), value.Char{R: '🦜'})
+	roundTrip(t, mtype.NewFloat32(), value.Real{V: 2.5})
+	roundTrip(t, mtype.NewFloat64(), value.Real{V: -1.0 / 3})
+	roundTrip(t, mtype.Unit(), value.Unit{})
+}
+
+func TestOddRanges(t *testing.T) {
+	// An enum 0..6 fits one byte; a bit-field -8..7 fits one byte.
+	roundTrip(t, mtype.NewEnum(7), value.NewInt(6))
+}
+
+func TestRecordEncoding(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	roundTrip(t, point, value.NewRecord(value.Real{V: 1}, value.Real{V: 2}))
+
+	// Alignment: a byte then a float64 must pad to offset 8.
+	padded := mtype.RecordOf(mtype.NewIntegerBits(8, true), mtype.NewFloat64())
+	data, err := Marshal(padded, value.NewRecord(value.NewInt(1), value.Real{V: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 16 {
+		t.Errorf("aligned record is %d bytes, want 16", len(data))
+	}
+	roundTrip(t, padded, value.NewRecord(value.NewInt(-1), value.Real{V: 3.25}))
+}
+
+func TestChoiceEncoding(t *testing.T) {
+	opt := mtype.NewOptional(mtype.NewFloat32())
+	roundTrip(t, opt, value.Null())
+	roundTrip(t, opt, value.Some(value.Real{V: 9}))
+}
+
+func TestListAsSequence(t *testing.T) {
+	lst := mtype.NewList(mtype.NewFloat32())
+	elems := []value.Value{value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3}}
+	v := value.FromSlice(elems)
+	data, err := Marshal(lst, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDR sequence: 4-byte length + 3 × 4-byte floats = 16 bytes, not one
+	// discriminant per cons cell.
+	if len(data) != 16 {
+		t.Errorf("sequence encoding = %d bytes, want 16", len(data))
+	}
+	roundTrip(t, lst, v)
+	roundTrip(t, lst, value.FromSlice(nil))
+}
+
+func TestNestedListOfRecords(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	lst := mtype.NewList(point)
+	v := value.FromSlice([]value.Value{
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	})
+	roundTrip(t, lst, v)
+}
+
+func TestPortEncoding(t *testing.T) {
+	p := mtype.NewPort(mtype.NewFloat32())
+	roundTrip(t, p, value.Port{Ref: "tcp://127.0.0.1:9999/obj/7"})
+	roundTrip(t, p, value.Port{Ref: ""})
+}
+
+func TestFitterRequestRoundTrip(t *testing.T) {
+	// The full §3.4 request record: list of points plus a reply port.
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	req := mtype.NewRecord(
+		mtype.Field{Name: "pts", Type: mtype.NewList(point)},
+		mtype.Field{Name: "reply", Type: mtype.NewPort(mtype.RecordOf(point, point))},
+	)
+	v := value.NewRecord(
+		value.FromSlice([]value.Value{
+			value.NewRecord(value.Real{V: 1}, value.Real{V: 5}),
+			value.NewRecord(value.Real{V: 3}, value.Real{V: 2}),
+		}),
+		value.Port{Ref: "reply:42"},
+	)
+	roundTrip(t, req, v)
+}
+
+func TestRecursiveNonListType(t *testing.T) {
+	// A by-value IntList: μ.Record(int, Choice(unit, ↑)). Not the list
+	// shape, so it encodes cons-by-cons — still round-trips.
+	rec := mtype.NewRecursive()
+	rec.SetBody(mtype.NewRecord(
+		mtype.Field{Name: "value", Type: mtype.NewIntegerBits(32, true)},
+		mtype.Field{Name: "next", Type: mtype.NewOptional(rec)},
+	))
+	v := value.NewRecord(value.NewInt(1), value.Some(
+		value.NewRecord(value.NewInt(2), value.Null()),
+	))
+	roundTrip(t, rec, v)
+}
+
+func TestMarshalErrors(t *testing.T) {
+	i8 := mtype.NewIntegerBits(8, true)
+	if _, err := Marshal(i8, value.NewInt(200)); err == nil {
+		t.Error("out-of-range integer accepted")
+	}
+	if _, err := Marshal(i8, value.Real{V: 1}); err == nil {
+		t.Error("mistyped value accepted")
+	}
+	rec := mtype.RecordOf(i8)
+	if _, err := Marshal(rec, value.NewRecord()); err == nil {
+		t.Error("short record accepted")
+	}
+	opt := mtype.NewOptional(i8)
+	if _, err := Marshal(opt, value.Choice{Alt: 9, V: value.Unit{}}); err == nil {
+		t.Error("bad alternative accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	i32 := mtype.NewIntegerBits(32, true)
+	if _, err := Unmarshal(i32, []byte{1, 2}); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, err := Unmarshal(i32, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	opt := mtype.NewOptional(i32)
+	if _, err := Unmarshal(opt, []byte{9, 0, 0, 0}); err == nil {
+		t.Error("bad discriminant accepted")
+	}
+	lst := mtype.NewList(i32)
+	if _, err := Unmarshal(lst, []byte{255, 255, 255, 255}); err == nil {
+		t.Error("absurd list length accepted")
+	}
+	// Decoded integer outside the Mtype range must be rejected.
+	enum := mtype.NewEnum(3)
+	if _, err := Unmarshal(enum, []byte{7}); err == nil {
+		t.Error("out-of-range enum value accepted")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat64(), mtype.NewFloat64())
+	lst := mtype.NewList(point)
+	f := func(xs []float64) bool {
+		var elems []value.Value
+		for i := 0; i+1 < len(xs); i += 2 {
+			elems = append(elems, value.NewRecord(value.Real{V: xs[i]}, value.Real{V: xs[i+1]}))
+		}
+		v := value.FromSlice(elems)
+		data, err := Marshal(lst, v)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(lst, data)
+		if err != nil {
+			return false
+		}
+		return value.Equal(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIntegersRoundTrip(t *testing.T) {
+	i64 := mtype.NewIntegerBits(64, true)
+	u64 := mtype.NewIntegerBits(64, false)
+	f := func(n int64) bool {
+		data, err := Marshal(i64, value.NewInt(n))
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(i64, data)
+		if err != nil || !value.Equal(got, value.NewInt(n)) {
+			return false
+		}
+		if n >= 0 {
+			data, err = Marshal(u64, value.NewInt(n))
+			if err != nil {
+				return false
+			}
+			got, err = Unmarshal(u64, data)
+			if err != nil || !value.Equal(got, value.NewInt(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNestingTransparentOnWire documents a structural property of the CDR
+// encoding: records add no bytes of their own (no tags or length
+// prefixes), so two equivalent Mtypes that differ only in record nesting
+// (the associativity isomorphism) produce identical encodings, and a
+// value can be decoded with the other side's shape directly.
+func TestNestingTransparentOnWire(t *testing.T) {
+	point := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32())
+	nested := mtype.RecordOf(point, point)
+	flat := mtype.RecordOf(mtype.NewFloat32(), mtype.NewFloat32(), mtype.NewFloat32(), mtype.NewFloat32())
+
+	v := value.NewRecord(
+		value.NewRecord(value.Real{V: 1}, value.Real{V: 2}),
+		value.NewRecord(value.Real{V: 3}, value.Real{V: 4}),
+	)
+	dataNested, err := Marshal(nested, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatV := value.NewRecord(value.Real{V: 1}, value.Real{V: 2}, value.Real{V: 3}, value.Real{V: 4})
+	dataFlat, err := Marshal(flat, flatV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dataNested) != string(dataFlat) {
+		t.Errorf("nesting changed the wire bytes: %x vs %x", dataNested, dataFlat)
+	}
+	// Cross-decode: bytes written under the nested shape decode under the
+	// flat shape.
+	got, err := Unmarshal(flat, dataNested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, flatV) {
+		t.Errorf("cross-decoded = %s", got)
+	}
+}
