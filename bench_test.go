@@ -5,10 +5,12 @@ package repro_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/bind"
+	"repro/internal/broker"
 	"repro/internal/cmem"
 	"repro/internal/compare"
 	"repro/internal/core"
@@ -569,4 +571,65 @@ func BenchmarkRecursiveListCompare(b *testing.B) {
 			b.Fatal("lists must match")
 		}
 	}
+}
+
+// --- Broker cache: cold vs warm compare (DESIGN.md broker subsystem) ---
+
+// brokerSynthSrc is a moderately large C suite so the cold path (lower +
+// structural compare) has real work to amortize.
+func brokerSynthSrc(fields int) (a, b string) {
+	var sa, sb strings.Builder
+	kinds := []string{"int", "float", "short", "double"}
+	sa.WriteString("typedef struct {\n")
+	sb.WriteString("typedef struct {\n")
+	for i := 0; i < fields; i++ {
+		fmt.Fprintf(&sa, "  %s f%d;\n", kinds[i%len(kinds)], i)
+		fmt.Fprintf(&sb, "  %s g%d;\n", kinds[i%len(kinds)], i)
+	}
+	sa.WriteString("} big;\n")
+	sb.WriteString("} big;\n")
+	return sa.String(), sb.String()
+}
+
+// BenchmarkBrokerCachedCompare measures the broker's verdict cache:
+// "cold" pays lowering, fingerprinting, and the full structural
+// comparison on a fresh broker each iteration; "warm" repeats the same
+// compare against one broker and is a fingerprint-memo lookup plus an
+// LRU hit.
+func BenchmarkBrokerCachedCompare(b *testing.B) {
+	srcA, srcB := brokerSynthSrc(400)
+	load := func(tb testing.TB) *broker.Broker {
+		br := broker.New(core.NewSession(), broker.Options{})
+		if _, _, err := br.Load("a", "c", "ilp32", srcA, ""); err != nil {
+			tb.Fatal(err)
+		}
+		if _, _, err := br.Load("b", "c", "ilp32", srcB, ""); err != nil {
+			tb.Fatal(err)
+		}
+		return br
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			br := load(b)
+			v, err := br.Compare("a", "big", "b", "big")
+			if err != nil || v.Relation != core.RelEquivalent || v.Cached {
+				b.Fatalf("verdict = %+v err=%v", v, err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		br := load(b)
+		if _, err := br.Compare("a", "big", "b", "big"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := br.Compare("a", "big", "b", "big")
+			if err != nil || !v.Cached {
+				b.Fatalf("verdict = %+v err=%v", v, err)
+			}
+		}
+	})
 }

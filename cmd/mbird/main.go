@@ -12,23 +12,38 @@
 //	mbird emit    (compare flags) -pkg NAME -func NAME
 //	mbird save    (compare flags) -out project.json
 //	mbird show    project.json
+//	mbird remote compare -addr HOST:PORT (compare flags)
+//	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json]
+//	mbird remote stats   -addr HOST:PORT
 //
 // compare prints the relation (equivalent, subtype, or a mismatch
 // diagnosis); emit prints the generated request-direction converter for
 // an equivalent pair.
+//
+// The remote subcommands talk to an mbirdd broker daemon. Sources are
+// shipped under content-addressed universe names, so repeated invocations
+// against the same daemon reuse its loaded declarations and caches.
+// remote convert reads a JSON rendering of a value of the A declaration
+// (stdin by default) and prints the converted value of the B declaration;
+// the Mtypes for the JSON and CDR codecs are lowered locally from the
+// same sources the daemon sees.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/broker"
 	"repro/internal/cmem"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/plan"
 	"repro/internal/project"
+	"repro/internal/value"
 )
 
 func main() {
@@ -55,8 +70,26 @@ func run(args []string, out io.Writer) error {
 		return cmdSave(args[1:], out)
 	case "show":
 		return cmdShow(args[1:], out)
+	case "remote":
+		return cmdRemote(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func cmdRemote(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mbird remote <compare|convert|stats> -addr HOST:PORT ...")
+	}
+	switch args[0] {
+	case "compare":
+		return cmdRemoteCompare(args[1:], out)
+	case "convert":
+		return cmdRemoteConvert(args[1:], out)
+	case "stats":
+		return cmdRemoteStats(args[1:], out)
+	default:
+		return fmt.Errorf("unknown remote command %q", args[0])
 	}
 }
 
@@ -280,5 +313,169 @@ func cmdShow(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-28s %s\n", n, u.Lookup(n).Type)
 		}
 	}
+	return nil
+}
+
+// sources reads the side's declaration file and optional script.
+func (s *side) sources() (src, script string, err error) {
+	if s.lang == "" || s.file == "" {
+		return "", "", fmt.Errorf("missing -lang/-file for one side")
+	}
+	data, err := os.ReadFile(s.file)
+	if err != nil {
+		return "", "", err
+	}
+	src = string(data)
+	if s.script != "" {
+		data, err := os.ReadFile(s.script)
+		if err != nil {
+			return "", "", err
+		}
+		script = string(data)
+	}
+	return src, script, nil
+}
+
+// remoteLoad ships one side to the daemon. The universe name is a content
+// hash of everything that determines the lowering, so reloading identical
+// sources is a no-op on the daemon and distinct sources never collide.
+func (s *side) remoteLoad(c *broker.Client) (universe string, err error) {
+	src, script, err := s.sources()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256([]byte(s.lang + "\x00" + s.model + "\x00" + src + "\x00" + script))
+	universe = "u" + hex.EncodeToString(h[:8])
+	_, _, err = c.Load(universe, s.lang, s.model, src, script)
+	return universe, err
+}
+
+// remotePair parses the shared remote flags, connects, and loads both
+// sides onto the daemon.
+func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *broker.Client, a, b *side, ua, ub string, err error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var addr string
+	fs.StringVar(&addr, "addr", "127.0.0.1:7465", "broker daemon address")
+	a, b = &side{}, &side{}
+	a.register(fs, "a-")
+	b.register(fs, "b-")
+	if extra != nil {
+		extra(fs)
+	}
+	if err = fs.Parse(args); err != nil {
+		return nil, nil, nil, "", "", err
+	}
+	if a.decl == "" || b.decl == "" {
+		return nil, nil, nil, "", "", fmt.Errorf("missing -a-decl/-b-decl")
+	}
+	if c, err = broker.DialClient(addr); err != nil {
+		return nil, nil, nil, "", "", err
+	}
+	if ua, err = a.remoteLoad(c); err == nil {
+		ub, err = b.remoteLoad(c)
+	}
+	if err != nil {
+		_ = c.Close()
+		return nil, nil, nil, "", "", err
+	}
+	return c, a, b, ua, ub, nil
+}
+
+func cmdRemoteCompare(args []string, out io.Writer) error {
+	c, a, b, ua, ub, err := remotePair("remote compare", args, nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	v, err := c.Compare(ua, a.decl, ub, b.decl)
+	if err != nil {
+		return err
+	}
+	source := "compared"
+	if v.Cached {
+		source = "cached"
+	}
+	fmt.Fprintf(out, "relation: %s (%d comparison steps, %s)\n", v.Relation, v.Steps, source)
+	if v.Relation == core.RelNone {
+		fmt.Fprintf(out, "diagnosis:\n%s", v.Explain)
+		return fmt.Errorf("declarations do not match")
+	}
+	return nil
+}
+
+func cmdRemoteConvert(args []string, out io.Writer) error {
+	var inPath string
+	c, a, b, ua, ub, err := remotePair("remote convert", args, func(fs *flag.FlagSet) {
+		fs.StringVar(&inPath, "in", "-", "JSON value of the A declaration (- for stdin)")
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Lower both sides locally: the daemon converts CDR payloads, the
+	// client owns the JSON⇄CDR codecs.
+	sess := core.NewSession()
+	if err := a.load(sess, "a"); err != nil {
+		return err
+	}
+	if err := b.load(sess, "b"); err != nil {
+		return err
+	}
+	mtA, err := sess.Mtype("a", a.decl)
+	if err != nil {
+		return err
+	}
+	mtB, err := sess.Mtype("b", b.decl)
+	if err != nil {
+		return err
+	}
+
+	var data []byte
+	if inPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(inPath)
+	}
+	if err != nil {
+		return err
+	}
+	in, err := value.FromJSON(mtA, data)
+	if err != nil {
+		return err
+	}
+	res, err := c.Convert(ua, a.decl, ub, b.decl, mtA, mtB, in)
+	if err != nil {
+		return err
+	}
+	js, err := value.ToJSON(mtB, res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", js)
+	return nil
+}
+
+func cmdRemoteStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("remote stats", flag.ContinueOnError)
+	var addr string
+	fs.StringVar(&addr, "addr", "127.0.0.1:7465", "broker daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := broker.DialClient(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compare:  %d hits, %d misses, %d coalesced, %d runs (%v total), %d cached verdicts\n",
+		st.CompareHits, st.CompareMisses, st.CompareCoalesced, st.CompareRuns, st.CompareTotal, st.VerdictEntries)
+	fmt.Fprintf(out, "convert:  %d hits, %d misses, %d coalesced, %d compiles (%v total), %d cached converters\n",
+		st.ConvertHits, st.ConvertMisses, st.ConvertCoalesced, st.Compiles, st.CompileTotal, st.ConverterEntries)
+	fmt.Fprintf(out, "evictions: %d, in-flight: %d\n", st.Evictions, st.InFlight)
 	return nil
 }

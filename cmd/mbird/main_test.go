@@ -5,6 +5,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/orb"
 )
 
 // writeFitterFiles lays out the §2 example as files the CLI consumes.
@@ -159,5 +163,86 @@ func TestUsageErrors(t *testing.T) {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+// startBrokerDaemon serves an in-process broker daemon for the remote
+// subcommand tests and returns its address.
+func startBrokerDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	broker.Serve(srv, broker.New(core.NewSession(), broker.Options{}))
+	return srv.Addr()
+}
+
+func TestRemoteCompareAndStats(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.h")
+	bPath := filepath.Join(dir, "b.h")
+	if err := os.WriteFile(aPath, []byte("typedef struct { float r; int n; } mix;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, []byte("typedef struct { int count; float ratio; } pair;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"remote", "compare", "-addr", addr,
+		"-a-lang", "c", "-a-file", aPath, "-a-decl", "mix",
+		"-b-lang", "c", "-b-file", bPath, "-b-decl", "pair"}
+	out, err := runCLI(t, args...)
+	if err != nil || !strings.Contains(out, "equivalent") || !strings.Contains(out, "compared") {
+		t.Fatalf("remote compare out=%q err=%v", out, err)
+	}
+	// Second run against the same daemon: content-addressed universes and
+	// the verdict cache make it a pure cache hit.
+	out, err = runCLI(t, args...)
+	if err != nil || !strings.Contains(out, "cached") {
+		t.Fatalf("warm remote compare out=%q err=%v", out, err)
+	}
+	out, err = runCLI(t, "remote", "stats", "-addr", addr)
+	if err != nil || !strings.Contains(out, "1 runs") {
+		t.Fatalf("remote stats out=%q err=%v", out, err)
+	}
+}
+
+func TestRemoteConvert(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.h")
+	bPath := filepath.Join(dir, "b.h")
+	inPath := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(aPath, []byte("typedef struct { float r; int n; } mix;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, []byte("typedef struct { int count; float ratio; } pair;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inPath, []byte("[4.5, 9]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "remote", "convert", "-addr", addr, "-in", inPath,
+		"-a-lang", "c", "-a-file", aPath, "-a-decl", "mix",
+		"-b-lang", "c", "-b-file", bPath, "-b-decl", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "[9,4.5]" {
+		t.Errorf("remote convert out = %q, want [9,4.5]", out)
+	}
+}
+
+func TestRemoteUsageErrors(t *testing.T) {
+	if _, err := runCLI(t, "remote"); err == nil {
+		t.Error("bare remote succeeded")
+	}
+	if _, err := runCLI(t, "remote", "frobnicate"); err == nil {
+		t.Error("unknown remote subcommand succeeded")
+	}
+	if _, err := runCLI(t, "remote", "compare", "-addr", "127.0.0.1:1"); err == nil {
+		t.Error("remote compare without decls succeeded")
 	}
 }

@@ -1,0 +1,76 @@
+// Command mbirdd is the Mockingbird broker daemon: a long-running stub
+// compilation service. Clients ship declaration sources over the orb
+// protocol; the daemon lowers them, compares pairs, compiles converters,
+// and runs conversions, with verdicts and compiled converters shared
+// across all clients through fingerprint-keyed caches (see
+// internal/broker).
+//
+// Usage:
+//
+//	mbirdd [-addr 127.0.0.1:7465] [-cache N] [-workers N]
+//	       [-max-body BYTES] [-max-key BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/orb"
+)
+
+type config struct {
+	addr    string
+	cache   int
+	workers int
+	maxBody int
+	maxKey  int
+}
+
+func (c *config) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:7465", "listen address")
+	fs.IntVar(&c.cache, "cache", 0, "verdict cache capacity (0 = default)")
+	fs.IntVar(&c.workers, "workers", 0, "max concurrent compare/compile fills (0 = GOMAXPROCS)")
+	fs.IntVar(&c.maxBody, "max-body", 0, "orb frame body limit in bytes (0 = 16 MiB default)")
+	fs.IntVar(&c.maxKey, "max-key", 0, "orb object key limit in bytes (0 = 4 KiB default)")
+}
+
+// serve starts a broker daemon on cfg.addr and returns the running server
+// and broker. It is the whole daemon minus flag parsing, so tests can run
+// it in-process on an ephemeral port.
+func serve(cfg config) (*orb.Server, *broker.Broker, error) {
+	var opts []orb.Option
+	if cfg.maxBody > 0 {
+		opts = append(opts, orb.WithMaxBody(cfg.maxBody))
+	}
+	if cfg.maxKey > 0 {
+		opts = append(opts, orb.WithMaxKey(cfg.maxKey))
+	}
+	srv, err := orb.NewServer(cfg.addr, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := broker.New(core.NewSession(), broker.Options{
+		VerdictCacheSize: cfg.cache,
+		Workers:          cfg.workers,
+	})
+	broker.Serve(srv, b)
+	return srv, b, nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("mbirdd", flag.ExitOnError)
+	var cfg config
+	cfg.register(fs)
+	_ = fs.Parse(os.Args[1:])
+
+	srv, _, err := serve(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbirdd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mbirdd: serving on %s\n", srv.Addr())
+	select {} // serve until killed
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// bigStruct renders a C struct with n fields of rotating scalar types.
+// Field names carry the given prefix so the two universes' sources differ
+// textually while lowering to the same Mtype shape.
+func bigStruct(name, prefix string, n int) string {
+	var sb strings.Builder
+	sb.WriteString("typedef struct {\n")
+	kinds := []string{"int", "float", "short", "double"}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  %s %s%d;\n", kinds[i%len(kinds)], prefix, i)
+	}
+	fmt.Fprintf(&sb, "} %s;\n", name)
+	return sb.String()
+}
+
+// The end-to-end acceptance test: an in-process daemon on a real TCP
+// socket, 32 concurrent clients comparing and converting, then the cache
+// accounting and cold/warm latency checks.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv, b, err := serve(config{addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const nClients = 32
+	srcA := "typedef struct { float r; int n; } mix;\n" +
+		"typedef struct { int a; struct { float x; char c; } inner; } outerA;\n" +
+		bigStruct("bigA", "f", 1500)
+	srcB := "typedef struct { int count; float ratio; } pair;\n" +
+		"typedef struct { struct { float u; char v; } nested; int num; } outerB;\n" +
+		bigStruct("bigB", "g", 1500)
+
+	// One seed client loads both universes and times the cold compare of
+	// the 1500-field pair (lowering + full structural comparison).
+	seed, err := broker.DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	if _, existed, err := seed.Load("a", "c", "ilp32", srcA, ""); err != nil || existed {
+		t.Fatalf("load a: existed=%v err=%v", existed, err)
+	}
+	if _, _, err := seed.Load("b", "c", "ilp32", srcB, ""); err != nil {
+		t.Fatal(err)
+	}
+	coldStart := time.Now()
+	v, err := seed.Compare("a", "bigA", "b", "bigB")
+	cold := time.Since(coldStart)
+	if err != nil || v.Relation != core.RelEquivalent || v.Cached {
+		t.Fatalf("cold big compare = %+v err=%v", v, err)
+	}
+
+	// Mtypes for client-side CDR marshaling, shared read-only.
+	mtMix, err := b.Mtype("a", "mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtPair, err := b.Mtype("b", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtOuterA, err := b.Mtype("a", "outerA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtOuterB, err := b.Mtype("b", "outerB")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("client %d: "+format, append([]any{i}, args...)...)
+			}
+			c, err := broker.DialClient(srv.Addr())
+			if err != nil {
+				fail("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			// Loads race with every other client; the universe name is
+			// the identity, so all but the first are no-ops.
+			if _, _, err := c.Load("a", "c", "ilp32", srcA, ""); err != nil {
+				fail("load: %v", err)
+				return
+			}
+			if _, _, err := c.Load("b", "c", "ilp32", srcB, ""); err != nil {
+				fail("load: %v", err)
+				return
+			}
+			if v, err := c.Compare("a", "bigA", "b", "bigB"); err != nil || v.Relation != core.RelEquivalent {
+				fail("big compare = %+v err=%v", v, err)
+				return
+			}
+			if v, err := c.Compare("a", "mix", "b", "pair"); err != nil || v.Relation != core.RelEquivalent {
+				fail("mix/pair = %+v err=%v", v, err)
+				return
+			}
+			if v, err := c.Compare("a", "outerA", "b", "outerB"); err != nil || v.Relation != core.RelEquivalent {
+				fail("outer = %+v err=%v", v, err)
+				return
+			}
+			in := value.NewRecord(value.Real{V: 0.5 + float64(i)}, value.NewInt(int64(i)))
+			out, err := c.Convert("a", "mix", "b", "pair", mtMix, mtPair, in)
+			if err != nil {
+				fail("convert: %v", err)
+				return
+			}
+			rec, ok := out.(value.Record)
+			if !ok || len(rec.Fields) != 2 {
+				fail("convert out = %v", out)
+				return
+			}
+			if n, _ := rec.Fields[0].(value.Int).Int64(); n != int64(i) {
+				fail("crossed int = %v", rec.Fields[0])
+				return
+			}
+			if r := rec.Fields[1].(value.Real).V; r != 0.5+float64(i) {
+				fail("crossed real = %v", rec.Fields[1])
+				return
+			}
+			nested := value.NewRecord(value.NewInt(int64(i)),
+				value.NewRecord(value.Real{V: 1.25}, value.Char{R: 'q'}))
+			out, err = c.Convert("a", "outerA", "b", "outerB", mtOuterA, mtOuterB, nested)
+			if err != nil {
+				fail("nested convert: %v", err)
+				return
+			}
+			want := value.NewRecord(
+				value.NewRecord(value.Real{V: 1.25}, value.Char{R: 'q'}),
+				value.NewInt(int64(i)))
+			if !value.Equal(out, want) {
+				fail("nested out = %v, want %v", out, want)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Cache accounting over the whole run: three distinct canonical pairs
+	// were compared (big, mix/pair, outerA/outerB) and two distinct exact
+	// pairs were converted — exactly one comparison run and one compile
+	// each, no matter how many clients raced (singleflight).
+	st, err := seed.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompareRuns != 3 {
+		t.Errorf("CompareRuns = %d, want 3", st.CompareRuns)
+	}
+	if st.Compiles != 2 {
+		t.Errorf("Compiles = %d, want 2", st.Compiles)
+	}
+	// 1 seed compare + 3 compares per client reached the verdict cache.
+	wantLookups := int64(1 + 3*nClients)
+	if got := st.CompareHits + st.CompareMisses + st.CompareCoalesced; got != wantLookups {
+		t.Errorf("compare lookups = %d (h=%d m=%d c=%d), want %d",
+			got, st.CompareHits, st.CompareMisses, st.CompareCoalesced, wantLookups)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after quiesce", st.InFlight)
+	}
+
+	// Warm-cache compare must be measurably faster than the cold one: the
+	// cold path lowered and structurally compared two 1500-field records,
+	// the warm path is a fingerprint lookup plus one round trip.
+	warms := make([]time.Duration, 0, 9)
+	for k := 0; k < 9; k++ {
+		start := time.Now()
+		v, err := seed.Compare("a", "bigA", "b", "bigB")
+		warms = append(warms, time.Since(start))
+		if err != nil || !v.Cached || v.Relation != core.RelEquivalent {
+			t.Fatalf("warm big compare = %+v err=%v", v, err)
+		}
+	}
+	sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+	warm := warms[len(warms)/2]
+	t.Logf("cold=%v warm(median)=%v", cold, warm)
+	if warm >= cold {
+		t.Errorf("warm compare %v not faster than cold %v", warm, cold)
+	}
+}

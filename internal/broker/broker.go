@@ -1,0 +1,404 @@
+// Package broker turns the per-invocation compile pipeline of
+// internal/core into a long-running, concurrent stub-compilation service:
+// the subsystem that lets one daemon compile a coercion plan once and
+// serve conversions for it many times, across many connections.
+//
+// A Broker wraps a core.Session (which is not safe for concurrent use)
+// behind a mutex and two fingerprint-keyed LRU caches:
+//
+//   - the verdict cache, keyed by the pair of *canonical* digests
+//     (stable under Record/Choice child permutation and μ-unrolling), so
+//     any two declaration pairs the comparer would relate identically
+//     share one compare verdict;
+//   - the converter cache, keyed by the pair of *exact* digests, holding
+//     the closure-compiled converter and its plan. Exactness matters
+//     here: a compiled converter consumes values in declaration order,
+//     so record(int, real) and record(real, int) must not share one.
+//
+// Both caches are content-addressed — the key depends only on the Mtype
+// structure — so annotation of a universe needs no invalidation: changed
+// lowerings produce new fingerprints and simply stop hitting the old
+// entries, which age out of the LRU.
+//
+// Concurrent requests for the same missing key are deduplicated
+// (singleflight): one request compiles, the rest wait for its result, so
+// a thundering herd on a cold pair costs one compile. Fills are further
+// bounded by a worker semaphore. Per-broker counters (hits, misses,
+// compiles, latency, evictions, in-flight) are exposed via Stats.
+//
+// Register any semantic hooks on the Session before constructing the
+// Broker; the hook table is read concurrently during compilation.
+package broker
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/cmem"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// Options configures a Broker. Zero values select the defaults.
+type Options struct {
+	// VerdictCacheSize bounds the compare-verdict LRU (default 4096).
+	VerdictCacheSize int
+	// ConverterCacheSize bounds the compiled-converter LRU (default 1024).
+	ConverterCacheSize int
+	// Workers bounds concurrent cache fills — compare runs and converter
+	// compilations (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.VerdictCacheSize <= 0 {
+		o.VerdictCacheSize = 4096
+	}
+	if o.ConverterCacheSize <= 0 {
+		o.ConverterCacheSize = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Broker is a concurrent stub-compilation service over one core.Session.
+// All methods are safe for concurrent use.
+type Broker struct {
+	opts Options
+
+	// sess is guarded by sessMu: Session lowering and comparison memoize
+	// into shared maps, so every Session call is serialized.
+	sessMu sync.Mutex
+	sess   *core.Session
+
+	verdicts   *sfCache[*verdictEntry]
+	converters *sfCache[*convEntry]
+
+	// printMemo caches fingerprints per lowered Mtype graph. The session
+	// memoizes lowerings per declaration and Annotate replaces them
+	// wholesale, so pointer identity is content identity: an annotated
+	// declaration lowers to a fresh graph and misses the memo naturally.
+	printMu   sync.Mutex
+	printMemo map[*mtype.Type]fingerprint.Print
+
+	fillSem chan struct{}
+
+	inFlight  atomic.Int64
+	compiles  atomic.Int64
+	compares  atomic.Int64
+	compareNs atomic.Int64
+	compileNs atomic.Int64
+}
+
+// verdictEntry is a cached compare outcome, freed of the session-owned
+// Match so cached verdicts are plain immutable data.
+type verdictEntry struct {
+	relation core.Relation
+	steps    int
+	explain  string
+}
+
+// convEntry is a cached compiled converter for one exact pair.
+type convEntry struct {
+	relation core.Relation
+	explain  string
+	conv     convert.Converter
+	planText string
+}
+
+// New returns a Broker serving the given session.
+func New(sess *core.Session, opts Options) *Broker {
+	opts = opts.withDefaults()
+	return &Broker{
+		opts:       opts,
+		sess:       sess,
+		verdicts:   newSFCache[*verdictEntry](opts.VerdictCacheSize),
+		converters: newSFCache[*convEntry](opts.ConverterCacheSize),
+		printMemo:  make(map[*mtype.Type]fingerprint.Print),
+		fillSem:    make(chan struct{}, opts.Workers),
+	}
+}
+
+// --- declaration management (session passthrough, serialized) ---
+
+// Load parses src in the given language ("c", "java", or "idl") into a
+// universe, then applies the optional annotation script. If the universe
+// already exists the call is a no-op and existed is true: universes are
+// immutable once loaded except through Annotate, and protocol clients
+// name universes by content hash to get idempotent loads.
+func (b *Broker) Load(universe, lang, model, src, script string) (names []string, existed bool, err error) {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	if b.sess.Universe(universe) != nil {
+		names, err := b.sess.DeclNames(universe)
+		return names, true, err
+	}
+	switch lang {
+	case "c":
+		m := cmem.ILP32
+		if model == "lp64" {
+			m = cmem.LP64
+		}
+		err = b.sess.LoadC(universe, src, m)
+	case "java":
+		err = b.sess.LoadJava(universe, src)
+	case "idl":
+		err = b.sess.LoadIDL(universe, src)
+	default:
+		err = fmt.Errorf("broker: unknown language %q", lang)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if script != "" {
+		if _, err := b.sess.Annotate(universe, script); err != nil {
+			return nil, false, err
+		}
+	}
+	names, err = b.sess.DeclNames(universe)
+	return names, false, err
+}
+
+// Annotate applies an annotation script to a loaded universe. Cached
+// entries for the universe's old lowerings become unreachable (their
+// fingerprints change) rather than invalid, so no flush is needed.
+func (b *Broker) Annotate(universe, script string) (annotate.ScriptResult, error) {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	return b.sess.Annotate(universe, script)
+}
+
+// HasUniverse reports whether a universe is loaded.
+func (b *Broker) HasUniverse(universe string) bool {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	return b.sess.Universe(universe) != nil
+}
+
+// DeclNames lists a universe's declarations, sorted.
+func (b *Broker) DeclNames(universe string) ([]string, error) {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	return b.sess.DeclNames(universe)
+}
+
+// Mtype lowers a declaration. The returned graph is immutable and may be
+// read concurrently.
+func (b *Broker) Mtype(universe, decl string) (*mtype.Type, error) {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	return b.sess.Mtype(universe, decl)
+}
+
+// prints lowers both declarations (serialized) and fingerprints the
+// resulting graphs (outside the session lock: Mtype graphs are immutable
+// once lowered).
+func (b *Broker) prints(ua, da, ub, db string) (mtA, mtB *mtype.Type, pa, pb fingerprint.Print, err error) {
+	b.sessMu.Lock()
+	mtA, err = b.sess.Mtype(ua, da)
+	if err == nil {
+		mtB, err = b.sess.Mtype(ub, db)
+	}
+	b.sessMu.Unlock()
+	if err != nil {
+		return nil, nil, fingerprint.Print{}, fingerprint.Print{}, err
+	}
+	return mtA, mtB, b.printOf(mtA), b.printOf(mtB), nil
+}
+
+// printMemoCap bounds the fingerprint memo; entries are tiny, and one per
+// distinct lowered declaration suffices.
+const printMemoCap = 1 << 16
+
+// printOf fingerprints a lowered graph through the pointer-keyed memo, so
+// the warm request path costs a map lookup rather than a hash refinement
+// over the whole graph. Racing computations of the same graph are benign
+// (the digest is deterministic).
+func (b *Broker) printOf(t *mtype.Type) fingerprint.Print {
+	b.printMu.Lock()
+	p, ok := b.printMemo[t]
+	b.printMu.Unlock()
+	if ok {
+		return p
+	}
+	p = fingerprint.Of(t)
+	b.printMu.Lock()
+	if len(b.printMemo) >= printMemoCap {
+		for k := range b.printMemo {
+			delete(b.printMemo, k)
+			break
+		}
+	}
+	b.printMemo[t] = p
+	b.printMu.Unlock()
+	return p
+}
+
+// Verdict is a broker compare result.
+type Verdict struct {
+	Relation core.Relation
+	// Steps is the comparison step count of the run that produced the
+	// cached verdict (0 is possible only for errors).
+	Steps int
+	// Explain holds the mismatch diagnosis when Relation is RelNone.
+	Explain string
+	// Cached reports whether the verdict came from the cache rather than
+	// a compare run this request executed or waited on.
+	Cached bool
+}
+
+// Compare decides the relation between two loaded declarations, serving
+// from the canonical-fingerprint verdict cache when possible.
+func (b *Broker) Compare(ua, da, ub, db string) (Verdict, error) {
+	b.inFlight.Add(1)
+	defer b.inFlight.Add(-1)
+	_, _, pa, pb, err := b.prints(ua, da, ub, db)
+	if err != nil {
+		return Verdict{}, err
+	}
+	key := fingerprint.Pair(pa.Canonical, pb.Canonical)
+	ent, cached, err := b.verdicts.do(key, func() (*verdictEntry, error) {
+		b.fillSem <- struct{}{}
+		defer func() { <-b.fillSem }()
+		start := time.Now()
+		v, err := b.compareLocked(ua, da, ub, db)
+		b.compareNs.Add(time.Since(start).Nanoseconds())
+		b.compares.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		return &verdictEntry{relation: v.Relation, steps: v.Steps, explain: v.Explain}, nil
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Relation: ent.relation, Steps: ent.steps, Explain: ent.explain, Cached: cached}, nil
+}
+
+func (b *Broker) compareLocked(ua, da, ub, db string) (*core.Verdict, error) {
+	b.sessMu.Lock()
+	defer b.sessMu.Unlock()
+	return b.sess.Compare(ua, da, ub, db)
+}
+
+// converter returns the cached compiled converter entry for the exact
+// pair, compiling it on a miss.
+func (b *Broker) converter(ua, da, ub, db string) (*convEntry, bool, error) {
+	_, _, pa, pb, err := b.prints(ua, da, ub, db)
+	if err != nil {
+		return nil, false, err
+	}
+	key := fingerprint.Pair(pa.Exact, pb.Exact)
+	return b.converters.do(key, func() (*convEntry, error) {
+		b.fillSem <- struct{}{}
+		defer func() { <-b.fillSem }()
+		start := time.Now()
+		defer func() {
+			b.compileNs.Add(time.Since(start).Nanoseconds())
+			b.compiles.Add(1)
+		}()
+		v, err := b.compareLocked(ua, da, ub, db)
+		if err != nil {
+			return nil, err
+		}
+		if v.Relation == core.RelNone {
+			return &convEntry{relation: v.Relation, explain: v.Explain}, nil
+		}
+		// Plan building and closure compilation read only the (now
+		// immutable) match and the session's hook table, so they run
+		// outside the session lock, bounded by the fill semaphore.
+		p, conv, err := b.buildConverter(v)
+		if err != nil {
+			return nil, err
+		}
+		return &convEntry{relation: v.Relation, conv: conv, planText: p.String()}, nil
+	})
+}
+
+func (b *Broker) buildConverter(v *core.Verdict) (*plan.Plan, convert.Converter, error) {
+	return b.sess.BuildConverter(v)
+}
+
+// Convert converts a value of declaration A into one of declaration B
+// using the cached compiled converter. The pair must be equivalent or
+// A <: B; for a B <: A pair, swap the arguments.
+func (b *Broker) Convert(ua, da, ub, db string, v value.Value) (value.Value, error) {
+	b.inFlight.Add(1)
+	defer b.inFlight.Add(-1)
+	ent, _, err := b.converter(ua, da, ub, db)
+	if err != nil {
+		return nil, err
+	}
+	switch ent.relation {
+	case core.RelEquivalent, core.RelSubtypeAB:
+		return ent.conv.Convert(v)
+	case core.RelSubtypeBA:
+		return nil, fmt.Errorf("broker: %s/%s only converts from %s/%s (B is the subtype); swap the pair", ua, da, ub, db)
+	default:
+		return nil, fmt.Errorf("broker: declarations do not match:\n%s", ent.explain)
+	}
+}
+
+// PlanText returns the rendered coercion plan for the pair (compiling it
+// if needed) — the daemon's window into what a conversion will do.
+func (b *Broker) PlanText(ua, da, ub, db string) (string, error) {
+	b.inFlight.Add(1)
+	defer b.inFlight.Add(-1)
+	ent, _, err := b.converter(ua, da, ub, db)
+	if err != nil {
+		return "", err
+	}
+	if ent.relation == core.RelNone {
+		return "", fmt.Errorf("broker: declarations do not match:\n%s", ent.explain)
+	}
+	return ent.planText, nil
+}
+
+// Stats is a point-in-time snapshot of the broker's counters.
+type Stats struct {
+	// Verdict cache.
+	CompareHits, CompareMisses, CompareCoalesced int64
+	CompareRuns                                  int64 // compare executions
+	CompareTotal                                 time.Duration
+	VerdictEntries                               int
+	// Converter cache.
+	ConvertHits, ConvertMisses, ConvertCoalesced int64
+	Compiles                                     int64 // converter compilations
+	CompileTotal                                 time.Duration
+	ConverterEntries                             int
+	// Shared.
+	Evictions int64
+	InFlight  int64
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		CompareHits:      b.verdicts.hits.Load(),
+		CompareMisses:    b.verdicts.misses.Load(),
+		CompareCoalesced: b.verdicts.coalesced.Load(),
+		CompareRuns:      b.compares.Load(),
+		CompareTotal:     time.Duration(b.compareNs.Load()),
+		VerdictEntries:   b.verdicts.len(),
+
+		ConvertHits:      b.converters.hits.Load(),
+		ConvertMisses:    b.converters.misses.Load(),
+		ConvertCoalesced: b.converters.coalesced.Load(),
+		Compiles:         b.compiles.Load(),
+		CompileTotal:     time.Duration(b.compileNs.Load()),
+		ConverterEntries: b.converters.len(),
+
+		Evictions: b.verdicts.evictions.Load() + b.converters.evictions.Load(),
+		InFlight:  b.inFlight.Load(),
+	}
+}

@@ -1,0 +1,434 @@
+// Broker protocol: the daemon-facing operations layered on orb frames.
+// Every payload is CDR, marshaled by package wire against small protocol
+// Mtypes (strings are the §3.2 recursive list encoding over Unicode
+// characters; counters are 64-bit integers) — the broker speaks the same
+// wire format as the stubs it compiles. The convert op carries the value
+// itself as a raw CDR payload, encoded against the declaration's own
+// Mtype, after the CDR-encoded request header.
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mtype"
+	"repro/internal/orb"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// ObjectKey is the orb object key the broker service is registered under.
+const ObjectKey = "mbird.broker"
+
+// Broker protocol ops.
+const (
+	// OpLoad: Record(universe, lang, model, source, script) →
+	// Record(existed, List(name)).
+	OpLoad uint32 = iota + 1
+	// OpAnnotate: Record(universe, script) → Record(lines, applied).
+	OpAnnotate
+	// OpCompare: Record(uA, declA, uB, declB) →
+	// Record(relation, steps, cached, explain).
+	OpCompare
+	// OpPlan: Record(uA, declA, uB, declB) → Record(planText).
+	OpPlan
+	// OpConvert: Record(uA, declA, uB, declB) ++ CDR value of A's Mtype →
+	// CDR value of B's Mtype.
+	OpConvert
+	// OpStats: empty → Record of counters (see statsT).
+	OpStats
+)
+
+// Protocol Mtypes. A string is List(Character(unicode)); an int is a
+// 64-bit signed Integer.
+var (
+	protoStrT = mtype.NewList(mtype.NewCharacter(mtype.RepUnicode))
+	protoIntT = mtype.NewIntegerBits(64, true)
+
+	loadReqT     = protoRecord(protoStrT, protoStrT, protoStrT, protoStrT, protoStrT)
+	loadRepT     = protoRecord(protoIntT, mtype.NewList(protoStrT))
+	annotateReqT = protoRecord(protoStrT, protoStrT)
+	annotateRepT = protoRecord(protoIntT, protoIntT)
+	pairReqT     = protoRecord(protoStrT, protoStrT, protoStrT, protoStrT)
+	compareRepT  = protoRecord(protoIntT, protoIntT, protoIntT, protoStrT)
+	planRepT     = protoRecord(protoStrT)
+	statsT       = protoRecord(
+		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // compare: hits, misses, coalesced, runs, totalNs, entries
+		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
+		protoIntT, protoIntT, // evictions, inFlight
+	)
+)
+
+func protoRecord(types ...*mtype.Type) *mtype.Type { return mtype.RecordOf(types...) }
+
+// strVal encodes a Go string as a protocol string value.
+func strVal(s string) value.Value {
+	runes := []rune(s)
+	elems := make([]value.Value, len(runes))
+	for i, r := range runes {
+		elems[i] = value.Char{R: r}
+	}
+	return value.FromSlice(elems)
+}
+
+// valStr decodes a protocol string value.
+func valStr(v value.Value) (string, error) {
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return "", err
+	}
+	runes := make([]rune, len(elems))
+	for i, e := range elems {
+		c, ok := e.(value.Char)
+		if !ok {
+			return "", fmt.Errorf("broker: string element is %T", e)
+		}
+		runes[i] = c.R
+	}
+	return string(runes), nil
+}
+
+func intVal(n int64) value.Value { return value.NewInt(n) }
+
+func valInt(v value.Value) (int64, error) {
+	iv, ok := v.(value.Int)
+	if !ok {
+		return 0, fmt.Errorf("broker: integer field is %T", v)
+	}
+	return iv.Int64()
+}
+
+// marshalStrings CDR-encodes a record of strings against ty.
+func marshalStrings(ty *mtype.Type, ss ...string) ([]byte, error) {
+	fields := make([]value.Value, len(ss))
+	for i, s := range ss {
+		fields[i] = strVal(s)
+	}
+	return wire.Marshal(ty, value.NewRecord(fields...))
+}
+
+// unmarshalStrings decodes a record of n strings.
+func unmarshalStrings(ty *mtype.Type, data []byte, n int) ([]string, error) {
+	v, err := wire.Unmarshal(ty, data)
+	if err != nil {
+		return nil, err
+	}
+	return recordStrings(v, n)
+}
+
+func recordStrings(v value.Value, n int) ([]string, error) {
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != n {
+		return nil, fmt.Errorf("broker: want record of %d strings, got %v", n, v)
+	}
+	out := make([]string, n)
+	for i, f := range rec.Fields {
+		s, err := valStr(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Serve registers the broker service on an orb server under ObjectKey.
+func Serve(srv *orb.Server, b *Broker) {
+	srv.Register(ObjectKey, Handler(b))
+}
+
+// Handler returns the orb handler implementing the broker protocol.
+func Handler(b *Broker) orb.Handler {
+	return func(op uint32, body []byte) ([]byte, error) {
+		switch op {
+		case OpLoad:
+			args, err := unmarshalStrings(loadReqT, body, 5)
+			if err != nil {
+				return nil, err
+			}
+			names, existed, err := b.Load(args[0], args[1], args[2], args[3], args[4])
+			if err != nil {
+				return nil, err
+			}
+			nameVals := make([]value.Value, len(names))
+			for i, n := range names {
+				nameVals[i] = strVal(n)
+			}
+			ex := int64(0)
+			if existed {
+				ex = 1
+			}
+			return wire.Marshal(loadRepT, value.NewRecord(intVal(ex), value.FromSlice(nameVals)))
+
+		case OpAnnotate:
+			args, err := unmarshalStrings(annotateReqT, body, 2)
+			if err != nil {
+				return nil, err
+			}
+			res, err := b.Annotate(args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			return wire.Marshal(annotateRepT,
+				value.NewRecord(intVal(int64(res.Lines)), intVal(int64(res.Applied))))
+
+		case OpCompare:
+			args, err := unmarshalStrings(pairReqT, body, 4)
+			if err != nil {
+				return nil, err
+			}
+			v, err := b.Compare(args[0], args[1], args[2], args[3])
+			if err != nil {
+				return nil, err
+			}
+			cached := int64(0)
+			if v.Cached {
+				cached = 1
+			}
+			return wire.Marshal(compareRepT, value.NewRecord(
+				intVal(int64(v.Relation)), intVal(int64(v.Steps)), intVal(cached), strVal(v.Explain)))
+
+		case OpPlan:
+			args, err := unmarshalStrings(pairReqT, body, 4)
+			if err != nil {
+				return nil, err
+			}
+			text, err := b.PlanText(args[0], args[1], args[2], args[3])
+			if err != nil {
+				return nil, err
+			}
+			return wire.Marshal(planRepT, value.NewRecord(strVal(text)))
+
+		case OpConvert:
+			hdr, n, err := wire.UnmarshalPrefix(pairReqT, body)
+			if err != nil {
+				return nil, fmt.Errorf("convert header: %w", err)
+			}
+			args, err := recordStrings(hdr, 4)
+			if err != nil {
+				return nil, err
+			}
+			mtA, err := b.Mtype(args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			in, err := wire.Unmarshal(mtA, body[n:])
+			if err != nil {
+				return nil, fmt.Errorf("convert payload: %w", err)
+			}
+			out, err := b.Convert(args[0], args[1], args[2], args[3], in)
+			if err != nil {
+				return nil, err
+			}
+			mtB, err := b.Mtype(args[2], args[3])
+			if err != nil {
+				return nil, err
+			}
+			return wire.Marshal(mtB, out)
+
+		case OpStats:
+			st := b.Stats()
+			return wire.Marshal(statsT, value.NewRecord(
+				intVal(st.CompareHits), intVal(st.CompareMisses), intVal(st.CompareCoalesced),
+				intVal(st.CompareRuns), intVal(st.CompareTotal.Nanoseconds()), intVal(int64(st.VerdictEntries)),
+				intVal(st.ConvertHits), intVal(st.ConvertMisses), intVal(st.ConvertCoalesced),
+				intVal(st.Compiles), intVal(st.CompileTotal.Nanoseconds()), intVal(int64(st.ConverterEntries)),
+				intVal(st.Evictions), intVal(st.InFlight)))
+
+		default:
+			return nil, fmt.Errorf("broker: unknown op %d", op)
+		}
+	}
+}
+
+// Client is a typed client for the broker protocol, safe for concurrent
+// use (orb clients pipeline requests).
+type Client struct {
+	c *orb.Client
+}
+
+// NewClient wraps an established orb connection.
+func NewClient(c *orb.Client) *Client { return &Client{c: c} }
+
+// DialClient connects to a broker daemon.
+func DialClient(addr string) (*Client, error) {
+	c, err := orb.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Close tears down the underlying connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Load ships a declaration source to the daemon. It is idempotent per
+// universe name: existed reports that the universe was already loaded and
+// the source was ignored.
+func (c *Client) Load(universe, lang, model, src, script string) (names []string, existed bool, err error) {
+	body, err := marshalStrings(loadReqT, universe, lang, model, src, script)
+	if err != nil {
+		return nil, false, err
+	}
+	reply, err := c.c.Invoke(ObjectKey, OpLoad, body)
+	if err != nil {
+		return nil, false, err
+	}
+	v, err := wire.Unmarshal(loadRepT, reply)
+	if err != nil {
+		return nil, false, err
+	}
+	rec := v.(value.Record)
+	ex, err := valInt(rec.Fields[0])
+	if err != nil {
+		return nil, false, err
+	}
+	elems, err := value.ToSlice(rec.Fields[1])
+	if err != nil {
+		return nil, false, err
+	}
+	names = make([]string, len(elems))
+	for i, e := range elems {
+		if names[i], err = valStr(e); err != nil {
+			return nil, false, err
+		}
+	}
+	return names, ex != 0, nil
+}
+
+// Annotate applies a script to a loaded universe on the daemon.
+func (c *Client) Annotate(universe, script string) (lines, applied int, err error) {
+	body, err := marshalStrings(annotateReqT, universe, script)
+	if err != nil {
+		return 0, 0, err
+	}
+	reply, err := c.c.Invoke(ObjectKey, OpAnnotate, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := wire.Unmarshal(annotateRepT, reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	rec := v.(value.Record)
+	l, err := valInt(rec.Fields[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	a, err := valInt(rec.Fields[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(l), int(a), nil
+}
+
+// Compare asks the daemon for the relation between two declarations.
+func (c *Client) Compare(ua, da, ub, db string) (Verdict, error) {
+	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	if err != nil {
+		return Verdict{}, err
+	}
+	reply, err := c.c.Invoke(ObjectKey, OpCompare, body)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, err := wire.Unmarshal(compareRepT, reply)
+	if err != nil {
+		return Verdict{}, err
+	}
+	rec := v.(value.Record)
+	rel, err := valInt(rec.Fields[0])
+	if err != nil {
+		return Verdict{}, err
+	}
+	steps, err := valInt(rec.Fields[1])
+	if err != nil {
+		return Verdict{}, err
+	}
+	cached, err := valInt(rec.Fields[2])
+	if err != nil {
+		return Verdict{}, err
+	}
+	explain, err := valStr(rec.Fields[3])
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Relation: core.Relation(rel),
+		Steps:    int(steps),
+		Explain:  explain,
+		Cached:   cached != 0,
+	}, nil
+}
+
+// Plan fetches the rendered coercion plan for a pair.
+func (c *Client) Plan(ua, da, ub, db string) (string, error) {
+	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	if err != nil {
+		return "", err
+	}
+	reply, err := c.c.Invoke(ObjectKey, OpPlan, body)
+	if err != nil {
+		return "", err
+	}
+	v, err := wire.Unmarshal(planRepT, reply)
+	if err != nil {
+		return "", err
+	}
+	return valStr(v.(value.Record).Fields[0])
+}
+
+// ConvertRaw converts a CDR-encoded value of declaration A into a
+// CDR-encoded value of declaration B. The caller encodes/decodes against
+// the declarations' Mtypes (which it can lower locally from the same
+// sources it loaded).
+func (c *Client) ConvertRaw(ua, da, ub, db string, payload []byte) ([]byte, error) {
+	hdr, err := marshalStrings(pairReqT, ua, da, ub, db)
+	if err != nil {
+		return nil, err
+	}
+	return c.c.Invoke(ObjectKey, OpConvert, append(hdr, payload...))
+}
+
+// Convert is ConvertRaw with client-side marshaling against the two
+// Mtypes (typically lowered by a local session from the same sources).
+func (c *Client) Convert(ua, da, ub, db string, mtA, mtB *mtype.Type, v value.Value) (value.Value, error) {
+	payload, err := wire.Marshal(mtA, v)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.ConvertRaw(ua, da, ub, db, payload)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Unmarshal(mtB, reply)
+}
+
+// Stats fetches the daemon's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	reply, err := c.c.Invoke(ObjectKey, OpStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	v, err := wire.Unmarshal(statsT, reply)
+	if err != nil {
+		return Stats{}, err
+	}
+	rec := v.(value.Record)
+	get := func(i int) int64 {
+		n, err2 := valInt(rec.Fields[i])
+		if err2 != nil && err == nil {
+			err = err2
+		}
+		return n
+	}
+	st := Stats{
+		CompareHits: get(0), CompareMisses: get(1), CompareCoalesced: get(2),
+		CompareRuns: get(3), CompareTotal: time.Duration(get(4)), VerdictEntries: int(get(5)),
+		ConvertHits: get(6), ConvertMisses: get(7), ConvertCoalesced: get(8),
+		Compiles: get(9), CompileTotal: time.Duration(get(10)), ConverterEntries: int(get(11)),
+		Evictions: get(12), InFlight: get(13),
+	}
+	return st, err
+}

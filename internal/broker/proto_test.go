@@ -1,0 +1,134 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// startDaemon serves a fresh broker on a loopback orb server and returns
+// a connected protocol client.
+func startDaemon(t *testing.T) (*Broker, *Client) {
+	t.Helper()
+	b := newBroker(Options{})
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	Serve(srv, b)
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return b, c
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	b, c := startDaemon(t)
+
+	names, existed, err := c.Load("x", "c", "ilp32",
+		"typedef struct { float r; int n; } mix;\ntypedef struct { float *p; } holder;", "")
+	if err != nil || existed {
+		t.Fatalf("load: names=%v existed=%v err=%v", names, existed, err)
+	}
+	if len(names) != 2 || names[0] != "holder" || names[1] != "mix" {
+		t.Fatalf("names = %v", names)
+	}
+	// Idempotent reload.
+	if _, existed, err = c.Load("x", "c", "ilp32", "ignored", ""); err != nil || !existed {
+		t.Fatalf("reload: existed=%v err=%v", existed, err)
+	}
+	if _, _, err := c.Load("y", "c", "ilp32", "typedef struct { int count; float ratio; } pair;", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Annotate over the wire (lines/applied counts round-trip).
+	lines, applied, err := c.Annotate("x", "# comment only\n")
+	if err != nil || lines != 0 || applied != 0 {
+		t.Fatalf("annotate: %d %d %v", lines, applied, err)
+	}
+
+	v, err := c.Compare("x", "mix", "y", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != core.RelEquivalent || v.Cached {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v, err = c.Compare("x", "mix", "y", "pair"); err != nil || !v.Cached {
+		t.Fatalf("warm verdict = %+v err=%v", v, err)
+	}
+
+	text, err := c.Plan("x", "mix", "y", "pair")
+	if err != nil || !strings.Contains(text, "plan(") {
+		t.Fatalf("plan = %q err=%v", text, err)
+	}
+
+	// Convert through the daemon with client-side CDR marshaling.
+	mtA, err := b.Mtype("x", "mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtB, err := b.Mtype("y", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := value.NewRecord(value.Real{V: 4.5}, value.NewInt(9))
+	out, err := c.Convert("x", "mix", "y", "pair", mtA, mtB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := out.(value.Record)
+	if n, _ := rec.Fields[0].(value.Int).Int64(); n != 9 {
+		t.Fatalf("converted = %v", out)
+	}
+	if rec.Fields[1].(value.Real).V != 4.5 {
+		t.Fatalf("converted = %v", out)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompareRuns != 1 || st.Compiles != 1 {
+		t.Errorf("stats: runs=%d compiles=%d, want 1/1", st.CompareRuns, st.Compiles)
+	}
+	if st.CompareHits < 1 {
+		t.Errorf("stats: hits=%d, want ≥1", st.CompareHits)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	b, c := startDaemon(t)
+	if _, err := c.Compare("nope", "a", "nope", "b"); err == nil {
+		t.Fatal("compare of unknown universe succeeded")
+	} else if _, ok := err.(*orb.RemoteError); !ok {
+		t.Fatalf("error %T, want RemoteError", err)
+	}
+	if _, _, err := c.Load("u", "cobol", "", "x", ""); err == nil ||
+		!strings.Contains(err.Error(), "unknown language") {
+		t.Fatalf("load error = %v", err)
+	}
+	// Mismatched pair: convert reports the diagnosis remotely.
+	if _, _, err := c.Load("u", "c", "ilp32", "typedef struct { float a; } fa;\ntypedef struct { char c; } cc;", ""); err != nil {
+		t.Fatal(err)
+	}
+	mtFa, err := b.Mtype("u", "fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.Marshal(mtFa, value.NewRecord(value.Real{V: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConvertRaw("u", "fa", "u", "cc", payload); err == nil ||
+		!strings.Contains(err.Error(), "do not match") {
+		t.Fatalf("convert error = %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/javaparse"
 	"repro/internal/lower"
 	"repro/internal/mtype"
+	"repro/internal/plan"
 	"repro/internal/stype"
 )
 
@@ -221,6 +222,26 @@ func (s *Session) Compare(universeA, declA, universeB, declB string) (*Verdict, 
 		Explain:  c.Explain(mtA, mtB, compare.ModeEqual),
 		Steps:    c.Steps(),
 	}, nil
+}
+
+// BuildConverter builds and closure-compiles the coercion plan witnessed
+// by a verdict, with the session's semantic hooks resolved. The converter
+// runs in the direction the relation supports: A→B for RelEquivalent and
+// RelSubtypeAB, B→A for RelSubtypeBA (the match was taken in that
+// direction). The returned converter is safe for concurrent use.
+func (s *Session) BuildConverter(v *Verdict) (*plan.Plan, convert.Converter, error) {
+	if v == nil || v.Match == nil {
+		return nil, nil, fmt.Errorf("core: verdict carries no match to build from")
+	}
+	p, err := plan.Build(v.Match)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := convert.CompileHooks(p, s.hooks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, c, nil
 }
 
 // DeclNames lists the declarations of a universe, sorted.

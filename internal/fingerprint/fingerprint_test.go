@@ -1,0 +1,210 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"repro/internal/cmem"
+	"repro/internal/core"
+	"repro/internal/mtype"
+)
+
+func pair(t *testing.T, a, b *mtype.Type, wantCanonEq, wantExactEq bool) {
+	t.Helper()
+	pa, pb := Of(a), Of(b)
+	if (pa.Canonical == pb.Canonical) != wantCanonEq {
+		t.Errorf("canonical equality = %v, want %v\n  a=%s\n  b=%s",
+			pa.Canonical == pb.Canonical, wantCanonEq, a, b)
+	}
+	if (pa.Exact == pb.Exact) != wantExactEq {
+		t.Errorf("exact equality = %v, want %v\n  a=%s\n  b=%s",
+			pa.Exact == pb.Exact, wantExactEq, a, b)
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	i32 := mtype.NewIntegerBits(32, true)
+	i32b := mtype.NewIntegerBits(32, true)
+	pair(t, i32, i32b, true, true)
+	pair(t, i32, mtype.NewIntegerBits(64, true), false, false)
+	pair(t, i32, mtype.NewIntegerBits(32, false), false, false)
+	pair(t, mtype.NewFloat32(), mtype.NewFloat32(), true, true)
+	pair(t, mtype.NewFloat32(), mtype.NewFloat64(), false, false)
+	pair(t, mtype.NewCharacter(mtype.RepASCII), mtype.NewCharacter(mtype.RepLatin1), false, false)
+	pair(t, mtype.Unit(), mtype.Unit(), true, true)
+	pair(t, mtype.Unit(), mtype.NewBool(), false, false)
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	build := func() *mtype.Type {
+		return mtype.NewRecord(
+			mtype.Field{Name: "a", Type: mtype.NewList(mtype.NewFloat32())},
+			mtype.Field{Name: "b", Type: mtype.NewOptional(mtype.NewBool())},
+			mtype.Field{Name: "c", Type: mtype.NewPort(mtype.NewFloat64())},
+		)
+	}
+	if Of(build()) != Of(build()) {
+		t.Fatal("independently built identical graphs digest differently")
+	}
+}
+
+// Field names are cosmetic in the Mtype system and must not affect
+// digests.
+func TestNamesIgnored(t *testing.T) {
+	a := mtype.NewRecord(
+		mtype.Field{Name: "x", Type: mtype.NewFloat32()},
+		mtype.Field{Name: "y", Type: mtype.NewBool()},
+	)
+	b := mtype.NewRecord(
+		mtype.Field{Name: "lon", Type: mtype.NewFloat32()},
+		mtype.Field{Name: "flag", Type: mtype.NewBool()},
+	)
+	pair(t, a, b, true, true)
+}
+
+func TestRecordPermutation(t *testing.T) {
+	a := mtype.RecordOf(mtype.NewFloat32(), mtype.NewBool(), mtype.NewCharacter(mtype.RepUCS2))
+	b := mtype.RecordOf(mtype.NewBool(), mtype.NewCharacter(mtype.RepUCS2), mtype.NewFloat32())
+	// Canonical is permutation-stable; Exact is order-sensitive.
+	pair(t, a, b, true, false)
+}
+
+func TestChoicePermutation(t *testing.T) {
+	a := mtype.ChoiceOf(mtype.NewFloat32(), mtype.NewBool())
+	b := mtype.ChoiceOf(mtype.NewBool(), mtype.NewFloat32())
+	pair(t, a, b, true, false)
+}
+
+func TestRecordVsChoice(t *testing.T) {
+	a := mtype.RecordOf(mtype.NewFloat32(), mtype.NewBool())
+	b := mtype.ChoiceOf(mtype.NewFloat32(), mtype.NewBool())
+	pair(t, a, b, false, false)
+}
+
+// Nested permutation: permuting the children of an inner record changes
+// neither canonical digest, even though the inner record is itself a
+// child whose color feeds the outer one.
+func TestNestedPermutation(t *testing.T) {
+	inner := func(flip bool) *mtype.Type {
+		x, y := mtype.NewFloat32(), mtype.NewIntegerBits(16, true)
+		if flip {
+			return mtype.RecordOf(y, x)
+		}
+		return mtype.RecordOf(x, y)
+	}
+	a := mtype.RecordOf(inner(false), mtype.NewBool())
+	b := mtype.RecordOf(mtype.NewBool(), inner(true))
+	pair(t, a, b, true, false)
+}
+
+// Associativity is NOT folded into the digest: record(record(a,b),c) and
+// record(a,b,c) are comparer-equivalent but digest differently. They
+// occupy distinct cache entries, which is sound (just less shared).
+func TestFlatteningNotCanonicalized(t *testing.T) {
+	x, y, z := mtype.NewFloat32(), mtype.NewBool(), mtype.NewCharacter(mtype.RepASCII)
+	a := mtype.RecordOf(mtype.RecordOf(x, y), z)
+	b := mtype.RecordOf(x, y, z)
+	pair(t, a, b, false, false)
+}
+
+func TestListUnrollingStable(t *testing.T) {
+	list := mtype.NewList(mtype.NewFloat32())
+	// One-step unrolling: a fresh copy of the body whose back-edge points
+	// at the original μ node. Denotes the same regular tree.
+	cons := mtype.NewRecord(
+		mtype.Field{Name: "head", Type: mtype.NewFloat32()},
+		mtype.Field{Name: "tail", Type: list},
+	)
+	unrolled := mtype.NewChoice(
+		mtype.Alt{Name: "nil", Type: mtype.Unit()},
+		mtype.Alt{Name: "cons", Type: cons},
+	)
+	pair(t, list, unrolled, true, true)
+
+	// Two independently built lists.
+	pair(t, list, mtype.NewList(mtype.NewFloat32()), true, true)
+	// Different element types must differ.
+	pair(t, list, mtype.NewList(mtype.NewFloat64()), false, false)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// μA. record(int, μB. choice(unit, A)) built twice, plus a variant
+	// with a different leaf.
+	build := func(leaf *mtype.Type) *mtype.Type {
+		a := mtype.NewRecursive()
+		b := mtype.NewRecursive()
+		b.SetBody(mtype.ChoiceOf(mtype.Unit(), a))
+		a.SetBody(mtype.RecordOf(leaf, b))
+		return a
+	}
+	pair(t, build(mtype.NewBool()), build(mtype.NewBool()), true, true)
+	pair(t, build(mtype.NewBool()), build(mtype.NewFloat32()), false, false)
+}
+
+func TestNilAndUnbound(t *testing.T) {
+	var zero Digest
+	if Of(nil).Canonical == zero {
+		t.Fatal("nil digest is the zero digest")
+	}
+	if Of(nil) != Of(nil) {
+		t.Fatal("nil digest not deterministic")
+	}
+	unbound := mtype.NewRecursive()
+	if Of(unbound) != Of(nil) {
+		t.Fatal("unbound μ should digest like nil (bottom)")
+	}
+	if Of(nil).Canonical == Of(mtype.Unit()).Canonical {
+		t.Fatal("nil digest collides with unit")
+	}
+}
+
+// Two independently lowered, structurally equivalent declarations — the
+// broker's motivating case — must produce comparable digests: here the
+// same C struct spelled with permuted member order in two sessions.
+func TestIndependentLoweringsComparable(t *testing.T) {
+	mt := func(src string) *mtype.Type {
+		s := core.NewSession()
+		if err := s.LoadC("u", src, cmem.ILP32); err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Mtype("u", "pt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mt("typedef struct { float x; float y; int tag; } pt;")
+	b := mt("typedef struct { int kind; float a; float b; } pt;")
+	c := mt("typedef struct { float x; float y; float z; } pt;")
+	pa, pb, pc := Of(a), Of(b), Of(c)
+	if pa.Canonical != pb.Canonical {
+		t.Errorf("permuted structs should share a canonical digest:\n  %s\n  %s", a, b)
+	}
+	if pa.Exact == pb.Exact {
+		t.Errorf("permuted structs must not share an exact digest")
+	}
+	if pa.Canonical == pc.Canonical {
+		t.Errorf("different structs must differ canonically")
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	a, b := Canonical(mtype.NewBool()), Canonical(mtype.NewFloat32())
+	if Pair(a, b) == Pair(b, a) {
+		t.Fatal("pair key must be ordered")
+	}
+	if Pair(a, b) != Pair(a, b) {
+		t.Fatal("pair key not deterministic")
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	ty := mtype.NewList(mtype.NewRecord(
+		mtype.Field{Type: mtype.NewFloat32()},
+		mtype.Field{Type: mtype.NewOptional(mtype.NewList(mtype.NewBool()))},
+		mtype.Field{Type: mtype.NewPort(mtype.NewFloat64())},
+	))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Of(ty)
+	}
+}

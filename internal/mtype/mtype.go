@@ -703,6 +703,43 @@ func hashString(s string) uint64 {
 	return h
 }
 
+// ListElem recognizes the recursive list encoding of §3.2,
+//
+//	μL. Choice(Unit, Record(τ, L))
+//
+// and returns its element type τ. Wire encoding and value rendering use
+// it to treat lists as sequences rather than cons chains.
+func ListElem(t *Type) (elem *Type, ok bool) {
+	if t == nil || t.kind != KindRecursive {
+		return nil, false
+	}
+	body := t.body
+	for body != nil && body.kind == KindRecursive {
+		body = body.body
+	}
+	if body == nil || body.kind != KindChoice || len(body.alts) != 2 {
+		return nil, false
+	}
+	nilAlt := body.alts[0].Type
+	for nilAlt != nil && nilAlt.kind == KindRecursive {
+		nilAlt = nilAlt.body
+	}
+	if nilAlt == nil || nilAlt.kind != KindUnit {
+		return nil, false
+	}
+	cons := body.alts[1].Type
+	for cons != nil && cons.kind == KindRecursive {
+		cons = cons.body
+	}
+	if cons == nil || cons.kind != KindRecord || len(cons.fields) != 2 {
+		return nil, false
+	}
+	if cons.fields[1].Type != t {
+		return nil, false
+	}
+	return cons.fields[0].Type, true
+}
+
 // SortedShapeKeys returns the shape keys of the given types, sorted. It is
 // a convenience for tests and diagnostics that compare child multisets.
 func SortedShapeKeys(types []*Type) []string {

@@ -34,8 +34,54 @@ const (
 
 const magic = "MBRD"
 
-// maxBody bounds message bodies (16 MiB).
-const maxBody = 16 << 20
+// Default frame limits.
+const (
+	// DefaultMaxBody bounds message bodies (16 MiB).
+	DefaultMaxBody = 16 << 20
+	// DefaultMaxKey bounds object keys (4 KiB).
+	DefaultMaxKey = 4096
+)
+
+// ErrFrameTooLarge is returned (wrapped, with detail) when a frame's body
+// or object key exceeds the endpoint's configured limit, on either the
+// writing or the reading side.
+var ErrFrameTooLarge = errors.New("orb: frame exceeds limit")
+
+// Limits configures per-endpoint frame limits. The zero value selects the
+// defaults.
+type Limits struct {
+	// MaxBody bounds request/reply body sizes in bytes.
+	MaxBody int
+	// MaxKey bounds object key lengths in bytes.
+	MaxKey int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBody <= 0 {
+		l.MaxBody = DefaultMaxBody
+	}
+	if l.MaxKey <= 0 {
+		l.MaxKey = DefaultMaxKey
+	}
+	return l
+}
+
+// Option configures a Server or Client at construction.
+type Option func(*Limits)
+
+// WithMaxBody bounds frame bodies for the endpoint.
+func WithMaxBody(n int) Option { return func(l *Limits) { l.MaxBody = n } }
+
+// WithMaxKey bounds object keys for the endpoint.
+func WithMaxKey(n int) Option { return func(l *Limits) { l.MaxKey = n } }
+
+func applyOptions(opts []Option) Limits {
+	var l Limits
+	for _, o := range opts {
+		o(&l)
+	}
+	return l.withDefaults()
+}
 
 type frame struct {
 	kind byte
@@ -45,9 +91,12 @@ type frame struct {
 	body []byte
 }
 
-func writeFrame(w io.Writer, f frame) error {
-	if len(f.body) > maxBody {
-		return fmt.Errorf("orb: body of %d bytes exceeds limit", len(f.body))
+func writeFrame(w io.Writer, f frame, lim Limits) error {
+	if len(f.body) > lim.MaxBody {
+		return fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, len(f.body), lim.MaxBody)
+	}
+	if len(f.key) > lim.MaxKey {
+		return fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, len(f.key), lim.MaxKey)
 	}
 	buf := make([]byte, 0, 26+len(f.key)+len(f.body))
 	buf = append(buf, magic...)
@@ -62,7 +111,7 @@ func writeFrame(w io.Writer, f frame) error {
 	return err
 }
 
-func readFrame(r io.Reader) (frame, error) {
+func readFrame(r io.Reader, lim Limits) (frame, error) {
 	var f frame
 	head := make([]byte, 18)
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -77,8 +126,8 @@ func readFrame(r io.Reader) (frame, error) {
 	f.kind = head[5]
 	f.id = binary.LittleEndian.Uint64(head[6:])
 	keyLen := binary.LittleEndian.Uint32(head[14:])
-	if keyLen > 4096 {
-		return f, fmt.Errorf("orb: object key of %d bytes exceeds limit", keyLen)
+	if uint64(keyLen) > uint64(lim.MaxKey) {
+		return f, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, keyLen, lim.MaxKey)
 	}
 	key := make([]byte, keyLen)
 	if _, err := io.ReadFull(r, key); err != nil {
@@ -91,8 +140,8 @@ func readFrame(r io.Reader) (frame, error) {
 	}
 	f.op = binary.LittleEndian.Uint32(tail)
 	bodyLen := binary.LittleEndian.Uint32(tail[4:])
-	if bodyLen > maxBody {
-		return f, fmt.Errorf("orb: body of %d bytes exceeds limit", bodyLen)
+	if uint64(bodyLen) > uint64(lim.MaxBody) {
+		return f, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, bodyLen, lim.MaxBody)
 	}
 	f.body = make([]byte, bodyLen)
 	if _, err := io.ReadFull(r, f.body); err != nil {
@@ -108,7 +157,8 @@ type Handler func(op uint32, body []byte) ([]byte, error)
 
 // Server exports objects on a TCP listener.
 type Server struct {
-	ln net.Listener
+	ln  net.Listener
+	lim Limits
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -118,13 +168,15 @@ type Server struct {
 }
 
 // NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
-func NewServer(addr string) (*Server, error) {
+// Options adjust the frame limits (defaults: 16 MiB bodies, 4 KiB keys).
+func NewServer(addr string, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: listen: %w", err)
 	}
 	s := &Server{
 		ln:       ln,
+		lim:      applyOptions(opts),
 		handlers: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -190,7 +242,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		f, err := readFrame(conn)
+		f, err := readFrame(conn, s.lim)
 		if err != nil {
 			return
 		}
@@ -223,7 +275,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				writeMu.Lock()
 				defer writeMu.Unlock()
-				_ = writeFrame(conn, reply)
+				_ = writeFrame(conn, reply, s.lim)
 			}()
 		default:
 			// Unexpected frame on a server connection; drop it.
@@ -243,6 +295,7 @@ func (e *RemoteError) Error() string { return "orb: remote: " + e.Msg }
 // are pipelined and correlated by id.
 type Client struct {
 	conn net.Conn
+	lim  Limits
 
 	writeMu sync.Mutex
 
@@ -253,14 +306,16 @@ type Client struct {
 	done    chan struct{}
 }
 
-// Dial connects to a server address.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a server address. Options adjust the client's frame
+// limits (defaults: 16 MiB bodies, 4 KiB keys).
+func Dial(addr string, opts ...Option) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: dial: %w", err)
 	}
 	c := &Client{
 		conn:    conn,
+		lim:     applyOptions(opts),
 		pending: make(map[uint64]chan frame),
 		done:    make(chan struct{}),
 	}
@@ -278,7 +333,7 @@ func (c *Client) Close() error {
 func (c *Client) readLoop() {
 	defer close(c.done)
 	for {
-		f, err := readFrame(c.conn)
+		f, err := readFrame(c.conn, c.lim)
 		if err != nil {
 			c.mu.Lock()
 			if c.err == nil {
@@ -321,7 +376,7 @@ func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, frame{kind: kindRequest, id: id, key: key, op: op, body: body})
+	err := writeFrame(c.conn, frame{kind: kindRequest, id: id, key: key, op: op, body: body}, c.lim)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -351,5 +406,5 @@ func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
 func (c *Client) Send(key string, op uint32, body []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, frame{kind: kindOneway, key: key, op: op, body: body})
+	return writeFrame(c.conn, frame{kind: kindOneway, key: key, op: op, body: body}, c.lim)
 }

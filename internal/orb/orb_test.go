@@ -192,10 +192,10 @@ func TestRegisterReplaces(t *testing.T) {
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := frame{kind: kindRequest, id: 42, key: "obj/1", op: 3, body: []byte("payload")}
-	if err := writeFrame(&buf, in); err != nil {
+	if err := writeFrame(&buf, in, Limits{}.withDefaults()); err != nil {
 		t.Fatal(err)
 	}
-	out, err := readFrame(&buf)
+	out, err := readFrame(&buf, Limits{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestBadMagic(t *testing.T) {
 	var buf bytes.Buffer
 	buf.WriteString("XXXX")
 	buf.Write(make([]byte, 32))
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf, Limits{}.withDefaults()); err == nil {
 		t.Error("bad magic accepted")
 	}
 }
@@ -216,8 +216,8 @@ func TestBadMagic(t *testing.T) {
 func TestFrameLimits(t *testing.T) {
 	var buf bytes.Buffer
 	// Oversized body rejected at write time.
-	big := frame{kind: kindRequest, body: make([]byte, maxBody+1)}
-	if err := writeFrame(&buf, big); err == nil {
+	big := frame{kind: kindRequest, body: make([]byte, DefaultMaxBody+1)}
+	if err := writeFrame(&buf, big, Limits{}.withDefaults()); err == nil {
 		t.Error("oversized body accepted by writeFrame")
 	}
 	// Oversized key rejected at read time.
@@ -227,7 +227,7 @@ func TestFrameLimits(t *testing.T) {
 	buf.WriteByte(kindRequest)
 	buf.Write(make([]byte, 8))                // id
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // keyLen = huge
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf, Limits{}.withDefaults()); err == nil {
 		t.Error("oversized key accepted by readFrame")
 	}
 	// Unsupported version rejected.
@@ -235,7 +235,132 @@ func TestFrameLimits(t *testing.T) {
 	buf.WriteString(magic)
 	buf.WriteByte(9)
 	buf.Write(make([]byte, 40))
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf, Limits{}.withDefaults()); err == nil {
 		t.Error("unsupported version accepted")
+	}
+}
+
+// --- configurable frame limits (write and read side) ---
+
+func TestWriteSideFrameLimits(t *testing.T) {
+	s := startServer(t)
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	c, err := Dial(s.Addr(), WithMaxBody(64), WithMaxKey(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	if _, err := c.Invoke("echo", 0, make([]byte, 65)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized body error = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := c.Invoke("123456789", 0, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized key error = %v, want ErrFrameTooLarge", err)
+	}
+	if err := c.Send("123456789", 0, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized oneway key error = %v, want ErrFrameTooLarge", err)
+	}
+	// The rejection happens before any bytes hit the wire, so the
+	// connection stays usable.
+	reply, err := c.Invoke("echo", 0, make([]byte, 64))
+	if err != nil || len(reply) != 64 {
+		t.Fatalf("in-limit invoke after rejection: len=%d err=%v", len(reply), err)
+	}
+}
+
+func TestReadSideFrameLimitServer(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", WithMaxBody(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+
+	c := dialAddr(t, s.Addr())
+	// The client happily writes 1 KiB; the server's read side must refuse
+	// it and drop the connection.
+	_, err = c.Invoke("echo", 0, make([]byte, 1024))
+	if err == nil {
+		t.Fatal("oversized request was served")
+	}
+	// A fresh connection with a conforming request still works.
+	c2 := dialAddr(t, s.Addr())
+	if _, err := c2.Invoke("echo", 0, make([]byte, 64)); err != nil {
+		t.Fatalf("in-limit request on fresh connection: %v", err)
+	}
+}
+
+func TestReadSideFrameLimitClient(t *testing.T) {
+	s := startServer(t)
+	s.Register("blow", func(op uint32, body []byte) ([]byte, error) {
+		return make([]byte, 1024), nil
+	})
+	c, err := Dial(s.Addr(), WithMaxBody(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	_, err = c.Invoke("blow", 0, nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized reply error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func dialAddr(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// --- per-request dispatch: no head-of-line blocking ---
+
+// A slow handler must not delay a fast handler's reply on the same
+// connection: serveConn dispatches each request frame in its own
+// goroutine.
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	s := startServer(t)
+	slowRelease := make(chan struct{})
+	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+		<-slowRelease
+		return []byte("slow"), nil
+	})
+	s.Register("fast", func(op uint32, body []byte) ([]byte, error) {
+		return []byte("fast"), nil
+	})
+	c := dial(t, s)
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke("slow", 0, nil)
+		slowDone <- err
+	}()
+
+	// The fast request is written after the slow one is in flight, on the
+	// same connection, and must complete while slow is still blocked.
+	deadline := time.After(5 * time.Second)
+	fastDone := make(chan error, 1)
+	go func() {
+		reply, err := c.Invoke("fast", 0, nil)
+		if err == nil && string(reply) != "fast" {
+			err = fmt.Errorf("reply %q", reply)
+		}
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("fast invoke: %v", err)
+		}
+	case <-deadline:
+		t.Fatal("fast request blocked behind slow handler")
+	}
+
+	close(slowRelease)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow invoke: %v", err)
 	}
 }

@@ -1,0 +1,280 @@
+package value
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/big"
+
+	"repro/internal/mtype"
+)
+
+// JSON interchange, typed against an Mtype. The mapping is direction-free
+// (ToJSON and FromJSON are inverses over well-typed values):
+//
+//	Integer        → number (arbitrary precision)
+//	Real           → number
+//	Character      → one-character string
+//	Unit           → null
+//	Port           → string (the opaque ref)
+//	list of Character (the §3.2 string encoding) → string
+//	other lists    → array of elements
+//	Record         → array of field values, declaration order
+//	Choice         → {"alt": N, "value": V}; null is accepted on input
+//	                 for a choice with a Unit alternative (optionals)
+//
+// Records map to arrays rather than objects because field names are
+// annotation-erasable and need not be unique; position is the identity
+// that the Comparer and the converters use.
+
+// ToJSON renders v, a value of Mtype ty, as JSON.
+func ToJSON(ty *mtype.Type, v Value) ([]byte, error) {
+	tree, err := jsonEncode(ty, v, 0)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(tree)
+}
+
+// FromJSON parses JSON into a value of Mtype ty.
+func FromJSON(ty *mtype.Type, data []byte) (Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("value: %w", err)
+	}
+	return jsonDecode(ty, tree, 0)
+}
+
+func jsonEncode(ty *mtype.Type, v Value, depth int) (any, error) {
+	if depth > maxCheckDepth {
+		return nil, fmt.Errorf("value: json encode depth exceeded")
+	}
+	if ty == nil {
+		return nil, fmt.Errorf("value: nil type")
+	}
+	if elem, ok := mtype.ListElem(ty); ok {
+		elems, err := ToSlice(v)
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind() == mtype.KindCharacter {
+			runes := make([]rune, len(elems))
+			for i, e := range elems {
+				c, ok := e.(Char)
+				if !ok {
+					return nil, fmt.Errorf("value: string element is %T", e)
+				}
+				runes[i] = c.R
+			}
+			return string(runes), nil
+		}
+		out := make([]any, len(elems))
+		for i, e := range elems {
+			t, err := jsonEncode(elem, e, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+	for ty.Kind() == mtype.KindRecursive {
+		ty = ty.Body()
+		if ty == nil {
+			return nil, fmt.Errorf("value: unbound recursive type")
+		}
+	}
+	switch ty.Kind() {
+	case mtype.KindInteger:
+		iv, ok := v.(Int)
+		if !ok || iv.V == nil {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		return json.Number(iv.V.String()), nil
+	case mtype.KindReal:
+		rv, ok := v.(Real)
+		if !ok {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		return rv.V, nil
+	case mtype.KindCharacter:
+		cv, ok := v.(Char)
+		if !ok {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		return string(cv.R), nil
+	case mtype.KindUnit:
+		if _, ok := v.(Unit); !ok {
+			return nil, fmt.Errorf("value: %v does not inhabit unit", v)
+		}
+		return nil, nil
+	case mtype.KindPort:
+		pv, ok := v.(Port)
+		if !ok {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		return pv.Ref, nil
+	case mtype.KindRecord:
+		rv, ok := v.(Record)
+		fields := ty.Fields()
+		if !ok || len(rv.Fields) != len(fields) {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		out := make([]any, len(fields))
+		for i, f := range fields {
+			t, err := jsonEncode(f.Type, rv.Fields[i], depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("field %d: %w", i, err)
+			}
+			out[i] = t
+		}
+		return out, nil
+	case mtype.KindChoice:
+		cv, ok := v.(Choice)
+		alts := ty.Alts()
+		if !ok || cv.Alt < 0 || cv.Alt >= len(alts) {
+			return nil, fmt.Errorf("value: %v does not inhabit %s", v, ty)
+		}
+		inner, err := jsonEncode(alts[cv.Alt].Type, cv.V, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("alternative %d: %w", cv.Alt, err)
+		}
+		return map[string]any{"alt": json.Number(fmt.Sprint(cv.Alt)), "value": inner}, nil
+	default:
+		return nil, fmt.Errorf("value: unsupported type kind %s", ty.Kind())
+	}
+}
+
+func jsonDecode(ty *mtype.Type, tree any, depth int) (Value, error) {
+	if depth > maxCheckDepth {
+		return nil, fmt.Errorf("value: json decode depth exceeded")
+	}
+	if ty == nil {
+		return nil, fmt.Errorf("value: nil type")
+	}
+	if elem, ok := mtype.ListElem(ty); ok {
+		if s, ok := tree.(string); ok && elem.Kind() == mtype.KindCharacter {
+			runes := []rune(s)
+			elems := make([]Value, len(runes))
+			for i, r := range runes {
+				elems[i] = Char{R: r}
+			}
+			return FromSlice(elems), nil
+		}
+		arr, ok := tree.([]any)
+		if !ok {
+			return nil, fmt.Errorf("value: want array for list %s, got %T", ty, tree)
+		}
+		elems := make([]Value, len(arr))
+		for i, t := range arr {
+			v, err := jsonDecode(elem, t, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			elems[i] = v
+		}
+		return FromSlice(elems), nil
+	}
+	for ty.Kind() == mtype.KindRecursive {
+		ty = ty.Body()
+		if ty == nil {
+			return nil, fmt.Errorf("value: unbound recursive type")
+		}
+	}
+	switch ty.Kind() {
+	case mtype.KindInteger:
+		num, ok := tree.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("value: want number for %s, got %T", ty, tree)
+		}
+		n, ok := new(big.Int).SetString(num.String(), 10)
+		if !ok {
+			return nil, fmt.Errorf("value: %q is not an integer", num)
+		}
+		return Int{V: n}, nil
+	case mtype.KindReal:
+		num, ok := tree.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("value: want number for %s, got %T", ty, tree)
+		}
+		f, err := num.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("value: %q: %w", num, err)
+		}
+		return Real{V: f}, nil
+	case mtype.KindCharacter:
+		s, ok := tree.(string)
+		runes := []rune(s)
+		if !ok || len(runes) != 1 {
+			return nil, fmt.Errorf("value: want one-character string for %s, got %v", ty, tree)
+		}
+		return Char{R: runes[0]}, nil
+	case mtype.KindUnit:
+		if tree != nil {
+			return nil, fmt.Errorf("value: want null for unit, got %v", tree)
+		}
+		return Unit{}, nil
+	case mtype.KindPort:
+		s, ok := tree.(string)
+		if !ok {
+			return nil, fmt.Errorf("value: want string for %s, got %T", ty, tree)
+		}
+		return Port{Ref: s}, nil
+	case mtype.KindRecord:
+		arr, ok := tree.([]any)
+		fields := ty.Fields()
+		if !ok || len(arr) != len(fields) {
+			return nil, fmt.Errorf("value: want %d-element array for %s, got %v", len(fields), ty, tree)
+		}
+		out := make([]Value, len(fields))
+		for i, f := range fields {
+			v, err := jsonDecode(f.Type, arr[i], depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("field %d (%s): %w", i, f.Name, err)
+			}
+			out[i] = v
+		}
+		return Record{Fields: out}, nil
+	case mtype.KindChoice:
+		alts := ty.Alts()
+		if tree == nil {
+			for i, a := range alts {
+				if t := skipRecursive(a.Type); t != nil && t.Kind() == mtype.KindUnit {
+					return Choice{Alt: i, V: Unit{}}, nil
+				}
+			}
+			return nil, fmt.Errorf("value: null for %s, which has no unit alternative", ty)
+		}
+		obj, ok := tree.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf(`value: want {"alt": N, "value": V} for %s, got %T`, ty, tree)
+		}
+		num, ok := obj["alt"].(json.Number)
+		if !ok {
+			return nil, fmt.Errorf(`value: choice object for %s lacks numeric "alt"`, ty)
+		}
+		alt64, err := num.Int64()
+		if err != nil || alt64 < 0 || int(alt64) >= len(alts) {
+			return nil, fmt.Errorf("value: alternative %s out of range (0..%d)", num, len(alts)-1)
+		}
+		inner, err := jsonDecode(alts[alt64].Type, obj["value"], depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("alternative %d: %w", alt64, err)
+		}
+		return Choice{Alt: int(alt64), V: inner}, nil
+	default:
+		return nil, fmt.Errorf("value: unsupported type kind %s", ty.Kind())
+	}
+}
+
+func skipRecursive(ty *mtype.Type) *mtype.Type {
+	for i := 0; ty != nil && ty.Kind() == mtype.KindRecursive; i++ {
+		if i > 1<<10 {
+			return nil
+		}
+		ty = ty.Body()
+	}
+	return ty
+}

@@ -1,0 +1,95 @@
+package value
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/mtype"
+)
+
+func roundTrip(t *testing.T, ty *mtype.Type, v Value, wantJSON string) {
+	t.Helper()
+	data, err := ToJSON(ty, v)
+	if err != nil {
+		t.Fatalf("ToJSON: %v", err)
+	}
+	if wantJSON != "" && string(data) != wantJSON {
+		t.Errorf("ToJSON = %s, want %s", data, wantJSON)
+	}
+	back, err := FromJSON(ty, data)
+	if err != nil {
+		t.Fatalf("FromJSON(%s): %v", data, err)
+	}
+	if !Equal(v, back) {
+		t.Errorf("round trip: %v → %s → %v", v, data, back)
+	}
+}
+
+func TestJSONLeaves(t *testing.T) {
+	roundTrip(t, mtype.NewIntegerBits(32, true), NewInt(-7), "-7")
+	roundTrip(t, mtype.NewFloat64(), Real{V: 2.5}, "2.5")
+	roundTrip(t, mtype.NewCharacter(mtype.RepUnicode), Char{R: 'λ'}, `"λ"`)
+	roundTrip(t, mtype.Unit(), Unit{}, "null")
+	roundTrip(t, mtype.NewPort(mtype.Unit()), Port{Ref: "obj/9"}, `"obj/9"`)
+}
+
+func TestJSONBigInteger(t *testing.T) {
+	// A uint64-range value that does not fit in int64 survives the trip.
+	big64 := new(big.Int).SetUint64(1 << 63)
+	ty := mtype.NewIntegerBits(64, false)
+	roundTrip(t, ty, Int{V: big64}, "9223372036854775808")
+}
+
+func TestJSONRecordAndChoice(t *testing.T) {
+	rec := mtype.RecordOf(mtype.NewIntegerBits(16, true), mtype.NewFloat32())
+	roundTrip(t, rec, NewRecord(NewInt(3), Real{V: 1.5}), "[3,1.5]")
+
+	ch := mtype.ChoiceOf(mtype.Unit(), mtype.NewIntegerBits(8, false))
+	roundTrip(t, ch, Choice{Alt: 1, V: NewInt(200)}, `{"alt":1,"value":200}`)
+	roundTrip(t, ch, Choice{Alt: 0, V: Unit{}}, "")
+
+	// null decodes as the unit alternative of an optional.
+	v, err := FromJSON(mtype.NewOptional(mtype.NewFloat64()), []byte("null"))
+	if err != nil || !Equal(v, Null()) {
+		t.Errorf("null optional = %v, %v", v, err)
+	}
+}
+
+func TestJSONStringsAndLists(t *testing.T) {
+	str := mtype.NewList(mtype.NewCharacter(mtype.RepUnicode))
+	roundTrip(t, str, FromSlice([]Value{Char{R: 'h'}, Char{R: 'i'}}), `"hi"`)
+	roundTrip(t, str, ListNil(), `""`)
+
+	ints := mtype.NewList(mtype.NewIntegerBits(32, true))
+	roundTrip(t, ints, FromSlice([]Value{NewInt(1), NewInt(2), NewInt(3)}), "[1,2,3]")
+
+	// Nested: a list of records carrying strings.
+	item := mtype.RecordOf(str, mtype.NewIntegerBits(32, true))
+	roundTrip(t, mtype.NewList(item),
+		FromSlice([]Value{
+			NewRecord(FromSlice([]Value{Char{R: 'a'}}), NewInt(1)),
+			NewRecord(ListNil(), NewInt(2)),
+		}),
+		`[["a",1],["",2]]`)
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := []struct {
+		ty   *mtype.Type
+		in   string
+		want string
+	}{
+		{mtype.NewIntegerBits(32, true), `"x"`, "want number"},
+		{mtype.NewIntegerBits(32, true), `1.5`, "not an integer"},
+		{mtype.NewCharacter(mtype.RepUnicode), `"ab"`, "one-character"},
+		{mtype.RecordOf(mtype.Unit()), `[null,null]`, "1-element array"},
+		{mtype.ChoiceOf(mtype.Unit(), mtype.Unit()), `{"alt":5,"value":null}`, "out of range"},
+		{mtype.ChoiceOf(mtype.NewFloat64()), `null`, "no unit alternative"},
+	}
+	for _, c := range cases {
+		if _, err := FromJSON(c.ty, []byte(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("FromJSON(%s, %s) error = %v, want %q", c.ty, c.in, err, c.want)
+		}
+	}
+}

@@ -67,6 +67,18 @@ func Unmarshal(ty *mtype.Type, data []byte) (value.Value, error) {
 	return NewDecoder(ty).Unmarshal(data)
 }
 
+// UnmarshalPrefix decodes one value of ty from the front of data and
+// returns the number of bytes consumed, allowing callers to frame a CDR
+// value followed by further payload (the broker protocol's convert op
+// does exactly this). Alignment is relative to the start of data.
+func UnmarshalPrefix(ty *mtype.Type, data []byte) (value.Value, int, error) {
+	v, n, err := decode(data, 0, ty)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, n, nil
+}
+
 func unfold(t *mtype.Type) *mtype.Type {
 	for t != nil && t.Kind() == mtype.KindRecursive {
 		t = t.Body()
@@ -79,32 +91,7 @@ func unfold(t *mtype.Type) *mtype.Type {
 // on the wire as CDR sequences (length + elements) rather than one
 // discriminant per cons cell.
 func listShape(t *mtype.Type) (elem *mtype.Type, ok bool) {
-	if t.Kind() != mtype.KindRecursive {
-		return nil, false
-	}
-	body := unfold(t)
-	if body == nil || body.Kind() != mtype.KindChoice {
-		return nil, false
-	}
-	alts := body.Alts()
-	if len(alts) != 2 {
-		return nil, false
-	}
-	if unfold(alts[0].Type).Kind() != mtype.KindUnit {
-		return nil, false
-	}
-	cons := unfold(alts[1].Type)
-	if cons.Kind() != mtype.KindRecord {
-		return nil, false
-	}
-	fields := cons.Fields()
-	if len(fields) != 2 {
-		return nil, false
-	}
-	if fields[1].Type != t {
-		return nil, false
-	}
-	return fields[0].Type, true
+	return mtype.ListElem(t)
 }
 
 // intWidth returns the CDR width (1, 2, 4, or 8 bytes) and signedness
