@@ -18,6 +18,7 @@ import (
 	"repro/internal/jheap"
 	"repro/internal/mtype"
 	"repro/internal/orb"
+	"repro/internal/resil"
 	"repro/internal/synth"
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -629,6 +630,48 @@ func BenchmarkBrokerCachedCompare(b *testing.B) {
 			v, err := br.Compare("a", "big", "b", "big")
 			if err != nil || !v.Cached {
 				b.Fatalf("verdict = %+v err=%v", v, err)
+			}
+		}
+	})
+}
+
+// --- Resilient transport: pooled connections vs per-call dials ---
+
+// BenchmarkPooledVsFreshDial measures what the resil pool buys over the
+// naive remote-client pattern of dialing a fresh orb connection per
+// call: "fresh" pays TCP setup and teardown every iteration, "pooled"
+// reuses one warm connection through the resil client.
+func BenchmarkPooledVsFreshDial(b *testing.B) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	body := []byte("sixteen byte load")
+
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := orb.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Invoke("echo", 0, body); err != nil {
+				b.Fatal(err)
+			}
+			_ = c.Close()
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		c := resil.New(srv.Addr(), resil.Options{})
+		defer c.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Invoke("echo", 0, body); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

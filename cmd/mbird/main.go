@@ -12,9 +12,15 @@
 //	mbird emit    (compare flags) -pkg NAME -func NAME
 //	mbird save    (compare flags) -out project.json
 //	mbird show    project.json
-//	mbird remote compare -addr HOST:PORT (compare flags)
+//	mbird remote compare -addr HOST:PORT (compare flags) (transport flags)
 //	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json]
-//	mbird remote stats   -addr HOST:PORT
+//	mbird remote stats   -addr HOST:PORT (transport flags)
+//
+// The transport flags tune the resilient client (internal/resil) the
+// remote subcommands use: -timeout bounds each call, -dial-timeout each
+// connection attempt, -retries the attempts per call for connection-level
+// failures, and -hedge duplicates read-only requests (compare, stats)
+// onto a second connection when the first is slow.
 //
 // compare prints the relation (equivalent, subtype, or a mismatch
 // diagnosis); emit prints the generated request-direction converter for
@@ -36,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/cmem"
@@ -43,6 +50,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/plan"
 	"repro/internal/project"
+	"repro/internal/resil"
 	"repro/internal/value"
 )
 
@@ -350,12 +358,40 @@ func (s *side) remoteLoad(c *broker.Client) (universe string, err error) {
 	return universe, err
 }
 
+// transportFlags are the shared resilient-transport knobs of the remote
+// subcommands.
+type transportFlags struct {
+	addr        string
+	timeout     time.Duration
+	dialTimeout time.Duration
+	retries     int
+	hedge       bool
+}
+
+func (tf *transportFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&tf.addr, "addr", "127.0.0.1:7465", "broker daemon address")
+	fs.DurationVar(&tf.timeout, "timeout", 15*time.Second, "per-call deadline (0 = library default, negative = none)")
+	fs.DurationVar(&tf.dialTimeout, "dial-timeout", 5*time.Second, "per-connection dial deadline")
+	fs.IntVar(&tf.retries, "retries", 3, "attempts per call for connection-level failures")
+	fs.BoolVar(&tf.hedge, "hedge", false, "hedge slow read-only requests on a second connection")
+}
+
+// dial builds a broker client over the resilient pooled transport.
+func (tf *transportFlags) dial() *broker.Client {
+	return broker.NewTransportClient(resil.New(tf.addr, resil.Options{
+		CallTimeout: tf.timeout,
+		DialTimeout: tf.dialTimeout,
+		MaxAttempts: tf.retries,
+		Hedge:       tf.hedge,
+	}))
+}
+
 // remotePair parses the shared remote flags, connects, and loads both
 // sides onto the daemon.
 func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *broker.Client, a, b *side, ua, ub string, err error) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
-	var addr string
-	fs.StringVar(&addr, "addr", "127.0.0.1:7465", "broker daemon address")
+	var tf transportFlags
+	tf.register(fs)
 	a, b = &side{}, &side{}
 	a.register(fs, "a-")
 	b.register(fs, "b-")
@@ -368,9 +404,7 @@ func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *br
 	if a.decl == "" || b.decl == "" {
 		return nil, nil, nil, "", "", fmt.Errorf("missing -a-decl/-b-decl")
 	}
-	if c, err = broker.DialClient(addr); err != nil {
-		return nil, nil, nil, "", "", err
-	}
+	c = tf.dial()
 	if ua, err = a.remoteLoad(c); err == nil {
 		ub, err = b.remoteLoad(c)
 	}
@@ -458,15 +492,12 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 
 func cmdRemoteStats(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("remote stats", flag.ContinueOnError)
-	var addr string
-	fs.StringVar(&addr, "addr", "127.0.0.1:7465", "broker daemon address")
+	var tf transportFlags
+	tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := broker.DialClient(addr)
-	if err != nil {
-		return err
-	}
+	c := tf.dial()
 	defer c.Close()
 	st, err := c.Stats()
 	if err != nil {
@@ -476,6 +507,7 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 		st.CompareHits, st.CompareMisses, st.CompareCoalesced, st.CompareRuns, st.CompareTotal, st.VerdictEntries)
 	fmt.Fprintf(out, "convert:  %d hits, %d misses, %d coalesced, %d compiles (%v total), %d cached converters\n",
 		st.ConvertHits, st.ConvertMisses, st.ConvertCoalesced, st.Compiles, st.CompileTotal, st.ConverterEntries)
-	fmt.Fprintf(out, "evictions: %d, in-flight: %d\n", st.Evictions, st.InFlight)
+	fmt.Fprintf(out, "evictions: %d, in-flight: %d, server deadlines exceeded: %d\n",
+		st.Evictions, st.InFlight, st.DeadlineExceeded)
 	return nil
 }

@@ -1,0 +1,78 @@
+// Command mbirdchaos is a fault-injecting TCP proxy for exercising the
+// orb/broker stack under bad networks (see internal/chaos). Point a
+// client at its listen address and it forwards to the target while
+// injecting the configured faults.
+//
+// Usage:
+//
+//	mbirdchaos -listen 127.0.0.1:7466 -target 127.0.0.1:7465
+//	           [-latency D] [-jitter D] [-chunk N]
+//	           [-reset-after N] [-blackhole-after N] [-truncate-after N]
+//	           [-drop-on-accept]
+//
+// The byte budgets (-reset-after and friends) are per connection pair and
+// shared across both directions, so a budget of 100 kills the connection
+// once 100 bytes total have crossed it in either direction. mbirdchaos
+// runs until killed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// setup parses args and starts the proxy, so tests can run the whole
+// flag-to-proxy path in-process on ephemeral ports.
+func setup(args []string) (*chaos.Proxy, error) {
+	fs := flag.NewFlagSet("mbirdchaos", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:7466", "address to listen on")
+		target = fs.String("target", "127.0.0.1:7465", "address to forward to")
+		f      chaos.Faults
+	)
+	fs.DurationVar(&f.Latency, "latency", 0, "base delay per forwarded chunk")
+	fs.DurationVar(&f.Jitter, "jitter", 0, "random extra delay per chunk, uniform in [0, jitter)")
+	fs.IntVar(&f.ChunkSize, "chunk", 0, "split writes into chunks of at most N bytes (0 = unsplit)")
+	fs.Int64Var(&f.ResetAfter, "reset-after", 0, "RST the connection after N bytes (0 = never)")
+	fs.Int64Var(&f.BlackholeAfter, "blackhole-after", 0, "silently drop traffic after N bytes (0 = never)")
+	fs.Int64Var(&f.TruncateAfter, "truncate-after", 0, "half-close cleanly after N bytes (0 = never)")
+	fs.BoolVar(&f.DropOnAccept, "drop-on-accept", false, "reset every connection immediately on accept")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return chaos.New(*listen, *target, f)
+}
+
+func main() {
+	p, err := setup(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbirdchaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mbirdchaos: listening on %s\n", p.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			st := p.Stats()
+			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations\n",
+				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations)
+			_ = p.Close()
+			return
+		case <-ticker.C:
+			st := p.Stats()
+			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations\n",
+				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations)
+		}
+	}
+}

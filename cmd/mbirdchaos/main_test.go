@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// TestChaosCLIProxiesOrbTraffic runs the whole flag-to-proxy path: an
+// orb server behind a CLI-configured proxy, with a latency fault that
+// must slow the call without breaking it.
+func TestChaosCLIProxiesOrbTraffic(t *testing.T) {
+	s, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		return body, nil
+	})
+
+	p, err := setup([]string{
+		"-listen", "127.0.0.1:0",
+		"-target", s.Addr(),
+		"-latency", "10ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+
+	c, err := orb.Dial(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	start := time.Now()
+	reply, err := c.Invoke("echo", 0, []byte("through the cli proxy"))
+	if err != nil || string(reply) != "through the cli proxy" {
+		t.Fatalf("reply = %q err = %v", reply, err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("call took %v, want ≥ 10ms of injected latency", elapsed)
+	}
+	if st := p.Stats(); st.Accepted != 1 || st.ForwardedBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	if _, err := setup([]string{"-bogus-flag"}); err == nil {
+		t.Error("bogus flag parsed successfully")
+	}
+}

@@ -9,12 +9,21 @@
 //
 //	mbirdd [-addr 127.0.0.1:7465] [-cache N] [-workers N]
 //	       [-max-body BYTES] [-max-key BYTES]
+//	       [-req-timeout D] [-drain D]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener closes,
+// in-flight requests get up to -drain to finish, then remaining
+// connections are force-closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/core"
@@ -22,11 +31,13 @@ import (
 )
 
 type config struct {
-	addr    string
-	cache   int
-	workers int
-	maxBody int
-	maxKey  int
+	addr       string
+	cache      int
+	workers    int
+	maxBody    int
+	maxKey     int
+	reqTimeout time.Duration
+	drain      time.Duration
 }
 
 func (c *config) register(fs *flag.FlagSet) {
@@ -35,6 +46,8 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.workers, "workers", 0, "max concurrent compare/compile fills (0 = GOMAXPROCS)")
 	fs.IntVar(&c.maxBody, "max-body", 0, "orb frame body limit in bytes (0 = 16 MiB default)")
 	fs.IntVar(&c.maxKey, "max-key", 0, "orb object key limit in bytes (0 = 4 KiB default)")
+	fs.DurationVar(&c.reqTimeout, "req-timeout", 0, "per-request server deadline (0 = unbounded)")
+	fs.DurationVar(&c.drain, "drain", 10*time.Second, "graceful shutdown drain window")
 }
 
 // serve starts a broker daemon on cfg.addr and returns the running server
@@ -55,6 +68,7 @@ func serve(cfg config) (*orb.Server, *broker.Broker, error) {
 	b := broker.New(core.NewSession(), broker.Options{
 		VerdictCacheSize: cfg.cache,
 		Workers:          cfg.workers,
+		RequestTimeout:   cfg.reqTimeout,
 	})
 	broker.Serve(srv, b)
 	return srv, b, nil
@@ -72,5 +86,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mbirdd: serving on %s\n", srv.Addr())
-	select {} // serve until killed
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("mbirdd: %v, draining for up to %v\n", s, cfg.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mbirdd: drain incomplete:", err)
+		os.Exit(1)
+	}
 }

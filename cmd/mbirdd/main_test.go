@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +11,10 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/resil"
 	"repro/internal/value"
 )
 
@@ -205,5 +210,75 @@ func TestDaemonEndToEnd(t *testing.T) {
 	t.Logf("cold=%v warm(median)=%v", cold, warm)
 	if warm >= cold {
 		t.Errorf("warm compare %v not faster than cold %v", warm, cold)
+	}
+}
+
+// TestChaosDaemonResilience drives a real daemon through the chaos proxy
+// with the resil client: a degraded-but-working network first, then a
+// black-holed one (fail fast on the client's deadline), then a healed one
+// (transparent re-dial, warm caches answer instantly).
+func TestChaosDaemonResilience(t *testing.T) {
+	srv, _, err := serve(config{addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := chaos.New("127.0.0.1:0", srv.Addr(), chaos.Faults{
+		Latency:   2 * time.Millisecond,
+		Jitter:    time.Millisecond,
+		ChunkSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rc := resil.New(p.Addr(), resil.Options{
+		PoolSize:    2,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	})
+	c := broker.NewTransportClient(rc)
+	defer c.Close()
+
+	// Phase 1: slow, chunked network — everything still works.
+	if _, _, err := c.Load("a", "c", "ilp32", "typedef struct { float r; int n; } mix;", ""); err != nil {
+		t.Fatalf("load through degraded network: %v", err)
+	}
+	if _, _, err := c.Load("b", "c", "ilp32", "typedef struct { int count; float ratio; } pair;", ""); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Compare("a", "mix", "b", "pair")
+	if err != nil || v.Relation != core.RelEquivalent {
+		t.Fatalf("compare through degraded network = %+v err=%v", v, err)
+	}
+
+	// Phase 2: the network black-holes. The budget is long spent on the
+	// pooled connections, so the next call hangs at the proxy; the
+	// client-side deadline must cut it loose with a typed error.
+	p.SetFaults(chaos.Faults{BlackholeAfter: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	start := time.Now()
+	_, err = c.CompareContext(ctx, "a", "mix", "b", "pair")
+	cancel()
+	if !errors.Is(err, orb.ErrDeadline) {
+		t.Fatalf("black-holed compare err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("black-holed compare took %v, want fail-fast near 300ms", elapsed)
+	}
+
+	// Phase 3: the network heals. The condemned connection is replaced by
+	// a fresh dial through the healed proxy and the cached verdict comes
+	// straight back.
+	p.SetFaults(chaos.Faults{})
+	v, err = c.Compare("a", "mix", "b", "pair")
+	if err != nil || v.Relation != core.RelEquivalent || !v.Cached {
+		t.Fatalf("post-heal compare = %+v err=%v", v, err)
+	}
+	st := rc.Stats()
+	if st.Dials < 2 {
+		t.Errorf("resil stats = %+v, want a re-dial after the heal", st)
 	}
 }

@@ -56,6 +56,11 @@ type Options struct {
 	// Workers bounds concurrent cache fills — compare runs and converter
 	// compilations (default GOMAXPROCS).
 	Workers int
+	// RequestTimeout bounds each protocol request served through
+	// Handler: past it the client receives a deadline error while the
+	// underlying work is abandoned to finish (and warm the caches) in
+	// the background. 0 disables.
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +103,7 @@ type Broker struct {
 	compares  atomic.Int64
 	compareNs atomic.Int64
 	compileNs atomic.Int64
+	deadlines atomic.Int64
 }
 
 // verdictEntry is a cached compare outcome, freed of the session-owned
@@ -379,6 +385,9 @@ type Stats struct {
 	// Shared.
 	Evictions int64
 	InFlight  int64
+	// DeadlineExceeded counts protocol requests that outlived the
+	// server-side RequestTimeout.
+	DeadlineExceeded int64
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -398,7 +407,8 @@ func (b *Broker) Stats() Stats {
 		CompileTotal:     time.Duration(b.compileNs.Load()),
 		ConverterEntries: b.converters.len(),
 
-		Evictions: b.verdicts.evictions.Load() + b.converters.evictions.Load(),
-		InFlight:  b.inFlight.Load(),
+		Evictions:        b.verdicts.evictions.Load() + b.converters.evictions.Load(),
+		InFlight:         b.inFlight.Load(),
+		DeadlineExceeded: b.deadlines.Load(),
 	}
 }

@@ -8,6 +8,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,7 +57,7 @@ var (
 	statsT       = protoRecord(
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // compare: hits, misses, coalesced, runs, totalNs, entries
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
-		protoIntT, protoIntT, // evictions, inFlight
+		protoIntT, protoIntT, protoIntT, // evictions, inFlight, deadlineExceeded
 	)
 )
 
@@ -139,7 +140,39 @@ func Serve(srv *orb.Server, b *Broker) {
 }
 
 // Handler returns the orb handler implementing the broker protocol.
+// When the broker's RequestTimeout is set, each request is bounded by
+// it: the client gets a prompt deadline error while the session work
+// runs to completion in the background (caches still warm, so a retry
+// after the deadline is usually a hit).
 func Handler(b *Broker) orb.Handler {
+	h := handler(b)
+	d := b.opts.RequestTimeout
+	if d <= 0 {
+		return h
+	}
+	return func(op uint32, body []byte) ([]byte, error) {
+		type res struct {
+			body []byte
+			err  error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			body, err := h(op, body)
+			ch <- res{body, err}
+		}()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case r := <-ch:
+			return r.body, r.err
+		case <-t.C:
+			b.deadlines.Add(1)
+			return nil, fmt.Errorf("broker: request exceeded server deadline %v", d)
+		}
+	}
+}
+
+func handler(b *Broker) orb.Handler {
 	return func(op uint32, body []byte) ([]byte, error) {
 		switch op {
 		case OpLoad:
@@ -234,7 +267,7 @@ func Handler(b *Broker) orb.Handler {
 				intVal(st.CompareRuns), intVal(st.CompareTotal.Nanoseconds()), intVal(int64(st.VerdictEntries)),
 				intVal(st.ConvertHits), intVal(st.ConvertMisses), intVal(st.ConvertCoalesced),
 				intVal(st.Compiles), intVal(st.CompileTotal.Nanoseconds()), intVal(int64(st.ConverterEntries)),
-				intVal(st.Evictions), intVal(st.InFlight)))
+				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -242,36 +275,61 @@ func Handler(b *Broker) orb.Handler {
 	}
 }
 
+// Transport is the connection a broker Client speaks through: a plain
+// orb.Client, or a resilience layer such as resil.Client (pooled,
+// deadline-bounded, retrying — safe here because every broker op is
+// idempotent: verdicts and converters are content-addressed by
+// fingerprint and loads are keyed by universe name).
+type Transport interface {
+	InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error)
+	Close() error
+}
+
 // Client is a typed client for the broker protocol, safe for concurrent
 // use (orb clients pipeline requests).
 type Client struct {
-	c *orb.Client
+	t Transport
 }
 
 // NewClient wraps an established orb connection.
-func NewClient(c *orb.Client) *Client { return &Client{c: c} }
+func NewClient(c *orb.Client) *Client { return &Client{t: c} }
 
-// DialClient connects to a broker daemon.
+// NewTransportClient wraps any Transport — typically a resil.Client for
+// pooling, deadlines, retries, and hedging.
+func NewTransportClient(t Transport) *Client { return &Client{t: t} }
+
+// DialTimeout bounds DialClient's connection attempt.
+const DialTimeout = 10 * time.Second
+
+// DialClient connects to a broker daemon over a single orb connection,
+// bounding the dial by DialTimeout.
 func DialClient(addr string) (*Client, error) {
-	c, err := orb.Dial(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), DialTimeout)
+	defer cancel()
+	c, err := orb.DialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: c}, nil
+	return &Client{t: c}, nil
 }
 
-// Close tears down the underlying connection.
-func (c *Client) Close() error { return c.c.Close() }
+// Close tears down the underlying transport.
+func (c *Client) Close() error { return c.t.Close() }
 
 // Load ships a declaration source to the daemon. It is idempotent per
 // universe name: existed reports that the universe was already loaded and
 // the source was ignored.
 func (c *Client) Load(universe, lang, model, src, script string) (names []string, existed bool, err error) {
+	return c.LoadContext(context.Background(), universe, lang, model, src, script)
+}
+
+// LoadContext is Load bounded by a context.
+func (c *Client) LoadContext(ctx context.Context, universe, lang, model, src, script string) (names []string, existed bool, err error) {
 	body, err := marshalStrings(loadReqT, universe, lang, model, src, script)
 	if err != nil {
 		return nil, false, err
 	}
-	reply, err := c.c.Invoke(ObjectKey, OpLoad, body)
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpLoad, body)
 	if err != nil {
 		return nil, false, err
 	}
@@ -299,11 +357,16 @@ func (c *Client) Load(universe, lang, model, src, script string) (names []string
 
 // Annotate applies a script to a loaded universe on the daemon.
 func (c *Client) Annotate(universe, script string) (lines, applied int, err error) {
+	return c.AnnotateContext(context.Background(), universe, script)
+}
+
+// AnnotateContext is Annotate bounded by a context.
+func (c *Client) AnnotateContext(ctx context.Context, universe, script string) (lines, applied int, err error) {
 	body, err := marshalStrings(annotateReqT, universe, script)
 	if err != nil {
 		return 0, 0, err
 	}
-	reply, err := c.c.Invoke(ObjectKey, OpAnnotate, body)
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpAnnotate, body)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -325,11 +388,16 @@ func (c *Client) Annotate(universe, script string) (lines, applied int, err erro
 
 // Compare asks the daemon for the relation between two declarations.
 func (c *Client) Compare(ua, da, ub, db string) (Verdict, error) {
+	return c.CompareContext(context.Background(), ua, da, ub, db)
+}
+
+// CompareContext is Compare bounded by a context.
+func (c *Client) CompareContext(ctx context.Context, ua, da, ub, db string) (Verdict, error) {
 	body, err := marshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return Verdict{}, err
 	}
-	reply, err := c.c.Invoke(ObjectKey, OpCompare, body)
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpCompare, body)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -364,11 +432,16 @@ func (c *Client) Compare(ua, da, ub, db string) (Verdict, error) {
 
 // Plan fetches the rendered coercion plan for a pair.
 func (c *Client) Plan(ua, da, ub, db string) (string, error) {
+	return c.PlanContext(context.Background(), ua, da, ub, db)
+}
+
+// PlanContext is Plan bounded by a context.
+func (c *Client) PlanContext(ctx context.Context, ua, da, ub, db string) (string, error) {
 	body, err := marshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return "", err
 	}
-	reply, err := c.c.Invoke(ObjectKey, OpPlan, body)
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpPlan, body)
 	if err != nil {
 		return "", err
 	}
@@ -384,21 +457,31 @@ func (c *Client) Plan(ua, da, ub, db string) (string, error) {
 // the declarations' Mtypes (which it can lower locally from the same
 // sources it loaded).
 func (c *Client) ConvertRaw(ua, da, ub, db string, payload []byte) ([]byte, error) {
+	return c.ConvertRawContext(context.Background(), ua, da, ub, db, payload)
+}
+
+// ConvertRawContext is ConvertRaw bounded by a context.
+func (c *Client) ConvertRawContext(ctx context.Context, ua, da, ub, db string, payload []byte) ([]byte, error) {
 	hdr, err := marshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return nil, err
 	}
-	return c.c.Invoke(ObjectKey, OpConvert, append(hdr, payload...))
+	return c.t.InvokeContext(ctx, ObjectKey, OpConvert, append(hdr, payload...))
 }
 
 // Convert is ConvertRaw with client-side marshaling against the two
 // Mtypes (typically lowered by a local session from the same sources).
 func (c *Client) Convert(ua, da, ub, db string, mtA, mtB *mtype.Type, v value.Value) (value.Value, error) {
+	return c.ConvertContext(context.Background(), ua, da, ub, db, mtA, mtB, v)
+}
+
+// ConvertContext is Convert bounded by a context.
+func (c *Client) ConvertContext(ctx context.Context, ua, da, ub, db string, mtA, mtB *mtype.Type, v value.Value) (value.Value, error) {
 	payload, err := wire.Marshal(mtA, v)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := c.ConvertRaw(ua, da, ub, db, payload)
+	reply, err := c.ConvertRawContext(ctx, ua, da, ub, db, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +490,12 @@ func (c *Client) Convert(ua, da, ub, db string, mtA, mtB *mtype.Type, v value.Va
 
 // Stats fetches the daemon's counter snapshot.
 func (c *Client) Stats() (Stats, error) {
-	reply, err := c.c.Invoke(ObjectKey, OpStats, nil)
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats bounded by a context.
+func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -428,7 +516,7 @@ func (c *Client) Stats() (Stats, error) {
 		CompareRuns: get(3), CompareTotal: time.Duration(get(4)), VerdictEntries: int(get(5)),
 		ConvertHits: get(6), ConvertMisses: get(7), ConvertCoalesced: get(8),
 		Compiles: get(9), CompileTotal: time.Duration(get(10)), ConverterEntries: int(get(11)),
-		Evictions: get(12), InFlight: get(13),
+		Evictions: get(12), InFlight: get(13), DeadlineExceeded: get(14),
 	}
 	return st, err
 }

@@ -3,18 +3,20 @@ package broker
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/orb"
+	"repro/internal/resil"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
 
-// startDaemon serves a fresh broker on a loopback orb server and returns
-// a connected protocol client.
-func startDaemon(t *testing.T) (*Broker, *Client) {
+// startDaemonOpts serves a broker built with opts on a loopback orb
+// server and returns it alongside a connected protocol client.
+func startDaemonOpts(t *testing.T, opts Options) (*Broker, *Client) {
 	t.Helper()
-	b := newBroker(Options{})
+	b := newBroker(opts)
 	srv, err := orb.NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +29,12 @@ func startDaemon(t *testing.T) (*Broker, *Client) {
 	}
 	t.Cleanup(func() { c.Close() })
 	return b, c
+}
+
+// startDaemon is startDaemonOpts with defaults.
+func startDaemon(t *testing.T) (*Broker, *Client) {
+	t.Helper()
+	return startDaemonOpts(t, Options{})
 }
 
 func TestProtocolRoundTrip(t *testing.T) {
@@ -130,5 +138,72 @@ func TestProtocolErrors(t *testing.T) {
 	if _, err := c.ConvertRaw("u", "fa", "u", "cc", payload); err == nil ||
 		!strings.Contains(err.Error(), "do not match") {
 		t.Fatalf("convert error = %v", err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A deadline no real request can beat: every wire call fails promptly
+	// with a remote deadline error, while the session work completes in
+	// the background and warms the broker's state.
+	b, c := startDaemonOpts(t, Options{RequestTimeout: time.Nanosecond})
+	_, _, err := c.Load("x", "c", "ilp32", "typedef struct { int n; } one;", "")
+	if err == nil {
+		t.Fatal("load beat a 1ns server deadline")
+	}
+	if _, ok := err.(*orb.RemoteError); !ok {
+		t.Fatalf("error %T = %v, want RemoteError", err, err)
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error = %v, want a server deadline message", err)
+	}
+	if n := b.Stats().DeadlineExceeded; n < 1 {
+		t.Errorf("DeadlineExceeded = %d, want ≥ 1", n)
+	}
+	// Background completion: the universe materializes despite the
+	// client-visible failure.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := b.Mtype("x", "one"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out load never completed in the background")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestResilTransportRoundTrip(t *testing.T) {
+	// The protocol client runs over the resil pooled transport instead of
+	// a bare orb connection.
+	b := newBroker(Options{})
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	Serve(srv, b)
+	c := NewTransportClient(resil.New(srv.Addr(), resil.Options{}))
+	t.Cleanup(func() { c.Close() })
+
+	if _, _, err := c.Load("x", "c", "ilp32", "typedef struct { float r; int n; } mix;", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Load("y", "c", "ilp32", "typedef struct { int count; float ratio; } pair;", ""); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Compare("x", "mix", "y", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != core.RelEquivalent {
+		t.Fatalf("verdict = %+v", v)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompareRuns != 1 {
+		t.Errorf("CompareRuns = %d, want 1", st.CompareRuns)
 	}
 }

@@ -16,12 +16,14 @@
 package orb
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Message kinds.
@@ -46,6 +48,32 @@ const (
 // or object key exceeds the endpoint's configured limit, on either the
 // writing or the reading side.
 var ErrFrameTooLarge = errors.New("orb: frame exceeds limit")
+
+// Typed transport errors. Resilience layers (internal/resil) classify on
+// these: ErrConnClosed is a connection-level failure and safe to retry
+// against an idempotent service; ErrDeadline and ErrCanceled mean the
+// call's own context expired and the overall budget is spent.
+var (
+	// ErrConnClosed reports that the connection died (locally or
+	// remotely) before the call completed. All in-flight Invokes on a
+	// dying connection fail with an error wrapping ErrConnClosed.
+	ErrConnClosed = errors.New("orb: connection closed")
+	// ErrDeadline reports that the call's context deadline expired.
+	ErrDeadline = errors.New("orb: call deadline exceeded")
+	// ErrCanceled reports that the call's context was canceled.
+	ErrCanceled = errors.New("orb: call canceled")
+)
+
+// ctxErr maps a context error to the orb typed equivalent.
+func ctxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	}
+	return err
+}
 
 // Limits configures per-endpoint frame limits. The zero value selects the
 // defaults.
@@ -164,6 +192,7 @@ type Server struct {
 	handlers map[string]Handler
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
 	wg       sync.WaitGroup
 }
 
@@ -197,7 +226,8 @@ func (s *Server) Register(key string, h Handler) {
 }
 
 // Close stops the listener and all connections, and waits for the
-// serving goroutines to exit.
+// serving goroutines to exit. In-flight requests are abandoned; use
+// Shutdown to drain them first.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -210,6 +240,43 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: it stops accepting connections
+// and new frames, lets requests already dispatched finish and write
+// their replies, then closes every connection. If ctx expires before the
+// drain completes, remaining connections are closed forcibly (their
+// in-flight requests fail client-side with ErrConnClosed). Shutdown
+// always waits for the serving goroutines to exit before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for c := range s.conns {
+		// Nudge the per-connection read loops off their blocking reads:
+		// no new frames are picked up, while replies (writes) still flow.
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -218,7 +285,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
@@ -291,6 +358,14 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return "orb: remote: " + e.Msg }
 
+// result is one call's outcome, delivered through its pending-map slot:
+// either a reply/error frame or the connection-level error that killed
+// the call.
+type result struct {
+	f   frame
+	err error
+}
+
 // Client is a connection to a Server, safe for concurrent use. Requests
 // are pipelined and correlated by id.
 type Client struct {
@@ -301,7 +376,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan frame
+	pending map[uint64]chan result
 	err     error
 	done    chan struct{}
 }
@@ -309,25 +384,60 @@ type Client struct {
 // Dial connects to a server address. Options adjust the client's frame
 // limits (defaults: 16 MiB bodies, 4 KiB keys).
 func Dial(addr string, opts ...Option) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext connects to a server address, bounding the dial by the
+// context's deadline or cancellation.
+func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: dial: %w", err)
 	}
 	c := &Client{
 		conn:    conn,
 		lim:     applyOptions(opts),
-		pending: make(map[uint64]chan frame),
+		pending: make(map[uint64]chan result),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
-// Close tears down the connection; in-flight Invokes fail.
+// Close tears down the connection; in-flight Invokes fail with
+// ErrConnClosed.
 func (c *Client) Close() error {
 	err := c.conn.Close()
 	<-c.done
 	return err
+}
+
+// Err returns the connection's terminal error, or nil while the
+// connection is healthy. Connection pools use it as the health check.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// fail records the connection's terminal error and fails every in-flight
+// call with it, draining the pending map so no caller is left blocked
+// and no entry leaks.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			c.err = ErrConnClosed
+		} else {
+			c.err = fmt.Errorf("%w: %w", ErrConnClosed, err)
+		}
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- result{err: c.err}
+	}
 }
 
 func (c *Client) readLoop() {
@@ -335,19 +445,7 @@ func (c *Client) readLoop() {
 	for {
 		f, err := readFrame(c.conn, c.lim)
 		if err != nil {
-			c.mu.Lock()
-			if c.err == nil {
-				if errors.Is(err, io.EOF) {
-					c.err = errors.New("orb: connection closed")
-				} else {
-					c.err = err
-				}
-			}
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+			c.fail(err)
 			return
 		}
 		c.mu.Lock()
@@ -355,14 +453,50 @@ func (c *Client) readLoop() {
 		delete(c.pending, f.id)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- f
+			ch <- result{f: f}
 		}
 	}
+}
+
+// write serializes a frame onto the connection. When the context carries
+// a deadline it is applied as the write deadline; a write that fails for
+// any reason other than frame-limit validation may have left a partial
+// frame on the wire, so the connection is killed (failing all other
+// in-flight calls) rather than left unframeable.
+func (c *Client) write(ctx context.Context, f frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if d, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(d)
+		defer func() { _ = c.conn.SetWriteDeadline(time.Time{}) }()
+	}
+	err := writeFrame(c.conn, f, c.lim)
+	if err != nil && !errors.Is(err, ErrFrameTooLarge) {
+		_ = c.conn.Close()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return fmt.Errorf("%w: write: %v", ErrDeadline, err)
+		}
+		return fmt.Errorf("%w: write: %v", ErrConnClosed, err)
+	}
+	return err
 }
 
 // Invoke sends a request to the object's op and waits for the reply
 // body.
 func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
+	return c.InvokeContext(context.Background(), key, op, body)
+}
+
+// InvokeContext sends a request and waits for the reply body, honoring
+// the context: on deadline expiry or cancellation the pending call is
+// abandoned (its map entry removed, a late reply discarded) and a typed
+// ErrDeadline/ErrCanceled is returned. The connection itself stays
+// usable — only a write that timed out mid-frame poisons it.
+func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -371,40 +505,36 @@ func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan frame, 1)
+	ch := make(chan result, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, frame{kind: kindRequest, id: id, key: key, op: op, body: body}, c.lim)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.write(ctx, frame{kind: kindRequest, id: id, key: key, op: op, body: body}); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return nil, err
 	}
 
-	f, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("orb: connection closed")
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
 		}
-		return nil, err
+		if r.f.kind == kindError {
+			return nil, &RemoteError{Msg: string(r.f.body)}
+		}
+		return r.f.body, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctxErr(ctx.Err())
 	}
-	if f.kind == kindError {
-		return nil, &RemoteError{Msg: string(f.body)}
-	}
-	return f.body, nil
 }
 
 // Send delivers a one-way message: no reply, no delivery confirmation
 // (the messaging model the collaborative-objects project needed, §5).
 func (c *Client) Send(key string, op uint32, body []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, frame{kind: kindOneway, key: key, op: op, body: body}, c.lim)
+	return c.write(context.Background(), frame{kind: kindOneway, key: key, op: op, body: body})
 }

@@ -2,8 +2,10 @@ package orb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -362,5 +364,276 @@ func TestNoHeadOfLineBlocking(t *testing.T) {
 	close(slowRelease)
 	if err := <-slowDone; err != nil {
 		t.Fatalf("slow invoke: %v", err)
+	}
+}
+
+// --- context deadlines and cancellation ---
+
+func TestInvokeContextDeadline(t *testing.T) {
+	s := startServer(t)
+	release := make(chan struct{})
+	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+		<-release
+		return []byte("late"), nil
+	})
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	c := dial(t, s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.InvokeContext(ctx, "stall", 0, nil)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d pending entries after abandoned call", n)
+	}
+	// The connection stays usable, and the abandoned call's late reply is
+	// discarded rather than misdelivered.
+	close(release)
+	reply, err := c.Invoke("echo", 0, []byte("still alive"))
+	if err != nil || string(reply) != "still alive" {
+		t.Fatalf("invoke after deadline = %q, %v", reply, err)
+	}
+}
+
+func TestInvokeContextCancel(t *testing.T) {
+	s := startServer(t)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	c := dial(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.InvokeContext(ctx, "stall", 0, nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// A context that is dead on arrival never touches the wire.
+	if _, err := c.InvokeContext(ctx, "stall", 0, nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled err = %v, want ErrCanceled", err)
+	}
+}
+
+// --- connection death with calls in flight ---
+
+// When the connection dies mid-call, every in-flight Invoke must fail
+// promptly with the typed connection error and the pending-call map must
+// come back empty — no leaked entries, no caller blocked forever.
+func TestConnectionDeathFailsInFlightCalls(t *testing.T) {
+	s := startServer(t)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	c := dial(t, s)
+
+	const inflight = 8
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			_, err := c.Invoke("stall", 0, nil)
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n == inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d calls in flight", n, inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The transport dies under the client (not a graceful Close).
+	_ = c.conn.Close()
+	for i := 0; i < inflight; i++ {
+		if err := <-errs; !errors.Is(err, ErrConnClosed) {
+			t.Errorf("in-flight err = %v, want ErrConnClosed", err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d pending entries leaked after connection death", n)
+	}
+	// Later calls fail fast with the recorded terminal error.
+	if _, err := c.Invoke("stall", 0, nil); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("post-death err = %v, want ErrConnClosed", err)
+	}
+}
+
+// --- read-side key limits ---
+
+func TestReadSideKeyLimit(t *testing.T) {
+	cases := []struct {
+		name    string
+		keyLen  int
+		maxKey  int
+		wantErr bool
+	}{
+		{"at-limit", 8, 8, false},
+		{"over-limit", 9, 8, true},
+		{"default-at-limit", DefaultMaxKey, 0, false},
+		{"default-over-limit", DefaultMaxKey + 1, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key := strings.Repeat("k", tc.keyLen)
+			var buf bytes.Buffer
+			// A permissive writer produces the frame; the limits under
+			// test apply on the read side only.
+			wlim := Limits{MaxKey: tc.keyLen, MaxBody: DefaultMaxBody}
+			if err := writeFrame(&buf, frame{kind: kindRequest, id: 1, key: key}, wlim); err != nil {
+				t.Fatal(err)
+			}
+			f, err := readFrame(&buf, Limits{MaxKey: tc.maxKey}.withDefaults())
+			if tc.wantErr {
+				if !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+				}
+				return
+			}
+			if err != nil || f.key != key {
+				t.Fatalf("readFrame = %q, %v", f.key, err)
+			}
+		})
+	}
+}
+
+func TestReadSideKeyLimitServer(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", WithMaxKey(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	s.Register("12345678", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+
+	// The client's default limits allow the long key; the server's read
+	// side must refuse it and drop the connection.
+	c := dialAddr(t, s.Addr())
+	if _, err := c.Invoke("123456789", 0, nil); err == nil {
+		t.Fatal("oversized key was served")
+	}
+	c2 := dialAddr(t, s.Addr())
+	if _, err := c2.Invoke("12345678", 0, []byte("x")); err != nil {
+		t.Fatalf("in-limit key on fresh connection: %v", err)
+	}
+}
+
+// --- reply after close ---
+
+// A handler that finishes after its client has gone must not wedge or
+// crash the server: the reply write fails quietly and other connections
+// keep working.
+func TestReplyAfterClientClose(t *testing.T) {
+	s := startServer(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		return []byte("too late"), nil
+	})
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+
+	c := dial(t, s)
+	go func() { _, _ = c.Invoke("stall", 0, nil) }()
+	<-entered
+	_ = c.Close()
+	close(release) // the reply now goes to a dead connection
+
+	// The server keeps serving other clients.
+	c2 := dial(t, s)
+	reply, err := c2.Invoke("echo", 0, []byte("ok"))
+	if err != nil || string(reply) != "ok" {
+		t.Fatalf("invoke after orphaned reply = %q, %v", reply, err)
+	}
+}
+
+// --- graceful shutdown ---
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s := startServer(t)
+	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+		time.Sleep(150 * time.Millisecond)
+		return []byte("drained"), nil
+	})
+	c := dial(t, s)
+
+	got := make(chan struct{})
+	var reply []byte
+	var invokeErr error
+	go func() {
+		reply, invokeErr = c.Invoke("slow", 0, nil)
+		close(got)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request reach the server
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-got
+	if invokeErr != nil || string(reply) != "drained" {
+		t.Fatalf("in-flight call across drain = %q, %v", reply, invokeErr)
+	}
+	// The drained server accepts no new work.
+	if c2, err := Dial(s.Addr()); err == nil {
+		t.Cleanup(func() { _ = c2.Close() })
+		if _, err := c2.Invoke("slow", 0, nil); err == nil {
+			t.Error("invoke on a drained server succeeded")
+		}
+	}
+}
+
+func TestShutdownForceClosesOnContextExpiry(t *testing.T) {
+	s := startServer(t)
+	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+		time.Sleep(500 * time.Millisecond)
+		return []byte("too slow"), nil
+	})
+	c := dial(t, s)
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke("slow", 0, nil)
+		errs <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_ = s.Shutdown(ctx)
+	// The client sees its connection force-closed near the drain deadline,
+	// well before the handler would have finished.
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Errorf("force-closed call err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("force-closed call never returned")
+	}
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Errorf("Shutdown returned in %v, want it to wait for the handler goroutine", elapsed)
 	}
 }

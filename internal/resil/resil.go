@@ -1,0 +1,556 @@
+// Package resil is the resilient client transport over the orb runtime:
+// the layer that makes network-enabled stubs dependable when the network
+// is not. A resil.Client manages a bounded pool of orb connections to
+// one address and wraps every call with
+//
+//   - per-call deadlines: a default CallTimeout is applied when the
+//     caller's context carries none, enforced by orb's context-aware
+//     invoke (pending-call cancellation plus write deadlines);
+//   - health-checked pooling: connections are dialed lazily with a dial
+//     timeout, reused across calls (orb clients pipeline), discarded on
+//     connection-level failure, and reaped after sitting idle;
+//   - automatic retry: connection-level failures (ErrConnClosed, dial
+//     errors) back off exponentially with jitter and retry on a fresh
+//     or different connection. This is safe against the broker because
+//     its operations are idempotent — verdicts and converters are
+//     content-addressed by fingerprint, loads are keyed by universe
+//     name; remote handler errors are never retried;
+//   - optional hedging: when a call outlives the recent latency
+//     percentile, a second copy races it on another connection and the
+//     first success wins — masking a single slow or silently dead
+//     connection without waiting for the full deadline.
+//
+// The dependability failure modes themselves (latency, resets,
+// black-holes, truncation) are asserted against this client by the
+// chaos test matrix (internal/chaos).
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("resil: client closed")
+
+// Options configures a Client. Zero values select the defaults.
+type Options struct {
+	// PoolSize bounds the number of live connections (default 4).
+	PoolSize int
+	// IdleTimeout reaps connections with no in-flight calls that have
+	// been unused this long (default 60s).
+	IdleTimeout time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline applied when the caller's
+	// context has none (default 15s; negative disables).
+	CallTimeout time.Duration
+	// MaxAttempts bounds tries per call, the first included (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; it doubles per attempt with
+	// ±50% jitter (default 25ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay (default 1s).
+	BackoffMax time.Duration
+	// Hedge enables request hedging: a duplicate attempt is raced on
+	// another connection once a call outlives the hedge delay. Only
+	// enable against idempotent services.
+	Hedge bool
+	// HedgeAfter is a fixed hedge delay. When 0, the delay tracks the
+	// HedgePercentile of recently observed call latencies.
+	HedgeAfter time.Duration
+	// HedgePercentile selects the latency percentile used as the hedge
+	// delay when HedgeAfter is 0 (default 0.95).
+	HedgePercentile float64
+	// OrbOptions adjusts frame limits on pooled connections.
+	OrbOptions []orb.Option
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 15 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.HedgePercentile <= 0 || o.HedgePercentile >= 1 {
+		o.HedgePercentile = 0.95
+	}
+	return o
+}
+
+// Stats is a snapshot of a Client's counters.
+type Stats struct {
+	// Conns is the number of live pooled connections.
+	Conns int
+	// Dials counts connections established over the Client's lifetime.
+	Dials int64
+	// Discards counts connections dropped for failure or idleness.
+	Discards int64
+	// Retries counts retry attempts (not first attempts).
+	Retries int64
+	// Hedges counts hedge attempts launched; HedgeWins counts calls
+	// completed by the hedge rather than the primary.
+	Hedges, HedgeWins int64
+}
+
+// pconn is one pooled orb connection.
+type pconn struct {
+	c        *orb.Client
+	inflight atomic.Int64
+	lastUsed atomic.Int64 // unix nanos
+}
+
+// Client is a resilient, pooled client for one orb server address, safe
+// for concurrent use.
+type Client struct {
+	addr string
+	opts Options
+
+	mu      sync.Mutex
+	conns   []*pconn
+	dialing int
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	lat latencyWindow
+
+	dials     atomic.Int64
+	discards  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// New returns a Client for addr. Connections are dialed lazily on first
+// use; dial failures surface from the calls that need them.
+func New(addr string, opts Options) *Client {
+	c := &Client{
+		addr: addr,
+		opts: opts.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.reapLoop()
+	return c
+}
+
+// Close stops the idle reaper and tears down every pooled connection;
+// in-flight calls fail with ErrConnClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+	for _, pc := range conns {
+		_ = pc.c.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the Client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.conns)
+	c.mu.Unlock()
+	return Stats{
+		Conns:     n,
+		Dials:     c.dials.Load(),
+		Discards:  c.discards.Load(),
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+	}
+}
+
+// reapLoop closes connections that have sat idle past IdleTimeout.
+func (c *Client) reapLoop() {
+	defer close(c.done)
+	interval := c.opts.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-c.opts.IdleTimeout).UnixNano()
+		var idle []*pconn
+		c.mu.Lock()
+		live := c.conns[:0]
+		for _, pc := range c.conns {
+			if pc.inflight.Load() == 0 && pc.lastUsed.Load() < cutoff {
+				idle = append(idle, pc)
+				continue
+			}
+			live = append(live, pc)
+		}
+		c.conns = live
+		c.mu.Unlock()
+		for _, pc := range idle {
+			c.discards.Add(1)
+			_ = pc.c.Close()
+		}
+	}
+}
+
+// acquire returns a healthy pooled connection (dialing a new one when
+// the pool has room and no idle connection is available), marking it
+// in-flight. exclude steers a hedge attempt off the primary's
+// connection when the pool allows.
+func (c *Client) acquire(ctx context.Context, exclude *pconn) (*pconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Prune connections whose read loop has died.
+	var dead []*pconn
+	live := c.conns[:0]
+	for _, pc := range c.conns {
+		if pc.c.Err() != nil {
+			dead = append(dead, pc)
+			continue
+		}
+		live = append(live, pc)
+	}
+	c.conns = live
+	var best *pconn
+	for _, pc := range c.conns {
+		if pc == exclude {
+			continue
+		}
+		if best == nil || pc.inflight.Load() < best.inflight.Load() {
+			best = pc
+		}
+	}
+	canDial := len(c.conns)+c.dialing < c.opts.PoolSize
+	useBest := best != nil && (!canDial || best.inflight.Load() == 0)
+	if useBest {
+		best.inflight.Add(1)
+	} else if canDial {
+		c.dialing++
+	}
+	c.mu.Unlock()
+	for _, pc := range dead {
+		c.discards.Add(1)
+		_ = pc.c.Close()
+	}
+	if useBest {
+		return best, nil
+	}
+	if !canDial {
+		// Pool exhausted by exclusion (PoolSize 1 hedge): fall back to
+		// the excluded connection rather than failing.
+		if exclude != nil {
+			exclude.inflight.Add(1)
+			return exclude, nil
+		}
+		return nil, fmt.Errorf("resil: no usable connection to %s", c.addr)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, c.opts.DialTimeout)
+	oc, err := orb.DialContext(dctx, c.addr, c.opts.OrbOptions...)
+	cancel()
+	c.mu.Lock()
+	c.dialing--
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		_ = oc.Close()
+		return nil, ErrClosed
+	}
+	c.dials.Add(1)
+	pc := &pconn{c: oc}
+	pc.lastUsed.Store(time.Now().UnixNano())
+	pc.inflight.Add(1)
+	c.conns = append(c.conns, pc)
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// release returns a connection to the pool after a call.
+func (c *Client) release(pc *pconn) {
+	pc.lastUsed.Store(time.Now().UnixNano())
+	pc.inflight.Add(-1)
+}
+
+// discard removes a connection from the pool and closes it.
+func (c *Client) discard(pc *pconn) {
+	c.mu.Lock()
+	for i, q := range c.conns {
+		if q == pc {
+			c.conns = append(c.conns[:i], c.conns[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	c.discards.Add(1)
+	_ = pc.c.Close()
+}
+
+// retryable reports whether a failed call may be retried: only
+// connection-level failures qualify. Remote handler errors mean the
+// request was served; frame-limit errors are deterministic; deadline and
+// cancellation mean the call's own budget is spent.
+func retryable(err error) bool {
+	var re *orb.RemoteError
+	switch {
+	case errors.As(err, &re),
+		errors.Is(err, orb.ErrFrameTooLarge),
+		errors.Is(err, orb.ErrDeadline),
+		errors.Is(err, orb.ErrCanceled),
+		errors.Is(err, ErrClosed):
+		return false
+	}
+	return true
+}
+
+// discardable reports whether a call error condemns its connection.
+// Everything except a remote handler error or a local frame-limit
+// rejection does: even a deadline usually means the connection is
+// stalled, and against a pipelining peer a fresh dial is cheaper than
+// optimism.
+func discardable(err error) bool {
+	var re *orb.RemoteError
+	return !errors.As(err, &re) && !errors.Is(err, orb.ErrFrameTooLarge)
+}
+
+// Invoke is InvokeContext with the background context (so the default
+// CallTimeout still applies).
+func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
+	return c.InvokeContext(context.Background(), key, op, body)
+}
+
+// InvokeContext performs a resilient call: deadline-bounded, retried
+// with backoff on connection-level failure, hedged when enabled. The
+// error from the final attempt is returned, wrapped with the attempt
+// count when retries were exhausted.
+func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
+	if c.opts.CallTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+			defer cancel()
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.backoff(ctx, attempt); err != nil {
+				break
+			}
+		}
+		var reply []byte
+		var err error
+		if c.opts.Hedge {
+			reply, err = c.hedged(ctx, key, op, body)
+		} else {
+			reply, err = c.attempt(ctx, key, op, body, nil)
+		}
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("resil: %d attempts to %s failed: %w", c.opts.MaxAttempts, c.addr, lastErr)
+}
+
+// attempt runs one call on one pooled connection.
+func (c *Client) attempt(ctx context.Context, key string, op uint32, body []byte, exclude *pconn) ([]byte, error) {
+	pc, err := c.acquire(ctx, exclude)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	reply, err := pc.c.InvokeContext(ctx, key, op, body)
+	c.release(pc)
+	if err == nil {
+		c.lat.record(time.Since(start))
+	} else if discardable(err) {
+		c.discard(pc)
+	}
+	return reply, err
+}
+
+// hedged races a duplicate attempt against the primary once the hedge
+// delay elapses; the first success wins and the loser is canceled.
+func (c *Client) hedged(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		reply []byte
+		err   error
+		hedge bool
+	}
+	ch := make(chan res, 2)
+	run := func(hedge bool, exclude *pconn) *pconn {
+		pc, err := c.acquire(hctx, exclude)
+		if err != nil {
+			ch <- res{err: err, hedge: hedge}
+			return nil
+		}
+		go func() {
+			start := time.Now()
+			reply, err := pc.c.InvokeContext(hctx, key, op, body)
+			c.release(pc)
+			if err == nil {
+				c.lat.record(time.Since(start))
+			} else if discardable(err) && hctx.Err() == nil {
+				// Don't condemn the loser's connection just because the
+				// winner canceled it.
+				c.discard(pc)
+			}
+			ch <- res{reply: reply, err: err, hedge: hedge}
+		}()
+		return pc
+	}
+	primary := run(false, nil)
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	launched := 1
+	var lastErr error
+	for got := 0; got < launched; {
+		select {
+		case r := <-ch:
+			got++
+			if r.err == nil {
+				if r.hedge {
+					c.hedgeWins.Add(1)
+				}
+				return r.reply, nil
+			}
+			if lastErr == nil || !errors.Is(r.err, orb.ErrCanceled) {
+				lastErr = r.err
+			}
+		case <-timer.C:
+			if launched == 1 {
+				c.hedges.Add(1)
+				run(true, primary)
+				launched = 2
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// hedgeDelay is the time to let the primary run before hedging.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter
+	}
+	if d, ok := c.lat.percentile(c.opts.HedgePercentile); ok {
+		return d
+	}
+	// No samples yet: a conservative cold-start delay.
+	return 10 * time.Millisecond
+}
+
+// backoff sleeps the exponential-with-jitter retry delay, aborting if
+// the call's context expires first.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opts.BackoffBase << (attempt - 1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Jitter to ±50% so synchronized clients don't retry in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Ping round-trips a request for the empty object key: every orb server
+// answers it (with a "no object" remote error), so a RemoteError proves
+// the connection and server are live.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.InvokeContext(ctx, "", 0, nil)
+	var re *orb.RemoteError
+	if errors.As(err, &re) {
+		return nil
+	}
+	return err
+}
+
+// latencyWindow tracks recent successful call latencies for the
+// percentile-based hedge delay.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples [128]time.Duration
+	n       int // total recorded; ring index is n % len
+}
+
+func (w *latencyWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.n%len(w.samples)] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// percentile returns the p-quantile of the window, or false with fewer
+// than 8 samples (too noisy to hedge on).
+func (w *latencyWindow) percentile(p float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.n
+	if n > len(w.samples) {
+		n = len(w.samples)
+	}
+	if n < 8 {
+		w.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(p * float64(n-1))
+	return buf[idx], true
+}

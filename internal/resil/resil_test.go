@@ -1,0 +1,324 @@
+package resil
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/orb"
+)
+
+// echoOrb starts an orb server with an "echo" object.
+func echoOrb(t *testing.T) *orb.Server {
+	t.Helper()
+	s, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	return s
+}
+
+func newClient(t *testing.T, addr string, opts Options) *Client {
+	t.Helper()
+	c := New(addr, opts)
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestPooledConnectionReuse(t *testing.T) {
+	s := echoOrb(t)
+	c := newClient(t, s.Addr(), Options{PoolSize: 2})
+	for i := 0; i < 20; i++ {
+		reply, err := c.Invoke("echo", 0, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply, []byte{byte(i)}) {
+			t.Fatalf("reply = %v", reply)
+		}
+	}
+	if st := c.Stats(); st.Dials != 1 || st.Conns != 1 {
+		t.Errorf("stats = %+v, want 1 dial / 1 conn after 20 sequential calls", st)
+	}
+}
+
+func TestIdleReap(t *testing.T) {
+	s := echoOrb(t)
+	c := newClient(t, s.Addr(), Options{IdleTimeout: 40 * time.Millisecond})
+	if _, err := c.Invoke("echo", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Conns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle connection not reaped: %+v", c.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The pool re-dials transparently after the reap.
+	if _, err := c.Invoke("echo", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (one before and one after the reap)", st.Dials)
+	}
+}
+
+func TestRemoteErrorNotRetried(t *testing.T) {
+	s := echoOrb(t)
+	s.Register("bad", func(op uint32, body []byte) ([]byte, error) {
+		return nil, errors.New("kaboom")
+	})
+	c := newClient(t, s.Addr(), Options{})
+	_, err := c.Invoke("bad", 0, nil)
+	var re *orb.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d for a remote handler error", st.Retries)
+	}
+}
+
+func TestDialFailureFailsFastWithCleanError(t *testing.T) {
+	// A port with no listener: every attempt is refused.
+	c := newClient(t, "127.0.0.1:1", Options{
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	start := time.Now()
+	_, err := c.Invoke("echo", 0, nil)
+	if err == nil {
+		t.Fatal("invoke against dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead-address failure took %v", elapsed)
+	}
+}
+
+func TestRetryAfterConnectionDeath(t *testing.T) {
+	s := echoOrb(t)
+	c := newClient(t, s.Addr(), Options{PoolSize: 1, BackoffBase: time.Millisecond})
+	if _, err := c.Invoke("echo", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server (dropping the pooled connection), restart on a new
+	// listener... not possible on the same port reliably; instead kill
+	// just the pooled connection by closing the server and asserting the
+	// typed failure, then a healthy server case is covered elsewhere.
+	_ = s.Close()
+	_, err := c.Invoke("echo", 0, nil)
+	if err == nil {
+		t.Fatal("invoke against closed server succeeded")
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Errorf("connection-level failure was not retried: %+v", st)
+	}
+}
+
+func TestHedgingMasksSlowReplica(t *testing.T) {
+	s, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	var calls atomic.Int64
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	s.Register("flaky", func(op uint32, body []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			<-release // first request stalls until the test ends
+		}
+		return []byte("ok"), nil
+	})
+	c := newClient(t, s.Addr(), Options{
+		PoolSize:    2,
+		Hedge:       true,
+		HedgeAfter:  20 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	})
+	start := time.Now()
+	reply, err := c.Invoke("flaky", 0, nil)
+	if err != nil || string(reply) != "ok" {
+		t.Fatalf("reply = %q err = %v", reply, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedge did not mask the stalled primary (took %v)", elapsed)
+	}
+	if st := c.Stats(); st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("stats = %+v, want 1 hedge / 1 win", st)
+	}
+}
+
+func TestPercentileHedgeDelay(t *testing.T) {
+	s := echoOrb(t)
+	c := newClient(t, s.Addr(), Options{Hedge: true})
+	// Warm the latency window past the 8-sample floor.
+	for i := 0; i < 16; i++ {
+		if _, err := c.Invoke("echo", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := c.hedgeDelay()
+	if d <= 0 || d > time.Second {
+		t.Errorf("percentile hedge delay = %v", d)
+	}
+}
+
+func TestPing(t *testing.T) {
+	s := echoOrb(t)
+	c := newClient(t, s.Addr(), Options{})
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping healthy server: %v", err)
+	}
+	bad := newClient(t, "127.0.0.1:1", Options{MaxAttempts: 1, CallTimeout: 2 * time.Second})
+	if err := bad.Ping(context.Background()); err == nil {
+		t.Fatal("ping of dead address succeeded")
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	s := echoOrb(t)
+	c := New(s.Addr(), Options{})
+	if _, err := c.Invoke("echo", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if _, err := c.Invoke("echo", 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	_ = c.Close() // idempotent
+}
+
+// --- the chaos matrix ---
+//
+// For every fault class the resil client must either succeed (via
+// retry/hedge) or fail fast with a typed error inside its configured
+// deadline — never hang. Each subtest asserts an elapsed-time ceiling
+// well under the test binary's own timeout.
+
+func chaosPair(t *testing.T, f chaos.Faults) (*orb.Server, *chaos.Proxy) {
+	t.Helper()
+	s := echoOrb(t)
+	p, err := chaos.New("127.0.0.1:0", s.Addr(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return s, p
+}
+
+func TestChaosMatrixLatency(t *testing.T) {
+	_, p := chaosPair(t, chaos.Faults{Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, ChunkSize: 16})
+	c := newClient(t, p.Addr(), Options{CallTimeout: 5 * time.Second})
+	start := time.Now()
+	reply, err := c.Invoke("echo", 0, []byte("slow but steady"))
+	if err != nil {
+		t.Fatalf("latency fault should be survivable: %v", err)
+	}
+	if string(reply) != "slow but steady" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v", elapsed)
+	}
+}
+
+func TestChaosMatrixReset(t *testing.T) {
+	// Budget sized between one and two calls' traffic: the first call
+	// succeeds, the second dies mid-flight and must recover by retrying
+	// on a fresh connection (whose fresh budget covers one more call).
+	_, p := chaosPair(t, chaos.Faults{ResetAfter: 100})
+	c := newClient(t, p.Addr(), Options{
+		PoolSize:    1,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 5 * time.Second,
+	})
+	start := time.Now()
+	if _, err := c.Invoke("echo", 0, []byte("first")); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	reply, err := c.Invoke("echo", 0, []byte("second"))
+	if err != nil {
+		t.Fatalf("reset fault should be survivable by retry: %v", err)
+	}
+	if string(reply) != "second" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v", elapsed)
+	}
+	if st := c.Stats(); st.Retries == 0 || st.Dials < 2 {
+		t.Errorf("stats = %+v, want a retry on a fresh connection", st)
+	}
+}
+
+func TestChaosMatrixBlackhole(t *testing.T) {
+	_, p := chaosPair(t, chaos.Faults{BlackholeAfter: 1})
+	c := newClient(t, p.Addr(), Options{CallTimeout: 300 * time.Millisecond})
+	start := time.Now()
+	_, err := c.Invoke("echo", 0, []byte("into the void"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, orb.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("black-holed call took %v, want fail-fast near the 300ms deadline", elapsed)
+	}
+}
+
+func TestChaosMatrixTruncation(t *testing.T) {
+	// Every connection truncates mid-frame, so retries are futile: the
+	// client must exhaust its attempts quickly with a typed
+	// connection error, not hang on the half-delivered reply.
+	_, p := chaosPair(t, chaos.Faults{TruncateAfter: 20})
+	c := newClient(t, p.Addr(), Options{
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 3 * time.Second,
+	})
+	start := time.Now()
+	_, err := c.Invoke("echo", 0, []byte("cut short"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("truncated stream produced a successful call")
+	}
+	if !errors.Is(err, orb.ErrConnClosed) && !errors.Is(err, orb.ErrDeadline) {
+		t.Fatalf("err = %v, want a typed transport error", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("took %v", elapsed)
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Errorf("stats = %+v, want retries before giving up", st)
+	}
+}
+
+func TestChaosMatrixHealedProxy(t *testing.T) {
+	// Faults lift mid-run: calls that failed fast start succeeding with
+	// no client intervention (the pool re-dials through the healed
+	// proxy).
+	_, p := chaosPair(t, chaos.Faults{DropOnAccept: true})
+	c := newClient(t, p.Addr(), Options{
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	if _, err := c.Invoke("echo", 0, nil); err == nil {
+		t.Fatal("call through a dropping proxy succeeded")
+	}
+	p.SetFaults(chaos.Faults{})
+	reply, err := c.Invoke("echo", 0, []byte("healed"))
+	if err != nil || string(reply) != "healed" {
+		t.Fatalf("healed call = %q, %v", reply, err)
+	}
+}
