@@ -15,6 +15,7 @@
 //	mbird remote compare -addr HOST:PORT (compare flags) (transport flags)
 //	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json]
 //	mbird remote stats   -addr HOST:PORT (transport flags)
+//	mbird remote health  -addr HOST:PORT (transport flags)
 //
 // The transport flags tune the resilient client (internal/resil) the
 // remote subcommands use: -timeout bounds each call, -dial-timeout each
@@ -25,6 +26,12 @@
 // compare prints the relation (equivalent, subtype, or a mismatch
 // diagnosis); emit prints the generated request-direction converter for
 // an equivalent pair.
+//
+// Remote failures exit with distinct codes so scripts and supervisors
+// can tell them apart: 1 for local errors, 2 when the daemon cannot be
+// reached (dial failure), 3 when the daemon served the request but the
+// handler failed or panicked, 4 when the daemon shed the request as
+// overloaded and retries were exhausted.
 //
 // The remote subcommands talk to an mbirdd broker daemon. Sources are
 // shipped under content-addressed universe names, so repeated invocations
@@ -38,6 +45,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +56,7 @@ import (
 	"repro/internal/cmem"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/orb"
 	"repro/internal/plan"
 	"repro/internal/project"
 	"repro/internal/resil"
@@ -57,8 +66,30 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mbird:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps an error to the process exit status: 2 for dial
+// failures (daemon unreachable), 4 for overload sheds that outlasted
+// the client's retries, 3 for remote handler errors and server panics
+// (the daemon served the request and reported failure), 1 otherwise.
+// Overload is checked before the handler-error cases because resil
+// wraps the final shed in its attempts-exhausted error.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var re *orb.RemoteError
+	switch {
+	case errors.Is(err, orb.ErrDial):
+		return 2
+	case errors.Is(err, orb.ErrOverloaded):
+		return 4
+	case errors.As(err, &re), errors.Is(err, orb.ErrServerPanic):
+		return 3
+	}
+	return 1
 }
 
 func run(args []string, out io.Writer) error {
@@ -87,7 +118,7 @@ func run(args []string, out io.Writer) error {
 
 func cmdRemote(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mbird remote <compare|convert|stats> -addr HOST:PORT ...")
+		return fmt.Errorf("usage: mbird remote <compare|convert|stats|health> -addr HOST:PORT ...")
 	}
 	switch args[0] {
 	case "compare":
@@ -96,6 +127,8 @@ func cmdRemote(args []string, out io.Writer) error {
 		return cmdRemoteConvert(args[1:], out)
 	case "stats":
 		return cmdRemoteStats(args[1:], out)
+	case "health":
+		return cmdRemoteHealth(args[1:], out)
 	default:
 		return fmt.Errorf("unknown remote command %q", args[0])
 	}
@@ -507,7 +540,39 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 		st.CompareHits, st.CompareMisses, st.CompareCoalesced, st.CompareRuns, st.CompareTotal, st.VerdictEntries)
 	fmt.Fprintf(out, "convert:  %d hits, %d misses, %d coalesced, %d compiles (%v total), %d cached converters\n",
 		st.ConvertHits, st.ConvertMisses, st.ConvertCoalesced, st.Compiles, st.CompileTotal, st.ConverterEntries)
-	fmt.Fprintf(out, "evictions: %d, in-flight: %d, server deadlines exceeded: %d\n",
-		st.Evictions, st.InFlight, st.DeadlineExceeded)
+	fmt.Fprintf(out, "evictions: %d, in-flight: %d, server deadlines exceeded: %d, shed: %d\n",
+		st.Evictions, st.InFlight, st.DeadlineExceeded, st.Sheds)
 	return nil
+}
+
+func cmdRemoteHealth(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("remote health", flag.ContinueOnError)
+	var tf transportFlags
+	tf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := tf.dial()
+	defer c.Close()
+	h, err := c.Health()
+	if err != nil {
+		return err
+	}
+	ready := "ready"
+	if !h.Ready {
+		ready = "draining"
+	}
+	fmt.Fprintf(out, "status:    %s\n", ready)
+	fmt.Fprintf(out, "in-flight: %d of %s admitted\n", h.InFlight, inflightCap(h.MaxInFlight))
+	fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
+	fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
+	return nil
+}
+
+// inflightCap renders the admission capacity, which may be unbounded.
+func inflightCap(n int) string {
+	if n <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprint(n)
 }

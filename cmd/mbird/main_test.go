@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -232,6 +234,61 @@ func TestRemoteConvert(t *testing.T) {
 	}
 	if strings.TrimSpace(out) != "[9,4.5]" {
 		t.Errorf("remote convert out = %q, want [9,4.5]", out)
+	}
+}
+
+func TestRemoteHealth(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	out, err := runCLI(t, "remote", "health", "-addr", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status:    ready", "in-flight: 0 of 256 admitted", "shed:", "panics:    0 recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health output %q lacks %q", out, want)
+		}
+	}
+}
+
+// TestExitCodes pins the documented exit-status contract: scripts rely
+// on distinguishing unreachable (2) from handler failure (3) from
+// overload (4).
+func TestExitCodes(t *testing.T) {
+	wrap := func(err error) error {
+		// The shape resil presents after retries are exhausted.
+		return fmt.Errorf("resil: 3 attempts to x failed: %w", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		{"local error", errors.New("no such file"), 1},
+		{"dial failure", wrap(fmt.Errorf("%w: connection refused", orb.ErrDial)), 2},
+		{"remote handler error", &orb.RemoteError{Msg: "compare: unknown universe"}, 3},
+		{"server panic", fmt.Errorf("%w: runtime error", orb.ErrServerPanic), 3},
+		{"overload shed", wrap(fmt.Errorf("%w: 256 requests already in flight", orb.ErrOverloaded)), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(tc.err); got != tc.want {
+				t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDialFailureExitCode runs the real path: a remote subcommand
+// against a dead address must map to exit status 2.
+func TestDialFailureExitCode(t *testing.T) {
+	_, err := runCLI(t, "remote", "stats", "-addr", "127.0.0.1:1",
+		"-retries", "1", "-dial-timeout", "200ms")
+	if err == nil {
+		t.Skip("something is listening on port 1")
+	}
+	if got := exitCode(err); got != 2 {
+		t.Errorf("exitCode(%v) = %d, want 2", err, got)
 	}
 }
 

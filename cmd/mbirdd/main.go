@@ -9,7 +9,14 @@
 //
 //	mbirdd [-addr 127.0.0.1:7465] [-cache N] [-workers N]
 //	       [-max-body BYTES] [-max-key BYTES]
+//	       [-max-inflight N] [-max-per-conn N]
 //	       [-req-timeout D] [-drain D]
+//
+// -max-inflight bounds requests admitted across all connections;
+// excess requests are shed with a typed Overloaded error that resilient
+// clients retry with backoff. -max-per-conn bounds concurrent requests
+// pipelined on a single connection. Readiness and shed counters are
+// visible through `mbird remote health`.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener closes,
 // in-flight requests get up to -drain to finish, then remaining
@@ -31,13 +38,15 @@ import (
 )
 
 type config struct {
-	addr       string
-	cache      int
-	workers    int
-	maxBody    int
-	maxKey     int
-	reqTimeout time.Duration
-	drain      time.Duration
+	addr        string
+	cache       int
+	workers     int
+	maxBody     int
+	maxKey      int
+	maxInflight int
+	maxPerConn  int
+	reqTimeout  time.Duration
+	drain       time.Duration
 }
 
 func (c *config) register(fs *flag.FlagSet) {
@@ -46,6 +55,8 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.workers, "workers", 0, "max concurrent compare/compile fills (0 = GOMAXPROCS)")
 	fs.IntVar(&c.maxBody, "max-body", 0, "orb frame body limit in bytes (0 = 16 MiB default)")
 	fs.IntVar(&c.maxKey, "max-key", 0, "orb object key limit in bytes (0 = 4 KiB default)")
+	fs.IntVar(&c.maxInflight, "max-inflight", 0, "admitted requests across all connections (0 = 256 default, negative = unbounded)")
+	fs.IntVar(&c.maxPerConn, "max-per-conn", 0, "concurrent requests per connection (0 = 1024 default, negative = unbounded)")
 	fs.DurationVar(&c.reqTimeout, "req-timeout", 0, "per-request server deadline (0 = unbounded)")
 	fs.DurationVar(&c.drain, "drain", 10*time.Second, "graceful shutdown drain window")
 }
@@ -61,6 +72,9 @@ func serve(cfg config) (*orb.Server, *broker.Broker, error) {
 	if cfg.maxKey > 0 {
 		opts = append(opts, orb.WithMaxKey(cfg.maxKey))
 	}
+	if cfg.maxPerConn != 0 {
+		opts = append(opts, orb.WithMaxPerConn(cfg.maxPerConn))
+	}
 	srv, err := orb.NewServer(cfg.addr, opts...)
 	if err != nil {
 		return nil, nil, err
@@ -68,6 +82,7 @@ func serve(cfg config) (*orb.Server, *broker.Broker, error) {
 	b := broker.New(core.NewSession(), broker.Options{
 		VerdictCacheSize: cfg.cache,
 		Workers:          cfg.workers,
+		MaxInFlight:      cfg.maxInflight,
 		RequestTimeout:   cfg.reqTimeout,
 	})
 	broker.Serve(srv, b)

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/mtype"
+	"repro/internal/orb"
 	"repro/internal/plan"
 	"repro/internal/value"
 )
@@ -61,6 +62,18 @@ type Options struct {
 	// underlying work is abandoned to finish (and warm the caches) in
 	// the background. 0 disables.
 	RequestTimeout time.Duration
+	// MaxInFlight bounds protocol requests admitted concurrently through
+	// Handler (default 256). A request arriving with the limit reached
+	// waits up to AdmitWait for a slot, then is shed with a typed
+	// orb.ErrOverloaded instead of queuing unboundedly. Negative
+	// disables admission control. Health and stats requests bypass it.
+	MaxInFlight int
+	// AdmitWait is how long an arriving request may wait for an
+	// admission slot before being shed (default 5ms, clamped to
+	// RequestTimeout when one is set). Brief waits absorb bursts;
+	// anything longer is better spent on a client-side retry after
+	// backoff against a hopefully less-loaded moment.
+	AdmitWait time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +85,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 256
+	}
+	if o.AdmitWait <= 0 {
+		o.AdmitWait = 5 * time.Millisecond
+	}
+	if o.RequestTimeout > 0 && o.AdmitWait > o.RequestTimeout {
+		o.AdmitWait = o.RequestTimeout
 	}
 	return o
 }
@@ -98,12 +120,23 @@ type Broker struct {
 
 	fillSem chan struct{}
 
+	// admit is the protocol-level admission semaphore (nil when
+	// MaxInFlight < 0). Slots are held until the request's work actually
+	// finishes — including work that outlives its RequestTimeout in the
+	// background — so the cap bounds real load, not just visible load.
+	admit chan struct{}
+
+	// srv is the orb server the broker is registered on (set by Serve),
+	// giving the health op access to transport-level counters.
+	srv atomic.Pointer[orb.Server]
+
 	inFlight  atomic.Int64
 	compiles  atomic.Int64
 	compares  atomic.Int64
 	compareNs atomic.Int64
 	compileNs atomic.Int64
 	deadlines atomic.Int64
+	sheds     atomic.Int64
 }
 
 // verdictEntry is a cached compare outcome, freed of the session-owned
@@ -125,7 +158,7 @@ type convEntry struct {
 // New returns a Broker serving the given session.
 func New(sess *core.Session, opts Options) *Broker {
 	opts = opts.withDefaults()
-	return &Broker{
+	b := &Broker{
 		opts:       opts,
 		sess:       sess,
 		verdicts:   newSFCache[*verdictEntry](opts.VerdictCacheSize),
@@ -133,6 +166,10 @@ func New(sess *core.Session, opts Options) *Broker {
 		printMemo:  make(map[*mtype.Type]fingerprint.Print),
 		fillSem:    make(chan struct{}, opts.Workers),
 	}
+	if opts.MaxInFlight > 0 {
+		b.admit = make(chan struct{}, opts.MaxInFlight)
+	}
+	return b
 }
 
 // --- declaration management (session passthrough, serialized) ---
@@ -388,6 +425,9 @@ type Stats struct {
 	// DeadlineExceeded counts protocol requests that outlived the
 	// server-side RequestTimeout.
 	DeadlineExceeded int64
+	// Sheds counts protocol requests refused by admission control
+	// (MaxInFlight reached and no slot freed within AdmitWait).
+	Sheds int64
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -410,5 +450,41 @@ func (b *Broker) Stats() Stats {
 		Evictions:        b.verdicts.evictions.Load() + b.converters.evictions.Load(),
 		InFlight:         b.inFlight.Load(),
 		DeadlineExceeded: b.deadlines.Load(),
+		Sheds:            b.sheds.Load(),
 	}
+}
+
+// Health is the daemon's readiness and load snapshot, served without
+// admission control so it answers even when the daemon is saturated.
+type Health struct {
+	// Ready is false while the serving orb server is draining or closed.
+	Ready bool
+	// InFlight is the number of admitted protocol requests currently
+	// holding admission slots (0 when admission control is disabled).
+	InFlight int64
+	// MaxInFlight is the admission cap (0 when disabled).
+	MaxInFlight int
+	// Sheds counts requests refused by admission control.
+	Sheds int64
+	// ConnSheds counts requests refused by the orb per-connection
+	// concurrency cap.
+	ConnSheds int64
+	// Panics counts handler panics the orb server recovered.
+	Panics int64
+}
+
+// Health returns the daemon's readiness and load snapshot.
+func (b *Broker) Health() Health {
+	h := Health{Ready: true, Sheds: b.sheds.Load()}
+	if b.admit != nil {
+		h.InFlight = int64(len(b.admit))
+		h.MaxInFlight = cap(b.admit)
+	}
+	if srv := b.srv.Load(); srv != nil {
+		st := srv.Stats()
+		h.ConnSheds = st.Shed
+		h.Panics = st.Panics
+		h.Ready = !srv.Draining()
+	}
+	return h
 }

@@ -1,0 +1,128 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+const overloadSrc = "typedef struct { int count; float ratio; } pair;"
+
+// fillAdmission occupies every admission slot directly (tests live in
+// the broker package), returning a release for them all.
+func fillAdmission(t *testing.T, b *Broker) (release func()) {
+	t.Helper()
+	n := cap(b.admit)
+	for i := 0; i < n; i++ {
+		select {
+		case b.admit <- struct{}{}:
+		default:
+			t.Fatal("admission semaphore already full")
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-b.admit
+		}
+	}
+}
+
+// TestOverloadShedTyped saturates a MaxInFlight=1 broker and asserts the
+// next request is shed with the typed orb.ErrOverloaded, the shed
+// counters advance, and the daemon serves again once capacity frees.
+func TestOverloadShedTyped(t *testing.T) {
+	b, c := startDaemonOpts(t, Options{MaxInFlight: 1, AdmitWait: time.Millisecond})
+	if _, _, err := c.Load("u", "c", "ilp32", overloadSrc, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	release := fillAdmission(t, b)
+	_, err := c.Compare("u", "pair", "u", "pair")
+	if !errors.Is(err, orb.ErrOverloaded) {
+		t.Fatalf("err = %v, want orb.ErrOverloaded", err)
+	}
+	if st := b.Stats(); st.Sheds != 1 {
+		t.Errorf("Sheds = %d, want 1", st.Sheds)
+	}
+
+	// Health answers even at full load (it bypasses admission) and
+	// reports the saturation.
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("health under load: %v", err)
+	}
+	if !h.Ready || h.InFlight != 1 || h.MaxInFlight != 1 || h.Sheds != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	release()
+	if v, err := c.Compare("u", "pair", "u", "pair"); err != nil {
+		t.Fatalf("post-shed compare: %+v, %v", v, err)
+	}
+	if h, err := c.Health(); err != nil || h.InFlight != 0 {
+		t.Fatalf("drained health = %+v, %v", h, err)
+	}
+}
+
+// TestOverloadRetriedByResil wires the resilient transport against a
+// saturated broker: the shed must be classified retryable, backed off,
+// and the call must succeed once the slot frees — without the shed
+// reply poisoning the pooled connection.
+func TestOverloadRetriedByResil(t *testing.T) {
+	b := newBroker(Options{MaxInFlight: 1, AdmitWait: time.Millisecond})
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	Serve(srv, b)
+
+	rc := resil.New(srv.Addr(), resil.Options{
+		MaxAttempts: 8,
+		BackoffBase: 5 * time.Millisecond,
+	})
+	c := NewTransportClient(rc)
+	t.Cleanup(func() { c.Close() })
+
+	if _, _, err := c.Load("u", "c", "ilp32", overloadSrc, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	release := fillAdmission(t, b)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		release()
+	}()
+	if _, err := c.Compare("u", "pair", "u", "pair"); err != nil {
+		t.Fatalf("compare through overload: %v", err)
+	}
+	st := rc.Stats()
+	if st.Overloads == 0 || st.Retries == 0 {
+		t.Errorf("resil stats = %+v, want overload retries recorded", st)
+	}
+	if st.Discards != 0 {
+		t.Errorf("Discards = %d: shed replies must not condemn the connection", st.Discards)
+	}
+	if b.Stats().Sheds == 0 {
+		t.Error("broker recorded no sheds")
+	}
+}
+
+// TestAdmitUnbounded asserts negative MaxInFlight disables admission
+// control entirely.
+func TestAdmitUnbounded(t *testing.T) {
+	b, c := startDaemonOpts(t, Options{MaxInFlight: -1})
+	if b.admit != nil {
+		t.Fatal("admission semaphore allocated despite MaxInFlight < 0")
+	}
+	if _, _, err := c.Load("u", "c", "ilp32", overloadSrc, ""); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health()
+	if err != nil || !h.Ready || h.MaxInFlight != 0 {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+}

@@ -39,6 +39,10 @@ const (
 	OpConvert
 	// OpStats: empty → Record of counters (see statsT).
 	OpStats
+	// OpHealth: empty → Record(ready, inFlight, maxInFlight, sheds,
+	// connSheds, panics). Served without admission control so it answers
+	// even when the daemon is saturated.
+	OpHealth
 )
 
 // Protocol Mtypes. A string is List(Character(unicode)); an int is a
@@ -57,7 +61,10 @@ var (
 	statsT       = protoRecord(
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // compare: hits, misses, coalesced, runs, totalNs, entries
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
-		protoIntT, protoIntT, protoIntT, // evictions, inFlight, deadlineExceeded
+		protoIntT, protoIntT, protoIntT, protoIntT, // evictions, inFlight, deadlineExceeded, sheds
+	)
+	healthT = protoRecord(
+		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
 	)
 )
 
@@ -134,30 +141,72 @@ func recordStrings(v value.Value, n int) ([]string, error) {
 	return out, nil
 }
 
-// Serve registers the broker service on an orb server under ObjectKey.
+// Serve registers the broker service on an orb server under ObjectKey
+// and attaches the server to the broker so the health op can expose its
+// transport-level counters (recovered panics, per-connection sheds).
 func Serve(srv *orb.Server, b *Broker) {
+	b.srv.Store(srv)
 	srv.Register(ObjectKey, Handler(b))
 }
 
-// Handler returns the orb handler implementing the broker protocol.
-// When the broker's RequestTimeout is set, each request is bounded by
-// it: the client gets a prompt deadline error while the session work
-// runs to completion in the background (caches still warm, so a retry
-// after the deadline is usually a hit).
+// admitRequest acquires an admission slot, waiting up to AdmitWait for
+// one before shedding the request with a typed orb.ErrOverloaded. The
+// returned release must be called when the request's work — including
+// work that outlives its RequestTimeout — finishes.
+func (b *Broker) admitRequest() (release func(), err error) {
+	if b.admit == nil {
+		return func() {}, nil
+	}
+	release = func() { <-b.admit }
+	select {
+	case b.admit <- struct{}{}:
+		return release, nil
+	default:
+	}
+	t := time.NewTimer(b.opts.AdmitWait)
+	defer t.Stop()
+	select {
+	case b.admit <- struct{}{}:
+		return release, nil
+	case <-t.C:
+		b.sheds.Add(1)
+		return nil, fmt.Errorf("%w: %d requests already in flight", orb.ErrOverloaded, cap(b.admit))
+	}
+}
+
+// Handler returns the orb handler implementing the broker protocol, with
+// admission control outermost. When the broker's RequestTimeout is set,
+// each admitted request is bounded by it: the client gets a prompt
+// deadline error while the session work runs to completion in the
+// background (caches still warm, so a retry after the deadline is
+// usually a hit). Health and stats requests bypass admission — they are
+// pure counter reads and must answer when the daemon is saturated.
 func Handler(b *Broker) orb.Handler {
 	h := handler(b)
 	d := b.opts.RequestTimeout
-	if d <= 0 {
-		return h
-	}
 	return func(op uint32, body []byte) ([]byte, error) {
+		if op == OpHealth || op == OpStats {
+			return h(op, body)
+		}
+		release, err := b.admitRequest()
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			defer release()
+			return h(op, body)
+		}
 		type res struct {
 			body []byte
 			err  error
 		}
 		ch := make(chan res, 1)
 		go func() {
-			body, err := h(op, body)
+			defer release()
+			// orb.Call, not a bare call: this goroutine is outside the orb
+			// server's own recover, so an unguarded panic here would kill
+			// the daemon.
+			body, err := orb.Call(h, op, body)
 			ch <- res{body, err}
 		}()
 		t := time.NewTimer(d)
@@ -267,7 +316,17 @@ func handler(b *Broker) orb.Handler {
 				intVal(st.CompareRuns), intVal(st.CompareTotal.Nanoseconds()), intVal(int64(st.VerdictEntries)),
 				intVal(st.ConvertHits), intVal(st.ConvertMisses), intVal(st.ConvertCoalesced),
 				intVal(st.Compiles), intVal(st.CompileTotal.Nanoseconds()), intVal(int64(st.ConverterEntries)),
-				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded)))
+				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded), intVal(st.Sheds)))
+
+		case OpHealth:
+			h := b.Health()
+			ready := int64(0)
+			if h.Ready {
+				ready = 1
+			}
+			return wire.Marshal(healthT, value.NewRecord(
+				intVal(ready), intVal(h.InFlight), intVal(int64(h.MaxInFlight)),
+				intVal(h.Sheds), intVal(h.ConnSheds), intVal(h.Panics)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -516,7 +575,43 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		CompareRuns: get(3), CompareTotal: time.Duration(get(4)), VerdictEntries: int(get(5)),
 		ConvertHits: get(6), ConvertMisses: get(7), ConvertCoalesced: get(8),
 		Compiles: get(9), CompileTotal: time.Duration(get(10)), ConverterEntries: int(get(11)),
-		Evictions: get(12), InFlight: get(13), DeadlineExceeded: get(14),
+		Evictions: get(12), InFlight: get(13), DeadlineExceeded: get(14), Sheds: get(15),
 	}
 	return st, err
+}
+
+// Health fetches the daemon's readiness and load snapshot. It is served
+// without admission control, so it answers even when the daemon sheds
+// every other request.
+func (c *Client) Health() (Health, error) {
+	return c.HealthContext(context.Background())
+}
+
+// HealthContext is Health bounded by a context.
+func (c *Client) HealthContext(ctx context.Context) (Health, error) {
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	v, err := wire.Unmarshal(healthT, reply)
+	if err != nil {
+		return Health{}, err
+	}
+	rec := v.(value.Record)
+	get := func(i int) int64 {
+		n, err2 := valInt(rec.Fields[i])
+		if err2 != nil && err == nil {
+			err = err2
+		}
+		return n
+	}
+	h := Health{
+		Ready:       get(0) != 0,
+		InFlight:    get(1),
+		MaxInFlight: int(get(2)),
+		Sheds:       get(3),
+		ConnSheds:   get(4),
+		Panics:      get(5),
+	}
+	return h, err
 }

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/limits"
 	"repro/internal/scan"
 	"repro/internal/stype"
 )
@@ -35,6 +36,10 @@ const (
 type Config struct {
 	// Model is the data model; the zero value means ModelILP32.
 	Model DataModel
+	// Budget caps input size, token count, and nesting depth; zero fields
+	// take the limits package defaults, so untrusted sources are always
+	// bounded. Violations return an error wrapping limits.ErrBudget.
+	Budget limits.Budget
 }
 
 // Parse parses a C declaration source into a universe. file is used in
@@ -44,12 +49,20 @@ func Parse(file, src string, cfg Config) (*stype.Universe, error) {
 		cfg.Model = ModelILP32
 	}
 	p := &parser{
-		s:   scan.New(file, src),
+		s:   scan.NewBudget(file, src, cfg.Budget),
 		cfg: cfg,
 		u:   stype.NewUniverse(stype.LangC),
 	}
 	if err := p.unit(); err != nil {
+		// A budget truncation surfaces as a bogus syntax error at the cut
+		// point; report the root cause instead.
+		if berr := p.s.BudgetErr(); berr != nil {
+			return nil, berr
+		}
 		return nil, err
+	}
+	if berr := p.s.BudgetErr(); berr != nil {
+		return nil, berr
 	}
 	if err := p.u.Resolve(); err != nil {
 		return nil, err
@@ -67,15 +80,31 @@ var cKeywords = map[string]bool{
 }
 
 type parser struct {
-	s    *scan.Scanner
-	cfg  Config
-	u    *stype.Universe
-	anon int
+	s     *scan.Scanner
+	cfg   Config
+	u     *stype.Universe
+	anon  int
+	depth int
 }
 
 func (p *parser) errorf(at scan.Token, format string, args ...interface{}) error {
 	return p.s.Errorf(at, format, args...)
 }
+
+// enter guards a recursive descent step against the depth budget; every
+// enter must be paired with leave. The same cap bounds iteratively built
+// type chains (pointers, array suffixes) because later recursive walks
+// over the resulting Stype are only as deep as the parsed nesting.
+func (p *parser) enter(at scan.Token) error {
+	p.depth++
+	if p.depth > p.s.Budget().MaxDepth {
+		return limits.Exceededf("%d:%d: declaration nesting exceeds depth budget of %d",
+			at.Line, at.Col, p.s.Budget().MaxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) unit() error {
 	for {
@@ -174,6 +203,10 @@ func (p *parser) specifier() (*stype.Type, error) {
 		result                 *stype.Type
 	)
 	at := p.s.Peek()
+	if err := p.enter(at); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	for {
 		t := p.s.Peek()
 		if t.Kind != scan.TokIdent {
@@ -472,7 +505,12 @@ func (p *parser) declarator(base *stype.Type) (string, *stype.Type, error) {
 // declarator branch needs the base pointer preserved for hole
 // substitution.
 func (p *parser) declaratorNoClone(base *stype.Type) (string, *stype.Type, error) {
+	stars := 0
 	for p.s.Accept("*") {
+		if stars++; stars > p.s.Budget().MaxDepth {
+			return "", nil, limits.Exceededf("pointer chain exceeds depth budget of %d",
+				p.s.Budget().MaxDepth)
+		}
 		for p.s.AcceptIdent("const") || p.s.AcceptIdent("volatile") || p.s.AcceptIdent("restrict") {
 		}
 		base = stype.NewPointer(base)
@@ -488,6 +526,10 @@ func (p *parser) directDeclarator(base *stype.Type) (string, *stype.Type, error)
 		inner func(*stype.Type) (string, *stype.Type, error)
 	)
 	t := p.s.Peek()
+	if err := p.enter(t); err != nil {
+		return "", nil, err
+	}
+	defer p.leave()
 	switch {
 	case t.Kind == scan.TokIdent && !cKeywords[t.Text]:
 		p.s.Next()
@@ -519,6 +561,10 @@ func (p *parser) directDeclarator(base *stype.Type) (string, *stype.Type, error)
 	}
 	var suffixes []suffix
 	for {
+		if len(suffixes) > p.s.Budget().MaxDepth {
+			return "", nil, limits.Exceededf("declarator suffixes exceed depth budget of %d",
+				p.s.Budget().MaxDepth)
+		}
 		if p.s.Accept("[") {
 			length := -1
 			if !p.s.Accept("]") {

@@ -1,9 +1,12 @@
 package cparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/limits"
 )
 
 // TestParserNeverPanics drives the parser with mutated fragments of valid
@@ -59,4 +62,46 @@ func TestDeeplyNestedDeclarators(t *testing.T) {
 	// Deep but finite nesting must terminate.
 	src := "typedef int " + strings.Repeat("(*", 50) + "x" + strings.Repeat(")", 50) + ";"
 	_, _ = Parse("deep.h", src, Config{})
+}
+
+// TestInputBudgets drives each budget axis past its limit: every case
+// must surface a typed error wrapping limits.ErrBudget, never a stack
+// overflow or a masked syntax diagnosis.
+func TestInputBudgets(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		budget limits.Budget
+	}{
+		{"deep declarator nesting",
+			"typedef int " + strings.Repeat("(*", 300) + "x" + strings.Repeat(")", 300) + ";",
+			limits.Budget{}},
+		{"pointer chain bomb",
+			"typedef int " + strings.Repeat("*", 500) + "x;",
+			limits.Budget{}},
+		{"deep struct nesting",
+			strings.Repeat("struct A { ", 300) + "int x;" + strings.Repeat(" };", 300),
+			limits.Budget{}},
+		{"array suffix bomb",
+			"typedef int x" + strings.Repeat("[2]", 300) + ";",
+			limits.Budget{}},
+		{"oversized input",
+			"typedef int a_rather_long_name_for_an_int;",
+			limits.Budget{MaxBytes: 16}},
+		{"token bomb",
+			"typedef struct { int a, b, c, d, e, f, g, h; } s;",
+			limits.Budget{MaxTokens: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("hostile.h", tc.src, Config{Budget: tc.budget})
+			if !errors.Is(err, limits.ErrBudget) {
+				t.Errorf("err = %v, want limits.ErrBudget", err)
+			}
+		})
+	}
+	// A tight but sufficient budget must not reject honest input.
+	if _, err := Parse("ok.h", "typedef int t;", Config{Budget: limits.Budget{MaxBytes: 64, MaxTokens: 16, MaxDepth: 8}}); err != nil {
+		t.Errorf("honest input rejected: %v", err)
+	}
 }

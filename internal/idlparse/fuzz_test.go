@@ -1,0 +1,23 @@
+package idlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/limits"
+)
+
+// FuzzIDLParse feeds arbitrary bytes to the IDL parser under a small
+// budget: it must terminate without panicking.
+func FuzzIDLParse(f *testing.F) {
+	f.Add(`interface I { void f(in long x, out double y); };`)
+	f.Add(`module M { struct S { float a; }; typedef sequence<S> Ss; };`)
+	f.Add(`union U switch (long) { case 1: long a; default: float b; };`)
+	f.Add(`enum E { a, b, c }; typedef E Es[4];`)
+	f.Add(`interface A : B { readonly attribute string name; };`)
+	f.Add("typedef " + strings.Repeat("sequence<", 40) + "long" + strings.Repeat(">", 40) + " t;")
+	f.Fuzz(func(t *testing.T, src string) {
+		b := limits.Budget{MaxBytes: 1 << 16, MaxTokens: 1 << 12, MaxDepth: 64}
+		_, _ = ParseBudget("fuzz.idl", src, b)
+	})
+}

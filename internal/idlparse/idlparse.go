@@ -13,19 +13,35 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/limits"
 	"repro/internal/scan"
 	"repro/internal/stype"
 )
 
-// Parse parses IDL source into a universe. file is used in error messages.
+// Parse parses IDL source into a universe with the default input budget.
+// file is used in error messages.
 //
 // Names declared inside modules and interfaces are scoped with "::" (e.g.
 // "Geo::Point"); references may use scoped names or unqualified names,
 // which resolve innermost-scope-first.
 func Parse(file, src string) (*stype.Universe, error) {
-	p := &parser{s: scan.New(file, src), u: stype.NewUniverse(stype.LangIDL)}
+	return ParseBudget(file, src, limits.Budget{})
+}
+
+// ParseBudget is Parse with an explicit input budget (zero fields take
+// limits defaults). Violations return an error wrapping limits.ErrBudget.
+func ParseBudget(file, src string, b limits.Budget) (*stype.Universe, error) {
+	p := &parser{s: scan.NewBudget(file, src, b), u: stype.NewUniverse(stype.LangIDL)}
 	if err := p.unit(); err != nil {
+		// A budget truncation surfaces as a bogus syntax error at the cut
+		// point; report the root cause instead.
+		if berr := p.s.BudgetErr(); berr != nil {
+			return nil, berr
+		}
 		return nil, err
+	}
+	if berr := p.s.BudgetErr(); berr != nil {
+		return nil, berr
 	}
 	if err := p.resolveScoped(); err != nil {
 		return nil, err
@@ -52,11 +68,27 @@ type parser struct {
 	s     *scan.Scanner
 	u     *stype.Universe
 	scope []string
+	depth int
 }
 
 func (p *parser) errorf(at scan.Token, format string, args ...interface{}) error {
 	return p.s.Errorf(at, format, args...)
 }
+
+// enter guards a recursive descent step (definition and typeSpec, which
+// between them cover every recursion cycle: module bodies, interface
+// members, nested struct/union definitions, sequence element types)
+// against the depth budget; pair with leave.
+func (p *parser) enter(at scan.Token) error {
+	p.depth++
+	if p.depth > p.s.Budget().MaxDepth {
+		return limits.Exceededf("%d:%d: declaration nesting exceeds depth budget of %d",
+			at.Line, at.Col, p.s.Budget().MaxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // scopedName returns name qualified by the current scope.
 func (p *parser) scopedName(name string) string {
@@ -88,6 +120,10 @@ func (p *parser) unit() error {
 // definition parses one IDL definition at the current scope.
 func (p *parser) definition() error {
 	t := p.s.Peek()
+	if err := p.enter(t); err != nil {
+		return err
+	}
+	defer p.leave()
 	if t.Kind != scan.TokIdent {
 		return p.errorf(t, "expected definition, found %s", t)
 	}
@@ -515,6 +551,10 @@ func (p *parser) declarator(base *stype.Type) (string, *stype.Type, error) {
 	}
 	var lengths []int
 	for p.s.Accept("[") {
+		if len(lengths) >= p.s.Budget().MaxDepth {
+			return "", nil, limits.Exceededf("array suffixes exceed depth budget of %d",
+				p.s.Budget().MaxDepth)
+		}
 		numTok := p.s.Next()
 		n, err := strconv.Atoi(numTok.Text)
 		if err != nil || n < 0 {
@@ -535,6 +575,10 @@ func (p *parser) declarator(base *stype.Type) (string, *stype.Type, error) {
 // typeSpec parses a type use.
 func (p *parser) typeSpec() (*stype.Type, error) {
 	t := p.s.Peek()
+	if err := p.enter(t); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if t.Kind != scan.TokIdent && !(t.Kind == scan.TokPunct && t.Text == "::") {
 		return nil, p.errorf(t, "expected type, found %s", t)
 	}

@@ -1,9 +1,12 @@
 package idlparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/limits"
 )
 
 // TestParserNeverPanics mutates valid IDL fragments; parsing must never
@@ -44,5 +47,45 @@ func TestParserHandlesGarbage(t *testing.T) {
 	}
 	for _, src := range garbage {
 		_, _ = Parse("garbage.idl", src)
+	}
+}
+
+// TestInputBudgets drives each budget axis past its limit: every case
+// must surface a typed error wrapping limits.ErrBudget.
+func TestInputBudgets(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		budget limits.Budget
+	}{
+		{"deep module nesting",
+			strings.Repeat("module M { ", 300) + "typedef long t;" + strings.Repeat(" };", 300),
+			limits.Budget{}},
+		{"deep struct nesting",
+			strings.Repeat("struct S { ", 300) + "long x;" + strings.Repeat(" };", 300),
+			limits.Budget{}},
+		{"sequence nesting bomb",
+			"typedef " + strings.Repeat("sequence<", 300) + "long" + strings.Repeat(">", 300) + " t;",
+			limits.Budget{}},
+		{"array suffix bomb",
+			"typedef long t" + strings.Repeat("[2]", 300) + ";",
+			limits.Budget{}},
+		{"oversized input",
+			"typedef long a_rather_long_name_for_a_long;",
+			limits.Budget{MaxBytes: 16}},
+		{"token bomb",
+			"struct S { long a; long b; long c; long d; };",
+			limits.Budget{MaxTokens: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBudget("hostile.idl", tc.src, tc.budget)
+			if !errors.Is(err, limits.ErrBudget) {
+				t.Errorf("err = %v, want limits.ErrBudget", err)
+			}
+		})
+	}
+	if _, err := ParseBudget("ok.idl", "typedef long t;", limits.Budget{MaxBytes: 64, MaxTokens: 16, MaxDepth: 8}); err != nil {
+		t.Errorf("honest input rejected: %v", err)
 	}
 }

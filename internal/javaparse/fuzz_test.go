@@ -1,0 +1,23 @@
+package javaparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/limits"
+)
+
+// FuzzJavaParse feeds arbitrary bytes to the Java parser under a small
+// budget: it must terminate without panicking.
+func FuzzJavaParse(f *testing.F) {
+	f.Add(`public class Point { private float x; private float y; }`)
+	f.Add(`public interface I { Line fitter(PointVector pts); }`)
+	f.Add(`class A extends B implements C, D { int x = f(1, g(2)); }`)
+	f.Add(`class C { static { init(); } C() {} void m() throws E { } }`)
+	f.Add(`package a.b.c; import java.util.*; class X {}`)
+	f.Add("class C { int" + strings.Repeat("[]", 40) + " x; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		b := limits.Budget{MaxBytes: 1 << 16, MaxTokens: 1 << 12, MaxDepth: 64}
+		_, _ = ParseBudget("Fuzz.java", src, b)
+	})
+}

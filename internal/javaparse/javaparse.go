@@ -18,17 +18,32 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/limits"
 	"repro/internal/scan"
 	"repro/internal/stype"
 )
 
-// Parse parses Java source into a universe. file is used in error
-// messages.
+// Parse parses Java source into a universe with the default input budget.
+// file is used in error messages.
 func Parse(file, src string) (*stype.Universe, error) {
-	p := &parser{s: scan.New(file, src), u: stype.NewUniverse(stype.LangJava)}
+	return ParseBudget(file, src, limits.Budget{})
+}
+
+// ParseBudget is Parse with an explicit input budget (zero fields take
+// limits defaults). Violations return an error wrapping limits.ErrBudget.
+func ParseBudget(file, src string, b limits.Budget) (*stype.Universe, error) {
+	p := &parser{s: scan.NewBudget(file, src, b), u: stype.NewUniverse(stype.LangJava)}
 	p.registerBuiltins()
 	if err := p.unit(); err != nil {
+		// A budget truncation surfaces as a bogus syntax error at the cut
+		// point; report the root cause instead.
+		if berr := p.s.BudgetErr(); berr != nil {
+			return nil, berr
+		}
 		return nil, err
+	}
+	if berr := p.s.BudgetErr(); berr != nil {
+		return nil, berr
 	}
 	if err := p.u.Resolve(); err != nil {
 		return nil, err
@@ -86,6 +101,17 @@ func (p *parser) registerBuiltins() {
 
 func (p *parser) errorf(at scan.Token, format string, args ...interface{}) error {
 	return p.s.Errorf(at, format, args...)
+}
+
+// checkDims guards the iteratively built array dimension chains (the
+// grammar here has no recursive descent, but `int x[][][]...` builds a
+// nested Stype whose later recursive walks are as deep as the chain).
+func (p *parser) checkDims(dims int) error {
+	if dims > p.s.Budget().MaxDepth {
+		return limits.Exceededf("array dimensions exceed depth budget of %d",
+			p.s.Budget().MaxDepth)
+	}
+	return nil
 }
 
 func (p *parser) unit() error {
@@ -265,7 +291,12 @@ func (p *parser) members(node *stype.Type) error {
 		// optional initializers.
 		for {
 			fieldTy := ty
+			dims := 0
 			for p.s.Accept("[") {
+				if err := p.checkDims(dims + 1); err != nil {
+					return err
+				}
+				dims++
 				if _, err := p.s.Expect("]"); err != nil {
 					return err
 				}
@@ -328,9 +359,14 @@ func (p *parser) typeRef() (*stype.Type, error) {
 	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "<" {
 		return nil, p.errorf(t, "generics are not supported (pre-Java-5 declarations only)")
 	}
+	dims := 0
 	for {
 		if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "[" {
 			if n := p.s.Peek2(); n.Kind == scan.TokPunct && n.Text == "]" {
+				if err := p.checkDims(dims + 1); err != nil {
+					return nil, err
+				}
+				dims++
 				p.s.Next()
 				p.s.Next()
 				ty = stype.NewArray(ty, -1)
@@ -357,7 +393,12 @@ func (p *parser) paramList() ([]stype.Param, error) {
 		if err != nil {
 			return nil, err
 		}
+		dims := 0
 		for p.s.Accept("[") {
+			if err := p.checkDims(dims + 1); err != nil {
+				return nil, err
+			}
+			dims++
 			if _, err := p.s.Expect("]"); err != nil {
 				return nil, err
 			}

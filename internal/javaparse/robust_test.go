@@ -1,9 +1,12 @@
 package javaparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/limits"
 )
 
 // TestParserNeverPanics mutates valid Java fragments; parsing must never
@@ -44,5 +47,39 @@ func TestParserHandlesGarbage(t *testing.T) {
 	}
 	for _, src := range garbage {
 		_, _ = Parse("Garbage.java", src)
+	}
+}
+
+// TestInputBudgets drives each budget axis past its limit: every case
+// must surface a typed error wrapping limits.ErrBudget.
+func TestInputBudgets(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		budget limits.Budget
+	}{
+		{"array dimension bomb on a field",
+			"class C { int" + strings.Repeat("[]", 300) + " x; }",
+			limits.Budget{}},
+		{"array dimension bomb on a parameter",
+			"class C { void m(int" + strings.Repeat("[]", 300) + " x) {} }",
+			limits.Budget{}},
+		{"oversized input",
+			"class TheNameAloneBlowsTheBudget {}",
+			limits.Budget{MaxBytes: 16}},
+		{"token bomb",
+			"class C { int a; int b; int c; int d; int e; }",
+			limits.Budget{MaxTokens: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBudget("Hostile.java", tc.src, tc.budget)
+			if !errors.Is(err, limits.ErrBudget) {
+				t.Errorf("err = %v, want limits.ErrBudget", err)
+			}
+		})
+	}
+	if _, err := ParseBudget("Ok.java", "class C { int x; }", limits.Budget{MaxBytes: 64, MaxTokens: 16, MaxDepth: 8}); err != nil {
+		t.Errorf("honest input rejected: %v", err)
 	}
 }

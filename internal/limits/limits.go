@@ -1,0 +1,66 @@
+// Package limits defines input budgets shared by every layer that
+// consumes untrusted bytes: the three declaration parsers, the CDR wire
+// codec, and the JSON value codec. A budget violation is always reported
+// as an error wrapping ErrBudget so callers (and the broker protocol)
+// can classify hostile input without string matching.
+//
+// The zero Budget means "defaults", not "unlimited": every consumer
+// calls WithDefaults so a caller who never thinks about budgets still
+// gets a bounded parser. Explicit negative fields disable a dimension.
+package limits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the sentinel wrapped by every budget-violation error.
+var ErrBudget = errors.New("input budget exceeded")
+
+// Defaults. Declaration sources are human-written headers, so the depth
+// default is small; wire/JSON values legitimately nest deeper (lists of
+// records of lists), so they get their own, larger depth default.
+const (
+	DefaultMaxBytes  = 8 << 20 // size of one source file or JSON document
+	DefaultMaxTokens = 1 << 20 // tokens scanned from one source file
+	DefaultMaxDepth  = 200     // nesting depth of declarations
+	// DefaultMaxValueDepth bounds nesting of decoded values and of the
+	// types driving decode (CDR bodies, dynamic descriptors, JSON). It is
+	// deliberately larger than DefaultMaxDepth so any type that survived
+	// parsing can always be decoded.
+	DefaultMaxValueDepth = 1000
+)
+
+// Budget caps what a single untrusted input may cost. Zero fields take
+// the package default; negative fields mean unlimited.
+type Budget struct {
+	MaxBytes  int // total input size in bytes
+	MaxTokens int // tokens produced by the scanner
+	MaxDepth  int // recursion depth of nested constructs
+}
+
+// WithDefaults resolves zero fields to the package defaults and negative
+// fields to "unlimited" (represented as a value no input can reach).
+func (b Budget) WithDefaults() Budget {
+	resolve := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return int(^uint(0) >> 1) // MaxInt: effectively unlimited
+		default:
+			return v
+		}
+	}
+	return Budget{
+		MaxBytes:  resolve(b.MaxBytes, DefaultMaxBytes),
+		MaxTokens: resolve(b.MaxTokens, DefaultMaxTokens),
+		MaxDepth:  resolve(b.MaxDepth, DefaultMaxDepth),
+	}
+}
+
+// Exceededf builds a budget-violation error: the formatted message,
+// wrapping ErrBudget so errors.Is(err, limits.ErrBudget) holds.
+func Exceededf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBudget)...)
+}

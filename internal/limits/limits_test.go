@@ -1,0 +1,34 @@
+package limits
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWithDefaults(t *testing.T) {
+	b := Budget{}.WithDefaults()
+	if b.MaxBytes != DefaultMaxBytes || b.MaxTokens != DefaultMaxTokens || b.MaxDepth != DefaultMaxDepth {
+		t.Fatalf("zero budget resolved to %+v", b)
+	}
+	b = Budget{MaxBytes: 10, MaxTokens: -1, MaxDepth: 3}.WithDefaults()
+	if b.MaxBytes != 10 {
+		t.Errorf("explicit MaxBytes = %d, want 10", b.MaxBytes)
+	}
+	if b.MaxTokens <= DefaultMaxTokens {
+		t.Errorf("negative MaxTokens = %d, want effectively unlimited", b.MaxTokens)
+	}
+	if b.MaxDepth != 3 {
+		t.Errorf("explicit MaxDepth = %d, want 3", b.MaxDepth)
+	}
+}
+
+func TestExceededf(t *testing.T) {
+	err := Exceededf("file %q too large (%d bytes)", "x.h", 99)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Exceededf result does not wrap ErrBudget: %v", err)
+	}
+	want := `file "x.h" too large (99 bytes): input budget exceeded`
+	if err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +44,20 @@ const (
 	DefaultMaxBody = 16 << 20
 	// DefaultMaxKey bounds object keys (4 KiB).
 	DefaultMaxKey = 4096
+	// DefaultMaxPerConn bounds concurrent requests dispatched per server
+	// connection, so one client cannot monopolize the daemon by pipelining
+	// an unbounded number of requests.
+	DefaultMaxPerConn = 1024
+)
+
+// Error-frame codes, carried in the otherwise-unused op field of error
+// frames so clients can reconstruct typed errors without parsing message
+// text. Unknown codes degrade to a plain RemoteError, which keeps old
+// clients compatible with new servers and vice versa.
+const (
+	codeErrGeneric    = 0 // ordinary handler error → RemoteError
+	codeErrPanic      = 1 // handler panicked → ErrServerPanic
+	codeErrOverloaded = 2 // admission control shed the request → ErrOverloaded
 )
 
 // ErrFrameTooLarge is returned (wrapped, with detail) when a frame's body
@@ -62,6 +78,19 @@ var (
 	ErrDeadline = errors.New("orb: call deadline exceeded")
 	// ErrCanceled reports that the call's context was canceled.
 	ErrCanceled = errors.New("orb: call canceled")
+	// ErrDial wraps connection-establishment failures, so callers can
+	// distinguish "could not reach the server" from errors the server
+	// itself returned.
+	ErrDial = errors.New("orb: dial")
+	// ErrServerPanic reports that the remote handler panicked while
+	// serving the call. The server recovered and the connection is still
+	// healthy, but the call must not be blindly retried: the panic is
+	// most likely deterministic for the given input.
+	ErrServerPanic = errors.New("orb: handler panicked")
+	// ErrOverloaded reports that the server shed the call under admission
+	// control instead of queuing it. The request was never dispatched, so
+	// retrying after a backoff is safe and expected.
+	ErrOverloaded = errors.New("orb: server overloaded")
 )
 
 // ctxErr maps a context error to the orb typed equivalent.
@@ -82,6 +111,11 @@ type Limits struct {
 	MaxBody int
 	// MaxKey bounds object key lengths in bytes.
 	MaxKey int
+	// MaxPerConn bounds concurrent requests dispatched per server
+	// connection; excess requests are answered immediately with
+	// ErrOverloaded (oneways are dropped). Negative means unlimited.
+	// Ignored by clients.
+	MaxPerConn int
 }
 
 func (l Limits) withDefaults() Limits {
@@ -90,6 +124,12 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxKey <= 0 {
 		l.MaxKey = DefaultMaxKey
+	}
+	switch {
+	case l.MaxPerConn == 0:
+		l.MaxPerConn = DefaultMaxPerConn
+	case l.MaxPerConn < 0:
+		l.MaxPerConn = int(^uint(0) >> 1)
 	}
 	return l
 }
@@ -102,6 +142,10 @@ func WithMaxBody(n int) Option { return func(l *Limits) { l.MaxBody = n } }
 
 // WithMaxKey bounds object keys for the endpoint.
 func WithMaxKey(n int) Option { return func(l *Limits) { l.MaxKey = n } }
+
+// WithMaxPerConn bounds concurrent requests per server connection;
+// negative means unlimited.
+func WithMaxPerConn(n int) Option { return func(l *Limits) { l.MaxPerConn = n } }
 
 func applyOptions(opts []Option) Limits {
 	var l Limits
@@ -183,10 +227,63 @@ func readFrame(r io.Reader, lim Limits) (frame, error) {
 // messages the return value is discarded.
 type Handler func(op uint32, body []byte) ([]byte, error)
 
+// Call invokes h and converts a panic into an error wrapping
+// ErrServerPanic, so one poisoned request cannot take down the process.
+// The server uses it for every dispatch; handler wrappers that move work
+// onto their own goroutines (e.g. the broker's request-timeout wrapper)
+// must use it there too, because a panic on a goroutine the orb never
+// sees is fatal no matter what the orb recovers.
+func Call(h Handler, op uint32, body []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrServerPanic, r)
+		}
+	}()
+	return h(op, body)
+}
+
+// errFrameCode maps a handler error to its error-frame code and message
+// body. The sentinel's own prefix is trimmed from the body: the client
+// re-wraps the body in the same sentinel, and keeping the prefix would
+// double it.
+func errFrameCode(err error) (uint32, []byte) {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ErrServerPanic):
+		return codeErrPanic, []byte(strings.TrimPrefix(msg, ErrServerPanic.Error()+": "))
+	case errors.Is(err, ErrOverloaded):
+		return codeErrOverloaded, []byte(strings.TrimPrefix(msg, ErrOverloaded.Error()+": "))
+	}
+	return codeErrGeneric, []byte(msg)
+}
+
+// errFromFrame reconstructs the typed error an error frame carries.
+func errFromFrame(f frame) error {
+	switch f.op {
+	case codeErrPanic:
+		return fmt.Errorf("%w: %s", ErrServerPanic, f.body)
+	case codeErrOverloaded:
+		return fmt.Errorf("%w: %s", ErrOverloaded, f.body)
+	}
+	return &RemoteError{Msg: string(f.body)}
+}
+
+// ServerStats counts hardening events on a server.
+type ServerStats struct {
+	// Panics is the number of handler panics recovered.
+	Panics int64
+	// Shed is the number of requests refused by the per-connection
+	// concurrency cap (one-way messages dropped over the cap included).
+	Shed int64
+}
+
 // Server exports objects on a TCP listener.
 type Server struct {
 	ln  net.Listener
 	lim Limits
+
+	panics atomic.Int64
+	shed   atomic.Int64
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -216,6 +313,19 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the server's hardening counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Panics: s.panics.Load(), Shed: s.shed.Load()}
+}
+
+// Draining reports whether the server has begun a graceful shutdown and
+// is no longer accepting work. Health endpoints expose it as readiness.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
 
 // Register exports an object under a key. Registering an existing key
 // replaces the handler.
@@ -307,6 +417,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
+	var inFlight atomic.Int64
 	defer reqWG.Wait()
 	for {
 		f, err := readFrame(conn, s.lim)
@@ -319,19 +430,40 @@ func (s *Server) serveConn(conn net.Conn) {
 			h := s.handlers[f.key]
 			s.mu.Unlock()
 			req := f
+			// Per-connection concurrency cap: a client pipelining past the
+			// cap is shed immediately (no dispatch, no queue) with a typed
+			// Overloaded error it can back off on. One-way messages have no
+			// reply to carry the error, so they are just dropped.
+			if inFlight.Load() >= int64(s.lim.MaxPerConn) {
+				s.shed.Add(1)
+				if req.kind == kindOneway {
+					continue
+				}
+				reply := frame{kind: kindError, id: req.id, op: codeErrOverloaded,
+					body: []byte(fmt.Sprintf("connection exceeds %d concurrent requests", s.lim.MaxPerConn))}
+				writeMu.Lock()
+				_ = writeFrame(conn, reply, s.lim)
+				writeMu.Unlock()
+				continue
+			}
+			inFlight.Add(1)
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
+				defer inFlight.Add(-1)
 				var reply frame
 				reply.id = req.id
 				if h == nil {
 					reply.kind = kindError
 					reply.body = []byte(fmt.Sprintf("no object %q", req.key))
 				} else {
-					body, err := h(req.op, req.body)
+					body, err := Call(h, req.op, req.body)
 					if err != nil {
+						if errors.Is(err, ErrServerPanic) {
+							s.panics.Add(1)
+						}
 						reply.kind = kindError
-						reply.body = []byte(err.Error())
+						reply.op, reply.body = errFrameCode(err)
 					} else {
 						reply.kind = kindReply
 						reply.body = body
@@ -393,7 +525,7 @@ func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, err
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("orb: dial: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrDial, err)
 	}
 	c := &Client{
 		conn:    conn,
@@ -522,7 +654,7 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 			return nil, r.err
 		}
 		if r.f.kind == kindError {
-			return nil, &RemoteError{Msg: string(r.f.body)}
+			return nil, errFromFrame(r.f)
 		}
 		return r.f.body, nil
 	case <-ctx.Done():

@@ -112,6 +112,9 @@ type Stats struct {
 	Discards int64
 	// Retries counts retry attempts (not first attempts).
 	Retries int64
+	// Overloads counts attempts shed by the server with orb.ErrOverloaded
+	// (each is retried with backoff until attempts run out).
+	Overloads int64
 	// Hedges counts hedge attempts launched; HedgeWins counts calls
 	// completed by the hedge rather than the primary.
 	Hedges, HedgeWins int64
@@ -143,6 +146,7 @@ type Client struct {
 	dials     atomic.Int64
 	discards  atomic.Int64
 	retries   atomic.Int64
+	overloads atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
 }
@@ -190,6 +194,7 @@ func (c *Client) Stats() Stats {
 		Dials:     c.dials.Load(),
 		Discards:  c.discards.Load(),
 		Retries:   c.retries.Load(),
+		Overloads: c.overloads.Load(),
 		Hedges:    c.hedges.Load(),
 		HedgeWins: c.hedgeWins.Load(),
 	}
@@ -328,14 +333,21 @@ func (c *Client) discard(pc *pconn) {
 	_ = pc.c.Close()
 }
 
-// retryable reports whether a failed call may be retried: only
-// connection-level failures qualify. Remote handler errors mean the
-// request was served; frame-limit errors are deterministic; deadline and
-// cancellation mean the call's own budget is spent.
+// retryable reports whether a failed call may be retried: connection-
+// level failures, and overload sheds (the server declined before
+// dispatch, so the request was never served and backoff-then-retry is
+// both safe and the intended client reaction). Remote handler errors
+// and server panics mean the request reached the handler; frame-limit
+// errors are deterministic; deadline and cancellation mean the call's
+// own budget is spent.
 func retryable(err error) bool {
+	if errors.Is(err, orb.ErrOverloaded) {
+		return true
+	}
 	var re *orb.RemoteError
 	switch {
 	case errors.As(err, &re),
+		errors.Is(err, orb.ErrServerPanic),
 		errors.Is(err, orb.ErrFrameTooLarge),
 		errors.Is(err, orb.ErrDeadline),
 		errors.Is(err, orb.ErrCanceled),
@@ -346,13 +358,21 @@ func retryable(err error) bool {
 }
 
 // discardable reports whether a call error condemns its connection.
-// Everything except a remote handler error or a local frame-limit
-// rejection does: even a deadline usually means the connection is
-// stalled, and against a pipelining peer a fresh dial is cheaper than
-// optimism.
+// Remote handler errors, local frame-limit rejections, overload sheds,
+// and recovered server panics all arrived as well-formed replies over a
+// healthy connection, so the connection is kept. Everything else does
+// condemn it: even a deadline usually means the connection is stalled,
+// and against a pipelining peer a fresh dial is cheaper than optimism.
 func discardable(err error) bool {
 	var re *orb.RemoteError
-	return !errors.As(err, &re) && !errors.Is(err, orb.ErrFrameTooLarge)
+	switch {
+	case errors.As(err, &re),
+		errors.Is(err, orb.ErrFrameTooLarge),
+		errors.Is(err, orb.ErrOverloaded),
+		errors.Is(err, orb.ErrServerPanic):
+		return false
+	}
+	return true
 }
 
 // Invoke is InvokeContext with the background context (so the default
@@ -390,6 +410,9 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 		}
 		if err == nil {
 			return reply, nil
+		}
+		if errors.Is(err, orb.ErrOverloaded) {
+			c.overloads.Add(1)
 		}
 		lastErr = err
 		if !retryable(err) {

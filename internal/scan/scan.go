@@ -9,6 +9,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"repro/internal/limits"
 )
 
 // TokKind classifies a token.
@@ -83,23 +85,59 @@ var multiPunct = []string{"...", "::", "<<", ">>", "=="}
 // Scanner tokenizes an input string. Create one with New, then call Next
 // repeatedly; after the input is exhausted Next returns TokEOF forever.
 type Scanner struct {
-	file  string
-	src   string
-	pos   int
-	line  int
-	col   int
-	err   *Error
-	peek  *Token
-	peek2 *Token
+	file      string
+	src       string
+	pos       int
+	line      int
+	col       int
+	err       *Error
+	peek      *Token
+	peek2     *Token
+	budget    limits.Budget
+	tokens    int
+	budgetErr error
 }
 
-// New returns a Scanner over src. file is used in error messages only.
+// New returns a Scanner over src with the default input budget. file is
+// used in error messages only.
 func New(file, src string) *Scanner {
-	return &Scanner{file: file, src: src, line: 1, col: 1}
+	return NewBudget(file, src, limits.Budget{})
 }
 
-// Err returns the first lexical error encountered, if any.
+// NewBudget returns a Scanner over src enforcing the given input budget
+// (zero fields take limits defaults). If src exceeds the byte budget, or
+// scanning exceeds the token budget, the scanner truncates to EOF and
+// records an error wrapping limits.ErrBudget, retrievable via BudgetErr.
+func NewBudget(file, src string, b limits.Budget) *Scanner {
+	s := &Scanner{file: file, src: src, line: 1, col: 1, budget: b.WithDefaults()}
+	if len(src) > s.budget.MaxBytes {
+		s.budgetErr = limits.Exceededf("%s: input is %d bytes, budget is %d",
+			file, len(src), s.budget.MaxBytes)
+		s.src = "" // nothing is scanned from an oversized input
+	}
+	return s
+}
+
+// Budget returns the resolved budget this scanner enforces, so parsers
+// sharing the scanner can apply the same depth cap.
+func (s *Scanner) Budget() limits.Budget {
+	return s.budget
+}
+
+// BudgetErr returns the budget violation encountered, if any. Parsers
+// must prefer it over their own syntax errors: a truncated input
+// produces bogus "unexpected end of input" errors downstream.
+func (s *Scanner) BudgetErr() error {
+	return s.budgetErr
+}
+
+// Err returns the first error encountered, if any. A budget violation
+// takes precedence over lexical errors, which are a symptom of the
+// truncation.
 func (s *Scanner) Err() error {
+	if s.budgetErr != nil {
+		return s.budgetErr
+	}
 	if s.err == nil {
 		return nil
 	}
@@ -191,6 +229,15 @@ func (s *Scanner) scan() Token {
 	s.skipSpaceAndComments()
 	start := Token{Line: s.line, Col: s.col}
 	if s.pos >= len(s.src) {
+		start.Kind = TokEOF
+		return start
+	}
+	if s.tokens++; s.tokens > s.budget.MaxTokens {
+		if s.budgetErr == nil {
+			s.budgetErr = limits.Exceededf("%s:%d:%d: token budget of %d exhausted",
+				s.file, s.line, s.col, s.budget.MaxTokens)
+		}
+		s.pos = len(s.src)
 		start.Kind = TokEOF
 		return start
 	}

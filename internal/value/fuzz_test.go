@@ -1,0 +1,40 @@
+package value
+
+import (
+	"testing"
+
+	"repro/internal/mtype"
+)
+
+// FuzzValueJSON throws arbitrary text at the typed JSON decoder. It must
+// never panic or overflow the stack, and accepted inputs must round-trip
+// through ToJSON to an equal value.
+func FuzzValueJSON(f *testing.F) {
+	ty := mtype.NewRecord(
+		mtype.Field{Name: "n", Type: mtype.NewIntegerBits(32, true)},
+		mtype.Field{Name: "name", Type: mtype.NewList(mtype.NewCharacter(mtype.RepUnicode))},
+		mtype.Field{Name: "opt", Type: mtype.NewOptional(mtype.NewFloat64())},
+	)
+	f.Add(`[7,"mockingbird",{"alt":1,"value":2.5}]`)
+	f.Add(`[7,"",null]`)
+	f.Add(`[-2147483648,"λ",{"alt":0,"value":null}]`)
+	f.Add(`[[[[[[[[`)
+	f.Add(`{"alt":`)
+	f.Fuzz(func(t *testing.T, data string) {
+		v, err := FromJSON(ty, []byte(data))
+		if err != nil {
+			return
+		}
+		js, err := ToJSON(ty, v)
+		if err != nil {
+			t.Fatalf("accepted value does not re-encode: %v", err)
+		}
+		v2, err := FromJSON(ty, js)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("round-trip drift: %v != %v", v, v2)
+		}
+	})
+}

@@ -6,8 +6,14 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/limits"
 	"repro/internal/mtype"
 )
+
+// maxJSONDepth bounds value nesting in both JSON directions. It matches
+// the wire codec's decode cap so any value that crossed the CDR boundary
+// can always be rendered. Violations wrap limits.ErrBudget.
+const maxJSONDepth = limits.DefaultMaxValueDepth
 
 // JSON interchange, typed against an Mtype. The mapping is direction-free
 // (ToJSON and FromJSON are inverses over well-typed values):
@@ -36,8 +42,14 @@ func ToJSON(ty *mtype.Type, v Value) ([]byte, error) {
 	return json.Marshal(tree)
 }
 
-// FromJSON parses JSON into a value of Mtype ty.
+// FromJSON parses JSON into a value of Mtype ty. Inputs over the default
+// byte budget, or nesting deeper than the value depth budget, return an
+// error wrapping limits.ErrBudget.
 func FromJSON(ty *mtype.Type, data []byte) (Value, error) {
+	if len(data) > limits.DefaultMaxBytes {
+		return nil, limits.Exceededf("value: json input is %d bytes, budget is %d",
+			len(data), limits.DefaultMaxBytes)
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
 	var tree any
@@ -48,8 +60,8 @@ func FromJSON(ty *mtype.Type, data []byte) (Value, error) {
 }
 
 func jsonEncode(ty *mtype.Type, v Value, depth int) (any, error) {
-	if depth > maxCheckDepth {
-		return nil, fmt.Errorf("value: json encode depth exceeded")
+	if depth > maxJSONDepth {
+		return nil, limits.Exceededf("value: json encode nesting exceeds depth budget of %d", maxJSONDepth)
 	}
 	if ty == nil {
 		return nil, fmt.Errorf("value: nil type")
@@ -80,11 +92,8 @@ func jsonEncode(ty *mtype.Type, v Value, depth int) (any, error) {
 		}
 		return out, nil
 	}
-	for ty.Kind() == mtype.KindRecursive {
-		ty = ty.Body()
-		if ty == nil {
-			return nil, fmt.Errorf("value: unbound recursive type")
-		}
+	if ty = skipRecursive(ty); ty == nil {
+		return nil, fmt.Errorf("value: unbound recursive type")
 	}
 	switch ty.Kind() {
 	case mtype.KindInteger:
@@ -148,8 +157,8 @@ func jsonEncode(ty *mtype.Type, v Value, depth int) (any, error) {
 }
 
 func jsonDecode(ty *mtype.Type, tree any, depth int) (Value, error) {
-	if depth > maxCheckDepth {
-		return nil, fmt.Errorf("value: json decode depth exceeded")
+	if depth > maxJSONDepth {
+		return nil, limits.Exceededf("value: json decode nesting exceeds depth budget of %d", maxJSONDepth)
 	}
 	if ty == nil {
 		return nil, fmt.Errorf("value: nil type")
@@ -177,11 +186,8 @@ func jsonDecode(ty *mtype.Type, tree any, depth int) (Value, error) {
 		}
 		return FromSlice(elems), nil
 	}
-	for ty.Kind() == mtype.KindRecursive {
-		ty = ty.Body()
-		if ty == nil {
-			return nil, fmt.Errorf("value: unbound recursive type")
-		}
+	if ty = skipRecursive(ty); ty == nil {
+		return nil, fmt.Errorf("value: unbound recursive type")
 	}
 	switch ty.Kind() {
 	case mtype.KindInteger:

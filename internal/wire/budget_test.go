@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/limits"
+	"repro/internal/mtype"
+	"repro/internal/value"
+)
+
+// chainType is a by-value IntList — μ.Record(int, Choice(unit, ↑)) —
+// which is NOT the recognized list shape, so decoding recurses node by
+// node and exercises the depth budget.
+func chainType() *mtype.Type {
+	rec := mtype.NewRecursive()
+	rec.SetBody(mtype.NewRecord(
+		mtype.Field{Name: "value", Type: mtype.NewIntegerBits(32, true)},
+		mtype.Field{Name: "next", Type: mtype.NewOptional(rec)},
+	))
+	return rec
+}
+
+// chainValue builds an n-node chain; each node costs several levels of
+// decode recursion (record, choice, payload).
+func chainValue(n int) value.Value {
+	v := value.NewRecord(value.NewInt(0), value.Null())
+	for i := 1; i < n; i++ {
+		v = value.NewRecord(value.NewInt(int64(i)), value.Some(v))
+	}
+	return v
+}
+
+// TestDecodeDepthBudget feeds a hostile (deeply nested but well-formed)
+// payload through Unmarshal: it must come back as a typed budget error,
+// not a stack overflow, while ordinary deep-but-sane values still
+// round-trip.
+func TestDecodeDepthBudget(t *testing.T) {
+	ty := chainType()
+
+	// A modest chain is routine traffic.
+	roundTrip(t, ty, chainValue(64))
+
+	// A chain deeper than the decode budget is hostile input.
+	deep, err := Marshal(ty, chainValue(MaxDecodeDepth))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	_, err = Unmarshal(ty, deep)
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("deep unmarshal err = %v, want limits.ErrBudget", err)
+	}
+}
+
+// TestDecodeDepthBudgetDynamic runs the same hostile payload through the
+// self-describing codec, whose value phase shares the decoder.
+func TestDecodeDepthBudgetDynamic(t *testing.T) {
+	ty := chainType()
+	deep, err := MarshalDynamic(ty, chainValue(MaxDecodeDepth))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	_, _, err = UnmarshalDynamic(deep)
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("deep dynamic unmarshal err = %v, want limits.ErrBudget", err)
+	}
+}
+
+// TestListLengthTyped asserts the long-standing list-length cap now
+// reports through the shared budget sentinel.
+func TestListLengthTyped(t *testing.T) {
+	lst := mtype.NewList(mtype.NewIntegerBits(32, true))
+	_, err := Unmarshal(lst, []byte{255, 255, 255, 255})
+	if !errors.Is(err, limits.ErrBudget) {
+		t.Fatalf("err = %v, want limits.ErrBudget", err)
+	}
+}

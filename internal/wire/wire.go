@@ -13,9 +13,22 @@ import (
 	"math"
 	"math/big"
 
+	"repro/internal/limits"
 	"repro/internal/mtype"
 	"repro/internal/value"
 )
+
+// MaxDecodeDepth bounds the nesting depth of decoded values (and of the
+// type structure driving the decode). Without it a hostile body for a
+// recursive type — or a hostile dynamic type descriptor — drives decode
+// into unbounded recursion and blows the stack. Violations wrap
+// limits.ErrBudget.
+const MaxDecodeDepth = limits.DefaultMaxValueDepth
+
+// maxUnfold bounds the Recursive-node unwrapping loop: a cycle of
+// Recursive nodes with no structural node in between would otherwise spin
+// forever. No legitimate type nests binders this deep.
+const maxUnfold = 1 << 10
 
 // Encoder marshals values of one Mtype. Create with NewEncoder; the
 // encoder precomputes nothing and is safe to reuse sequentially.
@@ -47,7 +60,7 @@ func NewDecoder(ty *mtype.Type) *Decoder { return &Decoder{ty: ty} }
 // Unmarshal decodes one value and requires the input to be fully
 // consumed.
 func (d *Decoder) Unmarshal(data []byte) (value.Value, error) {
-	v, rest, err := decode(data, 0, d.ty)
+	v, rest, err := decode(data, 0, d.ty, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +85,7 @@ func Unmarshal(ty *mtype.Type, data []byte) (value.Value, error) {
 // value followed by further payload (the broker protocol's convert op
 // does exactly this). Alignment is relative to the start of data.
 func UnmarshalPrefix(ty *mtype.Type, data []byte) (value.Value, int, error) {
-	v, n, err := decode(data, 0, ty)
+	v, n, err := decode(data, 0, ty, 0)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -80,7 +93,10 @@ func UnmarshalPrefix(ty *mtype.Type, data []byte) (value.Value, int, error) {
 }
 
 func unfold(t *mtype.Type) *mtype.Type {
-	for t != nil && t.Kind() == mtype.KindRecursive {
+	for i := 0; t != nil && t.Kind() == mtype.KindRecursive; i++ {
+		if i >= maxUnfold {
+			return nil
+		}
 		t = t.Body()
 	}
 	return t
@@ -295,19 +311,22 @@ func getUint(data []byte, off, size int) (uint64, int, error) {
 // inputs from exhausting memory.
 const maxWireList = 1 << 24
 
-func decode(data []byte, off int, t *mtype.Type) (value.Value, int, error) {
+func decode(data []byte, off int, t *mtype.Type, depth int) (value.Value, int, error) {
+	if depth > MaxDecodeDepth {
+		return nil, 0, limits.Exceededf("wire: value nesting exceeds depth budget of %d", MaxDecodeDepth)
+	}
 	if elem, ok := listShape(t); ok {
 		n, off, err := getUint(data, off, 4)
 		if err != nil {
 			return nil, 0, err
 		}
 		if n > maxWireList {
-			return nil, 0, fmt.Errorf("wire: list length %d exceeds limit", n)
+			return nil, 0, limits.Exceededf("wire: list length %d exceeds limit of %d", n, maxWireList)
 		}
 		elems := make([]value.Value, n)
 		for i := range elems {
 			var ev value.Value
-			ev, off, err = decode(data, off, elem)
+			ev, off, err = decode(data, off, elem, depth+1)
 			if err != nil {
 				return nil, 0, fmt.Errorf("element %d: %w", i, err)
 			}
@@ -367,7 +386,7 @@ func decode(data []byte, off int, t *mtype.Type) (value.Value, int, error) {
 		out := make([]value.Value, len(fields))
 		var err error
 		for i, f := range fields {
-			out[i], off, err = decode(data, off, f.Type)
+			out[i], off, err = decode(data, off, f.Type, depth+1)
 			if err != nil {
 				return nil, 0, fmt.Errorf("field %d (%s): %w", i, f.Name, err)
 			}
@@ -382,7 +401,7 @@ func decode(data []byte, off int, t *mtype.Type) (value.Value, int, error) {
 		if disc >= uint64(len(alts)) {
 			return nil, 0, fmt.Errorf("wire: discriminant %d out of range (%d alternatives)", disc, len(alts))
 		}
-		payload, off, err := decode(data, off, alts[disc].Type)
+		payload, off, err := decode(data, off, alts[disc].Type, depth+1)
 		if err != nil {
 			return nil, 0, err
 		}
