@@ -13,7 +13,7 @@
 //	mbird save    (compare flags) -out project.json
 //	mbird show    project.json
 //	mbird remote compare -addr HOST:PORT (compare flags) (transport flags)
-//	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json]
+//	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json] [-batch]
 //	mbird remote stats   -addr HOST:PORT (transport flags)
 //	mbird remote health  -addr HOST:PORT (transport flags)
 //
@@ -39,12 +39,15 @@
 // remote convert reads a JSON rendering of a value of the A declaration
 // (stdin by default) and prints the converted value of the B declaration;
 // the Mtypes for the JSON and CDR codecs are lowered locally from the
-// same sources the daemon sees.
+// same sources the daemon sees. With -batch the input is a JSON array of
+// A values and the output a JSON array of B values, converted in one
+// daemon request through the batch protocol op.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -472,8 +475,10 @@ func cmdRemoteCompare(args []string, out io.Writer) error {
 
 func cmdRemoteConvert(args []string, out io.Writer) error {
 	var inPath string
+	var batch bool
 	c, a, b, ua, ub, err := remotePair("remote convert", args, func(fs *flag.FlagSet) {
 		fs.StringVar(&inPath, "in", "-", "JSON value of the A declaration (- for stdin)")
+		fs.BoolVar(&batch, "batch", false, "input is a JSON array of A values; convert them in one batch request")
 	})
 	if err != nil {
 		return err
@@ -507,6 +512,37 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if batch {
+		var raws []json.RawMessage
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return fmt.Errorf("batch input must be a JSON array: %w", err)
+		}
+		ins := make([]value.Value, len(raws))
+		for i, r := range raws {
+			if ins[i], err = value.FromJSON(mtA, r); err != nil {
+				return fmt.Errorf("batch item %d: %w", i, err)
+			}
+		}
+		outs, err := c.ConvertBatch(ua, a.decl, ub, b.decl, mtA, mtB, ins)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "[")
+		for i, v := range outs {
+			js, err := value.ToJSON(mtB, v)
+			if err != nil {
+				return err
+			}
+			sep := ","
+			if i == len(outs)-1 {
+				sep = ""
+			}
+			fmt.Fprintf(out, "  %s%s\n", js, sep)
+		}
+		fmt.Fprintln(out, "]")
+		return nil
+	}
+
 	in, err := value.FromJSON(mtA, data)
 	if err != nil {
 		return err
@@ -540,6 +576,10 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 		st.CompareHits, st.CompareMisses, st.CompareCoalesced, st.CompareRuns, st.CompareTotal, st.VerdictEntries)
 	fmt.Fprintf(out, "convert:  %d hits, %d misses, %d coalesced, %d compiles (%v total), %d cached converters\n",
 		st.ConvertHits, st.ConvertMisses, st.ConvertCoalesced, st.Compiles, st.CompileTotal, st.ConverterEntries)
+	fmt.Fprintf(out, "xcode:    %d hits, %d misses, %d coalesced, %d compiles (%d unsupported), %d cached transcoders\n",
+		st.XcodeHits, st.XcodeMisses, st.XcodeCoalesced, st.XcodeCompiles, st.XcodeUnsupported, st.XcodeEntries)
+	fmt.Fprintf(out, "tiers:    %d conversions wire-to-wire, %d via value trees\n",
+		st.FastConverts, st.TreeConverts)
 	fmt.Fprintf(out, "evictions: %d, in-flight: %d, server deadlines exceeded: %d, shed: %d\n",
 		st.Evictions, st.InFlight, st.DeadlineExceeded, st.Sheds)
 	return nil
@@ -566,6 +606,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "in-flight: %d of %s admitted\n", h.InFlight, inflightCap(h.MaxInFlight))
 	fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
 	fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
+	fmt.Fprintf(out, "xcoders:   %d cached\n", h.TranscoderEntries)
 	return nil
 }
 

@@ -1,22 +1,30 @@
 // Command mbirdd is the Mockingbird broker daemon: a long-running stub
 // compilation service. Clients ship declaration sources over the orb
 // protocol; the daemon lowers them, compares pairs, compiles converters,
-// and runs conversions, with verdicts and compiled converters shared
-// across all clients through fingerprint-keyed caches (see
-// internal/broker).
+// and runs conversions, with verdicts, compiled converters, and fused
+// wire transcoders shared across all clients through fingerprint-keyed
+// caches (see internal/broker).
 //
 // Usage:
 //
-//	mbirdd [-addr 127.0.0.1:7465] [-cache N] [-workers N]
+//	mbirdd [-addr 127.0.0.1:7465] [-cache N] [-xcache N] [-workers N]
 //	       [-max-body BYTES] [-max-key BYTES]
 //	       [-max-inflight N] [-max-per-conn N]
 //	       [-req-timeout D] [-drain D]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -max-inflight bounds requests admitted across all connections;
 // excess requests are shed with a typed Overloaded error that resilient
 // clients retry with backoff. -max-per-conn bounds concurrent requests
 // pipelined on a single connection. Readiness and shed counters are
 // visible through `mbird remote health`.
+//
+// -cpuprofile starts a pprof CPU profile at startup and writes it out at
+// shutdown; -memprofile writes a heap profile (after a GC) at shutdown.
+// Inspect either with `go tool pprof`. Profiling a live daemon under a
+// replayed workload is how the wire-transcoder fast path was measured;
+// conversion-tier counters (wire-path vs tree-path conversions) appear
+// in `mbird remote stats`.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener closes,
 // in-flight requests get up to -drain to finish, then remaining
@@ -29,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -40,6 +50,7 @@ import (
 type config struct {
 	addr        string
 	cache       int
+	xcache      int
 	workers     int
 	maxBody     int
 	maxKey      int
@@ -47,11 +58,14 @@ type config struct {
 	maxPerConn  int
 	reqTimeout  time.Duration
 	drain       time.Duration
+	cpuprofile  string
+	memprofile  string
 }
 
 func (c *config) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.addr, "addr", "127.0.0.1:7465", "listen address")
 	fs.IntVar(&c.cache, "cache", 0, "verdict cache capacity (0 = default)")
+	fs.IntVar(&c.xcache, "xcache", 0, "wire-transcoder cache capacity (0 = default)")
 	fs.IntVar(&c.workers, "workers", 0, "max concurrent compare/compile fills (0 = GOMAXPROCS)")
 	fs.IntVar(&c.maxBody, "max-body", 0, "orb frame body limit in bytes (0 = 16 MiB default)")
 	fs.IntVar(&c.maxKey, "max-key", 0, "orb object key limit in bytes (0 = 4 KiB default)")
@@ -59,6 +73,8 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.maxPerConn, "max-per-conn", 0, "concurrent requests per connection (0 = 1024 default, negative = unbounded)")
 	fs.DurationVar(&c.reqTimeout, "req-timeout", 0, "per-request server deadline (0 = unbounded)")
 	fs.DurationVar(&c.drain, "drain", 10*time.Second, "graceful shutdown drain window")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file (started now, stopped at shutdown)")
+	fs.StringVar(&c.memprofile, "memprofile", "", "write a pprof heap profile to this file at shutdown")
 }
 
 // serve starts a broker daemon on cfg.addr and returns the running server
@@ -80,13 +96,26 @@ func serve(cfg config) (*orb.Server, *broker.Broker, error) {
 		return nil, nil, err
 	}
 	b := broker.New(core.NewSession(), broker.Options{
-		VerdictCacheSize: cfg.cache,
-		Workers:          cfg.workers,
-		MaxInFlight:      cfg.maxInflight,
-		RequestTimeout:   cfg.reqTimeout,
+		VerdictCacheSize:    cfg.cache,
+		TranscoderCacheSize: cfg.xcache,
+		Workers:             cfg.workers,
+		MaxInFlight:         cfg.maxInflight,
+		RequestTimeout:      cfg.reqTimeout,
 	})
 	broker.Serve(srv, b)
 	return srv, b, nil
+}
+
+// writeHeapProfile forces a GC so the profile reflects live objects, then
+// writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func main() {
@@ -94,6 +123,22 @@ func main() {
 	var cfg config
 	cfg.register(fs)
 	_ = fs.Parse(os.Args[1:])
+
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbirdd: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mbirdd: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
 
 	srv, _, err := serve(cfg)
 	if err != nil {
@@ -108,8 +153,17 @@ func main() {
 	fmt.Printf("mbirdd: %v, draining for up to %v\n", s, cfg.drain)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "mbirdd: drain incomplete:", err)
+	drainErr := srv.Shutdown(ctx)
+	if cfg.memprofile != "" {
+		if err := writeHeapProfile(cfg.memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "mbirdd: memprofile:", err)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "mbirdd: drain incomplete:", drainErr)
+		if cfg.cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

@@ -171,8 +171,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	// Cache accounting over the whole run: three distinct canonical pairs
 	// were compared (big, mix/pair, outerA/outerB) and two distinct exact
-	// pairs were converted — exactly one comparison run and one compile
-	// each, no matter how many clients raced (singleflight).
+	// pairs were converted — exactly one comparison run and one transcoder
+	// compile each, no matter how many clients raced (singleflight). Both
+	// pairs are fusible records, so every conversion rode the wire fast
+	// path and no tree converter was ever compiled.
 	st, err := seed.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -180,8 +182,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if st.CompareRuns != 3 {
 		t.Errorf("CompareRuns = %d, want 3", st.CompareRuns)
 	}
-	if st.Compiles != 2 {
-		t.Errorf("Compiles = %d, want 2", st.Compiles)
+	if st.XcodeCompiles != 2 {
+		t.Errorf("XcodeCompiles = %d, want 2", st.XcodeCompiles)
+	}
+	if st.Compiles != 0 {
+		t.Errorf("Compiles = %d, want 0 (fast path should bypass tree converters)", st.Compiles)
+	}
+	if want := int64(2 * nClients); st.FastConverts != want || st.TreeConverts != 0 {
+		t.Errorf("FastConverts = %d TreeConverts = %d, want %d/0", st.FastConverts, st.TreeConverts, want)
 	}
 	// 1 seed compare + 3 compares per client reached the verdict cache.
 	wantLookups := int64(1 + 3*nClients)

@@ -4,7 +4,7 @@
 // serve conversions for it many times, across many connections.
 //
 // A Broker wraps a core.Session (which is not safe for concurrent use)
-// behind a mutex and two fingerprint-keyed LRU caches:
+// behind a mutex and three fingerprint-keyed LRU caches:
 //
 //   - the verdict cache, keyed by the pair of *canonical* digests
 //     (stable under Record/Choice child permutation and μ-unrolling), so
@@ -13,7 +13,12 @@
 //   - the converter cache, keyed by the pair of *exact* digests, holding
 //     the closure-compiled converter and its plan. Exactness matters
 //     here: a compiled converter consumes values in declaration order,
-//     so record(int, real) and record(real, int) must not share one.
+//     so record(int, real) and record(real, int) must not share one;
+//   - the transcoder cache, also keyed by exact digests, holding the
+//     fused CDR-bytes→CDR-bytes transcoder (internal/transcode) that
+//     serves raw conversions without building value trees. Pairs the
+//     fuser cannot handle cache their refusal, so the tree fallback
+//     decision costs one compile attempt, not one per request.
 //
 // Both caches are content-addressed — the key depends only on the Mtype
 // structure — so annotation of a universe needs no invalidation: changed
@@ -54,6 +59,11 @@ type Options struct {
 	VerdictCacheSize int
 	// ConverterCacheSize bounds the compiled-converter LRU (default 1024).
 	ConverterCacheSize int
+	// TranscoderCacheSize bounds the compiled wire-transcoder LRU
+	// (default 1024). Like the converter cache it is keyed by the pair of
+	// exact digests; entries for pairs the transcoder cannot fuse record
+	// that fact, so the fallback decision is cached too.
+	TranscoderCacheSize int
 	// Workers bounds concurrent cache fills — compare runs and converter
 	// compilations (default GOMAXPROCS).
 	Workers int
@@ -83,6 +93,9 @@ func (o Options) withDefaults() Options {
 	if o.ConverterCacheSize <= 0 {
 		o.ConverterCacheSize = 1024
 	}
+	if o.TranscoderCacheSize <= 0 {
+		o.TranscoderCacheSize = 1024
+	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -110,6 +123,7 @@ type Broker struct {
 
 	verdicts   *sfCache[*verdictEntry]
 	converters *sfCache[*convEntry]
+	xcoders    *sfCache[*xcodeEntry]
 
 	// printMemo caches fingerprints per lowered Mtype graph. The session
 	// memoizes lowerings per declaration and Annotate replaces them
@@ -137,6 +151,14 @@ type Broker struct {
 	compileNs atomic.Int64
 	deadlines atomic.Int64
 	sheds     atomic.Int64
+
+	// Wire-transcoder data-plane counters: compilations, pairs the
+	// transcoder compiler refused (cached fallbacks), and per-request
+	// conversions served by each tier.
+	xcompiles    atomic.Int64
+	xunsupported atomic.Int64
+	fastConverts atomic.Int64
+	treeConverts atomic.Int64
 }
 
 // verdictEntry is a cached compare outcome, freed of the session-owned
@@ -163,6 +185,7 @@ func New(sess *core.Session, opts Options) *Broker {
 		sess:       sess,
 		verdicts:   newSFCache[*verdictEntry](opts.VerdictCacheSize),
 		converters: newSFCache[*convEntry](opts.ConverterCacheSize),
+		xcoders:    newSFCache[*xcodeEntry](opts.TranscoderCacheSize),
 		printMemo:  make(map[*mtype.Type]fingerprint.Print),
 		fillSem:    make(chan struct{}, opts.Workers),
 	}
@@ -419,6 +442,13 @@ type Stats struct {
 	Compiles                                     int64 // converter compilations
 	CompileTotal                                 time.Duration
 	ConverterEntries                             int
+	// Wire-transcoder cache and data plane.
+	XcodeHits, XcodeMisses, XcodeCoalesced int64
+	XcodeCompiles                          int64 // transcoder compilations
+	XcodeUnsupported                       int64 // pairs refused by the fuser (cached fallbacks)
+	XcodeEntries                           int
+	FastConverts                           int64 // conversions served wire-to-wire
+	TreeConverts                           int64 // conversions served decode→convert→encode
 	// Shared.
 	Evictions int64
 	InFlight  int64
@@ -447,7 +477,16 @@ func (b *Broker) Stats() Stats {
 		CompileTotal:     time.Duration(b.compileNs.Load()),
 		ConverterEntries: b.converters.len(),
 
-		Evictions:        b.verdicts.evictions.Load() + b.converters.evictions.Load(),
+		XcodeHits:        b.xcoders.hits.Load(),
+		XcodeMisses:      b.xcoders.misses.Load(),
+		XcodeCoalesced:   b.xcoders.coalesced.Load(),
+		XcodeCompiles:    b.xcompiles.Load(),
+		XcodeUnsupported: b.xunsupported.Load(),
+		XcodeEntries:     b.xcoders.len(),
+		FastConverts:     b.fastConverts.Load(),
+		TreeConverts:     b.treeConverts.Load(),
+
+		Evictions:        b.verdicts.evictions.Load() + b.converters.evictions.Load() + b.xcoders.evictions.Load(),
 		InFlight:         b.inFlight.Load(),
 		DeadlineExceeded: b.deadlines.Load(),
 		Sheds:            b.sheds.Load(),
@@ -471,11 +510,14 @@ type Health struct {
 	ConnSheds int64
 	// Panics counts handler panics the orb server recovered.
 	Panics int64
+	// TranscoderEntries is the number of compiled wire transcoders (and
+	// cached fallback decisions) resident in the transcoder LRU.
+	TranscoderEntries int64
 }
 
 // Health returns the daemon's readiness and load snapshot.
 func (b *Broker) Health() Health {
-	h := Health{Ready: true, Sheds: b.sheds.Load()}
+	h := Health{Ready: true, Sheds: b.sheds.Load(), TranscoderEntries: int64(b.xcoders.len())}
 	if b.admit != nil {
 		h.InFlight = int64(len(b.admit))
 		h.MaxInFlight = cap(b.admit)

@@ -9,6 +9,7 @@ package broker
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -40,9 +41,17 @@ const (
 	// OpStats: empty → Record of counters (see statsT).
 	OpStats
 	// OpHealth: empty → Record(ready, inFlight, maxInFlight, sheds,
-	// connSheds, panics). Served without admission control so it answers
-	// even when the daemon is saturated.
+	// connSheds, panics, transcoderEntries). Served without admission
+	// control so it answers even when the daemon is saturated.
 	OpHealth
+	// OpConvertBatch: Record(uA, declA, uB, declB) ++ u32 count ++
+	// count × (u32 len ++ CDR value of A's Mtype) → the same framing with
+	// CDR values of B's Mtype. Each value is a standalone CDR payload
+	// (alignment restarts at its first byte); the length words are plain
+	// little-endian u32s outside the CDR layer. The whole batch is one
+	// admitted request, so batching amortizes both the per-request
+	// round-trip and the admission cost; MaxBatchItems bounds it.
+	OpConvertBatch
 )
 
 // Protocol Mtypes. A string is List(Character(unicode)); an int is a
@@ -62,13 +71,58 @@ var (
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // compare: hits, misses, coalesced, runs, totalNs, entries
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
 		protoIntT, protoIntT, protoIntT, protoIntT, // evictions, inFlight, deadlineExceeded, sheds
+		protoIntT, protoIntT, protoIntT, protoIntT, // xcode: hits, misses, coalesced, compiles
+		protoIntT, protoIntT, protoIntT, protoIntT, // xcode: unsupported, entries, fastConverts, treeConverts
 	)
 	healthT = protoRecord(
 		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
+		protoIntT, // transcoderEntries
 	)
 )
 
 func protoRecord(types ...*mtype.Type) *mtype.Type { return mtype.RecordOf(types...) }
+
+// appendBatch serializes a batch item list: u32 count, then per item a
+// u32 length and the item bytes (all lengths plain little-endian,
+// outside the CDR layer).
+func appendBatch(dst []byte, items [][]byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(items)))
+	for _, it := range items {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(it)))
+		dst = append(dst, it...)
+	}
+	return dst
+}
+
+// parseBatch decodes an appendBatch item list, validating counts and
+// lengths against the data actually present.
+func parseBatch(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("broker: batch truncated at count")
+	}
+	count := binary.LittleEndian.Uint32(data)
+	if count > MaxBatchItems {
+		return nil, fmt.Errorf("broker: batch of %d exceeds %d items", count, MaxBatchItems)
+	}
+	data = data[4:]
+	items := make([][]byte, count)
+	for i := range items {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("broker: batch truncated at item %d length", i)
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint64(n) > uint64(len(data)) {
+			return nil, fmt.Errorf("broker: batch item %d of %d bytes overruns body", i, n)
+		}
+		items[i] = data[:n:n]
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("broker: %d trailing bytes after batch", len(data))
+	}
+	return items, nil
+}
 
 // strVal encodes a Go string as a protocol string value.
 func strVal(s string) value.Value {
@@ -291,23 +345,26 @@ func handler(b *Broker) orb.Handler {
 			if err != nil {
 				return nil, err
 			}
-			mtA, err := b.Mtype(args[0], args[1])
+			return b.ConvertRaw(args[0], args[1], args[2], args[3], body[n:])
+
+		case OpConvertBatch:
+			hdr, n, err := wire.UnmarshalPrefix(pairReqT, body)
+			if err != nil {
+				return nil, fmt.Errorf("convert header: %w", err)
+			}
+			args, err := recordStrings(hdr, 4)
 			if err != nil {
 				return nil, err
 			}
-			in, err := wire.Unmarshal(mtA, body[n:])
-			if err != nil {
-				return nil, fmt.Errorf("convert payload: %w", err)
-			}
-			out, err := b.Convert(args[0], args[1], args[2], args[3], in)
+			payloads, err := parseBatch(body[n:])
 			if err != nil {
 				return nil, err
 			}
-			mtB, err := b.Mtype(args[2], args[3])
+			outs, err := b.ConvertRawBatch(args[0], args[1], args[2], args[3], payloads)
 			if err != nil {
 				return nil, err
 			}
-			return wire.Marshal(mtB, out)
+			return appendBatch(nil, outs), nil
 
 		case OpStats:
 			st := b.Stats()
@@ -316,7 +373,9 @@ func handler(b *Broker) orb.Handler {
 				intVal(st.CompareRuns), intVal(st.CompareTotal.Nanoseconds()), intVal(int64(st.VerdictEntries)),
 				intVal(st.ConvertHits), intVal(st.ConvertMisses), intVal(st.ConvertCoalesced),
 				intVal(st.Compiles), intVal(st.CompileTotal.Nanoseconds()), intVal(int64(st.ConverterEntries)),
-				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded), intVal(st.Sheds)))
+				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded), intVal(st.Sheds),
+				intVal(st.XcodeHits), intVal(st.XcodeMisses), intVal(st.XcodeCoalesced), intVal(st.XcodeCompiles),
+				intVal(st.XcodeUnsupported), intVal(int64(st.XcodeEntries)), intVal(st.FastConverts), intVal(st.TreeConverts)))
 
 		case OpHealth:
 			h := b.Health()
@@ -326,7 +385,8 @@ func handler(b *Broker) orb.Handler {
 			}
 			return wire.Marshal(healthT, value.NewRecord(
 				intVal(ready), intVal(h.InFlight), intVal(int64(h.MaxInFlight)),
-				intVal(h.Sheds), intVal(h.ConnSheds), intVal(h.Panics)))
+				intVal(h.Sheds), intVal(h.ConnSheds), intVal(h.Panics),
+				intVal(h.TranscoderEntries)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -528,6 +588,66 @@ func (c *Client) ConvertRawContext(ctx context.Context, ua, da, ub, db string, p
 	return c.t.InvokeContext(ctx, ObjectKey, OpConvert, append(hdr, payload...))
 }
 
+// ConvertBatchRaw converts a slice of CDR-encoded values of declaration
+// A into CDR-encoded values of declaration B in one request. The daemon
+// resolves the pair's execution tier once and converts every item
+// against it; item i of the result corresponds to payload i.
+func (c *Client) ConvertBatchRaw(ua, da, ub, db string, payloads [][]byte) ([][]byte, error) {
+	return c.ConvertBatchRawContext(context.Background(), ua, da, ub, db, payloads)
+}
+
+// ConvertBatchRawContext is ConvertBatchRaw bounded by a context.
+func (c *Client) ConvertBatchRawContext(ctx context.Context, ua, da, ub, db string, payloads [][]byte) ([][]byte, error) {
+	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	if err != nil {
+		return nil, err
+	}
+	body = appendBatch(body, payloads)
+	reply, err := c.t.InvokeContext(ctx, ObjectKey, OpConvertBatch, body)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := parseBatch(reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != len(payloads) {
+		return nil, fmt.Errorf("broker: batch reply has %d items, want %d", len(outs), len(payloads))
+	}
+	return outs, nil
+}
+
+// ConvertBatch is ConvertBatchRaw with client-side marshaling against
+// the two Mtypes.
+func (c *Client) ConvertBatch(ua, da, ub, db string, mtA, mtB *mtype.Type, vs []value.Value) ([]value.Value, error) {
+	return c.ConvertBatchContext(context.Background(), ua, da, ub, db, mtA, mtB, vs)
+}
+
+// ConvertBatchContext is ConvertBatch bounded by a context.
+func (c *Client) ConvertBatchContext(ctx context.Context, ua, da, ub, db string, mtA, mtB *mtype.Type, vs []value.Value) ([]value.Value, error) {
+	payloads := make([][]byte, len(vs))
+	for i, v := range vs {
+		p, err := wire.Marshal(mtA, v)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	replies, err := c.ConvertBatchRawContext(ctx, ua, da, ub, db, payloads)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]value.Value, len(replies))
+	for i, r := range replies {
+		v, err := wire.Unmarshal(mtB, r)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = v
+	}
+	return outs, nil
+}
+
 // Convert is ConvertRaw with client-side marshaling against the two
 // Mtypes (typically lowered by a local session from the same sources).
 func (c *Client) Convert(ua, da, ub, db string, mtA, mtB *mtype.Type, v value.Value) (value.Value, error) {
@@ -576,6 +696,8 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		ConvertHits: get(6), ConvertMisses: get(7), ConvertCoalesced: get(8),
 		Compiles: get(9), CompileTotal: time.Duration(get(10)), ConverterEntries: int(get(11)),
 		Evictions: get(12), InFlight: get(13), DeadlineExceeded: get(14), Sheds: get(15),
+		XcodeHits: get(16), XcodeMisses: get(17), XcodeCoalesced: get(18), XcodeCompiles: get(19),
+		XcodeUnsupported: get(20), XcodeEntries: int(get(21)), FastConverts: get(22), TreeConverts: get(23),
 	}
 	return st, err
 }
@@ -606,12 +728,13 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		return n
 	}
 	h := Health{
-		Ready:       get(0) != 0,
-		InFlight:    get(1),
-		MaxInFlight: int(get(2)),
-		Sheds:       get(3),
-		ConnSheds:   get(4),
-		Panics:      get(5),
+		Ready:             get(0) != 0,
+		InFlight:          get(1),
+		MaxInFlight:       int(get(2)),
+		Sheds:             get(3),
+		ConnSheds:         get(4),
+		Panics:            get(5),
+		TranscoderEntries: get(6),
 	}
 	return h, err
 }

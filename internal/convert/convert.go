@@ -16,8 +16,10 @@ import (
 	"fmt"
 
 	"repro/internal/compare"
+	"repro/internal/mtype"
 	"repro/internal/plan"
 	"repro/internal/value"
+	"repro/internal/wire"
 )
 
 // Converter converts values of the plan's A Mtype into values of its B
@@ -361,4 +363,21 @@ func (c *compiler) compile(n *plan.Node) (compiledFn, error) {
 	}
 	*slot = fn
 	return fn, nil
+}
+
+// TranscodeTree is the reference wire-to-wire path: decode src against
+// tyA, run the converter, and re-encode against tyB, appending the
+// output bytes to dst. It is the fallback the broker uses when
+// transcode.Compile reports ErrUnsupported, and the oracle the
+// transcoder's differential tests compare against.
+func TranscodeTree(dst []byte, tyA, tyB *mtype.Type, c Converter, src []byte) ([]byte, error) {
+	v, err := wire.Unmarshal(tyA, src)
+	if err != nil {
+		return dst, err
+	}
+	out, err := c.Convert(v)
+	if err != nil {
+		return dst, err
+	}
+	return wire.NewEncoder(tyB).MarshalAppend(dst, out)
 }

@@ -163,6 +163,20 @@ type frame struct {
 	body []byte
 }
 
+// frameBufPool recycles the scratch buffers frames are serialized into
+// before the single conn.Write. Writes are synchronous, so the buffer
+// can be returned as soon as Write does. Buffers that grew past
+// maxPooledFrameBuf (a client streamed one huge body) are dropped
+// instead of pinning megabytes in the pool.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+const maxPooledFrameBuf = 1 << 20
+
 func writeFrame(w io.Writer, f frame, lim Limits) error {
 	if len(f.body) > lim.MaxBody {
 		return fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, len(f.body), lim.MaxBody)
@@ -170,7 +184,8 @@ func writeFrame(w io.Writer, f frame, lim Limits) error {
 	if len(f.key) > lim.MaxKey {
 		return fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, len(f.key), lim.MaxKey)
 	}
-	buf := make([]byte, 0, 26+len(f.key)+len(f.body))
+	bp := frameBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	buf = append(buf, magic...)
 	buf = append(buf, 1, f.kind)
 	buf = binary.LittleEndian.AppendUint64(buf, f.id)
@@ -180,6 +195,10 @@ func writeFrame(w io.Writer, f frame, lim Limits) error {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.body)))
 	buf = append(buf, f.body...)
 	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledFrameBuf {
+		*bp = buf
+		frameBufPool.Put(bp)
+	}
 	return err
 }
 

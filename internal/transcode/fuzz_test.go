@@ -1,0 +1,163 @@
+package transcode
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/convert"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+type fuzzPair struct {
+	name string
+	a, b *mtype.Type
+	sub  bool
+	seed value.Value
+}
+
+func fuzzPairs() []fuzzPair {
+	return []fuzzPair{
+		{
+			name: "permuted-record",
+			a:    mtype.RecordOf(i32(), i64t(), f64t(), strT(), i16()),
+			b:    mtype.RecordOf(i16(), f64t(), strT(), i32(), i64t()),
+			seed: value.NewRecord(value.NewInt(7), value.NewInt(1<<40),
+				value.Real{V: 3.25}, str("seed"), value.NewInt(-9)),
+		},
+		{
+			name: "widening-subtype",
+			a:    mtype.RecordOf(i16(), f32(), latin1()),
+			b:    mtype.RecordOf(i64t(), f64t(), unicode()),
+			sub:  true,
+			seed: value.NewRecord(value.NewInt(-3), value.Real{V: 0.5}, value.Char{R: 'x'}),
+		},
+		{
+			name: "padded-identity",
+			a:    mtype.RecordOf(i8(), i64t(), f32(), f64t()),
+			b:    mtype.RecordOf(i8(), i64t(), f32(), f64t()),
+			seed: value.NewRecord(value.NewInt(1), value.NewInt(2),
+				value.Real{V: 3}, value.Real{V: 4}),
+		},
+		{
+			name: "list-of-records",
+			a:    mtype.NewList(mtype.RecordOf(i32(), f32())),
+			b:    mtype.NewList(mtype.RecordOf(f32(), i32())),
+			seed: list(value.NewRecord(value.NewInt(1), value.Real{V: 1.5})),
+		},
+		{
+			name: "string",
+			a:    strT(),
+			b:    strT(),
+			seed: str("fuzz me"),
+		},
+		{
+			name: "choice-permutation",
+			a:    mtype.ChoiceOf(i32(), f64t(), strT()),
+			b:    mtype.ChoiceOf(strT(), i32(), f64t()),
+			seed: value.Choice{Alt: 1, V: value.Real{V: 2.5}},
+		},
+		{
+			name: "optional-record",
+			a:    mtype.NewOptional(mtype.RecordOf(i32(), i32())),
+			b:    mtype.NewOptional(mtype.RecordOf(i32(), i32())),
+			seed: value.Some(value.NewRecord(value.NewInt(1), value.NewInt(2))),
+		},
+		{
+			name: "nested-flatten",
+			a:    mtype.RecordOf(mtype.RecordOf(i32(), i8()), f64t()),
+			b:    mtype.RecordOf(i8(), mtype.RecordOf(f64t(), i32())),
+			seed: value.NewRecord(value.NewRecord(value.NewInt(9), value.NewInt(-1)),
+				value.Real{V: 7.5}),
+		},
+		{
+			name: "injection",
+			a:    i32(),
+			b:    mtype.ChoiceOf(f64t(), i32()),
+			sub:  true,
+			seed: value.NewInt(77),
+		},
+	}
+}
+
+type fuzzFixture struct {
+	fuzzPair
+	xc   *Transcoder
+	conv convert.Converter
+}
+
+func buildFuzzFixtures() ([]fuzzFixture, error) {
+	var out []fuzzFixture
+	for _, p := range fuzzPairs() {
+		c := compare.NewComparer(compare.DefaultRules())
+		var m *compare.Match
+		var ok bool
+		if p.sub {
+			m, ok = c.Subtype(p.a, p.b)
+		} else {
+			m, ok = c.Equivalent(p.a, p.b)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%s: no match", p.name)
+		}
+		pl, err := plan.Build(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: plan: %w", p.name, err)
+		}
+		xc, err := Compile(pl, p.a, p.b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", p.name, err)
+		}
+		conv, err := convert.Compile(pl)
+		if err != nil {
+			return nil, fmt.Errorf("%s: tree compile: %w", p.name, err)
+		}
+		out = append(out, fuzzFixture{fuzzPair: p, xc: xc, conv: conv})
+	}
+	return out, nil
+}
+
+// FuzzTranscodeOracle fuzzes raw wire bytes against a fixed table of
+// compiled pairs and enforces the transcoder's contract differentially:
+// whenever decode→convert→encode through the value-tree engine succeeds,
+// the wire transcoder must produce the identical bytes; whenever the
+// tree path rejects the input, the transcoder must reject it too.
+func FuzzTranscodeOracle(f *testing.F) {
+	fixtures, err := buildFuzzFixtures()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, fx := range fixtures {
+		seed, err := wire.Marshal(fx.a, fx.seed)
+		if err != nil {
+			f.Fatalf("%s: seed marshal: %v", fx.name, err)
+		}
+		f.Add(uint8(i), seed)
+		if len(seed) > 0 {
+			f.Add(uint8(i), seed[:len(seed)/2])
+		}
+		f.Add(uint8(i), append(append([]byte(nil), seed...), 0xff))
+	}
+	f.Fuzz(func(t *testing.T, idx uint8, data []byte) {
+		fx := &fixtures[int(idx)%len(fixtures)]
+		treeOut, treeErr := convert.TranscodeTree(nil, fx.a, fx.b, fx.conv, data)
+		xcOut, xcErr := fx.xc.Transcode(data)
+		if treeErr != nil {
+			if xcErr == nil {
+				t.Fatalf("%s: tree errored (%v) but transcoder accepted % x → % x",
+					fx.name, treeErr, data, xcOut)
+			}
+			return
+		}
+		if xcErr != nil {
+			t.Fatalf("%s: transcoder error %v on tree-accepted input % x", fx.name, xcErr, data)
+		}
+		if !bytes.Equal(treeOut, xcOut) {
+			t.Fatalf("%s: mismatch\nsrc:  % x\ntree: % x\nxc:   % x", fx.name, data, treeOut, xcOut)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package transcode
+
+import (
+	"repro/internal/mtype"
+	"repro/internal/wire"
+)
+
+// ident compiles an identity conversion between two declared types that
+// unfold to the same Mtype node (a DecSame plan leaf). Identity is not
+// simply memcpy: padding must be re-zeroed, range checks re-applied, and
+// binary32 NaNs re-canonicalized to stay byte-identical with
+// decode→encode — copy-safe subtrees take the bulk path, everything else
+// is structurally re-emitted.
+//
+// The declared pair matters once, at the top: two distinct μ nodes can
+// share an unfolding while only one of them is list-shaped (sequence
+// encoded). Below the top level both sides walk the same declared
+// children, so the pair degenerates to identical pointers.
+func (c *compiler) ident(tA, tB *mtype.Type) (emitFn, error) {
+	key := identKey{tA, tB}
+	if s, ok := c.idents[key]; ok {
+		if s.fn == nil {
+			return func(x *xctx) error { return s.fn(x) }, nil
+		}
+		return s.fn, nil
+	}
+	s := &emitSlot{}
+	c.idents[key] = s
+	fn, err := c.identNew(tA, tB)
+	if err != nil {
+		return nil, err
+	}
+	s.fn = fn
+	return fn, nil
+}
+
+func (c *compiler) identNew(tA, tB *mtype.Type) (emitFn, error) {
+	elemA, listA := mtype.ListElem(tA)
+	elemB, listB := mtype.ListElem(tB)
+	if listA != listB {
+		return nil, unsupported("identity between sequence and cons-chain encodings")
+	}
+	if listA {
+		elem, err := c.ident(elemA, elemB)
+		if err != nil {
+			return nil, err
+		}
+		var bulk *layout
+		if lay := c.analyze(elemA); lay.copySafe() {
+			bulk = lay
+		}
+		return listEmit(elem, bulk), nil
+	}
+	ut := wire.Unfold(tA)
+	if ut == nil || wire.Unfold(tB) != ut {
+		return nil, unsupported("identity pair does not share an unfolding")
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger, mtype.KindCharacter, mtype.KindReal:
+		return c.primEmit(tA, tB)
+	case mtype.KindUnit:
+		return func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			return nil
+		}, nil
+	case mtype.KindPort:
+		return portEmit(), nil
+	case mtype.KindRecord:
+		fields := ut.Fields()
+		subs := make([]emitFn, len(fields))
+		for i, f := range fields {
+			fn, err := c.ident(f.Type, f.Type)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = fn
+		}
+		structural := func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			x.depth++
+			for _, fn := range subs {
+				if err := fn(x); err != nil {
+					x.depth--
+					return err
+				}
+			}
+			x.depth--
+			return nil
+		}
+		lay := c.analyze(tA)
+		if !lay.copySafe() {
+			return structural, nil
+		}
+		return bulkOrElse(lay, structural), nil
+	case mtype.KindChoice:
+		alts := ut.Alts()
+		subs := make([]emitFn, len(alts))
+		for i, a := range alts {
+			fn, err := c.ident(a.Type, a.Type)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = fn
+		}
+		return func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			disc, off, err := wire.ReadUint(x.src, x.off, 4)
+			if err != nil {
+				return err
+			}
+			if disc >= uint64(len(subs)) {
+				return discErr(disc, len(subs))
+			}
+			x.off = off
+			x.dst = wire.AppendUint(x.dst, x.base, 4, disc)
+			x.depth++
+			err = subs[disc](x)
+			x.depth--
+			return err
+		}, nil
+	default:
+		return nil, unsupported("identity on %s", ut.Kind())
+	}
+}
+
+// bulkOrElse wraps a copy-safe fixed layout: when the source and
+// destination cursors agree modulo the subtree's alignment, the whole
+// subtree is one bounds-checked copy plus hole zeroing; otherwise the
+// interior padding would land differently and the structural program
+// runs instead.
+func bulkOrElse(lay *layout, structural emitFn) emitFn {
+	size := lay.size
+	holes := lay.holes
+	align := lay.align
+	levels := lay.levels
+	return func(x *xctx) error {
+		rs := x.off % 8
+		if rs%align != x.dstRel()%align {
+			return structural(x)
+		}
+		if x.depth+levels > wire.MaxDecodeDepth {
+			return depthErr()
+		}
+		sz := size[rs]
+		if x.off+sz > len(x.src) {
+			return truncErr(x.off + sz)
+		}
+		start := len(x.dst)
+		x.dst = append(x.dst, x.src[x.off:x.off+sz]...)
+		for _, h := range holes[rs] {
+			for i := start + h[0]; i < start+h[1]; i++ {
+				x.dst[i] = 0
+			}
+		}
+		x.off += sz
+		return nil
+	}
+}

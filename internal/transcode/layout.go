@@ -1,0 +1,403 @@
+package transcode
+
+import (
+	"fmt"
+
+	"repro/internal/limits"
+	"repro/internal/mtype"
+	"repro/internal/wire"
+)
+
+// layout is the precomputed wire shape of one declared type. CDR aligns
+// every primitive to its size relative to the start of the enclosing
+// value, so a subtree's byte image is a function of its start-offset
+// residue: all interior alignments divide the subtree's maximum alignment
+// a, hence the image depends only on (start mod a). For fixed-size types
+// we tabulate size and padding holes for every residue 0..7, which is
+// what lets the emitter replace structural walks with bounds-checked bulk
+// copies.
+type layout struct {
+	// fixed reports a size independent of the bytes (no lists, choices,
+	// or ports anywhere in the subtree).
+	fixed bool
+	// align is the maximum primitive alignment in the subtree (1, 2, 4,
+	// or 8); meaningful only when fixed.
+	align int
+	// size[r] is the encoded size, including leading padding, when the
+	// subtree starts at offset ≡ r (mod 8); meaningful only when fixed.
+	size [8]int
+	// holes[r] lists padding byte ranges [start,end) relative to the
+	// subtree start at residue r. The tree engine re-encodes padding as
+	// zeros, so bulk copies must zero these to stay byte-identical.
+	holes [8][][2]int
+	// checked reports that decoding performs value validation somewhere
+	// in the subtree (range-restricted integers). Such subtrees cannot
+	// be skipped or copied without replicating the checks.
+	checked bool
+	// canonical reports decode→encode reproduces the input bytes
+	// exactly. False for binary32 reals: widening a signaling NaN quiets
+	// it, so the tree engine canonicalizes bit patterns a raw copy would
+	// preserve.
+	canonical bool
+	// levels is the maximum decode recursion depth below this node (0
+	// for primitives), mirroring wire.decode's per-level budget checks.
+	levels int
+}
+
+// copySafe reports that a raw byte copy of the subtree (plus hole
+// zeroing) is indistinguishable from decode→encode.
+func (l *layout) copySafe() bool { return l.fixed && !l.checked && l.canonical }
+
+// skipSafe reports that the subtree can be skipped arithmetically: no
+// value validation happens during decode.
+func (l *layout) skipSafe() bool { return l.fixed && !l.checked }
+
+func primLayout(width int, checked, canonical bool) *layout {
+	l := &layout{fixed: true, align: width, checked: checked, canonical: canonical}
+	for r := 0; r < 8; r++ {
+		pad := (width - r%width) % width
+		l.size[r] = pad + width
+		if pad > 0 {
+			l.holes[r] = [][2]int{{0, pad}}
+		}
+	}
+	return l
+}
+
+// analyze computes the layout of a declared type. Cycles (recursive
+// types) conservatively come out variable: the provisional memo entry is
+// already in place when the recursion returns to t.
+func (c *compiler) analyze(t *mtype.Type) *layout {
+	if l, ok := c.lays[t]; ok {
+		return l
+	}
+	l := &layout{}
+	c.lays[t] = l
+	if _, ok := mtype.ListElem(t); ok {
+		return l
+	}
+	ut := wire.Unfold(t)
+	if ut == nil {
+		return l
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger:
+		size, _, err := wire.IntWidth(ut)
+		if err != nil {
+			l.checked = true
+			return l
+		}
+		*l = *primLayout(size, intChecked(ut), true)
+	case mtype.KindCharacter:
+		*l = *primLayout(wire.CharWidth(ut), false, true)
+	case mtype.KindReal:
+		size, err := wire.RealWidth(ut)
+		if err != nil {
+			l.checked = true
+			return l
+		}
+		*l = *primLayout(size, false, size == 8)
+	case mtype.KindUnit:
+		*l = layout{fixed: true, align: 1, canonical: true}
+	case mtype.KindRecord:
+		fields := ut.Fields()
+		subs := make([]*layout, len(fields))
+		fixed, checked, canonical, align, levels := true, false, true, 1, 0
+		for i, f := range fields {
+			fl := c.analyze(f.Type)
+			subs[i] = fl
+			fixed = fixed && fl.fixed
+			checked = checked || fl.checked
+			canonical = canonical && fl.canonical
+			if fl.align > align {
+				align = fl.align
+			}
+			if lv := 1 + fl.levels; lv > levels {
+				levels = lv
+			}
+		}
+		l.checked = checked
+		l.canonical = canonical
+		l.levels = levels
+		if !fixed {
+			return l
+		}
+		l.fixed = true
+		l.align = align
+		for r := 0; r < 8; r++ {
+			off := r
+			for _, fl := range subs {
+				for _, h := range fl.holes[off%8] {
+					l.holes[r] = append(l.holes[r], [2]int{off - r + h[0], off - r + h[1]})
+				}
+				off += fl.size[off%8]
+			}
+			l.size[r] = off - r
+		}
+	default:
+		// Choices, ports, and anything unknown are variable-size and
+		// carry decode-time validation (discriminant and length checks).
+		l.checked = true
+	}
+	return l
+}
+
+// intChecked reports whether decoding the integer type performs a
+// non-vacuous range check (the range does not cover its full CDR width).
+func intChecked(ut *mtype.Type) bool {
+	size, signed, err := wire.IntWidth(ut)
+	if err != nil {
+		return true
+	}
+	lo, hi := ut.IntegerRange()
+	if signed {
+		shift := uint(8*size - 1)
+		min := int64(-1) << shift
+		max := int64(1)<<shift - 1
+		return !lo.IsInt64() || !hi.IsInt64() || lo.Int64() != min || hi.Int64() != max
+	}
+	var max uint64
+	if size == 8 {
+		max = ^uint64(0)
+	} else {
+		max = uint64(1)<<uint(8*size) - 1
+	}
+	return lo.Sign() != 0 || !hi.IsUint64() || hi.Uint64() != max
+}
+
+// skipFn validates and measures one value of a declared type starting at
+// off, returning the offset just past it. It mirrors wire.decode's
+// checks (depth budget, truncation, integer ranges, discriminant bounds,
+// list caps) without building values, so a transcoder that only skips a
+// subtree (a dropped record leaf) still fails exactly when the tree
+// engine would.
+type skipFn func(src []byte, off, depth int) (int, error)
+
+type skipSlot struct{ fn skipFn }
+
+func (c *compiler) skipFor(t *mtype.Type) (skipFn, error) {
+	if s, ok := c.skips[t]; ok {
+		if s.fn == nil {
+			// Cycle: indirect through the slot filled after compilation.
+			return func(src []byte, off, depth int) (int, error) {
+				return s.fn(src, off, depth)
+			}, nil
+		}
+		return s.fn, nil
+	}
+	s := &skipSlot{}
+	c.skips[t] = s
+	fn, err := c.skipForNew(t)
+	if err != nil {
+		return nil, err
+	}
+	s.fn = fn
+	return fn, nil
+}
+
+func (c *compiler) skipForNew(t *mtype.Type) (skipFn, error) {
+	if elem, ok := mtype.ListElem(t); ok {
+		elemSkip, err := c.skipFor(elem)
+		if err != nil {
+			return nil, err
+		}
+		lay := c.analyze(elem)
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			n64, off, err := wire.ReadUint(src, off, 4)
+			if err != nil {
+				return 0, err
+			}
+			if n64 > wire.MaxListLen {
+				return 0, limits.Exceededf("transcode: list length %d exceeds limit of %d", n64, wire.MaxListLen)
+			}
+			n := int(n64)
+			if n == 0 {
+				return off, nil
+			}
+			if lay.skipSafe() {
+				if depth+1+lay.levels > wire.MaxDecodeDepth {
+					return 0, depthErr()
+				}
+				if sz := lay.size[off%8]; sz%lay.align == 0 {
+					off += n * sz
+				} else {
+					for i := 0; i < n; i++ {
+						off += lay.size[off%8]
+					}
+				}
+				if off > len(src) {
+					return 0, truncErr(off)
+				}
+				return off, nil
+			}
+			for i := 0; i < n; i++ {
+				off, err = elemSkip(src, off, depth+1)
+				if err != nil {
+					return 0, err
+				}
+			}
+			return off, nil
+		}, nil
+	}
+	ut := wire.Unfold(t)
+	if ut == nil {
+		return nil, unsupported("unbound recursive type")
+	}
+	lay := c.analyze(t)
+	if lay.skipSafe() {
+		levels := lay.levels
+		size := lay.size
+		return func(src []byte, off, depth int) (int, error) {
+			if depth+levels > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			off += size[off%8]
+			if off > len(src) {
+				return 0, truncErr(off)
+			}
+			return off, nil
+		}, nil
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger:
+		size, signed, err := wire.IntWidth(ut)
+		if err != nil {
+			return nil, unsupported("integer exceeds 64 bits")
+		}
+		check, err := intRangeCheck(ut)
+		if err != nil {
+			return nil, err
+		}
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			u, off, err := wire.ReadUint(src, off, size)
+			if err != nil {
+				return 0, err
+			}
+			if err := check(u, size, signed); err != nil {
+				return 0, err
+			}
+			return off, nil
+		}, nil
+	case mtype.KindUnit:
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			return off, nil
+		}, nil
+	case mtype.KindRecord:
+		fields := ut.Fields()
+		subs := make([]skipFn, len(fields))
+		for i, f := range fields {
+			fn, err := c.skipFor(f.Type)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = fn
+		}
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			var err error
+			for _, fn := range subs {
+				off, err = fn(src, off, depth+1)
+				if err != nil {
+					return 0, err
+				}
+			}
+			return off, nil
+		}, nil
+	case mtype.KindChoice:
+		alts := ut.Alts()
+		subs := make([]skipFn, len(alts))
+		for i, a := range alts {
+			fn, err := c.skipFor(a.Type)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = fn
+		}
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			disc, off, err := wire.ReadUint(src, off, 4)
+			if err != nil {
+				return 0, err
+			}
+			if disc >= uint64(len(subs)) {
+				return 0, discErr(disc, len(subs))
+			}
+			return subs[disc](src, off, depth+1)
+		}, nil
+	case mtype.KindPort:
+		return func(src []byte, off, depth int) (int, error) {
+			if depth > wire.MaxDecodeDepth {
+				return 0, depthErr()
+			}
+			n, off, err := wire.ReadUint(src, off, 4)
+			if err != nil {
+				return 0, err
+			}
+			if uint64(off)+n > uint64(len(src)) {
+				return 0, fmt.Errorf("transcode: truncated port reference")
+			}
+			return off + int(n), nil
+		}, nil
+	default:
+		return nil, unsupported("cannot skip %s", ut.Kind())
+	}
+}
+
+// intRangeCheck builds the validation applied by wire.decode to integers
+// of the given type: sign-extend to 64 bits and compare against the
+// declared range.
+func intRangeCheck(ut *mtype.Type) (func(u uint64, size int, signed bool) error, error) {
+	if !intChecked(ut) {
+		return func(uint64, int, bool) error { return nil }, nil
+	}
+	lo, hi := ut.IntegerRange()
+	if lo.Sign() < 0 {
+		if !lo.IsInt64() || !hi.IsInt64() {
+			return nil, unsupported("integer range exceeds 64 bits")
+		}
+		min, max := lo.Int64(), hi.Int64()
+		return func(u uint64, size int, signed bool) error {
+			shift := uint(64 - 8*size)
+			v := int64(u<<shift) >> shift
+			if v < min || v > max {
+				return fmt.Errorf("transcode: decoded %d outside range [%d..%d]", v, min, max)
+			}
+			return nil
+		}, nil
+	}
+	if !hi.IsUint64() {
+		return nil, unsupported("integer range exceeds 64 bits")
+	}
+	min, max := lo.Uint64(), hi.Uint64()
+	return func(u uint64, size int, signed bool) error {
+		if u < min || u > max {
+			return fmt.Errorf("transcode: decoded %d outside range [%d..%d]", u, min, max)
+		}
+		return nil
+	}, nil
+}
+
+func depthErr() error {
+	return limits.Exceededf("transcode: value nesting exceeds depth budget of %d", wire.MaxDecodeDepth)
+}
+
+func truncErr(off int) error {
+	return fmt.Errorf("transcode: truncated input at offset %d", off)
+}
+
+func discErr(disc uint64, alts int) error {
+	return fmt.Errorf("transcode: discriminant %d out of range (%d alternatives)", disc, alts)
+}

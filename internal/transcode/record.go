@@ -1,0 +1,209 @@
+package transcode
+
+import (
+	"repro/internal/compare"
+	"repro/internal/plan"
+	"repro/internal/wire"
+)
+
+type leafStep struct {
+	skip     skipFn
+	depthAdd int
+}
+
+type outStep struct {
+	src  int // A-leaf index feeding this B leaf
+	emit emitFn
+}
+
+// record compiles a record-to-record conversion over the plan's
+// flattened leaves: commutative permutation and associative flattening
+// reduce to reordering one flat leaf sequence into another. The emitted
+// program runs in two phases — a validating scan over the A leaves that
+// builds an offset table in pooled scratch, then an emission pass in
+// B-leaf order reading each leaf at its recorded span. A leading run of
+// copy-safe identity leaves (the common partially-permuted case) is
+// tabulated per start residue so it collapses to one bulk copy when the
+// source and destination cursors agree modulo its alignment.
+//
+// dropLead strips that many leading path components from leaf depth
+// accounting; listPair passes 1 because its leaves are rooted at the
+// cons cell's head field while wire.decode recurses on the element type
+// directly.
+func (c *compiler) record(flatA, flatB []compare.FlatLeaf, perm []int, leafPlans []*plan.Node, dropLead int) (emitFn, error) {
+	if len(perm) != len(flatA) || len(leafPlans) != len(flatA) {
+		return nil, unsupported("malformed record plan")
+	}
+	if len(flatA) > c.maxLeaves {
+		c.maxLeaves = len(flatA)
+	}
+
+	steps := make([]leafStep, len(flatA))
+	for i, leaf := range flatA {
+		skip, err := c.skipFor(leaf.Node)
+		if err != nil {
+			return nil, err
+		}
+		add := len(leaf.Path) - dropLead
+		if add < 0 {
+			add = 0
+		}
+		steps[i] = leafStep{skip: skip, depthAdd: add}
+	}
+
+	invPerm := make([]int, len(flatB))
+	for j := range invPerm {
+		invPerm[j] = -1
+	}
+	for i, j := range perm {
+		if j >= 0 {
+			if j >= len(flatB) || invPerm[j] >= 0 {
+				return nil, unsupported("malformed record permutation")
+			}
+			invPerm[j] = i
+		}
+	}
+
+	outs := make([]outStep, len(flatB))
+	for j, bl := range flatB {
+		if bl.Unit {
+			outs[j] = outStep{emit: nil}
+			continue
+		}
+		i := invPerm[j]
+		if i < 0 || leafPlans[i] == nil {
+			return nil, unsupported("destination leaf %d has no source", j)
+		}
+		emit, err := c.pair(leafPlans[i], flatA[i].Node, flatB[j].Node)
+		if err != nil {
+			return nil, err
+		}
+		outs[j] = outStep{src: i, emit: emit}
+	}
+
+	// Identity prefix: leading leaves where A and B agree in place and a
+	// raw copy is byte-faithful.
+	prefix := 0
+	prefAlign := 1
+	maxLv := 0
+	for prefix < len(flatA) && prefix < len(flatB) {
+		k := prefix
+		if flatA[k].Unit && flatB[k].Unit {
+			prefix++
+			continue
+		}
+		if flatA[k].Unit || flatB[k].Unit || perm[k] != k ||
+			leafPlans[k] == nil || leafPlans[k].Kind != compare.DecSame {
+			break
+		}
+		la := c.analyze(flatA[k].Node)
+		lb := c.analyze(flatB[k].Node)
+		if !la.copySafe() || !lb.copySafe() {
+			break
+		}
+		if la.align > prefAlign {
+			prefAlign = la.align
+		}
+		if lv := steps[k].depthAdd + la.levels; lv > maxLv {
+			maxLv = lv
+		}
+		prefix++
+	}
+	var prefSize [8]int
+	var prefHoles [8][][2]int
+	for r := 0; r < 8; r++ {
+		off := r
+		for k := 0; k < prefix; k++ {
+			if flatA[k].Unit {
+				continue
+			}
+			lay := c.analyze(flatA[k].Node)
+			for _, h := range lay.holes[off%8] {
+				prefHoles[r] = append(prefHoles[r], [2]int{off - r + h[0], off - r + h[1]})
+			}
+			off += lay.size[off%8]
+		}
+		prefSize[r] = off - r
+	}
+	wholeBulk := prefix == len(flatA) && prefix == len(flatB)
+
+	return func(x *xctx) error {
+		if x.depth > wire.MaxDecodeDepth {
+			return depthErr()
+		}
+		if wholeBulk {
+			rs := x.off % 8
+			if rs%prefAlign == x.dstRel()%prefAlign {
+				if x.depth+maxLv > wire.MaxDecodeDepth {
+					return depthErr()
+				}
+				sz := prefSize[rs]
+				if x.off+sz > len(x.src) {
+					return truncErr(x.off + sz)
+				}
+				start := len(x.dst)
+				x.dst = append(x.dst, x.src[x.off:x.off+sz]...)
+				for _, h := range prefHoles[rs] {
+					zero(x.dst, start+h[0], start+h[1])
+				}
+				x.off += sz
+				return nil
+			}
+		}
+
+		spans, mark := x.grabSpans(len(steps))
+		entryOff := x.off
+		for i := range steps {
+			st := &steps[i]
+			spans[i] = x.off
+			off2, err := st.skip(x.src, x.off, x.depth+st.depthAdd)
+			if err != nil {
+				x.arena = x.arena[:mark]
+				return err
+			}
+			x.off = off2
+		}
+		endOff := x.off
+		baseDepth := x.depth
+
+		j0 := 0
+		if prefix > 0 {
+			rs := entryOff % 8
+			if rs%prefAlign == x.dstRel()%prefAlign {
+				end := endOff
+				if prefix < len(steps) {
+					end = spans[prefix]
+				}
+				start := len(x.dst)
+				x.dst = append(x.dst, x.src[entryOff:end]...)
+				for _, h := range prefHoles[rs] {
+					zero(x.dst, start+h[0], start+h[1])
+				}
+				j0 = prefix
+			}
+		}
+		for j := j0; j < len(outs); j++ {
+			o := &outs[j]
+			if o.emit == nil {
+				continue
+			}
+			x.off = spans[o.src]
+			x.depth = baseDepth + steps[o.src].depthAdd
+			if err := o.emit(x); err != nil {
+				x.depth = baseDepth
+				x.arena = x.arena[:mark]
+				return err
+			}
+		}
+		x.depth = baseDepth
+		x.off = endOff
+		x.arena = x.arena[:mark]
+		return nil
+	}, nil
+}
+
+func zero(b []byte, from, to int) {
+	for i := from; i < to; i++ {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,521 @@
+// Package transcode compiles coercion plans into direct CDR-bytes →
+// CDR-bytes transcoders: the fuse philosophy (§4 of the paper) applied
+// to the network data plane. Where the tree engine decodes the source
+// bytes into a value.Value tree, converts it, and re-encodes — allocating
+// on every node — a compiled transcoder moves bytes straight from the
+// source buffer to the destination buffer, using precomputed per-type
+// layout programs so identity-shaped regions become bulk copies and
+// permuted records become offset-table shuffles.
+//
+// Like internal/fuse, the compiler handles the common structural core —
+// primitives (including widening numeric coercions), records (commutative
+// permutation and associative flattening via the plan), sequences,
+// strings, choices, injections, and ports — and returns a wrapped
+// ErrUnsupported for anything else (semantic hooks, sequence↔cons-chain
+// mixes, >64-bit integers), so callers fall back to the tree engine.
+//
+// Compiled transcoders replicate the tree path bit for bit: they perform
+// the same validation (depth budgets, integer ranges, discriminant and
+// length bounds, truncation, full consumption) and the same byte
+// canonicalization (zeroed padding, binary32 NaN quieting), which the
+// differential fuzz oracle in this package enforces.
+package transcode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/compare"
+	"repro/internal/limits"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/wire"
+)
+
+// ErrUnsupported marks a plan construct outside the transcoder's fused
+// subset. Callers should fall back to the tree engine
+// (decode→convert→encode); results are identical, only slower.
+var ErrUnsupported = errors.New("transcode: construct not supported by the wire transcoder")
+
+func unsupported(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrUnsupported}, args...)...)
+}
+
+// xctx is the per-call mutable state threaded through compiled emit
+// programs. Instances are pooled on the Transcoder; arena is reused
+// scratch for record offset tables, sized by the layout program's hints.
+type xctx struct {
+	src   []byte
+	dst   []byte
+	base  int // alignment base: start of the output value within dst
+	off   int // read cursor, alignment-relative to src[0]
+	depth int
+	arena []int
+}
+
+func (x *xctx) grabSpans(n int) ([]int, int) {
+	mark := len(x.arena)
+	if mark+n <= cap(x.arena) {
+		x.arena = x.arena[:mark+n]
+	} else {
+		x.arena = append(x.arena, make([]int, n)...)
+	}
+	return x.arena[mark : mark+n], mark
+}
+
+func (x *xctx) dstRel() int { return len(x.dst) - x.base }
+
+// emitFn transcodes one value: reads src at x.off, appends the converted
+// bytes to x.dst, and advances x.off. x.depth is the depth wire.decode
+// would be called with for this value; every emitFn performs the same
+// entry budget check decode does.
+type emitFn func(x *xctx) error
+
+type emitSlot struct{ fn emitFn }
+
+type tripleKey struct {
+	n    *plan.Node
+	a, b *mtype.Type
+}
+
+type identKey struct{ a, b *mtype.Type }
+
+type compiler struct {
+	pairs     map[tripleKey]*emitSlot
+	idents    map[identKey]*emitSlot
+	skips     map[*mtype.Type]*skipSlot
+	lays      map[*mtype.Type]*layout
+	maxLeaves int
+}
+
+func newCompiler() *compiler {
+	return &compiler{
+		pairs:  make(map[tripleKey]*emitSlot),
+		idents: make(map[identKey]*emitSlot),
+		skips:  make(map[*mtype.Type]*skipSlot),
+		lays:   make(map[*mtype.Type]*layout),
+	}
+}
+
+// Transcoder converts CDR bytes of the source Mtype directly into CDR
+// bytes of the destination Mtype. Safe for concurrent use.
+type Transcoder struct {
+	root      emitFn
+	pool      sync.Pool
+	outEst    int
+	outExact  bool
+	arenaHint int
+}
+
+// Compile fuses a coercion plan with the declared source and destination
+// Mtypes into a wire transcoder. a and b must be the types the plan was
+// built for (plan nodes store unfolded types; the declared types are
+// needed because the wire format distinguishes μ-list nodes, encoded as
+// sequences, from their structurally identical unfoldings, encoded as
+// cons chains). Returns a wrapped ErrUnsupported when the plan uses
+// constructs outside the fused subset.
+func Compile(p *plan.Plan, a, b *mtype.Type) (*Transcoder, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("transcode: nil plan")
+	}
+	if wire.Unfold(a) != p.Root.A || wire.Unfold(b) != p.Root.B {
+		return nil, fmt.Errorf("transcode: declared types do not match plan root")
+	}
+	c := newCompiler()
+	root, err := c.pair(p.Root, a, b)
+	if err != nil {
+		return nil, err
+	}
+	est, exact := wire.EstimateSize(b)
+	t := &Transcoder{
+		root:      root,
+		outEst:    est,
+		outExact:  exact,
+		arenaHint: c.maxLeaves * 4,
+	}
+	t.pool.New = func() any { return &xctx{arena: make([]int, 0, t.arenaHint)} }
+	return t, nil
+}
+
+// Transcode converts one encoded value, returning a freshly allocated
+// output buffer. The input must be fully consumed, mirroring
+// wire.Unmarshal.
+func (t *Transcoder) Transcode(src []byte) ([]byte, error) {
+	hint := t.outEst
+	if !t.outExact && len(src) > hint {
+		hint = len(src) + len(src)/2
+	}
+	out, err := t.TranscodeAppend(make([]byte, 0, hint), src)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TranscodeAppend converts one encoded value and appends the output to
+// dst, returning the extended slice; alignment is relative to len(dst)
+// at entry. On error the returned slice is dst truncated to its original
+// length. Reusing dst across calls gives a zero-allocation steady state.
+func (t *Transcoder) TranscodeAppend(dst, src []byte) ([]byte, error) {
+	x := t.pool.Get().(*xctx)
+	x.src, x.dst, x.base, x.off, x.depth = src, dst, len(dst), 0, 0
+	err := t.root(x)
+	if err == nil && x.off != len(src) {
+		err = fmt.Errorf("transcode: %d trailing bytes", len(src)-x.off)
+	}
+	out := x.dst
+	x.src, x.dst = nil, nil
+	x.arena = x.arena[:0]
+	t.pool.Put(x)
+	if err != nil {
+		return dst[:len(dst):len(dst)], err
+	}
+	return out, nil
+}
+
+// pair compiles the conversion for one plan node applied to a declared
+// type pair. The triple key matters: one plan node (keyed on unfolded
+// types) can be reached through different declared types with different
+// wire encodings.
+func (c *compiler) pair(n *plan.Node, tA, tB *mtype.Type) (emitFn, error) {
+	if n == nil {
+		return nil, unsupported("missing plan node")
+	}
+	key := tripleKey{n, tA, tB}
+	if s, ok := c.pairs[key]; ok {
+		if s.fn == nil {
+			return func(x *xctx) error { return s.fn(x) }, nil
+		}
+		return s.fn, nil
+	}
+	s := &emitSlot{}
+	c.pairs[key] = s
+	fn, err := c.pairNew(n, tA, tB)
+	if err != nil {
+		return nil, err
+	}
+	s.fn = fn
+	return fn, nil
+}
+
+func (c *compiler) pairNew(n *plan.Node, tA, tB *mtype.Type) (emitFn, error) {
+	elemA, listA := mtype.ListElem(tA)
+	elemB, listB := mtype.ListElem(tB)
+	switch n.Kind {
+	case compare.DecSame:
+		return c.ident(tA, tB)
+	case compare.DecPrim:
+		if listA || listB {
+			return nil, unsupported("primitive plan on list-shaped type")
+		}
+		return c.primEmit(tA, tB)
+	case compare.DecPort:
+		if listA || listB {
+			return nil, unsupported("port plan on list-shaped type")
+		}
+		return portEmit(), nil
+	case compare.DecRecord:
+		if listA || listB {
+			return nil, unsupported("record plan on list-shaped type")
+		}
+		return c.record(n.FlatA, n.FlatB, n.Perm, n.LeafPlans, 0)
+	case compare.DecChoice:
+		if listA != listB {
+			return nil, unsupported("sequence vs cons-chain encoding mix")
+		}
+		if listA {
+			return c.listPair(n, elemA, elemB)
+		}
+		return c.choicePair(n, tA, tB)
+	case compare.DecInject:
+		if listB {
+			return nil, unsupported("injection into list-shaped choice")
+		}
+		altB := n.B.Alts()[n.AltMap[0]].Type
+		inner, err := c.pair(n.InjectPlan, tA, altB)
+		if err != nil {
+			return nil, err
+		}
+		disc := uint64(n.AltMap[0])
+		return func(x *xctx) error {
+			x.dst = wire.AppendUint(x.dst, x.base, 4, disc)
+			return inner(x)
+		}, nil
+	case compare.DecSemantic:
+		return nil, unsupported("semantic hook %q requires the tree engine", n.Hook)
+	default:
+		return nil, unsupported("unknown plan node kind %d", n.Kind)
+	}
+}
+
+// choicePair compiles a discriminant-remapping union conversion.
+func (c *compiler) choicePair(n *plan.Node, tA, tB *mtype.Type) (emitFn, error) {
+	altsA := n.A.Alts()
+	altsB := n.B.Alts()
+	if len(n.AltPlans) != len(altsA) {
+		return nil, unsupported("malformed choice plan")
+	}
+	subs := make([]emitFn, len(altsA))
+	discMap := make([]uint64, len(altsA))
+	for i := range altsA {
+		j := n.AltMap[i]
+		if j < 0 || j >= len(altsB) {
+			return nil, unsupported("unmatched choice alternative %d", i)
+		}
+		fn, err := c.pair(n.AltPlans[i], altsA[i].Type, altsB[j].Type)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = fn
+		discMap[i] = uint64(j)
+	}
+	return func(x *xctx) error {
+		if x.depth > wire.MaxDecodeDepth {
+			return depthErr()
+		}
+		disc, off, err := wire.ReadUint(x.src, x.off, 4)
+		if err != nil {
+			return err
+		}
+		if disc >= uint64(len(subs)) {
+			return discErr(disc, len(subs))
+		}
+		x.off = off
+		x.dst = wire.AppendUint(x.dst, x.base, 4, discMap[disc])
+		x.depth++
+		err = subs[disc](x)
+		x.depth--
+		return err
+	}, nil
+}
+
+// listPair compiles a sequence conversion from the cons-cell record plan
+// of two list-shaped types: the wire encodes μL.Choice(Unit, Record(τ,L))
+// as a count plus elements, so the per-element program is the cons record
+// conversion restricted to its head leaves, with the tail recursion
+// replaced by the element loop.
+func (c *compiler) listPair(n *plan.Node, elemA, elemB *mtype.Type) (emitFn, error) {
+	if len(n.AltMap) != 2 || n.AltMap[0] != 0 || n.AltMap[1] != 1 {
+		return nil, unsupported("list choice with permuted alternatives")
+	}
+	if len(n.AltPlans) != 2 || n.AltPlans[1] == nil {
+		return nil, unsupported("malformed list plan")
+	}
+	cons := n.AltPlans[1]
+	var elemEmit emitFn
+	var bulk *layout
+	var err error
+	switch cons.Kind {
+	case compare.DecSame:
+		elemEmit, err = c.ident(elemA, elemB)
+		if err != nil {
+			return nil, err
+		}
+		if lay := c.analyze(elemA); lay.copySafe() {
+			bulk = lay
+		}
+	case compare.DecRecord:
+		elemEmit, err = c.consElem(cons)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, unsupported("list cons cell with plan kind %d", cons.Kind)
+	}
+	return listEmit(elemEmit, bulk), nil
+}
+
+// consElem derives the per-element conversion from a cons-cell record
+// plan: the unique tail leaf (path [1]) on each side must be last and
+// map to its counterpart; the remaining head leaves form an ordinary
+// record shuffle. Leaf paths lose their leading head index so depth
+// accounting matches wire.decode of the element type itself.
+func (c *compiler) consElem(cons *plan.Node) (emitFn, error) {
+	tailA := len(cons.FlatA) - 1
+	tailB := len(cons.FlatB) - 1
+	if tailA < 0 || tailB < 0 ||
+		len(cons.FlatA[tailA].Path) != 1 || cons.FlatA[tailA].Path[0] != 1 ||
+		len(cons.FlatB[tailB].Path) != 1 || cons.FlatB[tailB].Path[0] != 1 {
+		return nil, unsupported("cons cell without trailing tail leaf")
+	}
+	for i := 0; i < tailA; i++ {
+		if len(cons.FlatA[i].Path) == 0 || cons.FlatA[i].Path[0] != 0 {
+			return nil, unsupported("cons cell with non-head leaf")
+		}
+	}
+	if cons.Perm[tailA] != tailB {
+		return nil, unsupported("cons tail does not map to tail")
+	}
+	for i := 0; i < tailA; i++ {
+		if cons.Perm[i] >= tailB {
+			return nil, unsupported("cons head leaf maps to tail")
+		}
+	}
+	return c.record(cons.FlatA[:tailA], cons.FlatB[:tailB], cons.Perm[:tailA], cons.LeafPlans[:tailA], 1)
+}
+
+// listEmit builds the sequence loop. When the element pair is an
+// identity with a copy-safe layout, runs of elements collapse to one
+// bounds-checked bulk copy (the hot path for strings and scalar arrays).
+func listEmit(elem emitFn, bulk *layout) emitFn {
+	return func(x *xctx) error {
+		if x.depth > wire.MaxDecodeDepth {
+			return depthErr()
+		}
+		n64, off, err := wire.ReadUint(x.src, x.off, 4)
+		if err != nil {
+			return err
+		}
+		if n64 > wire.MaxListLen {
+			return limits.Exceededf("transcode: list length %d exceeds limit of %d", n64, wire.MaxListLen)
+		}
+		x.off = off
+		x.dst = wire.AppendUint(x.dst, x.base, 4, n64)
+		n := int(n64)
+		if n == 0 {
+			return nil
+		}
+		if bulk != nil {
+			rs := x.off % 8
+			sz := bulk.size[rs]
+			if rs%bulk.align == x.dstRel()%bulk.align && sz%bulk.align == 0 && len(bulk.holes[rs]) == 0 {
+				if x.depth+1+bulk.levels > wire.MaxDecodeDepth {
+					return depthErr()
+				}
+				total := n * sz
+				if x.off+total > len(x.src) {
+					return truncErr(x.off + total)
+				}
+				x.dst = append(x.dst, x.src[x.off:x.off+total]...)
+				x.off += total
+				return nil
+			}
+		}
+		x.depth++
+		for i := 0; i < n; i++ {
+			if err := elem(x); err != nil {
+				x.depth--
+				return err
+			}
+		}
+		x.depth--
+		return nil
+	}
+}
+
+func portEmit() emitFn {
+	return func(x *xctx) error {
+		if x.depth > wire.MaxDecodeDepth {
+			return depthErr()
+		}
+		n, off, err := wire.ReadUint(x.src, x.off, 4)
+		if err != nil {
+			return err
+		}
+		if uint64(off)+n > uint64(len(x.src)) {
+			return fmt.Errorf("transcode: truncated port reference")
+		}
+		x.dst = wire.AppendUint(x.dst, x.base, 4, n)
+		x.dst = append(x.dst, x.src[off:off+int(n)]...)
+		x.off = off + int(n)
+		return nil
+	}
+}
+
+// primEmit compiles a primitive-to-primitive conversion (identity or
+// widening), replicating the tree path's exact read-validate-write chain
+// so output bytes — including NaN canonicalization and sign extension —
+// are indistinguishable.
+func (c *compiler) primEmit(tA, tB *mtype.Type) (emitFn, error) {
+	ua, ub := wire.Unfold(tA), wire.Unfold(tB)
+	if ua == nil || ub == nil {
+		return nil, unsupported("unbound recursive type")
+	}
+	if ua.Kind() != ub.Kind() {
+		return nil, unsupported("cross-kind primitive pair %s/%s", ua.Kind(), ub.Kind())
+	}
+	switch ua.Kind() {
+	case mtype.KindInteger:
+		sa, signed, err := wire.IntWidth(ua)
+		if err != nil {
+			return nil, unsupported("integer exceeds 64 bits")
+		}
+		sb, _, err := wire.IntWidth(ub)
+		if err != nil {
+			return nil, unsupported("integer exceeds 64 bits")
+		}
+		check, err := intRangeCheck(ua)
+		if err != nil {
+			return nil, err
+		}
+		return func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			u, off, err := wire.ReadUint(x.src, x.off, sa)
+			if err != nil {
+				return err
+			}
+			if err := check(u, sa, signed); err != nil {
+				return err
+			}
+			if signed {
+				shift := uint(64 - 8*sa)
+				u = uint64(int64(u<<shift) >> shift)
+			}
+			x.off = off
+			x.dst = wire.AppendUint(x.dst, x.base, sb, u)
+			return nil
+		}, nil
+	case mtype.KindCharacter:
+		sa, sb := wire.CharWidth(ua), wire.CharWidth(ub)
+		return func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			u, off, err := wire.ReadUint(x.src, x.off, sa)
+			if err != nil {
+				return err
+			}
+			x.off = off
+			x.dst = wire.AppendUint(x.dst, x.base, sb, uint64(uint32(rune(u))))
+			return nil
+		}, nil
+	case mtype.KindReal:
+		sa, err := wire.RealWidth(ua)
+		if err != nil {
+			return nil, unsupported("real exceeds binary64")
+		}
+		sb, err := wire.RealWidth(ub)
+		if err != nil {
+			return nil, unsupported("real exceeds binary64")
+		}
+		return func(x *xctx) error {
+			if x.depth > wire.MaxDecodeDepth {
+				return depthErr()
+			}
+			u, off, err := wire.ReadUint(x.src, x.off, sa)
+			if err != nil {
+				return err
+			}
+			var f float64
+			if sa == 4 {
+				f = float64(math.Float32frombits(uint32(u)))
+			} else {
+				f = math.Float64frombits(u)
+			}
+			if sb == 4 {
+				u = uint64(math.Float32bits(float32(f)))
+			} else {
+				u = math.Float64bits(f)
+			}
+			x.off = off
+			x.dst = wire.AppendUint(x.dst, x.base, sb, u)
+			return nil
+		}, nil
+	default:
+		return nil, unsupported("primitive pair of kind %s", ua.Kind())
+	}
+}

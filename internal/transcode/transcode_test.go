@@ -1,0 +1,378 @@
+package transcode
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/convert"
+	"repro/internal/mtype"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+func i8() *mtype.Type      { return mtype.NewIntegerBits(8, true) }
+func i16() *mtype.Type     { return mtype.NewIntegerBits(16, true) }
+func i32() *mtype.Type     { return mtype.NewIntegerBits(32, true) }
+func i64t() *mtype.Type    { return mtype.NewIntegerBits(64, true) }
+func f32() *mtype.Type     { return mtype.NewFloat32() }
+func f64t() *mtype.Type    { return mtype.NewFloat64() }
+func latin1() *mtype.Type  { return mtype.NewCharacter(mtype.RepLatin1) }
+func unicode() *mtype.Type { return mtype.NewCharacter(mtype.RepUnicode) }
+func strT() *mtype.Type    { return mtype.NewList(latin1()) }
+
+func str(s string) value.Value {
+	var vs []value.Value
+	for _, r := range s {
+		vs = append(vs, value.Char{R: r})
+	}
+	return value.FromSlice(vs)
+}
+
+func list(vs ...value.Value) value.Value { return value.FromSlice(vs) }
+
+// fixture compiles both engines for a matched pair: the wire transcoder
+// under test and the tree-path converter that serves as its oracle.
+type fixture struct {
+	a, b *mtype.Type
+	xc   *Transcoder
+	conv convert.Converter
+}
+
+func build(t *testing.T, a, b *mtype.Type, subtype bool) *fixture {
+	t.Helper()
+	c := compare.NewComparer(compare.DefaultRules())
+	var m *compare.Match
+	var ok bool
+	if subtype {
+		m, ok = c.Subtype(a, b)
+	} else {
+		m, ok = c.Equivalent(a, b)
+	}
+	if !ok {
+		t.Fatalf("no match:\n%s", c.Explain(a, b, compare.ModeEqual))
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	xc, err := Compile(p, a, b)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	conv, err := convert.Compile(p)
+	if err != nil {
+		t.Fatalf("tree compile: %v", err)
+	}
+	return &fixture{a: a, b: b, xc: xc, conv: conv}
+}
+
+// oracle runs both engines on src and requires agreement: identical
+// bytes when the tree path succeeds, an error when the tree path errors.
+func (f *fixture) oracle(t *testing.T, src []byte) {
+	t.Helper()
+	treeOut, treeErr := convert.TranscodeTree(nil, f.a, f.b, f.conv, src)
+	xcOut, xcErr := f.xc.Transcode(src)
+	if treeErr != nil {
+		if xcErr == nil {
+			t.Fatalf("tree path errored (%v) but transcoder succeeded on % x", treeErr, src)
+		}
+		return
+	}
+	if xcErr != nil {
+		t.Fatalf("transcoder error %v on % x (tree path succeeded)", xcErr, src)
+	}
+	if !bytes.Equal(treeOut, xcOut) {
+		t.Fatalf("output mismatch\nsrc:  % x\ntree: % x\nxc:   % x", src, treeOut, xcOut)
+	}
+}
+
+func (f *fixture) roundTrip(t *testing.T, v value.Value) {
+	t.Helper()
+	src, err := wire.Marshal(f.a, v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	f.oracle(t, src)
+}
+
+func TestPermutedRecord(t *testing.T) {
+	a := mtype.RecordOf(i32(), i64t(), f64t(), strT(), i16())
+	b := mtype.RecordOf(i16(), f64t(), strT(), i32(), i64t())
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.NewRecord(
+		value.NewInt(7), value.NewInt(1<<40), value.Real{V: 3.25},
+		str("hello, wire"), value.NewInt(-9)))
+}
+
+func TestIdentityPrefixRecord(t *testing.T) {
+	// First three leaves line up; only the tail two swap.
+	a := mtype.RecordOf(i32(), i64t(), f64t(), strT(), i16())
+	b := mtype.RecordOf(i32(), i64t(), f64t(), i16(), strT())
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.NewRecord(
+		value.NewInt(-5), value.NewInt(123456789), value.Real{V: -0.5},
+		str("tail"), value.NewInt(31000)))
+}
+
+func TestNestedFlattening(t *testing.T) {
+	a := mtype.RecordOf(mtype.RecordOf(i32(), i8()), f64t())
+	b := mtype.RecordOf(i8(), mtype.RecordOf(f64t(), i32()))
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.NewRecord(
+		value.NewRecord(value.NewInt(99), value.NewInt(-3)), value.Real{V: 2.5}))
+}
+
+func TestWideningSubtype(t *testing.T) {
+	a := mtype.RecordOf(i16(), f32(), latin1())
+	b := mtype.RecordOf(i64t(), f64t(), unicode())
+	f := build(t, a, b, true)
+	f.roundTrip(t, value.NewRecord(
+		value.NewInt(-1234), value.Real{V: float64(float32(1.75))}, value.Char{R: 'Ø'}))
+}
+
+func TestBoundedFieldValidated(t *testing.T) {
+	bounded := mtype.NewInteger(big.NewInt(0), big.NewInt(5))
+	wider := mtype.NewInteger(big.NewInt(0), big.NewInt(250))
+	a := mtype.RecordOf(i32(), bounded, f64t())
+	b := mtype.RecordOf(f64t(), wider, i32())
+	f := build(t, a, b, true)
+	f.roundTrip(t, value.NewRecord(value.NewInt(42), value.NewInt(3), value.Real{V: 9.0}))
+
+	// The bounded leaf must still be range-checked on the wire path:
+	// 7 > 5 makes the tree path fail on decode, so the transcoder must
+	// fail too.
+	var bad []byte
+	bad = wire.AppendUint(bad, 0, 4, 42)
+	bad = wire.AppendUint(bad, 0, 1, 7)
+	bad = wire.AppendUint(bad, 0, 8, math.Float64bits(9.0))
+	f.oracle(t, bad)
+}
+
+func TestStrings(t *testing.T) {
+	f := build(t, strT(), strT(), false)
+	f.roundTrip(t, str(""))
+	f.roundTrip(t, str("a"))
+	f.roundTrip(t, str("the quick brown fox jumps over the lazy dog"))
+}
+
+func TestStringWidening(t *testing.T) {
+	a := mtype.NewList(latin1())
+	b := mtype.NewList(unicode())
+	f := build(t, a, b, true)
+	f.roundTrip(t, str("wide load"))
+}
+
+func TestListOfPermutedRecords(t *testing.T) {
+	a := mtype.NewList(mtype.RecordOf(i32(), f32()))
+	b := mtype.NewList(mtype.RecordOf(f32(), i32()))
+	f := build(t, a, b, false)
+	f.roundTrip(t, list(
+		value.NewRecord(value.NewInt(1), value.Real{V: 1}),
+		value.NewRecord(value.NewInt(2), value.Real{V: 2}),
+		value.NewRecord(value.NewInt(3), value.Real{V: 3})))
+	f.roundTrip(t, list())
+}
+
+func TestListOfLists(t *testing.T) {
+	a := mtype.NewList(mtype.NewList(f64t()))
+	b := mtype.NewList(mtype.NewList(f64t()))
+	f := build(t, a, b, false)
+	f.roundTrip(t, list(
+		list(value.Real{V: 1.5}, value.Real{V: 2.5}),
+		list(),
+		list(value.Real{V: -3})))
+}
+
+func TestScalarListBulk(t *testing.T) {
+	a := mtype.NewList(i32())
+	f := build(t, a, mtype.NewList(i32()), false)
+	var vs []value.Value
+	for i := 0; i < 257; i++ {
+		vs = append(vs, value.NewInt(int64(i-128)))
+	}
+	f.roundTrip(t, value.FromSlice(vs))
+}
+
+func TestChoicePermutation(t *testing.T) {
+	a := mtype.ChoiceOf(i32(), f64t(), strT())
+	b := mtype.ChoiceOf(strT(), i32(), f64t())
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.Choice{Alt: 0, V: value.NewInt(5)})
+	f.roundTrip(t, value.Choice{Alt: 1, V: value.Real{V: 1.25}})
+	f.roundTrip(t, value.Choice{Alt: 2, V: str("opt")})
+}
+
+func TestOptional(t *testing.T) {
+	a := mtype.NewOptional(mtype.RecordOf(i32(), i32()))
+	b := mtype.NewOptional(mtype.RecordOf(i32(), i32()))
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.Null())
+	f.roundTrip(t, value.Some(value.NewRecord(value.NewInt(1), value.NewInt(2))))
+}
+
+func TestInjection(t *testing.T) {
+	a := i32()
+	b := mtype.ChoiceOf(f64t(), i32())
+	f := build(t, a, b, true)
+	f.roundTrip(t, value.NewInt(77))
+}
+
+func TestPortCopy(t *testing.T) {
+	a := mtype.RecordOf(mtype.NewPort(mtype.RecordOf(i32())), i32())
+	b := mtype.RecordOf(i32(), mtype.NewPort(mtype.RecordOf(i32())))
+	f := build(t, a, b, false)
+	f.roundTrip(t, value.NewRecord(value.Port{Ref: "obj-42"}, value.NewInt(9)))
+}
+
+func TestPaddingCanonicalized(t *testing.T) {
+	// Identity copy of record(i8, i64): the 7 pad bytes between the
+	// fields must come out zero even when the input carries garbage
+	// there, because the tree path re-encodes padding as zeros.
+	ty := mtype.RecordOf(i8(), i64t())
+	f := build(t, ty, ty, false)
+	src := []byte{0x7f, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03,
+		1, 2, 3, 4, 5, 6, 7, 8}
+	f.oracle(t, src)
+	out, err := f.xc.Transcode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if out[i] != 0 {
+			t.Fatalf("pad byte %d not zeroed: % x", i, out)
+		}
+	}
+}
+
+func TestFloat32NaNCanonicalized(t *testing.T) {
+	// A signaling NaN bit pattern is quieted by the tree path's
+	// float32→float64→float32 round trip; the transcoder must match.
+	ty := mtype.RecordOf(f32(), f32())
+	f := build(t, ty, ty, false)
+	snan := uint32(0x7fa00001)
+	var src []byte
+	src = wire.AppendUint(src, 0, 4, uint64(snan))
+	src = wire.AppendUint(src, 0, 4, uint64(math.Float32bits(1.5)))
+	f.oracle(t, src)
+}
+
+func TestErrorMirrors(t *testing.T) {
+	a := mtype.RecordOf(i32(), f64t(), strT())
+	b := mtype.RecordOf(strT(), i32(), f64t())
+	f := build(t, a, b, false)
+	good, err := wire.Marshal(a, value.NewRecord(value.NewInt(1), value.Real{V: 2}, str("xyz")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every length, plus trailing garbage.
+	for n := 0; n < len(good); n++ {
+		f.oracle(t, good[:n])
+	}
+	f.oracle(t, append(append([]byte(nil), good...), 0xcc))
+
+	// Out-of-range discriminant.
+	ch := build(t, mtype.ChoiceOf(i32(), f64t()), mtype.ChoiceOf(f64t(), i32()), false)
+	var bad []byte
+	bad = wire.AppendUint(bad, 0, 4, 9)
+	ch.oracle(t, bad)
+
+	// Out-of-range integer.
+	bounded := mtype.NewInteger(big.NewInt(0), big.NewInt(100))
+	wider := mtype.NewInteger(big.NewInt(0), big.NewInt(1000))
+	ri := build(t, bounded, wider, true)
+	ri.oracle(t, []byte{200})
+
+	// Oversized list length.
+	ls := build(t, strT(), strT(), false)
+	var huge []byte
+	huge = wire.AppendUint(huge, 0, 4, wire.MaxListLen+1)
+	ls.oracle(t, huge)
+}
+
+func TestDepthBudgetMirrored(t *testing.T) {
+	ty := i8()
+	for i := 0; i < wire.MaxDecodeDepth+5; i++ {
+		ty = mtype.RecordOf(ty)
+	}
+	f := build(t, ty, ty, false)
+	f.oracle(t, []byte{1})
+}
+
+func TestUnsupportedSemanticFallsBack(t *testing.T) {
+	cents := mtype.RecordOf(i64t()).SetTag("cents")
+	euros := mtype.RecordOf(i64t()).SetTag("euros")
+	a := mtype.RecordOf(cents, f64t())
+	b := mtype.RecordOf(euros, f64t())
+	c := compare.NewComparer(compare.DefaultRules())
+	c.RegisterSemantic("cents", "euros", "cents-to-euros")
+	m, ok := c.Equivalent(a, b)
+	if !ok {
+		t.Fatalf("no match:\n%s", c.Explain(a, b, compare.ModeEqual))
+	}
+	p, err := plan.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, a, b); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Compile = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestTranscodeAppendAlignmentBase(t *testing.T) {
+	a := mtype.RecordOf(i32(), i64t(), strT())
+	f := build(t, a, mtype.RecordOf(strT(), i64t(), i32()), false)
+	src, err := wire.Marshal(a, value.NewRecord(value.NewInt(3), value.NewInt(4), str("pack")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := f.xc.Transcode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixed := []byte{0xaa, 0xbb, 0xcc}
+	out, err := f.xc.TranscodeAppend(prefixed, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:3], prefixed) || !bytes.Equal(out[3:], solo) {
+		t.Fatalf("append output differs from standalone: % x vs % x", out, solo)
+	}
+}
+
+// TestTranscodeAllocs pins the allocation story the PR claims: the
+// transcoded path allocates at least 2x less per op than
+// decode→convert→encode, and its steady state with a reused output
+// buffer is (near) allocation-free.
+func TestTranscodeAllocs(t *testing.T) {
+	a := mtype.RecordOf(i32(), i64t(), f64t(), strT(), i16())
+	b := mtype.RecordOf(i16(), f64t(), strT(), i32(), i64t())
+	f := build(t, a, b, false)
+	src, err := wire.Marshal(a, value.NewRecord(
+		value.NewInt(7), value.NewInt(1<<40), value.Real{V: 3.25},
+		str("allocation story"), value.NewInt(-9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []byte
+	if dst, err = f.xc.TranscodeAppend(dst[:0], src); err != nil {
+		t.Fatal(err)
+	}
+	xcAllocs := testing.AllocsPerRun(200, func() {
+		dst, _ = f.xc.TranscodeAppend(dst[:0], src)
+	})
+	treeAllocs := testing.AllocsPerRun(200, func() {
+		out, _ := convert.TranscodeTree(nil, f.a, f.b, f.conv, src)
+		_ = out
+	})
+	if xcAllocs > 2 {
+		t.Errorf("transcoded path allocates %.1f/op, want ≤ 2", xcAllocs)
+	}
+	if xcAllocs*2 > treeAllocs {
+		t.Errorf("transcoded path %.1f allocs/op vs tree %.1f: want ≥ 2x fewer", xcAllocs, treeAllocs)
+	}
+}

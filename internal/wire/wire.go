@@ -5,6 +5,11 @@
 // discriminant. The Mtype drives both directions, so any two declarations
 // that lower to equivalent Mtypes interoperate across the wire without an
 // IDL file.
+//
+// The low-level primitives (AppendUint, ReadUint, AlignUp, the width
+// functions) are exported so layout-aware consumers — notably
+// internal/transcode, which rewrites CDR bytes without building value
+// trees — stay bit-compatible with this package by construction.
 package wire
 
 import (
@@ -31,7 +36,9 @@ const MaxDecodeDepth = limits.DefaultMaxValueDepth
 const maxUnfold = 1 << 10
 
 // Encoder marshals values of one Mtype. Create with NewEncoder; the
-// encoder precomputes nothing and is safe to reuse sequentially.
+// encoder precomputes nothing and is safe to reuse sequentially. Reset
+// repoints an existing encoder so pooled encoders carry no per-call
+// allocation.
 type Encoder struct {
 	ty *mtype.Type
 }
@@ -39,23 +46,41 @@ type Encoder struct {
 // NewEncoder returns an encoder for values of ty.
 func NewEncoder(ty *mtype.Type) *Encoder { return &Encoder{ty: ty} }
 
+// Reset repoints the encoder at ty, allowing reuse without allocation.
+func (e *Encoder) Reset(ty *mtype.Type) { e.ty = ty }
+
 // Marshal encodes v.
 func (e *Encoder) Marshal(v value.Value) ([]byte, error) {
 	var buf []byte
-	out, err := encode(buf, e.ty, v)
+	if est, _ := EstimateSize(e.ty); est > 0 {
+		buf = make([]byte, 0, est)
+	}
+	return e.MarshalAppend(buf, v)
+}
+
+// MarshalAppend encodes v and appends the bytes to dst, returning the
+// extended slice. Alignment is relative to len(dst) at entry, so the
+// appended bytes are identical to a standalone Marshal — callers can pack
+// multiple independently-framed values into one buffer.
+func (e *Encoder) MarshalAppend(dst []byte, v value.Value) ([]byte, error) {
+	out, err := encode(dst, len(dst), e.ty, v)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	return out, nil
 }
 
-// Decoder unmarshals values of one Mtype.
+// Decoder unmarshals values of one Mtype. Reset repoints an existing
+// decoder so pooled decoders carry no per-call allocation.
 type Decoder struct {
 	ty *mtype.Type
 }
 
 // NewDecoder returns a decoder for values of ty.
 func NewDecoder(ty *mtype.Type) *Decoder { return &Decoder{ty: ty} }
+
+// Reset repoints the decoder at ty, allowing reuse without allocation.
+func (d *Decoder) Reset(ty *mtype.Type) { d.ty = ty }
 
 // Unmarshal decodes one value and requires the input to be fully
 // consumed.
@@ -92,7 +117,10 @@ func UnmarshalPrefix(ty *mtype.Type, data []byte) (value.Value, int, error) {
 	return v, n, nil
 }
 
-func unfold(t *mtype.Type) *mtype.Type {
+// Unfold strips Recursive binders until a structural node is reached. It
+// returns nil if the unwrapping budget is exhausted (a degenerate cycle
+// of binders with no structure in between).
+func Unfold(t *mtype.Type) *mtype.Type {
 	for i := 0; t != nil && t.Kind() == mtype.KindRecursive; i++ {
 		if i >= maxUnfold {
 			return nil
@@ -102,6 +130,8 @@ func unfold(t *mtype.Type) *mtype.Type {
 	return t
 }
 
+func unfold(t *mtype.Type) *mtype.Type { return Unfold(t) }
+
 // listShape recognizes the recursive list encoding
 // μL.Choice(Unit, Record(τ, L)) and returns its element type, so lists go
 // on the wire as CDR sequences (length + elements) rather than one
@@ -110,9 +140,9 @@ func listShape(t *mtype.Type) (elem *mtype.Type, ok bool) {
 	return mtype.ListElem(t)
 }
 
-// intWidth returns the CDR width (1, 2, 4, or 8 bytes) and signedness
-// able to hold the range.
-func intWidth(t *mtype.Type) (size int, signed bool, err error) {
+// IntWidth returns the CDR width (1, 2, 4, or 8 bytes) and signedness
+// able to hold the integer type's range.
+func IntWidth(t *mtype.Type) (size int, signed bool, err error) {
 	lo, hi := t.IntegerRange()
 	signed = lo.Sign() < 0
 	for _, size := range []int{1, 2, 4, 8} {
@@ -134,7 +164,9 @@ func intWidth(t *mtype.Type) (size int, signed bool, err error) {
 	return 0, false, fmt.Errorf("wire: integer range [%s..%s] exceeds 64 bits", lo, hi)
 }
 
-func charWidth(t *mtype.Type) int {
+// CharWidth returns the CDR width (1, 2, or 4 bytes) of the character
+// type's repertoire.
+func CharWidth(t *mtype.Type) int {
 	switch t.Repertoire() {
 	case mtype.RepASCII, mtype.RepLatin1:
 		return 1
@@ -145,7 +177,9 @@ func charWidth(t *mtype.Type) int {
 	}
 }
 
-func realWidth(t *mtype.Type) (int, error) {
+// RealWidth returns the CDR width (4 or 8 bytes) able to hold the real
+// type's precision and exponent.
+func RealWidth(t *mtype.Type) (int, error) {
 	p, e := t.RealParams()
 	switch {
 	case p <= 24 && e <= 8:
@@ -157,16 +191,19 @@ func realWidth(t *mtype.Type) (int, error) {
 	}
 }
 
-// align pads buf to a multiple of n (CDR primitive alignment).
-func align(buf []byte, n int) []byte {
-	for len(buf)%n != 0 {
+// align pads buf to a multiple of n bytes past base (CDR primitive
+// alignment, relative to the start of the enclosing value).
+func align(buf []byte, base, n int) []byte {
+	for (len(buf)-base)%n != 0 {
 		buf = append(buf, 0)
 	}
 	return buf
 }
 
-func putUint(buf []byte, size int, u uint64) []byte {
-	buf = align(buf, size)
+// AppendUint aligns buf to size bytes past base, then appends u as a
+// little-endian integer of that size. size must be 1, 2, 4, or 8.
+func AppendUint(buf []byte, base, size int, u uint64) []byte {
+	buf = align(buf, base, size)
 	switch size {
 	case 1:
 		buf = append(buf, byte(u))
@@ -180,15 +217,19 @@ func putUint(buf []byte, size int, u uint64) []byte {
 	return buf
 }
 
-func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
+func putUint(buf []byte, base, size int, u uint64) []byte {
+	return AppendUint(buf, base, size, u)
+}
+
+func encode(buf []byte, base int, t *mtype.Type, v value.Value) ([]byte, error) {
 	if elem, ok := listShape(t); ok {
 		elems, err := value.ToSlice(v)
 		if err != nil {
 			return nil, err
 		}
-		buf = putUint(buf, 4, uint64(len(elems)))
+		buf = putUint(buf, base, 4, uint64(len(elems)))
 		for i, e := range elems {
-			buf, err = encode(buf, elem, e)
+			buf, err = encode(buf, base, elem, e)
 			if err != nil {
 				return nil, fmt.Errorf("element %d: %w", i, err)
 			}
@@ -209,7 +250,7 @@ func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
 		if iv.V.Cmp(lo) < 0 || iv.V.Cmp(hi) > 0 {
 			return nil, fmt.Errorf("wire: %s outside range [%s..%s]", iv.V, lo, hi)
 		}
-		size, signed, err := intWidth(ut)
+		size, signed, err := IntWidth(ut)
 		if err != nil {
 			return nil, err
 		}
@@ -219,26 +260,26 @@ func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
 		} else {
 			u = iv.V.Uint64()
 		}
-		return putUint(buf, size, u), nil
+		return putUint(buf, base, size, u), nil
 	case mtype.KindCharacter:
 		cv, ok := v.(value.Char)
 		if !ok {
 			return nil, fmt.Errorf("wire: character wants Char, got %T", v)
 		}
-		return putUint(buf, charWidth(ut), uint64(cv.R)), nil
+		return putUint(buf, base, CharWidth(ut), uint64(cv.R)), nil
 	case mtype.KindReal:
 		rv, ok := v.(value.Real)
 		if !ok {
 			return nil, fmt.Errorf("wire: real wants Real, got %T", v)
 		}
-		size, err := realWidth(ut)
+		size, err := RealWidth(ut)
 		if err != nil {
 			return nil, err
 		}
 		if size == 4 {
-			return putUint(buf, 4, uint64(math.Float32bits(float32(rv.V)))), nil
+			return putUint(buf, base, 4, uint64(math.Float32bits(float32(rv.V)))), nil
 		}
-		return putUint(buf, 8, math.Float64bits(rv.V)), nil
+		return putUint(buf, base, 8, math.Float64bits(rv.V)), nil
 	case mtype.KindUnit:
 		if _, ok := v.(value.Unit); !ok {
 			return nil, fmt.Errorf("wire: unit wants Unit, got %T", v)
@@ -255,7 +296,7 @@ func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
 		}
 		var err error
 		for i, f := range fields {
-			buf, err = encode(buf, f.Type, rv.Fields[i])
+			buf, err = encode(buf, base, f.Type, rv.Fields[i])
 			if err != nil {
 				return nil, fmt.Errorf("field %d (%s): %w", i, f.Name, err)
 			}
@@ -270,26 +311,30 @@ func encode(buf []byte, t *mtype.Type, v value.Value) ([]byte, error) {
 		if cv.Alt < 0 || cv.Alt >= len(alts) {
 			return nil, fmt.Errorf("wire: alternative %d out of range", cv.Alt)
 		}
-		buf = putUint(buf, 4, uint64(cv.Alt))
-		return encode(buf, alts[cv.Alt].Type, cv.V)
+		buf = putUint(buf, base, 4, uint64(cv.Alt))
+		return encode(buf, base, alts[cv.Alt].Type, cv.V)
 	case mtype.KindPort:
 		pv, ok := v.(value.Port)
 		if !ok {
 			return nil, fmt.Errorf("wire: port wants Port, got %T", v)
 		}
-		buf = putUint(buf, 4, uint64(len(pv.Ref)))
+		buf = putUint(buf, base, 4, uint64(len(pv.Ref)))
 		return append(buf, pv.Ref...), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %s", ut.Kind())
 	}
 }
 
-func alignOff(off, n int) int {
+// AlignUp rounds off up to a multiple of n.
+func AlignUp(off, n int) int {
 	return (off + n - 1) / n * n
 }
 
-func getUint(data []byte, off, size int) (uint64, int, error) {
-	off = alignOff(off, size)
+// ReadUint aligns off to size bytes (relative to the start of data),
+// bounds-checks, and reads a little-endian integer of that size,
+// returning the value and the offset just past it.
+func ReadUint(data []byte, off, size int) (uint64, int, error) {
+	off = AlignUp(off, size)
 	if off+size > len(data) {
 		return 0, 0, fmt.Errorf("wire: truncated input at offset %d", off)
 	}
@@ -307,9 +352,89 @@ func getUint(data []byte, off, size int) (uint64, int, error) {
 	return u, off + size, nil
 }
 
-// maxWireList bounds decoded list lengths to keep malformed or hostile
+func getUint(data []byte, off, size int) (uint64, int, error) {
+	return ReadUint(data, off, size)
+}
+
+// MaxListLen bounds decoded list lengths to keep malformed or hostile
 // inputs from exhausting memory.
-const maxWireList = 1 << 24
+const MaxListLen = 1 << 24
+
+// EstimateSize returns a lower bound on the encoded size of a value of t
+// (assuming the value starts at alignment 0), and whether that bound is
+// exact — it is exact precisely when the type is fixed-size (no lists,
+// choices, or ports anywhere). Callers use it to pre-size encode buffers
+// and pooled scratch.
+func EstimateSize(t *mtype.Type) (int, bool) {
+	end, exact := estimateAt(t, 0, make(map[*mtype.Type]bool))
+	return end, exact
+}
+
+func estimateAt(t *mtype.Type, off int, seen map[*mtype.Type]bool) (int, bool) {
+	if seen[t] {
+		return off, false
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	if _, ok := listShape(t); ok {
+		return AlignUp(off, 4) + 4, false
+	}
+	ut := unfold(t)
+	if ut == nil {
+		return off, false
+	}
+	switch ut.Kind() {
+	case mtype.KindInteger:
+		size, _, err := IntWidth(ut)
+		if err != nil {
+			return off, false
+		}
+		return AlignUp(off, size) + size, true
+	case mtype.KindCharacter:
+		size := CharWidth(ut)
+		return AlignUp(off, size) + size, true
+	case mtype.KindReal:
+		size, err := RealWidth(ut)
+		if err != nil {
+			return off, false
+		}
+		return AlignUp(off, size) + size, true
+	case mtype.KindUnit:
+		return off, true
+	case mtype.KindRecord:
+		exact := true
+		for _, f := range ut.Fields() {
+			var fe bool
+			off, fe = estimateAt(f.Type, off, seen)
+			exact = exact && fe
+			if !fe {
+				// Past the first variable-size field the running
+				// offset is a lower bound only; stop accumulating.
+				return off, false
+			}
+		}
+		return off, exact
+	case mtype.KindChoice:
+		off = AlignUp(off, 4) + 4
+		min, first := 0, true
+		for _, a := range ut.Alts() {
+			end, _ := estimateAt(a.Type, off, seen)
+			if first || end < min {
+				min, first = end, false
+			}
+		}
+		if first {
+			return off, false
+		}
+		return min, false
+	case mtype.KindPort:
+		return AlignUp(off, 4) + 4, false
+	default:
+		return off, false
+	}
+}
+
+const maxWireList = MaxListLen
 
 func decode(data []byte, off int, t *mtype.Type, depth int) (value.Value, int, error) {
 	if depth > MaxDecodeDepth {
@@ -340,7 +465,7 @@ func decode(data []byte, off int, t *mtype.Type, depth int) (value.Value, int, e
 	}
 	switch ut.Kind() {
 	case mtype.KindInteger:
-		size, signed, err := intWidth(ut)
+		size, signed, err := IntWidth(ut)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -361,13 +486,13 @@ func decode(data []byte, off int, t *mtype.Type, depth int) (value.Value, int, e
 		}
 		return iv, off, nil
 	case mtype.KindCharacter:
-		u, off, err := getUint(data, off, charWidth(ut))
+		u, off, err := getUint(data, off, CharWidth(ut))
 		if err != nil {
 			return nil, 0, err
 		}
 		return value.Char{R: rune(u)}, off, nil
 	case mtype.KindReal:
-		size, err := realWidth(ut)
+		size, err := RealWidth(ut)
 		if err != nil {
 			return nil, 0, err
 		}
