@@ -14,8 +14,16 @@
 //	mbird show    project.json
 //	mbird remote compare -addr HOST:PORT (compare flags) (transport flags)
 //	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json] [-batch]
-//	mbird remote stats   -addr HOST:PORT (transport flags)
-//	mbird remote health  -addr HOST:PORT (transport flags)
+//	mbird remote stats   -addr HOST:PORT [-json] [-gateway] (transport flags)
+//	mbird remote health  -addr HOST:PORT [-json] [-gateway] (transport flags)
+//	mbird remote reload  -addr HOST:PORT (transport flags)
+//
+// remote stats and remote health read a daemon's counters — the broker's
+// by default, an interop gateway's (mbirdgw) with -gateway. -json emits
+// the same counters as a JSON object with stable snake_case field names,
+// for scripts and scrapers; the text rendering is for humans and may
+// change. remote reload asks a gateway to re-read its route table (the
+// signal-free equivalent of SIGHUP on mbirdgw).
 //
 // The transport flags tune the resilient client (internal/resil) the
 // remote subcommands use: -timeout bounds each call, -dial-timeout each
@@ -58,6 +66,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cmem"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/gen"
 	"repro/internal/orb"
 	"repro/internal/plan"
@@ -121,7 +130,7 @@ func run(args []string, out io.Writer) error {
 
 func cmdRemote(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mbird remote <compare|convert|stats|health> -addr HOST:PORT ...")
+		return fmt.Errorf("usage: mbird remote <compare|convert|stats|health|reload> -addr HOST:PORT ...")
 	}
 	switch args[0] {
 	case "compare":
@@ -132,6 +141,8 @@ func cmdRemote(args []string, out io.Writer) error {
 		return cmdRemoteStats(args[1:], out)
 	case "health":
 		return cmdRemoteHealth(args[1:], out)
+	case "reload":
+		return cmdRemoteReload(args[1:], out)
 	default:
 		return fmt.Errorf("unknown remote command %q", args[0])
 	}
@@ -559,18 +570,184 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 	return nil
 }
 
+// dialGateway builds a gateway admin client over the same resilient
+// pooled transport the broker client uses.
+func (tf *transportFlags) dialGateway() *gateway.Client {
+	return gateway.NewTransportClient(resil.New(tf.addr, resil.Options{
+		CallTimeout: tf.timeout,
+		DialTimeout: tf.dialTimeout,
+		MaxAttempts: tf.retries,
+		Hedge:       tf.hedge,
+	}))
+}
+
+// emitJSON writes v as indented JSON. The field names in the payload
+// structs below are the stable scrape contract; the text renderings are
+// for humans and may change.
+func emitJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// brokerStatsJSON is the stable -json shape of `mbird remote stats`
+// against a broker daemon.
+type brokerStatsJSON struct {
+	Compare struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Runs      int64 `json:"runs"`
+		TotalNs   int64 `json:"total_ns"`
+		Entries   int   `json:"entries"`
+	} `json:"compare"`
+	Convert struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Compiles  int64 `json:"compiles"`
+		TotalNs   int64 `json:"total_ns"`
+		Entries   int   `json:"entries"`
+	} `json:"convert"`
+	Xcode struct {
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		Coalesced   int64 `json:"coalesced"`
+		Compiles    int64 `json:"compiles"`
+		Unsupported int64 `json:"unsupported"`
+		Entries     int   `json:"entries"`
+	} `json:"xcode"`
+	FastConverts     int64 `json:"fast_converts"`
+	TreeConverts     int64 `json:"tree_converts"`
+	Evictions        int64 `json:"evictions"`
+	InFlight         int64 `json:"in_flight"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Sheds            int64 `json:"sheds"`
+}
+
+// gatewayRouteJSON / gatewayStatsJSON are the stable -json shape of
+// `mbird remote stats -gateway`.
+type gatewayRouteJSON struct {
+	Name           string `json:"name"`
+	Requests       int64  `json:"requests"`
+	FastTier       int64  `json:"fast_tier"`
+	TreeTier       int64  `json:"tree_tier"`
+	Passthrough    int64  `json:"passthrough"`
+	TranscodeNs    int64  `json:"transcode_ns"`
+	UpstreamErrors int64  `json:"upstream_errors"`
+	Sheds          int64  `json:"sheds"`
+	BudgetRejects  int64  `json:"budget_rejects"`
+}
+
+type gatewayUpstreamJSON struct {
+	Addr      string `json:"addr"`
+	Conns     int    `json:"conns"`
+	Dials     int64  `json:"dials"`
+	Discards  int64  `json:"discards"`
+	Retries   int64  `json:"retries"`
+	Overloads int64  `json:"overloads"`
+	Hedges    int64  `json:"hedges"`
+	HedgeWins int64  `json:"hedge_wins"`
+}
+
+type gatewayStatsJSON struct {
+	Routes          []gatewayRouteJSON    `json:"routes"`
+	Upstreams       []gatewayUpstreamJSON `json:"upstreams"`
+	LaneCompiles    int64                 `json:"lane_compiles"`
+	LaneUnsupported int64                 `json:"lane_unsupported"`
+	LaneReuses      int64                 `json:"lane_reuses"`
+	InFlight        int64                 `json:"in_flight"`
+	Sheds           int64                 `json:"sheds"`
+}
+
+// healthJSON is the stable -json shape of `mbird remote health` for
+// both daemons; the gateway-only fields are omitted for the broker and
+// vice versa.
+type healthJSON struct {
+	Ready             bool   `json:"ready"`
+	InFlight          int64  `json:"in_flight"`
+	MaxInFlight       int    `json:"max_in_flight"`
+	Sheds             int64  `json:"sheds"`
+	ConnSheds         int64  `json:"conn_sheds"`
+	Panics            int64  `json:"panics"`
+	TranscoderEntries *int64 `json:"transcoder_entries,omitempty"`
+	Routes            *int   `json:"routes,omitempty"`
+	Lanes             *int   `json:"lanes,omitempty"`
+}
+
 func cmdRemoteStats(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("remote stats", flag.ContinueOnError)
 	var tf transportFlags
 	tf.register(fs)
+	asJSON := fs.Bool("json", false, "emit JSON with stable field names")
+	gw := fs.Bool("gateway", false, "read an interop gateway's stats instead of a broker's")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gw {
+		c := tf.dialGateway()
+		defer c.Close()
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			js := gatewayStatsJSON{
+				Routes:          []gatewayRouteJSON{},
+				Upstreams:       []gatewayUpstreamJSON{},
+				LaneCompiles:    st.LaneCompiles,
+				LaneUnsupported: st.LaneUnsupported,
+				LaneReuses:      st.LaneReuses,
+				InFlight:        st.InFlight,
+				Sheds:           st.Sheds,
+			}
+			for _, r := range st.Routes {
+				js.Routes = append(js.Routes, gatewayRouteJSON{
+					Name: r.Name, Requests: r.Requests,
+					FastTier: r.FastTier, TreeTier: r.TreeTier, Passthrough: r.Passthrough,
+					TranscodeNs: r.TranscodeTotal.Nanoseconds(), UpstreamErrors: r.UpstreamErrors,
+					Sheds: r.Sheds, BudgetRejects: r.BudgetRejects,
+				})
+			}
+			for _, u := range st.Upstreams {
+				js.Upstreams = append(js.Upstreams, gatewayUpstreamJSON{
+					Addr: u.Addr, Conns: u.Conns, Dials: u.Dials, Discards: u.Discards,
+					Retries: u.Retries, Overloads: u.Overloads, Hedges: u.Hedges, HedgeWins: u.HedgeWins,
+				})
+			}
+			return emitJSON(out, js)
+		}
+		for _, r := range st.Routes {
+			fmt.Fprintf(out, "route %-20s %d requests (%d wire-to-wire, %d via trees, %d passthrough), %v transcoding, %d upstream errors, %d shed, %d over budget\n",
+				r.Name+":", r.Requests, r.FastTier, r.TreeTier, r.Passthrough,
+				r.TranscodeTotal, r.UpstreamErrors, r.Sheds, r.BudgetRejects)
+		}
+		for _, u := range st.Upstreams {
+			fmt.Fprintf(out, "upstream %-17s %d conns, %d dials, %d discards, %d retries, %d overloads, %d hedges (%d won)\n",
+				u.Addr+":", u.Conns, u.Dials, u.Discards, u.Retries, u.Overloads, u.Hedges, u.HedgeWins)
+		}
+		fmt.Fprintf(out, "lanes:    %d compiled (%d tree-only), %d cache reuses\n",
+			st.LaneCompiles, st.LaneUnsupported, st.LaneReuses)
+		fmt.Fprintf(out, "in-flight: %d, shed: %d\n", st.InFlight, st.Sheds)
+		return nil
 	}
 	c := tf.dial()
 	defer c.Close()
 	st, err := c.Stats()
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		var js brokerStatsJSON
+		js.Compare.Hits, js.Compare.Misses, js.Compare.Coalesced = st.CompareHits, st.CompareMisses, st.CompareCoalesced
+		js.Compare.Runs, js.Compare.TotalNs, js.Compare.Entries = st.CompareRuns, st.CompareTotal.Nanoseconds(), st.VerdictEntries
+		js.Convert.Hits, js.Convert.Misses, js.Convert.Coalesced = st.ConvertHits, st.ConvertMisses, st.ConvertCoalesced
+		js.Convert.Compiles, js.Convert.TotalNs, js.Convert.Entries = st.Compiles, st.CompileTotal.Nanoseconds(), st.ConverterEntries
+		js.Xcode.Hits, js.Xcode.Misses, js.Xcode.Coalesced = st.XcodeHits, st.XcodeMisses, st.XcodeCoalesced
+		js.Xcode.Compiles, js.Xcode.Unsupported, js.Xcode.Entries = st.XcodeCompiles, st.XcodeUnsupported, st.XcodeEntries
+		js.FastConverts, js.TreeConverts = st.FastConverts, st.TreeConverts
+		js.Evictions, js.InFlight, js.DeadlineExceeded, js.Sheds = st.Evictions, st.InFlight, st.DeadlineExceeded, st.Sheds
+		return emitJSON(out, js)
 	}
 	fmt.Fprintf(out, "compare:  %d hits, %d misses, %d coalesced, %d runs (%v total), %d cached verdicts\n",
 		st.CompareHits, st.CompareMisses, st.CompareCoalesced, st.CompareRuns, st.CompareTotal, st.VerdictEntries)
@@ -589,14 +766,48 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("remote health", flag.ContinueOnError)
 	var tf transportFlags
 	tf.register(fs)
+	asJSON := fs.Bool("json", false, "emit JSON with stable field names")
+	gw := fs.Bool("gateway", false, "read an interop gateway's health instead of a broker's")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gw {
+		c := tf.dialGateway()
+		defer c.Close()
+		h, err := c.Health()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emitJSON(out, healthJSON{
+				Ready: h.Ready, InFlight: h.InFlight, MaxInFlight: h.MaxInFlight,
+				Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
+				Routes: &h.Routes, Lanes: &h.Lanes,
+			})
+		}
+		ready := "ready"
+		if !h.Ready {
+			ready = "draining"
+		}
+		fmt.Fprintf(out, "status:    %s\n", ready)
+		fmt.Fprintf(out, "in-flight: %d of %s admitted\n", h.InFlight, inflightCap(h.MaxInFlight))
+		fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
+		fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
+		fmt.Fprintf(out, "routes:    %d live, %d compiled lanes\n", h.Routes, h.Lanes)
+		return nil
 	}
 	c := tf.dial()
 	defer c.Close()
 	h, err := c.Health()
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		return emitJSON(out, healthJSON{
+			Ready: h.Ready, InFlight: h.InFlight, MaxInFlight: h.MaxInFlight,
+			Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
+			TranscoderEntries: &h.TranscoderEntries,
+		})
 	}
 	ready := "ready"
 	if !h.Ready {
@@ -607,6 +818,25 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
 	fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
 	fmt.Fprintf(out, "xcoders:   %d cached\n", h.TranscoderEntries)
+	return nil
+}
+
+// cmdRemoteReload asks an interop gateway to re-read its route table —
+// the signal-free equivalent of SIGHUP on mbirdgw.
+func cmdRemoteReload(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("remote reload", flag.ContinueOnError)
+	var tf transportFlags
+	tf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := tf.dialGateway()
+	defer c.Close()
+	n, err := c.Reload()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "reloaded: %d routes\n", n)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/orb"
 )
 
@@ -301,5 +303,122 @@ func TestRemoteUsageErrors(t *testing.T) {
 	}
 	if _, err := runCLI(t, "remote", "compare", "-addr", "127.0.0.1:1"); err == nil {
 		t.Error("remote compare without decls succeeded")
+	}
+}
+
+// startGatewayDaemon serves an in-process interop gateway with one
+// passthrough route looped back to a local echo upstream.
+func startGatewayDaemon(t *testing.T) string {
+	t.Helper()
+	up, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = up.Close() })
+	up.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+
+	cfg := &gateway.Config{
+		Upstream: up.Addr(),
+		Routes:   []gateway.RouteConfig{{Key: "echo", Op: 1}},
+	}
+	g := gateway.New(gateway.Options{})
+	t.Cleanup(func() { _ = g.Close() })
+	g.SetReloader(func() (*gateway.Config, error) { return cfg, nil })
+	if err := g.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	g.Serve(srv)
+	return srv.Addr()
+}
+
+// TestRemoteJSONOutput pins the -json scrape contract for both daemons:
+// the outputs must parse as JSON and carry the documented stable keys.
+func TestRemoteJSONOutput(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	out, err := runCLI(t, "remote", "stats", "-addr", addr, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs map[string]any
+	if err := json.Unmarshal([]byte(out), &bs); err != nil {
+		t.Fatalf("broker stats -json is not JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"compare", "convert", "xcode", "fast_converts", "tree_converts", "in_flight", "sheds"} {
+		if _, ok := bs[key]; !ok {
+			t.Errorf("broker stats JSON lacks %q", key)
+		}
+	}
+
+	out, err = runCLI(t, "remote", "health", "-addr", addr, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bh map[string]any
+	if err := json.Unmarshal([]byte(out), &bh); err != nil {
+		t.Fatalf("broker health -json is not JSON: %v\n%s", err, out)
+	}
+	if bh["ready"] != true || bh["max_in_flight"] != float64(256) {
+		t.Errorf("broker health JSON = %v", bh)
+	}
+	if _, ok := bh["transcoder_entries"]; !ok {
+		t.Error("broker health JSON lacks transcoder_entries")
+	}
+	if _, ok := bh["routes"]; ok {
+		t.Error("broker health JSON carries the gateway-only routes field")
+	}
+}
+
+// TestRemoteGatewayFlag drives stats/health/reload against an interop
+// gateway through the -gateway flag.
+func TestRemoteGatewayFlag(t *testing.T) {
+	addr := startGatewayDaemon(t)
+
+	out, err := runCLI(t, "remote", "health", "-addr", addr, "-gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "status:    ready") || !strings.Contains(out, "routes:    1 live") {
+		t.Errorf("gateway health = %q", out)
+	}
+
+	out, err = runCLI(t, "remote", "health", "-addr", addr, "-gateway", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gh map[string]any
+	if err := json.Unmarshal([]byte(out), &gh); err != nil {
+		t.Fatalf("gateway health -json is not JSON: %v\n%s", err, out)
+	}
+	if gh["routes"] != float64(1) || gh["ready"] != true {
+		t.Errorf("gateway health JSON = %v", gh)
+	}
+
+	out, err = runCLI(t, "remote", "stats", "-addr", addr, "-gateway", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gs map[string]any
+	if err := json.Unmarshal([]byte(out), &gs); err != nil {
+		t.Fatalf("gateway stats -json is not JSON: %v\n%s", err, out)
+	}
+	routes, ok := gs["routes"].([]any)
+	if !ok || len(routes) != 1 {
+		t.Fatalf("gateway stats JSON routes = %v", gs["routes"])
+	}
+	if name := routes[0].(map[string]any)["name"]; name != "echo/1" {
+		t.Errorf("route name = %v, want echo/1", name)
+	}
+
+	out, err = runCLI(t, "remote", "reload", "-addr", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reloaded: 1 routes") {
+		t.Errorf("reload = %q", out)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mtype"
 	"repro/internal/orb"
+	"repro/internal/proto"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
@@ -57,30 +58,25 @@ const (
 // Protocol Mtypes. A string is List(Character(unicode)); an int is a
 // 64-bit signed Integer.
 var (
-	protoStrT = mtype.NewList(mtype.NewCharacter(mtype.RepUnicode))
-	protoIntT = mtype.NewIntegerBits(64, true)
-
-	loadReqT     = protoRecord(protoStrT, protoStrT, protoStrT, protoStrT, protoStrT)
-	loadRepT     = protoRecord(protoIntT, mtype.NewList(protoStrT))
-	annotateReqT = protoRecord(protoStrT, protoStrT)
-	annotateRepT = protoRecord(protoIntT, protoIntT)
-	pairReqT     = protoRecord(protoStrT, protoStrT, protoStrT, protoStrT)
-	compareRepT  = protoRecord(protoIntT, protoIntT, protoIntT, protoStrT)
-	planRepT     = protoRecord(protoStrT)
-	statsT       = protoRecord(
-		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // compare: hits, misses, coalesced, runs, totalNs, entries
-		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
-		protoIntT, protoIntT, protoIntT, protoIntT, // evictions, inFlight, deadlineExceeded, sheds
-		protoIntT, protoIntT, protoIntT, protoIntT, // xcode: hits, misses, coalesced, compiles
-		protoIntT, protoIntT, protoIntT, protoIntT, // xcode: unsupported, entries, fastConverts, treeConverts
+	loadReqT     = proto.Record(proto.StrT, proto.StrT, proto.StrT, proto.StrT, proto.StrT)
+	loadRepT     = proto.Record(proto.IntT, mtype.NewList(proto.StrT))
+	annotateReqT = proto.Record(proto.StrT, proto.StrT)
+	annotateRepT = proto.Record(proto.IntT, proto.IntT)
+	pairReqT     = proto.Record(proto.StrT, proto.StrT, proto.StrT, proto.StrT)
+	compareRepT  = proto.Record(proto.IntT, proto.IntT, proto.IntT, proto.StrT)
+	planRepT     = proto.Record(proto.StrT)
+	statsT       = proto.Record(
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // compare: hits, misses, coalesced, runs, totalNs, entries
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // convert: hits, misses, coalesced, compiles, totalNs, entries
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // evictions, inFlight, deadlineExceeded, sheds
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // xcode: hits, misses, coalesced, compiles
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // xcode: unsupported, entries, fastConverts, treeConverts
 	)
-	healthT = protoRecord(
-		protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, protoIntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
-		protoIntT, // transcoderEntries
+	healthT = proto.Record(
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
+		proto.IntT, // transcoderEntries
 	)
 )
-
-func protoRecord(types ...*mtype.Type) *mtype.Type { return mtype.RecordOf(types...) }
 
 // appendBatch serializes a batch item list: u32 count, then per item a
 // u32 length and the item bytes (all lengths plain little-endian,
@@ -122,77 +118,6 @@ func parseBatch(data []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("broker: %d trailing bytes after batch", len(data))
 	}
 	return items, nil
-}
-
-// strVal encodes a Go string as a protocol string value.
-func strVal(s string) value.Value {
-	runes := []rune(s)
-	elems := make([]value.Value, len(runes))
-	for i, r := range runes {
-		elems[i] = value.Char{R: r}
-	}
-	return value.FromSlice(elems)
-}
-
-// valStr decodes a protocol string value.
-func valStr(v value.Value) (string, error) {
-	elems, err := value.ToSlice(v)
-	if err != nil {
-		return "", err
-	}
-	runes := make([]rune, len(elems))
-	for i, e := range elems {
-		c, ok := e.(value.Char)
-		if !ok {
-			return "", fmt.Errorf("broker: string element is %T", e)
-		}
-		runes[i] = c.R
-	}
-	return string(runes), nil
-}
-
-func intVal(n int64) value.Value { return value.NewInt(n) }
-
-func valInt(v value.Value) (int64, error) {
-	iv, ok := v.(value.Int)
-	if !ok {
-		return 0, fmt.Errorf("broker: integer field is %T", v)
-	}
-	return iv.Int64()
-}
-
-// marshalStrings CDR-encodes a record of strings against ty.
-func marshalStrings(ty *mtype.Type, ss ...string) ([]byte, error) {
-	fields := make([]value.Value, len(ss))
-	for i, s := range ss {
-		fields[i] = strVal(s)
-	}
-	return wire.Marshal(ty, value.NewRecord(fields...))
-}
-
-// unmarshalStrings decodes a record of n strings.
-func unmarshalStrings(ty *mtype.Type, data []byte, n int) ([]string, error) {
-	v, err := wire.Unmarshal(ty, data)
-	if err != nil {
-		return nil, err
-	}
-	return recordStrings(v, n)
-}
-
-func recordStrings(v value.Value, n int) ([]string, error) {
-	rec, ok := v.(value.Record)
-	if !ok || len(rec.Fields) != n {
-		return nil, fmt.Errorf("broker: want record of %d strings, got %v", n, v)
-	}
-	out := make([]string, n)
-	for i, f := range rec.Fields {
-		s, err := valStr(f)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
-	}
-	return out, nil
 }
 
 // Serve registers the broker service on an orb server under ObjectKey
@@ -279,7 +204,7 @@ func handler(b *Broker) orb.Handler {
 	return func(op uint32, body []byte) ([]byte, error) {
 		switch op {
 		case OpLoad:
-			args, err := unmarshalStrings(loadReqT, body, 5)
+			args, err := proto.UnmarshalStrings(loadReqT, body, 5)
 			if err != nil {
 				return nil, err
 			}
@@ -289,16 +214,16 @@ func handler(b *Broker) orb.Handler {
 			}
 			nameVals := make([]value.Value, len(names))
 			for i, n := range names {
-				nameVals[i] = strVal(n)
+				nameVals[i] = proto.Str(n)
 			}
 			ex := int64(0)
 			if existed {
 				ex = 1
 			}
-			return wire.Marshal(loadRepT, value.NewRecord(intVal(ex), value.FromSlice(nameVals)))
+			return wire.Marshal(loadRepT, value.NewRecord(proto.Int(ex), value.FromSlice(nameVals)))
 
 		case OpAnnotate:
-			args, err := unmarshalStrings(annotateReqT, body, 2)
+			args, err := proto.UnmarshalStrings(annotateReqT, body, 2)
 			if err != nil {
 				return nil, err
 			}
@@ -307,10 +232,10 @@ func handler(b *Broker) orb.Handler {
 				return nil, err
 			}
 			return wire.Marshal(annotateRepT,
-				value.NewRecord(intVal(int64(res.Lines)), intVal(int64(res.Applied))))
+				value.NewRecord(proto.Int(int64(res.Lines)), proto.Int(int64(res.Applied))))
 
 		case OpCompare:
-			args, err := unmarshalStrings(pairReqT, body, 4)
+			args, err := proto.UnmarshalStrings(pairReqT, body, 4)
 			if err != nil {
 				return nil, err
 			}
@@ -323,10 +248,10 @@ func handler(b *Broker) orb.Handler {
 				cached = 1
 			}
 			return wire.Marshal(compareRepT, value.NewRecord(
-				intVal(int64(v.Relation)), intVal(int64(v.Steps)), intVal(cached), strVal(v.Explain)))
+				proto.Int(int64(v.Relation)), proto.Int(int64(v.Steps)), proto.Int(cached), proto.Str(v.Explain)))
 
 		case OpPlan:
-			args, err := unmarshalStrings(pairReqT, body, 4)
+			args, err := proto.UnmarshalStrings(pairReqT, body, 4)
 			if err != nil {
 				return nil, err
 			}
@@ -334,14 +259,14 @@ func handler(b *Broker) orb.Handler {
 			if err != nil {
 				return nil, err
 			}
-			return wire.Marshal(planRepT, value.NewRecord(strVal(text)))
+			return wire.Marshal(planRepT, value.NewRecord(proto.Str(text)))
 
 		case OpConvert:
 			hdr, n, err := wire.UnmarshalPrefix(pairReqT, body)
 			if err != nil {
 				return nil, fmt.Errorf("convert header: %w", err)
 			}
-			args, err := recordStrings(hdr, 4)
+			args, err := proto.RecordStrings(hdr, 4)
 			if err != nil {
 				return nil, err
 			}
@@ -352,7 +277,7 @@ func handler(b *Broker) orb.Handler {
 			if err != nil {
 				return nil, fmt.Errorf("convert header: %w", err)
 			}
-			args, err := recordStrings(hdr, 4)
+			args, err := proto.RecordStrings(hdr, 4)
 			if err != nil {
 				return nil, err
 			}
@@ -369,13 +294,13 @@ func handler(b *Broker) orb.Handler {
 		case OpStats:
 			st := b.Stats()
 			return wire.Marshal(statsT, value.NewRecord(
-				intVal(st.CompareHits), intVal(st.CompareMisses), intVal(st.CompareCoalesced),
-				intVal(st.CompareRuns), intVal(st.CompareTotal.Nanoseconds()), intVal(int64(st.VerdictEntries)),
-				intVal(st.ConvertHits), intVal(st.ConvertMisses), intVal(st.ConvertCoalesced),
-				intVal(st.Compiles), intVal(st.CompileTotal.Nanoseconds()), intVal(int64(st.ConverterEntries)),
-				intVal(st.Evictions), intVal(st.InFlight), intVal(st.DeadlineExceeded), intVal(st.Sheds),
-				intVal(st.XcodeHits), intVal(st.XcodeMisses), intVal(st.XcodeCoalesced), intVal(st.XcodeCompiles),
-				intVal(st.XcodeUnsupported), intVal(int64(st.XcodeEntries)), intVal(st.FastConverts), intVal(st.TreeConverts)))
+				proto.Int(st.CompareHits), proto.Int(st.CompareMisses), proto.Int(st.CompareCoalesced),
+				proto.Int(st.CompareRuns), proto.Int(st.CompareTotal.Nanoseconds()), proto.Int(int64(st.VerdictEntries)),
+				proto.Int(st.ConvertHits), proto.Int(st.ConvertMisses), proto.Int(st.ConvertCoalesced),
+				proto.Int(st.Compiles), proto.Int(st.CompileTotal.Nanoseconds()), proto.Int(int64(st.ConverterEntries)),
+				proto.Int(st.Evictions), proto.Int(st.InFlight), proto.Int(st.DeadlineExceeded), proto.Int(st.Sheds),
+				proto.Int(st.XcodeHits), proto.Int(st.XcodeMisses), proto.Int(st.XcodeCoalesced), proto.Int(st.XcodeCompiles),
+				proto.Int(st.XcodeUnsupported), proto.Int(int64(st.XcodeEntries)), proto.Int(st.FastConverts), proto.Int(st.TreeConverts)))
 
 		case OpHealth:
 			h := b.Health()
@@ -384,9 +309,9 @@ func handler(b *Broker) orb.Handler {
 				ready = 1
 			}
 			return wire.Marshal(healthT, value.NewRecord(
-				intVal(ready), intVal(h.InFlight), intVal(int64(h.MaxInFlight)),
-				intVal(h.Sheds), intVal(h.ConnSheds), intVal(h.Panics),
-				intVal(h.TranscoderEntries)))
+				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
+				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
+				proto.Int(h.TranscoderEntries)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -444,7 +369,7 @@ func (c *Client) Load(universe, lang, model, src, script string) (names []string
 
 // LoadContext is Load bounded by a context.
 func (c *Client) LoadContext(ctx context.Context, universe, lang, model, src, script string) (names []string, existed bool, err error) {
-	body, err := marshalStrings(loadReqT, universe, lang, model, src, script)
+	body, err := proto.MarshalStrings(loadReqT, universe, lang, model, src, script)
 	if err != nil {
 		return nil, false, err
 	}
@@ -457,7 +382,7 @@ func (c *Client) LoadContext(ctx context.Context, universe, lang, model, src, sc
 		return nil, false, err
 	}
 	rec := v.(value.Record)
-	ex, err := valInt(rec.Fields[0])
+	ex, err := proto.GoInt(rec.Fields[0])
 	if err != nil {
 		return nil, false, err
 	}
@@ -467,7 +392,7 @@ func (c *Client) LoadContext(ctx context.Context, universe, lang, model, src, sc
 	}
 	names = make([]string, len(elems))
 	for i, e := range elems {
-		if names[i], err = valStr(e); err != nil {
+		if names[i], err = proto.GoStr(e); err != nil {
 			return nil, false, err
 		}
 	}
@@ -481,7 +406,7 @@ func (c *Client) Annotate(universe, script string) (lines, applied int, err erro
 
 // AnnotateContext is Annotate bounded by a context.
 func (c *Client) AnnotateContext(ctx context.Context, universe, script string) (lines, applied int, err error) {
-	body, err := marshalStrings(annotateReqT, universe, script)
+	body, err := proto.MarshalStrings(annotateReqT, universe, script)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -494,11 +419,11 @@ func (c *Client) AnnotateContext(ctx context.Context, universe, script string) (
 		return 0, 0, err
 	}
 	rec := v.(value.Record)
-	l, err := valInt(rec.Fields[0])
+	l, err := proto.GoInt(rec.Fields[0])
 	if err != nil {
 		return 0, 0, err
 	}
-	a, err := valInt(rec.Fields[1])
+	a, err := proto.GoInt(rec.Fields[1])
 	if err != nil {
 		return 0, 0, err
 	}
@@ -512,7 +437,7 @@ func (c *Client) Compare(ua, da, ub, db string) (Verdict, error) {
 
 // CompareContext is Compare bounded by a context.
 func (c *Client) CompareContext(ctx context.Context, ua, da, ub, db string) (Verdict, error) {
-	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	body, err := proto.MarshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -525,19 +450,19 @@ func (c *Client) CompareContext(ctx context.Context, ua, da, ub, db string) (Ver
 		return Verdict{}, err
 	}
 	rec := v.(value.Record)
-	rel, err := valInt(rec.Fields[0])
+	rel, err := proto.GoInt(rec.Fields[0])
 	if err != nil {
 		return Verdict{}, err
 	}
-	steps, err := valInt(rec.Fields[1])
+	steps, err := proto.GoInt(rec.Fields[1])
 	if err != nil {
 		return Verdict{}, err
 	}
-	cached, err := valInt(rec.Fields[2])
+	cached, err := proto.GoInt(rec.Fields[2])
 	if err != nil {
 		return Verdict{}, err
 	}
-	explain, err := valStr(rec.Fields[3])
+	explain, err := proto.GoStr(rec.Fields[3])
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -556,7 +481,7 @@ func (c *Client) Plan(ua, da, ub, db string) (string, error) {
 
 // PlanContext is Plan bounded by a context.
 func (c *Client) PlanContext(ctx context.Context, ua, da, ub, db string) (string, error) {
-	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	body, err := proto.MarshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return "", err
 	}
@@ -568,7 +493,7 @@ func (c *Client) PlanContext(ctx context.Context, ua, da, ub, db string) (string
 	if err != nil {
 		return "", err
 	}
-	return valStr(v.(value.Record).Fields[0])
+	return proto.GoStr(v.(value.Record).Fields[0])
 }
 
 // ConvertRaw converts a CDR-encoded value of declaration A into a
@@ -581,7 +506,7 @@ func (c *Client) ConvertRaw(ua, da, ub, db string, payload []byte) ([]byte, erro
 
 // ConvertRawContext is ConvertRaw bounded by a context.
 func (c *Client) ConvertRawContext(ctx context.Context, ua, da, ub, db string, payload []byte) ([]byte, error) {
-	hdr, err := marshalStrings(pairReqT, ua, da, ub, db)
+	hdr, err := proto.MarshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return nil, err
 	}
@@ -598,7 +523,7 @@ func (c *Client) ConvertBatchRaw(ua, da, ub, db string, payloads [][]byte) ([][]
 
 // ConvertBatchRawContext is ConvertBatchRaw bounded by a context.
 func (c *Client) ConvertBatchRawContext(ctx context.Context, ua, da, ub, db string, payloads [][]byte) ([][]byte, error) {
-	body, err := marshalStrings(pairReqT, ua, da, ub, db)
+	body, err := proto.MarshalStrings(pairReqT, ua, da, ub, db)
 	if err != nil {
 		return nil, err
 	}
@@ -682,14 +607,8 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	rec := v.(value.Record)
-	get := func(i int) int64 {
-		n, err2 := valInt(rec.Fields[i])
-		if err2 != nil && err == nil {
-			err = err2
-		}
-		return n
-	}
+	r := proto.NewInts(v)
+	get := r.Get
 	st := Stats{
 		CompareHits: get(0), CompareMisses: get(1), CompareCoalesced: get(2),
 		CompareRuns: get(3), CompareTotal: time.Duration(get(4)), VerdictEntries: int(get(5)),
@@ -699,7 +618,7 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		XcodeHits: get(16), XcodeMisses: get(17), XcodeCoalesced: get(18), XcodeCompiles: get(19),
 		XcodeUnsupported: get(20), XcodeEntries: int(get(21)), FastConverts: get(22), TreeConverts: get(23),
 	}
-	return st, err
+	return st, r.Err()
 }
 
 // Health fetches the daemon's readiness and load snapshot. It is served
@@ -719,14 +638,8 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 	if err != nil {
 		return Health{}, err
 	}
-	rec := v.(value.Record)
-	get := func(i int) int64 {
-		n, err2 := valInt(rec.Fields[i])
-		if err2 != nil && err == nil {
-			err = err2
-		}
-		return n
-	}
+	r := proto.NewInts(v)
+	get := r.Get
 	h := Health{
 		Ready:             get(0) != 0,
 		InFlight:          get(1),
@@ -736,5 +649,5 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		Panics:            get(5),
 		TranscoderEntries: get(6),
 	}
-	return h, err
+	return h, r.Err()
 }

@@ -1,0 +1,685 @@
+// Package gateway is the interop gateway: an orb-framed proxy that lets
+// two endpoints speaking *different* declarations hold a live
+// conversation. Clients connect to the gateway and marshal against
+// declaration A; the gateway forwards each request to an upstream
+// server expecting declaration B, transcoding the payload A→B in
+// flight, and transcodes the reply B→A on the way back. This turns the
+// stub compiler's conversion machinery into a runtime data plane: the
+// adaptation artifact the paper's flexible-stub story implies, without
+// either endpoint changing a line.
+//
+// A route table (JSON, hot-reloadable) maps operation keys — (orb
+// object key, op number) pairs — to declaration pairs. At route load
+// the gateway lowers both declarations through a core.Session, compares
+// them, builds the coercion plan, and compiles each payload direction
+// into a lane:
+//
+//   - fast tier: a fused CDR-bytes→CDR-bytes transcoder
+//     (internal/transcode) that rewrites payloads without building
+//     value trees;
+//   - tree tier: when the fuser refuses the plan (wrapped
+//     ErrUnsupported — e.g. semantic hooks), the lane falls back to
+//     decode→convert→encode through the closure-compiled converter
+//     (internal/convert) with identical bytes.
+//
+// Compiled lanes are cached by exact fingerprint pair
+// (internal/fingerprint), so routes sharing a declaration pair — and
+// reloads that keep a pair — reuse one compilation. Upstream
+// connections go through internal/resil pools (deadlines, retries,
+// hedging); admission control and payload budgets mirror the broker's
+// (internal/limits); per-route counters are served on an admin
+// stats/health protocol shaped like the broker's.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cmem"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/limits"
+	"repro/internal/mtype"
+	"repro/internal/orb"
+	"repro/internal/resil"
+	"repro/internal/transcode"
+	"repro/internal/wire"
+)
+
+// Options configures a Gateway. Zero values select the defaults.
+type Options struct {
+	// MaxInFlight bounds data-plane requests admitted concurrently
+	// (default 1024). A request arriving at the cap waits up to
+	// AdmitWait for a slot, then is shed with a typed orb.ErrOverloaded.
+	// Negative disables admission control. Admin ops bypass it.
+	MaxInFlight int
+	// AdmitWait is how long an arriving request may wait for an
+	// admission slot before being shed (default 5ms).
+	AdmitWait time.Duration
+	// MaxPayload bounds each request and reply payload in bytes
+	// (default limits.DefaultMaxBytes; negative disables). Violations
+	// are typed limits.ErrBudget errors.
+	MaxPayload int
+	// Upstream tunes the resil connection pools the gateway dials
+	// upstreams with (pool size, call deadlines, retries, hedging).
+	Upstream resil.Options
+	// Session supplies a pre-configured core.Session — the hook table
+	// (RegisterSemantic) must be populated before the first route
+	// compiles. Nil creates a fresh session.
+	Session *core.Session
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 1024
+	}
+	if o.AdmitWait <= 0 {
+		o.AdmitWait = 5 * time.Millisecond
+	}
+	if o.Session == nil {
+		o.Session = core.NewSession()
+	}
+	return o
+}
+
+// lane is one compiled payload direction: src-declaration bytes in,
+// dst-declaration bytes out. xc is the fused fast tier; when the fuser
+// refused the plan xc is nil and conv (the tree engine, with semantic
+// hooks resolved) serves the lane instead.
+type lane struct {
+	src, dst    *mtype.Type
+	xc          *transcode.Transcoder
+	conv        convert.Converter
+	unsupported string // fuser's refusal, for stats/debugging
+}
+
+// run transcodes one payload, reporting which tier served it.
+func (l *lane) run(payload []byte) (out []byte, fast bool, err error) {
+	if l.xc != nil {
+		out, err = l.xc.Transcode(payload)
+		return out, true, err
+	}
+	v, err := wire.Unmarshal(l.src, payload)
+	if err != nil {
+		return nil, false, err
+	}
+	cv, err := l.conv.Convert(v)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err = wire.Marshal(l.dst, cv)
+	return out, false, err
+}
+
+// routeCounters is the per-route stats block. It is keyed by route name
+// and survives hot reloads, so a reload does not zero the counters of
+// routes that persist.
+type routeCounters struct {
+	requests      atomic.Int64
+	fastTier      atomic.Int64
+	treeTier      atomic.Int64
+	passthrough   atomic.Int64
+	transcodeNs   atomic.Int64
+	upstreamErrs  atomic.Int64
+	sheds         atomic.Int64
+	budgetRejects atomic.Int64
+}
+
+// route is one compiled table entry.
+type route struct {
+	name   string
+	key    string
+	op     uint32
+	upAddr string
+	upKey  string
+	upOp   uint32
+	pool   *resil.Client
+	req    *lane // nil = passthrough
+	rep    *lane // nil = passthrough
+	c      *routeCounters
+}
+
+// table is the immutable routing state the data plane reads; reloads
+// build a fresh table and swap the pointer.
+type table struct {
+	routes map[string]map[uint32]*route // object key → op → route
+}
+
+func (t *table) lookup(key string, op uint32) *route {
+	if t == nil {
+		return nil
+	}
+	return t.routes[key][op]
+}
+
+func (t *table) keys() map[string]bool {
+	ks := make(map[string]bool, len(t.routes))
+	for k := range t.routes {
+		ks[k] = true
+	}
+	return ks
+}
+
+// Gateway is the interop proxy. All methods are safe for concurrent
+// use; the data plane is lock-free against reloads (it reads an
+// atomically swapped route table).
+type Gateway struct {
+	opts   Options
+	budget limits.Budget
+
+	// sessMu serializes the core.Session (lowering and comparison
+	// memoize into shared maps), exactly as the broker does.
+	sessMu sync.Mutex
+	sess   *core.Session
+
+	tab atomic.Pointer[table]
+	srv atomic.Pointer[orb.Server]
+
+	// mu serializes control-plane mutation: reloads, pool creation,
+	// lane-cache fills, and Close.
+	mu       sync.Mutex
+	pools    map[string]*resil.Client
+	lanes    map[fingerprint.PairKey]*lane
+	counters map[string]*routeCounters
+	reloader func() (*Config, error)
+	closed   bool
+
+	admit chan struct{}
+
+	inFlight        atomic.Int64
+	sheds           atomic.Int64
+	laneCompiles    atomic.Int64
+	laneUnsupported atomic.Int64
+	laneHits        atomic.Int64
+}
+
+// New returns a Gateway with an empty route table. Call SetConfig (or
+// Reload) to install routes, then Serve to attach it to an orb server.
+func New(opts Options) *Gateway {
+	opts = opts.withDefaults()
+	g := &Gateway{
+		opts:     opts,
+		budget:   limits.Budget{MaxBytes: opts.MaxPayload}.WithDefaults(),
+		sess:     opts.Session,
+		pools:    make(map[string]*resil.Client),
+		lanes:    make(map[fingerprint.PairKey]*lane),
+		counters: make(map[string]*routeCounters),
+	}
+	if opts.MaxInFlight > 0 {
+		g.admit = make(chan struct{}, opts.MaxInFlight)
+	}
+	g.tab.Store(&table{routes: map[string]map[uint32]*route{}})
+	return g
+}
+
+// Serve registers the gateway on an orb server: the admin service under
+// AdminKey plus a frame-relay handler for every routed object key.
+func (g *Gateway) Serve(srv *orb.Server) {
+	g.srv.Store(srv)
+	srv.Register(AdminKey, g.adminHandler())
+	for key := range g.tab.Load().keys() {
+		srv.Register(key, g.frontHandler(key))
+	}
+}
+
+// Close tears down every upstream pool. The orb server the gateway is
+// registered on belongs to the caller and is not touched.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	pools := g.pools
+	g.pools = map[string]*resil.Client{}
+	g.mu.Unlock()
+	for _, p := range pools {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// SetReloader installs the callback the admin reload op (and SIGHUP in
+// mbirdgw) uses to fetch a fresh Config — typically re-reading the
+// route file.
+func (g *Gateway) SetReloader(fn func() (*Config, error)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reloader = fn
+}
+
+// Reload fetches a fresh config through the reloader and installs it.
+func (g *Gateway) Reload() (int, error) {
+	g.mu.Lock()
+	fn := g.reloader
+	g.mu.Unlock()
+	if fn == nil {
+		return 0, errors.New("gateway: no reloader configured")
+	}
+	cfg, err := fn()
+	if err != nil {
+		return 0, err
+	}
+	if err := g.SetConfig(cfg); err != nil {
+		return 0, err
+	}
+	return len(cfg.Routes), nil
+}
+
+// SetConfig compiles cfg into a complete new route table and swaps it
+// in atomically: every route compiles (declarations load, pairs relate,
+// lanes build) or the old table stays untouched. On success, object
+// keys no longer routed are unregistered from the serving orb server
+// and new keys are registered. Counters persist for routes whose names
+// survive the reload; compiled lanes are reused by fingerprint pair.
+func (g *Gateway) SetConfig(cfg *Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return errors.New("gateway: closed")
+	}
+	routes := make(map[string]map[uint32]*route)
+	for i := range cfg.Routes {
+		rc := &cfg.Routes[i]
+		r, err := g.compileRoute(cfg, rc)
+		if err != nil {
+			return fmt.Errorf("gateway: route %s: %w", rc.DisplayName(), err)
+		}
+		if routes[r.key] == nil {
+			routes[r.key] = make(map[uint32]*route)
+		}
+		routes[r.key][r.op] = r
+	}
+	old := g.tab.Swap(&table{routes: routes})
+	if srv := g.srv.Load(); srv != nil {
+		oldKeys := old.keys()
+		for key := range routes {
+			if !oldKeys[key] {
+				srv.Register(key, g.frontHandler(key))
+			}
+			delete(oldKeys, key)
+		}
+		for key := range oldKeys {
+			srv.Unregister(key)
+		}
+	}
+	return nil
+}
+
+// compileRoute builds one route: its upstream pool, its counters
+// (reused by name across reloads), and its two lanes. Called with g.mu
+// held.
+func (g *Gateway) compileRoute(cfg *Config, rc *RouteConfig) (*route, error) {
+	name := rc.DisplayName()
+	r := &route{
+		name:   name,
+		key:    rc.Key,
+		op:     rc.Op,
+		upAddr: rc.Upstream,
+		upKey:  rc.UpstreamKey,
+		upOp:   rc.Op,
+	}
+	if r.upAddr == "" {
+		r.upAddr = cfg.Upstream
+	}
+	if r.upKey == "" {
+		r.upKey = rc.Key
+	}
+	if rc.UpstreamOp != nil {
+		r.upOp = *rc.UpstreamOp
+	}
+	if r.c = g.counters[name]; r.c == nil {
+		r.c = &routeCounters{}
+		g.counters[name] = r.c
+	}
+	if r.pool = g.pools[r.upAddr]; r.pool == nil {
+		r.pool = resil.New(r.upAddr, g.opts.Upstream)
+		g.pools[r.upAddr] = r.pool
+	}
+	var err error
+	if rc.Request != nil {
+		if r.req, err = g.lane(&rc.Request.From, &rc.Request.To); err != nil {
+			return nil, fmt.Errorf("request lane: %w", err)
+		}
+	}
+	if rc.Reply != nil {
+		if r.rep, err = g.lane(&rc.Reply.From, &rc.Reply.To); err != nil {
+			return nil, fmt.Errorf("reply lane: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// lane returns the compiled lane for a declaration pair, loading the
+// declarations into the session and compiling both tiers on a
+// fingerprint-cache miss. Called with g.mu held (reload path only — the
+// data plane never compiles).
+func (g *Gateway) lane(from, to *DeclConfig) (*lane, error) {
+	mtF, err := g.Lower(from)
+	if err != nil {
+		return nil, err
+	}
+	mtT, err := g.Lower(to)
+	if err != nil {
+		return nil, err
+	}
+	key := fingerprint.Pair(fingerprint.Exact(mtF), fingerprint.Exact(mtT))
+	if l := g.lanes[key]; l != nil {
+		g.laneHits.Add(1)
+		return l, nil
+	}
+	g.sessMu.Lock()
+	v, err := g.sess.Compare(from.universe(), from.Decl, to.universe(), to.Decl)
+	g.sessMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	switch v.Relation {
+	case core.RelEquivalent, core.RelSubtypeAB:
+	case core.RelSubtypeBA:
+		return nil, fmt.Errorf("%s only converts toward %s (it is the supertype); swap the lane", to.Decl, from.Decl)
+	default:
+		return nil, fmt.Errorf("declarations do not match:\n%s", v.Explain)
+	}
+	p, conv, err := g.sess.BuildConverter(v)
+	if err != nil {
+		return nil, err
+	}
+	l := &lane{src: mtF, dst: mtT, conv: conv}
+	g.laneCompiles.Add(1)
+	xc, err := transcode.Compile(p, mtF, mtT)
+	switch {
+	case err == nil:
+		l.xc = xc
+	case errors.Is(err, transcode.ErrUnsupported):
+		// Tree tier serves the lane; remember why for stats.
+		l.unsupported = err.Error()
+		g.laneUnsupported.Add(1)
+	default:
+		return nil, err
+	}
+	g.lanes[key] = l
+	return l, nil
+}
+
+// Lower loads the declaration's universe into the session (idempotent —
+// universes are content-addressed) and lowers the named declaration.
+func (g *Gateway) Lower(d *DeclConfig) (*mtype.Type, error) {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	uni := d.universe()
+	if g.sess.Universe(uni) == nil {
+		var err error
+		switch d.Lang {
+		case "c":
+			m := cmem.ILP32
+			if d.Model == "lp64" {
+				m = cmem.LP64
+			}
+			err = g.sess.LoadC(uni, d.Source, m)
+		case "java":
+			err = g.sess.LoadJava(uni, d.Source)
+		case "idl":
+			err = g.sess.LoadIDL(uni, d.Source)
+		default:
+			err = fmt.Errorf("gateway: unknown lang %q", d.Lang)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d.Script != "" {
+			if _, err := g.sess.Annotate(uni, d.Script); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g.sess.Mtype(uni, d.Decl)
+}
+
+// admitRequest acquires an admission slot, waiting up to AdmitWait
+// before shedding with a typed orb.ErrOverloaded (counted globally and
+// against the route).
+func (g *Gateway) admitRequest(c *routeCounters) (release func(), err error) {
+	if g.admit == nil {
+		return func() {}, nil
+	}
+	release = func() { <-g.admit }
+	select {
+	case g.admit <- struct{}{}:
+		return release, nil
+	default:
+	}
+	t := time.NewTimer(g.opts.AdmitWait)
+	defer t.Stop()
+	select {
+	case g.admit <- struct{}{}:
+		return release, nil
+	case <-t.C:
+		g.sheds.Add(1)
+		c.sheds.Add(1)
+		return nil, fmt.Errorf("%w: %d requests already in flight", orb.ErrOverloaded, cap(g.admit))
+	}
+}
+
+// checkBudget bounds one payload, typed with limits.ErrBudget.
+func (g *Gateway) checkBudget(dir string, n int) error {
+	if n > g.budget.MaxBytes {
+		return limits.Exceededf("gateway: %s payload of %d bytes exceeds %d", dir, n, g.budget.MaxBytes)
+	}
+	return nil
+}
+
+// frontHandler returns the orb handler relaying one routed object key.
+// One-way messages take the same path with the reply discarded by the
+// orb server (the upstream leg is still request/reply, so ordering and
+// backpressure hold).
+func (g *Gateway) frontHandler(key string) orb.Handler {
+	return func(op uint32, body []byte) ([]byte, error) {
+		r := g.tab.Load().lookup(key, op)
+		if r == nil {
+			return nil, fmt.Errorf("gateway: no route for object %q op %d", key, op)
+		}
+		return g.relay(r, body)
+	}
+}
+
+// relay serves one routed call: admit, budget-check, transcode the
+// request lane, forward upstream through the resilient pool, budget-
+// check and transcode the reply lane.
+func (g *Gateway) relay(r *route, body []byte) ([]byte, error) {
+	r.c.requests.Add(1)
+	release, err := g.admitRequest(r.c)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+
+	if err := g.checkBudget("request", len(body)); err != nil {
+		r.c.budgetRejects.Add(1)
+		return nil, err
+	}
+	out := body
+	if r.req != nil {
+		if out, err = g.runLane(r, r.req, body); err != nil {
+			return nil, fmt.Errorf("gateway: request transcode: %w", err)
+		}
+	}
+	reply, err := r.pool.Invoke(r.upKey, r.upOp, out)
+	if err != nil {
+		r.c.upstreamErrs.Add(1)
+		// Typed orb errors (Overloaded, ServerPanic) survive the error
+		// frame back to the client; everything else degrades to a
+		// remote error carrying this message.
+		return nil, fmt.Errorf("gateway: upstream %s: %w", r.upAddr, err)
+	}
+	if err := g.checkBudget("reply", len(reply)); err != nil {
+		r.c.budgetRejects.Add(1)
+		return nil, err
+	}
+	if r.rep != nil {
+		if reply, err = g.runLane(r, r.rep, reply); err != nil {
+			return nil, fmt.Errorf("gateway: reply transcode: %w", err)
+		}
+	}
+	if r.req == nil && r.rep == nil {
+		r.c.passthrough.Add(1)
+	}
+	return reply, nil
+}
+
+// runLane executes one lane under the route's tier and latency
+// counters.
+func (g *Gateway) runLane(r *route, l *lane, payload []byte) ([]byte, error) {
+	start := time.Now()
+	out, fast, err := l.run(payload)
+	r.c.transcodeNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	if fast {
+		r.c.fastTier.Add(1)
+	} else {
+		r.c.treeTier.Add(1)
+	}
+	return out, nil
+}
+
+// RouteStats is one route's counter snapshot.
+type RouteStats struct {
+	Name string
+	// Requests counts calls matched to the route (admitted or shed).
+	Requests int64
+	// FastTier / TreeTier count lane executions served wire-to-wire vs
+	// decode→convert→encode; Passthrough counts calls forwarded with no
+	// transcoding at all.
+	FastTier, TreeTier, Passthrough int64
+	// TranscodeTotal is the cumulative in-gateway transcode time.
+	TranscodeTotal time.Duration
+	// UpstreamErrors counts upstream legs that failed after resil's
+	// retries; Sheds counts admission sheds; BudgetRejects counts
+	// payloads over the byte budget.
+	UpstreamErrors, Sheds, BudgetRejects int64
+}
+
+// UpstreamStats is one upstream pool's counter snapshot.
+type UpstreamStats struct {
+	Addr  string
+	Conns int
+	Dials, Discards, Retries,
+	Overloads, Hedges, HedgeWins int64
+}
+
+// Stats is a point-in-time snapshot of the gateway's counters.
+type Stats struct {
+	// Routes holds the live table's per-route counters, sorted by name.
+	Routes []RouteStats
+	// Upstreams holds one entry per upstream pool, sorted by address.
+	Upstreams []UpstreamStats
+	// LaneCompiles counts declaration pairs compiled; LaneUnsupported
+	// how many of those the wire-transcoder fuser refused (tree tier);
+	// LaneReuses how many lane requests were served by the fingerprint
+	// cache.
+	LaneCompiles, LaneUnsupported, LaneReuses int64
+	// InFlight is the number of admitted data-plane requests.
+	InFlight int64
+	// Sheds counts admission sheds across all routes.
+	Sheds int64
+}
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		LaneCompiles:    g.laneCompiles.Load(),
+		LaneUnsupported: g.laneUnsupported.Load(),
+		LaneReuses:      g.laneHits.Load(),
+		InFlight:        g.inFlight.Load(),
+		Sheds:           g.sheds.Load(),
+	}
+	tab := g.tab.Load()
+	for _, ops := range tab.routes {
+		for _, r := range ops {
+			st.Routes = append(st.Routes, RouteStats{
+				Name:           r.name,
+				Requests:       r.c.requests.Load(),
+				FastTier:       r.c.fastTier.Load(),
+				TreeTier:       r.c.treeTier.Load(),
+				Passthrough:    r.c.passthrough.Load(),
+				TranscodeTotal: time.Duration(r.c.transcodeNs.Load()),
+				UpstreamErrors: r.c.upstreamErrs.Load(),
+				Sheds:          r.c.sheds.Load(),
+				BudgetRejects:  r.c.budgetRejects.Load(),
+			})
+		}
+	}
+	sortRouteStats(st.Routes)
+	g.mu.Lock()
+	for addr, p := range g.pools {
+		ps := p.Stats()
+		st.Upstreams = append(st.Upstreams, UpstreamStats{
+			Addr: addr, Conns: ps.Conns, Dials: ps.Dials, Discards: ps.Discards,
+			Retries: ps.Retries, Overloads: ps.Overloads,
+			Hedges: ps.Hedges, HedgeWins: ps.HedgeWins,
+		})
+	}
+	g.mu.Unlock()
+	sortUpstreamStats(st.Upstreams)
+	return st
+}
+
+func sortRouteStats(rs []RouteStats) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+}
+
+func sortUpstreamStats(us []UpstreamStats) {
+	sort.Slice(us, func(i, j int) bool { return us[i].Addr < us[j].Addr })
+}
+
+// Health is the gateway's readiness and load snapshot, shaped like the
+// broker's and served without admission control.
+type Health struct {
+	// Ready is false while the serving orb server drains or is closed.
+	Ready bool
+	// InFlight / MaxInFlight mirror the admission semaphore (0 cap when
+	// admission is disabled).
+	InFlight    int64
+	MaxInFlight int
+	// Sheds counts admission sheds; ConnSheds and Panics come from the
+	// serving orb server.
+	Sheds, ConnSheds, Panics int64
+	// Routes is the number of live table entries; Lanes the number of
+	// cached compiled lanes.
+	Routes, Lanes int
+}
+
+// Health returns the gateway's readiness and load snapshot.
+func (g *Gateway) Health() Health {
+	h := Health{Ready: true, Sheds: g.sheds.Load()}
+	if g.admit != nil {
+		h.InFlight = int64(len(g.admit))
+		h.MaxInFlight = cap(g.admit)
+	}
+	for _, ops := range g.tab.Load().routes {
+		h.Routes += len(ops)
+	}
+	g.mu.Lock()
+	h.Lanes = len(g.lanes)
+	g.mu.Unlock()
+	if srv := g.srv.Load(); srv != nil {
+		st := srv.Stats()
+		h.ConnSheds = st.Shed
+		h.Panics = st.Panics
+		h.Ready = !srv.Draining()
+	}
+	return h
+}

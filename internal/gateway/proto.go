@@ -1,0 +1,290 @@
+// Admin protocol for the interop gateway: health, stats, and reload ops
+// served under a reserved object key on the same orb listener as the
+// proxied traffic. Payloads are CDR against small protocol Mtypes
+// (shared with the broker's admin plane via internal/proto), so the
+// gateway's control surface speaks the exact wire format its data plane
+// transcodes.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mtype"
+	"repro/internal/orb"
+	"repro/internal/proto"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// AdminKey is the orb object key the gateway's admin service is served
+// under; the route table may not claim it.
+const AdminKey = "mbird.gateway"
+
+// Admin ops.
+const (
+	// OpHealth: empty → Record(ready, inFlight, maxInFlight, sheds,
+	// connSheds, panics, routes, lanes). Served without admission
+	// control so it answers while the data plane is saturated.
+	OpHealth uint32 = iota + 1
+	// OpStats: empty → Record(List(route record), List(upstream record),
+	// laneCompiles, laneUnsupported, laneReuses, inFlight, sheds). A
+	// route record is Record(name ++ 8 counters); an upstream record is
+	// Record(addr ++ 7 counters). See routeStatT / upstreamStatT.
+	OpStats
+	// OpReload: empty → Record(routes). Re-reads the route table through
+	// the configured reloader and swaps it in; the reply carries the new
+	// route count.
+	OpReload
+)
+
+// Protocol Mtypes.
+var (
+	healthT = proto.Record(
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // connSheds, panics, routes, lanes
+	)
+	routeStatT = proto.Record(
+		proto.StrT,                                     // name
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // requests, fast, tree, passthrough
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // transcodeNs, upstreamErrs, sheds, budgetRejects
+	)
+	upstreamStatT = proto.Record(
+		proto.StrT,                                     // addr
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // conns, dials, discards, retries
+		proto.IntT, proto.IntT, proto.IntT, // overloads, hedges, hedgeWins
+	)
+	statsT = proto.Record(
+		mtype.NewList(routeStatT),
+		mtype.NewList(upstreamStatT),
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // laneCompiles, laneUnsupported, laneReuses, inFlight, sheds
+	)
+	reloadT = proto.Record(proto.IntT)
+)
+
+// adminHandler serves the admin ops. Health and stats are pure counter
+// reads; reload takes the control-plane lock but never blocks the data
+// plane (the table swap is atomic).
+func (g *Gateway) adminHandler() orb.Handler {
+	return func(op uint32, body []byte) ([]byte, error) {
+		switch op {
+		case OpHealth:
+			h := g.Health()
+			ready := int64(0)
+			if h.Ready {
+				ready = 1
+			}
+			return wire.Marshal(healthT, value.NewRecord(
+				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
+				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
+				proto.Int(int64(h.Routes)), proto.Int(int64(h.Lanes))))
+
+		case OpStats:
+			st := g.Stats()
+			routes := make([]value.Value, len(st.Routes))
+			for i, r := range st.Routes {
+				routes[i] = value.NewRecord(
+					proto.Str(r.Name),
+					proto.Int(r.Requests), proto.Int(r.FastTier), proto.Int(r.TreeTier), proto.Int(r.Passthrough),
+					proto.Int(r.TranscodeTotal.Nanoseconds()), proto.Int(r.UpstreamErrors),
+					proto.Int(r.Sheds), proto.Int(r.BudgetRejects))
+			}
+			ups := make([]value.Value, len(st.Upstreams))
+			for i, u := range st.Upstreams {
+				ups[i] = value.NewRecord(
+					proto.Str(u.Addr),
+					proto.Int(int64(u.Conns)), proto.Int(u.Dials), proto.Int(u.Discards), proto.Int(u.Retries),
+					proto.Int(u.Overloads), proto.Int(u.Hedges), proto.Int(u.HedgeWins))
+			}
+			return wire.Marshal(statsT, value.NewRecord(
+				value.FromSlice(routes), value.FromSlice(ups),
+				proto.Int(st.LaneCompiles), proto.Int(st.LaneUnsupported), proto.Int(st.LaneReuses),
+				proto.Int(st.InFlight), proto.Int(st.Sheds)))
+
+		case OpReload:
+			n, err := g.Reload()
+			if err != nil {
+				return nil, err
+			}
+			return wire.Marshal(reloadT, value.NewRecord(proto.Int(int64(n))))
+
+		default:
+			return nil, fmt.Errorf("gateway: unknown admin op %d", op)
+		}
+	}
+}
+
+// Transport is the connection an admin Client speaks through: a plain
+// orb.Client, or a resil.Client for pooling and retries (safe — every
+// admin op except reload is a pure read, and reload is idempotent
+// against an unchanged route file).
+type Transport interface {
+	InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error)
+	Close() error
+}
+
+// Client is a typed client for the gateway admin protocol.
+type Client struct {
+	t Transport
+}
+
+// NewClient wraps an established orb connection.
+func NewClient(c *orb.Client) *Client { return &Client{t: c} }
+
+// NewTransportClient wraps any Transport — typically a resil.Client.
+func NewTransportClient(t Transport) *Client { return &Client{t: t} }
+
+// DialTimeout bounds DialClient's connection attempt.
+const DialTimeout = 10 * time.Second
+
+// DialClient connects to a gateway's admin service over a single orb
+// connection.
+func DialClient(addr string) (*Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), DialTimeout)
+	defer cancel()
+	c, err := orb.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{t: c}, nil
+}
+
+// Close releases the underlying transport.
+func (c *Client) Close() error { return c.t.Close() }
+
+// Health fetches the gateway's health snapshot.
+func (c *Client) Health() (Health, error) {
+	return c.HealthContext(context.Background())
+}
+
+// HealthContext fetches the gateway's health snapshot.
+func (c *Client) HealthContext(ctx context.Context) (Health, error) {
+	reply, err := c.t.InvokeContext(ctx, AdminKey, OpHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	v, err := wire.Unmarshal(healthT, reply)
+	if err != nil {
+		return Health{}, err
+	}
+	r := proto.NewInts(v)
+	h := Health{
+		Ready:       r.Get(0) != 0,
+		InFlight:    r.Get(1),
+		MaxInFlight: int(r.Get(2)),
+		Sheds:       r.Get(3),
+		ConnSheds:   r.Get(4),
+		Panics:      r.Get(5),
+		Routes:      int(r.Get(6)),
+		Lanes:       int(r.Get(7)),
+	}
+	return h, r.Err()
+}
+
+// Stats fetches the gateway's stats snapshot.
+func (c *Client) Stats() (Stats, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext fetches the gateway's stats snapshot.
+func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
+	reply, err := c.t.InvokeContext(ctx, AdminKey, OpStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	v, err := wire.Unmarshal(statsT, reply)
+	if err != nil {
+		return Stats{}, err
+	}
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != 7 {
+		return Stats{}, fmt.Errorf("gateway: malformed stats reply: %v", v)
+	}
+	var st Stats
+	routes, err := value.ToSlice(rec.Fields[0])
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, rv := range routes {
+		rr, ok := rv.(value.Record)
+		if !ok || len(rr.Fields) != 9 {
+			return Stats{}, fmt.Errorf("gateway: malformed route record: %v", rv)
+		}
+		name, err := proto.GoStr(rr.Fields[0])
+		if err != nil {
+			return Stats{}, err
+		}
+		c := proto.NewInts(rv)
+		st.Routes = append(st.Routes, RouteStats{
+			Name:           name,
+			Requests:       c.Get(1),
+			FastTier:       c.Get(2),
+			TreeTier:       c.Get(3),
+			Passthrough:    c.Get(4),
+			TranscodeTotal: time.Duration(c.Get(5)),
+			UpstreamErrors: c.Get(6),
+			Sheds:          c.Get(7),
+			BudgetRejects:  c.Get(8),
+		})
+		if err := c.Err(); err != nil {
+			return Stats{}, err
+		}
+	}
+	ups, err := value.ToSlice(rec.Fields[1])
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, uv := range ups {
+		ur, ok := uv.(value.Record)
+		if !ok || len(ur.Fields) != 8 {
+			return Stats{}, fmt.Errorf("gateway: malformed upstream record: %v", uv)
+		}
+		addr, err := proto.GoStr(ur.Fields[0])
+		if err != nil {
+			return Stats{}, err
+		}
+		c := proto.NewInts(uv)
+		st.Upstreams = append(st.Upstreams, UpstreamStats{
+			Addr:      addr,
+			Conns:     int(c.Get(1)),
+			Dials:     c.Get(2),
+			Discards:  c.Get(3),
+			Retries:   c.Get(4),
+			Overloads: c.Get(5),
+			Hedges:    c.Get(6),
+			HedgeWins: c.Get(7),
+		})
+		if err := c.Err(); err != nil {
+			return Stats{}, err
+		}
+	}
+	g := proto.NewInts(v)
+	st.LaneCompiles = g.Get(2)
+	st.LaneUnsupported = g.Get(3)
+	st.LaneReuses = g.Get(4)
+	st.InFlight = g.Get(5)
+	st.Sheds = g.Get(6)
+	return st, g.Err()
+}
+
+// Reload asks the gateway to re-read its route table; it returns the
+// new route count.
+func (c *Client) Reload() (int, error) {
+	return c.ReloadContext(context.Background())
+}
+
+// ReloadContext asks the gateway to re-read its route table.
+func (c *Client) ReloadContext(ctx context.Context) (int, error) {
+	reply, err := c.t.InvokeContext(ctx, AdminKey, OpReload, nil)
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.Unmarshal(reloadT, reply)
+	if err != nil {
+		return 0, err
+	}
+	r := proto.NewInts(v)
+	n := int(r.Get(0))
+	return n, r.Err()
+}

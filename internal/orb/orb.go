@@ -354,6 +354,16 @@ func (s *Server) Register(key string, h Handler) {
 	s.handlers[key] = h
 }
 
+// Unregister withdraws an exported object. Requests already dispatched
+// to the old handler finish normally; new requests for the key are
+// answered with a no-object error. Proxies (the interop gateway) use it
+// to retire routes on a hot reload without restarting the listener.
+func (s *Server) Unregister(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.handlers, key)
+}
+
 // Close stops the listener and all connections, and waits for the
 // serving goroutines to exit. In-flight requests are abandoned; use
 // Shutdown to drain them first.

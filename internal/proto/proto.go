@@ -1,0 +1,143 @@
+// Package proto holds the CDR building blocks shared by the admin-plane
+// protocols of the mbird daemons (the broker in internal/broker, the
+// interop gateway in internal/gateway). Every protocol payload is CDR,
+// marshaled by package wire against small protocol Mtypes — the daemons
+// speak the same wire format as the stubs they compile — and this
+// package fixes the two primitive encodings both sides agree on: a
+// string is the §3.2 recursive list encoding over Unicode characters,
+// and a counter is a 64-bit signed integer.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/mtype"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Protocol Mtypes. A string is List(Character(unicode)); an int is a
+// 64-bit signed Integer.
+var (
+	// StrT is the protocol string Mtype.
+	StrT = mtype.NewList(mtype.NewCharacter(mtype.RepUnicode))
+	// IntT is the protocol counter Mtype.
+	IntT = mtype.NewIntegerBits(64, true)
+)
+
+// Record builds a protocol record Mtype from field Mtypes.
+func Record(types ...*mtype.Type) *mtype.Type { return mtype.RecordOf(types...) }
+
+// Str encodes a Go string as a protocol string value.
+func Str(s string) value.Value {
+	runes := []rune(s)
+	elems := make([]value.Value, len(runes))
+	for i, r := range runes {
+		elems[i] = value.Char{R: r}
+	}
+	return value.FromSlice(elems)
+}
+
+// GoStr decodes a protocol string value.
+func GoStr(v value.Value) (string, error) {
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return "", err
+	}
+	runes := make([]rune, len(elems))
+	for i, e := range elems {
+		c, ok := e.(value.Char)
+		if !ok {
+			return "", fmt.Errorf("proto: string element is %T", e)
+		}
+		runes[i] = c.R
+	}
+	return string(runes), nil
+}
+
+// Int encodes a counter as a protocol integer value.
+func Int(n int64) value.Value { return value.NewInt(n) }
+
+// GoInt decodes a protocol integer value.
+func GoInt(v value.Value) (int64, error) {
+	iv, ok := v.(value.Int)
+	if !ok {
+		return 0, fmt.Errorf("proto: integer field is %T", v)
+	}
+	return iv.Int64()
+}
+
+// MarshalStrings CDR-encodes a record of strings against ty.
+func MarshalStrings(ty *mtype.Type, ss ...string) ([]byte, error) {
+	fields := make([]value.Value, len(ss))
+	for i, s := range ss {
+		fields[i] = Str(s)
+	}
+	return wire.Marshal(ty, value.NewRecord(fields...))
+}
+
+// UnmarshalStrings decodes a record of n strings.
+func UnmarshalStrings(ty *mtype.Type, data []byte, n int) ([]string, error) {
+	v, err := wire.Unmarshal(ty, data)
+	if err != nil {
+		return nil, err
+	}
+	return RecordStrings(v, n)
+}
+
+// RecordStrings extracts n string fields from a decoded record value.
+func RecordStrings(v value.Value, n int) ([]string, error) {
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != n {
+		return nil, fmt.Errorf("proto: want record of %d strings, got %v", n, v)
+	}
+	out := make([]string, n)
+	for i, f := range rec.Fields {
+		s, err := GoStr(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Ints is a convenience reader over a decoded counter record: it
+// extracts int64 fields by index, accumulating the first error, so
+// protocol clients can decode twenty-field stats records without
+// twenty error branches.
+type Ints struct {
+	rec value.Record
+	err error
+}
+
+// NewInts wraps a decoded record for indexed counter access. A non-record
+// value yields a reader whose every Get reports the shape error.
+func NewInts(v value.Value) *Ints {
+	rec, ok := v.(value.Record)
+	if !ok {
+		return &Ints{err: fmt.Errorf("proto: want record, got %T", v)}
+	}
+	return &Ints{rec: rec}
+}
+
+// Get returns field i as an int64, recording (and then repeating) the
+// first decode error.
+func (r *Ints) Get(i int) int64 {
+	if r.err != nil {
+		return 0
+	}
+	if i < 0 || i >= len(r.rec.Fields) {
+		r.err = fmt.Errorf("proto: record has %d fields, want index %d", len(r.rec.Fields), i)
+		return 0
+	}
+	n, err := GoInt(r.rec.Fields[i])
+	if err != nil {
+		r.err = err
+		return 0
+	}
+	return n
+}
+
+// Err returns the first error any Get hit.
+func (r *Ints) Err() error { return r.err }

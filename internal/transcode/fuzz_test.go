@@ -81,6 +81,43 @@ func fuzzPairs() []fuzzPair {
 			sub:  true,
 			seed: value.NewInt(77),
 		},
+		// Discriminant coverage: alternatives are aggregates, so a
+		// corrupted discriminant byte selects a different decode shape
+		// entirely — both engines must agree on accept/reject and bytes.
+		{
+			name: "choice-of-aggregates",
+			a:    mtype.ChoiceOf(mtype.RecordOf(i32(), f32()), strT(), mtype.NewList(i16())),
+			b:    mtype.ChoiceOf(mtype.NewList(i16()), mtype.RecordOf(f32(), i32()), strT()),
+			seed: value.Choice{Alt: 2, V: list(value.NewInt(5), value.NewInt(-12))},
+		},
+		{
+			name: "choice-in-record",
+			a:    mtype.RecordOf(mtype.ChoiceOf(i32(), strT()), i8()),
+			b:    mtype.RecordOf(i8(), mtype.ChoiceOf(strT(), i32())),
+			seed: value.NewRecord(value.Choice{Alt: 1, V: str("alt")}, value.NewInt(3)),
+		},
+		// Nested sequences: length-prefixed lists inside lists, where a
+		// fuzzed inner count must not let the transcoder read past the
+		// payload the tree decoder rejects.
+		{
+			name: "nested-sequences",
+			a:    mtype.NewList(mtype.NewList(mtype.RecordOf(i32(), f64t()))),
+			b:    mtype.NewList(mtype.NewList(mtype.RecordOf(f64t(), i32()))),
+			seed: list(
+				list(value.NewRecord(value.NewInt(1), value.Real{V: 0.5})),
+				list(value.NewRecord(value.NewInt(2), value.Real{V: 1.5}),
+					value.NewRecord(value.NewInt(3), value.Real{V: 2.5})),
+			),
+		},
+		{
+			name: "sequence-of-choices",
+			a:    mtype.NewList(mtype.ChoiceOf(i32(), f64t())),
+			b:    mtype.NewList(mtype.ChoiceOf(f64t(), i32())),
+			seed: list(
+				value.Choice{Alt: 0, V: value.NewInt(4)},
+				value.Choice{Alt: 1, V: value.Real{V: -2.5}},
+			),
+		},
 	}
 }
 

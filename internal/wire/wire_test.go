@@ -258,3 +258,99 @@ func TestNestingTransparentOnWire(t *testing.T) {
 		t.Errorf("cross-decoded = %s", got)
 	}
 }
+
+// TestMarshalAppendOddOffsets pins the alignment-restart contract:
+// MarshalAppend aligns relative to len(dst) at entry, so the appended
+// bytes are identical to a standalone Marshal even when the destination
+// ends at an odd, non-8-aligned offset. The broker's batch protocol and
+// the gateway's transcoder both rely on this to pack independently
+// framed CDR values into one buffer.
+func TestMarshalAppendOddOffsets(t *testing.T) {
+	str := func(s string) value.Value {
+		elems := make([]value.Value, len(s))
+		for i, r := range s {
+			elems[i] = value.Char{R: r}
+		}
+		return value.FromSlice(elems)
+	}
+	cases := []struct {
+		name string
+		ty   *mtype.Type
+		v    value.Value
+	}{
+		{
+			// Internal padding: the u64 must land 8-aligned relative to
+			// the value's own first byte, not the buffer's.
+			name: "i8-then-i64",
+			ty:   mtype.RecordOf(mtype.NewIntegerBits(8, true), mtype.NewIntegerBits(64, true)),
+			v:    value.NewRecord(value.NewInt(-5), value.NewInt(1<<40)),
+		},
+		{
+			name: "f64",
+			ty:   mtype.NewFloat64(),
+			v:    value.Real{V: -1.0 / 3},
+		},
+		{
+			name: "string-then-i32",
+			ty: mtype.RecordOf(mtype.NewList(mtype.NewCharacter(mtype.RepLatin1)),
+				mtype.NewIntegerBits(32, true)),
+			v: value.NewRecord(str("odd"), value.NewInt(99)),
+		},
+		{
+			name: "list-of-i16",
+			ty:   mtype.NewList(mtype.NewIntegerBits(16, true)),
+			v:    value.FromSlice([]value.Value{value.NewInt(1), value.NewInt(2), value.NewInt(3)}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Marshal(tc.ty, tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := NewEncoder(tc.ty)
+			for _, off := range []int{1, 2, 3, 5, 7, 9, 11, 13, 63} {
+				prefix := make([]byte, off)
+				for i := range prefix {
+					prefix[i] = 0xAA
+				}
+				out, err := enc.MarshalAppend(prefix, tc.v)
+				if err != nil {
+					t.Fatalf("offset %d: %v", off, err)
+				}
+				if len(out) != off+len(want) {
+					t.Fatalf("offset %d: appended %d bytes, standalone is %d",
+						off, len(out)-off, len(want))
+				}
+				for i := 0; i < off; i++ {
+					if out[i] != 0xAA {
+						t.Fatalf("offset %d: prefix byte %d overwritten", off, i)
+					}
+				}
+				if got := out[off:]; !slicesEqual(got, want) {
+					t.Fatalf("offset %d: appended bytes % x, standalone % x", off, got, want)
+				}
+				// The suffix must decode on its own, as a standalone frame.
+				back, err := Unmarshal(tc.ty, out[off:])
+				if err != nil {
+					t.Fatalf("offset %d: decode appended bytes: %v", off, err)
+				}
+				if !value.Equal(back, tc.v) {
+					t.Fatalf("offset %d: round trip = %s, want %s", off, back, tc.v)
+				}
+			}
+		})
+	}
+}
+
+func slicesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
