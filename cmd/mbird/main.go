@@ -17,6 +17,7 @@
 //	mbird remote stats   -addr HOST:PORT [-json] [-gateway] (transport flags)
 //	mbird remote health  -addr HOST:PORT [-json] [-gateway] (transport flags)
 //	mbird remote reload  -addr HOST:PORT (transport flags)
+//	mbird cluster status -cluster HOST:PORT,... [-json] (transport flags)
 //
 // remote stats and remote health read a daemon's counters — the broker's
 // by default, an interop gateway's (mbirdgw) with -gateway. -json emits
@@ -24,6 +25,13 @@
 // for scripts and scrapers; the text rendering is for humans and may
 // change. remote reload asks a gateway to re-read its route table (the
 // signal-free equivalent of SIGHUP on mbirdgw).
+//
+// cluster status surveys a sharded broker fleet (mbirdd -cluster): for
+// every member it reports the hash-ring keyspace share, cache occupancy,
+// hit/warm/shed counters, and the peer cache-warming protocol's
+// counters, and flags members whose view of the membership disagrees
+// with the -cluster list. Unreachable members render as such without
+// failing the survey.
 //
 // The transport flags tune the resilient client (internal/resil) the
 // remote subcommands use: -timeout bounds each call, -dial-timeout each
@@ -53,6 +61,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -61,9 +70,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/cmem"
 	"repro/internal/core"
 	"repro/internal/gateway"
@@ -123,6 +134,8 @@ func run(args []string, out io.Writer) error {
 		return cmdShow(args[1:], out)
 	case "remote":
 		return cmdRemote(args[1:], out)
+	case "cluster":
+		return cmdCluster(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -617,6 +630,12 @@ type brokerStatsJSON struct {
 		Unsupported int64 `json:"unsupported"`
 		Entries     int   `json:"entries"`
 	} `json:"xcode"`
+	Warm struct {
+		Fills      int64 `json:"fills"`
+		Hits       int64 `json:"hits"`
+		PeerPulls  int64 `json:"peer_pulls"`
+		PeerPushes int64 `json:"peer_pushes"`
+	} `json:"warm"`
 	FastConverts     int64 `json:"fast_converts"`
 	TreeConverts     int64 `json:"tree_converts"`
 	Evictions        int64 `json:"evictions"`
@@ -671,6 +690,7 @@ type healthJSON struct {
 	ConnSheds         int64  `json:"conn_sheds"`
 	Panics            int64  `json:"panics"`
 	TranscoderEntries *int64 `json:"transcoder_entries,omitempty"`
+	Peers             *int64 `json:"peers,omitempty"`
 	Routes            *int   `json:"routes,omitempty"`
 	Lanes             *int   `json:"lanes,omitempty"`
 }
@@ -745,6 +765,8 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 		js.Convert.Compiles, js.Convert.TotalNs, js.Convert.Entries = st.Compiles, st.CompileTotal.Nanoseconds(), st.ConverterEntries
 		js.Xcode.Hits, js.Xcode.Misses, js.Xcode.Coalesced = st.XcodeHits, st.XcodeMisses, st.XcodeCoalesced
 		js.Xcode.Compiles, js.Xcode.Unsupported, js.Xcode.Entries = st.XcodeCompiles, st.XcodeUnsupported, st.XcodeEntries
+		js.Warm.Fills, js.Warm.Hits = st.WarmFills, st.WarmHits
+		js.Warm.PeerPulls, js.Warm.PeerPushes = st.PeerPulls, st.PeerPushes
 		js.FastConverts, js.TreeConverts = st.FastConverts, st.TreeConverts
 		js.Evictions, js.InFlight, js.DeadlineExceeded, js.Sheds = st.Evictions, st.InFlight, st.DeadlineExceeded, st.Sheds
 		return emitJSON(out, js)
@@ -757,6 +779,8 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 		st.XcodeHits, st.XcodeMisses, st.XcodeCoalesced, st.XcodeCompiles, st.XcodeUnsupported, st.XcodeEntries)
 	fmt.Fprintf(out, "tiers:    %d conversions wire-to-wire, %d via value trees\n",
 		st.FastConverts, st.TreeConverts)
+	fmt.Fprintf(out, "warm:     %d peer-warmed fills, %d warm hits, %d peer pulls, %d peer pushes\n",
+		st.WarmFills, st.WarmHits, st.PeerPulls, st.PeerPushes)
 	fmt.Fprintf(out, "evictions: %d, in-flight: %d, server deadlines exceeded: %d, shed: %d\n",
 		st.Evictions, st.InFlight, st.DeadlineExceeded, st.Sheds)
 	return nil
@@ -806,7 +830,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 		return emitJSON(out, healthJSON{
 			Ready: h.Ready, InFlight: h.InFlight, MaxInFlight: h.MaxInFlight,
 			Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
-			TranscoderEntries: &h.TranscoderEntries,
+			TranscoderEntries: &h.TranscoderEntries, Peers: &h.Peers,
 		})
 	}
 	ready := "ready"
@@ -818,6 +842,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
 	fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
 	fmt.Fprintf(out, "xcoders:   %d cached\n", h.TranscoderEntries)
+	fmt.Fprintf(out, "peers:     %d cluster peers\n", h.Peers)
 	return nil
 }
 
@@ -846,4 +871,144 @@ func inflightCap(n int) string {
 		return "unbounded"
 	}
 	return fmt.Sprint(n)
+}
+
+func cmdCluster(args []string, out io.Writer) error {
+	if len(args) == 0 || args[0] != "status" {
+		return fmt.Errorf("usage: mbird cluster status -cluster HOST:PORT,... [-json]")
+	}
+	return cmdClusterStatus(args[1:], out)
+}
+
+// clusterNodeJSON is one member's row in the stable -json shape of
+// `mbird cluster status`. Unreachable members keep their addr and ring
+// share but report reachable=false and carry the error.
+type clusterNodeJSON struct {
+	Addr         string  `json:"addr"`
+	Reachable    bool    `json:"reachable"`
+	Error        string  `json:"error,omitempty"`
+	RingShare    float64 `json:"ring_share"`
+	MembersAgree bool    `json:"members_agree"`
+	Verdicts     int     `json:"verdicts"`
+	Converters   int     `json:"converters"`
+	Transcoders  int     `json:"transcoders"`
+	Hits         int64   `json:"hits"`
+	Sheds        int64   `json:"sheds"`
+	Warm         struct {
+		Fills      int64 `json:"fills"`
+		Hits       int64 `json:"hits"`
+		PeerPulls  int64 `json:"peer_pulls"`
+		PeerPushes int64 `json:"peer_pushes"`
+	} `json:"warm"`
+	Peer struct {
+		PullsSent   int64 `json:"pulls_sent"`
+		PushesSent  int64 `json:"pushes_sent"`
+		PushErrs    int64 `json:"push_errs"`
+		PushDrops   int64 `json:"push_drops"`
+		PushesRecv  int64 `json:"pushes_recv"`
+		PullsServed int64 `json:"pulls_served"`
+		ListsServed int64 `json:"lists_served"`
+		Synced      int64 `json:"synced"`
+	} `json:"peer"`
+}
+
+type clusterStatusJSON struct {
+	Members []string          `json:"members"`
+	Nodes   []clusterNodeJSON `json:"nodes"`
+}
+
+// membersEqual compares two member lists ignoring order.
+func membersEqual(a, b []string) bool {
+	ra, rb := cluster.NewRing(a), cluster.NewRing(b)
+	am, bm := ra.Members(), rb.Members()
+	if len(am) != len(bm) {
+		return false
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cmdClusterStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cluster status", flag.ContinueOnError)
+	var tf transportFlags
+	tf.register(fs)
+	members := fs.String("cluster", "", "comma-separated fleet member list")
+	asJSON := fs.Bool("json", false, "emit JSON with stable field names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*members, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("missing -cluster member list")
+	}
+	ring := cluster.NewRing(addrs)
+	shares := ring.Shares(4096)
+
+	js := clusterStatusJSON{Members: ring.Members(), Nodes: []clusterNodeJSON{}}
+	for _, addr := range ring.Members() {
+		row := clusterNodeJSON{Addr: addr, RingShare: shares[addr]}
+		rc := resil.New(addr, resil.Options{
+			CallTimeout: tf.timeout,
+			DialTimeout: tf.dialTimeout,
+			MaxAttempts: tf.retries,
+		})
+		err := func() error {
+			bc := broker.NewTransportClient(rc)
+			st, err := bc.Stats()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), gateway.DialTimeout)
+			ns, err := cluster.FetchStatus(ctx, rc)
+			cancel()
+			if err != nil {
+				return err
+			}
+			row.Reachable = true
+			row.MembersAgree = membersEqual(ns.Members, addrs)
+			row.Verdicts, row.Converters, row.Transcoders = st.VerdictEntries, st.ConverterEntries, st.XcodeEntries
+			row.Hits = st.CompareHits + st.ConvertHits + st.XcodeHits
+			row.Sheds = st.Sheds
+			row.Warm.Fills, row.Warm.Hits = st.WarmFills, st.WarmHits
+			row.Warm.PeerPulls, row.Warm.PeerPushes = st.PeerPulls, st.PeerPushes
+			row.Peer.PullsSent, row.Peer.PushesSent = ns.PullsSent, ns.PushesSent
+			row.Peer.PushErrs, row.Peer.PushDrops = ns.PushErrs, ns.PushDrops
+			row.Peer.PushesRecv, row.Peer.PullsServed = ns.PushesRecv, ns.PullsServed
+			row.Peer.ListsServed, row.Peer.Synced = ns.ListsServed, ns.Synced
+			return nil
+		}()
+		_ = rc.Close()
+		if err != nil {
+			row.Error = err.Error()
+		}
+		js.Nodes = append(js.Nodes, row)
+	}
+	if *asJSON {
+		return emitJSON(out, js)
+	}
+	fmt.Fprintf(out, "cluster: %d members\n", len(js.Members))
+	for _, n := range js.Nodes {
+		if !n.Reachable {
+			fmt.Fprintf(out, "node %-21s %4.1f%% of keyspace, unreachable: %s\n", n.Addr+":", 100*n.RingShare, n.Error)
+			continue
+		}
+		fmt.Fprintf(out, "node %-21s %4.1f%% of keyspace, %d verdicts / %d converters / %d xcoders cached, %d hits (%d warm), %d shed\n",
+			n.Addr+":", 100*n.RingShare, n.Verdicts, n.Converters, n.Transcoders, n.Hits, n.Warm.Hits, n.Sheds)
+		fmt.Fprintf(out, "  warm: %d fills, %d pulls sent / %d served, %d pushes sent / %d recv (%d errs, %d drops), %d synced at start\n",
+			n.Warm.Fills, n.Peer.PullsSent, n.Peer.PullsServed, n.Peer.PushesSent, n.Peer.PushesRecv,
+			n.Peer.PushErrs, n.Peer.PushDrops, n.Peer.Synced)
+		if !n.MembersAgree {
+			fmt.Fprintf(out, "  WARNING: member list disagrees with -cluster\n")
+		}
+	}
+	return nil
 }

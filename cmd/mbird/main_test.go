@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/orb"
@@ -348,9 +349,28 @@ func TestRemoteJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &bs); err != nil {
 		t.Fatalf("broker stats -json is not JSON: %v\n%s", err, out)
 	}
-	for _, key := range []string{"compare", "convert", "xcode", "fast_converts", "tree_converts", "in_flight", "sheds"} {
+	// The top-level key set is exact: the warm counters ride along as one
+	// new nested object, and everything that predates them is unchanged.
+	wantStats := []string{
+		"compare", "convert", "xcode", "warm",
+		"fast_converts", "tree_converts", "evictions",
+		"in_flight", "deadline_exceeded", "sheds",
+	}
+	for _, key := range wantStats {
 		if _, ok := bs[key]; !ok {
 			t.Errorf("broker stats JSON lacks %q", key)
+		}
+	}
+	if len(bs) != len(wantStats) {
+		t.Errorf("broker stats JSON has %d top-level keys, want %d: %v", len(bs), len(wantStats), bs)
+	}
+	warm, ok := bs["warm"].(map[string]any)
+	if !ok {
+		t.Fatalf("broker stats JSON warm = %v", bs["warm"])
+	}
+	for _, key := range []string{"fills", "hits", "peer_pulls", "peer_pushes"} {
+		if _, ok := warm[key]; !ok {
+			t.Errorf("broker stats JSON warm lacks %q", key)
 		}
 	}
 
@@ -370,6 +390,22 @@ func TestRemoteJSONOutput(t *testing.T) {
 	}
 	if _, ok := bh["routes"]; ok {
 		t.Error("broker health JSON carries the gateway-only routes field")
+	}
+	// Exact key set: peers is the only field the cluster work added.
+	wantHealth := []string{
+		"ready", "in_flight", "max_in_flight", "sheds", "conn_sheds",
+		"panics", "transcoder_entries", "peers",
+	}
+	for _, key := range wantHealth {
+		if _, ok := bh[key]; !ok {
+			t.Errorf("broker health JSON lacks %q", key)
+		}
+	}
+	if len(bh) != len(wantHealth) {
+		t.Errorf("broker health JSON has %d keys, want %d: %v", len(bh), len(wantHealth), bh)
+	}
+	if bh["peers"] != float64(0) {
+		t.Errorf("standalone broker reports peers = %v, want 0", bh["peers"])
 	}
 }
 
@@ -420,5 +456,94 @@ func TestRemoteGatewayFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "reloaded: 1 routes") {
 		t.Errorf("reload = %q", out)
+	}
+}
+
+// startClusterDaemon is startBrokerDaemon plus the cluster peer service,
+// wired to the given member list once every member's address is known.
+func startClusterDaemon(t *testing.T) (addr string, wire func(members []string)) {
+	t.Helper()
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	b := broker.New(core.NewSession(), broker.Options{})
+	broker.Serve(srv, b)
+	return srv.Addr(), func(members []string) {
+		n := cluster.NewNode(srv.Addr(), members, b, cluster.NodeOptions{})
+		t.Cleanup(func() { _ = n.Close() })
+		cluster.Serve(srv, n)
+	}
+}
+
+// TestClusterStatusCommand checks `mbird cluster status -json` against a
+// live 2-node fleet plus one dead member: live rows carry ring shares and
+// counters, the dead member degrades to an unreachable row instead of
+// failing the command, and the shares still cover the whole keyspace.
+func TestClusterStatusCommand(t *testing.T) {
+	a, wireA := startClusterDaemon(t)
+	b, wireB := startClusterDaemon(t)
+	dead := "127.0.0.1:1" // reserved port, nothing listens
+	members := []string{a, b, dead}
+	wireA(members)
+	wireB(members)
+	list := strings.Join(members, ",")
+
+	out, err := runCLI(t, "cluster", "status", "-cluster", list, "-json",
+		"-retries", "1", "-dial-timeout", "500ms")
+	if err != nil {
+		t.Fatalf("cluster status: %v (out=%q)", err, out)
+	}
+	var st struct {
+		Members []string `json:"members"`
+		Nodes   []struct {
+			Addr         string  `json:"addr"`
+			Reachable    bool    `json:"reachable"`
+			Error        string  `json:"error"`
+			RingShare    float64 `json:"ring_share"`
+			MembersAgree bool    `json:"members_agree"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if len(st.Members) != 3 || len(st.Nodes) != 3 {
+		t.Fatalf("members=%v nodes=%d, want 3/3", st.Members, len(st.Nodes))
+	}
+	shares := 0.0
+	for _, n := range st.Nodes {
+		shares += n.RingShare
+		switch n.Addr {
+		case dead:
+			if n.Reachable || n.Error == "" {
+				t.Fatalf("dead member row = %+v, want unreachable with error", n)
+			}
+		default:
+			if !n.Reachable || !n.MembersAgree {
+				t.Fatalf("live member row = %+v, want reachable and agreeing", n)
+			}
+		}
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Fatalf("ring shares sum to %f, want 1", shares)
+	}
+
+	// Text mode renders one line per member and flags the dead one.
+	out, err = runCLI(t, "cluster", "status", "-cluster", list,
+		"-retries", "1", "-dial-timeout", "500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cluster: 3 members") || !strings.Contains(out, "unreachable") {
+		t.Fatalf("text status = %q", out)
+	}
+
+	// Usage errors: unknown subcommand, missing member list.
+	if _, err := runCLI(t, "cluster", "bogus"); err == nil {
+		t.Fatal("cluster bogus accepted")
+	}
+	if _, err := runCLI(t, "cluster", "status"); err == nil {
+		t.Fatal("cluster status without -cluster accepted")
 	}
 }

@@ -11,6 +11,8 @@
 //	       [-max-body BYTES] [-max-key BYTES]
 //	       [-max-inflight N] [-max-per-conn N]
 //	       [-req-timeout D] [-drain D]
+//	       [-cluster HOST:PORT,...] [-cluster-self HOST:PORT]
+//	       [-warm] [-warm-timeout D]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -max-inflight bounds requests admitted across all connections;
@@ -18,6 +20,16 @@
 // clients retry with backoff. -max-per-conn bounds concurrent requests
 // pipelined on a single connection. Readiness and shed counters are
 // visible through `mbird remote health`.
+//
+// -cluster joins the daemon to a sharded fleet (internal/cluster): the
+// comma-separated member list must agree across all daemons, and
+// -cluster-self (default -addr) names this daemon's entry in it. A
+// cluster daemon serves the peer cache-warming protocol alongside the
+// broker protocol: it answers verdict pulls, accepts warm pushes, and —
+// unless -warm=false — syncs the fleet's warm cache state from its
+// peers BEFORE binding its listen port, so a restarted daemon rejoins
+// hot and never re-pays a cold compile. -warm-timeout bounds that
+// startup sync. Fleet state is visible through `mbird cluster status`.
 //
 // -cpuprofile starts a pprof CPU profile at startup and writes it out at
 // shutdown; -memprofile writes a heap profile (after a GC) at shutdown.
@@ -39,10 +51,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/orb"
 )
@@ -58,6 +72,10 @@ type config struct {
 	maxPerConn  int
 	reqTimeout  time.Duration
 	drain       time.Duration
+	cluster     string
+	clusterSelf string
+	warm        bool
+	warmTimeout time.Duration
 	cpuprofile  string
 	memprofile  string
 }
@@ -73,14 +91,61 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.maxPerConn, "max-per-conn", 0, "concurrent requests per connection (0 = 1024 default, negative = unbounded)")
 	fs.DurationVar(&c.reqTimeout, "req-timeout", 0, "per-request server deadline (0 = unbounded)")
 	fs.DurationVar(&c.drain, "drain", 10*time.Second, "graceful shutdown drain window")
+	fs.StringVar(&c.cluster, "cluster", "", "comma-separated fleet member list (enables cluster mode)")
+	fs.StringVar(&c.clusterSelf, "cluster-self", "", "this daemon's advertised address in -cluster (default -addr)")
+	fs.BoolVar(&c.warm, "warm", true, "sync warm cache state from peers before accepting traffic (cluster mode)")
+	fs.DurationVar(&c.warmTimeout, "warm-timeout", 30*time.Second, "startup warm sync budget (cluster mode)")
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file (started now, stopped at shutdown)")
 	fs.StringVar(&c.memprofile, "memprofile", "", "write a pprof heap profile to this file at shutdown")
 }
 
-// serve starts a broker daemon on cfg.addr and returns the running server
-// and broker. It is the whole daemon minus flag parsing, so tests can run
-// it in-process on an ephemeral port.
-func serve(cfg config) (*orb.Server, *broker.Broker, error) {
+// serve starts a broker daemon on cfg.addr and returns the running
+// server, broker, and (in cluster mode) the fleet node. It is the whole
+// daemon minus flag parsing, so tests can run it in-process.
+//
+// In cluster mode the warm sync runs BEFORE the listen port binds:
+// until the daemon has drained its peers' warm state it is
+// indistinguishable from a dead member, so fleet clients fail its keys
+// over cleanly instead of hitting a cold cache.
+func serve(cfg config) (*orb.Server, *broker.Broker, *cluster.Node, error) {
+	b := broker.New(core.NewSession(), broker.Options{
+		VerdictCacheSize:    cfg.cache,
+		TranscoderCacheSize: cfg.xcache,
+		Workers:             cfg.workers,
+		MaxInFlight:         cfg.maxInflight,
+		RequestTimeout:      cfg.reqTimeout,
+	})
+	var node *cluster.Node
+	if cfg.cluster != "" {
+		self := cfg.clusterSelf
+		if self == "" {
+			self = cfg.addr
+		}
+		members := NewRingMembers(cfg.cluster)
+		found := false
+		for _, m := range members {
+			if m == self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, nil, fmt.Errorf("mbirdd: -cluster-self %q is not in -cluster %q", self, cfg.cluster)
+		}
+		node = cluster.NewNode(self, members, b, cluster.NodeOptions{})
+		if cfg.warm {
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.warmTimeout)
+			n, err := node.SyncFromPeers(ctx)
+			cancel()
+			if err != nil {
+				// A fleet booting from scratch has no live peer to warm
+				// from; that is startup, not failure.
+				fmt.Fprintf(os.Stderr, "mbirdd: warm sync: %v (starting cold)\n", err)
+			} else if n > 0 {
+				fmt.Printf("mbirdd: warmed %d cache entries from peers\n", n)
+			}
+		}
+	}
 	var opts []orb.Option
 	if cfg.maxBody > 0 {
 		opts = append(opts, orb.WithMaxBody(cfg.maxBody))
@@ -93,17 +158,27 @@ func serve(cfg config) (*orb.Server, *broker.Broker, error) {
 	}
 	srv, err := orb.NewServer(cfg.addr, opts...)
 	if err != nil {
-		return nil, nil, err
+		if node != nil {
+			_ = node.Close()
+		}
+		return nil, nil, nil, err
 	}
-	b := broker.New(core.NewSession(), broker.Options{
-		VerdictCacheSize:    cfg.cache,
-		TranscoderCacheSize: cfg.xcache,
-		Workers:             cfg.workers,
-		MaxInFlight:         cfg.maxInflight,
-		RequestTimeout:      cfg.reqTimeout,
-	})
 	broker.Serve(srv, b)
-	return srv, b, nil
+	if node != nil {
+		cluster.Serve(srv, node)
+	}
+	return srv, b, node, nil
+}
+
+// NewRingMembers splits a -cluster flag value into member addresses.
+func NewRingMembers(list string) []string {
+	var out []string
+	for _, m := range strings.Split(list, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // writeHeapProfile forces a GC so the profile reflects live objects, then
@@ -140,7 +215,7 @@ func main() {
 		}()
 	}
 
-	srv, _, err := serve(cfg)
+	srv, _, node, err := serve(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbirdd:", err)
 		os.Exit(1)
@@ -154,6 +229,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
+	if node != nil {
+		_ = node.Close()
+	}
 	if cfg.memprofile != "" {
 		if err := writeHeapProfile(cfg.memprofile); err != nil {
 			fmt.Fprintln(os.Stderr, "mbirdd: memprofile:", err)

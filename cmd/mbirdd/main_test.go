@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/orb"
 	"repro/internal/resil"
@@ -36,7 +38,7 @@ func bigStruct(name, prefix string, n int) string {
 // socket, 32 concurrent clients comparing and converting, then the cache
 // accounting and cold/warm latency checks.
 func TestDaemonEndToEnd(t *testing.T) {
-	srv, b, err := serve(config{addr: "127.0.0.1:0"})
+	srv, b, _, err := serve(config{addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +228,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 // black-holed one (fail fast on the client's deadline), then a healed one
 // (transparent re-dial, warm caches answer instantly).
 func TestChaosDaemonResilience(t *testing.T) {
-	srv, _, err := serve(config{addr: "127.0.0.1:0"})
+	srv, _, _, err := serve(config{addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,5 +290,129 @@ func TestChaosDaemonResilience(t *testing.T) {
 	st := rc.Stats()
 	if st.Dials < 2 {
 		t.Errorf("resil stats = %+v, want a re-dial after the heal", st)
+	}
+}
+
+// reservePort grabs an ephemeral port and frees it so serve() can bind
+// it — including a second time, after a simulated restart.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestClusterServeWarmSync boots a 3-daemon fleet through the real
+// serve() path (-cluster flags), warms it with client traffic, restarts
+// one daemon, and checks the restart warm-synced from its peers before
+// taking traffic — the rolling-restart contract.
+func TestClusterServeWarmSync(t *testing.T) {
+	members := []string{reservePort(t), reservePort(t), reservePort(t)}
+	list := strings.Join(members, ",")
+
+	type daemon struct {
+		srv *orb.Server
+		b   *broker.Broker
+		n   *cluster.Node
+	}
+	start := func(i int) *daemon {
+		srv, b, n, err := serve(config{
+			addr: members[i], cluster: list, warm: true, warmTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == nil {
+			t.Fatal("cluster config did not produce a cluster node")
+		}
+		return &daemon{srv: srv, b: b, n: n}
+	}
+	stop := func(d *daemon) {
+		_ = d.srv.Close()
+		_ = d.n.Close()
+	}
+	daemons := make([]*daemon, len(members))
+	for i := range members {
+		daemons[i] = start(i)
+	}
+	t.Cleanup(func() {
+		for _, d := range daemons {
+			stop(d)
+		}
+	})
+
+	bt := cluster.Dial(members, cluster.Options{Resil: resil.Options{
+		MaxAttempts: 2, DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second,
+	}})
+	c := broker.NewTransportClient(bt)
+	defer c.Close()
+	if _, _, err := c.Load("ux", "c", "ilp32", "typedef struct { float r; int n; } mix;", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Load("uy", "c", "ilp32", "typedef struct { int count; float ratio; } pair;", ""); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Compare("ux", "mix", "uy", "pair"); err != nil || v.Relation != core.RelEquivalent {
+		t.Fatalf("compare = %+v err=%v", v, err)
+	}
+	// Wait for the verdict to replicate so the restart victim's peers
+	// can answer its warm sync regardless of which member compared.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fills := int64(0)
+		for _, d := range daemons {
+			fills += d.b.Stats().WarmFills
+		}
+		if fills > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("verdict never replicated to a peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop(daemons[1])
+	daemons[1] = start(1)
+	if daemons[1].n.Status().Synced == 0 {
+		t.Fatal("restarted daemon synced nothing from its peers")
+	}
+	if daemons[1].b.Stats().WarmFills == 0 {
+		t.Fatal("restarted daemon holds no warm fills")
+	}
+	if _, ok := daemons[1].b.PeekVerdict("ux", "mix", "uy", "pair"); !ok {
+		t.Fatal("restarted daemon is missing the fleet's verdict")
+	}
+	// The fleet as a whole still answers, and without a fresh compare.
+	runs := int64(0)
+	for _, d := range daemons {
+		runs += d.b.Stats().CompareRuns
+	}
+	if v, err := c.Compare("ux", "mix", "uy", "pair"); err != nil || v.Relation != core.RelEquivalent {
+		t.Fatalf("post-restart compare = %+v err=%v", v, err)
+	}
+	after := int64(0)
+	for _, d := range daemons {
+		after += d.b.Stats().CompareRuns
+	}
+	if after != runs {
+		t.Fatalf("post-restart compare re-ran %d comparisons, want 0", after-runs)
+	}
+}
+
+// Bad cluster flags must fail serve() with a clear error, not a
+// half-started daemon.
+func TestClusterServeConfigErrors(t *testing.T) {
+	_, _, _, err := serve(config{
+		addr:        "127.0.0.1:0",
+		cluster:     "127.0.0.1:7001,127.0.0.1:7002",
+		clusterSelf: "127.0.0.1:9999", // not in the member list
+	})
+	if err == nil || !strings.Contains(err.Error(), "-cluster-self") {
+		t.Fatalf("err = %v, want a -cluster-self validation error", err)
 	}
 }

@@ -26,6 +26,16 @@
 // errors, sheds — are served on the reserved "mbird.gateway" admin
 // object, scrapeable via `mbird remote stats -gateway -json`.
 //
+// A route's upstream may be a comma-separated member list
+// ("host1:7465,host2:7465,host3:7465") naming a sharded broker fleet
+// (mbirdd -cluster) or any replicated orb service: the gateway then
+// forwards through a cluster client (internal/cluster) that pins the
+// route to its ring owner by the route's declaration-pair fingerprint,
+// spills to the pair's replicas under load imbalance, and fails over
+// when a member is down — so a rolling restart upstream costs latency,
+// not errors. Each fleet member appears individually in the upstream
+// stats.
+//
 // On SIGINT/SIGTERM the gateway drains gracefully: the listener closes,
 // in-flight relays get up to -drain to finish, then remaining
 // connections are force-closed.

@@ -159,14 +159,33 @@ type Broker struct {
 	xunsupported atomic.Int64
 	fastConverts atomic.Int64
 	treeConverts atomic.Int64
+
+	// Peer cache-warming state (internal/cluster installs the warmer).
+	// warmFills counts cache entries materialized by the warming protocol
+	// (pushes received, startup sync) rather than by a client request;
+	// warmHits counts request-path cache hits on such entries; peerPulls
+	// counts verdict fills answered by the pair's owner instead of a
+	// local compare; peerPushes counts fills handed to the warmer for
+	// push replication.
+	warmMu     sync.RWMutex
+	warm       PeerWarmer
+	recMu      sync.Mutex
+	loadRecs   map[string]LoadRecord
+	recipes    map[recipeKey]WarmEntry
+	warmFills  atomic.Int64
+	warmHits   atomic.Int64
+	peerPulls  atomic.Int64
+	peerPushes atomic.Int64
 }
 
 // verdictEntry is a cached compare outcome, freed of the session-owned
-// Match so cached verdicts are plain immutable data.
+// Match so cached verdicts are plain immutable data. warmed marks
+// entries materialized by the peer cache-warming protocol.
 type verdictEntry struct {
 	relation core.Relation
 	steps    int
 	explain  string
+	warmed   bool
 }
 
 // convEntry is a cached compiled converter for one exact pair.
@@ -175,6 +194,7 @@ type convEntry struct {
 	explain  string
 	conv     convert.Converter
 	planText string
+	warmed   bool
 }
 
 // New returns a Broker serving the given session.
@@ -188,6 +208,8 @@ func New(sess *core.Session, opts Options) *Broker {
 		xcoders:    newSFCache[*xcodeEntry](opts.TranscoderCacheSize),
 		printMemo:  make(map[*mtype.Type]fingerprint.Print),
 		fillSem:    make(chan struct{}, opts.Workers),
+		loadRecs:   make(map[string]LoadRecord),
+		recipes:    make(map[recipeKey]WarmEntry),
 	}
 	if opts.MaxInFlight > 0 {
 		b.admit = make(chan struct{}, opts.MaxInFlight)
@@ -206,6 +228,10 @@ func (b *Broker) Load(universe, lang, model, src, script string) (names []string
 	b.sessMu.Lock()
 	defer b.sessMu.Unlock()
 	if b.sess.Universe(universe) != nil {
+		// Record the sources even for a repeat load: a broker whose
+		// universe arrived by other means (or before a restart) regains a
+		// shippable record the first time a client re-loads it.
+		b.noteLoadRecord(universe, lang, model, src, script)
 		names, err := b.sess.DeclNames(universe)
 		return names, true, err
 	}
@@ -231,6 +257,7 @@ func (b *Broker) Load(universe, lang, model, src, script string) (names []string
 			return nil, false, err
 		}
 	}
+	b.noteLoadRecord(universe, lang, model, src, script)
 	names, err = b.sess.DeclNames(universe)
 	return names, false, err
 }
@@ -334,6 +361,17 @@ func (b *Broker) Compare(ua, da, ub, db string) (Verdict, error) {
 	}
 	key := fingerprint.Pair(pa.Canonical, pb.Canonical)
 	ent, cached, err := b.verdicts.do(key, func() (*verdictEntry, error) {
+		// Before paying for a compare, ask the pair's ring owner: a
+		// verdict is plain data, so a peer's cached result transfers the
+		// computation outright.
+		if w := b.peerWarmer(); w != nil {
+			if rel, steps, explain, ok := w.PullVerdict(ua, da, ub, db); ok {
+				b.peerPulls.Add(1)
+				e := &verdictEntry{relation: rel, steps: steps, explain: explain, warmed: true}
+				b.noteRecipe(KindVerdict, key, ua, da, ub, db, e)
+				return e, nil
+			}
+		}
 		b.fillSem <- struct{}{}
 		defer func() { <-b.fillSem }()
 		start := time.Now()
@@ -343,10 +381,16 @@ func (b *Broker) Compare(ua, da, ub, db string) (Verdict, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &verdictEntry{relation: v.Relation, steps: v.Steps, explain: v.Explain}, nil
+		e := &verdictEntry{relation: v.Relation, steps: v.Steps, explain: v.Explain}
+		b.noteRecipe(KindVerdict, key, ua, da, ub, db, e)
+		b.pushAfterFill(KindVerdict, ua, da, ub, db)
+		return e, nil
 	})
 	if err != nil {
 		return Verdict{}, err
+	}
+	if cached && ent.warmed {
+		b.warmHits.Add(1)
 	}
 	return Verdict{Relation: ent.relation, Steps: ent.steps, Explain: ent.explain, Cached: cached}, nil
 }
@@ -358,8 +402,10 @@ func (b *Broker) compareLocked(ua, da, ub, db string) (*core.Verdict, error) {
 }
 
 // converter returns the cached compiled converter entry for the exact
-// pair, compiling it on a miss.
-func (b *Broker) converter(ua, da, ub, db string) (*convEntry, bool, error) {
+// pair, compiling it on a miss. warm marks a fill performed by the peer
+// cache-warming protocol rather than a client request: the entry is
+// flagged, counted as a warm fill, and not pushed onward.
+func (b *Broker) converter(ua, da, ub, db string, warm bool) (*convEntry, bool, error) {
 	_, _, pa, pb, err := b.prints(ua, da, ub, db)
 	if err != nil {
 		return nil, false, err
@@ -377,17 +423,25 @@ func (b *Broker) converter(ua, da, ub, db string) (*convEntry, bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		if v.Relation == core.RelNone {
-			return &convEntry{relation: v.Relation, explain: v.Explain}, nil
+		ent := &convEntry{relation: v.Relation, explain: v.Explain, warmed: warm}
+		if v.Relation != core.RelNone {
+			// Plan building and closure compilation read only the (now
+			// immutable) match and the session's hook table, so they run
+			// outside the session lock, bounded by the fill semaphore.
+			p, conv, err := b.buildConverter(v)
+			if err != nil {
+				return nil, err
+			}
+			ent.conv = conv
+			ent.planText = p.String()
 		}
-		// Plan building and closure compilation read only the (now
-		// immutable) match and the session's hook table, so they run
-		// outside the session lock, bounded by the fill semaphore.
-		p, conv, err := b.buildConverter(v)
-		if err != nil {
-			return nil, err
+		b.noteRecipe(KindConverter, key, ua, da, ub, db, nil)
+		if warm {
+			b.warmFills.Add(1)
+		} else {
+			b.pushAfterFill(KindConverter, ua, da, ub, db)
 		}
-		return &convEntry{relation: v.Relation, conv: conv, planText: p.String()}, nil
+		return ent, nil
 	})
 }
 
@@ -401,9 +455,12 @@ func (b *Broker) buildConverter(v *core.Verdict) (*plan.Plan, convert.Converter,
 func (b *Broker) Convert(ua, da, ub, db string, v value.Value) (value.Value, error) {
 	b.inFlight.Add(1)
 	defer b.inFlight.Add(-1)
-	ent, _, err := b.converter(ua, da, ub, db)
+	ent, cached, err := b.converter(ua, da, ub, db, false)
 	if err != nil {
 		return nil, err
+	}
+	if cached && ent.warmed {
+		b.warmHits.Add(1)
 	}
 	switch ent.relation {
 	case core.RelEquivalent, core.RelSubtypeAB:
@@ -420,9 +477,12 @@ func (b *Broker) Convert(ua, da, ub, db string, v value.Value) (value.Value, err
 func (b *Broker) PlanText(ua, da, ub, db string) (string, error) {
 	b.inFlight.Add(1)
 	defer b.inFlight.Add(-1)
-	ent, _, err := b.converter(ua, da, ub, db)
+	ent, cached, err := b.converter(ua, da, ub, db, false)
 	if err != nil {
 		return "", err
+	}
+	if cached && ent.warmed {
+		b.warmHits.Add(1)
 	}
 	if ent.relation == core.RelNone {
 		return "", fmt.Errorf("broker: declarations do not match:\n%s", ent.explain)
@@ -449,6 +509,11 @@ type Stats struct {
 	XcodeEntries                           int
 	FastConverts                           int64 // conversions served wire-to-wire
 	TreeConverts                           int64 // conversions served decode→convert→encode
+	// Peer cache-warming (all zero on a standalone daemon).
+	WarmFills  int64 // entries materialized by pushes received / startup sync
+	WarmHits   int64 // request-path cache hits on warmed entries
+	PeerPulls  int64 // verdict fills answered by the pair's ring owner
+	PeerPushes int64 // fills handed to the warmer for push replication
 	// Shared.
 	Evictions int64
 	InFlight  int64
@@ -486,6 +551,11 @@ func (b *Broker) Stats() Stats {
 		FastConverts:     b.fastConverts.Load(),
 		TreeConverts:     b.treeConverts.Load(),
 
+		WarmFills:  b.warmFills.Load(),
+		WarmHits:   b.warmHits.Load(),
+		PeerPulls:  b.peerPulls.Load(),
+		PeerPushes: b.peerPushes.Load(),
+
 		Evictions:        b.verdicts.evictions.Load() + b.converters.evictions.Load() + b.xcoders.evictions.Load(),
 		InFlight:         b.inFlight.Load(),
 		DeadlineExceeded: b.deadlines.Load(),
@@ -513,11 +583,17 @@ type Health struct {
 	// TranscoderEntries is the number of compiled wire transcoders (and
 	// cached fallback decisions) resident in the transcoder LRU.
 	TranscoderEntries int64
+	// Peers is the number of other daemons in this daemon's cluster (0
+	// when running standalone).
+	Peers int64
 }
 
 // Health returns the daemon's readiness and load snapshot.
 func (b *Broker) Health() Health {
 	h := Health{Ready: true, Sheds: b.sheds.Load(), TranscoderEntries: int64(b.xcoders.len())}
+	if w := b.peerWarmer(); w != nil {
+		h.Peers = int64(w.Peers())
+	}
 	if b.admit != nil {
 		h.InFlight = int64(len(b.admit))
 		h.MaxInFlight = cap(b.admit)

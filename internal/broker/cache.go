@@ -90,6 +90,36 @@ func (c *sfCache[V]) do(key fingerprint.PairKey, fill func() (V, error)) (val V,
 	return fl.val, false, fl.err
 }
 
+// peek returns a cached value without promoting it or touching the
+// hit/miss counters — the read path for peers inspecting the cache, kept
+// invisible to the serving statistics.
+func (c *sfCache[V]) peek(key fingerprint.PairKey) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// putIfAbsent inserts a value produced outside the fill path (a warm
+// entry pushed by a peer). It declines when the key is already cached or
+// a fill for it is in flight — the local fill owns the slot — and
+// reports whether the insert happened.
+func (c *sfCache[V]) putIfAbsent(key fingerprint.PairKey, val V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return false
+	}
+	if _, ok := c.inflight[key]; ok {
+		return false
+	}
+	c.add(key, val)
+	return true
+}
+
 // add inserts under c.mu, evicting from the tail past capacity.
 func (c *sfCache[V]) add(key fingerprint.PairKey, val V) {
 	if el, ok := c.items[key]; ok {

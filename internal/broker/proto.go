@@ -71,10 +71,11 @@ var (
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // evictions, inFlight, deadlineExceeded, sheds
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // xcode: hits, misses, coalesced, compiles
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // xcode: unsupported, entries, fastConverts, treeConverts
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // warm: fills, hits, peerPulls, peerPushes
 	)
 	healthT = proto.Record(
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
-		proto.IntT, // transcoderEntries
+		proto.IntT, proto.IntT, // transcoderEntries, peers
 	)
 )
 
@@ -300,7 +301,8 @@ func handler(b *Broker) orb.Handler {
 				proto.Int(st.Compiles), proto.Int(st.CompileTotal.Nanoseconds()), proto.Int(int64(st.ConverterEntries)),
 				proto.Int(st.Evictions), proto.Int(st.InFlight), proto.Int(st.DeadlineExceeded), proto.Int(st.Sheds),
 				proto.Int(st.XcodeHits), proto.Int(st.XcodeMisses), proto.Int(st.XcodeCoalesced), proto.Int(st.XcodeCompiles),
-				proto.Int(st.XcodeUnsupported), proto.Int(int64(st.XcodeEntries)), proto.Int(st.FastConverts), proto.Int(st.TreeConverts)))
+				proto.Int(st.XcodeUnsupported), proto.Int(int64(st.XcodeEntries)), proto.Int(st.FastConverts), proto.Int(st.TreeConverts),
+				proto.Int(st.WarmFills), proto.Int(st.WarmHits), proto.Int(st.PeerPulls), proto.Int(st.PeerPushes)))
 
 		case OpHealth:
 			h := b.Health()
@@ -311,7 +313,7 @@ func handler(b *Broker) orb.Handler {
 			return wire.Marshal(healthT, value.NewRecord(
 				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
 				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
-				proto.Int(h.TranscoderEntries)))
+				proto.Int(h.TranscoderEntries), proto.Int(h.Peers)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -617,6 +619,7 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		Evictions: get(12), InFlight: get(13), DeadlineExceeded: get(14), Sheds: get(15),
 		XcodeHits: get(16), XcodeMisses: get(17), XcodeCoalesced: get(18), XcodeCompiles: get(19),
 		XcodeUnsupported: get(20), XcodeEntries: int(get(21)), FastConverts: get(22), TreeConverts: get(23),
+		WarmFills: get(24), WarmHits: get(25), PeerPulls: get(26), PeerPushes: get(27),
 	}
 	return st, r.Err()
 }
@@ -648,6 +651,7 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		ConnSheds:         get(4),
 		Panics:            get(5),
 		TranscoderEntries: get(6),
+		Peers:             get(7),
 	}
 	return h, r.Err()
 }

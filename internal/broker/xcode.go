@@ -21,13 +21,15 @@ type xcodeEntry struct {
 	explain     string
 	xc          *transcode.Transcoder
 	unsupported string
+	warmed      bool
 }
 
 // transcoder returns the cached wire-transcoder entry for the exact
 // pair, attempting compilation on a miss. A compile refused with
 // transcode.ErrUnsupported is cached as a fallback entry, not returned
-// as an error.
-func (b *Broker) transcoder(ua, da, ub, db string) (*xcodeEntry, bool, error) {
+// as an error. warm marks a fill performed by the peer cache-warming
+// protocol: flagged, counted as a warm fill, not pushed onward.
+func (b *Broker) transcoder(ua, da, ub, db string, warm bool) (*xcodeEntry, bool, error) {
 	_, _, pa, pb, err := b.prints(ua, da, ub, db)
 	if err != nil {
 		return nil, false, err
@@ -41,17 +43,27 @@ func (b *Broker) transcoder(ua, da, ub, db string) (*xcodeEntry, bool, error) {
 			b.compileNs.Add(time.Since(start).Nanoseconds())
 			b.xcompiles.Add(1)
 		}()
+		done := func(e *xcodeEntry) *xcodeEntry {
+			e.warmed = warm
+			b.noteRecipe(KindTranscoder, key, ua, da, ub, db, nil)
+			if warm {
+				b.warmFills.Add(1)
+			} else {
+				b.pushAfterFill(KindTranscoder, ua, da, ub, db)
+			}
+			return e
+		}
 		v, err := b.compareLocked(ua, da, ub, db)
 		if err != nil {
 			return nil, err
 		}
 		switch v.Relation {
 		case core.RelNone:
-			return &xcodeEntry{relation: v.Relation, explain: v.Explain}, nil
+			return done(&xcodeEntry{relation: v.Relation, explain: v.Explain}), nil
 		case core.RelSubtypeBA:
 			// Convert only runs A→B; no transcoder to build in this
 			// direction, and the relation itself is what callers need.
-			return &xcodeEntry{relation: v.Relation}, nil
+			return done(&xcodeEntry{relation: v.Relation}), nil
 		}
 		p, err := plan.Build(v.Match)
 		if err != nil {
@@ -61,11 +73,11 @@ func (b *Broker) transcoder(ua, da, ub, db string) (*xcodeEntry, bool, error) {
 		if err != nil {
 			if errors.Is(err, transcode.ErrUnsupported) {
 				b.xunsupported.Add(1)
-				return &xcodeEntry{relation: v.Relation, unsupported: err.Error()}, nil
+				return done(&xcodeEntry{relation: v.Relation, unsupported: err.Error()}), nil
 			}
 			return nil, err
 		}
-		return &xcodeEntry{relation: v.Relation, xc: xc}, nil
+		return done(&xcodeEntry{relation: v.Relation, xc: xc}), nil
 	})
 }
 
@@ -85,7 +97,7 @@ func (b *Broker) ConvertRaw(ua, da, ub, db string, payload []byte) ([]byte, erro
 // CDR alignment at the append point, so each item is a standalone CDR
 // value).
 func (b *Broker) convertRaw(dst []byte, ua, da, ub, db string, payload []byte) ([]byte, error) {
-	ent, _, err := b.transcoder(ua, da, ub, db)
+	ent, cached, err := b.transcoder(ua, da, ub, db, false)
 	if err != nil {
 		return nil, err
 	}
@@ -101,15 +113,22 @@ func (b *Broker) convertRaw(dst []byte, ua, da, ub, db string, payload []byte) (
 		if err != nil {
 			return nil, err
 		}
+		if cached && ent.warmed {
+			b.warmHits.Add(1)
+		}
 		b.fastConverts.Add(1)
 		return out, nil
 	}
 
 	// Tree fallback: the pair converts, but its plan needs machinery the
-	// fuser does not model (e.g. semantic hooks).
-	cent, _, err := b.converter(ua, da, ub, db)
+	// fuser does not model (e.g. semantic hooks). The warm hit, if any,
+	// is counted against the tier that actually serves the request.
+	cent, ccached, err := b.converter(ua, da, ub, db, false)
 	if err != nil {
 		return nil, err
+	}
+	if ccached && cent.warmed {
+		b.warmHits.Add(1)
 	}
 	mtA, err := b.Mtype(ua, da)
 	if err != nil {

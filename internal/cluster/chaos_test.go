@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/orb"
+)
+
+// reservePort grabs an ephemeral port and frees it so a daemon can bind
+// it — and, crucially, bind it AGAIN after a restart.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// chaosDaemon is one restartable fleet member: its fixed listen address,
+// the chaos proxy in front of it (whose address is the member address
+// every peer and client dials), and the current broker/node/server
+// incarnation.
+type chaosDaemon struct {
+	listenAddr string
+	proxy      *chaos.Proxy
+	b          *broker.Broker
+	n          *Node
+	srv        *orb.Server
+}
+
+// start boots (or reboots) the daemon: fresh broker, warm sync from
+// peers BEFORE the listener binds (exactly mbirdd's cluster startup
+// order), then serve.
+func (d *chaosDaemon) start(t *testing.T, self string, members []string, warm bool) {
+	t.Helper()
+	d.b = broker.New(core.NewSession(), broker.Options{})
+	d.n = NewNode(self, members, d.b, NodeOptions{})
+	if warm {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := d.n.SyncFromPeers(ctx); err != nil {
+			t.Logf("warm sync: %v (starting cold)", err)
+		}
+	}
+	srv, err := orb.NewServer(d.listenAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.srv = srv
+	broker.Serve(srv, d.b)
+	Serve(srv, d.n)
+}
+
+func (d *chaosDaemon) kill() {
+	_ = d.srv.Close()
+	_ = d.n.Close()
+}
+
+// chaosPairs are distinct equivalent declaration pairs, so the fleet's
+// cold compiles spread across several ring owners.
+func chaosPairs(n int) [][4]string {
+	out := make([][4]string, n)
+	for i := range out {
+		out[i] = [4]string{
+			fmt.Sprintf("cx%d", i), fmt.Sprintf("typedef struct { float r%d; int n%d; char tag%d[%d]; } mix%d;", i, i, i, i+2, i),
+			fmt.Sprintf("cy%d", i), fmt.Sprintf("typedef struct { int count%d; char label%d[%d]; float ratio%d; } pair%d;", i, i, i+2, i, i),
+		}
+	}
+	return out
+}
+
+// TestChaosClusterWarmRestart kills and restarts one member of a 3-node
+// fleet behind chaos proxies while a client hammers the fleet, and
+// asserts the two cluster invariants: no request is dropped during the
+// outage or the rejoin, and after the restarted member warm-syncs, the
+// fleet serves the whole working set without re-running a single
+// comparison — the warm-cache hit rate recovers without recompiles.
+func TestChaosClusterWarmRestart(t *testing.T) {
+	const nodes = 3
+	daemons := make([]*chaosDaemon, nodes)
+	var members []string
+	for i := range daemons {
+		d := &chaosDaemon{listenAddr: reservePort(t)}
+		p, err := chaos.New("127.0.0.1:0", d.listenAddr, chaos.Faults{
+			Latency: 200 * time.Microsecond,
+			Jitter:  300 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		d.proxy = p
+		daemons[i] = d
+		members = append(members, p.Addr())
+	}
+	for i, d := range daemons {
+		d.start(t, members[i], members, false)
+	}
+	t.Cleanup(func() {
+		for _, d := range daemons {
+			d.kill()
+		}
+	})
+
+	bt := Dial(members, testOpts())
+	c := broker.NewTransportClient(bt)
+	defer c.Close()
+
+	pairs := chaosPairs(8)
+	for _, p := range pairs {
+		if _, _, err := c.Load(p[0], "c", "ilp32", p[1], ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Load(p[2], "c", "ilp32", p[3], ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareAll := func() error {
+		for i, p := range pairs {
+			v, err := c.Compare(p[0], fmt.Sprintf("mix%d", i), p[2], fmt.Sprintf("pair%d", i))
+			if err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			if v.Relation != core.RelEquivalent {
+				return fmt.Errorf("pair %d: relation %v", i, v.Relation)
+			}
+		}
+		return nil
+	}
+	// Cold round: every pair compiles once, somewhere in the fleet.
+	if err := compareAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the push workers finish replicating to successors, so the
+	// survivors hold the victim's entries before it dies.
+	eventually(t, "warm replication of the working set", func() bool {
+		var fills int64
+		for _, d := range daemons {
+			fills += d.b.Stats().WarmFills
+		}
+		return fills >= int64(len(pairs))
+	})
+
+	// Continuous load while one member dies and rejoins. Every request
+	// must succeed: failover covers the outage, warm sync the rejoin.
+	var clientErrs atomic.Int64
+	var requests atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := compareAll(); err != nil {
+					t.Log(err)
+					clientErrs.Add(1)
+				}
+				requests.Add(int64(len(pairs)))
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	victim := daemons[1]
+	victim.kill()
+	time.Sleep(100 * time.Millisecond) // fleet serves 2-of-3 for a while
+	victim.start(t, members[1], members, true)
+	time.Sleep(100 * time.Millisecond) // rejoined member takes traffic again
+	close(stop)
+	wg.Wait()
+
+	if n := clientErrs.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed during kill/restart", n, requests.Load())
+	}
+
+	// The restarted member must have warmed from its peers, not from
+	// client traffic re-paying compiles.
+	if victim.b.Stats().WarmFills == 0 {
+		t.Fatal("restarted member has no warm fills after sync")
+	}
+	if victim.n.Status().Synced == 0 {
+		t.Fatal("restarted member synced nothing")
+	}
+
+	// Recompile audit: one more full sweep of the working set must not
+	// run a single new comparison anywhere in the fleet, and must be
+	// served (at least partly) by warmed entries.
+	runsBefore, warmHitsBefore := int64(0), int64(0)
+	for _, d := range daemons {
+		st := d.b.Stats()
+		runsBefore += st.CompareRuns
+		warmHitsBefore += st.WarmHits
+	}
+	if err := compareAll(); err != nil {
+		t.Fatal(err)
+	}
+	runsAfter, warmHitsAfter := int64(0), int64(0)
+	for _, d := range daemons {
+		st := d.b.Stats()
+		runsAfter += st.CompareRuns
+		warmHitsAfter += st.WarmHits
+	}
+	if runsAfter != runsBefore {
+		t.Fatalf("post-restart sweep re-ran %d comparisons, want 0", runsAfter-runsBefore)
+	}
+	if warmHitsAfter <= warmHitsBefore {
+		t.Fatal("post-restart sweep recorded no warm hits")
+	}
+}

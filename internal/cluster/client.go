@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+// ErrNoMembers is returned by calls on a Client with an empty member
+// list.
+var ErrNoMembers = errors.New("cluster: no members")
+
+// Options configures a cluster Client. Zero values select the defaults.
+type Options struct {
+	// Resil tunes the per-member connection pool (deadlines, retries,
+	// hedging) — each member gets its own resil.Client built from this.
+	Resil resil.Options
+	// Replicas is how many ring positions per key participate in
+	// spillover (owner + successors, default 2). Spillover stays inside
+	// the replica set because those are the members warm pushes target —
+	// a spilled request still lands on a warm cache.
+	Replicas int
+	// SpillInflight is the in-flight gap between the owner and the least
+	// loaded replica past which a request spills over (default 16).
+	SpillInflight int
+	// DrainTimeout bounds the graceful drain of a departed member's pool
+	// (default 30s); past it the pool closes forcibly.
+	DrainTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.SpillInflight <= 0 {
+		o.SpillInflight = 16
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// member is one fleet endpoint: its pool and the cluster-level in-flight
+// gauge the spillover decision reads (resil tracks per-connection
+// in-flight internally; this tracks per-member).
+type member struct {
+	addr     string
+	pool     *resil.Client
+	inflight atomic.Int64
+}
+
+// Client is a multi-endpoint broker client: requests route by
+// content-derived key to their ring owner, spill to replicas under load
+// imbalance, and fail over down the rank when members are unreachable.
+// Safe for concurrent use.
+type Client struct {
+	opts Options
+
+	mu      sync.Mutex
+	members map[string]*member
+	closed  bool
+
+	ring atomic.Pointer[Ring]
+
+	spills     atomic.Int64
+	failovers  atomic.Int64
+	broadcasts atomic.Int64
+}
+
+// New returns a Client over the given member addresses. Pools dial
+// lazily; an empty list is legal and can be fixed later with SetMembers.
+func New(addrs []string, opts Options) *Client {
+	c := &Client{
+		opts:    opts.withDefaults(),
+		members: make(map[string]*member),
+	}
+	c.ring.Store(NewRing(nil))
+	c.SetMembers(addrs)
+	return c
+}
+
+// SetMembers replaces the member list. New members get fresh pools;
+// members leaving the ring have their pools drained in the background —
+// in-flight calls finish, then the pool closes — rather than erroring
+// out on next use.
+func (c *Client) SetMembers(addrs []string) {
+	ring := NewRing(addrs)
+	keep := make(map[string]bool, ring.Len())
+	for _, a := range ring.Members() {
+		keep[a] = true
+	}
+	var drain []*member
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for addr, m := range c.members {
+		if !keep[addr] {
+			drain = append(drain, m)
+			delete(c.members, addr)
+		}
+	}
+	for addr := range keep {
+		if c.members[addr] == nil {
+			c.members[addr] = &member{addr: addr, pool: resil.New(addr, c.opts.Resil)}
+		}
+	}
+	c.ring.Store(ring)
+	c.mu.Unlock()
+	for _, m := range drain {
+		go func(m *member) {
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.DrainTimeout)
+			defer cancel()
+			_ = m.pool.Drain(ctx)
+		}(m)
+	}
+}
+
+// Members returns the current member addresses, sorted.
+func (c *Client) Members() []string { return c.ring.Load().Members() }
+
+// Ring returns the current ring view.
+func (c *Client) Ring() *Ring { return c.ring.Load() }
+
+// Close tears down every member pool immediately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	members := c.members
+	c.members = map[string]*member{}
+	c.mu.Unlock()
+	c.ring.Store(NewRing(nil))
+	for _, m := range members {
+		_ = m.pool.Close()
+	}
+	return nil
+}
+
+// MemberStats is one member's counter snapshot.
+type MemberStats struct {
+	Addr     string
+	InFlight int64
+	Pool     resil.Stats
+}
+
+// Stats is a point-in-time snapshot of the Client's counters.
+type Stats struct {
+	// Members holds one entry per member, sorted by address.
+	Members []MemberStats
+	// Spills counts requests routed to a replica instead of the loaded
+	// owner; Failovers counts attempts moved down the rank after a
+	// member failed; Broadcasts counts fan-out operations.
+	Spills, Failovers, Broadcasts int64
+}
+
+// Stats returns a snapshot of the Client's counters.
+func (c *Client) Stats() Stats {
+	st := Stats{
+		Spills:     c.spills.Load(),
+		Failovers:  c.failovers.Load(),
+		Broadcasts: c.broadcasts.Load(),
+	}
+	c.mu.Lock()
+	for _, m := range c.members {
+		st.Members = append(st.Members, MemberStats{Addr: m.addr, InFlight: m.inflight.Load(), Pool: m.pool.Stats()})
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].Addr < st.Members[j].Addr })
+	return st
+}
+
+func (c *Client) member(addr string) *member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members[addr]
+}
+
+// failover reports whether an attempt's failure should move the request
+// to the next ranked member. Connection-level failures and overload
+// sheds obviously should. Two remote errors do too, because they mean
+// "this member cannot serve this key right now", not "the request is
+// wrong": a freshly restarted daemon that has not re-learned a universe
+// ("core: no universe ..."), and a daemon still starting up that has not
+// registered the service ("no object ..."). Every other remote error is
+// a deterministic answer a replica would repeat.
+func failover(err error) bool {
+	if errors.Is(err, orb.ErrOverloaded) {
+		return true
+	}
+	if errors.Is(err, orb.ErrDeadline) || errors.Is(err, orb.ErrCanceled) {
+		return false // the call's own budget is spent
+	}
+	var re *orb.RemoteError
+	if errors.As(err, &re) {
+		return strings.Contains(re.Msg, "core: no universe") || strings.Contains(re.Msg, "no object")
+	}
+	if errors.Is(err, orb.ErrServerPanic) || errors.Is(err, orb.ErrFrameTooLarge) {
+		return false
+	}
+	return true // dial failures, conn resets, pool closed mid-drain, ...
+}
+
+// InvokeKeyed performs one fleet call routed by rk. The owner serves it
+// unless its in-flight load exceeds the least loaded replica's by more
+// than SpillInflight, in which case the request spills to that replica
+// (still inside the warm replica set). Unreachable or unable members
+// fail the request over to the next ranked member — beyond the replica
+// set if necessary — so a single dead daemon costs latency, not errors.
+// A nil rk routes to the least loaded member (for keyless ops).
+func (c *Client) InvokeKeyed(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error) {
+	ring := c.ring.Load()
+	if ring.Len() == 0 {
+		return nil, ErrNoMembers
+	}
+	var order []string
+	if rk == nil {
+		order = c.leastLoadedOrder(ring)
+	} else {
+		order = ring.Ranked(rk)
+		c.applySpill(order)
+	}
+	var lastErr error
+	for i, addr := range order {
+		m := c.member(addr)
+		if m == nil {
+			continue // raced SetMembers; the ring will catch up
+		}
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		m.inflight.Add(1)
+		reply, err := m.pool.InvokeContext(ctx, key, op, body)
+		m.inflight.Add(-1)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !failover(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: all %d members failed: %w", len(order), lastErr)
+}
+
+// applySpill reorders the head of a ranked member list: when the owner
+// is carrying SpillInflight more in-flight calls than the least loaded
+// member of the replica set, that replica takes the front slot.
+func (c *Client) applySpill(order []string) {
+	n := c.opts.Replicas
+	if n > len(order) {
+		n = len(order)
+	}
+	if n < 2 {
+		return
+	}
+	owner := c.member(order[0])
+	if owner == nil {
+		return
+	}
+	bestIdx, bestLoad := 0, owner.inflight.Load()
+	for i := 1; i < n; i++ {
+		if m := c.member(order[i]); m != nil {
+			if l := m.inflight.Load(); l < bestLoad {
+				bestIdx, bestLoad = i, l
+			}
+		}
+	}
+	if bestIdx != 0 && owner.inflight.Load()-bestLoad > int64(c.opts.SpillInflight) {
+		order[0], order[bestIdx] = order[bestIdx], order[0]
+		c.spills.Add(1)
+	}
+}
+
+// leastLoadedOrder returns the members ordered by in-flight load, for
+// keyless operations (stats, health) that any member can answer.
+func (c *Client) leastLoadedOrder(ring *Ring) []string {
+	order := ring.Members()
+	sort.Slice(order, func(i, j int) bool {
+		var li, lj int64
+		if m := c.member(order[i]); m != nil {
+			li = m.inflight.Load()
+		}
+		if m := c.member(order[j]); m != nil {
+			lj = m.inflight.Load()
+		}
+		return li < lj
+	})
+	return order
+}
+
+// Broadcast sends one request to every member concurrently and returns
+// the first successful reply. It succeeds when at least one member
+// accepts: a load reaching most of the fleet is strictly better than an
+// error during a rolling restart, and the members that missed it heal
+// through the warm protocol (pushes carry universe sources). All-member
+// failure returns the first error observed.
+func (c *Client) Broadcast(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
+	ring := c.ring.Load()
+	members := ring.Members()
+	if len(members) == 0 {
+		return nil, ErrNoMembers
+	}
+	c.broadcasts.Add(1)
+	type res struct {
+		reply []byte
+		err   error
+	}
+	ch := make(chan res, len(members))
+	live := 0
+	for _, addr := range members {
+		m := c.member(addr)
+		if m == nil {
+			continue
+		}
+		live++
+		go func(m *member) {
+			m.inflight.Add(1)
+			reply, err := m.pool.InvokeContext(ctx, key, op, body)
+			m.inflight.Add(-1)
+			ch <- res{reply, err}
+		}(m)
+	}
+	if live == 0 {
+		return nil, ErrNoMembers
+	}
+	var firstErr error
+	var reply []byte
+	ok := false
+	for i := 0; i < live; i++ {
+		r := <-ch
+		if r.err == nil {
+			if !ok {
+				reply, ok = r.reply, true
+			}
+		} else if firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: broadcast failed on all %d members: %w", live, firstErr)
+	}
+	return reply, nil
+}

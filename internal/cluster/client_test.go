@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+// echoFleet starts n orb servers whose "echo" handler replies with the
+// server's own address, so tests can see which member served a call.
+func echoFleet(t *testing.T, n int) (addrs []string, servers map[string]*orb.Server, calls map[string]*atomic.Int64) {
+	t.Helper()
+	servers = make(map[string]*orb.Server, n)
+	calls = make(map[string]*atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		srv, err := orb.NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		addr := srv.Addr()
+		c := &atomic.Int64{}
+		srv.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+			c.Add(1)
+			return []byte(addr), nil
+		})
+		addrs = append(addrs, addr)
+		servers[addr] = srv
+		calls[addr] = c
+	}
+	return addrs, servers, calls
+}
+
+func testOpts() Options {
+	return Options{Resil: resil.Options{
+		MaxAttempts: 2,
+		DialTimeout: 2 * time.Second,
+		CallTimeout: 5 * time.Second,
+		BackoffBase: time.Millisecond,
+	}}
+}
+
+func TestClusterClientRoutesToOwner(t *testing.T) {
+	addrs, _, _ := echoFleet(t, 3)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	for i := 0; i < 50; i++ {
+		rk := RouteKey("route", fmt.Sprint(i))
+		reply, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := string(reply), c.Ring().Owner(rk); got != want {
+			t.Fatalf("key %d served by %s, owner is %s", i, got, want)
+		}
+	}
+	if st := c.Stats(); st.Failovers != 0 || st.Spills != 0 {
+		t.Fatalf("healthy fleet recorded failovers=%d spills=%d", st.Failovers, st.Spills)
+	}
+}
+
+func TestClusterClientFailover(t *testing.T) {
+	addrs, servers, _ := echoFleet(t, 3)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	rk := RouteKey("doomed", "pair")
+	owner := c.Ring().Owner(rk)
+	_ = servers[owner].Close()
+
+	reply, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+	if err != nil {
+		t.Fatalf("call with dead owner failed: %v", err)
+	}
+	if string(reply) == owner {
+		t.Fatalf("dead owner %s served the call", owner)
+	}
+	if got, want := string(reply), c.Ring().Ranked(rk)[1]; got != want {
+		t.Fatalf("failover served by %s, want next ranked %s", got, want)
+	}
+	if st := c.Stats(); st.Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+// A deterministic remote error must NOT fail over: a replica would give
+// the same answer, and retrying it fleet-wide would triple error load.
+func TestClusterClientNoFailoverOnRemoteError(t *testing.T) {
+	addrs, servers, calls := echoFleet(t, 3)
+	rk := RouteKey("erroring", "pair")
+	owner := NewRing(addrs).Owner(rk)
+	servers[owner].Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		calls[owner].Add(1)
+		return nil, errors.New("boom: bad request")
+	})
+
+	c := New(addrs, testOpts())
+	defer c.Close()
+	_, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the owner's boom", err)
+	}
+	for addr, n := range calls {
+		if addr != owner && n.Load() != 0 {
+			t.Fatalf("member %s was tried after a deterministic error", addr)
+		}
+	}
+}
+
+// "core: no universe" means the member lost state (restart) — the one
+// remote error that must fail over, because a warm replica CAN answer.
+func TestClusterClientFailoverOnMissingUniverse(t *testing.T) {
+	addrs, servers, _ := echoFleet(t, 3)
+	rk := RouteKey("amnesiac", "pair")
+	owner := NewRing(addrs).Owner(rk)
+	servers[owner].Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		return nil, errors.New(`core: no universe "u42"`)
+	})
+
+	c := New(addrs, testOpts())
+	defer c.Close()
+	reply, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+	if err != nil {
+		t.Fatalf("call failed instead of failing over: %v", err)
+	}
+	if string(reply) == owner {
+		t.Fatal("owner served despite missing universe")
+	}
+}
+
+func TestClusterClientBroadcast(t *testing.T) {
+	addrs, servers, calls := echoFleet(t, 3)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	if _, err := c.Broadcast(context.Background(), "echo", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for addr, n := range calls {
+		if n.Load() == 0 {
+			t.Fatalf("broadcast missed member %s", addr)
+		}
+	}
+
+	// One member down: broadcast still succeeds (rolling-restart rule).
+	_ = servers[addrs[0]].Close()
+	if _, err := c.Broadcast(context.Background(), "echo", 1, nil); err != nil {
+		t.Fatalf("broadcast with one dead member failed: %v", err)
+	}
+
+	// All members down: the broadcast must report failure.
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	if _, err := c.Broadcast(context.Background(), "echo", 1, nil); err == nil {
+		t.Fatal("broadcast succeeded with the whole fleet down")
+	}
+}
+
+func TestClusterClientSpillover(t *testing.T) {
+	addrs, _, _ := echoFleet(t, 3)
+	opts := testOpts()
+	opts.SpillInflight = 4
+	c := New(addrs, opts)
+	defer c.Close()
+
+	rk := RouteKey("hot", "pair")
+	order := c.Ring().Ranked(rk)
+	owner, replica := c.member(order[0]), c.member(order[1])
+
+	// Pretend the owner is saturated; the replica should take the call.
+	owner.inflight.Store(100)
+	reply, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != replica.addr {
+		t.Fatalf("saturated owner: served by %s, want replica %s", reply, replica.addr)
+	}
+	if st := c.Stats(); st.Spills != 1 {
+		t.Fatalf("Spills = %d, want 1", st.Spills)
+	}
+
+	// Below the gap threshold the owner keeps the key (cache affinity
+	// beats perfect balance).
+	owner.inflight.Store(int64(opts.SpillInflight))
+	if reply, err = c.InvokeKeyed(context.Background(), rk, "echo", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != owner.addr {
+		t.Fatalf("mildly loaded owner lost its key to %s", reply)
+	}
+}
+
+func TestClusterClientMembershipChange(t *testing.T) {
+	addrs, _, _ := echoFleet(t, 3)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	rk := RouteKey("moving", "pair")
+	if _, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	departed := c.Ring().Owner(rk)
+	var rest []string
+	for _, a := range addrs {
+		if a != departed {
+			rest = append(rest, a)
+		}
+	}
+	c.SetMembers(rest)
+
+	reply, err := c.InvokeKeyed(context.Background(), rk, "echo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) == departed {
+		t.Fatalf("departed member %s served a call", departed)
+	}
+	if got, want := fmt.Sprint(c.Members()), fmt.Sprint(NewRing(rest).Members()); got != want {
+		t.Fatalf("members = %s, want %s", got, want)
+	}
+
+	if _, err := New(nil, testOpts()).InvokeKeyed(context.Background(), rk, "echo", 1, nil); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("empty client err = %v, want ErrNoMembers", err)
+	}
+}

@@ -1,0 +1,610 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/proto"
+	"repro/internal/resil"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// NodeOptions configures a cluster Node. Zero values select the
+// defaults.
+type NodeOptions struct {
+	// Resil tunes the peer-link pools. The node overrides nothing the
+	// caller sets, but its own defaults are tighter than resil's: peers
+	// are LAN neighbors, not WAN clients.
+	Resil resil.Options
+	// Replicas is how many ring positions (owner + successors) each warm
+	// entry is pushed to (default 2, matching Options.Replicas).
+	Replicas int
+	// PushQueue bounds the background push queue (default 1024); a full
+	// queue drops the push (counted) rather than blocking a cache fill.
+	PushQueue int
+	// PullTimeout bounds an owner pull on the request path (default 2s —
+	// a miss then compiles locally, so this is the most latency a dead
+	// owner can add to a cold compare).
+	PullTimeout time.Duration
+	// PushTimeout bounds one warm push RPC (default 10s: the receiver
+	// compiles synchronously).
+	PushTimeout time.Duration
+	// SyncMax bounds the warm entries requested from each peer during
+	// SyncFromPeers (default 4096).
+	SyncMax int
+	// MaxPeerInFlight bounds concurrently served peer requests (default
+	// 32); excess is shed with orb.ErrOverloaded, so a peer storm cannot
+	// starve the client-facing data plane.
+	MaxPeerInFlight int
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.PushQueue <= 0 {
+		o.PushQueue = 1024
+	}
+	if o.PullTimeout <= 0 {
+		o.PullTimeout = 2 * time.Second
+	}
+	if o.PushTimeout <= 0 {
+		o.PushTimeout = 10 * time.Second
+	}
+	if o.SyncMax <= 0 {
+		o.SyncMax = 4096
+	}
+	if o.MaxPeerInFlight <= 0 {
+		o.MaxPeerInFlight = 32
+	}
+	if o.Resil.MaxAttempts == 0 {
+		o.Resil.MaxAttempts = 2
+	}
+	if o.Resil.PoolSize == 0 {
+		o.Resil.PoolSize = 2
+	}
+	if o.Resil.DialTimeout == 0 {
+		o.Resil.DialTimeout = 2 * time.Second
+	}
+	return o
+}
+
+type pushJob struct {
+	kind, ua, da, ub, db string
+}
+
+// Node is one daemon's membership in the cluster: it implements
+// broker.PeerWarmer (installed on the local broker by NewNode), serves
+// the peer warm protocol to other daemons, and maintains resilient
+// links to every peer. All methods are safe for concurrent use.
+type Node struct {
+	self string
+	b    *broker.Broker
+	opts NodeOptions
+
+	ring atomic.Pointer[Ring]
+
+	mu     sync.Mutex
+	peers  map[string]*resil.Client
+	closed bool
+
+	queue chan pushJob
+	stop  chan struct{}
+	done  chan struct{}
+
+	admit chan struct{}
+
+	pullsSent   atomic.Int64
+	pushesSent  atomic.Int64
+	pushErrs    atomic.Int64
+	pushDrops   atomic.Int64
+	pushesRecv  atomic.Int64
+	pullsServed atomic.Int64
+	listsServed atomic.Int64
+	synced      atomic.Int64
+}
+
+// NewNode joins broker b to a cluster as the member advertised at self
+// (which should appear in members). It installs itself as the broker's
+// peer warmer and starts the background push worker; call Close to
+// detach.
+func NewNode(self string, members []string, b *broker.Broker, opts NodeOptions) *Node {
+	opts = opts.withDefaults()
+	n := &Node{
+		self:  self,
+		b:     b,
+		opts:  opts,
+		peers: make(map[string]*resil.Client),
+		queue: make(chan pushJob, opts.PushQueue),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		admit: make(chan struct{}, opts.MaxPeerInFlight),
+	}
+	n.ring.Store(NewRing(members))
+	b.SetWarmer(n)
+	go n.pushWorker()
+	return n
+}
+
+// Serve registers the node's peer warm service on an orb server (the
+// same server that serves broker.ObjectKey).
+func Serve(srv *orb.Server, n *Node) {
+	srv.Register(ObjectKey, n.Handler())
+}
+
+// Close detaches the node from its broker, stops the push worker, and
+// closes every peer link.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := n.peers
+	n.peers = map[string]*resil.Client{}
+	n.mu.Unlock()
+	n.b.SetWarmer(nil)
+	close(n.stop)
+	<-n.done
+	for _, p := range peers {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// Self returns the node's advertised cluster address.
+func (n *Node) Self() string { return n.self }
+
+// Members returns the node's current member list, sorted.
+func (n *Node) Members() []string { return n.ring.Load().Members() }
+
+// Ring returns the node's current ring view.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Peers reports the number of other members (broker.PeerWarmer).
+func (n *Node) Peers() int {
+	c := 0
+	for _, m := range n.ring.Load().Members() {
+		if m != n.self {
+			c++
+		}
+	}
+	return c
+}
+
+// SetMembers replaces the member list; links to departed peers drain
+// gracefully in the background.
+func (n *Node) SetMembers(members []string) {
+	ring := NewRing(members)
+	keep := make(map[string]bool, ring.Len())
+	for _, m := range ring.Members() {
+		keep[m] = true
+	}
+	var drain []*resil.Client
+	n.mu.Lock()
+	for addr, p := range n.peers {
+		if !keep[addr] {
+			drain = append(drain, p)
+			delete(n.peers, addr)
+		}
+	}
+	n.mu.Unlock()
+	n.ring.Store(ring)
+	for _, p := range drain {
+		go func(p *resil.Client) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = p.Drain(ctx)
+		}(p)
+	}
+}
+
+// peerPool returns (lazily creating) the resilient link to one peer.
+func (n *Node) peerPool(addr string) *resil.Client {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	if p := n.peers[addr]; p != nil {
+		return p
+	}
+	p := resil.New(addr, n.opts.Resil)
+	n.peers[addr] = p
+	return p
+}
+
+// othersRanked returns the pair's ring order with self removed.
+func (n *Node) othersRanked(rk []byte) []string {
+	ranked := n.ring.Load().Ranked(rk)
+	out := ranked[:0]
+	for _, m := range ranked {
+		if m != n.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// --- broker.PeerWarmer ---
+
+// PullVerdict asks the pair's best-ranked other member for its cached
+// verdict (broker.PeerWarmer; called on the request path inside a
+// verdict miss). One attempt against one peer, bounded by PullTimeout:
+// on any failure the caller just compares locally.
+func (n *Node) PullVerdict(ua, da, ub, db string) (core.Relation, int, string, bool) {
+	others := n.othersRanked(RouteKey(ua, da, ub, db))
+	if len(others) == 0 {
+		return 0, 0, "", false
+	}
+	p := n.peerPool(others[0])
+	if p == nil {
+		return 0, 0, "", false
+	}
+	n.pullsSent.Add(1)
+	body, err := proto.MarshalStrings(pairHeaderT, ua, da, ub, db)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.PullTimeout)
+	defer cancel()
+	reply, err := p.InvokeContext(ctx, ObjectKey, OpPull, body)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	v, err := wire.Unmarshal(pullRepT, reply)
+	if err != nil {
+		return 0, 0, "", false
+	}
+	r := proto.NewInts(v)
+	found, rel, steps := r.Get(0), r.Get(1), r.Get(2)
+	if r.Err() != nil || found == 0 {
+		return 0, 0, "", false
+	}
+	rec := v.(value.Record)
+	explain, err := proto.GoStr(rec.Fields[3])
+	if err != nil {
+		return 0, 0, "", false
+	}
+	return core.Relation(rel), int(steps), explain, true
+}
+
+// PushCompiled enqueues a warm push of a freshly filled entry
+// (broker.PeerWarmer; called inside cache fills, so it never blocks —
+// a full queue drops the push and counts the drop).
+func (n *Node) PushCompiled(kind, ua, da, ub, db string) {
+	select {
+	case n.queue <- pushJob{kind, ua, da, ub, db}:
+	default:
+		n.pushDrops.Add(1)
+	}
+}
+
+// pushWorker drains the push queue, replicating each entry to the
+// pair's ring successors.
+func (n *Node) pushWorker() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case j := <-n.queue:
+			n.pushOne(j)
+		}
+	}
+}
+
+// pushOne sends one warm entry to the first Replicas ranked members of
+// its pair (self excluded — self already holds the entry).
+func (n *Node) pushOne(j pushJob) {
+	rk := RouteKey(j.ua, j.da, j.ub, j.db)
+	targets := n.ring.Load().Ranked(rk)
+	if len(targets) > n.opts.Replicas {
+		targets = targets[:n.opts.Replicas]
+	}
+	body, err := n.pushBody(j)
+	if err != nil {
+		n.pushErrs.Add(1)
+		return
+	}
+	for _, addr := range targets {
+		if addr == n.self {
+			continue
+		}
+		p := n.peerPool(addr)
+		if p == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.opts.PushTimeout)
+		_, err := p.InvokeContext(ctx, ObjectKey, OpPush, body)
+		cancel()
+		if err != nil {
+			n.pushErrs.Add(1)
+			continue
+		}
+		n.pushesSent.Add(1)
+	}
+}
+
+// pushBody marshals one warm entry with the universe sources the
+// receiver needs to replay it.
+func (n *Node) pushBody(j pushJob) ([]byte, error) {
+	e := broker.WarmEntry{Kind: j.kind, UA: j.ua, DA: j.da, UB: j.ub, DB: j.db}
+	if j.kind == broker.KindVerdict {
+		v, ok := n.b.PeekVerdict(j.ua, j.da, j.ub, j.db)
+		if !ok {
+			return nil, errors.New("cluster: verdict evicted before push")
+		}
+		e.Relation, e.Steps, e.Explain = v.Relation, v.Steps, v.Explain
+	}
+	var recs []broker.LoadRecord
+	seen := map[string]bool{}
+	for _, u := range []string{j.ua, j.ub} {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if r, ok := n.b.LoadRecord(u); ok {
+			recs = append(recs, r)
+		}
+	}
+	return wire.Marshal(pushReqT, value.NewRecord(entryValue(e), loadRecList(recs)))
+}
+
+// --- warm application (shared by push handling and sync) ---
+
+// ensureUniverses replays load records the local broker is missing.
+func (n *Node) ensureUniverses(recs []broker.LoadRecord) error {
+	for _, r := range recs {
+		if n.b.HasUniverse(r.Universe) {
+			continue
+		}
+		if _, _, err := n.b.Load(r.Universe, r.Lang, r.Model, r.Source, r.Script); err != nil {
+			return fmt.Errorf("cluster: warm load %s: %w", r.Universe, err)
+		}
+	}
+	return nil
+}
+
+// applyEntry warms one entry into the local broker, reporting whether
+// new cache state was materialized.
+func (n *Node) applyEntry(e broker.WarmEntry) (bool, error) {
+	switch e.Kind {
+	case broker.KindVerdict:
+		return n.b.WarmVerdict(e.UA, e.DA, e.UB, e.DB, e.Relation, e.Steps, e.Explain)
+	case broker.KindConverter:
+		return true, n.b.WarmConverter(e.UA, e.DA, e.UB, e.DB)
+	case broker.KindTranscoder:
+		return true, n.b.WarmTranscoder(e.UA, e.DA, e.UB, e.DB)
+	default:
+		return false, fmt.Errorf("cluster: unknown warm kind %q", e.Kind)
+	}
+}
+
+// SyncFromPeers drains every peer's warm state into the local broker:
+// universes load, verdicts transfer as data, converters and transcoders
+// recompile locally — all before the daemon accepts client traffic, so
+// a restarted member rejoins hot. Returns the number of entries warmed.
+// Unreachable peers are skipped; an error is returned only when every
+// peer failed (one live peer is enough to warm from).
+func (n *Node) SyncFromPeers(ctx context.Context) (int, error) {
+	others := 0
+	warmed := 0
+	var lastErr error
+	seen := map[string]bool{}
+	for _, addr := range n.ring.Load().Members() {
+		if addr == n.self {
+			continue
+		}
+		others++
+		recs, entries, err := n.listFrom(ctx, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := n.ensureUniverses(recs); err != nil {
+			lastErr = err
+			continue
+		}
+		for _, e := range entries {
+			k := e.Kind + "\x00" + e.UA + "\x00" + e.DA + "\x00" + e.UB + "\x00" + e.DB
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if ok, err := n.applyEntry(e); err == nil && ok {
+				warmed++
+				n.synced.Add(1)
+			}
+		}
+	}
+	if others > 0 && lastErr != nil && warmed == 0 && len(seen) == 0 {
+		return 0, fmt.Errorf("cluster: warm sync failed on all peers: %w", lastErr)
+	}
+	return warmed, nil
+}
+
+// listFrom fetches one peer's warm-state snapshot.
+func (n *Node) listFrom(ctx context.Context, addr string) ([]broker.LoadRecord, []broker.WarmEntry, error) {
+	p := n.peerPool(addr)
+	if p == nil {
+		return nil, nil, errors.New("cluster: node closed")
+	}
+	body, err := wire.Marshal(listReqT, value.NewRecord(proto.Int(int64(n.opts.SyncMax))))
+	if err != nil {
+		return nil, nil, err
+	}
+	reply, err := p.InvokeContext(ctx, ObjectKey, OpList, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := wire.Unmarshal(listRepT, reply)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != 2 {
+		return nil, nil, fmt.Errorf("cluster: malformed list reply: %v", v)
+	}
+	recs, err := parseLoadRecList(rec.Fields[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, err := parseEntryList(rec.Fields[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return recs, entries, nil
+}
+
+// Status snapshots the node's warm-protocol counters.
+func (n *Node) Status() NodeStatus {
+	return NodeStatus{
+		Self:        n.self,
+		Members:     n.Members(),
+		PullsSent:   n.pullsSent.Load(),
+		PushesSent:  n.pushesSent.Load(),
+		PushErrs:    n.pushErrs.Load(),
+		PushDrops:   n.pushDrops.Load(),
+		PushesRecv:  n.pushesRecv.Load(),
+		PullsServed: n.pullsServed.Load(),
+		ListsServed: n.listsServed.Load(),
+		Synced:      n.synced.Load(),
+	}
+}
+
+// --- peer service (server side) ---
+
+// Handler returns the orb handler serving the peer warm protocol, with
+// its own small admission gate so peer traffic cannot crowd out the
+// client-facing data plane.
+func (n *Node) Handler() orb.Handler {
+	return func(op uint32, body []byte) ([]byte, error) {
+		select {
+		case n.admit <- struct{}{}:
+			defer func() { <-n.admit }()
+		default:
+			return nil, fmt.Errorf("%w: %d peer requests already in flight", orb.ErrOverloaded, cap(n.admit))
+		}
+		switch op {
+		case OpPull:
+			args, err := proto.UnmarshalStrings(pairHeaderT, body, 4)
+			if err != nil {
+				return nil, err
+			}
+			n.pullsServed.Add(1)
+			found, rel, steps, explain := int64(0), int64(0), int64(0), ""
+			if v, ok := n.b.PeekVerdict(args[0], args[1], args[2], args[3]); ok {
+				found, rel, steps, explain = 1, int64(v.Relation), int64(v.Steps), v.Explain
+			}
+			return wire.Marshal(pullRepT, value.NewRecord(
+				proto.Int(found), proto.Int(rel), proto.Int(steps), proto.Str(explain)))
+
+		case OpPush:
+			v, err := wire.Unmarshal(pushReqT, body)
+			if err != nil {
+				return nil, err
+			}
+			rec, ok := v.(value.Record)
+			if !ok || len(rec.Fields) != 2 {
+				return nil, fmt.Errorf("cluster: malformed push: %v", v)
+			}
+			e, err := parseEntry(rec.Fields[0])
+			if err != nil {
+				return nil, err
+			}
+			recs, err := parseLoadRecList(rec.Fields[1])
+			if err != nil {
+				return nil, err
+			}
+			accepted := int64(0)
+			if err := n.ensureUniverses(recs); err == nil {
+				if ok, err := n.applyEntry(e); err == nil && ok {
+					accepted = 1
+					n.pushesRecv.Add(1)
+				}
+			}
+			return wire.Marshal(pushRepT, value.NewRecord(proto.Int(accepted)))
+
+		case OpList:
+			v, err := wire.Unmarshal(listReqT, body)
+			if err != nil {
+				return nil, err
+			}
+			r := proto.NewInts(v)
+			max := int(r.Get(0))
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			if max <= 0 || max > 1<<16 {
+				max = 1 << 16
+			}
+			n.listsServed.Add(1)
+			recs, entries := n.b.WarmEntries(max)
+			return wire.Marshal(listRepT, value.NewRecord(loadRecList(recs), entryList(entries)))
+
+		case OpStatus:
+			st := n.Status()
+			members := make([]value.Value, len(st.Members))
+			for i, m := range st.Members {
+				members[i] = proto.Str(m)
+			}
+			return wire.Marshal(statusT, value.NewRecord(
+				proto.Str(st.Self), value.FromSlice(members),
+				proto.Int(st.PullsSent), proto.Int(st.PushesSent), proto.Int(st.PushErrs), proto.Int(st.PushDrops),
+				proto.Int(st.PushesRecv), proto.Int(st.PullsServed), proto.Int(st.ListsServed), proto.Int(st.Synced)))
+
+		default:
+			return nil, fmt.Errorf("cluster: unknown peer op %d", op)
+		}
+	}
+}
+
+// FetchStatus reads a daemon's NodeStatus over any transport (a plain
+// orb client or a resil pool) — the read `mbird cluster status` makes.
+type statusTransport interface {
+	InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error)
+}
+
+// FetchStatus fetches the peer-protocol status of the daemon behind t.
+func FetchStatus(ctx context.Context, t statusTransport) (NodeStatus, error) {
+	reply, err := t.InvokeContext(ctx, ObjectKey, OpStatus, nil)
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	v, err := wire.Unmarshal(statusT, reply)
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != 10 {
+		return NodeStatus{}, fmt.Errorf("cluster: malformed status reply: %v", v)
+	}
+	var st NodeStatus
+	if st.Self, err = proto.GoStr(rec.Fields[0]); err != nil {
+		return NodeStatus{}, err
+	}
+	elems, err := value.ToSlice(rec.Fields[1])
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	st.Members = make([]string, len(elems))
+	for i, e := range elems {
+		if st.Members[i], err = proto.GoStr(e); err != nil {
+			return NodeStatus{}, err
+		}
+	}
+	r := proto.NewInts(v)
+	st.PullsSent, st.PushesSent, st.PushErrs, st.PushDrops = r.Get(2), r.Get(3), r.Get(4), r.Get(5)
+	st.PushesRecv, st.PullsServed, st.ListsServed, st.Synced = r.Get(6), r.Get(7), r.Get(8), r.Get(9)
+	return st, r.Err()
+}

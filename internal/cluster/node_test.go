@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+const (
+	srcMix  = "typedef struct { float r; int n; } mix;"
+	srcPair = "typedef struct { int count; float ratio; } pair;"
+)
+
+// fleetNode is one in-process daemon: broker + warm node + orb server.
+type fleetNode struct {
+	addr string
+	b    *broker.Broker
+	n    *Node
+	srv  *orb.Server
+}
+
+// newFleet starts n in-process daemons sharing one member list, exactly
+// as n `mbirdd -cluster` processes would.
+func newFleet(t *testing.T, n int, opts NodeOptions) []*fleetNode {
+	t.Helper()
+	fleet := make([]*fleetNode, n)
+	var addrs []string
+	for i := range fleet {
+		srv, err := orb.NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		fleet[i] = &fleetNode{addr: srv.Addr(), srv: srv}
+		addrs = append(addrs, srv.Addr())
+	}
+	for _, fn := range fleet {
+		fn.b = broker.New(core.NewSession(), broker.Options{})
+		fn.n = NewNode(fn.addr, addrs, fn.b, opts)
+		t.Cleanup(func() { _ = fn.n.Close() })
+		broker.Serve(fn.srv, fn.b)
+		Serve(fn.srv, fn.n)
+	}
+	return fleet
+}
+
+func loadPair(t *testing.T, b *broker.Broker) {
+	t.Helper()
+	for _, u := range []struct{ name, src string }{{"ux", srcMix}, {"uy", srcPair}} {
+		if _, _, err := b.Load(u.name, "c", "ilp32", u.src, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A compare on one daemon must replicate its verdict — and the universe
+// sources needed to use it — to the pair's ring successors, unasked.
+func TestClusterWarmPushReplicatesVerdict(t *testing.T) {
+	fleet := newFleet(t, 3, NodeOptions{})
+	src := fleet[0]
+	loadPair(t, src.b)
+	v, err := src.b.Compare("ux", "mix", "uy", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	targets := src.n.Ring().Ranked(RouteKey("ux", "mix", "uy", "pair"))[:2]
+	for _, fn := range fleet {
+		isTarget := false
+		for _, a := range targets {
+			if a == fn.addr {
+				isTarget = true
+			}
+		}
+		if !isTarget || fn == src {
+			continue
+		}
+		fn := fn
+		eventually(t, "verdict push to "+fn.addr, func() bool {
+			got, ok := fn.b.PeekVerdict("ux", "mix", "uy", "pair")
+			return ok && got.Relation == v.Relation
+		})
+		// The push carried the load records: the receiver can serve the
+		// pair without anyone re-shipping sources.
+		if !fn.b.HasUniverse("ux") || !fn.b.HasUniverse("uy") {
+			t.Fatalf("push to %s did not load the pair's universes", fn.addr)
+		}
+		if fn.b.Stats().WarmFills == 0 {
+			t.Fatalf("receiver %s did not count the warm fill", fn.addr)
+		}
+	}
+	if st := src.n.Status(); st.PushErrs != 0 || st.PushDrops != 0 {
+		t.Fatalf("push errs=%d drops=%d, want 0/0", st.PushErrs, st.PushDrops)
+	}
+}
+
+// A daemon missing a verdict locally pulls it from the pair's owner
+// instead of re-running the comparison.
+func TestClusterWarmPullSkipsCompare(t *testing.T) {
+	fleet := newFleet(t, 3, NodeOptions{})
+	// Seed every broker but fleet[2]'s with the verdict, so whichever
+	// peer node 2 ranks first for the pair can answer the pull. Seeding
+	// goes through WarmVerdict — not Compare — because a compare would
+	// also push the verdict to the pair's replicas, and if fleet[2] is
+	// one, the push could beat the pull this test is about.
+	for _, fn := range fleet[:2] {
+		loadPair(t, fn.b)
+		if _, err := fn.b.WarmVerdict("ux", "mix", "uy", "pair", core.RelEquivalent, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := fleet[2]
+	loadPair(t, late.b)
+	v, err := late.b.Compare("ux", "mix", "uy", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != core.RelEquivalent {
+		t.Fatalf("relation = %v, want equivalent", v.Relation)
+	}
+	st := late.b.Stats()
+	if st.CompareRuns != 0 {
+		t.Fatalf("CompareRuns = %d, want 0 (verdict should come from a peer)", st.CompareRuns)
+	}
+	if st.PeerPulls != 1 {
+		t.Fatalf("PeerPulls = %d, want 1", st.PeerPulls)
+	}
+	if ns := late.n.Status(); ns.PullsSent != 1 {
+		t.Fatalf("node PullsSent = %d, want 1", ns.PullsSent)
+	}
+}
+
+// SyncFromPeers drains the fleet's warm state into a cold broker:
+// universes load, verdicts adopt, converters and transcoders recompile
+// locally — the restart path, minus the process restart.
+func TestClusterWarmSyncFromPeers(t *testing.T) {
+	fleet := newFleet(t, 3, NodeOptions{})
+	src := fleet[0]
+	loadPair(t, src.b)
+	if _, err := src.b.Compare("ux", "mix", "uy", "pair"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.b.WarmConverter("ux", "mix", "uy", "pair"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold broker joins under a fresh node with the same member list.
+	cold := broker.New(core.NewSession(), broker.Options{})
+	nc := NewNode("127.0.0.1:1", append(src.n.Members(), "127.0.0.1:1"), cold, NodeOptions{})
+	defer nc.Close()
+	warmed, err := nc.SyncFromPeers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed == 0 {
+		t.Fatal("sync warmed nothing")
+	}
+	if _, ok := cold.PeekVerdict("ux", "mix", "uy", "pair"); !ok {
+		t.Fatal("verdict not synced")
+	}
+	st := cold.Stats()
+	if st.WarmFills == 0 {
+		t.Fatalf("WarmFills = %d, want > 0", st.WarmFills)
+	}
+	if st.Compiles == 0 {
+		t.Fatal("converter recipe did not recompile on the cold broker")
+	}
+	// The entire sync happened off the request path: a client-visible
+	// compare now is a pure warm hit, no compare run.
+	if _, err := cold.Compare("ux", "mix", "uy", "pair"); err != nil {
+		t.Fatal(err)
+	}
+	st = cold.Stats()
+	if st.CompareRuns != 0 {
+		t.Fatalf("CompareRuns = %d after sync, want 0", st.CompareRuns)
+	}
+	if st.WarmHits == 0 {
+		t.Fatal("request served by warmed entry did not count a warm hit")
+	}
+	if ns := nc.Status(); ns.Synced == 0 {
+		t.Fatalf("node Synced = %d, want > 0", ns.Synced)
+	}
+}
+
+// The fleet transport shards broker traffic: loads broadcast, pair
+// operations land on the pair's ring owner, and exactly one member pays
+// each compare.
+func TestClusterBrokerTransportSharding(t *testing.T) {
+	fleet := newFleet(t, 3, NodeOptions{})
+	var addrs []string
+	for _, fn := range fleet {
+		addrs = append(addrs, fn.addr)
+	}
+	bt := Dial(addrs, testOpts())
+	c := broker.NewTransportClient(bt)
+	defer c.Close()
+
+	if _, _, err := c.Load("ux", "c", "ilp32", srcMix, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Load("uy", "c", "ilp32", srcPair, ""); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "load broadcast to all members", func() bool {
+		for _, fn := range fleet {
+			if !fn.b.HasUniverse("ux") || !fn.b.HasUniverse("uy") {
+				return false
+			}
+		}
+		return true
+	})
+
+	v, err := c.Compare("ux", "mix", "uy", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Relation != core.RelEquivalent {
+		t.Fatalf("relation = %v", v.Relation)
+	}
+	owner := bt.Client().Ring().Owner(RouteKey("ux", "mix", "uy", "pair"))
+	runs := int64(0)
+	for _, fn := range fleet {
+		r := fn.b.Stats().CompareRuns
+		runs += r
+		if r > 0 && fn.addr != owner {
+			t.Fatalf("compare ran on %s, owner is %s", fn.addr, owner)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("fleet ran %d compares, want exactly 1", runs)
+	}
+
+	// Stats is keyless: any member may answer; the call must not error.
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Peer admission: a node sheds peer requests beyond MaxPeerInFlight with
+// a typed overload instead of letting a peer storm crowd out clients.
+func TestClusterPeerAdmission(t *testing.T) {
+	fleet := newFleet(t, 2, NodeOptions{MaxPeerInFlight: 1})
+	target := fleet[0]
+
+	// Saturate the single admission slot with a slow pull by hand.
+	release := make(chan struct{})
+	block := make(chan struct{})
+	go func() {
+		target.n.admit <- struct{}{}
+		close(block)
+		<-release
+		<-target.n.admit
+	}()
+	<-block
+	rc := resil.New(target.addr, resil.Options{MaxAttempts: 1, CallTimeout: 2 * time.Second})
+	defer rc.Close()
+	_, err := FetchStatus(context.Background(), rc)
+	if err == nil {
+		t.Fatal("saturated peer service accepted a request")
+	}
+	close(release)
+	eventually(t, "admission slot release", func() bool {
+		_, err := FetchStatus(context.Background(), rc)
+		return err == nil
+	})
+}
+
+func TestClusterNodeStatusOverWire(t *testing.T) {
+	fleet := newFleet(t, 2, NodeOptions{})
+	rc := resil.New(fleet[0].addr, resil.Options{MaxAttempts: 2, CallTimeout: 5 * time.Second})
+	defer rc.Close()
+	st, err := FetchStatus(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != fleet[0].addr {
+		t.Fatalf("Self = %q, want %q", st.Self, fleet[0].addr)
+	}
+	if fmt.Sprint(st.Members) != fmt.Sprint(fleet[0].n.Members()) {
+		t.Fatalf("Members = %v, want %v", st.Members, fleet[0].n.Members())
+	}
+}

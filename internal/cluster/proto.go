@@ -1,0 +1,169 @@
+// Peer cache-warming protocol: the daemon-to-daemon ops spoken over the
+// same orb/proto admin plane as the broker protocol, registered under
+// their own object key on the same listener. Payloads are CDR against
+// small protocol Mtypes, like every other mbird control surface.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/mtype"
+	"repro/internal/proto"
+	"repro/internal/value"
+)
+
+// ObjectKey is the orb object key the peer warm service is registered
+// under (alongside broker.ObjectKey on the same server).
+const ObjectKey = "mbird.cluster"
+
+// Peer protocol ops.
+const (
+	// OpPull: Record(uA, declA, uB, declB) → Record(found, relation,
+	// steps, explain). A cache-only read on the serving peer: no compare
+	// ever runs on behalf of a pull, so pulls cannot amplify load.
+	OpPull uint32 = iota + 1
+	// OpPush: Record(entry, List(loadRec)) → Record(accepted). Delivers
+	// one warm entry with the universe sources it needs; the receiver
+	// loads missing universes and adopts the verdict or recompiles the
+	// converter/transcoder off the request path.
+	OpPush
+	// OpList: Record(max) → Record(List(loadRec), List(entry)). The bulk
+	// warm-sync read a (re)starting daemon drains from each peer before
+	// accepting traffic.
+	OpList
+	// OpStatus: empty → Record(self, List(member), pullsSent,
+	// pushesSent, pushErrs, pushDrops, pushesRecv, pullsServed,
+	// listsServed, synced). Feeds `mbird cluster status`.
+	OpStatus
+)
+
+// Protocol Mtypes.
+var (
+	pullRepT = proto.Record(proto.IntT, proto.IntT, proto.IntT, proto.StrT)
+	// loadRecT: universe, lang, model, source, script.
+	loadRecT = proto.Record(proto.StrT, proto.StrT, proto.StrT, proto.StrT, proto.StrT)
+	// entryT: kind, uA, declA, uB, declB, relation, steps, explain.
+	entryT   = proto.Record(proto.StrT, proto.StrT, proto.StrT, proto.StrT, proto.StrT, proto.IntT, proto.IntT, proto.StrT)
+	pushReqT = proto.Record(entryT, mtype.NewList(loadRecT))
+	pushRepT = proto.Record(proto.IntT)
+	listReqT = proto.Record(proto.IntT)
+	listRepT = proto.Record(mtype.NewList(loadRecT), mtype.NewList(entryT))
+	statusT  = proto.Record(
+		proto.StrT, mtype.NewList(proto.StrT), // self, members
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // pullsSent, pushesSent, pushErrs, pushDrops
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // pushesRecv, pullsServed, listsServed, synced
+	)
+)
+
+func entryValue(e broker.WarmEntry) value.Value {
+	return value.NewRecord(
+		proto.Str(e.Kind), proto.Str(e.UA), proto.Str(e.DA), proto.Str(e.UB), proto.Str(e.DB),
+		proto.Int(int64(e.Relation)), proto.Int(int64(e.Steps)), proto.Str(e.Explain))
+}
+
+func parseEntry(v value.Value) (broker.WarmEntry, error) {
+	rec, ok := v.(value.Record)
+	if !ok || len(rec.Fields) != 8 {
+		return broker.WarmEntry{}, fmt.Errorf("cluster: malformed warm entry: %v", v)
+	}
+	var e broker.WarmEntry
+	var err error
+	if e.Kind, err = proto.GoStr(rec.Fields[0]); err != nil {
+		return e, err
+	}
+	for i, dst := range []*string{&e.UA, &e.DA, &e.UB, &e.DB} {
+		if *dst, err = proto.GoStr(rec.Fields[1+i]); err != nil {
+			return e, err
+		}
+	}
+	rel, err := proto.GoInt(rec.Fields[5])
+	if err != nil {
+		return e, err
+	}
+	steps, err := proto.GoInt(rec.Fields[6])
+	if err != nil {
+		return e, err
+	}
+	e.Relation = core.Relation(rel)
+	e.Steps = int(steps)
+	e.Explain, err = proto.GoStr(rec.Fields[7])
+	return e, err
+}
+
+func loadRecValue(r broker.LoadRecord) value.Value {
+	return value.NewRecord(
+		proto.Str(r.Universe), proto.Str(r.Lang), proto.Str(r.Model), proto.Str(r.Source), proto.Str(r.Script))
+}
+
+func parseLoadRec(v value.Value) (broker.LoadRecord, error) {
+	ss, err := proto.RecordStrings(v, 5)
+	if err != nil {
+		return broker.LoadRecord{}, fmt.Errorf("cluster: malformed load record: %w", err)
+	}
+	return broker.LoadRecord{Universe: ss[0], Lang: ss[1], Model: ss[2], Source: ss[3], Script: ss[4]}, nil
+}
+
+func loadRecList(rs []broker.LoadRecord) value.Value {
+	vs := make([]value.Value, len(rs))
+	for i, r := range rs {
+		vs[i] = loadRecValue(r)
+	}
+	return value.FromSlice(vs)
+}
+
+func parseLoadRecList(v value.Value) ([]broker.LoadRecord, error) {
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]broker.LoadRecord, len(elems))
+	for i, e := range elems {
+		if out[i], err = parseLoadRec(e); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func entryList(es []broker.WarmEntry) value.Value {
+	vs := make([]value.Value, len(es))
+	for i, e := range es {
+		vs[i] = entryValue(e)
+	}
+	return value.FromSlice(vs)
+}
+
+func parseEntryList(v value.Value) ([]broker.WarmEntry, error) {
+	elems, err := value.ToSlice(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]broker.WarmEntry, len(elems))
+	for i, e := range elems {
+		if out[i], err = parseEntry(e); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NodeStatus is one daemon's view of the warm protocol, served by
+// OpStatus and rendered by `mbird cluster status`.
+type NodeStatus struct {
+	// Self is the daemon's advertised cluster address; Members is its
+	// member list (agreement across nodes is checked by the CLI).
+	Self    string
+	Members []string
+	// PullsSent counts owner pulls attempted on local verdict misses.
+	PullsSent int64
+	// PushesSent / PushErrs / PushDrops count warm pushes to successors:
+	// delivered, failed in transport, and dropped on queue overflow.
+	PushesSent, PushErrs, PushDrops int64
+	// PushesRecv counts pushes accepted from peers; PullsServed and
+	// ListsServed count peer reads answered.
+	PushesRecv, PullsServed, ListsServed int64
+	// Synced counts entries warmed by SyncFromPeers at startup.
+	Synced int64
+}

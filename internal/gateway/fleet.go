@@ -1,0 +1,112 @@
+// Fleet upstreams: a route's upstream address may be a comma-separated
+// member list ("host1:9901,host2:9901,host3:9901"), in which case the
+// gateway forwards through a cluster.Client spanning those members
+// instead of a single resil pool. Each route's traffic is pinned by a
+// content-derived route key — the exact fingerprint pair of its first
+// transcoded lane when it has one — so a route lands on the member
+// whose cache is warm for it, spills to that key's replicas under load
+// imbalance, and fails over down the rank when a member is unreachable.
+package gateway
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/resil"
+)
+
+// upstreamLink is one route's forwarding leg: a single pooled endpoint
+// or a fleet. rk is the route's content-derived route key (ignored by
+// single endpoints).
+type upstreamLink interface {
+	invoke(rk []byte, key string, op uint32, body []byte) ([]byte, error)
+}
+
+type singleUpstream struct{ p *resil.Client }
+
+func (s singleUpstream) invoke(_ []byte, key string, op uint32, body []byte) ([]byte, error) {
+	return s.p.Invoke(key, op, body)
+}
+
+type fleetUpstream struct{ c *cluster.Client }
+
+func (f fleetUpstream) invoke(rk []byte, key string, op uint32, body []byte) ([]byte, error) {
+	return f.c.InvokeKeyed(context.Background(), rk, key, op, body)
+}
+
+// splitUpstream parses an upstream address field: one address, or a
+// comma-separated fleet member list (whitespace around members is
+// ignored, empties dropped).
+func splitUpstream(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// fleetKey canonicalizes a member list so two routes naming the same
+// fleet in different orders share one cluster client.
+func fleetKey(addrs []string) string {
+	s := append([]string(nil), addrs...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// fleetFor returns (lazily creating) the cluster client for a member
+// list. Called with g.mu held.
+func (g *Gateway) fleetFor(addrs []string) *cluster.Client {
+	key := fleetKey(addrs)
+	if c := g.fleets[key]; c != nil {
+		return c
+	}
+	c := cluster.New(addrs, cluster.Options{
+		Resil:         g.opts.Upstream,
+		Replicas:      g.opts.Fleet.Replicas,
+		SpillInflight: g.opts.Fleet.SpillInflight,
+		DrainTimeout:  g.opts.Fleet.DrainTimeout,
+	})
+	g.fleets[key] = c
+	return c
+}
+
+// retireUpstreams drains pools and fleets no longer referenced by any
+// route after a reload: in-flight calls finish, then the connections
+// close. Called with g.mu held; the drains run in the background.
+func (g *Gateway) retireUpstreams(routes map[string]map[uint32]*route) {
+	livePools := make(map[string]bool)
+	liveFleets := make(map[string]bool)
+	for _, ops := range routes {
+		for _, r := range ops {
+			switch up := r.up.(type) {
+			case singleUpstream:
+				livePools[r.upAddr] = true
+			case fleetUpstream:
+				liveFleets[fleetKey(up.c.Members())] = true
+			}
+		}
+	}
+	for addr, p := range g.pools {
+		if !livePools[addr] {
+			delete(g.pools, addr)
+			go func(p *resil.Client) {
+				ctx, cancel := context.WithTimeout(context.Background(), g.opts.Fleet.DrainTimeout)
+				defer cancel()
+				_ = p.Drain(ctx)
+			}(p)
+		}
+	}
+	for key, c := range g.fleets {
+		if !liveFleets[key] {
+			delete(g.fleets, key)
+			go func(c *cluster.Client) {
+				c.SetMembers(nil) // drains every member pool
+				_ = c.Close()
+			}(c)
+		}
+	}
+}

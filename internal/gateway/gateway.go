@@ -35,10 +35,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cmem"
 	"repro/internal/convert"
 	"repro/internal/core"
@@ -67,7 +69,13 @@ type Options struct {
 	MaxPayload int
 	// Upstream tunes the resil connection pools the gateway dials
 	// upstreams with (pool size, call deadlines, retries, hedging).
+	// Fleet upstreams use it for each member's pool.
 	Upstream resil.Options
+	// Fleet tunes fleet upstreams (routes whose upstream address is a
+	// comma-separated member list): replica count, spillover threshold,
+	// and the drain timeout retired upstreams get on reload. Fleet.Resil
+	// is ignored — member pools are tuned by Upstream.
+	Fleet cluster.Options
 	// Session supplies a pre-configured core.Session — the hook table
 	// (RegisterSemantic) must be populated before the first route
 	// compiles. Nil creates a fresh session.
@@ -83,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Session == nil {
 		o.Session = core.NewSession()
+	}
+	if o.Fleet.DrainTimeout <= 0 {
+		o.Fleet.DrainTimeout = 30 * time.Second
 	}
 	return o
 }
@@ -138,9 +149,10 @@ type route struct {
 	upAddr string
 	upKey  string
 	upOp   uint32
-	pool   *resil.Client
-	req    *lane // nil = passthrough
-	rep    *lane // nil = passthrough
+	up     upstreamLink
+	rk     []byte // content-derived fleet route key
+	req    *lane  // nil = passthrough
+	rep    *lane  // nil = passthrough
 	c      *routeCounters
 }
 
@@ -184,6 +196,7 @@ type Gateway struct {
 	// lane-cache fills, and Close.
 	mu       sync.Mutex
 	pools    map[string]*resil.Client
+	fleets   map[string]*cluster.Client
 	lanes    map[fingerprint.PairKey]*lane
 	counters map[string]*routeCounters
 	reloader func() (*Config, error)
@@ -207,6 +220,7 @@ func New(opts Options) *Gateway {
 		budget:   limits.Budget{MaxBytes: opts.MaxPayload}.WithDefaults(),
 		sess:     opts.Session,
 		pools:    make(map[string]*resil.Client),
+		fleets:   make(map[string]*cluster.Client),
 		lanes:    make(map[fingerprint.PairKey]*lane),
 		counters: make(map[string]*routeCounters),
 	}
@@ -237,10 +251,15 @@ func (g *Gateway) Close() error {
 	}
 	g.closed = true
 	pools := g.pools
+	fleets := g.fleets
 	g.pools = map[string]*resil.Client{}
+	g.fleets = map[string]*cluster.Client{}
 	g.mu.Unlock()
 	for _, p := range pools {
 		_ = p.Close()
+	}
+	for _, f := range fleets {
+		_ = f.Close()
 	}
 	return nil
 }
@@ -300,6 +319,7 @@ func (g *Gateway) SetConfig(cfg *Config) error {
 		routes[r.key][r.op] = r
 	}
 	old := g.tab.Swap(&table{routes: routes})
+	g.retireUpstreams(routes)
 	if srv := g.srv.Load(); srv != nil {
 		oldKeys := old.keys()
 		for key := range routes {
@@ -341,58 +361,81 @@ func (g *Gateway) compileRoute(cfg *Config, rc *RouteConfig) (*route, error) {
 		r.c = &routeCounters{}
 		g.counters[name] = r.c
 	}
-	if r.pool = g.pools[r.upAddr]; r.pool == nil {
-		r.pool = resil.New(r.upAddr, g.opts.Upstream)
-		g.pools[r.upAddr] = r.pool
+	addrs := splitUpstream(r.upAddr)
+	switch len(addrs) {
+	case 0:
+		return nil, errors.New("empty upstream address")
+	case 1:
+		r.upAddr = addrs[0]
+		p := g.pools[r.upAddr]
+		if p == nil {
+			p = resil.New(r.upAddr, g.opts.Upstream)
+			g.pools[r.upAddr] = p
+		}
+		r.up = singleUpstream{p: p}
+	default:
+		r.upAddr = fleetKey(addrs)
+		r.up = fleetUpstream{c: g.fleetFor(addrs)}
 	}
 	var err error
 	if rc.Request != nil {
-		if r.req, err = g.lane(&rc.Request.From, &rc.Request.To); err != nil {
+		var pk fingerprint.PairKey
+		if r.req, pk, err = g.lane(&rc.Request.From, &rc.Request.To); err != nil {
 			return nil, fmt.Errorf("request lane: %w", err)
 		}
+		r.rk = pk[:]
 	}
 	if rc.Reply != nil {
-		if r.rep, err = g.lane(&rc.Reply.From, &rc.Reply.To); err != nil {
+		var pk fingerprint.PairKey
+		if r.rep, pk, err = g.lane(&rc.Reply.From, &rc.Reply.To); err != nil {
 			return nil, fmt.Errorf("reply lane: %w", err)
 		}
+		if r.rk == nil {
+			r.rk = pk[:]
+		}
+	}
+	if r.rk == nil {
+		// Passthrough route: pin by what it forwards to.
+		r.rk = cluster.RouteKey(r.upKey, strconv.FormatUint(uint64(r.upOp), 10))
 	}
 	return r, nil
 }
 
-// lane returns the compiled lane for a declaration pair, loading the
-// declarations into the session and compiling both tiers on a
-// fingerprint-cache miss. Called with g.mu held (reload path only — the
-// data plane never compiles).
-func (g *Gateway) lane(from, to *DeclConfig) (*lane, error) {
+// lane returns the compiled lane for a declaration pair — and the
+// pair's exact fingerprint key, which doubles as the route's fleet
+// route key — loading the declarations into the session and compiling
+// both tiers on a fingerprint-cache miss. Called with g.mu held (reload
+// path only — the data plane never compiles).
+func (g *Gateway) lane(from, to *DeclConfig) (*lane, fingerprint.PairKey, error) {
 	mtF, err := g.Lower(from)
 	if err != nil {
-		return nil, err
+		return nil, fingerprint.PairKey{}, err
 	}
 	mtT, err := g.Lower(to)
 	if err != nil {
-		return nil, err
+		return nil, fingerprint.PairKey{}, err
 	}
 	key := fingerprint.Pair(fingerprint.Exact(mtF), fingerprint.Exact(mtT))
 	if l := g.lanes[key]; l != nil {
 		g.laneHits.Add(1)
-		return l, nil
+		return l, key, nil
 	}
 	g.sessMu.Lock()
 	v, err := g.sess.Compare(from.universe(), from.Decl, to.universe(), to.Decl)
 	g.sessMu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, key, err
 	}
 	switch v.Relation {
 	case core.RelEquivalent, core.RelSubtypeAB:
 	case core.RelSubtypeBA:
-		return nil, fmt.Errorf("%s only converts toward %s (it is the supertype); swap the lane", to.Decl, from.Decl)
+		return nil, key, fmt.Errorf("%s only converts toward %s (it is the supertype); swap the lane", to.Decl, from.Decl)
 	default:
-		return nil, fmt.Errorf("declarations do not match:\n%s", v.Explain)
+		return nil, key, fmt.Errorf("declarations do not match:\n%s", v.Explain)
 	}
 	p, conv, err := g.sess.BuildConverter(v)
 	if err != nil {
-		return nil, err
+		return nil, key, err
 	}
 	l := &lane{src: mtF, dst: mtT, conv: conv}
 	g.laneCompiles.Add(1)
@@ -405,10 +448,10 @@ func (g *Gateway) lane(from, to *DeclConfig) (*lane, error) {
 		l.unsupported = err.Error()
 		g.laneUnsupported.Add(1)
 	default:
-		return nil, err
+		return nil, key, err
 	}
 	g.lanes[key] = l
-	return l, nil
+	return l, key, nil
 }
 
 // Lower loads the declaration's universe into the session (idempotent —
@@ -515,7 +558,7 @@ func (g *Gateway) relay(r *route, body []byte) ([]byte, error) {
 			return nil, fmt.Errorf("gateway: request transcode: %w", err)
 		}
 	}
-	reply, err := r.pool.Invoke(r.upKey, r.upOp, out)
+	reply, err := r.up.invoke(r.rk, r.upKey, r.upOp, out)
 	if err != nil {
 		r.c.upstreamErrs.Add(1)
 		// Typed orb errors (Overloaded, ServerPanic) survive the error
@@ -631,6 +674,18 @@ func (g *Gateway) Stats() Stats {
 			Retries: ps.Retries, Overloads: ps.Overloads,
 			Hedges: ps.Hedges, HedgeWins: ps.HedgeWins,
 		})
+	}
+	// Fleet members report individually, so the existing stats schema
+	// (a flat upstream list) spans the fleet unchanged.
+	for _, f := range g.fleets {
+		for _, m := range f.Stats().Members {
+			ps := m.Pool
+			st.Upstreams = append(st.Upstreams, UpstreamStats{
+				Addr: m.Addr, Conns: ps.Conns, Dials: ps.Dials, Discards: ps.Discards,
+				Retries: ps.Retries, Overloads: ps.Overloads,
+				Hedges: ps.Hedges, HedgeWins: ps.HedgeWins,
+			})
+		}
 	}
 	g.mu.Unlock()
 	sortUpstreamStats(st.Upstreams)

@@ -96,7 +96,8 @@ func oracle(t *testing.T, from, to DeclConfig, payload []byte) []byte {
 	l, err := func() (*lane, error) {
 		g.mu.Lock()
 		defer g.mu.Unlock()
-		return g.lane(&from, &to)
+		l, _, err := g.lane(&from, &to)
+		return l, err
 	}()
 	if err != nil {
 		t.Fatal(err)

@@ -133,10 +133,11 @@ type Client struct {
 	addr string
 	opts Options
 
-	mu      sync.Mutex
-	conns   []*pconn
-	dialing int
-	closed  bool
+	mu       sync.Mutex
+	conns    []*pconn
+	dialing  int
+	closed   bool
+	draining bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -182,6 +183,48 @@ func (c *Client) Close() error {
 		_ = pc.c.Close()
 	}
 	return nil
+}
+
+// Drain retires the Client gracefully: new calls are refused with
+// ErrClosed immediately, while connections with calls still in flight
+// are left alone until those calls finish. Once every pooled connection
+// is idle — or ctx expires, whichever comes first — the Client closes
+// fully. This is the clean path for removing an endpoint from a
+// rotation (a cluster member leaving the hash ring): the caller stops
+// routing to the endpoint, then drains its pool instead of letting
+// in-flight calls die with ErrConnClosed on an abrupt Close.
+func (c *Client) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.draining = true
+	c.mu.Unlock()
+
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		c.mu.Lock()
+		idle := true
+		for _, pc := range c.conns {
+			if pc.inflight.Load() > 0 {
+				idle = false
+				break
+			}
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if idle || closed {
+			return c.Close()
+		}
+		select {
+		case <-ctx.Done():
+			_ = c.Close()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // Stats returns a snapshot of the Client's counters.
@@ -241,7 +284,7 @@ func (c *Client) reapLoop() {
 // connection when the pool allows.
 func (c *Client) acquire(ctx context.Context, exclude *pconn) (*pconn, error) {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.draining {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
@@ -299,7 +342,7 @@ func (c *Client) acquire(ctx context.Context, exclude *pconn) (*pconn, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	if c.closed {
+	if c.closed || c.draining {
 		c.mu.Unlock()
 		_ = oc.Close()
 		return nil, ErrClosed

@@ -322,3 +322,89 @@ func TestChaosMatrixHealedProxy(t *testing.T) {
 		t.Fatalf("healed call = %q, %v", reply, err)
 	}
 }
+
+func TestDrainLetsInFlightFinish(t *testing.T) {
+	// A drained client refuses new calls immediately but lets an
+	// in-flight call on a pooled connection run to completion instead of
+	// killing its connection.
+	s := echoOrb(t)
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+		close(started)
+		<-finish
+		return body, nil
+	})
+	c := newClient(t, s.Addr(), Options{CallTimeout: 5 * time.Second})
+
+	type res struct {
+		reply []byte
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		reply, err := c.Invoke("slow", 0, []byte("inflight"))
+		ch <- res{reply, err}
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- c.Drain(ctx)
+	}()
+
+	// New work is refused as soon as the drain begins.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Invoke("echo", 0, nil)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("new call after Drain = %v, want ErrClosed", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The in-flight call is still running; let it finish and check it
+	// completed cleanly.
+	close(finish)
+	r := <-ch
+	if r.err != nil || string(r.reply) != "inflight" {
+		t.Fatalf("in-flight call = %q, %v, want clean completion", r.reply, r.err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain = %v", err)
+	}
+	if st := c.Stats(); st.Conns != 0 {
+		t.Errorf("conns = %d after drain, want 0", st.Conns)
+	}
+}
+
+func TestDrainTimeoutForcesClose(t *testing.T) {
+	// A connection stuck in flight past the drain deadline is closed
+	// forcibly and the context error surfaces.
+	s := echoOrb(t)
+	finish := make(chan struct{})
+	defer close(finish)
+	started := make(chan struct{})
+	s.Register("stuck", func(op uint32, body []byte) ([]byte, error) {
+		close(started)
+		<-finish
+		return body, nil
+	})
+	c := newClient(t, s.Addr(), Options{CallTimeout: 10 * time.Second})
+	go func() { _, _ = c.Invoke("stuck", 0, nil) }()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want deadline exceeded", err)
+	}
+	if _, err := c.Invoke("echo", 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after forced drain = %v, want ErrClosed", err)
+	}
+}
