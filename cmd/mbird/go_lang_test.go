@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goFitter is the Go spelling of the §2 fitter: no annotation script —
+// the language already states value containment.
+const goFitter = `package fitter
+
+type Point struct {
+	X, Y float32
+}
+
+type Line struct {
+	Start Point
+	End   Point
+}
+
+type Fitter interface {
+	Fit(pts []Point) Line
+}
+`
+
+const idlFitter = `
+struct Point { float x; float y; };
+struct Line { Point start; Point end; };
+typedef sequence<Point> PointVector;
+interface Fitter {
+  Line fit(in PointVector pts);
+};
+`
+
+// writeGoFitterFiles lays out the fitter in all four languages.
+func writeGoFitterFiles(t *testing.T) string {
+	t.Helper()
+	dir := writeFitterFiles(t)
+	for name, content := range map[string]string{
+		"fitter.go":  goFitter,
+		"fitter.idl": idlFitter,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLangInference: with -lang empty the CLI infers the language from
+// the file extension, one test per mapped extension.
+func TestLangInference(t *testing.T) {
+	dir := writeGoFitterFiles(t)
+	cases := []struct{ file, decl string }{
+		{"fitter.h", "fitter"},
+		{"Ideal.java", "JavaIdeal"},
+		{"fitter.idl", "Fitter"},
+		{"fitter.go", "Fitter"},
+	}
+	for _, c := range cases {
+		out, err := runCLI(t, "parse", filepath.Join(dir, c.file))
+		if err != nil {
+			t.Errorf("parse %s: %v", c.file, err)
+			continue
+		}
+		if !strings.Contains(out, c.decl) {
+			t.Errorf("parse %s output = %q, want %s", c.file, out, c.decl)
+		}
+	}
+}
+
+func TestLangInferenceFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decls.txt")
+	if err := os.WriteFile(path, []byte("whatever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCLI(t, "parse", path)
+	if err == nil || !strings.Contains(err.Error(), "cannot infer language") {
+		t.Fatalf("err = %v, want inference failure naming the extension", err)
+	}
+	// An explicit -lang overrides the unknown extension.
+	if err := os.WriteFile(path, []byte("typedef int t;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "parse", "-lang", "c", path); err != nil {
+		t.Errorf("explicit -lang with odd extension: %v", err)
+	}
+}
+
+// TestGoCompareAgainstAllPeers: the Go fitter is equivalent to the C,
+// Java, and IDL spellings, with languages inferred from extensions.
+func TestGoCompareAgainstAllPeers(t *testing.T) {
+	dir := writeGoFitterFiles(t)
+	peers := []struct {
+		file, script, decl string
+	}{
+		{"fitter.h", "fitter.mbird", "fitter"},
+		{"Ideal.java", "Ideal.mbird", "JavaIdeal"},
+		{"fitter.idl", "", "Fitter"},
+	}
+	for _, p := range peers {
+		args := []string{"compare",
+			"-a-file", filepath.Join(dir, "fitter.go"), "-a-decl", "Fitter",
+			"-b-file", filepath.Join(dir, p.file), "-b-decl", p.decl}
+		if p.script != "" {
+			args = append(args, "-b-script", filepath.Join(dir, p.script))
+		}
+		out, err := runCLI(t, args...)
+		if err != nil {
+			t.Errorf("compare go vs %s: %v\n%s", p.file, err, out)
+			continue
+		}
+		if !strings.Contains(out, "relation: equivalent") {
+			t.Errorf("go vs %s output = %q", p.file, out)
+		}
+	}
+}
+
+func TestGoEmitStub(t *testing.T) {
+	dir := writeGoFitterFiles(t)
+	out, err := runCLI(t, "emit",
+		"-a-file", filepath.Join(dir, "fitter.go"), "-a-decl", "Fitter",
+		"-b-file", filepath.Join(dir, "fitter.h"),
+		"-b-script", filepath.Join(dir, "fitter.mbird"), "-b-decl", "fitter",
+		"-pkg", "fitterstub", "-func", "GoToC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "package fitterstub") || !strings.Contains(out, "func GoToC(") {
+		t.Errorf("emitted source missing pieces:\n%.200s", out)
+	}
+}
+
+// TestRemoteGoCompare runs the Go side through a broker daemon: the
+// remote path hashes (lang, source, script) into a content-addressed
+// universe, so "go" must survive the whole wire round trip.
+func TestRemoteGoCompare(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	dir := writeGoFitterFiles(t)
+	out, err := runCLI(t, "remote", "compare", "-addr", addr,
+		"-a-file", filepath.Join(dir, "fitter.go"), "-a-decl", "Fitter",
+		"-b-lang", "java", "-b-file", filepath.Join(dir, "Ideal.java"),
+		"-b-script", filepath.Join(dir, "Ideal.mbird"), "-b-decl", "JavaIdeal")
+	if err != nil || !strings.Contains(out, "equivalent") {
+		t.Fatalf("remote compare out=%q err=%v", out, err)
+	}
+}
+
+func TestRemoteGoConvert(t *testing.T) {
+	addr := startBrokerDaemon(t)
+	dir := t.TempDir()
+	goPath := filepath.Join(dir, "mix.go")
+	cPath := filepath.Join(dir, "pair.h")
+	inPath := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(goPath, []byte("package p\n\ntype Mix struct {\n\tR float32\n\tN int32\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cPath, []byte("typedef struct { int count; float ratio; } pair;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inPath, []byte("[4.5, 9]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "remote", "convert", "-addr", addr, "-in", inPath,
+		"-a-file", goPath, "-a-decl", "Mix",
+		"-b-file", cPath, "-b-decl", "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "[9,4.5]" {
+		t.Errorf("remote convert out = %q, want [9,4.5]", out)
+	}
+}

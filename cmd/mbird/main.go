@@ -1,11 +1,14 @@
 // Command mbird is the Mockingbird stub compiler: it parses pairs of
-// declarations (C, Java, CORBA IDL), applies annotation scripts, lowers
-// both sides to Mtypes, runs the Comparer, and emits Go stub source —
-// the Figure 6 pipeline as a command-line tool.
+// declarations (C, Java, CORBA IDL, Go), applies annotation scripts,
+// lowers both sides to Mtypes, runs the Comparer, and emits Go stub
+// source — the Figure 6 pipeline as a command-line tool.
+//
+// An empty -lang (or -a-lang/-b-lang) is inferred from the declaration
+// file's extension: .h/.c→c, .java→java, .idl→idl, .go→go.
 //
 // Usage:
 //
-//	mbird parse   -lang c|java|idl [-model ilp32|lp64] [-script file] file
+//	mbird parse   -lang c|java|idl|go [-model ilp32|lp64] [-script file] file
 //	mbird mtype   -lang ... [-script file] -decl NAME file
 //	mbird compare -a-lang L -a-file F [-a-script S] -a-decl D \
 //	              -b-lang L -b-file F [-b-script S] -b-decl D
@@ -70,6 +73,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -167,16 +171,46 @@ type side struct {
 }
 
 func (s *side) register(fs *flag.FlagSet, prefix string) {
-	fs.StringVar(&s.lang, prefix+"lang", "", "language: c, java, or idl")
+	fs.StringVar(&s.lang, prefix+"lang", "", "language: c, java, idl, or go (inferred from the file extension when empty)")
 	fs.StringVar(&s.file, prefix+"file", "", "declaration source file")
 	fs.StringVar(&s.script, prefix+"script", "", "annotation script file (optional)")
 	fs.StringVar(&s.decl, prefix+"decl", "", "declaration name")
 	fs.StringVar(&s.model, prefix+"model", "ilp32", "C data model: ilp32 or lp64")
 }
 
+// langExts maps declaration file extensions to their languages, for
+// inferring an empty -lang flag.
+var langExts = map[string]string{
+	".h":    "c",
+	".c":    "c",
+	".java": "java",
+	".idl":  "idl",
+	".go":   "go",
+}
+
+// resolveLang fills an empty lang from the file extension, or explains
+// why it cannot.
+func (s *side) resolveLang() error {
+	if s.lang != "" {
+		return nil
+	}
+	if s.file == "" {
+		return nil // the missing-file error is clearer; let load report it
+	}
+	ext := strings.ToLower(filepath.Ext(s.file))
+	if lang, ok := langExts[ext]; ok {
+		s.lang = lang
+		return nil
+	}
+	return fmt.Errorf("cannot infer language from %q (extension %q is not one of .h/.c/.java/.idl/.go); pass -lang c|java|idl|go", s.file, ext)
+}
+
 // load parses the side's file into the session under the given universe
 // name and applies its annotation script.
 func (s *side) load(sess *core.Session, universe string) error {
+	if err := s.resolveLang(); err != nil {
+		return err
+	}
 	if s.lang == "" || s.file == "" {
 		return fmt.Errorf("missing -%slang/-%sfile", universe, universe)
 	}
@@ -195,6 +229,8 @@ func (s *side) load(sess *core.Session, universe string) error {
 		err = sess.LoadJava(universe, string(src))
 	case "idl":
 		err = sess.LoadIDL(universe, string(src))
+	case "go":
+		err = sess.LoadGo(universe, string(src))
 	default:
 		return fmt.Errorf("unknown language %q", s.lang)
 	}
@@ -386,6 +422,9 @@ func cmdShow(args []string, out io.Writer) error {
 
 // sources reads the side's declaration file and optional script.
 func (s *side) sources() (src, script string, err error) {
+	if err := s.resolveLang(); err != nil {
+		return "", "", err
+	}
 	if s.lang == "" || s.file == "" {
 		return "", "", fmt.Errorf("missing -lang/-file for one side")
 	}

@@ -1,0 +1,105 @@
+// go-idl: the Go frontend worked end-to-end against an IDL peer.
+//
+// A Go team already has its service types — a struct with an embedded
+// header and an interface — and a partner publishes the same service in
+// CORBA IDL with its own member order and spellings. Neither side adopts
+// the other's types:
+//
+//  1. load both declarations exactly as written (the Go side needs no
+//     annotation script: value fields, pointers, and slices already say
+//     what §3.4's annotations say),
+//  2. compare the service interfaces (equivalent: embedding is
+//     flattened, member order commutes, int32↔long, string↔string),
+//  3. build a coercion plan for the item record, and
+//  4. convert a Go-shaped value into the IDL peer's shape.
+//
+// Run with: go run ./examples/go-idl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// The Go team's declarations, verbatim — Meta is embedded in Item and
+// flattened by Go's promotion rules.
+const goStock = `package stock
+
+type Meta struct {
+	Qty   int32
+	Price float32
+}
+
+type Item struct {
+	Meta
+	InStock bool
+}
+
+type Store interface {
+	Lookup(name string) Item
+}
+`
+
+// The partner's IDL: same service, different member order and spellings.
+const idlStock = `
+struct Item {
+  boolean in_stock;
+  float price;
+  long qty;
+};
+interface Store {
+  Item lookup(in string name);
+};
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "go-idl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := core.NewSession()
+	if err := s.LoadGo("go", goStock); err != nil {
+		return err
+	}
+	if err := s.LoadIDL("idl", idlStock); err != nil {
+		return err
+	}
+
+	// The service interfaces: Go's embedded Meta is flattened into Item,
+	// the comparer commutes the members, string matches IDL's string.
+	v, err := s.Compare("go", "Store", "idl", "Store")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Store matches its IDL peer:", v.Relation)
+
+	// The item record: compare, plan, and convert a Go-shaped value.
+	iv, err := s.Compare("go", "Item", "idl", "Item")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Item matches its IDL peer: ", iv.Relation)
+	p, conv, err := s.BuildConverter(iv)
+	if err != nil {
+		return err
+	}
+	fmt.Println("coercion plan for Item:")
+	fmt.Print(p)
+
+	// A Go Item{Meta{Qty: 12, Price: 2.5}, InStock: true}, in its
+	// flattened wire order (Qty, Price, InStock).
+	item := value.NewRecord(value.NewInt(12), value.Real{V: 2.5}, value.NewInt(1))
+	got, err := conv.Convert(item)
+	if err != nil {
+		return err
+	}
+	fmt.Println("converted for the IDL peer:", got)
+	fmt.Println("expected                  : {1, 2.5, 12}")
+	return nil
+}

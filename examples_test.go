@@ -43,6 +43,10 @@ func TestExamplesRun(t *testing.T) {
 		{"dynamic", []string{
 			"converted into local shape: {{21.5, 0.25}, 7}",
 		}},
+		{"go-idl", []string{
+			"Store matches its IDL peer: equivalent",
+			"converted for the IDL peer: {1, 2.5, 12}",
+		}},
 	}
 	for _, c := range cases {
 		c := c

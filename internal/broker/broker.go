@@ -246,6 +246,8 @@ func (b *Broker) Load(universe, lang, model, src, script string) (names []string
 		err = b.sess.LoadJava(universe, src)
 	case "idl":
 		err = b.sess.LoadIDL(universe, src)
+	case "go":
+		err = b.sess.LoadGo(universe, src)
 	default:
 		err = fmt.Errorf("broker: unknown language %q", lang)
 	}

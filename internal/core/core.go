@@ -15,6 +15,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/convert"
 	"repro/internal/cparse"
+	"repro/internal/goparse"
 	"repro/internal/idlparse"
 	"repro/internal/javaparse"
 	"repro/internal/lower"
@@ -97,6 +98,15 @@ func (s *Session) LoadJava(name, src string) error {
 // LoadIDL parses CORBA IDL declarations into a universe named name.
 func (s *Session) LoadIDL(name, src string) error {
 	u, err := idlparse.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	return s.addUniverse(name, u)
+}
+
+// LoadGo parses Go declarations into a universe named name.
+func (s *Session) LoadGo(name, src string) error {
+	u, err := goparse.Parse(name, src)
 	if err != nil {
 		return err
 	}

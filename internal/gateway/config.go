@@ -63,7 +63,7 @@ type LaneConfig struct {
 // file resolved relative to the config), optional annotation script,
 // and the declaration name within the source.
 type DeclConfig struct {
-	// Lang is "c", "java", or "idl".
+	// Lang is "c", "java", "idl", or "go".
 	Lang string `json:"lang"`
 	// Model is the C data model, "ilp32" (default) or "lp64".
 	Model string `json:"model,omitempty"`
@@ -93,7 +93,7 @@ func (d *DeclConfig) universe() string {
 
 func (d *DeclConfig) validate(where string) error {
 	switch d.Lang {
-	case "c", "java", "idl":
+	case "c", "java", "idl", "go":
 	case "":
 		return fmt.Errorf("gateway: %s: missing lang", where)
 	default:

@@ -473,6 +473,8 @@ func (g *Gateway) Lower(d *DeclConfig) (*mtype.Type, error) {
 			err = g.sess.LoadJava(uni, d.Source)
 		case "idl":
 			err = g.sess.LoadIDL(uni, d.Source)
+		case "go":
+			err = g.sess.LoadGo(uni, d.Source)
 		default:
 			err = fmt.Errorf("gateway: unknown lang %q", d.Lang)
 		}

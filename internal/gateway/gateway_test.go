@@ -607,3 +607,53 @@ func TestEndToEndThroughChaos(t *testing.T) {
 		t.Errorf("dials = %d after %d resets, want redials", u.Dials, px.Stats().Resets)
 	}
 }
+
+// goMixSrc is the Go spelling of the fast-tier fixture: field order
+// matches mix, so against pair the comparer still has to commute.
+const goMixSrc = "package p\n\ntype Mix struct {\n\tR float32\n\tN int32\n}\n"
+
+func goMixDecl() DeclConfig { return DeclConfig{Lang: "go", Source: goMixSrc, Decl: "Mix"} }
+
+// TestEndToEndGoEndpoint: a route with a Go-declared client endpoint —
+// clients marshal against the Go struct, the upstream expects the C
+// pair, and both lanes transcode oracle-identically.
+func TestEndToEndGoEndpoint(t *testing.T) {
+	mtB := lowerDecl(t, pairDecl())
+	up := upstreamEcho(t, "gosvc", mtB)
+
+	cfg := &Config{
+		Upstream: up.Addr(),
+		Routes: []RouteConfig{{
+			Name:    "go-to-pair",
+			Key:     "gosvc",
+			Op:      3,
+			Request: &LaneConfig{From: goMixDecl(), To: pairDecl()},
+			Reply:   &LaneConfig{From: pairDecl(), To: goMixDecl()},
+		}},
+	}
+	g, srv := startGateway(t, cfg, Options{})
+
+	mtA := lowerDecl(t, goMixDecl())
+	in := value.NewRecord(value.Real{V: 1.5}, value.NewInt(7))
+	payload, err := wire.Marshal(mtA, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialOrb(t, srv.Addr())
+	got, err := c.Invoke("gosvc", 3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fwd := oracle(t, goMixDecl(), pairDecl(), payload)
+	want := oracle(t, pairDecl(), goMixDecl(), fwd)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gateway bytes % x, oracle % x", got, want)
+	}
+
+	st := g.Stats()
+	if len(st.Routes) != 1 || st.Routes[0].Requests != 1 {
+		t.Fatalf("route stats = %+v", st.Routes)
+	}
+}

@@ -1,0 +1,894 @@
+// Package goparse parses Go struct and interface declarations into
+// Stypes, making Go the fourth declaration frontend next to C, Java, and
+// CORBA IDL. The subset is the declaration language a Go service already
+// has: a package of struct and interface type declarations.
+//
+//   - Struct fields carry the basic types, fixed arrays ([N]T), slices
+//     ([]T, the indefinite-size ordered collection), maps (lowered as an
+//     annotated sequence of Key/Value records), and pointers (nullable
+//     references, per §3.2's Choice(Unit, τ)).
+//   - A bare struct-typed field is a value: the parser stamps such uses
+//     nonnull+noalias, so lowering concludes containment exactly as §3.4
+//     concludes every Line contains two Points.
+//   - Struct embedding is recorded (Field.Embedded) and flattened by the
+//     lowering pass per Go's promotion rules; embedded interfaces join
+//     the method set breadth-first, and same-depth promotions of one name
+//     are a typed lowering error rather than silent first-wins.
+//   - Interfaces are object ports: port(Choice(invocations)), the
+//     dictionary-passing reading of an interface value. An
+//     interface-typed field is a nullable reference to that dictionary.
+//   - `mbird:"..."` struct tags carry the shared annotation vocabulary
+//     (nonnull, length=N, range=LO..HI, char, collection-of=T, ignore, …)
+//     so Go needs no side-car annotation script.
+//   - Receiver methods (func (r T) Name(…)) join T's method set; bodies
+//     are skipped by brace matching. Plain functions become KFunc
+//     declarations like the C frontend's.
+//
+// Deliberately rejected, with clear errors: const/var declarations,
+// generics, channels, function-typed fields, the empty interface,
+// qualified (imported) type names, multiple return values, and unnamed
+// parameters. Unexported fields and methods are parsed but skipped by
+// lowering — they are not part of the wire contract.
+//
+// Go's grammar relies on automatic semicolon insertion; the shared
+// scanner records whether a newline preceded each token (Token.AfterNL)
+// and this parser applies the insertion rule at member boundaries, which
+// is what disambiguates an embedded field from a field's type name.
+package goparse
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/limits"
+	"repro/internal/scan"
+	"repro/internal/stype"
+)
+
+// Parse parses Go declarations into a universe with the default input
+// budget. file is used in error messages.
+func Parse(file, src string) (*stype.Universe, error) {
+	return ParseBudget(file, src, limits.Budget{})
+}
+
+// ParseBudget is Parse with an explicit input budget (zero fields take
+// limits defaults). Violations return an error wrapping limits.ErrBudget.
+func ParseBudget(file, src string, b limits.Budget) (*stype.Universe, error) {
+	p := &parser{s: scan.NewBudget(file, src, b), u: stype.NewUniverse(stype.LangGo)}
+	if err := p.unit(); err != nil {
+		// A budget truncation surfaces as a bogus syntax error at the cut
+		// point; report the root cause instead.
+		if berr := p.s.BudgetErr(); berr != nil {
+			return nil, berr
+		}
+		return nil, err
+	}
+	if berr := p.s.BudgetErr(); berr != nil {
+		return nil, berr
+	}
+	if err := p.u.Resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.checkEmbeds(); err != nil {
+		return nil, err
+	}
+	p.applyValueSemantics()
+	return p.u, nil
+}
+
+// MustParse parses or panics; for tests and examples.
+func MustParse(src string) *stype.Universe {
+	u, err := Parse("test.go", src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// goPrims maps Go's predeclared numeric/boolean identifiers onto the
+// language-neutral primitives. int and uint follow the LP64 convention
+// documented for the C frontend. rune and string are handled separately
+// (character and text semantics).
+var goPrims = map[string]stype.Prim{
+	"bool":    stype.PBool,
+	"int8":    stype.PI8,
+	"uint8":   stype.PU8,
+	"byte":    stype.PU8,
+	"int16":   stype.PI16,
+	"uint16":  stype.PU16,
+	"int32":   stype.PI32,
+	"uint32":  stype.PU32,
+	"int64":   stype.PI64,
+	"uint64":  stype.PU64,
+	"int":     stype.PI64,
+	"uint":    stype.PU64,
+	"float32": stype.PF32,
+	"float64": stype.PF64,
+}
+
+// rejected maps identifiers that begin type forms outside the declaration
+// subset to the reason they are rejected.
+var rejected = map[string]string{
+	"func":       "function-typed fields are not supported (declare the operation on an interface)",
+	"chan":       "channel types have no wire representation",
+	"any":        "the empty interface has no declared structure to compare",
+	"error":      "error values are not part of the declaration subset",
+	"complex64":  "complex numbers have no Mtype; declare a two-field struct",
+	"complex128": "complex numbers have no Mtype; declare a two-field struct",
+	"uintptr":    "uintptr is not portable across endpoints",
+}
+
+type pendingMethod struct {
+	recv string
+	at   scan.Token
+	m    stype.Method
+}
+
+type parser struct {
+	s       *scan.Scanner
+	u       *stype.Universe
+	pending []pendingMethod
+}
+
+func (p *parser) errorf(at scan.Token, format string, args ...interface{}) error {
+	return p.s.Errorf(at, format, args...)
+}
+
+func (p *parser) checkDepth(at scan.Token, depth int) error {
+	if depth > p.s.Budget().MaxDepth {
+		return limits.Exceededf("%d:%d: type nesting exceeds depth budget of %d",
+			at.Line, at.Col, p.s.Budget().MaxDepth)
+	}
+	return nil
+}
+
+func (p *parser) unit() error {
+	kw, err := p.s.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if kw.Text != "package" {
+		return p.errorf(kw, "expected package clause, found %s", kw)
+	}
+	if _, err := p.s.ExpectIdent(); err != nil {
+		return err
+	}
+	for {
+		t := p.s.Peek()
+		if t.Kind == scan.TokEOF {
+			break
+		}
+		if t.Kind != scan.TokIdent {
+			return p.errorf(t, "unexpected %s at top level", t)
+		}
+		switch t.Text {
+		case "import":
+			if err := p.importDecl(); err != nil {
+				return err
+			}
+		case "type":
+			if err := p.typeDecl(); err != nil {
+				return err
+			}
+		case "func":
+			if err := p.funcDecl(); err != nil {
+				return err
+			}
+		case "const", "var":
+			return p.errorf(t, "%s declarations are outside the declaration subset (only type and func declarations are read)", t.Text)
+		default:
+			return p.errorf(t, "unexpected %s at top level", t)
+		}
+	}
+	return p.attachMethods()
+}
+
+// importDecl accepts and discards an import declaration; imported
+// packages cannot be referenced (qualified names are rejected), but real
+// declaration files carry imports for their skipped method bodies.
+func (p *parser) importDecl() error {
+	p.s.Next() // "import"
+	if p.s.Accept("(") {
+		for !p.s.Accept(")") {
+			t := p.s.Next()
+			if t.Kind == scan.TokEOF {
+				return p.errorf(t, "unterminated import block")
+			}
+			if t.Kind != scan.TokIdent && t.Kind != scan.TokString &&
+				!(t.Kind == scan.TokPunct && (t.Text == "." || t.Text == ";")) {
+				return p.errorf(t, "unexpected %s in import block", t)
+			}
+		}
+		return nil
+	}
+	t := p.s.Next()
+	if t.Kind == scan.TokIdent || (t.Kind == scan.TokPunct && t.Text == ".") {
+		t = p.s.Next() // alias form: import alias "path"
+	}
+	if t.Kind != scan.TokString {
+		return p.errorf(t, "expected import path string, found %s", t)
+	}
+	return nil
+}
+
+func (p *parser) typeDecl() error {
+	p.s.Next() // "type"
+	if p.s.Accept("(") {
+		for !p.s.Accept(")") {
+			if t := p.s.Peek(); t.Kind == scan.TokEOF {
+				return p.errorf(t, "unterminated type block")
+			}
+			if p.s.Accept(";") {
+				continue
+			}
+			if err := p.typeSpec(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return p.typeSpec()
+}
+
+func (p *parser) typeSpec() error {
+	name, err := p.s.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "[" {
+		return p.errorf(t, "generic type declarations are not supported")
+	}
+	p.s.Accept("=") // aliases declare the same shape
+	t := p.s.Peek()
+	if t.Kind == scan.TokIdent && t.Text == "struct" && p.peek2IsBrace() {
+		p.s.Next()
+		node := &stype.Type{Kind: stype.KClass, Name: name.Text}
+		if err := p.fieldList(node, 0); err != nil {
+			return err
+		}
+		return p.addDecl(name, node)
+	}
+	if t.Kind == scan.TokIdent && t.Text == "interface" && p.peek2IsBrace() {
+		p.s.Next()
+		node := &stype.Type{Kind: stype.KInterface, Name: name.Text}
+		if err := p.interfaceBody(node, 0); err != nil {
+			return err
+		}
+		return p.addDecl(name, node)
+	}
+	ty, err := p.typeRef(0)
+	if err != nil {
+		return err
+	}
+	return p.addDecl(name, ty)
+}
+
+func (p *parser) peek2IsBrace() bool {
+	t := p.s.Peek2()
+	return t.Kind == scan.TokPunct && t.Text == "{"
+}
+
+func (p *parser) addDecl(at scan.Token, ty *stype.Type) error {
+	if _, err := p.u.Add(at.Text, ty); err != nil {
+		return p.errorf(at, "%v", err)
+	}
+	return nil
+}
+
+// fieldList parses "{" fields "}" into node.Fields. Semicolon insertion:
+// a field ends at a ";", a "}", or a newline; a lone identifier at a
+// boundary is an embedded field.
+func (p *parser) fieldList(node *stype.Type, depth int) error {
+	if _, err := p.s.Expect("{"); err != nil {
+		return err
+	}
+	names := make(map[string]bool)
+	for {
+		if p.s.Accept("}") {
+			return nil
+		}
+		if p.s.Accept(";") {
+			continue
+		}
+		if t := p.s.Peek(); t.Kind == scan.TokEOF {
+			return p.errorf(t, "unterminated struct body")
+		}
+		group, err := p.field(depth)
+		if err != nil {
+			return err
+		}
+		for _, fld := range group {
+			if names[fld.Name] {
+				return p.errorf(p.s.Peek(), "duplicate field %s in %s", fld.Name, node.Name)
+			}
+			names[fld.Name] = true
+			node.Fields = append(node.Fields, fld)
+		}
+	}
+}
+
+// field parses one field group: an embedded type, an embedded pointer, or
+// a name list with a type, each with an optional `key:"value"` tag.
+func (p *parser) field(depth int) ([]stype.Field, error) {
+	// Embedded pointer: *T is kept as a named optional reference (not
+	// flattened: promoting through a nullable indirection would make the
+	// record's shape depend on runtime state).
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "*" {
+		p.s.Next()
+		id, err := p.s.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.noQualified(id); err != nil {
+			return nil, err
+		}
+		ty := stype.NewPointer(stype.NewNamed(id.Text))
+		if err := p.applyTag(ty); err != nil {
+			return nil, err
+		}
+		return []stype.Field{{Name: id.Text, Type: ty}}, nil
+	}
+	first, err := p.s.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.noQualified(first); err != nil {
+		return nil, err
+	}
+	nameToks := []scan.Token{first}
+	for p.s.Accept(",") {
+		id, err := p.s.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		nameToks = append(nameToks, id)
+	}
+	if len(nameToks) == 1 && p.atMemberBoundary() {
+		// Embedded field: a lone type name at a member boundary.
+		ty := stype.NewNamed(first.Text)
+		if err := p.applyTag(ty); err != nil {
+			return nil, err
+		}
+		return []stype.Field{{Name: first.Text, Type: ty, Embedded: true}}, nil
+	}
+	ty, err := p.typeRef(depth)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.applyTag(ty); err != nil {
+		return nil, err
+	}
+	out := make([]stype.Field, 0, len(nameToks))
+	for i, nt := range nameToks {
+		t := ty
+		if i > 0 {
+			t = cloneType(ty)
+		}
+		out = append(out, stype.Field{Name: nt.Text, Type: t})
+	}
+	return out, nil
+}
+
+// atMemberBoundary reports that the next token starts a new member (or
+// closes the body): Go's semicolon-insertion rule at this position.
+func (p *parser) atMemberBoundary() bool {
+	t := p.s.Peek()
+	switch {
+	case t.Kind == scan.TokEOF:
+		return true
+	case t.Kind == scan.TokPunct && (t.Text == "}" || t.Text == ";"):
+		return true
+	case t.Kind == scan.TokString:
+		return true // a struct tag belongs to the field just parsed
+	default:
+		return t.AfterNL
+	}
+}
+
+func (p *parser) noQualified(id scan.Token) error {
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "." {
+		return p.errorf(id, "qualified type name %s.…: imported types are not supported; declare the shape locally", id.Text)
+	}
+	return nil
+}
+
+// applyTag consumes a struct tag literal, if present, and merges the
+// attributes of its mbird key into the node's annotations.
+func (p *parser) applyTag(ty *stype.Type) error {
+	t := p.s.Peek()
+	if t.Kind != scan.TokString {
+		return nil
+	}
+	p.s.Next()
+	raw := t.Text
+	if strings.Contains(raw, "\\") {
+		// A double-quoted tag keeps its escapes verbatim in the token.
+		if unq, err := strconv.Unquote(`"` + raw + `"`); err == nil {
+			raw = unq
+		}
+	}
+	val, ok := lookupTag(raw, "mbird")
+	if !ok {
+		return nil // tags for other tools (json:, xml:, …) are fine
+	}
+	var words []string
+	for _, w := range strings.Split(val, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			words = append(words, w)
+		}
+	}
+	if len(words) == 0 {
+		return nil
+	}
+	ann, err := annotate.ParseAttrs(words)
+	if err != nil {
+		return p.errorf(t, "struct tag: %v", err)
+	}
+	ty.Ann = ty.Ann.Merge(ann)
+	return nil
+}
+
+// lookupTag extracts the value of key from a conventional struct tag
+// (space-separated key:"value" pairs), mirroring reflect.StructTag.
+func lookupTag(tag, key string) (string, bool) {
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		i = 0
+		for i < len(tag) && tag[i] > ' ' && tag[i] != ':' && tag[i] != '"' && tag[i] != 0x7f {
+			i++
+		}
+		if i == 0 || i+1 >= len(tag) || tag[i] != ':' || tag[i+1] != '"' {
+			break
+		}
+		name := tag[:i]
+		tag = tag[i+1:]
+		i = 1
+		for i < len(tag) && tag[i] != '"' {
+			if tag[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(tag) {
+			break
+		}
+		qvalue := tag[:i+1]
+		tag = tag[i+1:]
+		if name == key {
+			value, err := strconv.Unquote(qvalue)
+			if err != nil {
+				break
+			}
+			return value, true
+		}
+	}
+	return "", false
+}
+
+// interfaceBody parses "{" members "}": method signatures and embedded
+// interface names.
+func (p *parser) interfaceBody(node *stype.Type, depth int) error {
+	if _, err := p.s.Expect("{"); err != nil {
+		return err
+	}
+	for {
+		if p.s.Accept("}") {
+			return nil
+		}
+		if p.s.Accept(";") {
+			continue
+		}
+		if t := p.s.Peek(); t.Kind == scan.TokEOF {
+			return p.errorf(t, "unterminated interface body")
+		}
+		id, err := p.s.ExpectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.noQualified(id); err != nil {
+			return err
+		}
+		if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "(" {
+			params, result, err := p.signature(depth)
+			if err != nil {
+				return err
+			}
+			for _, m := range node.Methods {
+				if m.Name == id.Text {
+					return p.errorf(id, "duplicate method %s in interface %s", id.Text, node.Name)
+				}
+			}
+			node.Methods = append(node.Methods, stype.Method{
+				Name: id.Text, Params: params, Result: result,
+			})
+			continue
+		}
+		if !p.atMemberBoundary() {
+			return p.errorf(p.s.Peek(), "expected method signature or embedded interface after %s", id.Text)
+		}
+		node.Embeds = append(node.Embeds, id.Text)
+	}
+}
+
+// signature parses "(" params ")" [result]. Parameter names are required
+// (the lowering's length-from relationships are by name); results are
+// limited to one (no error channel on the wire — reject (T, error)).
+func (p *parser) signature(depth int) ([]stype.Param, *stype.Type, error) {
+	if _, err := p.s.Expect("("); err != nil {
+		return nil, nil, err
+	}
+	var params []stype.Param
+	if !p.s.Accept(")") {
+		for {
+			nameToks, err := p.paramNames()
+			if err != nil {
+				return nil, nil, err
+			}
+			ty, err := p.typeRef(depth)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, nt := range nameToks {
+				t := ty
+				if i > 0 {
+					t = cloneType(ty)
+				}
+				params = append(params, stype.Param{Name: nt.Text, Type: t})
+			}
+			if p.s.Accept(",") {
+				continue
+			}
+			if _, err := p.s.Expect(")"); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+	}
+	rt := p.s.Peek()
+	if rt.Kind == scan.TokPunct && rt.Text == "(" {
+		return nil, nil, p.errorf(rt, "multiple return values are not supported (declare an out-parameter struct; (T, error) has no wire mapping)")
+	}
+	if !rt.AfterNL && isTypeStart(rt) {
+		result, err := p.typeRef(depth)
+		if err != nil {
+			return nil, nil, err
+		}
+		return params, result, nil
+	}
+	return params, nil, nil
+}
+
+// paramNames parses the comma-separated name list of one parameter group.
+func (p *parser) paramNames() ([]scan.Token, error) {
+	first := p.s.Peek()
+	if first.Kind != scan.TokIdent {
+		return nil, p.errorf(first, "parameter names are required (found %s)", first)
+	}
+	p.s.Next()
+	names := []scan.Token{first}
+	for p.s.Accept(",") {
+		id, err := p.s.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id)
+	}
+	// The group must now have a type; a bare ")" means the "names" were
+	// really types (an unnamed parameter list).
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == ")" {
+		return nil, p.errorf(t, "parameter names are required (types-only parameter lists are not supported)")
+	}
+	return names, nil
+}
+
+func isTypeStart(t scan.Token) bool {
+	switch t.Kind {
+	case scan.TokIdent:
+		return true
+	case scan.TokPunct:
+		return t.Text == "*" || t.Text == "["
+	default:
+		return false
+	}
+}
+
+// typeRef parses a type use.
+func (p *parser) typeRef(depth int) (*stype.Type, error) {
+	t := p.s.Peek()
+	if err := p.checkDepth(t, depth); err != nil {
+		return nil, err
+	}
+	switch {
+	case t.Kind == scan.TokPunct && t.Text == "*":
+		p.s.Next()
+		elem, err := p.typeRef(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return stype.NewPointer(elem), nil
+	case t.Kind == scan.TokPunct && t.Text == "[":
+		p.s.Next()
+		if p.s.Accept("]") {
+			elem, err := p.typeRef(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			return stype.NewSequence(elem), nil
+		}
+		n := p.s.Next()
+		if n.Kind != scan.TokNumber {
+			return nil, p.errorf(n, "array length must be an integer literal, found %s", n)
+		}
+		length, err := strconv.ParseInt(n.Text, 0, 32)
+		if err != nil || length < 0 {
+			return nil, p.errorf(n, "invalid array length %s", n)
+		}
+		if _, err := p.s.Expect("]"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeRef(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return stype.NewArray(elem, int(length)), nil
+	case t.Kind == scan.TokIdent && t.Text == "map":
+		p.s.Next()
+		if _, err := p.s.Expect("["); err != nil {
+			return nil, err
+		}
+		key, err := p.typeRef(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.s.Expect("]"); err != nil {
+			return nil, err
+		}
+		val, err := p.typeRef(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		// A map is an annotated sequence of Key/Value pairs: its wire
+		// form is the list of entries (iteration order is the sender's;
+		// the contract carries the multiset).
+		entry := &stype.Type{Kind: stype.KStruct, Fields: []stype.Field{
+			{Name: "Key", Type: key},
+			{Name: "Value", Type: val},
+		}}
+		return stype.NewSequence(entry), nil
+	case t.Kind == scan.TokIdent && t.Text == "struct" && p.peek2IsBrace():
+		p.s.Next()
+		node := &stype.Type{Kind: stype.KStruct}
+		if err := p.fieldList(node, depth+1); err != nil {
+			return nil, err
+		}
+		return node, nil
+	case t.Kind == scan.TokIdent && t.Text == "interface":
+		if p.peek2IsBrace() {
+			return nil, p.errorf(t, "inline interface types are not supported; declare a named interface")
+		}
+		return nil, p.errorf(t, "unexpected interface in type position")
+	case t.Kind == scan.TokPunct && t.Text == "<":
+		return nil, p.errorf(t, "channel types have no wire representation")
+	case t.Kind == scan.TokIdent:
+		if reason, bad := rejected[t.Text]; bad {
+			return nil, p.errorf(t, "%s: %s", t.Text, reason)
+		}
+		p.s.Next()
+		if err := p.noQualified(t); err != nil {
+			return nil, err
+		}
+		if t.Text == "rune" {
+			ty := stype.NewPrim(stype.PI32)
+			yes := true
+			ty.Ann.AsChar = &yes
+			return ty, nil
+		}
+		if t.Text == "string" {
+			// Text: a sequence of narrow characters, matching the IDL
+			// string lowering (Go source text is byte-oriented UTF-8; use
+			// []rune or a char-tagged integer for wide repertoires).
+			return stype.NewSequence(stype.NewPrim(stype.PChar8)), nil
+		}
+		if prim, ok := goPrims[t.Text]; ok {
+			return stype.NewPrim(prim), nil
+		}
+		return stype.NewNamed(t.Text), nil
+	default:
+		return nil, p.errorf(t, "expected type, found %s", t)
+	}
+}
+
+// funcDecl parses a top-level function: receiver methods join their
+// type's method set, plain functions become KFunc declarations. Bodies
+// are skipped by brace matching.
+func (p *parser) funcDecl() error {
+	p.s.Next() // "func"
+	var recv string
+	if p.s.Accept("(") {
+		var err error
+		recv, err = p.receiver()
+		if err != nil {
+			return err
+		}
+	}
+	name, err := p.s.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "[" {
+		return p.errorf(t, "generic functions are not supported")
+	}
+	params, result, err := p.signature(0)
+	if err != nil {
+		return err
+	}
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "{" {
+		if err := p.skipBlock(); err != nil {
+			return err
+		}
+	}
+	if recv != "" {
+		p.pending = append(p.pending, pendingMethod{
+			recv: recv, at: name,
+			m: stype.Method{Name: name.Text, Params: params, Result: result},
+		})
+		return nil
+	}
+	return p.addDecl(name, &stype.Type{Kind: stype.KFunc, Params: params, Result: result})
+}
+
+// receiver parses a method receiver after its "(": the forms (r T),
+// (r *T), (T), and (*T). Returns the base type name.
+func (p *parser) receiver() (string, error) {
+	if p.s.Accept("*") {
+		id, err := p.s.ExpectIdent()
+		if err != nil {
+			return "", err
+		}
+		_, err = p.s.Expect(")")
+		return id.Text, err
+	}
+	id1, err := p.s.ExpectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.s.Accept(")") {
+		return id1.Text, nil
+	}
+	if p.s.Accept("*") {
+		id2, err := p.s.ExpectIdent()
+		if err != nil {
+			return "", err
+		}
+		_, err = p.s.Expect(")")
+		return id2.Text, err
+	}
+	id2, err := p.s.ExpectIdent()
+	if err != nil {
+		return "", err
+	}
+	if t := p.s.Peek(); t.Kind == scan.TokPunct && t.Text == "[" {
+		return "", p.errorf(t, "generic receivers are not supported")
+	}
+	_, err = p.s.Expect(")")
+	return id2.Text, err
+}
+
+// skipBlock consumes a brace-balanced block.
+func (p *parser) skipBlock() error {
+	open, err := p.s.Expect("{")
+	if err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.s.Next()
+		switch {
+		case t.Kind == scan.TokEOF:
+			return p.errorf(open, "unterminated block")
+		case t.Kind == scan.TokPunct && t.Text == "{":
+			depth++
+		case t.Kind == scan.TokPunct && t.Text == "}":
+			depth--
+		}
+	}
+	return nil
+}
+
+// attachMethods appends receiver methods to their declarations.
+func (p *parser) attachMethods() error {
+	for _, pm := range p.pending {
+		d := p.u.Lookup(pm.recv)
+		if d == nil {
+			return p.errorf(pm.at, "method %s declared on undeclared type %s", pm.m.Name, pm.recv)
+		}
+		if d.Type.Kind == stype.KInterface {
+			return p.errorf(pm.at, "cannot declare method %s on interface %s", pm.m.Name, pm.recv)
+		}
+		for _, ex := range d.Type.Methods {
+			if ex.Name == pm.m.Name {
+				return p.errorf(pm.at, "method %s redeclared on %s", pm.m.Name, pm.recv)
+			}
+		}
+		d.Type.Methods = append(d.Type.Methods, pm.m)
+	}
+	p.pending = nil
+	return nil
+}
+
+// checkEmbeds verifies every embedded interface name resolves: unlike
+// Java's external supers, Go embeds always live in the parsed package.
+func (p *parser) checkEmbeds() error {
+	for _, d := range p.u.Decls() {
+		for _, e := range d.Type.Embeds {
+			if p.u.Lookup(e) == nil {
+				return p.errorf(scan.Token{}, "interface %s embeds undeclared interface %s", d.Name, e)
+			}
+		}
+	}
+	return nil
+}
+
+// applyValueSemantics stamps every use of a struct-declared name
+// nonnull+noalias: a Go value of struct type is the struct, so lowering
+// concludes by-value containment (§3.4) with no Choice(Unit, τ) wrapper.
+// Interface-typed uses stay nullable references to the method dictionary.
+func (p *parser) applyValueSemantics() {
+	for _, d := range p.u.Decls() {
+		stype.Walk(d.Type, func(n *stype.Type) {
+			if n.Kind != stype.KNamed {
+				return
+			}
+			if t := p.underlying(n.Name); t != nil && t.Kind == stype.KClass {
+				n.Ann.NonNull = true
+				n.Ann.NoAlias = true
+			}
+		})
+	}
+}
+
+// underlying resolves a declared name through typedef-like chains to its
+// defining Stype node.
+func (p *parser) underlying(name string) *stype.Type {
+	seen := make(map[string]bool)
+	for !seen[name] {
+		seen[name] = true
+		d := p.u.Lookup(name)
+		if d == nil {
+			return nil
+		}
+		if d.Type.Kind == stype.KNamed {
+			name = d.Type.Name
+			continue
+		}
+		return d.Type
+	}
+	return nil
+}
+
+// cloneType deep-copies a type node so each name in a shared declarator
+// group gets its own annotatable use-site.
+func cloneType(t *stype.Type) *stype.Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	if t.ElemType != nil {
+		c.ElemType = cloneType(t.ElemType)
+	}
+	if len(t.Fields) > 0 {
+		c.Fields = make([]stype.Field, len(t.Fields))
+		for i, f := range t.Fields {
+			c.Fields[i] = stype.Field{Name: f.Name, Type: cloneType(f.Type), Embedded: f.Embedded}
+		}
+	}
+	return &c
+}

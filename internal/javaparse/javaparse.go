@@ -180,14 +180,26 @@ func (p *parser) typeDecl() error {
 			return err
 		}
 		node.Super = super
-	}
-	if p.s.AcceptIdent("implements") {
-		// Interface lists are recorded only as additional supers would be;
-		// marshaling follows fields, so implements clauses are skipped.
-		for {
-			if _, err := p.qualifiedName(); err != nil {
+		// An interface may extend several interfaces; the first is the
+		// Super chain head, the rest join the method set via Embeds.
+		for isInterface && p.s.Accept(",") {
+			extra, err := p.qualifiedName()
+			if err != nil {
 				return err
 			}
+			node.Embeds = append(node.Embeds, extra)
+		}
+	}
+	if p.s.AcceptIdent("implements") {
+		// Implemented interfaces contribute their method sets to the
+		// class's object port (recorded as Embeds); marshaling by value
+		// still follows fields only.
+		for {
+			iface, err := p.qualifiedName()
+			if err != nil {
+				return err
+			}
+			node.Embeds = append(node.Embeds, iface)
 			if !p.s.Accept(",") {
 				break
 			}

@@ -312,3 +312,34 @@ func TestRecursiveClass(t *testing.T) {
 		t.Errorf("next = %+v", l.Fields[1].Type)
 	}
 }
+
+// TestImplementsRecorded: implemented interfaces contribute their method
+// sets to the class's object port, so the parser records them as Embeds.
+func TestImplementsRecorded(t *testing.T) {
+	u := MustParse(`
+		interface I1 { void a(); }
+		interface I2 { void b(); }
+		class C implements I1, I2 { int x; }
+	`)
+	d := u.Lookup("C").Type
+	if got := strings.Join(d.Embeds, ","); got != "I1,I2" {
+		t.Errorf("embeds = %q", got)
+	}
+}
+
+// TestInterfaceMultiExtends: an interface may extend several interfaces;
+// the first is the Super, the rest are Embeds.
+func TestInterfaceMultiExtends(t *testing.T) {
+	u := MustParse(`
+		interface A { void a(); }
+		interface B { void b(); }
+		interface C extends A, B { void c(); }
+	`)
+	d := u.Lookup("C").Type
+	if d.Super != "A" {
+		t.Errorf("super = %q", d.Super)
+	}
+	if got := strings.Join(d.Embeds, ","); got != "B" {
+		t.Errorf("embeds = %q", got)
+	}
+}

@@ -19,12 +19,23 @@
 package lower
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/mtype"
 	"repro/internal/stype"
 )
+
+// ErrAmbiguous reports that two embedded types promote the same member
+// name at the same depth, so no single declaration owns it. Go makes the
+// colliding selector a compile error at the use site; a wire contract has
+// no use site, so the collision is an error at lowering time. Reachable
+// from Go embedding and from Java classes implementing two interfaces
+// that declare the same method.
+var ErrAmbiguous = errors.New("ambiguous promotion")
 
 // Lowerer lowers declarations of one universe. It is not safe for
 // concurrent use.
@@ -187,32 +198,100 @@ func (l *Lowerer) lowerObjectPort(d *stype.Decl) (*mtype.Type, error) {
 	return e.done, nil
 }
 
-// collectMethods gathers the methods of d and its super chain.
+// collectMethods gathers the method set of d: its own methods, the Super
+// chain, the Embeds list, and (for Go) value-embedded struct fields,
+// walked breadth-first per Go's promotion rules. A name at a shallower
+// depth shadows deeper declarations (an override); two distinct
+// contributors promoting one name at the same depth wrap ErrAmbiguous.
+// Methods are emitted deepest level first, preserving the old
+// super-chain ordering (base methods first, own methods last).
 func (l *Lowerer) collectMethods(d *stype.Decl, seen map[string]bool) ([]stype.Method, error) {
 	if seen == nil {
 		seen = make(map[string]bool)
 	}
-	if seen[d.Name] {
-		return nil, fmt.Errorf("lower: inheritance cycle through %s", d.Name)
+	type claim struct {
+		depth int
+		owner string
 	}
+	claimed := make(map[string]claim)
+	var levels [][]stype.Method
+	level := []*stype.Decl{d}
 	seen[d.Name] = true
-	var out []stype.Method
-	if d.Type.Super != "" {
-		super := l.u.Lookup(d.Type.Super)
-		if super == nil {
-			// Unknown supers (e.g. external library classes) contribute no
-			// methods; java.util.Vector is registered, so this only skips
-			// classes outside the loaded set.
-			return d.Type.Methods, nil
+	for depth := 0; len(level) > 0; depth++ {
+		var kept []stype.Method
+		var next []*stype.Decl
+		for _, decl := range level {
+			for _, m := range decl.Type.Methods {
+				if l.unexported(m.Name) {
+					continue
+				}
+				if c, ok := claimed[m.Name]; ok {
+					if c.depth < depth {
+						continue // shadowed by a shallower declaration
+					}
+					if c.owner != decl.Name {
+						return nil, fmt.Errorf(
+							"lower: %w: method %s of %s promoted by both %s and %s at depth %d",
+							ErrAmbiguous, m.Name, d.Name, c.owner, decl.Name, depth)
+					}
+					// Same declaration, same depth: an overload set.
+				} else {
+					claimed[m.Name] = claim{depth: depth, owner: decl.Name}
+				}
+				kept = append(kept, m)
+			}
+			for _, b := range l.methodBases(decl) {
+				base := l.u.Lookup(b)
+				if base == nil {
+					// Unknown bases (e.g. external library classes)
+					// contribute no methods; java.util.Vector is
+					// registered, so this only skips classes outside the
+					// loaded set.
+					continue
+				}
+				if seen[base.Name] {
+					continue // diamond (or cycle): the first visit wins
+				}
+				seen[base.Name] = true
+				next = append(next, base)
+			}
 		}
-		base, err := l.collectMethods(super, seen)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, base...)
+		levels = append(levels, kept)
+		level = next
 	}
-	out = append(out, d.Type.Methods...)
+	var out []stype.Method
+	for i := len(levels) - 1; i >= 0; i-- {
+		out = append(out, levels[i]...)
+	}
 	return out, nil
+}
+
+// methodBases lists the method-set contributors one level below decl: the
+// single-inheritance Super, the Embeds list, and Go's value-embedded
+// struct fields.
+func (l *Lowerer) methodBases(decl *stype.Decl) []string {
+	var bases []string
+	if decl.Type.Super != "" {
+		bases = append(bases, decl.Type.Super)
+	}
+	bases = append(bases, decl.Type.Embeds...)
+	for _, f := range decl.Type.Fields {
+		if f.Embedded && f.Type != nil && f.Type.Kind == stype.KNamed {
+			bases = append(bases, f.Type.Name)
+		}
+	}
+	return bases
+}
+
+// unexported reports that a Go member name is unexported and therefore
+// not part of the wire contract. Other languages encode visibility in
+// modifiers, which their parsers already honor.
+func (l *Lowerer) unexported(name string) bool {
+	if l.u.Lang() != stype.LangGo {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(name)
+	return !unicode.IsUpper(r)
 }
 
 // lowerInvocation lowers one method to its invocation Mtype:
@@ -331,8 +410,12 @@ func (l *Lowerer) lowerValue(t *stype.Type) (*mtype.Type, error) {
 }
 
 func (l *Lowerer) lowerFields(fields []stype.Field, tag string) (*mtype.Type, error) {
-	out := make([]mtype.Field, 0, len(fields))
-	for _, f := range fields {
+	flat, err := l.flattenFields(fields)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mtype.Field, 0, len(flat))
+	for _, f := range flat {
 		if f.Type != nil && f.Type.Ann.Ignore {
 			continue
 		}
@@ -343,6 +426,135 @@ func (l *Lowerer) lowerFields(fields []stype.Field, tag string) (*mtype.Type, er
 		out = append(out, mtype.Field{Name: f.Name, Type: ty})
 	}
 	return mtype.NewRecord(out...).SetTag(tag), nil
+}
+
+// flattenFields applies Go's field-promotion rules to embedded struct
+// fields: the embedded struct's fields are spliced into the outer record
+// in place of the embedded field, recursively. Shadowing follows depth —
+// a name declared at a shallower depth hides deeper promotions of the
+// same name (the hidden field is dropped from the contract, exactly as
+// the promoted selector is inaccessible in Go) — and two distinct
+// embedded types promoting one name at the same depth wrap ErrAmbiguous.
+// Unexported fields are skipped. Non-Go universes pass through untouched
+// (only goparse sets Field.Embedded).
+func (l *Lowerer) flattenFields(fields []stype.Field) ([]stype.Field, error) {
+	if l.u.Lang() != stype.LangGo {
+		return fields, nil
+	}
+	needs := false
+	for _, f := range fields {
+		if f.Embedded || l.unexported(f.Name) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return fields, nil
+	}
+	// Pass 1: claim each promoted name by (depth, owner), erroring on
+	// same-depth claims — a second claim at one depth is either a second
+	// embedded type or a diamond, and both make the selector ambiguous.
+	// The owner at depth 0 is "" (the outer struct itself). Embedding
+	// cycles are caught against each group's ancestor path; diamonds
+	// re-expand, bounded by maxEmbedGroups.
+	type claim struct {
+		depth int
+		owner string
+	}
+	claimed := make(map[string]claim)
+	type group struct {
+		owner  string
+		fields []stype.Field
+		path   []string
+	}
+	level := []group{{fields: fields}}
+	expanded := 0
+	for depth := 0; len(level) > 0; depth++ {
+		var next []group
+		for _, g := range level {
+			for _, f := range g.fields {
+				if l.unexported(f.Name) {
+					continue
+				}
+				if target := l.embedTarget(f); target != nil {
+					for _, anc := range g.path {
+						if anc == target.Name {
+							return nil, fmt.Errorf("lower: embedding cycle through %s", target.Name)
+						}
+					}
+					if expanded++; expanded > maxEmbedGroups {
+						return nil, fmt.Errorf("lower: embedding expands to more than %d structs", maxEmbedGroups)
+					}
+					path := append(append([]string(nil), g.path...), target.Name)
+					next = append(next, group{owner: target.Name, fields: target.Type.Fields, path: path})
+					continue
+				}
+				if c, ok := claimed[f.Name]; ok {
+					if c.depth < depth {
+						continue // shadowed by a shallower declaration
+					}
+					return nil, fmt.Errorf(
+						"lower: %w: field %s promoted by both %s and %s at depth %d",
+						ErrAmbiguous, f.Name, claimOwner(c.owner), claimOwner(g.owner), depth)
+				}
+				claimed[f.Name] = claim{depth: depth, owner: g.owner}
+			}
+		}
+		level = next
+	}
+	// Pass 2: emit in declaration order, splicing embedded structs in
+	// place and keeping only each name's claiming occurrence.
+	var emit func(fs []stype.Field, depth int, owner string) []stype.Field
+	emit = func(fs []stype.Field, depth int, owner string) []stype.Field {
+		var out []stype.Field
+		for _, f := range fs {
+			if l.unexported(f.Name) {
+				continue
+			}
+			if target := l.embedTarget(f); target != nil {
+				out = append(out, emit(target.Type.Fields, depth+1, target.Name)...)
+				continue
+			}
+			if c := claimed[f.Name]; c.depth == depth && c.owner == owner {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	return emit(fields, 0, ""), nil
+}
+
+// maxEmbedGroups bounds diamond re-expansion during field flattening, so
+// adversarial embedding lattices cannot blow up exponentially.
+const maxEmbedGroups = 1 << 12
+
+func claimOwner(owner string) string {
+	if owner == "" {
+		return "the outer struct"
+	}
+	return owner
+}
+
+// embedTarget resolves an embedded field to the struct declaration it
+// splices in, following typedef chains. Embedded interfaces (and embedded
+// names resolving to non-structs) stay ordinary fields.
+func (l *Lowerer) embedTarget(f stype.Field) *stype.Decl {
+	if !f.Embedded || f.Type == nil || f.Type.Kind != stype.KNamed {
+		return nil
+	}
+	d := f.Type.Target
+	if d == nil {
+		d = l.u.Lookup(f.Type.Name)
+	}
+	seen := make(map[string]bool)
+	for d != nil && d.Type.Kind == stype.KNamed && !seen[d.Name] {
+		seen[d.Name] = true
+		d = l.u.Lookup(d.Type.Name)
+	}
+	if d == nil || d.Type.Kind != stype.KClass {
+		return nil
+	}
+	return d
 }
 
 func (l *Lowerer) lowerUnion(t *stype.Type) (*mtype.Type, error) {

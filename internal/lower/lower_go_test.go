@@ -1,0 +1,309 @@
+package lower
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/goparse"
+	"repro/internal/javaparse"
+	"repro/internal/mtype"
+)
+
+func lowerGo(t *testing.T, src, script, decl string) *mtype.Type {
+	t.Helper()
+	u, err := goparse.Parse("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script != "" {
+		if _, err := annotate.ApplyScript(u, script); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ty, err := New(u).Decl(decl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ty
+}
+
+func lowerGoErr(t *testing.T, src, decl string) error {
+	t.Helper()
+	u, err := goparse.Parse("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(u).Decl(decl)
+	return err
+}
+
+// TestGoFitterMatchesJava lowers the Go spelling of Figure 1 and checks
+// it produces the same port shape as the annotated Java ideal — except
+// that Go needed no annotation script: value fields are the containment
+// statements.
+func TestGoFitterMatchesJava(t *testing.T) {
+	goTy := lowerGo(t, `
+package fitter
+type Point struct {
+	X, Y float32
+}
+type Line struct {
+	Start Point
+	End   Point
+}
+type Fitter interface {
+	Fit(pts []Point) Line
+}`, "", "Fitter")
+	want := "port(record(μL1.choice(unit, record(record(real(24,8), real(24,8)), L1)), " +
+		"port(record(record(record(real(24,8), real(24,8)), record(real(24,8), real(24,8)))))))"
+	if got := goTy.String(); got != want {
+		t.Errorf("Go fitter Mtype:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoEmbeddingFlattens(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type Base struct {
+	ID int64
+}
+type Child struct {
+	Base
+	Name bool
+}`, "", "Child")
+	// Base's fields are spliced where the embedded field sits.
+	want := "record(integer[-9223372036854775808..9223372036854775807], integer[0..1])"
+	if got := ty.String(); got != want {
+		t.Errorf("Child = %s, want %s", got, want)
+	}
+}
+
+func TestGoEmbeddingShadowing(t *testing.T) {
+	// The outer Name shadows the embedded one: Go's promotion rule says
+	// the shallowest declaration wins, so the record has one Name.
+	ty := lowerGo(t, `
+package p
+type Base struct {
+	Name int64
+	Keep bool
+}
+type Child struct {
+	Base
+	Name bool
+}`, "", "Child")
+	want := "record(integer[0..1], integer[0..1])"
+	if got := ty.String(); got != want {
+		t.Errorf("Child = %s, want %s", got, want)
+	}
+}
+
+func TestGoSameDepthFieldCollisionIsTypedError(t *testing.T) {
+	err := lowerGoErr(t, `
+package p
+type A struct {
+	N int64
+}
+type B struct {
+	N bool
+}
+type Child struct {
+	A
+	B
+}`, "Child")
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+	for _, want := range []string{"N", "A", "B"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err %q does not name %s", err, want)
+		}
+	}
+}
+
+func TestGoDiamondEmbeddingCollides(t *testing.T) {
+	// A classic diamond: D embeds B and C, both embedding A. A's field
+	// is reachable twice at the same depth — ambiguous, like Go itself
+	// rules (selectors must be unique at the shallowest depth).
+	err := lowerGoErr(t, `
+package p
+type A struct {
+	N int64
+}
+type B struct {
+	A
+}
+type C struct {
+	A
+}
+type D struct {
+	B
+	C
+}`, "D")
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+}
+
+func TestGoEmbeddingCycleIsError(t *testing.T) {
+	err := lowerGoErr(t, `
+package p
+type A struct {
+	B
+}
+type B struct {
+	A
+}`, "A")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want embedding cycle", err)
+	}
+}
+
+func TestGoUnexportedMembersSkipped(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type T struct {
+	Public int64
+	hidden bool
+}`, "", "T")
+	want := "record(integer[-9223372036854775808..9223372036854775807])"
+	if got := ty.String(); got != want {
+		t.Errorf("T = %s, want %s", got, want)
+	}
+
+	iface := lowerGo(t, `
+package p
+type I interface {
+	Public()
+	hidden()
+}`, "", "I")
+	// One alternative: the unexported method is not wire contract.
+	if got := iface.String(); strings.Count(got, "port") != 2 {
+		t.Errorf("I = %s, want exactly the Public invocation and its reply", got)
+	}
+}
+
+func TestGoInterfaceEmbeddingPromotesMethods(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type Closer interface {
+	Close() bool
+}
+type File interface {
+	Closer
+	Size() int64
+}`, "", "File")
+	if ty.Kind() != mtype.KindPort || ty.Elem().Kind() != mtype.KindChoice {
+		t.Fatalf("File = %s", ty)
+	}
+	if got := len(ty.Elem().Alts()); got != 2 {
+		t.Fatalf("File has %d alternatives, want 2 (Close promoted): %s", got, ty)
+	}
+}
+
+func TestGoInterfaceSameDepthMethodCollision(t *testing.T) {
+	err := lowerGoErr(t, `
+package p
+type A interface {
+	M() bool
+}
+type B interface {
+	M() int64
+}
+type C interface {
+	A
+	B
+}`, "C")
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+}
+
+// TestJavaDualInterfaceCollision checks the same typed error is
+// reachable from the Java frontend: a class implementing two interfaces
+// that both declare the method.
+func TestJavaDualInterfaceCollision(t *testing.T) {
+	u := javaparse.MustParse(`
+public interface A { int m(); }
+public interface B { boolean m(); }
+public class C implements A, B { }
+`)
+	_, err := New(u).Decl("C")
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+}
+
+// TestJavaOverrideNotDuplicated: a subclass overriding a base method
+// contributes one alternative, not two — the shallower declaration
+// shadows the inherited one.
+func TestJavaOverrideNotDuplicated(t *testing.T) {
+	u := javaparse.MustParse(`
+public class Base { public int m() {} }
+public class Sub extends Base { public int m() {} }
+`)
+	ty, err := New(u).Decl("Sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One alternative lowers to the invocation record directly — a
+	// choice here would mean m was emitted for both Base and Sub.
+	if ty.Kind() != mtype.KindPort || ty.Elem().Kind() == mtype.KindChoice {
+		t.Fatalf("Sub = %s, want a single-alternative port", ty)
+	}
+	u2 := javaparse.MustParse(`
+public interface Base { int m(); }
+public interface Sub extends Base { int m(); }
+`)
+	port, err := New(u2).Decl("Sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Kind() != mtype.KindPort {
+		t.Fatalf("Sub = %s", port)
+	}
+	// A single alternative lowers to the invocation record directly.
+	if port.Elem().Kind() == mtype.KindChoice && len(port.Elem().Alts()) != 1 {
+		t.Fatalf("Sub has %d alternatives, want 1 (override shadows): %s", len(port.Elem().Alts()), port)
+	}
+}
+
+func TestGoPointerIsOptional(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type T struct {
+	Opt *bool
+}`, "", "T")
+	want := "record(choice(unit, integer[0..1]))"
+	if got := ty.String(); got != want {
+		t.Errorf("T = %s, want %s", got, want)
+	}
+}
+
+func TestGoMapIsEntryList(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type T struct {
+	M map[int64]bool
+}`, "", "T")
+	want := "record(μL1.choice(unit, record(record(integer[-9223372036854775808..9223372036854775807], integer[0..1]), L1)))"
+	if got := ty.String(); got != want {
+		t.Errorf("T = %s, want %s", got, want)
+	}
+}
+
+func TestGoInterfaceFieldIsNullableReference(t *testing.T) {
+	ty := lowerGo(t, `
+package p
+type Callback interface {
+	Done()
+}
+type T struct {
+	CB Callback
+}`, "", "T")
+	got := ty.String()
+	if !strings.HasPrefix(got, "record(choice(unit, port(") {
+		t.Errorf("T = %s, want a nullable object reference field", got)
+	}
+}

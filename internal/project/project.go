@@ -42,6 +42,7 @@ type Type struct {
 	Fields    []Field   `json:"fields,omitempty"`
 	Methods   []Method  `json:"methods,omitempty"`
 	Super     string    `json:"super,omitempty"`
+	Embeds    []string  `json:"embeds,omitempty"`
 	EnumNames []string  `json:"enumNames,omitempty"`
 	Elem      *Type     `json:"elem,omitempty"`
 	Len       int       `json:"len,omitempty"`
@@ -51,8 +52,9 @@ type Type struct {
 
 // Field mirrors stype.Field.
 type Field struct {
-	Name string `json:"name"`
-	Type *Type  `json:"type"`
+	Name     string `json:"name"`
+	Type     *Type  `json:"type"`
+	Embedded bool   `json:"embedded,omitempty"`
 }
 
 // Param mirrors stype.Param.
@@ -107,10 +109,12 @@ func invertPrims() map[string]stype.Prim {
 
 var langNames = map[stype.Lang]string{
 	stype.LangC: "c", stype.LangJava: "java", stype.LangIDL: "idl",
+	stype.LangGo: "go",
 }
 
 var langValues = map[string]stype.Lang{
 	"c": stype.LangC, "java": stype.LangJava, "idl": stype.LangIDL,
+	"go": stype.LangGo,
 }
 
 // Save serializes a session to JSON.
@@ -136,6 +140,7 @@ func encodeType(t *stype.Type) *Type {
 		Ann:       t.Ann,
 		Name:      t.Name,
 		Super:     t.Super,
+		Embeds:    t.Embeds,
 		EnumNames: t.EnumNames,
 		Elem:      encodeType(t.ElemType),
 		Len:       t.Len,
@@ -145,7 +150,7 @@ func encodeType(t *stype.Type) *Type {
 		out.Prim = primNames[t.Prim]
 	}
 	for _, f := range t.Fields {
-		out.Fields = append(out.Fields, Field{Name: f.Name, Type: encodeType(f.Type)})
+		out.Fields = append(out.Fields, Field{Name: f.Name, Type: encodeType(f.Type), Embedded: f.Embedded})
 	}
 	for _, p := range t.Params {
 		out.Params = append(out.Params, Param{Name: p.Name, Type: encodeType(p.Type)})
@@ -208,6 +213,7 @@ func decodeType(t *Type) (*stype.Type, error) {
 		Ann:       t.Ann,
 		Name:      t.Name,
 		Super:     t.Super,
+		Embeds:    t.Embeds,
 		EnumNames: t.EnumNames,
 		Len:       t.Len,
 	}
@@ -230,7 +236,7 @@ func decodeType(t *Type) (*stype.Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Fields = append(out.Fields, stype.Field{Name: f.Name, Type: ft})
+		out.Fields = append(out.Fields, stype.Field{Name: f.Name, Type: ft, Embedded: f.Embedded})
 	}
 	for _, p := range t.Params {
 		pt, err := decodeType(p.Type)

@@ -177,3 +177,59 @@ func TestIDLSurvives(t *testing.T) {
 		t.Errorf("IDL Mtype drift:\n%s\n%s", orig, back)
 	}
 }
+
+// TestGoSurvives: a Go universe — embedded fields, embedded interfaces,
+// tag annotations, receiver methods — round-trips through the project
+// file with an identical Mtype.
+func TestGoSurvives(t *testing.T) {
+	s := core.NewSession()
+	err := s.LoadGo("go", `package p
+
+type Meta struct {
+	Qty int32
+}
+
+type Item struct {
+	Meta
+	Code uint16 `+"`mbird:\"char\"`"+`
+}
+
+type Closer interface {
+	Close() bool
+}
+
+type Store interface {
+	Closer
+	Get(n int32) Item
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"embedded": true`, `"embeds"`, `"lang": "go"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialized project missing %s", want)
+		}
+	}
+	restored, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range []string{"Item", "Store"} {
+		orig, err := s.Mtype("go", decl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := restored.Mtype("go", decl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.String() != back.String() {
+			t.Errorf("%s Mtype drift:\n%s\n%s", decl, orig, back)
+		}
+	}
+}

@@ -23,6 +23,7 @@ const (
 	LangC Lang = iota + 1
 	LangJava
 	LangIDL
+	LangGo
 )
 
 // String returns the conventional language name.
@@ -34,6 +35,8 @@ func (l Lang) String() string {
 		return "java"
 	case LangIDL:
 		return "idl"
+	case LangGo:
+		return "go"
 	default:
 		return fmt.Sprintf("lang(%d)", uint8(l))
 	}
@@ -239,6 +242,10 @@ func (a Ann) Merge(o Ann) Ann {
 type Field struct {
 	Name string
 	Type *Type
+	// Embedded marks a Go embedded (anonymous) field: the field is named
+	// after its type, and lowering flattens the embedded struct's fields
+	// into the outer record per Go's promotion rules.
+	Embedded bool
 }
 
 // Param is a function or method parameter.
@@ -277,6 +284,11 @@ type Type struct {
 	Fields  []Field
 	Methods []Method
 	Super   string // single inheritance parent, "" if none
+	// Embeds lists additional method-set contributors beyond Super: Go
+	// embedded interfaces, Java implements/multi-extends lists, IDL
+	// secondary interface bases. Method collection walks Super and Embeds
+	// breadth-first; same-depth collisions are a typed lowering error.
+	Embeds []string
 
 	// KEnum.
 	EnumNames []string

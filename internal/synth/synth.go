@@ -8,10 +8,14 @@
 // annotation, lowering, comparison) is exercised exactly as the paper's
 // trials exercised it.
 //
-// Each suite is a pair of declaration sets describing the same abstract
-// interfaces: a Java side, and an IDL side with member and method order
+// Each suite is a set of declaration files describing the same abstract
+// interfaces: a Java side; an IDL side with member and method order
 // shuffled and field groups regrouped, so that matching requires the
-// commutativity and associativity rules.
+// commutativity and associativity rules; a Go side (structs and
+// interfaces, mirroring the Java ordering, with `mbird:"..."` tags for
+// the char fields and a script for char params/results); and a C side
+// (data classes only — C has no object types — with fields shuffled and
+// a script aligning booleans and chars onto C's integer types).
 package synth
 
 import (
@@ -95,9 +99,24 @@ func Collab() Config {
 type Suite struct {
 	JavaSource string
 	IDLSource  string
+	// GoSource declares the same suite as Go structs and interfaces.
+	// Value semantics make reference containment implicit, and struct
+	// tags carry the char annotations, so the only scripted annotations
+	// are the ones tags cannot reach (method params and results).
+	GoSource string
+	// CSource declares the data classes as C structs (C has no object
+	// types, so service classes are omitted), fields shuffled like the
+	// IDL side.
+	CSource string
 	// JavaScript is the batch annotation script for the Java side (§5's
 	// "scripting technique … applied in batch mode").
 	JavaScript string
+	// GoScript annotates char-valued method params and results on the Go
+	// side (fields use `mbird:"char"` tags instead).
+	GoScript string
+	// CScript aligns the C integer spellings of boolean (range=0..1) and
+	// char (char) fields with the other sides.
+	CScript string
 	// DataClassNames and ServiceClassNames list the generated
 	// declarations, in order.
 	DataClassNames    []string
@@ -123,15 +142,19 @@ func (r *rng) intn(n int) int {
 	return int(r.next() % uint64(n))
 }
 
-// prims pairs the Java and IDL spellings of each primitive used.
-var prims = []struct{ java, idl string }{
-	{"int", "long"},
-	{"short", "short"},
-	{"long", "long long"},
-	{"float", "float"},
-	{"double", "double"},
-	{"boolean", "boolean"},
-	{"char", "wchar"},
+// prims pairs the Java, IDL, Go, and C spellings of each primitive used.
+// goTag is the struct tag a Go field needs to match the others (chars);
+// goAttr is the same annotation as a script attribute for params and
+// results, which Go cannot tag; cAttr aligns the C integer spelling
+// (C has no boolean, and its wide char is an annotated unsigned short).
+var prims = []struct{ java, idl, gosrc, goTag, goAttr, c, cAttr string }{
+	{"int", "long", "int32", "", "", "int", ""},
+	{"short", "short", "int16", "", "", "short", ""},
+	{"long", "long long", "int64", "", "", "long long", ""},
+	{"float", "float", "float32", "", "", "float", ""},
+	{"double", "double", "float64", "", "", "double", ""},
+	{"boolean", "boolean", "bool", "", "", "int", "range=0..1"},
+	{"char", "wchar", "uint16", "`mbird:\"char\"`", "char", "unsigned short", "char"},
 }
 
 type field struct {
@@ -219,7 +242,11 @@ func Generate(cfg Config) *Suite {
 
 	s.JavaSource = renderJava(data, services)
 	s.IDLSource = renderIDL(data, services, cfg, &rng{s: cfg.Seed*97 + 3})
+	s.GoSource = renderGo(data, services)
+	s.CSource = renderC(data, cfg, &rng{s: cfg.Seed*131 + 7})
 	s.JavaScript = renderScript(cfg)
+	s.GoScript = renderGoScript(services)
+	s.CScript = renderCScript(data)
 	return s
 }
 
@@ -347,6 +374,122 @@ func renderScript(cfg Config) string {
 	}
 	for p := 0; p < cfg.ParamsPerMethod; p++ {
 		fmt.Fprintf(&sb, "annotate *.*.a%d nonnull noalias\n", p)
+	}
+	return sb.String()
+}
+
+// renderGo renders the same classes as Go structs and interfaces. Names
+// are exported (F0, R0, Op0) so the Go frontend's unexported-member
+// skipping keeps them; bare struct references carry Go value semantics,
+// which lowering treats exactly like the nonnull/noalias script on the
+// Java side. Char fields are tagged; char params and results need the
+// companion script (Go has nowhere to hang a tag on them).
+func renderGo(data, services []class) string {
+	var sb strings.Builder
+	sb.WriteString("package synth\n\n")
+	for _, c := range data {
+		fmt.Fprintf(&sb, "type %s struct {\n", c.name)
+		for _, f := range c.fields {
+			fmt.Fprintf(&sb, "\t%s %s\n", goMemberName(f.name), goFieldType(f))
+		}
+		sb.WriteString("}\n\n")
+	}
+	for _, c := range services {
+		fmt.Fprintf(&sb, "type %s interface {\n", c.name)
+		for _, m := range c.methods {
+			var ps []string
+			for _, p := range m.params {
+				ty := "D" + fmt.Sprint(p.ref)
+				if p.prim >= 0 {
+					ty = prims[p.prim].gosrc
+				}
+				ps = append(ps, p.name+" "+ty)
+			}
+			ret := ""
+			if m.result >= 0 {
+				ret = " " + prims[m.result].gosrc
+			}
+			fmt.Fprintf(&sb, "\t%s(%s)%s\n", goMemberName(m.name), strings.Join(ps, ", "), ret)
+		}
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// goMemberName exports a synthesized member name (f0 → F0, op0 → Op0).
+func goMemberName(name string) string {
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+func goFieldType(f field) string {
+	if f.prim < 0 {
+		return fmt.Sprintf("D%d", f.ref)
+	}
+	ty := prims[f.prim].gosrc
+	if tag := prims[f.prim].goTag; tag != "" {
+		ty += " " + tag
+	}
+	return ty
+}
+
+// renderGoScript emits the annotation lines struct tags cannot express:
+// char-valued method params and results, addressed by exact path.
+func renderGoScript(services []class) string {
+	var sb strings.Builder
+	sb.WriteString("# char params and results (tags only reach fields)\n")
+	for _, c := range services {
+		for _, m := range c.methods {
+			for _, p := range m.params {
+				if p.prim >= 0 && prims[p.prim].goAttr != "" {
+					fmt.Fprintf(&sb, "annotate %s.%s.%s %s\n", c.name, goMemberName(m.name), p.name, prims[p.prim].goAttr)
+				}
+			}
+			if m.result >= 0 && prims[m.result].goAttr != "" {
+				fmt.Fprintf(&sb, "annotate %s.%s.return %s\n", c.name, goMemberName(m.name), prims[m.result].goAttr)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// renderC renders the data classes as C structs — C has no object types,
+// so the service classes are omitted and C suites compare data classes
+// only. Fields are shuffled like the IDL side to exercise commutativity;
+// reference members are by-value struct containment, which needs no
+// script because that is already C's semantics.
+func renderC(data []class, cfg Config, r *rng) string {
+	var sb strings.Builder
+	for _, c := range data {
+		fields := append([]field(nil), c.fields...)
+		if cfg.Shuffle {
+			shuffleFields(fields, r)
+		}
+		fmt.Fprintf(&sb, "struct %s {\n", c.name)
+		for _, f := range fields {
+			ty := fmt.Sprintf("struct D%d", f.ref)
+			if f.prim >= 0 {
+				ty = prims[f.prim].c
+			}
+			fmt.Fprintf(&sb, "    %s %s;\n", ty, f.name)
+		}
+		sb.WriteString("};\n")
+	}
+	return sb.String()
+}
+
+// renderCScript aligns C's integer spellings with the typed sides:
+// boolean fields get range=0..1 (making `int` equal to the other sides'
+// booleans, since a boolean is an integer restricted to 0..1) and char
+// fields get the char attribute (unsigned short → UCS-2 character).
+func renderCScript(data []class) string {
+	var sb strings.Builder
+	sb.WriteString("# C spells booleans and chars as integers; align them\n")
+	for _, c := range data {
+		for _, f := range c.fields {
+			if f.prim >= 0 && prims[f.prim].cAttr != "" {
+				fmt.Fprintf(&sb, "annotate %s.%s %s\n", c.name, f.name, prims[f.prim].cAttr)
+			}
+		}
 	}
 	return sb.String()
 }

@@ -3,6 +3,7 @@ package synth
 import (
 	"testing"
 
+	"repro/internal/cmem"
 	"repro/internal/compare"
 	"repro/internal/core"
 )
@@ -140,5 +141,96 @@ func TestShuffledSuiteNeedsIsomorphismRules(t *testing.T) {
 	matched, total := compareAll(t, s, suite)
 	if matched == total {
 		t.Errorf("all %d classes matched without commutativity; shuffle too weak", total)
+	}
+}
+
+// loadGoSuite loads the Go side next to the others.
+func loadGoSuite(t testing.TB, s *core.Session, suite *Suite) {
+	t.Helper()
+	if err := s.LoadGo("go", suite.GoSource); err != nil {
+		t.Fatalf("go side: %v", err)
+	}
+	if _, err := s.Annotate("go", suite.GoScript); err != nil {
+		t.Fatalf("go annotation script: %v", err)
+	}
+}
+
+// compareAllAgainstGo compares every class between the Go side and
+// another loaded universe.
+func compareAllAgainstGo(t testing.TB, s *core.Session, suite *Suite, other string, names []string) (matched, total int) {
+	t.Helper()
+	for _, name := range names {
+		total++
+		v, err := s.Compare("go", name, other, name)
+		if err != nil {
+			t.Fatalf("compare go %s vs %s: %v", name, other, err)
+		}
+		if v.Relation == core.RelEquivalent {
+			matched++
+		} else if testing.Verbose() {
+			t.Logf("%s: %s\n%s", name, v.Relation, v.Explain)
+		}
+	}
+	return matched, total
+}
+
+// TestGoIDLSuite: the Go spelling of the VisualAge miniature matches the
+// shuffled, regrouped IDL side — the fourth frontend joins the matrix.
+func TestGoIDLSuite(t *testing.T) {
+	suite := Generate(VisualAgeMiniature())
+	s := loadSuite(t, suite)
+	loadGoSuite(t, s, suite)
+	names := append(append([]string(nil), suite.DataClassNames...), suite.ServiceClassNames...)
+	matched, total := compareAllAgainstGo(t, s, suite, "idl", names)
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
+	}
+}
+
+// TestGoJavaSuite: Go vs the Java side (same member order, different
+// spellings of every primitive and reference).
+func TestGoJavaSuite(t *testing.T) {
+	suite := Generate(VisualAgeMiniature())
+	s := loadSuite(t, suite)
+	loadGoSuite(t, s, suite)
+	names := append(append([]string(nil), suite.DataClassNames...), suite.ServiceClassNames...)
+	matched, total := compareAllAgainstGo(t, s, suite, "java", names)
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
+	}
+}
+
+// TestGoCSuite: Go vs C. C has no object types, so the round covers the
+// data classes; booleans and chars ride on annotated C integers.
+func TestGoCSuite(t *testing.T) {
+	suite := Generate(VisualAgeMiniature())
+	s := core.NewSession()
+	if err := s.LoadC("c", suite.CSource, cmem.ILP32); err != nil {
+		t.Fatalf("c side: %v", err)
+	}
+	if _, err := s.Annotate("c", suite.CScript); err != nil {
+		t.Fatalf("c annotation script: %v", err)
+	}
+	if err := s.LoadGo("go", suite.GoSource); err != nil {
+		t.Fatalf("go side: %v", err)
+	}
+	if _, err := s.Annotate("go", suite.GoScript); err != nil {
+		t.Fatalf("go annotation script: %v", err)
+	}
+	matched, total := compareAllAgainstGo(t, s, suite, "c", suite.DataClassNames)
+	if matched != total {
+		t.Errorf("matched %d/%d data classes", matched, total)
+	}
+}
+
+// TestGoScaled50 keeps the Go frontend on the scalability curve.
+func TestGoScaled50(t *testing.T) {
+	suite := Generate(VisualAgeScaled(50))
+	s := loadSuite(t, suite)
+	loadGoSuite(t, s, suite)
+	names := append(append([]string(nil), suite.DataClassNames...), suite.ServiceClassNames...)
+	matched, total := compareAllAgainstGo(t, s, suite, "idl", names)
+	if matched != total {
+		t.Errorf("matched %d/%d classes", matched, total)
 	}
 }
