@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -647,7 +648,7 @@ func BenchmarkPooledVsFreshDial(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	srv.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 	body := []byte("sixteen byte load")
 
 	b.Run("fresh", func(b *testing.B) {

@@ -50,7 +50,9 @@
 // can tell them apart: 1 for local errors, 2 when the daemon cannot be
 // reached (dial failure), 3 when the daemon served the request but the
 // handler failed or panicked, 4 when the daemon shed the request as
-// overloaded and retries were exhausted.
+// overloaded and retries were exhausted, 5 when the request's time
+// budget expired before the daemon finished (shed pre-dispatch or
+// abandoned in flight).
 //
 // The remote subcommands talk to an mbirdd broker daemon. Sources are
 // shipped under content-addressed universe names, so repeated invocations
@@ -98,11 +100,14 @@ func main() {
 }
 
 // exitCode maps an error to the process exit status: 2 for dial
-// failures (daemon unreachable), 4 for overload sheds that outlasted
-// the client's retries, 3 for remote handler errors and server panics
-// (the daemon served the request and reported failure), 1 otherwise.
-// Overload is checked before the handler-error cases because resil
-// wraps the final shed in its attempts-exhausted error.
+// failures (daemon unreachable), 5 for expired time budgets (the
+// daemon never finished the work inside the request's budget), 4 for
+// overload sheds that outlasted the client's retries, 3 for remote
+// handler errors and server panics (the daemon served the request and
+// reported failure), 1 otherwise. Overload is checked before the
+// handler-error cases because resil wraps the final shed in its
+// attempts-exhausted error; expired is checked before both because it
+// is the caller's clock, not a daemon verdict.
 func exitCode(err error) int {
 	if err == nil {
 		return 0
@@ -111,6 +116,8 @@ func exitCode(err error) int {
 	switch {
 	case errors.Is(err, orb.ErrDial):
 		return 2
+	case errors.Is(err, orb.ErrExpired):
+		return 5
 	case errors.Is(err, orb.ErrOverloaded):
 		return 4
 	case errors.As(err, &re), errors.Is(err, orb.ErrServerPanic):
@@ -465,6 +472,7 @@ type transportFlags struct {
 	dialTimeout time.Duration
 	retries     int
 	hedge       bool
+	budget      time.Duration
 }
 
 func (tf *transportFlags) register(fs *flag.FlagSet) {
@@ -473,6 +481,18 @@ func (tf *transportFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&tf.dialTimeout, "dial-timeout", 5*time.Second, "per-connection dial deadline")
 	fs.IntVar(&tf.retries, "retries", 3, "attempts per call for connection-level failures")
 	fs.BoolVar(&tf.hedge, "hedge", false, "hedge slow read-only requests on a second connection")
+	fs.DurationVar(&tf.budget, "budget", 0, "explicit deadline budget carried in each request frame, independent of -timeout (0 = derive from the call deadline)")
+}
+
+// ctx returns the base context for the subcommand's calls: Background,
+// or one carrying the explicit -budget as the wire deadline budget. The
+// local -timeout still bounds the call either way; -budget only
+// overrides what the server is told about the remaining time.
+func (tf *transportFlags) ctx() context.Context {
+	if tf.budget > 0 {
+		return orb.ContextWithBudget(context.Background(), tf.budget)
+	}
+	return context.Background()
 }
 
 // dial builds a broker client over the resilient pooled transport.
@@ -486,8 +506,9 @@ func (tf *transportFlags) dial() *broker.Client {
 }
 
 // remotePair parses the shared remote flags, connects, and loads both
-// sides onto the daemon.
-func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *broker.Client, a, b *side, ua, ub string, err error) {
+// sides onto the daemon. ctx is the base context for the subcommand's
+// calls, carrying the explicit -budget when one was given.
+func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (ctx context.Context, c *broker.Client, a, b *side, ua, ub string, err error) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	var tf transportFlags
 	tf.register(fs)
@@ -498,10 +519,10 @@ func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *br
 		extra(fs)
 	}
 	if err = fs.Parse(args); err != nil {
-		return nil, nil, nil, "", "", err
+		return nil, nil, nil, nil, "", "", err
 	}
 	if a.decl == "" || b.decl == "" {
-		return nil, nil, nil, "", "", fmt.Errorf("missing -a-decl/-b-decl")
+		return nil, nil, nil, nil, "", "", fmt.Errorf("missing -a-decl/-b-decl")
 	}
 	c = tf.dial()
 	if ua, err = a.remoteLoad(c); err == nil {
@@ -509,18 +530,18 @@ func remotePair(name string, args []string, extra func(fs *flag.FlagSet)) (c *br
 	}
 	if err != nil {
 		_ = c.Close()
-		return nil, nil, nil, "", "", err
+		return nil, nil, nil, nil, "", "", err
 	}
-	return c, a, b, ua, ub, nil
+	return tf.ctx(), c, a, b, ua, ub, nil
 }
 
 func cmdRemoteCompare(args []string, out io.Writer) error {
-	c, a, b, ua, ub, err := remotePair("remote compare", args, nil)
+	ctx, c, a, b, ua, ub, err := remotePair("remote compare", args, nil)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	v, err := c.Compare(ua, a.decl, ub, b.decl)
+	v, err := c.CompareContext(ctx, ua, a.decl, ub, b.decl)
 	if err != nil {
 		return err
 	}
@@ -539,7 +560,7 @@ func cmdRemoteCompare(args []string, out io.Writer) error {
 func cmdRemoteConvert(args []string, out io.Writer) error {
 	var inPath string
 	var batch bool
-	c, a, b, ua, ub, err := remotePair("remote convert", args, func(fs *flag.FlagSet) {
+	ctx, c, a, b, ua, ub, err := remotePair("remote convert", args, func(fs *flag.FlagSet) {
 		fs.StringVar(&inPath, "in", "-", "JSON value of the A declaration (- for stdin)")
 		fs.BoolVar(&batch, "batch", false, "input is a JSON array of A values; convert them in one batch request")
 	})
@@ -586,7 +607,7 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 				return fmt.Errorf("batch item %d: %w", i, err)
 			}
 		}
-		outs, err := c.ConvertBatch(ua, a.decl, ub, b.decl, mtA, mtB, ins)
+		outs, err := c.ConvertBatchContext(ctx, ua, a.decl, ub, b.decl, mtA, mtB, ins)
 		if err != nil {
 			return err
 		}
@@ -610,7 +631,7 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.Convert(ua, a.decl, ub, b.decl, mtA, mtB, in)
+	res, err := c.ConvertContext(ctx, ua, a.decl, ub, b.decl, mtA, mtB, in)
 	if err != nil {
 		return err
 	}
@@ -698,14 +719,16 @@ type gatewayRouteJSON struct {
 }
 
 type gatewayUpstreamJSON struct {
-	Addr      string `json:"addr"`
-	Conns     int    `json:"conns"`
-	Dials     int64  `json:"dials"`
-	Discards  int64  `json:"discards"`
-	Retries   int64  `json:"retries"`
-	Overloads int64  `json:"overloads"`
-	Hedges    int64  `json:"hedges"`
-	HedgeWins int64  `json:"hedge_wins"`
+	Addr            string `json:"addr"`
+	Conns           int    `json:"conns"`
+	Dials           int64  `json:"dials"`
+	Discards        int64  `json:"discards"`
+	Retries         int64  `json:"retries"`
+	Overloads       int64  `json:"overloads"`
+	Hedges          int64  `json:"hedges"`
+	HedgeWins       int64  `json:"hedge_wins"`
+	BudgetExhausted int64  `json:"budget_exhausted"`
+	BreakerTrips    int64  `json:"breaker_trips"`
 }
 
 type gatewayStatsJSON struct {
@@ -716,6 +739,8 @@ type gatewayStatsJSON struct {
 	LaneReuses      int64                 `json:"lane_reuses"`
 	InFlight        int64                 `json:"in_flight"`
 	Sheds           int64                 `json:"sheds"`
+	Expired         int64                 `json:"expired"`
+	Canceled        int64                 `json:"canceled"`
 }
 
 // healthJSON is the stable -json shape of `mbird remote health` for
@@ -728,6 +753,8 @@ type healthJSON struct {
 	Sheds             int64  `json:"sheds"`
 	ConnSheds         int64  `json:"conn_sheds"`
 	Panics            int64  `json:"panics"`
+	Expired           int64  `json:"expired"`
+	Canceled          int64  `json:"canceled"`
 	TranscoderEntries *int64 `json:"transcoder_entries,omitempty"`
 	Peers             *int64 `json:"peers,omitempty"`
 	Routes            *int   `json:"routes,omitempty"`
@@ -746,7 +773,7 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 	if *gw {
 		c := tf.dialGateway()
 		defer c.Close()
-		st, err := c.Stats()
+		st, err := c.StatsContext(tf.ctx())
 		if err != nil {
 			return err
 		}
@@ -759,6 +786,8 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 				LaneReuses:      st.LaneReuses,
 				InFlight:        st.InFlight,
 				Sheds:           st.Sheds,
+				Expired:         st.Expired,
+				Canceled:        st.Canceled,
 			}
 			for _, r := range st.Routes {
 				js.Routes = append(js.Routes, gatewayRouteJSON{
@@ -772,6 +801,7 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 				js.Upstreams = append(js.Upstreams, gatewayUpstreamJSON{
 					Addr: u.Addr, Conns: u.Conns, Dials: u.Dials, Discards: u.Discards,
 					Retries: u.Retries, Overloads: u.Overloads, Hedges: u.Hedges, HedgeWins: u.HedgeWins,
+					BudgetExhausted: u.BudgetExhausted, BreakerTrips: u.BreakerTrips,
 				})
 			}
 			return emitJSON(out, js)
@@ -782,17 +812,19 @@ func cmdRemoteStats(args []string, out io.Writer) error {
 				r.TranscodeTotal, r.UpstreamErrors, r.Sheds, r.BudgetRejects)
 		}
 		for _, u := range st.Upstreams {
-			fmt.Fprintf(out, "upstream %-17s %d conns, %d dials, %d discards, %d retries, %d overloads, %d hedges (%d won)\n",
-				u.Addr+":", u.Conns, u.Dials, u.Discards, u.Retries, u.Overloads, u.Hedges, u.HedgeWins)
+			fmt.Fprintf(out, "upstream %-17s %d conns, %d dials, %d discards, %d retries, %d overloads, %d hedges (%d won), %d budget-refused, %d breaker trips\n",
+				u.Addr+":", u.Conns, u.Dials, u.Discards, u.Retries, u.Overloads, u.Hedges, u.HedgeWins,
+				u.BudgetExhausted, u.BreakerTrips)
 		}
 		fmt.Fprintf(out, "lanes:    %d compiled (%d tree-only), %d cache reuses\n",
 			st.LaneCompiles, st.LaneUnsupported, st.LaneReuses)
-		fmt.Fprintf(out, "in-flight: %d, shed: %d\n", st.InFlight, st.Sheds)
+		fmt.Fprintf(out, "in-flight: %d, shed: %d, expired: %d, canceled: %d\n",
+			st.InFlight, st.Sheds, st.Expired, st.Canceled)
 		return nil
 	}
 	c := tf.dial()
 	defer c.Close()
-	st, err := c.Stats()
+	st, err := c.StatsContext(tf.ctx())
 	if err != nil {
 		return err
 	}
@@ -837,7 +869,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	if *gw {
 		c := tf.dialGateway()
 		defer c.Close()
-		h, err := c.Health()
+		h, err := c.HealthContext(tf.ctx())
 		if err != nil {
 			return err
 		}
@@ -845,6 +877,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 			return emitJSON(out, healthJSON{
 				Ready: h.Ready, InFlight: h.InFlight, MaxInFlight: h.MaxInFlight,
 				Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
+				Expired: h.Expired, Canceled: h.Canceled,
 				Routes: &h.Routes, Lanes: &h.Lanes,
 			})
 		}
@@ -856,12 +889,13 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "in-flight: %d of %s admitted\n", h.InFlight, inflightCap(h.MaxInFlight))
 		fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
 		fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
+		fmt.Fprintf(out, "deadlines: %d expired, %d canceled\n", h.Expired, h.Canceled)
 		fmt.Fprintf(out, "routes:    %d live, %d compiled lanes\n", h.Routes, h.Lanes)
 		return nil
 	}
 	c := tf.dial()
 	defer c.Close()
-	h, err := c.Health()
+	h, err := c.HealthContext(tf.ctx())
 	if err != nil {
 		return err
 	}
@@ -869,6 +903,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 		return emitJSON(out, healthJSON{
 			Ready: h.Ready, InFlight: h.InFlight, MaxInFlight: h.MaxInFlight,
 			Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
+			Expired: h.Expired, Canceled: h.Canceled,
 			TranscoderEntries: &h.TranscoderEntries, Peers: &h.Peers,
 		})
 	}
@@ -880,6 +915,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "in-flight: %d of %s admitted\n", h.InFlight, inflightCap(h.MaxInFlight))
 	fmt.Fprintf(out, "shed:      %d overload, %d per-connection\n", h.Sheds, h.ConnSheds)
 	fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
+	fmt.Fprintf(out, "deadlines: %d expired, %d canceled\n", h.Expired, h.Canceled)
 	fmt.Fprintf(out, "xcoders:   %d cached\n", h.TranscoderEntries)
 	fmt.Fprintf(out, "peers:     %d cluster peers\n", h.Peers)
 	return nil
@@ -933,6 +969,8 @@ type clusterNodeJSON struct {
 	Transcoders  int     `json:"transcoders"`
 	Hits         int64   `json:"hits"`
 	Sheds        int64   `json:"sheds"`
+	Expired      int64   `json:"expired"`
+	Canceled     int64   `json:"canceled"`
 	Warm         struct {
 		Fills      int64 `json:"fills"`
 		Hits       int64 `json:"hits"`
@@ -1023,6 +1061,7 @@ func cmdClusterStatus(args []string, out io.Writer) error {
 			row.Peer.PushErrs, row.Peer.PushDrops = ns.PushErrs, ns.PushDrops
 			row.Peer.PushesRecv, row.Peer.PullsServed = ns.PushesRecv, ns.PullsServed
 			row.Peer.ListsServed, row.Peer.Synced = ns.ListsServed, ns.Synced
+			row.Expired, row.Canceled = ns.Expired, ns.Canceled
 			return nil
 		}()
 		_ = rc.Close()
@@ -1040,8 +1079,8 @@ func cmdClusterStatus(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "node %-21s %4.1f%% of keyspace, unreachable: %s\n", n.Addr+":", 100*n.RingShare, n.Error)
 			continue
 		}
-		fmt.Fprintf(out, "node %-21s %4.1f%% of keyspace, %d verdicts / %d converters / %d xcoders cached, %d hits (%d warm), %d shed\n",
-			n.Addr+":", 100*n.RingShare, n.Verdicts, n.Converters, n.Transcoders, n.Hits, n.Warm.Hits, n.Sheds)
+		fmt.Fprintf(out, "node %-21s %4.1f%% of keyspace, %d verdicts / %d converters / %d xcoders cached, %d hits (%d warm), %d shed, %d expired, %d canceled\n",
+			n.Addr+":", 100*n.RingShare, n.Verdicts, n.Converters, n.Transcoders, n.Hits, n.Warm.Hits, n.Sheds, n.Expired, n.Canceled)
 		fmt.Fprintf(out, "  warm: %d fills, %d pulls sent / %d served, %d pushes sent / %d recv (%d errs, %d drops), %d synced at start\n",
 			n.Warm.Fills, n.Peer.PullsSent, n.Peer.PullsServed, n.Peer.PushesSent, n.Peer.PushesRecv,
 			n.Peer.PushErrs, n.Peer.PushDrops, n.Peer.Synced)

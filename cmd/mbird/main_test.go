@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -272,6 +273,8 @@ func TestExitCodes(t *testing.T) {
 		{"remote handler error", &orb.RemoteError{Msg: "compare: unknown universe"}, 3},
 		{"server panic", fmt.Errorf("%w: runtime error", orb.ErrServerPanic), 3},
 		{"overload shed", wrap(fmt.Errorf("%w: 256 requests already in flight", orb.ErrOverloaded)), 4},
+		{"budget expired", fmt.Errorf("%w: budget of 50ms spent before dispatch", orb.ErrExpired), 5},
+		{"budget expired mid-flight", wrap(fmt.Errorf("%w: budget spent while request was in flight", orb.ErrExpired)), 5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -316,7 +319,7 @@ func startGatewayDaemon(t *testing.T) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = up.Close() })
-	up.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	up.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	cfg := &gateway.Config{
 		Upstream: up.Addr(),
@@ -391,10 +394,11 @@ func TestRemoteJSONOutput(t *testing.T) {
 	if _, ok := bh["routes"]; ok {
 		t.Error("broker health JSON carries the gateway-only routes field")
 	}
-	// Exact key set: peers is the only field the cluster work added.
+	// Exact key set: expired/canceled are the deadline-propagation
+	// counters, peers came with the cluster work.
 	wantHealth := []string{
 		"ready", "in_flight", "max_in_flight", "sheds", "conn_sheds",
-		"panics", "transcoder_entries", "peers",
+		"panics", "expired", "canceled", "transcoder_entries", "peers",
 	}
 	for _, key := range wantHealth {
 		if _, ok := bh[key]; !ok {
@@ -448,6 +452,26 @@ func TestRemoteGatewayFlag(t *testing.T) {
 	}
 	if name := routes[0].(map[string]any)["name"]; name != "echo/1" {
 		t.Errorf("route name = %v, want echo/1", name)
+	}
+	for _, key := range []string{"expired", "canceled"} {
+		if _, ok := gs[key]; !ok {
+			t.Errorf("gateway stats JSON lacks %q", key)
+		}
+	}
+	ups, ok := gs["upstreams"].([]any)
+	if !ok || len(ups) == 0 {
+		t.Fatalf("gateway stats JSON upstreams = %v", gs["upstreams"])
+	}
+	up0 := ups[0].(map[string]any)
+	for _, key := range []string{"budget_exhausted", "breaker_trips"} {
+		if _, ok := up0[key]; !ok {
+			t.Errorf("gateway stats JSON upstream lacks %q", key)
+		}
+	}
+	for _, key := range []string{"expired", "canceled"} {
+		if _, ok := gh[key]; !ok {
+			t.Errorf("gateway health JSON lacks %q", key)
+		}
 	}
 
 	out, err = runCLI(t, "remote", "reload", "-addr", addr)
@@ -504,6 +528,20 @@ func TestClusterStatusCommand(t *testing.T) {
 			RingShare    float64 `json:"ring_share"`
 			MembersAgree bool    `json:"members_agree"`
 		} `json:"nodes"`
+	}
+	// The raw rows must carry the deadline counters for every member.
+	var raw struct {
+		Nodes []map[string]any `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(out), &raw); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	for _, n := range raw.Nodes {
+		for _, key := range []string{"expired", "canceled"} {
+			if _, ok := n[key]; !ok {
+				t.Errorf("cluster status row %v lacks %q", n["addr"], key)
+			}
+		}
 	}
 	if err := json.Unmarshal([]byte(out), &st); err != nil {
 		t.Fatalf("bad JSON %q: %v", out, err)

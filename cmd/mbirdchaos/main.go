@@ -8,7 +8,7 @@
 //	mbirdchaos -listen 127.0.0.1:7466 -target 127.0.0.1:7465
 //	           [-latency D] [-jitter D] [-chunk N]
 //	           [-reset-after N] [-blackhole-after N] [-truncate-after N]
-//	           [-drop-on-accept]
+//	           [-stall-after N] [-stall-interval D] [-drop-on-accept]
 //
 // The byte budgets (-reset-after and friends) are per connection pair and
 // shared across both directions, so a budget of 100 kills the connection
@@ -42,6 +42,8 @@ func setup(args []string) (*chaos.Proxy, error) {
 	fs.Int64Var(&f.ResetAfter, "reset-after", 0, "RST the connection after N bytes (0 = never)")
 	fs.Int64Var(&f.BlackholeAfter, "blackhole-after", 0, "silently drop traffic after N bytes (0 = never)")
 	fs.Int64Var(&f.TruncateAfter, "truncate-after", 0, "half-close cleanly after N bytes (0 = never)")
+	fs.Int64Var(&f.StallAfter, "stall-after", 0, "after N bytes, trickle one byte per stall-interval instead of forwarding (0 = never)")
+	fs.DurationVar(&f.StallInterval, "stall-interval", 0, "per-byte trickle delay once stalled (default 100ms)")
 	fs.BoolVar(&f.DropOnAccept, "drop-on-accept", false, "reset every connection immediately on accept")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -65,14 +67,14 @@ func main() {
 		select {
 		case <-sig:
 			st := p.Stats()
-			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations\n",
-				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations)
+			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations, %d stalls\n",
+				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations, st.Stalls)
 			_ = p.Close()
 			return
 		case <-ticker.C:
 			st := p.Stats()
-			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations\n",
-				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations)
+			fmt.Printf("mbirdchaos: %d conns, %d bytes, %d resets, %d blackholes, %d truncations, %d stalls\n",
+				st.Accepted, st.ForwardedBytes, st.Resets, st.Blackholes, st.Truncations, st.Stalls)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,7 +17,7 @@ func TestChaosCLIProxiesOrbTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return body, nil
 	})
 

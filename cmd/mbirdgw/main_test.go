@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,7 +42,7 @@ func TestGatewayDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer up.Close()
-	up.Register("svc", func(op uint32, body []byte) ([]byte, error) {
+	up.Register("svc", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if _, err := wire.Unmarshal(mtB, body); err != nil {
 			return nil, fmt.Errorf("upstream cannot decode: %w", err)
 		}

@@ -582,6 +582,13 @@ type Health struct {
 	ConnSheds int64
 	// Panics counts handler panics the orb server recovered.
 	Panics int64
+	// Expired counts requests shed by the orb server because their
+	// propagated deadline budget was already spent before dispatch, plus
+	// in-flight requests answered with a typed expiry.
+	Expired int64
+	// Canceled counts in-flight requests aborted by client cancel
+	// frames.
+	Canceled int64
 	// TranscoderEntries is the number of compiled wire transcoders (and
 	// cached fallback decisions) resident in the transcoder LRU.
 	TranscoderEntries int64
@@ -604,6 +611,8 @@ func (b *Broker) Health() Health {
 		st := srv.Stats()
 		h.ConnSheds = st.Shed
 		h.Panics = st.Panics
+		h.Expired = st.Expired
+		h.Canceled = st.Canceled
 		h.Ready = !srv.Draining()
 	}
 	return h

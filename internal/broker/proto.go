@@ -10,6 +10,7 @@ package broker
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -75,6 +76,7 @@ var (
 	)
 	healthT = proto.Record(
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
+		proto.IntT, proto.IntT, // expired, canceled
 		proto.IntT, proto.IntT, // transcoderEntries, peers
 	)
 )
@@ -164,9 +166,9 @@ func (b *Broker) admitRequest() (release func(), err error) {
 func Handler(b *Broker) orb.Handler {
 	h := handler(b)
 	d := b.opts.RequestTimeout
-	return func(op uint32, body []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if op == OpHealth || op == OpStats {
-			return h(op, body)
+			return h(ctx, op, body)
 		}
 		release, err := b.admitRequest()
 		if err != nil {
@@ -174,19 +176,24 @@ func Handler(b *Broker) orb.Handler {
 		}
 		if d <= 0 {
 			defer release()
-			return h(op, body)
+			return h(ctx, op, body)
 		}
 		type res struct {
 			body []byte
 			err  error
 		}
 		ch := make(chan res, 1)
+		// The session work is detached from the caller's context on
+		// purpose: a caller whose budget runs out mid-compile gets a
+		// prompt typed error below, while the work finishes and warms the
+		// caches so a retry with a fresh budget is a hit.
+		bg := context.WithoutCancel(ctx)
 		go func() {
 			defer release()
 			// orb.Call, not a bare call: this goroutine is outside the orb
 			// server's own recover, so an unguarded panic here would kill
 			// the daemon.
-			body, err := orb.Call(h, op, body)
+			body, err := orb.Call(bg, h, op, body)
 			ch <- res{body, err}
 		}()
 		t := time.NewTimer(d)
@@ -197,12 +204,22 @@ func Handler(b *Broker) orb.Handler {
 		case <-t.C:
 			b.deadlines.Add(1)
 			return nil, fmt.Errorf("broker: request exceeded server deadline %v", d)
+		case <-ctx.Done():
+			// The caller's propagated budget expired (or it sent a cancel
+			// frame) while the work was in flight; answer with the typed
+			// expiry so the client distinguishes "my clock ran out" from
+			// "the broker is slow".
+			b.deadlines.Add(1)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: budget spent while request was in flight", orb.ErrExpired)
+			}
+			return nil, fmt.Errorf("broker: caller went away: %w", ctx.Err())
 		}
 	}
 }
 
 func handler(b *Broker) orb.Handler {
-	return func(op uint32, body []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		switch op {
 		case OpLoad:
 			args, err := proto.UnmarshalStrings(loadReqT, body, 5)
@@ -313,6 +330,7 @@ func handler(b *Broker) orb.Handler {
 			return wire.Marshal(healthT, value.NewRecord(
 				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
 				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
+				proto.Int(h.Expired), proto.Int(h.Canceled),
 				proto.Int(h.TranscoderEntries), proto.Int(h.Peers)))
 
 		default:
@@ -650,8 +668,10 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		Sheds:             get(3),
 		ConnSheds:         get(4),
 		Panics:            get(5),
-		TranscoderEntries: get(6),
-		Peers:             get(7),
+		Expired:           get(6),
+		Canceled:          get(7),
+		TranscoderEntries: get(8),
+		Peers:             get(9),
 	}
 	return h, r.Err()
 }

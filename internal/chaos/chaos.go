@@ -43,9 +43,27 @@ type Faults struct {
 	// bytes have been forwarded, truncating any frame in progress; 0
 	// disables.
 	TruncateAfter int64
+	// StallAfter wedges the connection pair once this many bytes have
+	// been forwarded: instead of closing, the proxy trickles one byte
+	// per StallInterval while both connections stay open — a peer that
+	// is alive but stuck, the gray failure deadline budgets and circuit
+	// breakers exist for, which resets and truncations (loud, immediate
+	// errors) cannot exercise. 0 disables.
+	StallAfter int64
+	// StallInterval is the per-byte trickle delay once stalled
+	// (default 100ms).
+	StallInterval time.Duration
 	// DropOnAccept resets every accepted connection immediately,
 	// before any bytes flow.
 	DropOnAccept bool
+}
+
+// stallInterval returns the trickle delay, defaulted.
+func (f Faults) stallInterval() time.Duration {
+	if f.StallInterval > 0 {
+		return f.StallInterval
+	}
+	return 100 * time.Millisecond
 }
 
 // Stats counts what the proxy has done.
@@ -55,6 +73,7 @@ type Stats struct {
 	Resets         int64
 	Blackholes     int64
 	Truncations    int64
+	Stalls         int64
 }
 
 // Proxy is a single-target fault-injecting TCP forwarder.
@@ -74,6 +93,7 @@ type Proxy struct {
 	resets      atomic.Int64
 	blackholes  atomic.Int64
 	truncations atomic.Int64
+	stalls      atomic.Int64
 }
 
 // New starts a proxy listening on listenAddr (e.g. "127.0.0.1:0")
@@ -122,6 +142,7 @@ func (p *Proxy) Stats() Stats {
 		Resets:         p.resets.Load(),
 		Blackholes:     p.blackholes.Load(),
 		Truncations:    p.truncations.Load(),
+		Stalls:         p.stalls.Load(),
 	}
 }
 
@@ -213,6 +234,7 @@ func (p *Proxy) pipe(dst, src net.Conn, used *atomic.Int64, closeBoth func(rst b
 	defer p.wg.Done()
 	buf := make([]byte, 32<<10)
 	blackholed := false
+	stalled := false
 	for {
 		nr, err := src.Read(buf)
 		if nr > 0 && !blackholed {
@@ -239,11 +261,26 @@ func (p *Proxy) pipe(dst, src net.Conn, used *atomic.Int64, closeBoth func(rst b
 					closeBoth(true)
 					return
 				}
-				// Clip the chunk so each budget trips exactly at its
-				// boundary (delivering the torn prefix first).
-				for _, lim := range []int64{f.ResetAfter, f.TruncateAfter, f.BlackholeAfter} {
-					if lim > 0 && int64(len(chunk)) > lim-prev {
-						chunk = chunk[:lim-prev]
+				if f.StallAfter > 0 && prev >= f.StallAfter {
+					// Wedged: trickle one byte per interval. The read
+					// loop keeps running, so both peers still see a
+					// live, glacially slow connection.
+					if !stalled {
+						stalled = true
+						p.stalls.Add(1)
+					}
+					chunk = chunk[:1]
+					if !p.sleepFor(f.stallInterval()) {
+						closeBoth(false)
+						return
+					}
+				} else {
+					// Clip the chunk so each budget trips exactly at its
+					// boundary (delivering the torn prefix first).
+					for _, lim := range []int64{f.ResetAfter, f.TruncateAfter, f.BlackholeAfter, f.StallAfter} {
+						if lim > 0 && int64(len(chunk)) > lim-prev {
+							chunk = chunk[:lim-prev]
+						}
 					}
 				}
 				if !p.sleep(f) {
@@ -275,6 +312,11 @@ func (p *Proxy) sleep(f Faults) bool {
 	if f.Jitter > 0 {
 		d += time.Duration(rand.Int63n(int64(f.Jitter)))
 	}
+	return p.sleepFor(d)
+}
+
+// sleepFor waits d, returning false if the proxy closed while waiting.
+func (p *Proxy) sleepFor(d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}

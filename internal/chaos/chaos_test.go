@@ -155,6 +155,44 @@ func TestChaosProxyBlackhole(t *testing.T) {
 	}
 }
 
+func TestChaosProxyStall(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Faults{StallAfter: 8, StallInterval: 20 * time.Millisecond})
+	c := dialProxy(t, p)
+	if _, err := c.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// The first 8 bytes flow normally; everything after trickles at one
+	// byte per interval over a connection that stays open — so the read
+	// times out mid-stream instead of seeing EOF or a reset, and far
+	// fewer than 64 bytes ever arrive.
+	_ = c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	total := 0
+	var readErr error
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	var nerr net.Error
+	if !errors.As(readErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("read ended with %v after %d bytes; want a timeout on a live, wedged connection", readErr, total)
+	}
+	if total == 0 {
+		t.Error("stall delivered nothing; want a trickle")
+	}
+	if total >= 32 {
+		t.Errorf("stall delivered %d of 64 bytes within 200ms; want a trickle", total)
+	}
+	if st := p.Stats(); st.Stalls < 1 {
+		t.Errorf("stalls = %d, want ≥ 1", st.Stalls)
+	}
+}
+
 func TestChaosProxyDropOnAccept(t *testing.T) {
 	ln := echoServer(t)
 	p := startProxy(t, ln.Addr().String(), Faults{DropOnAccept: true})

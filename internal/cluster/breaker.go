@@ -1,0 +1,259 @@
+// Per-member circuit breakers with outlier ejection. A breaker trips on
+// health signals — consecutive transport-level failures, or a p99
+// latency that is a multiplicative outlier against the rest of the
+// fleet — and while open the ranked routing in InvokeKeyed skips the
+// member, so its traffic spills down the rendezvous order to healthy
+// replicas instead of queueing behind a stall. After a cooldown the
+// breaker half-opens and admits a single probe: success closes it,
+// failure re-opens it for another cooldown.
+//
+// Deterministic errors never trip a breaker, mirroring failover()'s
+// classification: a RemoteError, server panic, or frame-limit rejection
+// is the member *working* — it parsed the request and answered — and a
+// replica would answer the same. Budget expiry (ErrExpired) and
+// cancellation are the caller's clock, not the member's health. Tripping
+// on those would eject healthy members whenever callers send bad
+// requests or tight budgets.
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName maps a breaker state to its stats string.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// outlierMinSamples is how many latency samples a member needs before
+// p99 outlier ejection may trip it; peers need a quarter of that to
+// count toward the fleet baseline.
+const outlierMinSamples = 32
+
+// tripworthy reports whether a failed attempt is a strike against the
+// member's health. Transport-level failures (dial, reset, stalled
+// connection surfacing as a deadline, pool trouble) and overload sheds
+// are; deterministic answers and the caller's own clock are not.
+func tripworthy(err error) bool {
+	if errors.Is(err, orb.ErrOverloaded) {
+		return true
+	}
+	if errors.Is(err, orb.ErrCanceled) || errors.Is(err, orb.ErrExpired) {
+		return false
+	}
+	var re *orb.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, orb.ErrServerPanic) || errors.Is(err, orb.ErrFrameTooLarge) {
+		return false
+	}
+	// ErrDeadline lands here deliberately: a member that eats the whole
+	// call timeout looks exactly like a stalled member, which is the
+	// breaker's primary prey.
+	return true
+}
+
+// breaker is one member's circuit state. All methods are safe for
+// concurrent use.
+type breaker struct {
+	failThreshold int
+	cooldown      time.Duration
+
+	mu       sync.Mutex
+	state    int
+	failures int // consecutive tripworthy failures while closed
+	openedAt time.Time
+	probing  bool
+	trips    int64
+
+	// latency ring for outlier ejection (successful calls only).
+	samples [64]time.Duration
+	n       int
+}
+
+func newBreaker(failThreshold int, cooldown time.Duration) *breaker {
+	return &breaker{failThreshold: failThreshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent to the member. An open
+// breaker past its cooldown transitions to half-open and admits exactly
+// one probe; further requests are refused until the probe resolves.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a served call: it closes a half-open breaker, resets
+// the failure streak, and banks the latency sample for outlier
+// ejection.
+func (b *breaker) success(d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+	}
+	b.samples[b.n%len(b.samples)] = d
+	b.n++
+	b.mu.Unlock()
+}
+
+// failure records a failed call and reports whether it opened the
+// breaker. Non-tripworthy failures count as health evidence (the member
+// answered), closing a half-open breaker like a success would.
+// Tripworthy ones extend the streak; crossing the threshold — or
+// failing the half-open probe — opens the breaker.
+func (b *breaker) failure(trip bool) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !trip {
+		b.failures = 0
+		if b.state == breakerHalfOpen {
+			b.state = breakerClosed
+		}
+		return false
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.failThreshold {
+		b.open()
+		return true
+	}
+	return false
+}
+
+// tripEject force-opens the breaker for latency outlier ejection and
+// clears the sample window so the stale p99 cannot re-trip the breaker
+// the moment the probe closes it.
+func (b *breaker) tripEject() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.open()
+	b.n = 0
+	b.mu.Unlock()
+}
+
+// open transitions to the open state. Caller holds b.mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// p99 returns the window's 99th-percentile latency and the sample
+// count.
+func (b *breaker) p99() (time.Duration, int) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	n := b.n
+	if n > len(b.samples) {
+		n = len(b.samples)
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, b.samples[:n])
+	b.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[int(0.99*float64(n-1))], n
+}
+
+// snapshot returns the state name and trip count for stats.
+func (b *breaker) snapshot() (string, int64) {
+	if b == nil {
+		return "closed", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName(b.state), b.trips
+}
+
+// noteLatency records a member's successful-call latency and runs the
+// outlier-ejection check: a member whose p99 exceeds
+// BreakerOutlierFactor times the median of its peers' p99s (given
+// enough samples on both sides) is ejected — its breaker opens as if it
+// had failed repeatedly, because "succeeding, but several times slower
+// than everyone else" is exactly the gray failure consecutive-error
+// counting cannot see.
+func (c *Client) noteLatency(m *member, d time.Duration) {
+	m.brk.success(d)
+	if c.opts.BreakerOutlierFactor <= 0 {
+		return
+	}
+	p99, n := m.brk.p99()
+	if n < outlierMinSamples {
+		return
+	}
+	var peers []float64
+	c.mu.Lock()
+	for _, o := range c.members {
+		if o == m {
+			continue
+		}
+		if op99, on := o.brk.p99(); on >= outlierMinSamples/4 {
+			peers = append(peers, float64(op99))
+		}
+	}
+	c.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	sort.Float64s(peers)
+	med := peers[len(peers)/2]
+	if med > 0 && float64(p99) > c.opts.BreakerOutlierFactor*med {
+		m.brk.tripEject()
+		c.breakerTrips.Add(1)
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+func TestTripworthyClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{orb.ErrConnClosed, true},
+		{orb.ErrDial, true},
+		{orb.ErrOverloaded, true},
+		{orb.ErrDeadline, true},
+		{fmt.Errorf("wrapped: %w", orb.ErrConnClosed), true},
+		{orb.ErrCanceled, false},
+		{orb.ErrExpired, false},
+		{orb.ErrServerPanic, false},
+		{orb.ErrFrameTooLarge, false},
+		{&orb.RemoteError{Msg: "no object \"x\""}, false},
+		{errors.New("resil: no usable connection"), true},
+	}
+	for _, c := range cases {
+		if got := tripworthy(c.err); got != c.want {
+			t.Errorf("tripworthy(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBreakerConsecutiveFailuresAndProbe(t *testing.T) {
+	b := newBreaker(3, 30*time.Millisecond)
+	// Two strikes, then a success: the streak resets.
+	b.failure(true)
+	b.failure(true)
+	b.success(time.Millisecond)
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state = %s after success reset", state)
+	}
+	// Three consecutive strikes open the breaker (the third reports it).
+	b.failure(true)
+	b.failure(true)
+	if b.failure(true) != true {
+		t.Fatal("third consecutive failure did not open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request inside its cooldown")
+	}
+	// Past the cooldown: half-open, exactly one probe admitted.
+	time.Sleep(40 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if state, _ := b.snapshot(); state != "half-open" {
+		t.Fatalf("state = %s, want half-open", state)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// A failed probe re-opens immediately, no streak needed.
+	if !b.failure(true) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// Next cooldown, successful probe: closed again.
+	time.Sleep(40 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success(time.Millisecond)
+	if state, trips := b.snapshot(); state != "closed" || trips != 2 {
+		t.Fatalf("state = %s trips = %d, want closed with 2 trips", state, trips)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+// A non-tripworthy failure is evidence the member answered: it resets
+// the streak and closes a half-open breaker like a success would.
+func TestBreakerNonTripworthyFailureHeals(t *testing.T) {
+	b := newBreaker(2, 20*time.Millisecond)
+	b.failure(true)
+	b.failure(false)
+	if b.failure(true) {
+		t.Fatal("streak survived a non-tripworthy failure")
+	}
+	b.failure(true) // second strike: open
+	if b.allow() {
+		t.Fatal("breaker should be open")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.failure(false) // the probe reached the member and got an answer
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state = %s, want closed after a deterministic-answer probe", state)
+	}
+}
+
+// A member whose success p99 is a multiplicative outlier against its
+// peers is ejected even though every call succeeds — the gray failure
+// consecutive-error counting cannot see.
+func TestBreakerOutlierEjection(t *testing.T) {
+	addrs := []string{"127.0.0.1:11", "127.0.0.1:12", "127.0.0.1:13"}
+	c := New(addrs, Options{BreakerOutlierFactor: 3})
+	defer c.Close()
+
+	slow := c.member(addrs[0])
+	// Peers bank enough fast samples to form the fleet baseline.
+	for i := 0; i < outlierMinSamples; i++ {
+		c.noteLatency(c.member(addrs[1]), time.Millisecond)
+		c.noteLatency(c.member(addrs[2]), time.Millisecond)
+	}
+	for i := 0; i < outlierMinSamples; i++ {
+		c.noteLatency(slow, 100*time.Millisecond)
+	}
+	if state, _ := slow.brk.snapshot(); state != "open" {
+		t.Fatalf("outlier member state = %s, want open", state)
+	}
+	if c.Stats().BreakerTrips < 1 {
+		t.Error("ejection not counted in BreakerTrips")
+	}
+	healthy := c.member(addrs[1])
+	if state, _ := healthy.brk.snapshot(); state != "closed" {
+		t.Errorf("healthy peer state = %s, want closed", state)
+	}
+}
+
+// An open breaker reroutes keyed traffic: the dead member is skipped
+// without paying a dial failure once its breaker opens, and every call
+// still succeeds on the survivors.
+func TestBreakerSkipsDeadMember(t *testing.T) {
+	addrs, servers, calls := echoFleet(t, 3)
+	opts := testOpts()
+	opts.Resil.MaxAttempts = 1
+	opts.Resil.RetryBudget = resil.NewRetryBudget(0.1, 10)
+	opts.BreakerFailures = 3
+	opts.BreakerCooldown = time.Minute // no half-open probes mid-test
+	c := New(addrs, opts)
+	defer c.Close()
+
+	dead := addrs[0]
+	_ = servers[dead].Close()
+
+	// Find a key the dead member owns so every call has to fail over.
+	var rk []byte
+	for i := 0; i < 512; i++ {
+		k := RouteKey("breaker", fmt.Sprint(i))
+		if c.Ring().Ranked(k)[0] == dead {
+			rk = k
+			break
+		}
+	}
+	if rk == nil {
+		t.Fatal("no key routed to the dead member")
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.InvokeKeyed(context.Background(), rk, "echo", 0, nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.BreakerTrips < 1 {
+		t.Error("dead member's breaker never tripped")
+	}
+	if st.BreakerSkips < 1 {
+		t.Error("open breaker never skipped the dead member")
+	}
+	for _, m := range st.Members {
+		if m.Addr == dead {
+			if m.Breaker != "open" {
+				t.Errorf("dead member breaker = %s, want open", m.Breaker)
+			}
+			if calls[dead].Load() != 0 {
+				t.Errorf("dead member served %d calls", calls[dead].Load())
+			}
+		}
+	}
+	// Dial failures are connection-level: cluster failover must not have
+	// spent retry-budget tokens on them, so the budget is still full.
+	if !opts.Resil.RetryBudget.Withdraw() {
+		t.Error("connection-level failovers drained the retry budget")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/orb"
+	"repro/internal/resil"
 )
 
 // reservePort grabs an ephemeral port and frees it so a daemon can bind
@@ -223,5 +224,167 @@ func TestChaosClusterWarmRestart(t *testing.T) {
 	}
 	if warmHitsAfter <= warmHitsBefore {
 		t.Fatal("post-restart sweep recorded no warm hits")
+	}
+}
+
+// TestChaosStalledMemberBreakerAndBudget drives concurrent keyed load at
+// a 3-member fleet with one member wedged behind a stall proxy (alive,
+// glacially slow — the gray failure) and asserts the deadline/breaker
+// contract end to end:
+//
+//   - zero dropped requests: every call is served by a healthy member
+//     after the per-attempt deadline gives up on the stalled one;
+//   - the stalled member's breaker opens and subsequent traffic is
+//     skipped past it without paying a timeout first;
+//   - total attempts at the stalled member stay within the shared retry
+//     budget — a bounded trickle, not a retry storm;
+//   - the stalled member does zero work on behalf of callers that gave
+//     up: its handler never runs, and a budget-carrying request that
+//     finally trickles in is shed pre-dispatch on the server-side
+//     Expired counter.
+func TestChaosStalledMemberBreakerAndBudget(t *testing.T) {
+	// Three echo servers; the first sits behind a stall proxy that lets
+	// the 26-byte hello plus one request head through, then trickles.
+	var members []string
+	servers := make([]*orb.Server, 3)
+	calls := make([]*atomic.Int64, 3)
+	for i := range servers {
+		srv, err := orb.NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		n := &atomic.Int64{}
+		srv.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+			n.Add(1)
+			return body, nil
+		})
+		servers[i] = srv
+		calls[i] = n
+	}
+	proxy, err := chaos.New("127.0.0.1:0", servers[0].Addr(), chaos.Faults{
+		StallAfter:    48, // hello (26) + request head and budget (22)
+		StallInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proxy.Close() })
+	members = []string{proxy.Addr(), servers[1].Addr(), servers[2].Addr()}
+	stalled := members[0]
+
+	budget := resil.NewRetryBudget(0.1, 32)
+	c := New(members, Options{
+		Resil: resil.Options{
+			MaxAttempts: 1, // the cluster rank, not resil, owns failover here
+			DialTimeout: time.Second,
+			CallTimeout: 200 * time.Millisecond,
+			RetryBudget: budget,
+		},
+		BreakerFailures: 3,
+		BreakerCooldown: 400 * time.Millisecond,
+	})
+	defer c.Close()
+
+	// Pick keys with known owners so the load provably crosses the
+	// stalled member.
+	var stalledKeys, healthyKeys [][]byte
+	for i := 0; len(stalledKeys) < 4 || len(healthyKeys) < 4; i++ {
+		if i > 4096 {
+			t.Fatal("could not find keys for both owner classes")
+		}
+		rk := RouteKey("stall", fmt.Sprint(i))
+		if c.Ring().Ranked(rk)[0] == stalled {
+			stalledKeys = append(stalledKeys, rk)
+		} else {
+			healthyKeys = append(healthyKeys, rk)
+		}
+	}
+
+	const workers, perWorker = 3, 40
+	var clientErrs, successes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rk := healthyKeys[i%len(healthyKeys)]
+				if i%3 == 0 {
+					rk = stalledKeys[i%len(stalledKeys)]
+				}
+				if _, err := c.InvokeKeyed(context.Background(), rk, "echo", 0, []byte{byte(w), byte(i)}); err != nil {
+					t.Logf("worker %d call %d: %v", w, i, err)
+					clientErrs.Add(1)
+					continue
+				}
+				successes.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := clientErrs.Load(); n != 0 {
+		t.Fatalf("%d of %d requests dropped; spillover must cover a stalled member", n, workers*perWorker)
+	}
+	st := c.Stats()
+	if st.BreakerTrips < 1 {
+		t.Error("stalled member's breaker never tripped")
+	}
+	if st.BreakerSkips < 1 {
+		t.Error("open breaker never skipped the stalled member")
+	}
+	for _, m := range st.Members {
+		if m.Addr == stalled && m.Breaker == "closed" {
+			t.Errorf("stalled member breaker = %s, want open or half-open", m.Breaker)
+		}
+	}
+	// Every failover here paid the stalled member's deadline first, and
+	// each such duplicative failover bought a retry-budget token — so the
+	// failover count is exactly the attempt tax the stall extracted.
+	// Bounded two ways: the budget invariant (reserve + ratio·successes),
+	// and an absolute ceiling that a retry storm would blow through.
+	bound := int64(32) + successes.Load()/10
+	if st.Failovers > bound {
+		t.Errorf("failovers = %d exceed the retry budget bound %d", st.Failovers, bound)
+	}
+	if st.Failovers > 30 {
+		t.Errorf("failovers = %d; a tripped breaker should cap attempts near its threshold plus probes", st.Failovers)
+	}
+	if st.Failovers < 1 {
+		t.Error("no failovers recorded; the stalled member was never even tried")
+	}
+	if proxy.Stats().Stalls < 1 {
+		t.Error("stall fault never engaged")
+	}
+	if n := calls[0].Load(); n != 0 {
+		t.Errorf("stalled member ran %d handler calls for abandoned requests, want 0", n)
+	}
+
+	// Budget-shed proof: a patient client (no local deadline, explicit
+	// 150ms wire budget) keeps the connection open while its request
+	// trickles through the stall, so the server finally assembles the
+	// frame, sees the budget long spent, and sheds it pre-dispatch.
+	oc, err := orb.Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vctx, vcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if v := oc.AwaitVersion(vctx); v != 2 {
+		t.Fatalf("negotiated version %d through the stall proxy, want 2", v)
+	}
+	vcancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = oc.InvokeContext(orb.ContextWithBudget(context.Background(), 150*time.Millisecond), "echo", 0, nil)
+	}()
+	eventually(t, "pre-dispatch expired shed on the stalled member", func() bool {
+		return servers[0].Stats().Expired >= 1
+	})
+	_ = oc.Close()
+	<-done
+	if n := calls[0].Load(); n != 0 {
+		t.Errorf("stalled member did %d handler calls, want 0 — expired requests must be shed before work starts", n)
 	}
 }

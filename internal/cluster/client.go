@@ -34,6 +34,17 @@ type Options struct {
 	// DrainTimeout bounds the graceful drain of a departed member's pool
 	// (default 30s); past it the pool closes forcibly.
 	DrainTimeout time.Duration
+	// BreakerFailures is the consecutive transport-failure streak that
+	// opens a member's circuit breaker (default 5; negative disables
+	// breakers entirely).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// half-opening for a single probe (default 2s).
+	BreakerCooldown time.Duration
+	// BreakerOutlierFactor ejects a member whose success-latency p99
+	// exceeds this multiple of the median of its peers' p99s (default 3;
+	// negative disables outlier ejection).
+	BreakerOutlierFactor float64
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +57,21 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
 	}
+	if o.BreakerFailures == 0 {
+		o.BreakerFailures = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.BreakerOutlierFactor == 0 {
+		o.BreakerOutlierFactor = 3
+	}
+	// One retry budget spans every member pool (and the cluster-level
+	// failover loop), making the retry cap a fleet-wide invariant instead
+	// of a per-endpoint one.
+	if o.Resil.RetryBudget == nil {
+		o.Resil.RetryBudget = resil.NewRetryBudget(0, 0)
+	}
 	return o
 }
 
@@ -56,6 +82,7 @@ type member struct {
 	addr     string
 	pool     *resil.Client
 	inflight atomic.Int64
+	brk      *breaker // nil when breakers are disabled
 }
 
 // Client is a multi-endpoint broker client: requests route by
@@ -71,9 +98,11 @@ type Client struct {
 
 	ring atomic.Pointer[Ring]
 
-	spills     atomic.Int64
-	failovers  atomic.Int64
-	broadcasts atomic.Int64
+	spills       atomic.Int64
+	failovers    atomic.Int64
+	broadcasts   atomic.Int64
+	breakerTrips atomic.Int64
+	breakerSkips atomic.Int64
 }
 
 // New returns a Client over the given member addresses. Pools dial
@@ -112,8 +141,14 @@ func (c *Client) SetMembers(addrs []string) {
 	}
 	for addr := range keep {
 		if c.members[addr] == nil {
-			c.members[addr] = &member{addr: addr, pool: resil.New(addr, c.opts.Resil)}
+			m := &member{addr: addr, pool: resil.New(addr, c.opts.Resil)}
+			if c.opts.BreakerFailures > 0 {
+				m.brk = newBreaker(c.opts.BreakerFailures, c.opts.BreakerCooldown)
+			}
+			c.members[addr] = m
 		}
+		// Surviving members keep their member struct, so breaker state
+		// (and its latency window) persists across membership changes.
 	}
 	c.ring.Store(ring)
 	c.mu.Unlock()
@@ -154,7 +189,11 @@ func (c *Client) Close() error {
 type MemberStats struct {
 	Addr     string
 	InFlight int64
-	Pool     resil.Stats
+	// Breaker is the member's circuit state ("closed", "open",
+	// "half-open"); BreakerTrips counts how often it has opened.
+	Breaker      string
+	BreakerTrips int64
+	Pool         resil.Stats
 }
 
 // Stats is a point-in-time snapshot of the Client's counters.
@@ -165,18 +204,31 @@ type Stats struct {
 	// owner; Failovers counts attempts moved down the rank after a
 	// member failed; Broadcasts counts fan-out operations.
 	Spills, Failovers, Broadcasts int64
+	// BreakerTrips counts breaker openings across all members;
+	// BreakerSkips counts ranked members passed over because their
+	// breaker was open.
+	BreakerTrips, BreakerSkips int64
 }
 
 // Stats returns a snapshot of the Client's counters.
 func (c *Client) Stats() Stats {
 	st := Stats{
-		Spills:     c.spills.Load(),
-		Failovers:  c.failovers.Load(),
-		Broadcasts: c.broadcasts.Load(),
+		Spills:       c.spills.Load(),
+		Failovers:    c.failovers.Load(),
+		Broadcasts:   c.broadcasts.Load(),
+		BreakerTrips: c.breakerTrips.Load(),
+		BreakerSkips: c.breakerSkips.Load(),
 	}
 	c.mu.Lock()
 	for _, m := range c.members {
-		st.Members = append(st.Members, MemberStats{Addr: m.addr, InFlight: m.inflight.Load(), Pool: m.pool.Stats()})
+		state, trips := m.brk.snapshot()
+		st.Members = append(st.Members, MemberStats{
+			Addr:         m.addr,
+			InFlight:     m.inflight.Load(),
+			Breaker:      state,
+			BreakerTrips: trips,
+			Pool:         m.pool.Stats(),
+		})
 	}
 	c.mu.Unlock()
 	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].Addr < st.Members[j].Addr })
@@ -201,7 +253,7 @@ func failover(err error) bool {
 	if errors.Is(err, orb.ErrOverloaded) {
 		return true
 	}
-	if errors.Is(err, orb.ErrDeadline) || errors.Is(err, orb.ErrCanceled) {
+	if errors.Is(err, orb.ErrExpired) || errors.Is(err, orb.ErrDeadline) || errors.Is(err, orb.ErrCanceled) {
 		return false // the call's own budget is spent
 	}
 	var re *orb.RemoteError
@@ -217,10 +269,14 @@ func failover(err error) bool {
 // InvokeKeyed performs one fleet call routed by rk. The owner serves it
 // unless its in-flight load exceeds the least loaded replica's by more
 // than SpillInflight, in which case the request spills to that replica
-// (still inside the warm replica set). Unreachable or unable members
-// fail the request over to the next ranked member — beyond the replica
-// set if necessary — so a single dead daemon costs latency, not errors.
-// A nil rk routes to the least loaded member (for keyless ops).
+// (still inside the warm replica set). Members whose circuit breaker is
+// open are skipped outright, so their traffic spills down the rank
+// without paying a timeout first. Unreachable or unable members fail
+// the request over to the next ranked member — beyond the replica set
+// if necessary — so a single dead daemon costs latency, not errors.
+// Failovers that may duplicate load on a struggling member (overload
+// sheds, timeouts) each buy a token from the shared retry budget. A nil
+// rk routes to the least loaded member (for keyless ops).
 func (c *Client) InvokeKeyed(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error) {
 	ring := c.ring.Load()
 	if ring.Len() == 0 {
@@ -234,26 +290,89 @@ func (c *Client) InvokeKeyed(ctx context.Context, rk []byte, key string, op uint
 		c.applySpill(order)
 	}
 	var lastErr error
-	for i, addr := range order {
+	attempts := 0
+	for _, addr := range order {
 		m := c.member(addr)
 		if m == nil {
 			continue // raced SetMembers; the ring will catch up
 		}
-		if i > 0 {
-			c.failovers.Add(1)
+		if !m.brk.allow() {
+			c.breakerSkips.Add(1)
+			continue
 		}
-		m.inflight.Add(1)
-		reply, err := m.pool.InvokeContext(ctx, key, op, body)
-		m.inflight.Add(-1)
+		reply, err := c.attemptMember(ctx, m, &attempts, key, op, body)
 		if err == nil {
 			return reply, nil
 		}
 		lastErr = err
-		if !failover(err) {
+		if !c.shouldFailover(ctx, err) {
 			return nil, err
 		}
+		if duplicative(err) && !c.opts.Resil.RetryBudget.Withdraw() {
+			return nil, fmt.Errorf("%w: abandoning cluster failover after: %w", resil.ErrRetryBudget, err)
+		}
+	}
+	if attempts == 0 && lastErr == nil {
+		// Every member's breaker refused the request: the whole fleet is
+		// tripped. Fail static — force one attempt on the best ranked
+		// member rather than turning a fully tripped fleet into a
+		// guaranteed outage; if that member has healed, this is the
+		// probe that proves it.
+		for _, addr := range order {
+			m := c.member(addr)
+			if m == nil {
+				continue
+			}
+			reply, err := c.attemptMember(ctx, m, &attempts, key, op, body)
+			if err != nil {
+				return nil, err
+			}
+			return reply, nil
+		}
+		return nil, ErrNoMembers
 	}
 	return nil, fmt.Errorf("cluster: all %d members failed: %w", len(order), lastErr)
+}
+
+// attemptMember sends one attempt to m, maintaining the in-flight
+// gauge, the failover counter, and the member's breaker bookkeeping.
+func (c *Client) attemptMember(ctx context.Context, m *member, attempts *int, key string, op uint32, body []byte) ([]byte, error) {
+	*attempts++
+	if *attempts > 1 {
+		c.failovers.Add(1)
+	}
+	m.inflight.Add(1)
+	start := time.Now()
+	reply, err := m.pool.InvokeContext(ctx, key, op, body)
+	m.inflight.Add(-1)
+	if err == nil {
+		c.noteLatency(m, time.Since(start))
+		return reply, nil
+	}
+	if m.brk.failure(tripworthy(err)) {
+		c.breakerTrips.Add(1)
+	}
+	return nil, err
+}
+
+// shouldFailover extends failover()'s pure classification with the
+// caller's clock: resil's per-attempt CallTimeout firing while the
+// caller's own context still has time means a stalled member, not a
+// spent budget, so the next ranked member gets the request.
+func (c *Client) shouldFailover(ctx context.Context, err error) bool {
+	if failover(err) {
+		return true
+	}
+	return errors.Is(err, orb.ErrDeadline) && !errors.Is(err, orb.ErrExpired) && ctx.Err() == nil
+}
+
+// duplicative reports whether a failed attempt may have left work
+// running on the member — overload sheds and timeouts, where the
+// request was received — so failing over duplicates load and must buy a
+// token from the shared retry budget. Connection-level failures never
+// reached a server and fail over for free.
+func duplicative(err error) bool {
+	return errors.Is(err, orb.ErrOverloaded) || errors.Is(err, orb.ErrDeadline)
 }
 
 // applySpill reorders the head of a ranked member list: when the owner

@@ -27,7 +27,7 @@ func echoFleet(t *testing.T, n int) (addrs []string, servers map[string]*orb.Ser
 		t.Cleanup(func() { _ = srv.Close() })
 		addr := srv.Addr()
 		c := &atomic.Int64{}
-		srv.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		srv.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 			c.Add(1)
 			return []byte(addr), nil
 		})
@@ -97,7 +97,7 @@ func TestClusterClientNoFailoverOnRemoteError(t *testing.T) {
 	addrs, servers, calls := echoFleet(t, 3)
 	rk := RouteKey("erroring", "pair")
 	owner := NewRing(addrs).Owner(rk)
-	servers[owner].Register("echo", func(op uint32, body []byte) ([]byte, error) {
+	servers[owner].Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		calls[owner].Add(1)
 		return nil, errors.New("boom: bad request")
 	})
@@ -121,7 +121,7 @@ func TestClusterClientFailoverOnMissingUniverse(t *testing.T) {
 	addrs, servers, _ := echoFleet(t, 3)
 	rk := RouteKey("amnesiac", "pair")
 	owner := NewRing(addrs).Owner(rk)
-	servers[owner].Register("echo", func(op uint32, body []byte) ([]byte, error) {
+	servers[owner].Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return nil, errors.New(`core: no universe "u42"`)
 	})
 

@@ -466,8 +466,11 @@ func (n *Node) listFrom(ctx context.Context, addr string) ([]broker.LoadRecord, 
 	return recs, entries, nil
 }
 
-// Status snapshots the node's warm-protocol counters.
+// Status snapshots the node's warm-protocol counters, plus the serving
+// broker's deadline counters so `mbird cluster status` shows where
+// budget expiries land across the fleet.
 func (n *Node) Status() NodeStatus {
+	h := n.b.Health()
 	return NodeStatus{
 		Self:        n.self,
 		Members:     n.Members(),
@@ -479,6 +482,8 @@ func (n *Node) Status() NodeStatus {
 		PullsServed: n.pullsServed.Load(),
 		ListsServed: n.listsServed.Load(),
 		Synced:      n.synced.Load(),
+		Expired:     h.Expired,
+		Canceled:    h.Canceled,
 	}
 }
 
@@ -488,7 +493,7 @@ func (n *Node) Status() NodeStatus {
 // its own small admission gate so peer traffic cannot crowd out the
 // client-facing data plane.
 func (n *Node) Handler() orb.Handler {
-	return func(op uint32, body []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		select {
 		case n.admit <- struct{}{}:
 			defer func() { <-n.admit }()
@@ -561,7 +566,8 @@ func (n *Node) Handler() orb.Handler {
 			return wire.Marshal(statusT, value.NewRecord(
 				proto.Str(st.Self), value.FromSlice(members),
 				proto.Int(st.PullsSent), proto.Int(st.PushesSent), proto.Int(st.PushErrs), proto.Int(st.PushDrops),
-				proto.Int(st.PushesRecv), proto.Int(st.PullsServed), proto.Int(st.ListsServed), proto.Int(st.Synced)))
+				proto.Int(st.PushesRecv), proto.Int(st.PullsServed), proto.Int(st.ListsServed), proto.Int(st.Synced),
+				proto.Int(st.Expired), proto.Int(st.Canceled)))
 
 		default:
 			return nil, fmt.Errorf("cluster: unknown peer op %d", op)
@@ -586,7 +592,7 @@ func FetchStatus(ctx context.Context, t statusTransport) (NodeStatus, error) {
 		return NodeStatus{}, err
 	}
 	rec, ok := v.(value.Record)
-	if !ok || len(rec.Fields) != 10 {
+	if !ok || len(rec.Fields) != 12 {
 		return NodeStatus{}, fmt.Errorf("cluster: malformed status reply: %v", v)
 	}
 	var st NodeStatus
@@ -606,5 +612,6 @@ func FetchStatus(ctx context.Context, t statusTransport) (NodeStatus, error) {
 	r := proto.NewInts(v)
 	st.PullsSent, st.PushesSent, st.PushErrs, st.PushDrops = r.Get(2), r.Get(3), r.Get(4), r.Get(5)
 	st.PushesRecv, st.PullsServed, st.ListsServed, st.Synced = r.Get(6), r.Get(7), r.Get(8), r.Get(9)
+	st.Expired, st.Canceled = r.Get(10), r.Get(11)
 	return st, r.Err()
 }

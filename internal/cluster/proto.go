@@ -54,6 +54,7 @@ var (
 		proto.StrT, mtype.NewList(proto.StrT), // self, members
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // pullsSent, pushesSent, pushErrs, pushDrops
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // pushesRecv, pullsServed, listsServed, synced
+		proto.IntT, proto.IntT, // expired, canceled
 	)
 )
 
@@ -166,4 +167,9 @@ type NodeStatus struct {
 	PushesRecv, PullsServed, ListsServed int64
 	// Synced counts entries warmed by SyncFromPeers at startup.
 	Synced int64
+	// Expired counts requests the daemon's orb server shed or abandoned
+	// because the caller's propagated deadline budget was spent; Canceled
+	// counts in-flight requests aborted by client cancel frames. Both
+	// come from the serving broker's health snapshot.
+	Expired, Canceled int64
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mtype"
@@ -38,7 +39,7 @@ func (s *Session) ExportCall(srv *orb.Server, key, universe, decl string, target
 	}
 	dec := wire.NewDecoder(req)
 	enc := wire.NewEncoder(rep)
-	srv.Register(key, func(op uint32, body []byte) ([]byte, error) {
+	srv.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		inputs, err := dec.Unmarshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("unmarshal request: %w", err)
@@ -91,7 +92,7 @@ func (s *Session) ExportMessageSink(srv *orb.Server, key, universe, decl string,
 		return err
 	}
 	dec := wire.NewDecoder(mt)
-	srv.Register(key, func(op uint32, body []byte) ([]byte, error) {
+	srv.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		msg, err := dec.Unmarshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("unmarshal message: %w", err)

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func BenchmarkGatewayVsDirect(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { _ = s.Close() })
-		s.Register(key, func(op uint32, body []byte) ([]byte, error) { return body, nil })
+		s.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 		return s
 	}
 	dial := func(b *testing.B, addr string) *orb.Client {

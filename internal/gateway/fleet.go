@@ -19,21 +19,23 @@ import (
 
 // upstreamLink is one route's forwarding leg: a single pooled endpoint
 // or a fleet. rk is the route's content-derived route key (ignored by
-// single endpoints).
+// single endpoints). ctx is the relayed request's context: its remaining
+// budget re-encodes onto the upstream leg and its cancellation aborts
+// the leg (forwarded upstream as a cancel frame).
 type upstreamLink interface {
-	invoke(rk []byte, key string, op uint32, body []byte) ([]byte, error)
+	invoke(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error)
 }
 
 type singleUpstream struct{ p *resil.Client }
 
-func (s singleUpstream) invoke(_ []byte, key string, op uint32, body []byte) ([]byte, error) {
-	return s.p.Invoke(key, op, body)
+func (s singleUpstream) invoke(ctx context.Context, _ []byte, key string, op uint32, body []byte) ([]byte, error) {
+	return s.p.InvokeContext(ctx, key, op, body)
 }
 
 type fleetUpstream struct{ c *cluster.Client }
 
-func (f fleetUpstream) invoke(rk []byte, key string, op uint32, body []byte) ([]byte, error) {
-	return f.c.InvokeKeyed(context.Background(), rk, key, op, body)
+func (f fleetUpstream) invoke(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error) {
+	return f.c.InvokeKeyed(ctx, rk, key, op, body)
 }
 
 // splitUpstream parses an upstream address field: one address, or a

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func echoTrio(t *testing.T) (addrs []string, servers map[string]*orb.Server) {
 		}
 		t.Cleanup(func() { _ = srv.Close() })
 		addr := srv.Addr()
-		srv.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+		srv.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 			return []byte(addr), nil
 		})
 		addrs = append(addrs, addr)

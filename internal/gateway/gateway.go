@@ -32,6 +32,7 @@
 package gateway
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -206,6 +207,8 @@ type Gateway struct {
 
 	inFlight        atomic.Int64
 	sheds           atomic.Int64
+	expired         atomic.Int64
+	canceled        atomic.Int64
 	laneCompiles    atomic.Int64
 	laneUnsupported atomic.Int64
 	laneHits        atomic.Int64
@@ -528,19 +531,26 @@ func (g *Gateway) checkBudget(dir string, n int) error {
 // orb server (the upstream leg is still request/reply, so ordering and
 // backpressure hold).
 func (g *Gateway) frontHandler(key string) orb.Handler {
-	return func(op uint32, body []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		r := g.tab.Load().lookup(key, op)
 		if r == nil {
 			return nil, fmt.Errorf("gateway: no route for object %q op %d", key, op)
 		}
-		return g.relay(r, body)
+		return g.relay(ctx, r, body)
 	}
 }
 
 // relay serves one routed call: admit, budget-check, transcode the
 // request lane, forward upstream through the resilient pool, budget-
 // check and transcode the reply lane.
-func (g *Gateway) relay(r *route, body []byte) ([]byte, error) {
+//
+// ctx carries the client's propagated deadline budget: the upstream leg
+// re-encodes the *remaining* time at send, so the budget the next hop
+// sees is already decremented by the gateway's own admission, transcode,
+// and queuing overhead. It is also canceled when the client disconnects
+// or sends a cancel frame, which the orb client layer forwards upstream
+// as a cancel frame of its own.
+func (g *Gateway) relay(ctx context.Context, r *route, body []byte) ([]byte, error) {
 	r.c.requests.Add(1)
 	release, err := g.admitRequest(r.c)
 	if err != nil {
@@ -560,11 +570,28 @@ func (g *Gateway) relay(r *route, body []byte) ([]byte, error) {
 			return nil, fmt.Errorf("gateway: request transcode: %w", err)
 		}
 	}
-	reply, err := r.up.invoke(r.rk, r.upKey, r.upOp, out)
+	reply, err := r.up.invoke(ctx, r.rk, r.upKey, r.upOp, out)
 	if err != nil {
 		r.c.upstreamErrs.Add(1)
-		// Typed orb errors (Overloaded, ServerPanic) survive the error
-		// frame back to the client; everything else degrades to a
+		switch {
+		case errors.Is(err, orb.ErrExpired):
+			// The upstream shed (or abandoned) the call because the
+			// propagated budget was spent; keep the typed expiry intact.
+			g.expired.Add(1)
+		case ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+			// Our own budget-derived deadline ran out while the leg was in
+			// flight: the caller's clock expired, so answer with the typed
+			// expiry instead of a generic upstream failure.
+			g.expired.Add(1)
+			return nil, fmt.Errorf("%w: budget spent relaying via %s: %v", orb.ErrExpired, r.upAddr, err)
+		case ctx.Err() != nil:
+			// The client canceled or disconnected mid-relay; the upstream
+			// leg was already aborted via a forwarded cancel frame.
+			g.canceled.Add(1)
+			return nil, fmt.Errorf("%w: caller went away relaying via %s", orb.ErrCanceled, r.upAddr)
+		}
+		// Typed orb errors (Overloaded, ServerPanic, Expired) survive the
+		// error frame back to the client; everything else degrades to a
 		// remote error carrying this message.
 		return nil, fmt.Errorf("gateway: upstream %s: %w", r.upAddr, err)
 	}
@@ -623,6 +650,10 @@ type UpstreamStats struct {
 	Conns int
 	Dials, Discards, Retries,
 	Overloads, Hedges, HedgeWins int64
+	// BudgetExhausted counts retries and hedges the pool wanted but the
+	// shared retry budget refused; BreakerTrips counts circuit-breaker
+	// openings (fleet members only — single pools have no breaker).
+	BudgetExhausted, BreakerTrips int64
 }
 
 // Stats is a point-in-time snapshot of the gateway's counters.
@@ -640,6 +671,10 @@ type Stats struct {
 	InFlight int64
 	// Sheds counts admission sheds across all routes.
 	Sheds int64
+	// Expired counts relays abandoned because the client's propagated
+	// time budget was spent (shed upstream or mid-relay); Canceled counts
+	// relays aborted because the client canceled or disconnected.
+	Expired, Canceled int64
 }
 
 // Stats returns a snapshot of the gateway's counters.
@@ -650,6 +685,8 @@ func (g *Gateway) Stats() Stats {
 		LaneReuses:      g.laneHits.Load(),
 		InFlight:        g.inFlight.Load(),
 		Sheds:           g.sheds.Load(),
+		Expired:         g.expired.Load(),
+		Canceled:        g.canceled.Load(),
 	}
 	tab := g.tab.Load()
 	for _, ops := range tab.routes {
@@ -675,6 +712,7 @@ func (g *Gateway) Stats() Stats {
 			Addr: addr, Conns: ps.Conns, Dials: ps.Dials, Discards: ps.Discards,
 			Retries: ps.Retries, Overloads: ps.Overloads,
 			Hedges: ps.Hedges, HedgeWins: ps.HedgeWins,
+			BudgetExhausted: ps.BudgetExhausted,
 		})
 	}
 	// Fleet members report individually, so the existing stats schema
@@ -686,6 +724,7 @@ func (g *Gateway) Stats() Stats {
 				Addr: m.Addr, Conns: ps.Conns, Dials: ps.Dials, Discards: ps.Discards,
 				Retries: ps.Retries, Overloads: ps.Overloads,
 				Hedges: ps.Hedges, HedgeWins: ps.HedgeWins,
+				BudgetExhausted: ps.BudgetExhausted, BreakerTrips: m.BreakerTrips,
 			})
 		}
 	}
@@ -714,6 +753,11 @@ type Health struct {
 	// Sheds counts admission sheds; ConnSheds and Panics come from the
 	// serving orb server.
 	Sheds, ConnSheds, Panics int64
+	// Expired counts budget-expired requests: sheds before dispatch at
+	// this hop's own listener plus relays whose budget ran out in flight.
+	// Canceled counts requests aborted by client cancel frames or
+	// disconnects, at the listener or mid-relay.
+	Expired, Canceled int64
 	// Routes is the number of live table entries; Lanes the number of
 	// cached compiled lanes.
 	Routes, Lanes int
@@ -732,10 +776,14 @@ func (g *Gateway) Health() Health {
 	g.mu.Lock()
 	h.Lanes = len(g.lanes)
 	g.mu.Unlock()
+	h.Expired = g.expired.Load()
+	h.Canceled = g.canceled.Load()
 	if srv := g.srv.Load(); srv != nil {
 		st := srv.Stats()
 		h.ConnSheds = st.Shed
 		h.Panics = st.Panics
+		h.Expired += st.Expired
+		h.Canceled += st.Canceled
 		h.Ready = !srv.Draining()
 	}
 	return h

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -51,7 +52,7 @@ func upstreamEcho(t *testing.T, key string, ty *mtype.Type) *orb.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
-	s.Register(key, func(op uint32, body []byte) ([]byte, error) {
+	s.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if _, err := wire.Unmarshal(ty, body); err != nil {
 			return nil, fmt.Errorf("upstream got bytes it cannot decode: %w", err)
 		}
@@ -282,7 +283,7 @@ func TestPassthroughRoute(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = up.Close() })
-	up.Register("raw", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	up.Register("raw", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	cfg := &Config{
 		Upstream: up.Addr(),
@@ -312,7 +313,7 @@ func TestRouteRewrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = up.Close() })
-	up.Register("v2", func(op uint32, body []byte) ([]byte, error) {
+	up.Register("v2", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if op != 42 {
 			return nil, fmt.Errorf("upstream saw op %d", op)
 		}
@@ -346,7 +347,7 @@ func TestHotReload(t *testing.T) {
 	mtB := lowerDecl(t, pairDecl())
 	up := upstreamEcho(t, "svc", mtB)
 	for _, k := range []string{"old", "new"} {
-		up.Register(k, func(op uint32, body []byte) ([]byte, error) { return body, nil })
+		up.Register(k, func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 	}
 
 	mkCfg := func(extraKey string) *Config {
@@ -422,7 +423,7 @@ func TestReloadFailureKeepsTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = up.Close() })
-	up.Register("raw", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	up.Register("raw", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	cfg := &Config{Upstream: up.Addr(), Routes: []RouteConfig{{Key: "raw", Op: 0}}}
 	g, srv := startGateway(t, cfg, Options{})
@@ -456,7 +457,7 @@ func TestBudgetAndAdmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = up.Close() })
-	up.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	up.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		<-release
 		return body, nil
 	})

@@ -25,13 +25,15 @@ const AdminKey = "mbird.gateway"
 // Admin ops.
 const (
 	// OpHealth: empty → Record(ready, inFlight, maxInFlight, sheds,
-	// connSheds, panics, routes, lanes). Served without admission
-	// control so it answers while the data plane is saturated.
+	// connSheds, panics, expired, canceled, routes, lanes). Served
+	// without admission control so it answers while the data plane is
+	// saturated.
 	OpHealth uint32 = iota + 1
 	// OpStats: empty → Record(List(route record), List(upstream record),
-	// laneCompiles, laneUnsupported, laneReuses, inFlight, sheds). A
-	// route record is Record(name ++ 8 counters); an upstream record is
-	// Record(addr ++ 7 counters). See routeStatT / upstreamStatT.
+	// laneCompiles, laneUnsupported, laneReuses, inFlight, sheds,
+	// expired, canceled). A route record is Record(name ++ 8 counters);
+	// an upstream record is Record(addr ++ 9 counters). See routeStatT /
+	// upstreamStatT.
 	OpStats
 	// OpReload: empty → Record(routes). Re-reads the route table through
 	// the configured reloader and swaps it in; the reply carries the new
@@ -43,7 +45,8 @@ const (
 var (
 	healthT = proto.Record(
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds
-		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // connSheds, panics, routes, lanes
+		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // connSheds, panics, expired, canceled
+		proto.IntT, proto.IntT, // routes, lanes
 	)
 	routeStatT = proto.Record(
 		proto.StrT,                                     // name
@@ -54,11 +57,13 @@ var (
 		proto.StrT,                                     // addr
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // conns, dials, discards, retries
 		proto.IntT, proto.IntT, proto.IntT, // overloads, hedges, hedgeWins
+		proto.IntT, proto.IntT, // budgetExhausted, breakerTrips
 	)
 	statsT = proto.Record(
 		mtype.NewList(routeStatT),
 		mtype.NewList(upstreamStatT),
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // laneCompiles, laneUnsupported, laneReuses, inFlight, sheds
+		proto.IntT, proto.IntT, // expired, canceled
 	)
 	reloadT = proto.Record(proto.IntT)
 )
@@ -67,7 +72,7 @@ var (
 // reads; reload takes the control-plane lock but never blocks the data
 // plane (the table swap is atomic).
 func (g *Gateway) adminHandler() orb.Handler {
-	return func(op uint32, body []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		switch op {
 		case OpHealth:
 			h := g.Health()
@@ -78,6 +83,7 @@ func (g *Gateway) adminHandler() orb.Handler {
 			return wire.Marshal(healthT, value.NewRecord(
 				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
 				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
+				proto.Int(h.Expired), proto.Int(h.Canceled),
 				proto.Int(int64(h.Routes)), proto.Int(int64(h.Lanes))))
 
 		case OpStats:
@@ -95,12 +101,14 @@ func (g *Gateway) adminHandler() orb.Handler {
 				ups[i] = value.NewRecord(
 					proto.Str(u.Addr),
 					proto.Int(int64(u.Conns)), proto.Int(u.Dials), proto.Int(u.Discards), proto.Int(u.Retries),
-					proto.Int(u.Overloads), proto.Int(u.Hedges), proto.Int(u.HedgeWins))
+					proto.Int(u.Overloads), proto.Int(u.Hedges), proto.Int(u.HedgeWins),
+					proto.Int(u.BudgetExhausted), proto.Int(u.BreakerTrips))
 			}
 			return wire.Marshal(statsT, value.NewRecord(
 				value.FromSlice(routes), value.FromSlice(ups),
 				proto.Int(st.LaneCompiles), proto.Int(st.LaneUnsupported), proto.Int(st.LaneReuses),
-				proto.Int(st.InFlight), proto.Int(st.Sheds)))
+				proto.Int(st.InFlight), proto.Int(st.Sheds),
+				proto.Int(st.Expired), proto.Int(st.Canceled)))
 
 		case OpReload:
 			n, err := g.Reload()
@@ -176,8 +184,10 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		Sheds:       r.Get(3),
 		ConnSheds:   r.Get(4),
 		Panics:      r.Get(5),
-		Routes:      int(r.Get(6)),
-		Lanes:       int(r.Get(7)),
+		Expired:     r.Get(6),
+		Canceled:    r.Get(7),
+		Routes:      int(r.Get(8)),
+		Lanes:       int(r.Get(9)),
 	}
 	return h, r.Err()
 }
@@ -198,7 +208,7 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	rec, ok := v.(value.Record)
-	if !ok || len(rec.Fields) != 7 {
+	if !ok || len(rec.Fields) != 9 {
 		return Stats{}, fmt.Errorf("gateway: malformed stats reply: %v", v)
 	}
 	var st Stats
@@ -237,7 +247,7 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 	}
 	for _, uv := range ups {
 		ur, ok := uv.(value.Record)
-		if !ok || len(ur.Fields) != 8 {
+		if !ok || len(ur.Fields) != 10 {
 			return Stats{}, fmt.Errorf("gateway: malformed upstream record: %v", uv)
 		}
 		addr, err := proto.GoStr(ur.Fields[0])
@@ -246,14 +256,16 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 		}
 		c := proto.NewInts(uv)
 		st.Upstreams = append(st.Upstreams, UpstreamStats{
-			Addr:      addr,
-			Conns:     int(c.Get(1)),
-			Dials:     c.Get(2),
-			Discards:  c.Get(3),
-			Retries:   c.Get(4),
-			Overloads: c.Get(5),
-			Hedges:    c.Get(6),
-			HedgeWins: c.Get(7),
+			Addr:            addr,
+			Conns:           int(c.Get(1)),
+			Dials:           c.Get(2),
+			Discards:        c.Get(3),
+			Retries:         c.Get(4),
+			Overloads:       c.Get(5),
+			Hedges:          c.Get(6),
+			HedgeWins:       c.Get(7),
+			BudgetExhausted: c.Get(8),
+			BreakerTrips:    c.Get(9),
 		})
 		if err := c.Err(); err != nil {
 			return Stats{}, err
@@ -265,6 +277,8 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 	st.LaneReuses = g.Get(4)
 	st.InFlight = g.Get(5)
 	st.Sheds = g.Get(6)
+	st.Expired = g.Get(7)
+	st.Canceled = g.Get(8)
 	return st, g.Err()
 }
 

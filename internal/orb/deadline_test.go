@@ -1,0 +1,274 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// awaitV2 blocks until the client has seen the server's hello, failing
+// the test if negotiation does not settle on version 2.
+func awaitV2(t *testing.T, c *Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if v := c.AwaitVersion(ctx); v != 2 {
+		t.Fatalf("negotiated version %d, want 2", v)
+	}
+}
+
+// Both endpoints at the build maximum: the hello upgrades the client to
+// v2 and a context deadline travels as a wire budget the handler can see
+// as its own context deadline.
+func TestNegotiationV2BudgetReachesHandler(t *testing.T) {
+	s := startServer(t)
+	deadlines := make(chan time.Duration, 1)
+	s.Register("probe", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		d, ok := ctx.Deadline()
+		if !ok {
+			deadlines <- 0
+		} else {
+			deadlines <- time.Until(d)
+		}
+		return body, nil
+	})
+	c := dial(t, s)
+	awaitV2(t, c)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 750*time.Millisecond)
+	defer cancel()
+	if _, err := c.InvokeContext(ctx, "probe", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rem := <-deadlines
+	if rem <= 0 || rem > 750*time.Millisecond {
+		t.Errorf("handler saw %v of budget, want (0, 750ms]", rem)
+	}
+}
+
+// A v1-pinned server against a default client: no hello ever arrives, so
+// the client stays on v1 frames, calls succeed, and the budget is simply
+// absent — the handler's context carries no deadline even though the
+// caller's does.
+func TestNegotiationV1ServerInterop(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", WithMaxProtoVersion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	hasDeadline := make(chan bool, 1)
+	s.Register("probe", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		_, ok := ctx.Deadline()
+		hasDeadline <- ok
+		return body, nil
+	})
+	c := dial(t, s)
+
+	// No hello ever arrives from a v1 server, so the bounded wait itself
+	// is the negotiation outcome.
+	wctx, wcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer wcancel()
+	if v := c.AwaitVersion(wctx); v != 1 {
+		t.Fatalf("negotiated version %d against a v1 server, want 1", v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	reply, err := c.InvokeContext(ctx, "probe", 3, []byte("v1 wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, []byte("v1 wire")) {
+		t.Errorf("reply = %q", reply)
+	}
+	if <-hasDeadline {
+		t.Error("handler saw a deadline on a v1 connection; budgets must be absent")
+	}
+}
+
+// A v1-pinned client against a v2 server: the hello is parsed and
+// discarded without upgrading, requests stay v1-framed, and interop is
+// clean in this direction too.
+func TestNegotiationV1ClientInterop(t *testing.T) {
+	s := startServer(t)
+	hasDeadline := make(chan bool, 1)
+	s.Register("probe", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		_, ok := ctx.Deadline()
+		hasDeadline <- ok
+		return body, nil
+	})
+	c, err := Dial(s.Addr(), WithMaxProtoVersion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.AwaitVersion(ctx)
+	if v := c.ProtoVersion(); v != 1 {
+		t.Fatalf("v1-pinned client negotiated version %d, want 1", v)
+	}
+	reply, err := c.InvokeContext(ctx, "probe", 0, []byte("pinned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, []byte("pinned")) {
+		t.Errorf("reply = %q", reply)
+	}
+	if <-hasDeadline {
+		t.Error("handler saw a deadline from a v1-pinned client")
+	}
+}
+
+// Abandoning a call sends a cancel frame: the server aborts exactly that
+// request (the handler's context fires) and counts it.
+func TestCancelFrameAbortsHandler(t *testing.T) {
+	s := startServer(t)
+	started := make(chan struct{})
+	aborted := make(chan error, 1)
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			aborted <- ctx.Err()
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("handler never saw the cancellation")
+		}
+	})
+	c := dial(t, s)
+	awaitV2(t, c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.InvokeContext(ctx, "slow", 0, nil)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("client error = %v, want ErrCanceled", err)
+	}
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("handler context error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never observed the cancel frame")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server Canceled = %d, want ≥ 1", s.Stats().Canceled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A request whose body trickles in past its own budget is shed before
+// dispatch: the handler never runs, the Expired counter proves it, and
+// the error frame carries the typed expiry code.
+func TestExpiredShedBeforeDispatch(t *testing.T) {
+	s := startServer(t)
+	ran := make(chan struct{}, 1)
+	s.Register("work", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		ran <- struct{}{}
+		return nil, nil
+	})
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	lim := Limits{}.withDefaults()
+	// Consume the server's hello first.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	hello, err := readFrame(conn, lim)
+	if err != nil || hello.kind != kindHello {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+
+	// Encode a v2 request with a 20ms budget, then deliver it torn: the
+	// fixed header (which anchors the budget clock) immediately, the rest
+	// only after the budget is long spent.
+	var buf bytes.Buffer
+	req := frame{ver: 2, kind: kindRequest, id: 1, key: "work", op: 0, budget: 20}
+	if err := writeFrame(&buf, req, lim); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	const headLen = 18 + 4 // fixed head + budget field
+	if _, err := conn.Write(raw[:headLen]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if _, err := conn.Write(raw[headLen:]); err != nil {
+		t.Fatal(err)
+	}
+
+	reply, err := readFrame(conn, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.kind != kindError || reply.op != codeErrExpired {
+		t.Fatalf("reply kind=%d op=%d, want expired error frame", reply.kind, reply.op)
+	}
+	if !errors.Is(errFromFrame(reply), ErrExpired) {
+		t.Errorf("decoded error = %v, want ErrExpired", errFromFrame(reply))
+	}
+	if got := s.Stats().Expired; got != 1 {
+		t.Errorf("server Expired = %d, want 1", got)
+	}
+	select {
+	case <-ran:
+		t.Fatal("handler ran for a request that was already expired")
+	default:
+	}
+}
+
+// A handler that gives up when the budget-derived deadline fires
+// surfaces to the caller as the typed expiry, not a generic remote
+// error: the service was healthy, the caller's clock ran out.
+func TestExpiredMidHandler(t *testing.T) {
+	s := startServer(t)
+	s.Register("sleepy", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("budget deadline never fired")
+		}
+	})
+	c := dial(t, s)
+	awaitV2(t, c)
+
+	// Explicit wire budget, no local deadline: the client is willing to
+	// wait for the server's verdict, so the typed expiry must come from
+	// the server, proving the budget → handler-context derivation.
+	ctx := ContextWithBudget(context.Background(), 50*time.Millisecond)
+	_, err := c.InvokeContext(ctx, "sleepy", 0, nil)
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+// An explicit ContextWithBudget value overrides the context's own
+// deadline as the wire budget, which is how `mbird remote -budget` gives
+// downstream hops less time than it waits locally.
+func TestExplicitBudgetOverridesDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if ms := budgetMillis(ctx); ms < 59*60*1000 {
+		t.Fatalf("deadline-derived budget = %dms", ms)
+	}
+	ctx = ContextWithBudget(ctx, 250*time.Millisecond)
+	if ms := budgetMillis(ctx); ms != 250 {
+		t.Fatalf("explicit budget = %dms, want 250", ms)
+	}
+}

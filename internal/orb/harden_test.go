@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -14,7 +15,7 @@ import (
 // request on the same connection must succeed.
 func TestHandlerPanicIsolated(t *testing.T) {
 	s := startServer(t)
-	s.Register("svc", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("svc", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if op == 1 {
 			panic("injected failure")
 		}
@@ -47,13 +48,13 @@ func TestHandlerPanicIsolated(t *testing.T) {
 // TestCallRecoversPanic covers the bare helper used by servers that
 // dispatch handlers on their own goroutines.
 func TestCallRecoversPanic(t *testing.T) {
-	h := func(op uint32, body []byte) ([]byte, error) { panic(op) }
-	_, err := Call(h, 7, nil)
+	h := func(ctx context.Context, op uint32, body []byte) ([]byte, error) { panic(op) }
+	_, err := Call(context.Background(), h, 7, nil)
 	if !errors.Is(err, ErrServerPanic) || !strings.Contains(err.Error(), "7") {
 		t.Errorf("Call err = %v", err)
 	}
-	ok := func(op uint32, body []byte) ([]byte, error) { return body, nil }
-	out, err := Call(ok, 0, []byte("x"))
+	ok := func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil }
+	out, err := Call(context.Background(), ok, 0, []byte("x"))
 	if err != nil || string(out) != "x" {
 		t.Errorf("Call = %q, %v", out, err)
 	}
@@ -72,7 +73,7 @@ func TestPerConnCap(t *testing.T) {
 
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 64)
-	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		entered <- struct{}{}
 		<-gate
 		return body, nil

@@ -7,12 +7,24 @@
 // Frame format (all integers little-endian):
 //
 //	magic   [4]byte "MBRD"
-//	version u8 (1)
-//	kind    u8 (request / reply / oneway / error)
+//	version u8 (1 or 2)
+//	kind    u8 (request / reply / oneway / error / hello / cancel)
 //	id      u64 (request correlation; 0 for oneway)
-//	keyLen  u32, key  [keyLen]byte   (object key; empty on replies)
-//	op      u32                       (method alternative)
+//	keyLen  u32
+//	budget  u32 (version 2 request frames only: remaining time budget in
+//	             milliseconds; 0 = no budget)
+//	key     [keyLen]byte   (object key; empty on replies)
+//	op      u32            (method alternative; protocol version on hello
+//	                        frames, error code on error frames)
 //	bodyLen u32, body [bodyLen]byte
+//
+// Version negotiation costs no round trip: a v2 server writes a hello
+// frame (encoded as v1, so v1 clients parse and ignore it) the moment a
+// connection is accepted. A v2 client that sees the hello upgrades its
+// request encoding; one that never does (a v1 server) stays on v1 frames
+// forever, so budgets are simply absent rather than an error. Cancel
+// frames are likewise v1-encoded: a v1 server drops unknown kinds on the
+// floor, which is exactly the no-op semantics cancellation wants.
 package orb
 
 import (
@@ -21,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -34,9 +47,22 @@ const (
 	kindReply   = 2
 	kindOneway  = 3
 	kindError   = 4
+	// kindHello is sent by a server immediately on accept; op carries the
+	// server's maximum protocol version. Old clients drop it (no pending
+	// entry with id 0), new clients upgrade their request encoding.
+	kindHello = 5
+	// kindCancel is sent by a client to abort an in-flight request; id
+	// names the request. Old servers drop it (unknown kind), new servers
+	// cancel the per-request context.
+	kindCancel = 6
 )
 
 const magic = "MBRD"
+
+// protoVersion is the maximum protocol version this build speaks.
+// Version 2 adds a millisecond deadline budget to request frames and the
+// hello/cancel frame kinds.
+const protoVersion = 2
 
 // Default frame limits.
 const (
@@ -58,6 +84,7 @@ const (
 	codeErrGeneric    = 0 // ordinary handler error → RemoteError
 	codeErrPanic      = 1 // handler panicked → ErrServerPanic
 	codeErrOverloaded = 2 // admission control shed the request → ErrOverloaded
+	codeErrExpired    = 3 // the request's time budget was already spent → ErrExpired
 )
 
 // ErrFrameTooLarge is returned (wrapped, with detail) when a frame's body
@@ -91,6 +118,12 @@ var (
 	// control instead of queuing it. The request was never dispatched, so
 	// retrying after a backoff is safe and expected.
 	ErrOverloaded = errors.New("orb: server overloaded")
+	// ErrExpired reports that the request's propagated time budget was
+	// already spent when the server (or a relay on the path) looked at
+	// it: the caller has given up, so no work was started on its behalf.
+	// Distinct from ErrOverloaded — the server had capacity; the caller
+	// ran out of time. Retrying without a fresh budget is pointless.
+	ErrExpired = errors.New("orb: request budget expired")
 )
 
 // ctxErr maps a context error to the orb typed equivalent.
@@ -102,6 +135,47 @@ func ctxErr(err error) error {
 		return ErrCanceled
 	}
 	return err
+}
+
+// budgetKey carries an explicit wire budget through a context.
+type budgetKey struct{}
+
+// ContextWithBudget returns a context whose orb calls carry an explicit
+// wire budget of d, independent of the context's own deadline. Clients
+// use it to give downstream hops less time than they are willing to wait
+// locally (e.g. `mbird remote -budget`), which is how a caller observes
+// the server-side ErrExpired shed instead of its own local timeout.
+func ContextWithBudget(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, budgetKey{}, d)
+}
+
+// budgetMillis derives the wire budget for a request from ctx: an
+// explicit ContextWithBudget value wins, else the remaining time to the
+// context deadline, else 0 (no budget). Positive budgets round up to at
+// least 1ms so "a little time left" never encodes as "no budget".
+func budgetMillis(ctx context.Context) uint32 {
+	if v, ok := ctx.Value(budgetKey{}).(time.Duration); ok && v > 0 {
+		return clampMillis(v)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		rem := time.Until(d)
+		if rem <= 0 {
+			return 1
+		}
+		return clampMillis(rem)
+	}
+	return 0
+}
+
+func clampMillis(d time.Duration) uint32 {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		return 1
+	}
+	if ms > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
 }
 
 // Limits configures per-endpoint frame limits. The zero value selects the
@@ -116,6 +190,12 @@ type Limits struct {
 	// ErrOverloaded (oneways are dropped). Negative means unlimited.
 	// Ignored by clients.
 	MaxPerConn int
+	// MaxProtoVersion caps the protocol version the endpoint speaks.
+	// 0 selects the build's maximum (2). Setting 1 makes a server behave
+	// exactly like a pre-budget build (no hello, v2 frames rejected) and
+	// makes a client ignore hellos — the interop tests use it to pin one
+	// side down.
+	MaxProtoVersion int
 }
 
 func (l Limits) withDefaults() Limits {
@@ -130,6 +210,12 @@ func (l Limits) withDefaults() Limits {
 		l.MaxPerConn = DefaultMaxPerConn
 	case l.MaxPerConn < 0:
 		l.MaxPerConn = int(^uint(0) >> 1)
+	}
+	switch {
+	case l.MaxProtoVersion <= 0:
+		l.MaxProtoVersion = protoVersion
+	case l.MaxProtoVersion > protoVersion:
+		l.MaxProtoVersion = protoVersion
 	}
 	return l
 }
@@ -147,6 +233,11 @@ func WithMaxKey(n int) Option { return func(l *Limits) { l.MaxKey = n } }
 // negative means unlimited.
 func WithMaxPerConn(n int) Option { return func(l *Limits) { l.MaxPerConn = n } }
 
+// WithMaxProtoVersion caps the protocol version the endpoint speaks
+// (1 = pre-budget wire behavior). Mainly for interop tests and staged
+// rollouts.
+func WithMaxProtoVersion(n int) Option { return func(l *Limits) { l.MaxProtoVersion = n } }
+
 func applyOptions(opts []Option) Limits {
 	var l Limits
 	for _, o := range opts {
@@ -156,11 +247,19 @@ func applyOptions(opts []Option) Limits {
 }
 
 type frame struct {
+	ver  byte // wire version; 0 means 1
 	kind byte
 	id   uint64
 	key  string
 	op   uint32
 	body []byte
+	// budget is the remaining time budget in milliseconds (v2 request
+	// frames only; 0 = none).
+	budget uint32
+	// hdrAt is the read-side timestamp taken right after the fixed header
+	// arrived. Budgets anchor here: a body that trickles in past the
+	// budget is already expired by the time it could be dispatched.
+	hdrAt time.Time
 }
 
 // frameBufPool recycles the scratch buffers frames are serialized into
@@ -184,12 +283,19 @@ func writeFrame(w io.Writer, f frame, lim Limits) error {
 	if len(f.key) > lim.MaxKey {
 		return fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, len(f.key), lim.MaxKey)
 	}
+	ver := f.ver
+	if ver == 0 {
+		ver = 1
+	}
 	bp := frameBufPool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	buf = append(buf, magic...)
-	buf = append(buf, 1, f.kind)
+	buf = append(buf, ver, f.kind)
 	buf = binary.LittleEndian.AppendUint64(buf, f.id)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.key)))
+	if ver >= 2 && f.kind == kindRequest {
+		buf = binary.LittleEndian.AppendUint32(buf, f.budget)
+	}
 	buf = append(buf, f.key...)
 	buf = binary.LittleEndian.AppendUint32(buf, f.op)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.body)))
@@ -208,17 +314,27 @@ func readFrame(r io.Reader, lim Limits) (frame, error) {
 	if _, err := io.ReadFull(r, head); err != nil {
 		return f, err
 	}
+	f.hdrAt = time.Now()
 	if string(head[:4]) != magic {
 		return f, fmt.Errorf("orb: bad magic %q", head[:4])
 	}
-	if head[4] != 1 {
-		return f, fmt.Errorf("orb: unsupported version %d", head[4])
+	ver := head[4]
+	if ver != 1 && (ver != 2 || lim.MaxProtoVersion < 2) {
+		return f, fmt.Errorf("orb: unsupported version %d", ver)
 	}
+	f.ver = ver
 	f.kind = head[5]
 	f.id = binary.LittleEndian.Uint64(head[6:])
 	keyLen := binary.LittleEndian.Uint32(head[14:])
 	if uint64(keyLen) > uint64(lim.MaxKey) {
 		return f, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, keyLen, lim.MaxKey)
+	}
+	if ver >= 2 && f.kind == kindRequest {
+		var bud [4]byte
+		if _, err := io.ReadFull(r, bud[:]); err != nil {
+			return f, err
+		}
+		f.budget = binary.LittleEndian.Uint32(bud[:])
 	}
 	key := make([]byte, keyLen)
 	if _, err := io.ReadFull(r, key); err != nil {
@@ -243,8 +359,11 @@ func readFrame(r io.Reader, lim Limits) (frame, error) {
 
 // Handler serves invocations on one exported object. op selects the
 // method alternative; the returned bytes are the reply body. For one-way
-// messages the return value is discarded.
-type Handler func(op uint32, body []byte) ([]byte, error)
+// messages the return value is discarded. ctx carries the request's
+// propagated deadline budget (if any) and is canceled when the client
+// sends a cancel frame or its connection dies — long handlers should
+// watch it and abandon work nobody is waiting for.
+type Handler func(ctx context.Context, op uint32, body []byte) ([]byte, error)
 
 // Call invokes h and converts a panic into an error wrapping
 // ErrServerPanic, so one poisoned request cannot take down the process.
@@ -252,13 +371,13 @@ type Handler func(op uint32, body []byte) ([]byte, error)
 // onto their own goroutines (e.g. the broker's request-timeout wrapper)
 // must use it there too, because a panic on a goroutine the orb never
 // sees is fatal no matter what the orb recovers.
-func Call(h Handler, op uint32, body []byte) (out []byte, err error) {
+func Call(ctx context.Context, h Handler, op uint32, body []byte) (out []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrServerPanic, r)
 		}
 	}()
-	return h(op, body)
+	return h(ctx, op, body)
 }
 
 // errFrameCode maps a handler error to its error-frame code and message
@@ -272,6 +391,8 @@ func errFrameCode(err error) (uint32, []byte) {
 		return codeErrPanic, []byte(strings.TrimPrefix(msg, ErrServerPanic.Error()+": "))
 	case errors.Is(err, ErrOverloaded):
 		return codeErrOverloaded, []byte(strings.TrimPrefix(msg, ErrOverloaded.Error()+": "))
+	case errors.Is(err, ErrExpired):
+		return codeErrExpired, []byte(strings.TrimPrefix(msg, ErrExpired.Error()+": "))
 	}
 	return codeErrGeneric, []byte(msg)
 }
@@ -283,6 +404,8 @@ func errFromFrame(f frame) error {
 		return fmt.Errorf("%w: %s", ErrServerPanic, f.body)
 	case codeErrOverloaded:
 		return fmt.Errorf("%w: %s", ErrOverloaded, f.body)
+	case codeErrExpired:
+		return fmt.Errorf("%w: %s", ErrExpired, f.body)
 	}
 	return &RemoteError{Msg: string(f.body)}
 }
@@ -294,6 +417,14 @@ type ServerStats struct {
 	// Shed is the number of requests refused by the per-connection
 	// concurrency cap (one-way messages dropped over the cap included).
 	Shed int64
+	// Expired is the number of requests whose propagated budget was
+	// already spent at dispatch time: they were answered with ErrExpired
+	// (or dropped, for oneways) before the handler ran — zero work done
+	// for callers that had already given up.
+	Expired int64
+	// Canceled is the number of in-flight requests aborted by a client
+	// cancel frame.
+	Canceled int64
 }
 
 // Server exports objects on a TCP listener.
@@ -301,8 +432,10 @@ type Server struct {
 	ln  net.Listener
 	lim Limits
 
-	panics atomic.Int64
-	shed   atomic.Int64
+	panics   atomic.Int64
+	shed     atomic.Int64
+	expired  atomic.Int64
+	canceled atomic.Int64
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -335,7 +468,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns a snapshot of the server's hardening counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{Panics: s.panics.Load(), Shed: s.shed.Load()}
+	return ServerStats{
+		Panics:   s.panics.Load(),
+		Shed:     s.shed.Load(),
+		Expired:  s.expired.Load(),
+		Canceled: s.canceled.Load(),
+	}
 }
 
 // Draining reports whether the server has begun a graceful shutdown and
@@ -447,7 +585,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
 	var inFlight atomic.Int64
+	// connCtx is the parent of every request context on this connection;
+	// canceling it on teardown tells still-running handlers their caller
+	// is gone (relays forward that upstream as a cancel frame).
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	// cancels maps in-flight request ids to their context cancel funcs so
+	// a cancel frame can abort exactly the request it names.
+	var cancelMu sync.Mutex
+	cancels := make(map[uint64]context.CancelFunc)
 	defer reqWG.Wait()
+	if s.lim.MaxProtoVersion >= 2 {
+		// Advertise v2 before reading anything. v1 clients parse this as a
+		// frame for a request they never made and drop it.
+		writeMu.Lock()
+		err := writeFrame(conn, frame{kind: kindHello, op: uint32(s.lim.MaxProtoVersion)}, s.lim)
+		writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
 	for {
 		f, err := readFrame(conn, s.lim)
 		if err != nil {
@@ -459,6 +616,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			h := s.handlers[f.key]
 			s.mu.Unlock()
 			req := f
+			// Expired-budget shed: if the caller's propagated budget was
+			// spent before the frame could be dispatched (e.g. the body
+			// trickled in slowly), answer with a typed ErrExpired and do
+			// no work at all. Checked before the concurrency cap — an
+			// expired request should not even count against capacity.
+			var deadline time.Time
+			if req.budget > 0 {
+				deadline = req.hdrAt.Add(time.Duration(req.budget) * time.Millisecond)
+				if over := time.Since(deadline); over >= 0 {
+					s.expired.Add(1)
+					if req.kind == kindOneway {
+						continue
+					}
+					reply := frame{kind: kindError, id: req.id, op: codeErrExpired,
+						body: []byte(fmt.Sprintf("budget of %dms spent %v before dispatch", req.budget, over.Round(time.Millisecond)))}
+					writeMu.Lock()
+					_ = writeFrame(conn, reply, s.lim)
+					writeMu.Unlock()
+					continue
+				}
+			}
 			// Per-connection concurrency cap: a client pipelining past the
 			// cap is shed immediately (no dispatch, no queue) with a typed
 			// Overloaded error it can back off on. One-way messages have no
@@ -475,21 +653,51 @@ func (s *Server) serveConn(conn net.Conn) {
 				writeMu.Unlock()
 				continue
 			}
+			var reqCtx context.Context
+			var cancel context.CancelFunc
+			if req.budget > 0 {
+				reqCtx, cancel = context.WithDeadline(connCtx, deadline)
+			} else {
+				reqCtx, cancel = context.WithCancel(connCtx)
+			}
+			if req.kind == kindRequest {
+				cancelMu.Lock()
+				cancels[req.id] = cancel
+				cancelMu.Unlock()
+			}
+			hadBudget := req.budget > 0
 			inFlight.Add(1)
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				defer inFlight.Add(-1)
+				defer func() {
+					if req.kind == kindRequest {
+						cancelMu.Lock()
+						delete(cancels, req.id)
+						cancelMu.Unlock()
+					}
+					cancel()
+				}()
 				var reply frame
 				reply.id = req.id
 				if h == nil {
 					reply.kind = kindError
 					reply.body = []byte(fmt.Sprintf("no object %q", req.key))
 				} else {
-					body, err := Call(h, req.op, req.body)
+					body, err := Call(reqCtx, h, req.op, req.body)
 					if err != nil {
 						if errors.Is(err, ErrServerPanic) {
 							s.panics.Add(1)
+						}
+						// A handler that bailed because the propagated
+						// budget ran out mid-work reports ErrExpired, not a
+						// generic error: the caller's clock ran out, the
+						// service is healthy.
+						if hadBudget && !errors.Is(err, ErrExpired) &&
+							(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrDeadline)) &&
+							reqCtx.Err() != nil {
+							err = fmt.Errorf("%w: handler abandoned at budget expiry: %v", ErrExpired, err)
 						}
 						reply.kind = kindError
 						reply.op, reply.body = errFrameCode(err)
@@ -505,6 +713,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				defer writeMu.Unlock()
 				_ = writeFrame(conn, reply, s.lim)
 			}()
+		case kindCancel:
+			cancelMu.Lock()
+			cancel := cancels[f.id]
+			delete(cancels, f.id)
+			cancelMu.Unlock()
+			if cancel != nil {
+				s.canceled.Add(1)
+				cancel()
+			}
 		default:
 			// Unexpected frame on a server connection; drop it.
 		}
@@ -535,6 +752,12 @@ type Client struct {
 
 	writeMu sync.Mutex
 
+	// peerVer is the negotiated protocol version: 1 until a hello frame
+	// proves the server speaks something newer.
+	peerVer atomic.Int32
+	verOnce sync.Once
+	verCh   chan struct{}
+
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan result
@@ -561,7 +784,9 @@ func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, err
 		lim:     applyOptions(opts),
 		pending: make(map[uint64]chan result),
 		done:    make(chan struct{}),
+		verCh:   make(chan struct{}),
 	}
+	c.peerVer.Store(1)
 	go c.readLoop()
 	return c, nil
 }
@@ -580,6 +805,26 @@ func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
+}
+
+// ProtoVersion returns the negotiated protocol version: 1 until the
+// server's hello frame arrives and proves it speaks v2, then the
+// negotiated version. Budgets only travel on v2 connections.
+func (c *Client) ProtoVersion() int { return int(c.peerVer.Load()) }
+
+// AwaitVersion blocks until version negotiation settles — the server's
+// hello arrived, the connection died, or ctx expired — and returns the
+// version the connection speaks. Against a v1 server no hello ever
+// comes, so callers bound the wait with ctx and get 1 back; pools wait a
+// few milliseconds after dialing so the first budgeted request doesn't
+// race the hello.
+func (c *Client) AwaitVersion(ctx context.Context) int {
+	select {
+	case <-c.verCh:
+	case <-c.done:
+	case <-ctx.Done():
+	}
+	return c.ProtoVersion()
 }
 
 // fail records the connection's terminal error and fails every in-flight
@@ -608,6 +853,17 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.fail(err)
 			return
+		}
+		if f.kind == kindHello {
+			if c.lim.MaxProtoVersion >= 2 && f.op >= 2 {
+				v := f.op
+				if v > uint32(c.lim.MaxProtoVersion) {
+					v = uint32(c.lim.MaxProtoVersion)
+				}
+				c.peerVer.Store(int32(v))
+			}
+			c.verOnce.Do(func() { close(c.verCh) })
+			continue
 		}
 		c.mu.Lock()
 		ch := c.pending[f.id]
@@ -643,6 +899,15 @@ func (c *Client) write(ctx context.Context, f frame) error {
 	return err
 }
 
+// sendCancel best-effort aborts an abandoned request server-side. Runs
+// on its own goroutine so the abandoning caller returns immediately; the
+// write is bounded so a wedged connection cannot pin the goroutine.
+func (c *Client) sendCancel(id uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = c.write(ctx, frame{kind: kindCancel, id: id})
+}
+
 // Invoke sends a request to the object's op and waits for the reply
 // body.
 func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
@@ -651,9 +916,15 @@ func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
 
 // InvokeContext sends a request and waits for the reply body, honoring
 // the context: on deadline expiry or cancellation the pending call is
-// abandoned (its map entry removed, a late reply discarded) and a typed
+// abandoned (its map entry removed, a late reply discarded, a cancel
+// frame sent so the server stops working on it) and a typed
 // ErrDeadline/ErrCanceled is returned. The connection itself stays
 // usable — only a write that timed out mid-frame poisons it.
+//
+// On v2 connections the context's remaining time (or an explicit
+// ContextWithBudget value) travels with the request as its deadline
+// budget, so every downstream hop can shed work the caller has already
+// given up on.
 func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ctxErr(err)
@@ -670,7 +941,14 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	if err := c.write(ctx, frame{kind: kindRequest, id: id, key: key, op: op, body: body}); err != nil {
+	fr := frame{kind: kindRequest, id: id, key: key, op: op, body: body}
+	if c.peerVer.Load() >= 2 {
+		if budget := budgetMillis(ctx); budget > 0 {
+			fr.ver = 2
+			fr.budget = budget
+		}
+	}
+	if err := c.write(ctx, fr); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -690,6 +968,9 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if c.peerVer.Load() >= 2 {
+			go c.sendCancel(id)
+		}
 		return nil, ctxErr(ctx.Err())
 	}
 }

@@ -34,7 +34,7 @@ func dial(t *testing.T, s *Server) *Client {
 
 func TestRequestReply(t *testing.T) {
 	s := startServer(t)
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		out := append([]byte{byte(op)}, body...)
 		return out, nil
 	})
@@ -50,7 +50,7 @@ func TestRequestReply(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	s := startServer(t)
-	s.Register("bad", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("bad", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return nil, errors.New("kaboom")
 	})
 	c := dial(t, s)
@@ -73,7 +73,7 @@ func TestUnknownObject(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	s := startServer(t)
-	s.Register("sq", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("sq", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		n := int(body[0])
 		return []byte{byte(n * n % 251)}, nil
 	})
@@ -101,7 +101,7 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestPipelinedRequestsOneConnection(t *testing.T) {
 	s := startServer(t)
-	s.Register("id", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("id", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return body, nil
 	})
 	c := dial(t, s)
@@ -128,7 +128,7 @@ func TestOneway(t *testing.T) {
 	s := startServer(t)
 	var count atomic.Int32
 	received := make(chan struct{}, 16)
-	s.Register("sink", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("sink", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		count.Add(1)
 		received <- struct{}{}
 		return nil, nil
@@ -153,7 +153,7 @@ func TestOneway(t *testing.T) {
 
 func TestInvokeAfterServerClose(t *testing.T) {
 	s := startServer(t)
-	s.Register("x", func(op uint32, body []byte) ([]byte, error) { return nil, nil })
+	s.Register("x", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return nil, nil })
 	c := dial(t, s)
 	if _, err := c.Invoke("x", 0, nil); err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestInvokeAfterServerClose(t *testing.T) {
 
 func TestLargeBody(t *testing.T) {
 	s := startServer(t)
-	s.Register("len", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("len", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return []byte{byte(len(body) >> 16)}, nil
 	})
 	c := dial(t, s)
@@ -182,8 +182,8 @@ func TestLargeBody(t *testing.T) {
 
 func TestRegisterReplaces(t *testing.T) {
 	s := startServer(t)
-	s.Register("v", func(op uint32, body []byte) ([]byte, error) { return []byte{1}, nil })
-	s.Register("v", func(op uint32, body []byte) ([]byte, error) { return []byte{2}, nil })
+	s.Register("v", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return []byte{1}, nil })
+	s.Register("v", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return []byte{2}, nil })
 	c := dial(t, s)
 	reply, err := c.Invoke("v", 0, nil)
 	if err != nil || reply[0] != 2 {
@@ -246,7 +246,7 @@ func TestFrameLimits(t *testing.T) {
 
 func TestWriteSideFrameLimits(t *testing.T) {
 	s := startServer(t)
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 	c, err := Dial(s.Addr(), WithMaxBody(64), WithMaxKey(8))
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +276,7 @@ func TestReadSideFrameLimitServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	c := dialAddr(t, s.Addr())
 	// The client happily writes 1 KiB; the server's read side must refuse
@@ -294,7 +294,7 @@ func TestReadSideFrameLimitServer(t *testing.T) {
 
 func TestReadSideFrameLimitClient(t *testing.T) {
 	s := startServer(t)
-	s.Register("blow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("blow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return make([]byte, 1024), nil
 	})
 	c, err := Dial(s.Addr(), WithMaxBody(64))
@@ -326,11 +326,11 @@ func dialAddr(t *testing.T, addr string) *Client {
 func TestNoHeadOfLineBlocking(t *testing.T) {
 	s := startServer(t)
 	slowRelease := make(chan struct{})
-	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		<-slowRelease
 		return []byte("slow"), nil
 	})
-	s.Register("fast", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("fast", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return []byte("fast"), nil
 	})
 	c := dial(t, s)
@@ -372,11 +372,11 @@ func TestNoHeadOfLineBlocking(t *testing.T) {
 func TestInvokeContextDeadline(t *testing.T) {
 	s := startServer(t)
 	release := make(chan struct{})
-	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("stall", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		<-release
 		return []byte("late"), nil
 	})
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 	c := dial(t, s)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
@@ -404,7 +404,7 @@ func TestInvokeContextCancel(t *testing.T) {
 	s := startServer(t)
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("stall", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -432,7 +432,7 @@ func TestConnectionDeathFailsInFlightCalls(t *testing.T) {
 	s := startServer(t)
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("stall", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -523,7 +523,7 @@ func TestReadSideKeyLimitServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
-	s.Register("12345678", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	s.Register("12345678", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	// The client's default limits allow the long key; the server's read
 	// side must refuse it and drop the connection.
@@ -546,12 +546,12 @@ func TestReplyAfterClientClose(t *testing.T) {
 	s := startServer(t)
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	s.Register("stall", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("stall", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		close(entered)
 		<-release
 		return []byte("too late"), nil
 	})
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) { return body, nil })
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
 
 	c := dial(t, s)
 	go func() { _, _ = c.Invoke("stall", 0, nil) }()
@@ -571,7 +571,7 @@ func TestReplyAfterClientClose(t *testing.T) {
 
 func TestShutdownDrainsInFlight(t *testing.T) {
 	s := startServer(t)
-	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		time.Sleep(150 * time.Millisecond)
 		return []byte("drained"), nil
 	})
@@ -606,7 +606,7 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 
 func TestShutdownForceClosesOnContextExpiry(t *testing.T) {
 	s := startServer(t)
-	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		time.Sleep(500 * time.Millisecond)
 		return []byte("too slow"), nil
 	})

@@ -70,6 +70,11 @@ type Options struct {
 	// HedgePercentile selects the latency percentile used as the hedge
 	// delay when HedgeAfter is 0 (default 0.95).
 	HedgePercentile float64
+	// RetryBudget governs retries and hedges as a fraction of successes
+	// (see RetryBudget). Nil creates a private budget with the defaults;
+	// pass one instance to several Clients to make the cap shared (the
+	// cluster client does this across its member pools).
+	RetryBudget *RetryBudget
 	// OrbOptions adjusts frame limits on pooled connections.
 	OrbOptions []orb.Option
 }
@@ -99,6 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.HedgePercentile <= 0 || o.HedgePercentile >= 1 {
 		o.HedgePercentile = 0.95
 	}
+	if o.RetryBudget == nil {
+		o.RetryBudget = NewRetryBudget(0, 0)
+	}
 	return o
 }
 
@@ -118,6 +126,9 @@ type Stats struct {
 	// Hedges counts hedge attempts launched; HedgeWins counts calls
 	// completed by the hedge rather than the primary.
 	Hedges, HedgeWins int64
+	// BudgetExhausted counts retries and hedges this Client wanted but
+	// the retry budget refused.
+	BudgetExhausted int64
 }
 
 // pconn is one pooled orb connection.
@@ -144,12 +155,13 @@ type Client struct {
 
 	lat latencyWindow
 
-	dials     atomic.Int64
-	discards  atomic.Int64
-	retries   atomic.Int64
-	overloads atomic.Int64
-	hedges    atomic.Int64
-	hedgeWins atomic.Int64
+	dials           atomic.Int64
+	discards        atomic.Int64
+	retries         atomic.Int64
+	overloads       atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	budgetExhausted atomic.Int64
 }
 
 // New returns a Client for addr. Connections are dialed lazily on first
@@ -233,13 +245,14 @@ func (c *Client) Stats() Stats {
 	n := len(c.conns)
 	c.mu.Unlock()
 	return Stats{
-		Conns:     n,
-		Dials:     c.dials.Load(),
-		Discards:  c.discards.Load(),
-		Retries:   c.retries.Load(),
-		Overloads: c.overloads.Load(),
-		Hedges:    c.hedges.Load(),
-		HedgeWins: c.hedgeWins.Load(),
+		Conns:           n,
+		Dials:           c.dials.Load(),
+		Discards:        c.discards.Load(),
+		Retries:         c.retries.Load(),
+		Overloads:       c.overloads.Load(),
+		Hedges:          c.hedges.Load(),
+		HedgeWins:       c.hedgeWins.Load(),
+		BudgetExhausted: c.budgetExhausted.Load(),
 	}
 }
 
@@ -335,6 +348,16 @@ func (c *Client) acquire(ctx context.Context, exclude *pconn) (*pconn, error) {
 
 	dctx, cancel := context.WithTimeout(ctx, c.opts.DialTimeout)
 	oc, err := orb.DialContext(dctx, c.addr, c.opts.OrbOptions...)
+	if err == nil {
+		// Let version negotiation settle (the server's hello is sent on
+		// accept, so against a live v2 server this is one read away;
+		// against a v1 server the bound expires and the connection stays
+		// v1). Without this the first calls on a fresh connection would
+		// race the hello and ship without budgets.
+		vctx, vcancel := context.WithTimeout(dctx, 100*time.Millisecond)
+		oc.AwaitVersion(vctx)
+		vcancel()
+	}
 	cancel()
 	c.mu.Lock()
 	c.dialing--
@@ -394,6 +417,8 @@ func retryable(err error) bool {
 		errors.Is(err, orb.ErrFrameTooLarge),
 		errors.Is(err, orb.ErrDeadline),
 		errors.Is(err, orb.ErrCanceled),
+		errors.Is(err, orb.ErrExpired),
+		errors.Is(err, ErrRetryBudget),
 		errors.Is(err, ErrClosed):
 		return false
 	}
@@ -412,6 +437,7 @@ func discardable(err error) bool {
 	case errors.As(err, &re),
 		errors.Is(err, orb.ErrFrameTooLarge),
 		errors.Is(err, orb.ErrOverloaded),
+		errors.Is(err, orb.ErrExpired),
 		errors.Is(err, orb.ErrServerPanic):
 		return false
 	}
@@ -439,6 +465,13 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// Every retry spends a shared budget token; when the budget is
+			// dry the backend is failing broadly and piling on attempts
+			// would amplify the outage, so fail fast instead.
+			if !c.opts.RetryBudget.Withdraw() {
+				c.budgetExhausted.Add(1)
+				return nil, fmt.Errorf("%w: after %d attempts to %s: %w", ErrRetryBudget, attempt, c.addr, lastErr)
+			}
 			c.retries.Add(1)
 			if err := c.backoff(ctx, attempt); err != nil {
 				break
@@ -452,6 +485,7 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 			reply, err = c.attempt(ctx, key, op, body, nil)
 		}
 		if err == nil {
+			c.opts.RetryBudget.Deposit()
 			return reply, nil
 		}
 		if errors.Is(err, orb.ErrOverloaded) {
@@ -534,6 +568,13 @@ func (c *Client) hedged(ctx context.Context, key string, op uint32, body []byte)
 			}
 		case <-timer.C:
 			if launched == 1 {
+				// A hedge is a speculative retry; it spends the same budget
+				// token a retry would. Refused hedges just let the primary
+				// run to its own deadline.
+				if !c.opts.RetryBudget.Withdraw() {
+					c.budgetExhausted.Add(1)
+					continue
+				}
 				c.hedges.Add(1)
 				run(true, primary)
 				launched = 2

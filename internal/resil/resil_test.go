@@ -20,7 +20,7 @@ func echoOrb(t *testing.T) *orb.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
-	s.Register("echo", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("echo", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return body, nil
 	})
 	return s
@@ -74,7 +74,7 @@ func TestIdleReap(t *testing.T) {
 
 func TestRemoteErrorNotRetried(t *testing.T) {
 	s := echoOrb(t)
-	s.Register("bad", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("bad", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		return nil, errors.New("kaboom")
 	})
 	c := newClient(t, s.Addr(), Options{})
@@ -134,7 +134,7 @@ func TestHedgingMasksSlowReplica(t *testing.T) {
 	var calls atomic.Int64
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	s.Register("flaky", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("flaky", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		if calls.Add(1) == 1 {
 			<-release // first request stalls until the test ends
 		}
@@ -215,6 +215,68 @@ func chaosPair(t *testing.T, f chaos.Faults) (*orb.Server, *chaos.Proxy) {
 	}
 	t.Cleanup(func() { _ = p.Close() })
 	return s, p
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("reserve of 2 refused a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a withdrawal")
+	}
+	if b.Exhausted() != 1 {
+		t.Errorf("Exhausted = %d, want 1", b.Exhausted())
+	}
+	// Two successes at ratio 0.5 earn one whole token back.
+	b.Deposit()
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("deposits did not restore the budget")
+	}
+	// The balance is capped at the reserve: deposits beyond it are lost.
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("capped budget refused its reserve")
+	}
+	if b.Withdraw() {
+		t.Fatal("deposits banked past the cap")
+	}
+}
+
+// A client whose every attempt fails must stop retrying when the shared
+// budget runs dry — the typed ErrRetryBudget, not MaxAttempts, is what
+// bounds the storm.
+func TestRetryBudgetStopsRetryStorm(t *testing.T) {
+	// A dead address: reserve a port and free it so dials fail fast.
+	dead := func() string {
+		s := echoOrb(t)
+		addr := s.Addr()
+		_ = s.Close()
+		return addr
+	}()
+	c := newClient(t, dead, Options{
+		MaxAttempts: 5,
+		BackoffBase: time.Millisecond,
+		DialTimeout: 500 * time.Millisecond,
+		RetryBudget: NewRetryBudget(0.1, 1),
+	})
+	_, err := c.Invoke("echo", 0, nil)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if !errors.Is(err, orb.ErrDial) {
+		t.Errorf("err = %v, want the last attempt's dial failure wrapped", err)
+	}
+	st := c.Stats()
+	if st.Retries != 1 {
+		t.Errorf("retries = %d, want exactly the 1 token the reserve held", st.Retries)
+	}
+	if st.BudgetExhausted != 1 {
+		t.Errorf("budgetExhausted = %d, want 1", st.BudgetExhausted)
+	}
 }
 
 func TestChaosMatrixLatency(t *testing.T) {
@@ -330,7 +392,7 @@ func TestDrainLetsInFlightFinish(t *testing.T) {
 	s := echoOrb(t)
 	started := make(chan struct{})
 	finish := make(chan struct{})
-	s.Register("slow", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("slow", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		close(started)
 		<-finish
 		return body, nil
@@ -390,7 +452,7 @@ func TestDrainTimeoutForcesClose(t *testing.T) {
 	finish := make(chan struct{})
 	defer close(finish)
 	started := make(chan struct{})
-	s.Register("stuck", func(op uint32, body []byte) ([]byte, error) {
+	s.Register("stuck", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
 		close(started)
 		<-finish
 		return body, nil
