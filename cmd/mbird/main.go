@@ -759,6 +759,9 @@ type healthJSON struct {
 	Peers             *int64 `json:"peers,omitempty"`
 	Routes            *int   `json:"routes,omitempty"`
 	Lanes             *int   `json:"lanes,omitempty"`
+	HeapBytes         int64  `json:"heap_bytes"`
+	GCPauseNs         int64  `json:"gc_pause_ns"`
+	NumGC             int64  `json:"num_gc"`
 }
 
 func cmdRemoteStats(args []string, out io.Writer) error {
@@ -879,6 +882,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 				Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
 				Expired: h.Expired, Canceled: h.Canceled,
 				Routes: &h.Routes, Lanes: &h.Lanes,
+				HeapBytes: h.HeapBytes, GCPauseNs: h.GCPauseNs, NumGC: h.NumGC,
 			})
 		}
 		ready := "ready"
@@ -891,6 +895,8 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "panics:    %d recovered\n", h.Panics)
 		fmt.Fprintf(out, "deadlines: %d expired, %d canceled\n", h.Expired, h.Canceled)
 		fmt.Fprintf(out, "routes:    %d live, %d compiled lanes\n", h.Routes, h.Lanes)
+		fmt.Fprintf(out, "memory:    %d heap bytes in use, %d GCs (%v paused)\n",
+			h.HeapBytes, h.NumGC, time.Duration(h.GCPauseNs))
 		return nil
 	}
 	c := tf.dial()
@@ -905,6 +911,7 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 			Sheds: h.Sheds, ConnSheds: h.ConnSheds, Panics: h.Panics,
 			Expired: h.Expired, Canceled: h.Canceled,
 			TranscoderEntries: &h.TranscoderEntries, Peers: &h.Peers,
+			HeapBytes: h.HeapBytes, GCPauseNs: h.GCPauseNs, NumGC: h.NumGC,
 		})
 	}
 	ready := "ready"
@@ -918,6 +925,8 @@ func cmdRemoteHealth(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "deadlines: %d expired, %d canceled\n", h.Expired, h.Canceled)
 	fmt.Fprintf(out, "xcoders:   %d cached\n", h.TranscoderEntries)
 	fmt.Fprintf(out, "peers:     %d cluster peers\n", h.Peers)
+	fmt.Fprintf(out, "memory:    %d heap bytes in use, %d GCs (%v paused)\n",
+		h.HeapBytes, h.NumGC, time.Duration(h.GCPauseNs))
 	return nil
 }
 

@@ -399,6 +399,10 @@ func TestRemoteJSONOutput(t *testing.T) {
 	wantHealth := []string{
 		"ready", "in_flight", "max_in_flight", "sheds", "conn_sheds",
 		"panics", "expired", "canceled", "transcoder_entries", "peers",
+		"heap_bytes", "gc_pause_ns", "num_gc",
+	}
+	if bh["heap_bytes"] == float64(0) {
+		t.Error("broker health JSON reports zero heap_bytes")
 	}
 	for _, key := range wantHealth {
 		if _, ok := bh[key]; !ok {

@@ -147,6 +147,9 @@ func serve(cfg config) (*orb.Server, *broker.Broker, *cluster.Node, error) {
 		}
 	}
 	var opts []orb.Option
+	// The broker's handlers never retain a request body past return
+	// (detached work takes a copy), so frame buffers recycle.
+	opts = append(opts, orb.WithBufPooling())
 	if cfg.maxBody > 0 {
 		opts = append(opts, orb.WithMaxBody(cfg.maxBody))
 	}

@@ -114,6 +114,9 @@ func serve(cfg config) (*orb.Server, *gateway.Gateway, error) {
 		return nil, nil, err
 	}
 	var opts []orb.Option
+	// Relay handlers consume the request body before returning (hedged
+	// upstream attempts take a copy), so frame buffers recycle.
+	opts = append(opts, orb.WithBufPooling())
 	if cfg.maxBody > 0 {
 		opts = append(opts, orb.WithMaxBody(cfg.maxBody))
 	}

@@ -1,0 +1,599 @@
+// Command mbirdload is the saturation harness: it drives a mockingbird
+// broker daemon (mbirdd) or interop gateway (mbirdgw) with open- or
+// closed-loop load across the execution tiers and reports HDR-style
+// latency percentiles, achieved throughput, and server-side stat deltas.
+//
+// Closed-loop runs (-mode closed) hold a fixed worker count issuing
+// back-to-back calls and answer "how fast can it go"; open-loop runs
+// (-mode open -rate N) issue calls on a fixed arrival schedule and
+// answer "how does it behave at rate N" without coordinated omission —
+// each call's latency is measured from its scheduled send time, so
+// queueing behind a server stall is charged to the percentiles.
+//
+// Tiers:
+//
+//	compare   broker cached compare (verdict-cache hit path)
+//	convert   broker fast-tier convert (fused wire-to-wire transcode)
+//	batch     broker batch convert (-batch items per request)
+//	gw-pass   gateway passthrough relay (no lanes)
+//	gw-fused  gateway relay with fused request+reply lanes
+//	gw-tree   gateway relay with a semantic-hook lane (tree engine)
+//
+// With no -addr, mbirdload runs self-contained: it starts an in-process
+// daemon (broker tiers) or gateway + echo upstream (gw-* tiers) on a
+// loopback listener and drives that. With -addr it drives an external
+// daemon; gw-* tiers then expect the gateway's route at -key/-op to
+// accept the harness's fixture payloads (see README).
+//
+// -json emits the run record as one JSON object on stdout;
+// -bench-file FILE appends the record to FILE (BENCH_load.json shape),
+// creating it if missing, so perf trajectories accumulate across runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/loadgen"
+	"repro/internal/orb"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+type config struct {
+	tier     string
+	mode     string
+	conc     int
+	rate     float64
+	duration time.Duration
+	warmup   time.Duration
+	fields   int
+	batch    int
+	addr     string
+	key      string
+	op       uint
+	asJSON   bool
+	file     string
+	note     string
+	failErrs bool
+}
+
+func parseFlags(name string, args []string, errw io.Writer) (config, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var cfg config
+	fs.StringVar(&cfg.tier, "tier", "", "workload tier: compare, convert, batch, gw-pass, gw-fused, gw-tree")
+	fs.StringVar(&cfg.mode, "mode", "closed", "loop shape: closed (throughput ceiling) or open (fixed arrival rate)")
+	fs.IntVar(&cfg.conc, "c", 8, "workers (closed: multiprogramming level; open: max outstanding)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in calls/s (required for -mode open)")
+	fs.DurationVar(&cfg.duration, "duration", 3*time.Second, "measured run length")
+	fs.DurationVar(&cfg.warmup, "warmup", 500*time.Millisecond, "unrecorded warmup before measuring")
+	fs.IntVar(&cfg.fields, "fields", 0, "synthetic struct width for broker tiers (0 = 64) and gw-fused lanes (0 = small fixture)")
+	fs.IntVar(&cfg.batch, "batch", 16, "items per request for -tier batch")
+	fs.StringVar(&cfg.addr, "addr", "", "external daemon address (empty = start an in-process target)")
+	fs.StringVar(&cfg.key, "key", "svc", "object key for gw-* tiers against an external gateway")
+	fs.UintVar(&cfg.op, "op", 1, "operation number for gw-* tiers against an external gateway")
+	fs.BoolVar(&cfg.asJSON, "json", false, "emit the run record as JSON on stdout")
+	fs.StringVar(&cfg.file, "bench-file", "", "append the run record to this BENCH_load.json file")
+	fs.StringVar(&cfg.note, "note", "", "free-form note recorded with the run")
+	fs.BoolVar(&cfg.failErrs, "fail-on-errors", false, "exit nonzero if any operation failed")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.tier == "" {
+		fs.Usage()
+		return cfg, fmt.Errorf("missing required -tier")
+	}
+	return cfg, nil
+}
+
+// healthSnap is the slice of server health the harness records deltas
+// of across a run.
+type healthSnap struct {
+	sheds, expired       int64
+	heapBytes, gcPauseNs int64
+	numGC                int64
+}
+
+// target is one ready-to-drive workload: the operation under load plus
+// server-side snapshot and teardown hooks.
+type target struct {
+	op           loadgen.Op
+	payloadBytes int
+	health       func() (healthSnap, error) // nil when the target exposes none
+	close        func()
+}
+
+// synthSrc builds a permuted-field-name C struct pair wide enough to
+// give the cold path real work; the pair is structurally equivalent, so
+// compares cache and converts fuse.
+func synthSrc(fields int) (a, b string) {
+	var sa, sb strings.Builder
+	kinds := []string{"int", "float", "short", "double"}
+	sa.WriteString("typedef struct {\n")
+	sb.WriteString("typedef struct {\n")
+	for i := 0; i < fields; i++ {
+		fmt.Fprintf(&sa, "  %s f%d;\n", kinds[i%len(kinds)], i)
+		fmt.Fprintf(&sb, "  %s g%d;\n", kinds[i%len(kinds)], i)
+	}
+	sa.WriteString("} big;\n")
+	sb.WriteString("} big;\n")
+	return sa.String(), sb.String()
+}
+
+// synthValue builds a value matching synthSrc's field cycle.
+func synthValue(fields int) value.Value {
+	vs := make([]value.Value, fields)
+	for i := range vs {
+		switch i % 4 {
+		case 0, 2: // int, short
+			vs[i] = value.NewInt(int64(i % 100))
+		default: // float, double
+			vs[i] = value.Real{V: float64(i) + 0.25}
+		}
+	}
+	return value.NewRecord(vs...)
+}
+
+// lowerPayload lowers a declaration locally and marshals v against it.
+func lowerPayload(d gateway.DeclConfig, v value.Value) ([]byte, error) {
+	g := gateway.New(gateway.Options{})
+	defer g.Close()
+	mt, err := g.Lower(&d)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Marshal(mt, v)
+}
+
+// Small fixture pair that fuses wire-to-wire (permuted but equivalent).
+func mixDecl() gateway.DeclConfig {
+	return gateway.DeclConfig{Lang: "c", Source: "typedef struct { float r; int n; } mix;", Decl: "mix"}
+}
+func pairDecl() gateway.DeclConfig {
+	return gateway.DeclConfig{Lang: "c", Source: "typedef struct { int count; float ratio; } pair;", Decl: "pair"}
+}
+
+// setupBroker prepares the compare/convert/batch tiers: an external
+// daemon at cfg.addr or an in-process one, universes loaded and the
+// pair warmed, one orb connection per worker.
+func setupBroker(cfg config) (*target, error) {
+	fields := cfg.fields
+	if fields <= 0 {
+		fields = 64
+	}
+	srcA, srcB := synthSrc(fields)
+
+	addr := cfg.addr
+	t := &target{close: func() {}}
+	if addr == "" {
+		srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
+		if err != nil {
+			return nil, err
+		}
+		broker.Serve(srv, broker.New(core.NewSession(), broker.Options{}))
+		addr = srv.Addr()
+		t.close = func() { _ = srv.Close() }
+	}
+
+	admin, err := broker.DialClient(addr)
+	if err != nil {
+		t.close()
+		return nil, err
+	}
+	closers := []func(){t.close, func() { _ = admin.Close() }}
+	t.close = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	t.health = func() (healthSnap, error) {
+		h, err := admin.Health()
+		if err != nil {
+			return healthSnap{}, err
+		}
+		return healthSnap{
+			sheds: h.Sheds + h.ConnSheds, expired: h.Expired,
+			heapBytes: h.HeapBytes, gcPauseNs: h.GCPauseNs, numGC: h.NumGC,
+		}, nil
+	}
+
+	if _, _, err := admin.Load("a", "c", "ilp32", srcA, ""); err != nil {
+		t.close()
+		return nil, fmt.Errorf("load universe a: %w", err)
+	}
+	if _, _, err := admin.Load("b", "c", "ilp32", srcB, ""); err != nil {
+		t.close()
+		return nil, fmt.Errorf("load universe b: %w", err)
+	}
+	// Warm the verdict cache so the measured loop is the cached tier.
+	if _, err := admin.Compare("a", "big", "b", "big"); err != nil {
+		t.close()
+		return nil, fmt.Errorf("warm compare: %w", err)
+	}
+
+	clients := make([]*broker.Client, cfg.conc)
+	for i := range clients {
+		c, err := broker.DialClient(addr)
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		clients[i] = c
+		closers = append(closers, func() { _ = c.Close() })
+	}
+
+	switch cfg.tier {
+	case "compare":
+		t.op = func(ctx context.Context, w int) error {
+			_, err := clients[w].CompareContext(ctx, "a", "big", "b", "big")
+			return err
+		}
+	case "convert", "batch":
+		payload, err := lowerPayload(
+			gateway.DeclConfig{Lang: "c", Source: srcA, Decl: "big"}, synthValue(fields))
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("build payload: %w", err)
+		}
+		t.payloadBytes = len(payload)
+		if cfg.tier == "convert" {
+			t.op = func(ctx context.Context, w int) error {
+				_, err := clients[w].ConvertRawContext(ctx, "a", "big", "b", "big", payload)
+				return err
+			}
+		} else {
+			n := cfg.batch
+			if n <= 0 {
+				n = 1
+			}
+			payloads := make([][]byte, n)
+			for i := range payloads {
+				payloads[i] = payload
+			}
+			t.payloadBytes = len(payload) * n
+			t.op = func(ctx context.Context, w int) error {
+				_, err := clients[w].ConvertBatchRawContext(ctx, "a", "big", "b", "big", payloads)
+				return err
+			}
+		}
+	default:
+		t.close()
+		return nil, fmt.Errorf("unknown broker tier %q", cfg.tier)
+	}
+	return t, nil
+}
+
+// setupGateway prepares the gw-pass/gw-fused/gw-tree tiers. Without
+// -addr it starts an echo upstream and a gateway routing to it; the
+// route shape follows the tier. With -addr it drives the external
+// gateway's (-key, -op) route with the same fixture payload the
+// self-contained shape uses.
+func setupGateway(cfg config) (*target, error) {
+	key, op := cfg.key, uint32(cfg.op)
+
+	// Fixture payload + lane config per tier.
+	var (
+		payload []byte
+		err     error
+		routeFn func(upstream string) (*gateway.Config, *core.Session)
+	)
+	switch cfg.tier {
+	case "gw-pass":
+		payload, err = lowerPayload(mixDecl(), value.NewRecord(value.Real{V: 1.5}, value.NewInt(7)))
+		routeFn = func(up string) (*gateway.Config, *core.Session) {
+			return &gateway.Config{Upstream: up, Routes: []gateway.RouteConfig{{Key: key, Op: op}}}, nil
+		}
+	case "gw-fused":
+		from, to := mixDecl(), pairDecl()
+		v := value.Value(value.NewRecord(value.Real{V: 1.5}, value.NewInt(7)))
+		if cfg.fields > 0 {
+			srcA, srcB := synthSrc(cfg.fields)
+			from = gateway.DeclConfig{Lang: "c", Source: srcA, Decl: "big"}
+			to = gateway.DeclConfig{Lang: "c", Source: srcB, Decl: "big"}
+			v = synthValue(cfg.fields)
+		}
+		payload, err = lowerPayload(from, v)
+		routeFn = func(up string) (*gateway.Config, *core.Session) {
+			return &gateway.Config{Upstream: up, Routes: []gateway.RouteConfig{{
+				Key: key, Op: op,
+				Request: &gateway.LaneConfig{From: from, To: to},
+				Reply:   &gateway.LaneConfig{From: to, To: from},
+			}}}, nil
+		}
+	case "gw-tree":
+		slope := gateway.DeclConfig{Lang: "java", Source: "class SlopeLine { double slope; double intercept; }", Decl: "SlopeLine"}
+		seg := gateway.DeclConfig{
+			Lang: "java",
+			Source: `class Pt { double x; double y; }
+				class SegLine { Pt a; Pt b; }`,
+			Script: "annotate SegLine.a nonnull noalias\nannotate SegLine.b nonnull noalias\n",
+			Decl:   "SegLine",
+		}
+		payload, err = lowerPayload(slope, value.NewRecord(value.Real{V: 2}, value.Real{V: -1}))
+		routeFn = func(up string) (*gateway.Config, *core.Session) {
+			sess := core.NewSession()
+			sess.RegisterSemantic("SlopeLine", "SegLine", "slope→seg", func(v value.Value) (value.Value, error) {
+				rec, ok := v.(value.Record)
+				if !ok || len(rec.Fields) != 2 {
+					return nil, fmt.Errorf("want slope/intercept record, got %s", v)
+				}
+				m := rec.Fields[0].(value.Real).V
+				c := rec.Fields[1].(value.Real).V
+				pt := func(x float64) value.Value {
+					return value.NewRecord(value.Real{V: x}, value.Real{V: m*x + c})
+				}
+				return value.NewRecord(pt(0), pt(1)), nil
+			})
+			return &gateway.Config{Upstream: up, Routes: []gateway.RouteConfig{{
+				Key: key, Op: op,
+				Request: &gateway.LaneConfig{From: slope, To: seg},
+			}}}, sess
+		}
+	default:
+		return nil, fmt.Errorf("unknown gateway tier %q", cfg.tier)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("build payload: %w", err)
+	}
+
+	addr := cfg.addr
+	t := &target{payloadBytes: len(payload), close: func() {}}
+	var closers []func()
+	if addr == "" {
+		up, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, func() { _ = up.Close() })
+		up.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
+
+		gwCfg, sess := routeFn(up.Addr())
+		g := gateway.New(gateway.Options{Session: sess})
+		closers = append(closers, func() { _ = g.Close() })
+		if err := g.SetConfig(gwCfg); err != nil {
+			for _, c := range closers {
+				c()
+			}
+			return nil, err
+		}
+		srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
+		if err != nil {
+			for _, c := range closers {
+				c()
+			}
+			return nil, err
+		}
+		closers = append(closers, func() { _ = srv.Close() })
+		g.Serve(srv)
+		addr = srv.Addr()
+	}
+	t.close = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+
+	admin, err := gateway.DialClient(addr)
+	if err != nil {
+		t.close()
+		return nil, err
+	}
+	closers = append(closers, func() { _ = admin.Close() })
+	t.health = func() (healthSnap, error) {
+		h, err := admin.Health()
+		if err != nil {
+			return healthSnap{}, err
+		}
+		return healthSnap{
+			sheds: h.Sheds + h.ConnSheds, expired: h.Expired,
+			heapBytes: h.HeapBytes, gcPauseNs: h.GCPauseNs, numGC: h.NumGC,
+		}, nil
+	}
+
+	clients := make([]*orb.Client, cfg.conc)
+	for i := range clients {
+		c, err := orb.Dial(addr)
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		clients[i] = c
+		closers = append(closers, func() { _ = c.Close() })
+	}
+	t.op = func(ctx context.Context, w int) error {
+		_, err := clients[w].InvokeContext(ctx, key, op, payload)
+		return err
+	}
+	return t, nil
+}
+
+// serverJSON is the server-side delta slice of a run record.
+type serverJSON struct {
+	Sheds        int64 `json:"sheds"`
+	Expired      int64 `json:"expired"`
+	HeapBytes    int64 `json:"heap_bytes"`
+	GCPauseDelta int64 `json:"gc_pause_delta_ns"`
+	GCs          int64 `json:"gcs"`
+}
+
+// record is the stable BENCH_load.json row for one run.
+type record struct {
+	Date        string      `json:"date"`
+	Note        string      `json:"note,omitempty"`
+	Tier        string      `json:"tier"`
+	Target      string      `json:"target"`
+	Mode        string      `json:"mode"`
+	Concurrency int         `json:"concurrency"`
+	TargetRate  float64     `json:"target_rate,omitempty"`
+	DurationS   float64     `json:"duration_s"`
+	Ops         int64       `json:"ops"`
+	Errors      int64       `json:"errors"`
+	Throughput  float64     `json:"throughput"`
+	Fields      int         `json:"fields,omitempty"`
+	Batch       int         `json:"batch,omitempty"`
+	PayloadB    int         `json:"payload_bytes,omitempty"`
+	P50us       float64     `json:"p50_us"`
+	P90us       float64     `json:"p90_us"`
+	P99us       float64     `json:"p99_us"`
+	P999us      float64     `json:"p999_us"`
+	MaxUs       float64     `json:"max_us"`
+	Server      *serverJSON `json:"server,omitempty"`
+}
+
+// benchFile is the BENCH_load.json envelope.
+type benchFile struct {
+	Description string   `json:"description"`
+	Records     []record `json:"records"`
+}
+
+const benchDescription = "Saturation runs from cmd/mbirdload: open-/closed-loop load against mbirdd (compare/convert/batch tiers) and mbirdgw (passthrough/fused/tree relay tiers). Open-loop latencies are schedule-anchored (no coordinated omission). Regenerate with: go run ./cmd/mbirdload -tier TIER -mode open -rate N -json -bench-file BENCH_load.json"
+
+func appendRecord(path string, r record) error {
+	var bf benchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if bf.Description == "" {
+		bf.Description = benchDescription
+	}
+	bf.Records = append(bf.Records, r)
+	out, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func run(cfg config, out io.Writer) error {
+	var (
+		t   *target
+		err error
+	)
+	switch cfg.tier {
+	case "compare", "convert", "batch":
+		t, err = setupBroker(cfg)
+	case "gw-pass", "gw-fused", "gw-tree":
+		t, err = setupGateway(cfg)
+	default:
+		return fmt.Errorf("unknown tier %q (want compare, convert, batch, gw-pass, gw-fused, gw-tree)", cfg.tier)
+	}
+	if err != nil {
+		return err
+	}
+	defer t.close()
+
+	var before healthSnap
+	haveHealth := false
+	if t.health != nil {
+		if before, err = t.health(); err != nil {
+			return fmt.Errorf("health before run: %w", err)
+		}
+		haveHealth = true
+	}
+
+	res, err := loadgen.Run(context.Background(), loadgen.Options{
+		Mode:        loadgen.Mode(cfg.mode),
+		Concurrency: cfg.conc,
+		Rate:        cfg.rate,
+		Duration:    cfg.duration,
+		Warmup:      cfg.warmup,
+	}, t.op)
+	if err != nil {
+		return err
+	}
+	if res.Ops == 0 {
+		return fmt.Errorf("no operations completed (last error: %v)", res.LastErr)
+	}
+
+	targetName := cfg.addr
+	if targetName == "" {
+		targetName = "self"
+	}
+	rec := record{
+		Date: time.Now().Format("2006-01-02"), Note: cfg.note,
+		Tier: cfg.tier, Target: targetName, Mode: string(res.Mode),
+		Concurrency: res.Concurrency, TargetRate: res.TargetRate,
+		DurationS: res.Elapsed.Seconds(), Ops: res.Ops, Errors: res.Errors,
+		Throughput: res.Throughput, Fields: cfg.fields, PayloadB: t.payloadBytes,
+		P50us:  usec(res.Hist.Percentile(0.50)),
+		P90us:  usec(res.Hist.Percentile(0.90)),
+		P99us:  usec(res.Hist.Percentile(0.99)),
+		P999us: usec(res.Hist.Percentile(0.999)),
+		MaxUs:  usec(res.Hist.Max()),
+	}
+	if cfg.tier == "batch" {
+		rec.Batch = cfg.batch
+	}
+	if haveHealth {
+		after, err := t.health()
+		if err != nil {
+			return fmt.Errorf("health after run: %w", err)
+		}
+		rec.Server = &serverJSON{
+			Sheds:        after.sheds - before.sheds,
+			Expired:      after.expired - before.expired,
+			HeapBytes:    after.heapBytes,
+			GCPauseDelta: after.gcPauseNs - before.gcPauseNs,
+			GCs:          after.numGC - before.numGC,
+		}
+	}
+
+	if cfg.asJSON {
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "tier %s against %s, %s loop, %d workers", cfg.tier, targetName, rec.Mode, rec.Concurrency)
+		if rec.TargetRate > 0 {
+			fmt.Fprintf(out, ", %.0f/s offered", rec.TargetRate)
+		}
+		fmt.Fprintf(out, ", %.1fs\n", rec.DurationS)
+		fmt.Fprintf(out, "throughput: %.0f/s (%d ops, %d errors)\n", rec.Throughput, rec.Ops, rec.Errors)
+		fmt.Fprintf(out, "latency:    %s\n", res.Hist.String())
+		if rec.Server != nil {
+			fmt.Fprintf(out, "server:     %d shed, %d expired, %d GCs (%v paused), %d heap bytes in use\n",
+				rec.Server.Sheds, rec.Server.Expired, rec.Server.GCs,
+				time.Duration(rec.Server.GCPauseDelta), rec.Server.HeapBytes)
+		}
+	}
+	if cfg.file != "" {
+		if err := appendRecord(cfg.file, rec); err != nil {
+			return err
+		}
+	}
+	if res.Errors > 0 {
+		if cfg.failErrs {
+			return fmt.Errorf("%d of %d operations failed (last: %v)", res.Errors, res.Ops, res.LastErr)
+		}
+		fmt.Fprintf(os.Stderr, "mbirdload: warning: %d of %d operations failed (last: %v)\n", res.Errors, res.Ops, res.LastErr)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags("mbirdload", os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mbirdload:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// shortCfg is a sub-second run against an in-process target, enough to
+// prove the tier wiring end to end.
+func shortCfg(tier string) config {
+	return config{
+		tier: tier, mode: "closed", conc: 2,
+		duration: 200 * time.Millisecond, warmup: 50 * time.Millisecond,
+		batch: 4, key: "svc", op: 1, asJSON: true, failErrs: true,
+	}
+}
+
+// TestAllTiersSelf drives every tier self-contained and checks the JSON
+// record: operations completed, none failed, percentiles populated, and
+// the server delta present.
+func TestAllTiersSelf(t *testing.T) {
+	for _, tier := range []string{"compare", "convert", "batch", "gw-pass", "gw-fused", "gw-tree"} {
+		t.Run(tier, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(shortCfg(tier), &buf); err != nil {
+				t.Fatal(err)
+			}
+			var rec record
+			if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+				t.Fatalf("bad JSON %q: %v", buf.String(), err)
+			}
+			if rec.Ops == 0 || rec.Errors != 0 {
+				t.Fatalf("ops=%d errors=%d", rec.Ops, rec.Errors)
+			}
+			if rec.P50us <= 0 || rec.P999us < rec.P50us || rec.MaxUs < rec.P999us {
+				t.Fatalf("percentiles not monotone: p50=%v p999=%v max=%v", rec.P50us, rec.P999us, rec.MaxUs)
+			}
+			if rec.Server == nil {
+				t.Fatal("record lacks server delta")
+			}
+			if rec.Server.HeapBytes == 0 {
+				t.Fatal("server delta reports zero heap")
+			}
+			if rec.Tier != tier || rec.Target != "self" {
+				t.Fatalf("record tier=%q target=%q", rec.Tier, rec.Target)
+			}
+		})
+	}
+}
+
+// TestOpenLoopSelf exercises the open-loop path against the gateway
+// passthrough tier at a modest offered rate.
+func TestOpenLoopSelf(t *testing.T) {
+	cfg := shortCfg("gw-pass")
+	cfg.mode = "open"
+	cfg.rate = 500
+	cfg.conc = 8
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode != "open" || rec.TargetRate != 500 {
+		t.Fatalf("mode=%q target_rate=%v", rec.Mode, rec.TargetRate)
+	}
+	if rec.Ops == 0 || rec.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", rec.Ops, rec.Errors)
+	}
+}
+
+// TestBenchFileAppend checks the read-modify-write BENCH_load.json
+// cycle: a fresh file gains the envelope, a second run appends.
+func TestBenchFileAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	cfg := shortCfg("compare")
+	cfg.file = path
+	cfg.note = "first"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg.note = "second"
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Description == "" {
+		t.Error("bench file lacks description")
+	}
+	if len(bf.Records) != 2 || bf.Records[0].Note != "first" || bf.Records[1].Note != "second" {
+		t.Fatalf("records = %+v", bf.Records)
+	}
+}
+
+// TestBadFlags covers the tier and mode validation paths.
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := parseFlags("mbirdload", []string{}, &buf); err == nil {
+		t.Error("missing -tier accepted")
+	}
+	cfg := shortCfg("nope")
+	if err := run(cfg, &buf); err == nil {
+		t.Error("unknown tier accepted")
+	}
+	cfg = shortCfg("compare")
+	cfg.mode = "open" // no rate
+	if err := run(cfg, &buf); err == nil {
+		t.Error("open mode without rate accepted")
+	}
+}

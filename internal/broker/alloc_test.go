@@ -1,0 +1,34 @@
+package broker
+
+import "testing"
+
+// TestCompareWarmAllocs pins the allocation ceiling of a warm compare:
+// with the root lowering memoized, the fingerprints memoized by graph
+// pointer, and the verdict served from cache, a repeat compare is a few
+// map probes. A regression here usually means a memo started missing
+// (fresh graphs defeat the pointer-keyed fingerprint memo) and the full
+// lower-and-refine pipeline is silently back on the hot path.
+func TestCompareWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	b := newBroker(Options{})
+	loadC(t, b, "x", "typedef struct { float r; int n; } mix;")
+	loadC(t, b, "y", "typedef struct { int count; float ratio; } pair;")
+	if _, err := b.Compare("x", "mix", "y", "pair"); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		v, err := b.Compare("x", "mix", "y", "pair")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Cached {
+			t.Fatal("warm compare missed the verdict cache")
+		}
+	})
+	const ceiling = 5
+	if avg > ceiling {
+		t.Fatalf("warm compare allocates %.1f/op, ceiling %d", avg, ceiling)
+	}
+}

@@ -595,11 +595,30 @@ type Health struct {
 	// Peers is the number of other daemons in this daemon's cluster (0
 	// when running standalone).
 	Peers int64
+	// HeapBytes is the process's in-use heap (runtime HeapInuse);
+	// GCPauseNs the cumulative stop-the-world GC pause time; NumGC the
+	// completed GC cycle count. Load harnesses (cmd/mbirdload) record
+	// the deltas of these across a run to attribute GC pressure to the
+	// request path.
+	HeapBytes int64
+	GCPauseNs int64
+	NumGC     int64
+}
+
+// memSnapshot fills the runtime memory/GC telemetry fields shared by
+// the broker's and gateway's health snapshots.
+func memSnapshot(heap, pause, numGC *int64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	*heap = int64(m.HeapInuse)
+	*pause = int64(m.PauseTotalNs)
+	*numGC = int64(m.NumGC)
 }
 
 // Health returns the daemon's readiness and load snapshot.
 func (b *Broker) Health() Health {
 	h := Health{Ready: true, Sheds: b.sheds.Load(), TranscoderEntries: int64(b.xcoders.len())}
+	memSnapshot(&h.HeapBytes, &h.GCPauseNs, &h.NumGC)
 	if w := b.peerWarmer(); w != nil {
 		h.Peers = int64(w.Peers())
 	}

@@ -78,6 +78,7 @@ var (
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds, connSheds, panics
 		proto.IntT, proto.IntT, // expired, canceled
 		proto.IntT, proto.IntT, // transcoderEntries, peers
+		proto.IntT, proto.IntT, proto.IntT, // heapBytes, gcPauseNs, numGC
 	)
 )
 
@@ -188,6 +189,12 @@ func Handler(b *Broker) orb.Handler {
 		// prompt typed error below, while the work finishes and warms the
 		// caches so a retry with a fresh budget is a hit.
 		bg := context.WithoutCancel(ctx)
+		// Detached work can outlive this handler's return, and under orb
+		// body pooling the request buffer is recycled the moment the
+		// handler returns — hand the goroutine its own copy.
+		if len(body) > 0 {
+			body = append([]byte(nil), body...)
+		}
 		go func() {
 			defer release()
 			// orb.Call, not a bare call: this goroutine is outside the orb
@@ -331,7 +338,8 @@ func handler(b *Broker) orb.Handler {
 				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
 				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
 				proto.Int(h.Expired), proto.Int(h.Canceled),
-				proto.Int(h.TranscoderEntries), proto.Int(h.Peers)))
+				proto.Int(h.TranscoderEntries), proto.Int(h.Peers),
+				proto.Int(h.HeapBytes), proto.Int(h.GCPauseNs), proto.Int(h.NumGC)))
 
 		default:
 			return nil, fmt.Errorf("broker: unknown op %d", op)
@@ -672,6 +680,9 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		Canceled:          get(7),
 		TranscoderEntries: get(8),
 		Peers:             get(9),
+		HeapBytes:         get(10),
+		GCPauseNs:         get(11),
+		NumGC:             get(12),
 	}
 	return h, r.Err()
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package broker
+
+// raceEnabled reports that the race detector is active. Its
+// instrumentation adds allocations of its own, so the allocation-ceiling
+// tests skip themselves under -race; the CI load-smoke job runs them
+// uninstrumented, where the ceilings are exact.
+const raceEnabled = true

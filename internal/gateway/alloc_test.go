@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/orb"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// TestFusedRelayAllocs pins the allocation ceiling of one fused-tier
+// relay: client → gateway (request and reply lanes on the fast tier) →
+// echo upstream → back. With pooled frame buffers on both servers and
+// the request-lane output in a pooled buffer, what remains is the
+// per-hop reply body, the dispatch goroutines, and the reply-lane
+// transcode output. This is the BenchmarkGatewayVsDirect fused number,
+// enforced; a regression means a pool or memo fell off the hot path.
+func TestFusedRelayAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	up, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = up.Close() })
+	up.Register("svc", func(ctx context.Context, op uint32, body []byte) ([]byte, error) {
+		return body, nil
+	})
+
+	cfg := &Config{Upstream: up.Addr(), Routes: []RouteConfig{{
+		Key: "svc", Op: 1,
+		Request: &LaneConfig{From: mixDecl(), To: pairDecl()},
+		Reply:   &LaneConfig{From: pairDecl(), To: mixDecl()},
+	}}}
+	g := New(Options{})
+	t.Cleanup(func() { _ = g.Close() })
+	if err := g.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	g.Serve(srv)
+
+	d := mixDecl()
+	mt, err := New(Options{}).Lower(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.Marshal(mt, value.NewRecord(value.Real{V: 1.5}, value.NewInt(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := orb.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	for i := 0; i < 50; i++ {
+		if _, err := c.Invoke("svc", 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := c.Invoke("svc", 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 9
+	if avg > ceiling {
+		t.Fatalf("fused relay allocates %.1f/op, ceiling %d", avg, ceiling)
+	}
+	if r := g.Stats().Routes[0]; r.FastTier == 0 || r.TreeTier != 0 {
+		t.Fatalf("fast=%d tree=%d, relay left the fast tier", r.FastTier, r.TreeTier)
+	}
+}

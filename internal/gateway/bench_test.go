@@ -20,7 +20,7 @@ import (
 func BenchmarkGatewayVsDirect(b *testing.B) {
 	newUpstream := func(b *testing.B, key string) *orb.Server {
 		b.Helper()
-		s, err := orb.NewServer("127.0.0.1:0")
+		s, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func BenchmarkGatewayVsDirect(b *testing.B) {
 		if err := g.SetConfig(cfg); err != nil {
 			b.Fatal(err)
 		}
-		srv, err := orb.NewServer("127.0.0.1:0")
+		srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func BenchmarkGatewayVsDirect(b *testing.B) {
 		if err := g.SetConfig(cfg); err != nil {
 			b.Fatal(err)
 		}
-		srv, err := orb.NewServer("127.0.0.1:0")
+		srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func BenchmarkGatewayVsDirect(b *testing.B) {
 		if err := g.SetConfig(cfg); err != nil {
 			b.Fatal(err)
 		}
-		srv, err := orb.NewServer("127.0.0.1:0")
+		srv, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())
 		if err != nil {
 			b.Fatal(err)
 		}

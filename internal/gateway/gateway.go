@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -566,7 +567,17 @@ func (g *Gateway) relay(ctx context.Context, r *route, body []byte) ([]byte, err
 	}
 	out := body
 	if r.req != nil {
-		if out, err = g.runLane(r, r.req, body); err != nil {
+		if r.req.xc != nil {
+			// The fast-tier request output only lives until the upstream
+			// leg returns (hedged attempts copy it), so it lands in a
+			// pooled buffer instead of allocating per call.
+			buf := laneBufPool.Get().(*[]byte)
+			defer putLaneBuf(buf)
+			if out, err = g.runLaneAppend(r, r.req, (*buf)[:0], body); err != nil {
+				return nil, fmt.Errorf("gateway: request transcode: %w", err)
+			}
+			*buf = out
+		} else if out, err = g.runLane(r, r.req, body); err != nil {
 			return nil, fmt.Errorf("gateway: request transcode: %w", err)
 		}
 	}
@@ -612,6 +623,33 @@ func (g *Gateway) relay(ctx context.Context, r *route, body []byte) ([]byte, err
 
 // runLane executes one lane under the route's tier and latency
 // counters.
+// laneBufPool recycles request-lane fast-tier output buffers; see
+// relay. Oversized buffers are dropped so one jumbo payload doesn't pin
+// its footprint forever.
+var laneBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const maxPooledLaneBuf = 64 << 10
+
+func putLaneBuf(b *[]byte) {
+	if cap(*b) <= maxPooledLaneBuf {
+		laneBufPool.Put(b)
+	}
+}
+
+// runLaneAppend is the fast-tier-only variant of runLane: the output is
+// appended to dst, so a caller that reuses dst across calls transcodes
+// without allocating.
+func (g *Gateway) runLaneAppend(r *route, l *lane, dst, payload []byte) ([]byte, error) {
+	start := time.Now()
+	out, err := l.xc.TranscodeAppend(dst, payload)
+	r.c.transcodeNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	r.c.fastTier.Add(1)
+	return out, nil
+}
+
 func (g *Gateway) runLane(r *route, l *lane, payload []byte) ([]byte, error) {
 	start := time.Now()
 	out, fast, err := l.run(payload)
@@ -761,11 +799,23 @@ type Health struct {
 	// Routes is the number of live table entries; Lanes the number of
 	// cached compiled lanes.
 	Routes, Lanes int
+	// HeapBytes is the process's in-use heap (runtime HeapInuse);
+	// GCPauseNs the cumulative stop-the-world GC pause time; NumGC the
+	// completed GC cycle count. Load harnesses record deltas of these
+	// across a run to attribute GC pressure to the relay path.
+	HeapBytes int64
+	GCPauseNs int64
+	NumGC     int64
 }
 
 // Health returns the gateway's readiness and load snapshot.
 func (g *Gateway) Health() Health {
 	h := Health{Ready: true, Sheds: g.sheds.Load()}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	h.HeapBytes = int64(m.HeapInuse)
+	h.GCPauseNs = int64(m.PauseTotalNs)
+	h.NumGC = int64(m.NumGC)
 	if g.admit != nil {
 		h.InFlight = int64(len(g.admit))
 		h.MaxInFlight = cap(g.admit)

@@ -47,6 +47,7 @@ var (
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // ready, inFlight, maxInFlight, sheds
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // connSheds, panics, expired, canceled
 		proto.IntT, proto.IntT, // routes, lanes
+		proto.IntT, proto.IntT, proto.IntT, // heapBytes, gcPauseNs, numGC
 	)
 	routeStatT = proto.Record(
 		proto.StrT,                                     // name
@@ -84,7 +85,8 @@ func (g *Gateway) adminHandler() orb.Handler {
 				proto.Int(ready), proto.Int(h.InFlight), proto.Int(int64(h.MaxInFlight)),
 				proto.Int(h.Sheds), proto.Int(h.ConnSheds), proto.Int(h.Panics),
 				proto.Int(h.Expired), proto.Int(h.Canceled),
-				proto.Int(int64(h.Routes)), proto.Int(int64(h.Lanes))))
+				proto.Int(int64(h.Routes)), proto.Int(int64(h.Lanes)),
+				proto.Int(h.HeapBytes), proto.Int(h.GCPauseNs), proto.Int(h.NumGC)))
 
 		case OpStats:
 			st := g.Stats()
@@ -188,6 +190,9 @@ func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 		Canceled:    r.Get(7),
 		Routes:      int(r.Get(8)),
 		Lanes:       int(r.Get(9)),
+		HeapBytes:   r.Get(10),
+		GCPauseNs:   r.Get(11),
+		NumGC:       r.Get(12),
 	}
 	return h, r.Err()
 }

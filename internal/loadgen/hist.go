@@ -1,0 +1,141 @@
+// Package loadgen is the saturation harness under cmd/mbirdload: a
+// load generator that drives the mbird daemons in either a closed loop
+// (a fixed worker count issuing back-to-back calls — the shape that
+// finds a throughput ceiling) or an open loop (a fixed arrival schedule
+// independent of response times — the shape that measures latency at an
+// offered rate without coordinated omission), recording latencies in an
+// HDR-style log-bucketed histogram.
+//
+// The coordinated-omission point matters enough to restate: a closed
+// loop stops *offering* load while the server stalls, so a 1-second
+// server pause costs one slow sample instead of a thousand — the
+// histogram silently forgives exactly the behavior a latency SLO exists
+// to catch. The open loop therefore timestamps every operation from its
+// *scheduled* start (when the arrival process wanted it sent), not from
+// when a worker got around to sending it; queueing delay behind a stall
+// lands in the recorded latency, where it belongs.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket geometry: values (nanoseconds) are bucketed with
+// subBits bits of mantissa per power-of-two scale, giving a constant
+// ~1/2^subBits relative resolution (subBits=6 → ~1.6% error), like an
+// HDR histogram with 2 significant digits. A 64-entry sub-bucket row
+// per scale over 38 scales covers 1ns..~4.5min in ~19KiB of counters.
+const (
+	subBits    = 6
+	subCount   = 1 << subBits
+	scaleCount = 38
+)
+
+// Hist is a log-bucketed latency histogram. It is NOT safe for
+// concurrent use; workers record into private instances and Merge them.
+type Hist struct {
+	counts [scaleCount * subCount]uint64
+	total  uint64
+	max    int64
+	min    int64
+}
+
+// bucket maps a nanosecond value to its bucket index: an exact bucket
+// below subCount, then subCount sub-buckets per power-of-two scale.
+func bucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < subCount {
+		return int(v)
+	}
+	scale := bits.Len64(v) - 1 - subBits
+	idx := (scale+1)*subCount + int((v>>uint(scale))&(subCount-1))
+	if idx >= scaleCount*subCount {
+		idx = scaleCount*subCount - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lowest nanosecond value mapped to bucket i (the
+// value reported for percentiles that land in it).
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	scale := i/subCount - 1
+	sub := int64(i % subCount)
+	return (int64(subCount) + sub) << uint(scale)
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[bucket(ns)]++
+	h.total++
+	if ns > h.max {
+		h.max = ns
+	}
+	if h.total == 1 || ns < h.min {
+		h.min = ns
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest recorded value (exact, not bucketed).
+func (h *Hist) Min() time.Duration { return time.Duration(h.min) }
+
+// Percentile returns the p-quantile (0 < p ≤ 1) at bucket resolution,
+// or 0 with no observations. Percentile(1) returns the exact max.
+func (h *Hist) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(p * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// String renders the standard percentile line.
+func (h *Hist) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v p999=%v max=%v (n=%d)",
+		h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99),
+		h.Percentile(0.999), h.Max(), h.Count())
+}

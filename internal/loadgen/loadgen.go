@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the load-generation loop shape.
+type Mode string
+
+const (
+	// Closed runs Concurrency workers back-to-back: each worker issues
+	// its next call the moment the previous one returns. Throughput
+	// floats to the system's ceiling; latency under a stall is
+	// under-reported (coordinated omission), so closed-loop results
+	// answer "how fast can it go", not "how does it behave at rate R".
+	Closed Mode = "closed"
+	// Open issues calls on a fixed arrival schedule at Rate per second,
+	// regardless of how long responses take. Latency for each call is
+	// measured from its scheduled start, so time spent queueing behind a
+	// slow server is charged to the result instead of silently deferring
+	// the offered load.
+	Open Mode = "open"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Mode is Closed or Open (default Closed).
+	Mode Mode
+	// Concurrency is the worker count: the fixed multiprogramming level
+	// in closed mode, the maximum outstanding calls in open mode
+	// (default 8). Open-loop runs that exhaust all workers accumulate
+	// schedule lag, which the latency accounting then surfaces.
+	Concurrency int
+	// Rate is the open-loop arrival rate in calls per second (required
+	// for Open mode).
+	Rate float64
+	// Duration bounds the measured run (default 5s).
+	Duration time.Duration
+	// Warmup runs the same loop shape, unrecorded, before measurement
+	// (default 0; useful to populate server caches and connection
+	// pools).
+	Warmup time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = Closed
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	return o
+}
+
+// Result is one run's measurements.
+type Result struct {
+	// Mode, Concurrency, and TargetRate echo the run configuration.
+	Mode        Mode
+	Concurrency int
+	TargetRate  float64
+	// Elapsed is the measured wall time; Ops and Errors count completed
+	// calls (Errors is the failed subset; failed calls still record
+	// latency).
+	Elapsed time.Duration
+	Ops     int64
+	Errors  int64
+	// Throughput is achieved calls per second.
+	Throughput float64
+	// Hist holds every recorded latency; open-loop latencies are
+	// schedule-anchored.
+	Hist Hist
+	// LastErr samples one error for diagnostics.
+	LastErr error
+}
+
+// Op is one load operation. It must be safe for concurrent use across
+// the run's workers (give each worker its own connection inside the
+// closure if the client is not).
+type Op func(ctx context.Context, worker int) error
+
+// Run drives op under o until o.Duration elapses or ctx is canceled,
+// and returns the merged measurements.
+func Run(ctx context.Context, o Options, op Op) (Result, error) {
+	o = o.withDefaults()
+	if o.Mode != Closed && o.Mode != Open {
+		return Result{}, fmt.Errorf("loadgen: unknown mode %q", o.Mode)
+	}
+	if o.Mode == Open && o.Rate <= 0 {
+		return Result{}, errors.New("loadgen: open mode requires a positive rate")
+	}
+	if o.Warmup > 0 {
+		w := o
+		w.Warmup = 0
+		w.Duration = o.Warmup
+		wctx, cancel := context.WithTimeout(ctx, o.Warmup+30*time.Second)
+		run(wctx, w, op)
+		cancel()
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	res := run(ctx, o, op)
+	return res, ctx.Err()
+}
+
+// worker-local accumulation, merged once at the end so the hot loop
+// shares nothing.
+type workerState struct {
+	hist    Hist
+	ops     int64
+	errs    int64
+	lastErr error
+}
+
+func run(ctx context.Context, o Options, op Op) Result {
+	res := Result{Mode: o.Mode, Concurrency: o.Concurrency, TargetRate: o.Rate}
+	states := make([]workerState, o.Concurrency)
+	deadline := time.Now().Add(o.Duration)
+	rctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if o.Mode == Closed {
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st := &states[w]
+				for time.Now().Before(deadline) && rctx.Err() == nil {
+					t0 := time.Now()
+					err := op(rctx, w)
+					st.record(time.Since(t0), err, rctx, deadline)
+				}
+			}(w)
+		}
+	} else {
+		// Open loop: call i is due at start + i*interval. Workers claim
+		// arrival slots from a shared counter, sleep until the slot's
+		// scheduled time, and measure from that scheduled time — a call
+		// that could not be sent on schedule (all workers busy) still
+		// pays its queueing delay in the histogram.
+		interval := time.Duration(float64(time.Second) / o.Rate)
+		var next atomic.Int64
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st := &states[w]
+				for rctx.Err() == nil {
+					slot := next.Add(1) - 1
+					sched := start.Add(time.Duration(slot) * interval)
+					if sched.After(deadline) {
+						return
+					}
+					if d := time.Until(sched); d > 0 {
+						select {
+						case <-rctx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+					err := op(rctx, w)
+					st.record(time.Since(sched), err, rctx, deadline)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for i := range states {
+		st := &states[i]
+		res.Ops += st.ops
+		res.Errors += st.errs
+		res.Hist.Merge(&st.hist)
+		if st.lastErr != nil {
+			res.LastErr = st.lastErr
+		}
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(res.Ops) / s
+	}
+	return res
+}
+
+// record accounts one completed call. Calls that failed only because
+// the run's own clock ran out (context deadline at shutdown) are
+// discarded rather than counted as errors. The wall-clock check matters:
+// at the window boundary a call can fail on the run deadline (a write
+// deadline or the client's backstop timer) a moment before the context's
+// own expiry callback has run, so rctx.Err() alone would still be nil
+// and a shutdown artifact would count as a failure.
+func (st *workerState) record(d time.Duration, err error, rctx context.Context, deadline time.Time) {
+	if err != nil && (rctx.Err() != nil || !time.Now().Before(deadline)) {
+		return
+	}
+	st.ops++
+	st.hist.Record(d)
+	if err != nil {
+		st.errs++
+		st.lastErr = err
+	}
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	// Every bucket's low bound must map back to its own index, and
+	// bounds must be monotone.
+	prev := int64(-1)
+	for i := 0; i < scaleCount*subCount; i++ {
+		low := bucketLow(i)
+		if low <= prev {
+			t.Fatalf("bucketLow(%d)=%d not monotone after %d", i, low, prev)
+		}
+		prev = low
+		if got := bucket(low); got != i && i < scaleCount*subCount-1 {
+			t.Fatalf("bucket(bucketLow(%d)=%d) = %d", i, low, got)
+		}
+	}
+}
+
+func TestHistPercentileResolution(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.90, 9000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Percentile(c.p)
+		relErr := math.Abs(float64(got-c.want)) / float64(c.want)
+		if relErr > 2.0/subCount {
+			t.Errorf("p%g = %v, want ≈%v (rel err %.3f)", c.p*100, got, c.want, relErr)
+		}
+	}
+	if h.Percentile(1) != 10000*time.Microsecond {
+		t.Errorf("p100 = %v", h.Percentile(1))
+	}
+	if h.Min() != time.Microsecond {
+		t.Errorf("min = %v", h.Min())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(500 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 2*time.Millisecond || a.Min() != 500*time.Microsecond {
+		t.Fatalf("merged: n=%d max=%v min=%v", a.Count(), a.Max(), a.Min())
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Run(context.Background(), Options{
+		Mode: Closed, Concurrency: 4, Duration: 200 * time.Millisecond,
+	}, func(ctx context.Context, w int) error {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Ops != calls.Load() {
+		t.Fatalf("ops = %d, calls = %d", res.Ops, calls.Load())
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d (%v)", res.Errors, res.LastErr)
+	}
+	if int64(res.Hist.Count()) != res.Ops {
+		t.Fatalf("hist count %d != ops %d", res.Hist.Count(), res.Ops)
+	}
+	if res.Throughput < 100 {
+		t.Fatalf("throughput = %.0f, want hundreds with 4 workers at ~1ms", res.Throughput)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		Mode: Open, Rate: 500, Concurrency: 16, Duration: 400 * time.Millisecond,
+	}, func(ctx context.Context, w int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200 arrivals scheduled; allow wide slop for CI noise.
+	if res.Ops < 100 || res.Ops > 260 {
+		t.Fatalf("ops = %d, want ≈200 at 500/s over 400ms", res.Ops)
+	}
+}
+
+// TestOpenLoopChargesQueueing is the coordinated-omission check: a
+// server that stalls must show the stall in open-loop percentiles even
+// though only a few calls physically overlapped it.
+func TestOpenLoopChargesQueueing(t *testing.T) {
+	var n atomic.Int64
+	res, err := Run(context.Background(), Options{
+		Mode: Open, Rate: 1000, Concurrency: 1, Duration: 300 * time.Millisecond,
+	}, func(ctx context.Context, w int) error {
+		if n.Add(1) == 10 {
+			time.Sleep(100 * time.Millisecond) // one stall, 1/3 of the run
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single worker the stall blocks ~100 scheduled arrivals;
+	// schedule-anchored latency must push p90 to tens of milliseconds.
+	if p90 := res.Hist.Percentile(0.90); p90 < 5*time.Millisecond {
+		t.Fatalf("p90 = %v; the stall was coordinated-omitted", p90)
+	}
+}
+
+func TestOpenLoopRequiresRate(t *testing.T) {
+	_, err := Run(context.Background(), Options{Mode: Open}, func(ctx context.Context, w int) error { return nil })
+	if err == nil {
+		t.Fatal("open mode without rate succeeded")
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(context.Background(), Options{
+		Mode: Closed, Concurrency: 2, Duration: 50 * time.Millisecond,
+	}, func(ctx context.Context, w int) error {
+		time.Sleep(100 * time.Microsecond)
+		return boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Errors != res.Ops {
+		t.Fatalf("errors = %d of %d ops", res.Errors, res.Ops)
+	}
+	if !errors.Is(res.LastErr, boom) {
+		t.Fatalf("lastErr = %v", res.LastErr)
+	}
+}

@@ -46,6 +46,12 @@ type Lowerer struct {
 	// re-entered, which is exactly how cyclic declarations produce the
 	// cyclic graphs of Figure 8.
 	memo map[memoKey]*memoEntry
+	// roots memoizes finished, validated root lowerings by declaration
+	// name, so a hot Decl is a single map probe instead of a re-walk
+	// plus re-validation of the whole graph. Annotation invalidates by
+	// replacing the Lowerer wholesale (core.Session.Annotate), so
+	// entries can never go stale.
+	roots map[string]*mtype.Type
 }
 
 type memoKey struct {
@@ -61,11 +67,18 @@ type memoEntry struct {
 
 // New returns a Lowerer for the universe.
 func New(u *stype.Universe) *Lowerer {
-	return &Lowerer{u: u, memo: make(map[memoKey]*memoEntry)}
+	return &Lowerer{
+		u:     u,
+		memo:  make(map[memoKey]*memoEntry),
+		roots: make(map[string]*mtype.Type),
+	}
 }
 
 // Decl lowers the named declaration to its Mtype.
 func (l *Lowerer) Decl(name string) (*mtype.Type, error) {
+	if ty, ok := l.roots[name]; ok {
+		return ty, nil
+	}
 	d := l.u.Lookup(name)
 	if d == nil {
 		return nil, fmt.Errorf("lower: no declaration %q", name)
@@ -77,6 +90,7 @@ func (l *Lowerer) Decl(name string) (*mtype.Type, error) {
 	if err := mtype.Validate(ty); err != nil {
 		return nil, fmt.Errorf("lower: %s: %w", name, err)
 	}
+	l.roots[name] = ty
 	return ty, nil
 }
 

@@ -199,7 +199,7 @@ func TestExpiredShedBeforeDispatch(t *testing.T) {
 	// only after the budget is long spent.
 	var buf bytes.Buffer
 	req := frame{ver: 2, kind: kindRequest, id: 1, key: "work", op: 0, budget: 20}
-	if err := writeFrame(&buf, req, lim); err != nil {
+	if _, err := writeFrame(&buf, req, lim); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()

@@ -196,6 +196,15 @@ type Limits struct {
 	// makes a client ignore hellos — the interop tests use it to pin one
 	// side down.
 	MaxProtoVersion int
+	// PoolBufs opts a server into recycling per-request state: request
+	// body buffers are drawn from a pool and returned once the reply is
+	// on the wire, and request contexts are pooled rather than built
+	// from the context package per frame. Off by default because it
+	// narrows the handler contract: handlers must not retain the request
+	// body or the context (or anything derived from either) past return
+	// — a handler that detaches work must copy the body first. The
+	// daemons (mbirdd, mbirdgw) satisfy that contract and enable it.
+	PoolBufs bool
 }
 
 func (l Limits) withDefaults() Limits {
@@ -238,6 +247,10 @@ func WithMaxPerConn(n int) Option { return func(l *Limits) { l.MaxPerConn = n } 
 // rollouts.
 func WithMaxProtoVersion(n int) Option { return func(l *Limits) { l.MaxProtoVersion = n } }
 
+// WithBufPooling opts a server into pooled request bodies and request
+// contexts (see Limits.PoolBufs for the handler contract it implies).
+func WithBufPooling() Option { return func(l *Limits) { l.PoolBufs = true } }
+
 func applyOptions(opts []Option) Limits {
 	var l Limits
 	for _, o := range opts {
@@ -276,12 +289,18 @@ var frameBufPool = sync.Pool{
 
 const maxPooledFrameBuf = 1 << 20
 
-func writeFrame(w io.Writer, f frame, lim Limits) error {
+// writevThreshold is the body size past which a frame is written as a
+// scatter-gather pair (header buffer + body, one writev on a TCP conn)
+// instead of copied into one contiguous buffer first. Small bodies stay
+// on the copy path: one syscall on exactly one buffer beats two iovecs.
+const writevThreshold = 1024
+
+func writeFrame(w io.Writer, f frame, lim Limits) (int, error) {
 	if len(f.body) > lim.MaxBody {
-		return fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, len(f.body), lim.MaxBody)
+		return 0, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, len(f.body), lim.MaxBody)
 	}
 	if len(f.key) > lim.MaxKey {
-		return fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, len(f.key), lim.MaxKey)
+		return 0, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, len(f.key), lim.MaxKey)
 	}
 	ver := f.ver
 	if ver == 0 {
@@ -299,19 +318,79 @@ func writeFrame(w io.Writer, f frame, lim Limits) error {
 	buf = append(buf, f.key...)
 	buf = binary.LittleEndian.AppendUint32(buf, f.op)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.body)))
-	buf = append(buf, f.body...)
-	_, err := w.Write(buf)
+	var n int
+	var err error
+	if len(f.body) >= writevThreshold {
+		bufs := net.Buffers{buf, f.body}
+		var nn int64
+		nn, err = bufs.WriteTo(w)
+		n = int(nn)
+	} else {
+		buf = append(buf, f.body...)
+		n, err = w.Write(buf)
+	}
 	if cap(buf) <= maxPooledFrameBuf {
 		*bp = buf
 		frameBufPool.Put(bp)
 	}
-	return err
+	return n, err
 }
 
+// bodyBufPool recycles request-body buffers on servers that opted into
+// pooling; the dispatch path returns a body once its reply is written.
+var bodyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// getBodyBuf returns a pooled buffer of exactly n bytes.
+func getBodyBuf(n int) []byte {
+	bp := bodyBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// putBodyBuf recycles a buffer handed out by getBodyBuf. Buffers that
+// grew past maxPooledFrameBuf are dropped rather than pinned.
+func putBodyBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledFrameBuf {
+		return
+	}
+	b = b[:0]
+	bodyBufPool.Put(&b)
+}
+
+// frameReader reads frames from one connection, reusing fixed scratch
+// for the header fields and interning the (almost always identical)
+// object key across frames so the steady-state read path allocates only
+// the body — and not even that on servers with pooling enabled. It is
+// owned by a single reader goroutine and must not be shared.
+type frameReader struct {
+	r    io.Reader
+	lim  Limits
+	pool bool
+	// scratch holds head (18) + budget (4) + tail (8).
+	scratch [30]byte
+	keyBuf  []byte
+	lastKey string
+}
+
+// readFrame decodes a single frame with a one-shot reader. Connection
+// loops keep a frameReader instead so the scratch survives across
+// frames; this helper serves tests and single-frame call sites.
 func readFrame(r io.Reader, lim Limits) (frame, error) {
+	fr := frameReader{r: r, lim: lim}
+	return fr.read()
+}
+
+func (fr *frameReader) read() (frame, error) {
 	var f frame
-	head := make([]byte, 18)
-	if _, err := io.ReadFull(r, head); err != nil {
+	head := fr.scratch[:18]
+	if _, err := io.ReadFull(fr.r, head); err != nil {
 		return f, err
 	}
 	f.hdrAt = time.Now()
@@ -319,43 +398,192 @@ func readFrame(r io.Reader, lim Limits) (frame, error) {
 		return f, fmt.Errorf("orb: bad magic %q", head[:4])
 	}
 	ver := head[4]
-	if ver != 1 && (ver != 2 || lim.MaxProtoVersion < 2) {
+	if ver != 1 && (ver != 2 || fr.lim.MaxProtoVersion < 2) {
 		return f, fmt.Errorf("orb: unsupported version %d", ver)
 	}
 	f.ver = ver
 	f.kind = head[5]
 	f.id = binary.LittleEndian.Uint64(head[6:])
 	keyLen := binary.LittleEndian.Uint32(head[14:])
-	if uint64(keyLen) > uint64(lim.MaxKey) {
-		return f, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, keyLen, lim.MaxKey)
+	if uint64(keyLen) > uint64(fr.lim.MaxKey) {
+		return f, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, keyLen, fr.lim.MaxKey)
 	}
 	if ver >= 2 && f.kind == kindRequest {
-		var bud [4]byte
-		if _, err := io.ReadFull(r, bud[:]); err != nil {
+		bud := fr.scratch[18:22]
+		if _, err := io.ReadFull(fr.r, bud); err != nil {
 			return f, err
 		}
-		f.budget = binary.LittleEndian.Uint32(bud[:])
+		f.budget = binary.LittleEndian.Uint32(bud)
 	}
-	key := make([]byte, keyLen)
-	if _, err := io.ReadFull(r, key); err != nil {
-		return f, err
+	if keyLen > 0 {
+		if cap(fr.keyBuf) < int(keyLen) {
+			fr.keyBuf = make([]byte, keyLen)
+		}
+		key := fr.keyBuf[:keyLen]
+		if _, err := io.ReadFull(fr.r, key); err != nil {
+			return f, err
+		}
+		// Connections overwhelmingly invoke one object; reuse the interned
+		// string instead of allocating an identical one per frame.
+		if fr.lastKey != string(key) {
+			fr.lastKey = string(key)
+		}
+		f.key = fr.lastKey
 	}
-	f.key = string(key)
-	tail := make([]byte, 8)
-	if _, err := io.ReadFull(r, tail); err != nil {
+	tail := fr.scratch[22:30]
+	if _, err := io.ReadFull(fr.r, tail); err != nil {
 		return f, err
 	}
 	f.op = binary.LittleEndian.Uint32(tail)
 	bodyLen := binary.LittleEndian.Uint32(tail[4:])
-	if uint64(bodyLen) > uint64(lim.MaxBody) {
-		return f, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, bodyLen, lim.MaxBody)
+	if uint64(bodyLen) > uint64(fr.lim.MaxBody) {
+		return f, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrFrameTooLarge, bodyLen, fr.lim.MaxBody)
 	}
-	f.body = make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, f.body); err != nil {
+	if fr.pool {
+		f.body = getBodyBuf(int(bodyLen))
+	} else {
+		f.body = make([]byte, bodyLen)
+	}
+	if _, err := io.ReadFull(fr.r, f.body); err != nil {
 		return f, err
 	}
 	return f, nil
 }
+
+// serverCtx is the context.Context handed to request handlers: a flat
+// cancel-plus-deadline context with no parent chain. Compared to
+// context.WithDeadline it allocates nothing on the steady-state path —
+// the struct, its done channel, and its deadline timer are all reused
+// across requests when the server has pooling enabled. The reuse
+// contract matches Limits.PoolBufs: handlers must not hold the context
+// (or its Done channel) past return.
+type serverCtx struct {
+	dl    time.Time
+	hasDL bool
+
+	mu     sync.Mutex
+	done   chan struct{}
+	closed bool // done is non-nil and closed
+	err    error
+	timer  *time.Timer
+	armed  bool
+	fired  bool // the armed timer's callback has run
+}
+
+var serverCtxPool = sync.Pool{New: func() any { return new(serverCtx) }}
+
+// acquireServerCtx readies a context for one request, arming the pooled
+// deadline timer when the request carries a budget.
+func acquireServerCtx(pool bool, deadline time.Time, hasDL bool) *serverCtx {
+	var c *serverCtx
+	if pool {
+		c = serverCtxPool.Get().(*serverCtx)
+	} else {
+		c = new(serverCtx)
+	}
+	c.dl, c.hasDL = deadline, hasDL
+	if hasDL {
+		d := time.Until(deadline)
+		if d < 0 {
+			d = 0
+		}
+		c.mu.Lock()
+		c.armed, c.fired = true, false
+		c.mu.Unlock()
+		if c.timer == nil {
+			c.timer = time.AfterFunc(d, c.fireTimer)
+		} else {
+			c.timer.Reset(d)
+		}
+	}
+	return c
+}
+
+// release disarms and recycles a request context once its reply is on
+// the wire. A context whose deadline callback is caught mid-flight is
+// abandoned to the GC instead of pooled — reusing it would let the
+// stale callback cancel the next request.
+func (c *serverCtx) release(pool bool) {
+	c.mu.Lock()
+	wasArmed := c.armed
+	c.armed = false
+	c.mu.Unlock()
+	if wasArmed && !c.timer.Stop() {
+		c.mu.Lock()
+		fired := c.fired
+		c.mu.Unlock()
+		if !fired {
+			return
+		}
+	}
+	if !pool {
+		return
+	}
+	c.mu.Lock()
+	c.err = nil
+	if c.closed {
+		// The open-done-chan case keeps the channel for the next request;
+		// a closed channel is spent and must be dropped.
+		c.done = nil
+		c.closed = false
+	}
+	c.mu.Unlock()
+	c.hasDL = false
+	serverCtxPool.Put(c)
+}
+
+func (c *serverCtx) fireTimer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fired = true
+	if !c.armed {
+		return
+	}
+	c.armed = false
+	if c.err == nil {
+		c.err = context.DeadlineExceeded
+		if c.done != nil && !c.closed {
+			close(c.done)
+			c.closed = true
+		}
+	}
+}
+
+// cancel aborts the request (client cancel frame or teardown).
+func (c *serverCtx) cancel(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		if c.done != nil && !c.closed {
+			close(c.done)
+			c.closed = true
+		}
+	}
+}
+
+func (c *serverCtx) Deadline() (time.Time, bool) { return c.dl, c.hasDL }
+
+func (c *serverCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.err != nil {
+			close(c.done)
+			c.closed = true
+		}
+	}
+	return c.done
+}
+
+func (c *serverCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *serverCtx) Value(key any) any { return nil }
 
 // Handler serves invocations on one exported object. op selects the
 // method alternative; the returned bytes are the reply body. For one-way
@@ -585,28 +813,27 @@ func (s *Server) serveConn(conn net.Conn) {
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
 	var inFlight atomic.Int64
-	// connCtx is the parent of every request context on this connection;
-	// canceling it on teardown tells still-running handlers their caller
-	// is gone (relays forward that upstream as a cancel frame).
-	connCtx, connCancel := context.WithCancel(context.Background())
-	defer connCancel()
-	// cancels maps in-flight request ids to their context cancel funcs so
-	// a cancel frame can abort exactly the request it names.
+	pool := s.lim.PoolBufs
+	// cancels maps in-flight request ids to their contexts so a cancel
+	// frame can abort exactly the request it names. Lookup, removal, and
+	// the cancel call itself all run under cancelMu so a cancel frame can
+	// never touch a context its request has already released.
 	var cancelMu sync.Mutex
-	cancels := make(map[uint64]context.CancelFunc)
+	cancels := make(map[uint64]*serverCtx)
 	defer reqWG.Wait()
 	if s.lim.MaxProtoVersion >= 2 {
 		// Advertise v2 before reading anything. v1 clients parse this as a
 		// frame for a request they never made and drop it.
 		writeMu.Lock()
-		err := writeFrame(conn, frame{kind: kindHello, op: uint32(s.lim.MaxProtoVersion)}, s.lim)
+		_, err := writeFrame(conn, frame{kind: kindHello, op: uint32(s.lim.MaxProtoVersion)}, s.lim)
 		writeMu.Unlock()
 		if err != nil {
 			return
 		}
 	}
+	fr := frameReader{r: conn, lim: s.lim, pool: pool}
 	for {
-		f, err := readFrame(conn, s.lim)
+		f, err := fr.read()
 		if err != nil {
 			return
 		}
@@ -626,13 +853,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				deadline = req.hdrAt.Add(time.Duration(req.budget) * time.Millisecond)
 				if over := time.Since(deadline); over >= 0 {
 					s.expired.Add(1)
+					if pool {
+						putBodyBuf(req.body)
+					}
 					if req.kind == kindOneway {
 						continue
 					}
 					reply := frame{kind: kindError, id: req.id, op: codeErrExpired,
 						body: []byte(fmt.Sprintf("budget of %dms spent %v before dispatch", req.budget, over.Round(time.Millisecond)))}
 					writeMu.Lock()
-					_ = writeFrame(conn, reply, s.lim)
+					_, _ = writeFrame(conn, reply, s.lim)
 					writeMu.Unlock()
 					continue
 				}
@@ -643,26 +873,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			// reply to carry the error, so they are just dropped.
 			if inFlight.Load() >= int64(s.lim.MaxPerConn) {
 				s.shed.Add(1)
+				if pool {
+					putBodyBuf(req.body)
+				}
 				if req.kind == kindOneway {
 					continue
 				}
 				reply := frame{kind: kindError, id: req.id, op: codeErrOverloaded,
 					body: []byte(fmt.Sprintf("connection exceeds %d concurrent requests", s.lim.MaxPerConn))}
 				writeMu.Lock()
-				_ = writeFrame(conn, reply, s.lim)
+				_, _ = writeFrame(conn, reply, s.lim)
 				writeMu.Unlock()
 				continue
 			}
-			var reqCtx context.Context
-			var cancel context.CancelFunc
-			if req.budget > 0 {
-				reqCtx, cancel = context.WithDeadline(connCtx, deadline)
-			} else {
-				reqCtx, cancel = context.WithCancel(connCtx)
-			}
+			reqCtx := acquireServerCtx(pool, deadline, req.budget > 0)
 			if req.kind == kindRequest {
 				cancelMu.Lock()
-				cancels[req.id] = cancel
+				cancels[req.id] = reqCtx
 				cancelMu.Unlock()
 			}
 			hadBudget := req.budget > 0
@@ -677,7 +904,10 @@ func (s *Server) serveConn(conn net.Conn) {
 						delete(cancels, req.id)
 						cancelMu.Unlock()
 					}
-					cancel()
+					reqCtx.release(pool)
+					if pool {
+						putBodyBuf(req.body)
+					}
 				}()
 				var reply frame
 				reply.id = req.id
@@ -711,19 +941,27 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				writeMu.Lock()
 				defer writeMu.Unlock()
-				_ = writeFrame(conn, reply, s.lim)
+				_, _ = writeFrame(conn, reply, s.lim)
 			}()
 		case kindCancel:
 			cancelMu.Lock()
-			cancel := cancels[f.id]
+			rc := cancels[f.id]
 			delete(cancels, f.id)
+			if rc != nil {
+				rc.cancel(context.Canceled)
+			}
 			cancelMu.Unlock()
-			if cancel != nil {
+			if rc != nil {
 				s.canceled.Add(1)
-				cancel()
+			}
+			if pool {
+				putBodyBuf(f.body)
 			}
 		default:
 			// Unexpected frame on a server connection; drop it.
+			if pool {
+				putBodyBuf(f.body)
+			}
 		}
 	}
 }
@@ -742,6 +980,49 @@ func (e *RemoteError) Error() string { return "orb: remote: " + e.Msg }
 type result struct {
 	f   frame
 	err error
+}
+
+// resultChPool recycles the per-call reply channels. A channel is only
+// returned to the pool on paths where no sender can still be holding it:
+// after the single send was received, or after the call's pending-map
+// entry was removed while still present (proving no sender claimed it).
+// Abandoned calls whose entry was already claimed leak their channel to
+// the GC — the late sender owns it.
+var resultChPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+// deadlineSlack is how far past a context's deadline the pooled
+// backstop timer fires. A context with a working Done channel expires
+// through that channel well inside the slack, preserving its exact
+// expiry semantics; only deadline-only contexts fall through to the
+// backstop.
+const deadlineSlack = 5 * time.Millisecond
+
+// waitTimer is a pooled timer for deadline-bounded reply waits. The
+// fire channel is drained on acquire, and a consumer that wakes early
+// (a stale fire from a previous user slipping past Stop) re-arms and
+// keeps waiting — so the classic pooled-timer race costs a spurious
+// wakeup, never a wrong result.
+var waitTimerPool = sync.Pool{
+	New: func() any {
+		t := time.NewTimer(time.Hour)
+		t.Stop()
+		return t
+	},
+}
+
+func acquireWaitTimer(d time.Duration) *time.Timer {
+	t := waitTimerPool.Get().(*time.Timer)
+	select {
+	case <-t.C:
+	default:
+	}
+	t.Reset(d)
+	return t
+}
+
+func releaseWaitTimer(t *time.Timer) {
+	t.Stop()
+	waitTimerPool.Put(t)
 }
 
 // Client is a connection to a Server, safe for concurrent use. Requests
@@ -848,8 +1129,9 @@ func (c *Client) fail(err error) {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
+	fr := frameReader{r: c.conn, lim: c.lim}
 	for {
-		f, err := readFrame(c.conn, c.lim)
+		f, err := fr.read()
 		if err != nil {
 			c.fail(err)
 			return
@@ -876,10 +1158,13 @@ func (c *Client) readLoop() {
 }
 
 // write serializes a frame onto the connection. When the context carries
-// a deadline it is applied as the write deadline; a write that fails for
-// any reason other than frame-limit validation may have left a partial
-// frame on the wire, so the connection is killed (failing all other
-// in-flight calls) rather than left unframeable.
+// a deadline it is applied as the write deadline; a write that fails
+// after putting bytes on the wire has left a partial frame there, so the
+// connection is killed (failing all other in-flight calls) rather than
+// left unframeable. A write that fails before any byte reaches the wire
+// — the common case when a caller's deadline expires between arming it
+// and the syscall — leaves the stream perfectly framed, so the
+// connection stays usable and only this call reports the deadline.
 func (c *Client) write(ctx context.Context, f frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -887,11 +1172,15 @@ func (c *Client) write(ctx context.Context, f frame) error {
 		_ = c.conn.SetWriteDeadline(d)
 		defer func() { _ = c.conn.SetWriteDeadline(time.Time{}) }()
 	}
-	err := writeFrame(c.conn, f, c.lim)
+	n, err := writeFrame(c.conn, f, c.lim)
 	if err != nil && !errors.Is(err, ErrFrameTooLarge) {
-		_ = c.conn.Close()
 		var nerr net.Error
-		if errors.As(err, &nerr) && nerr.Timeout() {
+		timeout := errors.As(err, &nerr) && nerr.Timeout()
+		if timeout && n == 0 {
+			return fmt.Errorf("%w: write: %v", ErrDeadline, err)
+		}
+		_ = c.conn.Close()
+		if timeout {
 			return fmt.Errorf("%w: write: %v", ErrDeadline, err)
 		}
 		return fmt.Errorf("%w: write: %v", ErrConnClosed, err)
@@ -937,7 +1226,7 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan result, 1)
+	ch := resultChPool.Get().(chan result)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -949,29 +1238,81 @@ func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body 
 		}
 	}
 	if err := c.write(ctx, fr); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.abandon(id, ch)
 		return nil, err
 	}
 
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return nil, r.err
+	// The wait is additionally bounded by a pooled backstop timer armed
+	// a little past the context's deadline. Deadline-only contexts
+	// (resil's CallTimeout overlay) have no Done channel of their own,
+	// so this timer is what enforces their deadline; contexts with a
+	// live Done fire first and keep their own expiry semantics — the
+	// slack exists so the backstop never races them.
+	var timeoutCh <-chan time.Time
+	var wt *time.Timer
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		wt = acquireWaitTimer(time.Until(deadline) + deadlineSlack)
+		defer releaseWaitTimer(wt)
+		timeoutCh = wt.C
+	}
+	for {
+		select {
+		case r := <-ch:
+			resultChPool.Put(ch)
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.f.kind == kindError {
+				return nil, errFromFrame(r.f)
+			}
+			return r.f.body, nil
+		case <-ctx.Done():
+			c.abandon(id, ch)
+			if c.peerVer.Load() >= 2 {
+				go c.sendCancel(id)
+			}
+			return nil, ctxErr(ctx.Err())
+		case <-timeoutCh:
+			if err := ctx.Err(); err != nil {
+				// The context expired on its own terms while we were
+				// being woken; report its verdict, not the backstop's.
+				c.abandon(id, ch)
+				if c.peerVer.Load() >= 2 {
+					go c.sendCancel(id)
+				}
+				return nil, ctxErr(err)
+			}
+			if rem := time.Until(deadline); rem > 0 {
+				// Spurious wake from a recycled timer; re-arm and keep
+				// waiting out the remainder.
+				wt.Reset(rem + deadlineSlack)
+				continue
+			}
+			c.abandon(id, ch)
+			if c.peerVer.Load() >= 2 {
+				go c.sendCancel(id)
+			}
+			return nil, ErrDeadline
 		}
-		if r.f.kind == kindError {
-			return nil, errFromFrame(r.f)
+	}
+}
+
+// abandon removes a call's pending entry. If the entry was still
+// present, no sender can ever touch the channel and it returns to the
+// pool; if the read loop already claimed it, the late send owns the
+// channel and it is left to the GC.
+func (c *Client) abandon(id uint64, ch chan result) {
+	c.mu.Lock()
+	_, mine := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if mine {
+		select {
+		case <-ch:
+		default:
 		}
-		return r.f.body, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		if c.peerVer.Load() >= 2 {
-			go c.sendCancel(id)
-		}
-		return nil, ctxErr(ctx.Err())
+		resultChPool.Put(ch)
 	}
 }
 

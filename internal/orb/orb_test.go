@@ -194,7 +194,7 @@ func TestRegisterReplaces(t *testing.T) {
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := frame{kind: kindRequest, id: 42, key: "obj/1", op: 3, body: []byte("payload")}
-	if err := writeFrame(&buf, in, Limits{}.withDefaults()); err != nil {
+	if _, err := writeFrame(&buf, in, Limits{}.withDefaults()); err != nil {
 		t.Fatal(err)
 	}
 	out, err := readFrame(&buf, Limits{}.withDefaults())
@@ -219,7 +219,7 @@ func TestFrameLimits(t *testing.T) {
 	var buf bytes.Buffer
 	// Oversized body rejected at write time.
 	big := frame{kind: kindRequest, body: make([]byte, DefaultMaxBody+1)}
-	if err := writeFrame(&buf, big, Limits{}.withDefaults()); err == nil {
+	if _, err := writeFrame(&buf, big, Limits{}.withDefaults()); err == nil {
 		t.Error("oversized body accepted by writeFrame")
 	}
 	// Oversized key rejected at read time.
@@ -500,7 +500,7 @@ func TestReadSideKeyLimit(t *testing.T) {
 			// A permissive writer produces the frame; the limits under
 			// test apply on the read side only.
 			wlim := Limits{MaxKey: tc.keyLen, MaxBody: DefaultMaxBody}
-			if err := writeFrame(&buf, frame{kind: kindRequest, id: 1, key: key}, wlim); err != nil {
+			if _, err := writeFrame(&buf, frame{kind: kindRequest, id: 1, key: key}, wlim); err != nil {
 				t.Fatal(err)
 			}
 			f, err := readFrame(&buf, Limits{MaxKey: tc.maxKey}.withDefaults())

@@ -1,0 +1,5 @@
+//go:build !race
+
+package orb
+
+const raceEnabled = false

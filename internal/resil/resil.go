@@ -444,6 +444,29 @@ func discardable(err error) bool {
 	return true
 }
 
+// deadlineCtx overlays a per-call deadline on a parent context without
+// a timer goroutine or Done channel of its own. Cancellation still
+// flows from the parent; the deadline itself is enforced where the
+// call actually waits (orb's client arms a pooled timer from
+// ctx.Deadline()), so wrapping every call stays allocation-free beyond
+// this one small struct. Err reports expiry for callers that poll.
+type deadlineCtx struct {
+	context.Context
+	dl time.Time
+}
+
+func (d *deadlineCtx) Deadline() (time.Time, bool) { return d.dl, true }
+
+func (d *deadlineCtx) Err() error {
+	if err := d.Context.Err(); err != nil {
+		return err
+	}
+	if !time.Now().Before(d.dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 // Invoke is InvokeContext with the background context (so the default
 // CallTimeout still applies).
 func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
@@ -457,9 +480,7 @@ func (c *Client) Invoke(key string, op uint32, body []byte) ([]byte, error) {
 func (c *Client) InvokeContext(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
 	if c.opts.CallTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
-			defer cancel()
+			ctx = &deadlineCtx{Context: ctx, dl: time.Now().Add(c.opts.CallTimeout)}
 		}
 	}
 	var lastErr error
@@ -519,6 +540,12 @@ func (c *Client) attempt(ctx context.Context, key string, op uint32, body []byte
 // hedged races a duplicate attempt against the primary once the hedge
 // delay elapses; the first success wins and the loser is canceled.
 func (c *Client) hedged(ctx context.Context, key string, op uint32, body []byte) ([]byte, error) {
+	// The losing attempt's goroutine can outlive this call, and callers
+	// under orb body pooling may recycle body the moment we return —
+	// race the duplicates over a private copy.
+	if len(body) > 0 {
+		body = append([]byte(nil), body...)
+	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type res struct {
@@ -605,6 +632,13 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	}
 	// Jitter to ±50% so synchronized clients don't retry in lockstep.
 	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	// Deadline-only contexts (the CallTimeout overlay) have no Done
+	// channel to interrupt the sleep, so check explicitly: when the
+	// remaining budget can't survive the backoff, fail now rather than
+	// sleeping into certain expiry.
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return context.DeadlineExceeded
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
