@@ -17,6 +17,7 @@
 //	mbird show    project.json
 //	mbird remote compare -addr HOST:PORT (compare flags) (transport flags)
 //	mbird remote convert -addr HOST:PORT (compare flags) [-in value.json] [-batch]
+//	mbird remote convert -addr HOST:PORT (compare flags) -in payload.cdr -out result.cdr
 //	mbird remote stats   -addr HOST:PORT [-json] [-gateway] (transport flags)
 //	mbird remote health  -addr HOST:PORT [-json] [-gateway] (transport flags)
 //	mbird remote reload  -addr HOST:PORT (transport flags)
@@ -62,10 +63,16 @@
 // the Mtypes for the JSON and CDR codecs are lowered locally from the
 // same sources the daemon sees. With -batch the input is a JSON array of
 // A values and the output a JSON array of B values, converted in one
-// daemon request through the batch protocol op.
+// daemon request through the batch protocol op. With -out the JSON
+// codecs are bypassed entirely: -in names a raw CDR payload of the A
+// declaration (stdin with -), -out receives the raw CDR payload of the
+// B declaration (stdout with -), and both legs stream through the
+// daemon's streaming convert op in bounded memory — payloads larger
+// than RAM convert from disk to disk.
 package main
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -558,16 +565,24 @@ func cmdRemoteCompare(args []string, out io.Writer) error {
 }
 
 func cmdRemoteConvert(args []string, out io.Writer) error {
-	var inPath string
+	var inPath, outPath string
 	var batch bool
 	ctx, c, a, b, ua, ub, err := remotePair("remote convert", args, func(fs *flag.FlagSet) {
-		fs.StringVar(&inPath, "in", "-", "JSON value of the A declaration (- for stdin)")
+		fs.StringVar(&inPath, "in", "-", "JSON value of the A declaration (- for stdin); with -out, raw CDR payload bytes instead")
+		fs.StringVar(&outPath, "out", "", "write raw CDR payload bytes of the B declaration to this file (- for stdout), streaming both legs; disables the JSON codecs")
 		fs.BoolVar(&batch, "batch", false, "input is a JSON array of A values; convert them in one batch request")
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+
+	if outPath != "" {
+		if batch {
+			return fmt.Errorf("-batch and -out are exclusive")
+		}
+		return streamConvert(ctx, c, a, b, ua, ub, inPath, outPath, out)
+	}
 
 	// Lower both sides locally: the daemon converts CDR payloads, the
 	// client owns the JSON⇄CDR codecs.
@@ -640,6 +655,40 @@ func cmdRemoteConvert(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "%s\n", js)
+	return nil
+}
+
+// streamConvert is the raw-CDR mode of remote convert: payload bytes
+// flow file→daemon→file through the streaming convert op, so neither
+// the client nor the daemon ever holds the whole value — the path for
+// payloads bigger than memory. The JSON codecs (and therefore the local
+// lowering they need) are skipped entirely.
+func streamConvert(ctx context.Context, c *broker.Client, a, b *side, ua, ub string, inPath, outPath string, stdout io.Writer) error {
+	var src io.Reader = os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var dst io.Writer = stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	n, err := c.ConvertStreamContext(ctx, ua, a.decl, ub, b.decl, bufio.NewReaderSize(src, 256<<10), dst)
+	if err != nil {
+		return err
+	}
+	if outPath != "-" {
+		fmt.Fprintf(stdout, "wrote %d bytes to %s\n", n, outPath)
+	}
 	return nil
 }
 

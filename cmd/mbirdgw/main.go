@@ -11,6 +11,7 @@
 //	mbirdgw -routes FILE [-addr 127.0.0.1:7466]
 //	        [-max-inflight N] [-admit-wait D] [-max-payload BYTES]
 //	        [-max-body BYTES] [-max-per-conn N]
+//	        [-stream-threshold BYTES]
 //	        [-pool N] [-call-timeout D] [-dial-timeout D]
 //	        [-retries N] [-hedge] [-drain D]
 //
@@ -19,6 +20,13 @@
 // reload -gateway` — re-reads the file and swaps the table in atomically
 // without dropping client connections; if the new table fails to
 // compile, the old one keeps serving and the error is logged.
+//
+// Clients that open orb streams instead of sending buffered requests
+// relay chunk-by-chunk once the request body outgrows -stream-threshold
+// (default 1 MiB), so payload size stops being bounded by gateway
+// memory; bodies within the threshold divert to the ordinary buffered
+// relay with its full resilience envelope. A negative threshold
+// disables the streaming lane.
 //
 // The upstream flags (-pool, -call-timeout, -retries, -hedge) tune the
 // resilient connection pools the gateway forwards through. Per-route
@@ -63,6 +71,7 @@ type config struct {
 	maxPayload  int
 	maxBody     int
 	maxPerConn  int
+	streamThr   int
 	pool        int
 	callTimeout time.Duration
 	dialTimeout time.Duration
@@ -79,6 +88,7 @@ func (c *config) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.maxPayload, "max-payload", 0, "per-payload byte budget (0 = 8 MiB default, negative = unbounded)")
 	fs.IntVar(&c.maxBody, "max-body", 0, "orb frame body limit in bytes (0 = 16 MiB default)")
 	fs.IntVar(&c.maxPerConn, "max-per-conn", 0, "concurrent relays per client connection (0 = 1024 default, negative = unbounded)")
+	fs.IntVar(&c.streamThr, "stream-threshold", 0, "request bytes above which stream-opened relays forward chunk-by-chunk (0 = 1 MiB default, negative = always buffer)")
 	fs.IntVar(&c.pool, "pool", 0, "upstream connections per address (0 = 4 default)")
 	fs.DurationVar(&c.callTimeout, "call-timeout", 0, "per-upstream-call deadline (0 = resil default)")
 	fs.DurationVar(&c.dialTimeout, "dial-timeout", 0, "upstream dial deadline (0 = resil default)")
@@ -97,9 +107,10 @@ func serve(cfg config) (*orb.Server, *gateway.Gateway, error) {
 		return nil, nil, err
 	}
 	g := gateway.New(gateway.Options{
-		MaxInFlight: cfg.maxInflight,
-		AdmitWait:   cfg.admitWait,
-		MaxPayload:  cfg.maxPayload,
+		MaxInFlight:     cfg.maxInflight,
+		AdmitWait:       cfg.admitWait,
+		MaxPayload:      cfg.maxPayload,
+		StreamThreshold: cfg.streamThr,
 		Upstream: resil.Options{
 			PoolSize:    cfg.pool,
 			CallTimeout: cfg.callTimeout,

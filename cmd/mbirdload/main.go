@@ -18,6 +18,8 @@
 //	gw-pass   gateway passthrough relay (no lanes)
 //	gw-fused  gateway relay with fused request+reply lanes
 //	gw-tree   gateway relay with a semantic-hook lane (tree engine)
+//	gw-stream gateway streaming relay: stream-opened calls carrying a
+//	          sequence payload over the chunk-by-chunk lane
 //
 // With no -addr, mbirdload runs self-contained: it starts an in-process
 // daemon (broker tiers) or gateway + echo upstream (gw-* tiers) on a
@@ -71,13 +73,13 @@ func parseFlags(name string, args []string, errw io.Writer) (config, error) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var cfg config
-	fs.StringVar(&cfg.tier, "tier", "", "workload tier: compare, convert, batch, gw-pass, gw-fused, gw-tree")
+	fs.StringVar(&cfg.tier, "tier", "", "workload tier: compare, convert, batch, gw-pass, gw-fused, gw-tree, gw-stream")
 	fs.StringVar(&cfg.mode, "mode", "closed", "loop shape: closed (throughput ceiling) or open (fixed arrival rate)")
 	fs.IntVar(&cfg.conc, "c", 8, "workers (closed: multiprogramming level; open: max outstanding)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in calls/s (required for -mode open)")
 	fs.DurationVar(&cfg.duration, "duration", 3*time.Second, "measured run length")
 	fs.DurationVar(&cfg.warmup, "warmup", 500*time.Millisecond, "unrecorded warmup before measuring")
-	fs.IntVar(&cfg.fields, "fields", 0, "synthetic struct width for broker tiers (0 = 64) and gw-fused lanes (0 = small fixture)")
+	fs.IntVar(&cfg.fields, "fields", 0, "synthetic struct width for broker tiers (0 = 64) and gw-fused lanes (0 = small fixture); sequence length for gw-stream (0 = 8192 elements)")
 	fs.IntVar(&cfg.batch, "batch", 16, "items per request for -tier batch")
 	fs.StringVar(&cfg.addr, "addr", "", "external daemon address (empty = start an in-process target)")
 	fs.StringVar(&cfg.key, "key", "svc", "object key for gw-* tiers against an external gateway")
@@ -286,6 +288,7 @@ func setupGateway(cfg config) (*target, error) {
 		payload []byte
 		err     error
 		routeFn func(upstream string) (*gateway.Config, *core.Session)
+		gwOpts  gateway.Options
 	)
 	switch cfg.tier {
 	case "gw-pass":
@@ -339,6 +342,32 @@ func setupGateway(cfg config) (*target, error) {
 				Request: &gateway.LaneConfig{From: slope, To: seg},
 			}}}, sess
 		}
+	case "gw-stream":
+		// Sequence-of-records pair with permuted fields: fuses with a
+		// streamable list root, so over-threshold stream-opened calls
+		// relay chunk-by-chunk through the request lane.
+		from := gateway.DeclConfig{Lang: "idl",
+			Source: "struct Rec { long n; double x; };\ntypedef sequence<Rec> Batch;", Decl: "Batch"}
+		to := gateway.DeclConfig{Lang: "idl",
+			Source: "struct Rec { double x; long n; };\ntypedef sequence<Rec> Batch;", Decl: "Batch"}
+		elems := cfg.fields
+		if elems <= 0 {
+			elems = 8192
+		}
+		vs := make([]value.Value, elems)
+		for i := range vs {
+			vs[i] = value.NewRecord(value.NewInt(int64(i)), value.Real{V: float64(i) + 0.5})
+		}
+		payload, err = lowerPayload(from, value.FromSlice(vs))
+		// Keep the self-contained threshold under the fixture payload so
+		// the measured loop is the streaming lane, not the buffered divert.
+		gwOpts.StreamThreshold = 64 << 10
+		routeFn = func(up string) (*gateway.Config, *core.Session) {
+			return &gateway.Config{Upstream: up, Routes: []gateway.RouteConfig{{
+				Key: key, Op: op,
+				Request: &gateway.LaneConfig{From: from, To: to},
+			}}}, nil
+		}
 	default:
 		return nil, fmt.Errorf("unknown gateway tier %q", cfg.tier)
 	}
@@ -356,9 +385,27 @@ func setupGateway(cfg config) (*target, error) {
 		}
 		closers = append(closers, func() { _ = up.Close() })
 		up.Register(key, func(ctx context.Context, op uint32, body []byte) ([]byte, error) { return body, nil })
+		up.RegisterStream(key, func(ctx context.Context, op uint32, in *orb.StreamReader, out *orb.StreamWriter) error {
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := in.Read(buf)
+				if n > 0 {
+					if _, werr := out.Write(buf[:n]); werr != nil {
+						return werr
+					}
+				}
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+		})
 
 		gwCfg, sess := routeFn(up.Addr())
-		g := gateway.New(gateway.Options{Session: sess})
+		gwOpts.Session = sess
+		g := gateway.New(gwOpts)
 		closers = append(closers, func() { _ = g.Close() })
 		if err := g.SetConfig(gwCfg); err != nil {
 			for _, c := range closers {
@@ -409,6 +456,42 @@ func setupGateway(cfg config) (*target, error) {
 		}
 		clients[i] = c
 		closers = append(closers, func() { _ = c.Close() })
+	}
+	if cfg.tier == "gw-stream" {
+		bufs := make([][]byte, cfg.conc)
+		for i := range bufs {
+			bufs[i] = make([]byte, 64<<10)
+		}
+		const chunk = 32 << 10
+		t.op = func(ctx context.Context, w int) error {
+			sc, err := clients[w].OpenStream(ctx, key, op)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = sc.Close() }()
+			for off := 0; off < len(payload); off += chunk {
+				end := off + chunk
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := sc.Write(payload[off:end]); err != nil {
+					return err
+				}
+			}
+			if err := sc.CloseSend(); err != nil {
+				return err
+			}
+			for {
+				_, err := sc.Read(bufs[w])
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return t, nil
 	}
 	t.op = func(ctx context.Context, w int) error {
 		_, err := clients[w].InvokeContext(ctx, key, op, payload)
@@ -488,10 +571,10 @@ func run(cfg config, out io.Writer) error {
 	switch cfg.tier {
 	case "compare", "convert", "batch":
 		t, err = setupBroker(cfg)
-	case "gw-pass", "gw-fused", "gw-tree":
+	case "gw-pass", "gw-fused", "gw-tree", "gw-stream":
 		t, err = setupGateway(cfg)
 	default:
-		return fmt.Errorf("unknown tier %q (want compare, convert, batch, gw-pass, gw-fused, gw-tree)", cfg.tier)
+		return fmt.Errorf("unknown tier %q (want compare, convert, batch, gw-pass, gw-fused, gw-tree, gw-stream)", cfg.tier)
 	}
 	if err != nil {
 		return err

@@ -1,6 +1,10 @@
 package broker
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
 
 // TestCompareWarmAllocs pins the allocation ceiling of a warm compare:
 // with the root lowering memoized, the fingerprints memoized by graph
@@ -9,7 +13,7 @@ import "testing"
 // (fresh graphs defeat the pointer-keyed fingerprint memo) and the full
 // lower-and-refine pipeline is silently back on the hot path.
 func TestCompareWarmAllocs(t *testing.T) {
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race-detector instrumentation inflates allocation counts")
 	}
 	b := newBroker(Options{})

@@ -130,6 +130,7 @@ func parseBatch(data []byte) ([][]byte, error) {
 func Serve(srv *orb.Server, b *Broker) {
 	b.srv.Store(srv)
 	srv.Register(ObjectKey, Handler(b))
+	srv.RegisterStream(ObjectKey, streamHandler(b))
 }
 
 // admitRequest acquires an admission slot, waiting up to AdmitWait for

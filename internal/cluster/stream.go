@@ -1,0 +1,102 @@
+package cluster
+
+// Streaming opens through the fleet. Routing, spill, breaker skips, and
+// failover all apply to the *open* — the phase before any chunk is
+// committed to a member — and stop the moment a stream is handed back:
+// a mid-stream failure cannot replay chunks on a replica, so it
+// surfaces to the caller as a typed terminal error instead.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/orb"
+	"repro/internal/resil"
+)
+
+// OpenStreamKeyed opens a streaming call on the member ranked for rk,
+// spilling and failing over exactly like InvokeKeyed but only until the
+// open succeeds. done must be called exactly once when the caller is
+// finished with the returned stream, with its terminal error (nil on
+// success); it releases the member's in-flight slot and pool connection.
+// A nil rk routes to the least loaded member.
+func (c *Client) OpenStreamKeyed(ctx context.Context, rk []byte, key string, op uint32) (*orb.StreamCall, func(error), error) {
+	ring := c.ring.Load()
+	if ring.Len() == 0 {
+		return nil, nil, ErrNoMembers
+	}
+	var order []string
+	if rk == nil {
+		order = c.leastLoadedOrder(ring)
+	} else {
+		order = ring.Ranked(rk)
+		c.applySpill(order)
+	}
+	var lastErr error
+	attempts := 0
+	for _, addr := range order {
+		m := c.member(addr)
+		if m == nil {
+			continue // raced SetMembers; the ring will catch up
+		}
+		if !m.brk.allow() {
+			c.breakerSkips.Add(1)
+			continue
+		}
+		sc, done, err := c.openOnMember(ctx, m, &attempts, key, op)
+		if err == nil {
+			return sc, done, nil
+		}
+		lastErr = err
+		if !c.shouldFailover(ctx, err) {
+			return nil, nil, err
+		}
+		if duplicative(err) && !c.opts.Resil.RetryBudget.Withdraw() {
+			return nil, nil, fmt.Errorf("%w: abandoning cluster failover after: %w", resil.ErrRetryBudget, err)
+		}
+	}
+	if attempts == 0 && lastErr == nil {
+		// Fail static, as InvokeKeyed does: a fully tripped fleet gets one
+		// probe on the best ranked member rather than a guaranteed outage.
+		for _, addr := range order {
+			m := c.member(addr)
+			if m == nil {
+				continue
+			}
+			return c.openOnMember(ctx, m, &attempts, key, op)
+		}
+		return nil, nil, ErrNoMembers
+	}
+	return nil, nil, fmt.Errorf("cluster: all %d members failed: %w", len(order), lastErr)
+}
+
+// openOnMember attempts one stream open on m, holding the member's
+// in-flight slot for the stream's whole lifetime so spill decisions see
+// long-lived streams as load.
+func (c *Client) openOnMember(ctx context.Context, m *member, attempts *int, key string, op uint32) (*orb.StreamCall, func(error), error) {
+	*attempts++
+	if *attempts > 1 {
+		c.failovers.Add(1)
+	}
+	m.inflight.Add(1)
+	sc, poolDone, err := m.pool.OpenStream(ctx, key, op)
+	if err != nil {
+		m.inflight.Add(-1)
+		if m.brk.failure(tripworthy(err)) {
+			c.breakerTrips.Add(1)
+		}
+		return nil, nil, err
+	}
+	done := func(callErr error) {
+		m.inflight.Add(-1)
+		poolDone(callErr)
+		if callErr == nil {
+			// Clear the strike count without recording a latency sample —
+			// stream lifetime is not comparable to call latency.
+			m.brk.failure(false)
+		} else if m.brk.failure(tripworthy(callErr)) {
+			c.breakerTrips.Add(1)
+		}
+	}
+	return sc, done, nil
+}

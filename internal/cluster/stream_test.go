@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+// registerStreamEcho adds a stream "echo" handler to every fleet member
+// that replies with the member's own address (like the buffered echo),
+// after draining the request body.
+func registerStreamEcho(servers map[string]*orb.Server) {
+	for addr, srv := range servers {
+		a := addr
+		srv.RegisterStream("echo", func(ctx context.Context, op uint32, in *orb.StreamReader, out *orb.StreamWriter) error {
+			if _, err := io.Copy(io.Discard, in); err != nil {
+				return err
+			}
+			_, err := out.Write([]byte(a))
+			return err
+		})
+	}
+}
+
+// openAndDrain runs one keyed stream to completion and returns the
+// reply body (the serving member's address).
+func openAndDrain(t *testing.T, c *Client, rk []byte) string {
+	t.Helper()
+	sc, done, err := c.OpenStreamKeyed(context.Background(), rk, "echo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Write([]byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sc.Close()
+	done(nil)
+	return string(reply)
+}
+
+func TestOpenStreamKeyedRoutesToOwner(t *testing.T) {
+	addrs, servers, _ := echoFleet(t, 3)
+	registerStreamEcho(servers)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	rk := RouteKey("stream", "route-1")
+	owner := c.Ring().Owner(rk)
+	if got := openAndDrain(t, c, rk); got != owner {
+		t.Fatalf("stream served by %s, ring owner is %s", got, owner)
+	}
+}
+
+func TestOpenStreamKeyedFailsOverOnDeadOwner(t *testing.T) {
+	addrs, servers, _ := echoFleet(t, 3)
+	registerStreamEcho(servers)
+	c := New(addrs, testOpts())
+	defer c.Close()
+
+	rk := RouteKey("stream", "route-2")
+	ranked := c.Ring().Ranked(rk)
+	_ = servers[ranked[0]].Close()
+
+	got := openAndDrain(t, c, rk)
+	if got == ranked[0] {
+		t.Fatalf("stream served by the dead owner %s", got)
+	}
+	if got != ranked[1] && got != ranked[2] {
+		t.Fatalf("stream served by %s, not a ranked replica %v", got, ranked[1:])
+	}
+	if st := c.Stats(); st.Failovers == 0 {
+		t.Errorf("failovers = 0 after the owner died; stats = %+v", st)
+	}
+}
+
+func TestOpenStreamKeyedNoMembers(t *testing.T) {
+	c := New(nil, testOpts())
+	defer c.Close()
+	if _, _, err := c.OpenStreamKeyed(context.Background(), RouteKey("x", "y"), "echo", 1); err != ErrNoMembers {
+		t.Fatalf("err = %v, want ErrNoMembers", err)
+	}
+}

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"repro/internal/testutil"
 	"testing"
 
 	"repro/internal/orb"
@@ -17,7 +18,7 @@ import (
 // transcode output. This is the BenchmarkGatewayVsDirect fused number,
 // enforced; a regression means a pool or memo fell off the hot path.
 func TestFusedRelayAllocs(t *testing.T) {
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race-detector instrumentation inflates allocation counts")
 	}
 	up, err := orb.NewServer("127.0.0.1:0", orb.WithBufPooling())

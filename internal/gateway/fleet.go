@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/orb"
 	"repro/internal/resil"
 )
 
@@ -24,6 +25,10 @@ import (
 // the leg (forwarded upstream as a cancel frame).
 type upstreamLink interface {
 	invoke(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error)
+	// openStream opens a streaming upstream leg. The returned done must
+	// be called exactly once with the stream's terminal error once the
+	// relay is finished with it.
+	openStream(ctx context.Context, rk []byte, key string, op uint32) (*orb.StreamCall, func(error), error)
 }
 
 type singleUpstream struct{ p *resil.Client }
@@ -32,10 +37,18 @@ func (s singleUpstream) invoke(ctx context.Context, _ []byte, key string, op uin
 	return s.p.InvokeContext(ctx, key, op, body)
 }
 
+func (s singleUpstream) openStream(ctx context.Context, _ []byte, key string, op uint32) (*orb.StreamCall, func(error), error) {
+	return s.p.OpenStream(ctx, key, op)
+}
+
 type fleetUpstream struct{ c *cluster.Client }
 
 func (f fleetUpstream) invoke(ctx context.Context, rk []byte, key string, op uint32, body []byte) ([]byte, error) {
 	return f.c.InvokeKeyed(ctx, rk, key, op, body)
+}
+
+func (f fleetUpstream) openStream(ctx context.Context, rk []byte, key string, op uint32) (*orb.StreamCall, func(error), error) {
+	return f.c.OpenStreamKeyed(ctx, rk, key, op)
 }
 
 // splitUpstream parses an upstream address field: one address, or a

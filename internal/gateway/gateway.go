@@ -67,8 +67,17 @@ type Options struct {
 	AdmitWait time.Duration
 	// MaxPayload bounds each request and reply payload in bytes
 	// (default limits.DefaultMaxBytes; negative disables). Violations
-	// are typed limits.ErrBudget errors.
+	// are typed limits.ErrBudget errors. Streamed request bodies are
+	// exempt — the byte budget applies to what the gateway holds in
+	// memory, and a streamed body never is held whole.
 	MaxPayload int
+	// StreamThreshold is the request size above which a stream-opened
+	// call relays chunk-by-chunk to the upstream instead of buffering
+	// (default DefaultStreamThreshold; negative disables streaming
+	// relay, buffering every stream under the payload budget). Bodies
+	// at or below the threshold take the buffered path with its full
+	// resilience envelope (retries, hedging, every lane tier).
+	StreamThreshold int
 	// Upstream tunes the resil connection pools the gateway dials
 	// upstreams with (pool size, call deadlines, retries, hedging).
 	// Fleet upstreams use it for each member's pool.
@@ -93,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Session == nil {
 		o.Session = core.NewSession()
+	}
+	if o.StreamThreshold == 0 {
+		o.StreamThreshold = DefaultStreamThreshold
 	}
 	if o.Fleet.DrainTimeout <= 0 {
 		o.Fleet.DrainTimeout = 30 * time.Second
@@ -137,6 +149,7 @@ type routeCounters struct {
 	fastTier      atomic.Int64
 	treeTier      atomic.Int64
 	passthrough   atomic.Int64
+	streamed      atomic.Int64
 	transcodeNs   atomic.Int64
 	upstreamErrs  atomic.Int64
 	sheds         atomic.Int64
@@ -236,12 +249,14 @@ func New(opts Options) *Gateway {
 }
 
 // Serve registers the gateway on an orb server: the admin service under
-// AdminKey plus a frame-relay handler for every routed object key.
+// AdminKey plus, for every routed object key, a frame-relay handler for
+// buffered requests and a streaming relay handler for stream opens.
 func (g *Gateway) Serve(srv *orb.Server) {
 	g.srv.Store(srv)
 	srv.Register(AdminKey, g.adminHandler())
 	for key := range g.tab.Load().keys() {
 		srv.Register(key, g.frontHandler(key))
+		srv.RegisterStream(key, g.frontStreamHandler(key))
 	}
 }
 
@@ -329,6 +344,7 @@ func (g *Gateway) SetConfig(cfg *Config) error {
 		for key := range routes {
 			if !oldKeys[key] {
 				srv.Register(key, g.frontHandler(key))
+				srv.RegisterStream(key, g.frontStreamHandler(key))
 			}
 			delete(oldKeys, key)
 		}
@@ -583,28 +599,7 @@ func (g *Gateway) relay(ctx context.Context, r *route, body []byte) ([]byte, err
 	}
 	reply, err := r.up.invoke(ctx, r.rk, r.upKey, r.upOp, out)
 	if err != nil {
-		r.c.upstreamErrs.Add(1)
-		switch {
-		case errors.Is(err, orb.ErrExpired):
-			// The upstream shed (or abandoned) the call because the
-			// propagated budget was spent; keep the typed expiry intact.
-			g.expired.Add(1)
-		case ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
-			// Our own budget-derived deadline ran out while the leg was in
-			// flight: the caller's clock expired, so answer with the typed
-			// expiry instead of a generic upstream failure.
-			g.expired.Add(1)
-			return nil, fmt.Errorf("%w: budget spent relaying via %s: %v", orb.ErrExpired, r.upAddr, err)
-		case ctx.Err() != nil:
-			// The client canceled or disconnected mid-relay; the upstream
-			// leg was already aborted via a forwarded cancel frame.
-			g.canceled.Add(1)
-			return nil, fmt.Errorf("%w: caller went away relaying via %s", orb.ErrCanceled, r.upAddr)
-		}
-		// Typed orb errors (Overloaded, ServerPanic, Expired) survive the
-		// error frame back to the client; everything else degrades to a
-		// remote error carrying this message.
-		return nil, fmt.Errorf("gateway: upstream %s: %w", r.upAddr, err)
+		return nil, g.mapUpstreamErr(ctx, r, err)
 	}
 	if err := g.checkBudget("reply", len(reply)); err != nil {
 		r.c.budgetRejects.Add(1)
@@ -619,6 +614,34 @@ func (g *Gateway) relay(ctx context.Context, r *route, body []byte) ([]byte, err
 		r.c.passthrough.Add(1)
 	}
 	return reply, nil
+}
+
+// mapUpstreamErr classifies a failed upstream leg under the route's
+// error counter. Typed expiries stay intact (the propagated budget was
+// spent); a locally-expired budget or a vanished caller remaps to the
+// matching typed error; everything else — Overloaded, ServerPanic, and
+// generic failures — degrades to a tagged upstream error whose typed
+// wrappers survive the error frame back to the client.
+func (g *Gateway) mapUpstreamErr(ctx context.Context, r *route, err error) error {
+	r.c.upstreamErrs.Add(1)
+	switch {
+	case errors.Is(err, orb.ErrExpired):
+		// The upstream shed (or abandoned) the call because the
+		// propagated budget was spent; keep the typed expiry intact.
+		g.expired.Add(1)
+	case ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		// Our own budget-derived deadline ran out while the leg was in
+		// flight: the caller's clock expired, so answer with the typed
+		// expiry instead of a generic upstream failure.
+		g.expired.Add(1)
+		return fmt.Errorf("%w: budget spent relaying via %s: %v", orb.ErrExpired, r.upAddr, err)
+	case ctx.Err() != nil:
+		// The client canceled or disconnected mid-relay; the upstream
+		// leg was already aborted via a forwarded cancel frame.
+		g.canceled.Add(1)
+		return fmt.Errorf("%w: caller went away relaying via %s", orb.ErrCanceled, r.upAddr)
+	}
+	return fmt.Errorf("gateway: upstream %s: %w", r.upAddr, err)
 }
 
 // runLane executes one lane under the route's tier and latency
@@ -672,8 +695,9 @@ type RouteStats struct {
 	Requests int64
 	// FastTier / TreeTier count lane executions served wire-to-wire vs
 	// decode→convert→encode; Passthrough counts calls forwarded with no
-	// transcoding at all.
-	FastTier, TreeTier, Passthrough int64
+	// transcoding at all; Streamed counts requests relayed chunk-by-chunk
+	// over the streaming lane instead of buffering.
+	FastTier, TreeTier, Passthrough, Streamed int64
 	// TranscodeTotal is the cumulative in-gateway transcode time.
 	TranscodeTotal time.Duration
 	// UpstreamErrors counts upstream legs that failed after resil's
@@ -735,6 +759,7 @@ func (g *Gateway) Stats() Stats {
 				FastTier:       r.c.fastTier.Load(),
 				TreeTier:       r.c.treeTier.Load(),
 				Passthrough:    r.c.passthrough.Load(),
+				Streamed:       r.c.streamed.Load(),
 				TranscodeTotal: time.Duration(r.c.transcodeNs.Load()),
 				UpstreamErrors: r.c.upstreamErrs.Load(),
 				Sheds:          r.c.sheds.Load(),

@@ -32,7 +32,7 @@ func pairDecl() DeclConfig { return DeclConfig{Lang: "c", Source: pairSrc, Decl:
 
 // lowerDecl lowers a DeclConfig in a throwaway session, for building
 // oracle payloads in tests.
-func lowerDecl(t *testing.T, d DeclConfig) *mtype.Type {
+func lowerDecl(t testing.TB, d DeclConfig) *mtype.Type {
 	t.Helper()
 	g := New(Options{})
 	mt, err := g.Lower(&d)

@@ -31,7 +31,7 @@ const (
 	OpHealth uint32 = iota + 1
 	// OpStats: empty → Record(List(route record), List(upstream record),
 	// laneCompiles, laneUnsupported, laneReuses, inFlight, sheds,
-	// expired, canceled). A route record is Record(name ++ 8 counters);
+	// expired, canceled). A route record is Record(name ++ 9 counters);
 	// an upstream record is Record(addr ++ 9 counters). See routeStatT /
 	// upstreamStatT.
 	OpStats
@@ -52,6 +52,7 @@ var (
 	routeStatT = proto.Record(
 		proto.StrT,                                     // name
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // requests, fast, tree, passthrough
+		proto.IntT,                                     // streamed
 		proto.IntT, proto.IntT, proto.IntT, proto.IntT, // transcodeNs, upstreamErrs, sheds, budgetRejects
 	)
 	upstreamStatT = proto.Record(
@@ -95,6 +96,7 @@ func (g *Gateway) adminHandler() orb.Handler {
 				routes[i] = value.NewRecord(
 					proto.Str(r.Name),
 					proto.Int(r.Requests), proto.Int(r.FastTier), proto.Int(r.TreeTier), proto.Int(r.Passthrough),
+					proto.Int(r.Streamed),
 					proto.Int(r.TranscodeTotal.Nanoseconds()), proto.Int(r.UpstreamErrors),
 					proto.Int(r.Sheds), proto.Int(r.BudgetRejects))
 			}
@@ -223,7 +225,7 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 	}
 	for _, rv := range routes {
 		rr, ok := rv.(value.Record)
-		if !ok || len(rr.Fields) != 9 {
+		if !ok || len(rr.Fields) != 10 {
 			return Stats{}, fmt.Errorf("gateway: malformed route record: %v", rv)
 		}
 		name, err := proto.GoStr(rr.Fields[0])
@@ -237,10 +239,11 @@ func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 			FastTier:       c.Get(2),
 			TreeTier:       c.Get(3),
 			Passthrough:    c.Get(4),
-			TranscodeTotal: time.Duration(c.Get(5)),
-			UpstreamErrors: c.Get(6),
-			Sheds:          c.Get(7),
-			BudgetRejects:  c.Get(8),
+			Streamed:       c.Get(5),
+			TranscodeTotal: time.Duration(c.Get(6)),
+			UpstreamErrors: c.Get(7),
+			Sheds:          c.Get(8),
+			BudgetRejects:  c.Get(9),
 		})
 		if err := c.Err(); err != nil {
 			return Stats{}, err

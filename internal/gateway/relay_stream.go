@@ -1,0 +1,278 @@
+package gateway
+
+// Streaming relay lane: stream-opened calls whose request bodies
+// outgrow Options.StreamThreshold relay chunk-by-chunk to the upstream
+// instead of buffering, so payload size stops being bounded by gateway
+// memory. The fallback matrix, by request-lane shape:
+//
+//	lane shape                 ≤ threshold        > threshold
+//	passthrough (no lane)      buffered relay     raw chunk relay
+//	fused, streamable root     buffered relay     stream.Transcoder relay
+//	fused, non-list root       buffered relay     buffered under payload cap
+//	tree tier (hooks etc.)     buffered relay     buffered under payload cap
+//
+// "Buffered relay" is the ordinary relay path with its full resilience
+// envelope — retries, hedging, admission, byte budgets. The streaming
+// paths trade that envelope for constant memory: the open is still
+// retried (resil.OpenStream), but once the first chunk is committed
+// upstream a failure is terminal and surfaces typed. Against upstreams
+// speaking protocol < 3, orb's client-side fallback re-buffers the
+// stream under the frame cap transparently and fails fast past it.
+//
+// Reply legs are buffered under the payload budget in this revision;
+// streaming replies ride the same frames and are a client-side change
+// only.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/limits"
+	"repro/internal/orb"
+	"repro/internal/stream"
+)
+
+// DefaultStreamThreshold is the request size above which stream-opened
+// calls relay chunk-by-chunk (1 MiB).
+const DefaultStreamThreshold = 1 << 20
+
+// relayBufPool recycles the chunk shuttle buffers the streaming relay
+// reads client chunks into.
+var relayBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64<<10)
+	return &b
+}}
+
+// frontStreamHandler returns the orb stream handler relaying one routed
+// object key. Small requests — those that finish within the stream
+// threshold — divert to the buffered relay path, so a client that
+// always opens streams pays no resilience or tier penalty on ordinary
+// payloads.
+func (g *Gateway) frontStreamHandler(key string) orb.StreamHandler {
+	return func(ctx context.Context, op uint32, in *orb.StreamReader, out *orb.StreamWriter) error {
+		r := g.tab.Load().lookup(key, op)
+		if r == nil {
+			return fmt.Errorf("gateway: no route for object %q op %d", key, op)
+		}
+		// How much may buffer before the relay must stream: the
+		// threshold when the request lane can stream, the full payload
+		// budget when it cannot (tree tier and non-list fused lanes have
+		// no chunk-at-a-time form).
+		canStream := g.opts.StreamThreshold >= 0 &&
+			(r.req == nil || (r.req.xc != nil && r.req.xc.SeqStreamable()))
+		limit := g.opts.StreamThreshold
+		if !canStream {
+			limit = g.budget.MaxBytes
+		}
+		prefix, eof, err := readUpTo(in, limit)
+		if err != nil {
+			g.canceled.Add(1)
+			return err
+		}
+		if eof {
+			reply, err := g.relay(ctx, r, prefix)
+			if err != nil {
+				return err
+			}
+			return writeReply(out, reply)
+		}
+		if !canStream {
+			r.c.requests.Add(1)
+			r.c.budgetRejects.Add(1)
+			return limits.Exceededf("gateway: streamed request over %d bytes needs a streamable request lane", limit)
+		}
+		return g.relayStream(ctx, r, prefix, in, out)
+	}
+}
+
+// readUpTo buffers stream input until EOF or more than limit bytes are
+// pending, reporting whether the stream ended within the limit.
+func readUpTo(in *orb.StreamReader, limit int) ([]byte, bool, error) {
+	bp := relayBufPool.Get().(*[]byte)
+	defer relayBufPool.Put(bp)
+	var buf []byte
+	for len(buf) <= limit {
+		n, err := in.Read(*bp)
+		buf = append(buf, (*bp)[:n]...)
+		if err == io.EOF {
+			return buf, true, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return buf, false, nil
+}
+
+// writeReply hands a buffered reply to the stream's send side.
+func writeReply(out *orb.StreamWriter, reply []byte) error {
+	if len(reply) == 0 {
+		return nil
+	}
+	_, err := out.Write(reply)
+	return err
+}
+
+// relayStream serves one over-threshold streamed call: admit, open the
+// upstream stream (retried — nothing is committed yet), forward the
+// buffered prefix plus every further chunk through the request lane,
+// then buffer and transcode the reply leg under the payload budget.
+func (g *Gateway) relayStream(ctx context.Context, r *route, prefix []byte, in *orb.StreamReader, out *orb.StreamWriter) error {
+	r.c.requests.Add(1)
+	release, err := g.admitRequest(r.c)
+	if err != nil {
+		return err
+	}
+	defer release()
+	g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	r.c.streamed.Add(1)
+
+	sc, done, err := r.up.openStream(ctx, r.rk, r.upKey, r.upOp)
+	if err != nil {
+		return g.mapUpstreamErr(ctx, r, err)
+	}
+	var finalErr error
+	defer func() { done(finalErr) }()
+	defer func() { _ = sc.Close() }()
+
+	// Drain the reply leg concurrently with the request leg: an upstream
+	// that converts chunk-at-a-time emits reply bytes while it is still
+	// consuming the request, and letting them sit would deadlock against
+	// flow control once they outgrow the reply window.
+	type replyRes struct {
+		body []byte
+		err  error
+	}
+	repCh := make(chan replyRes, 1)
+	go func() {
+		body, err := readReplyCapped(sc, g.budget.MaxBytes)
+		repCh <- replyRes{body, err}
+	}()
+
+	if err := g.forwardRequest(ctx, r, sc, prefix, in); err != nil {
+		finalErr = err
+		return err
+	}
+
+	res := <-repCh
+	reply, err := res.body, res.err
+	if err != nil {
+		if errors.Is(err, limits.ErrBudget) {
+			r.c.budgetRejects.Add(1)
+			finalErr = err
+			return err
+		}
+		finalErr = err
+		return g.mapUpstreamErr(ctx, r, err)
+	}
+	if r.rep != nil {
+		if reply, err = g.runLane(r, r.rep, reply); err != nil {
+			finalErr = err
+			return fmt.Errorf("gateway: reply transcode: %w", err)
+		}
+	}
+	return writeReply(out, reply)
+}
+
+// forwardRequest pushes the request body upstream: raw chunks for
+// passthrough routes, through a pooled stream.Transcoder for fused
+// streamable lanes. Client-leg read errors count as cancellations;
+// upstream write errors map like any failed upstream leg.
+func (g *Gateway) forwardRequest(ctx context.Context, r *route, sc *orb.StreamCall, prefix []byte, in *orb.StreamReader) error {
+	var eng *stream.Transcoder
+	var xns int64 // transcode time, excluding upstream writes
+	if r.req != nil {
+		eng = stream.New(r.req.xc, stream.Options{MaxBuffer: g.budget.MaxBytes})
+		defer eng.Release()
+	}
+	push := func(p []byte) error {
+		if eng == nil {
+			if len(p) == 0 {
+				return nil
+			}
+			if _, err := sc.Write(p); err != nil {
+				return g.mapUpstreamErr(ctx, r, err)
+			}
+			return nil
+		}
+		t0 := time.Now()
+		err := eng.Push(p)
+		outB := eng.Take()
+		xns += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return fmt.Errorf("gateway: request transcode: %w", err)
+		}
+		if len(outB) > 0 {
+			if _, err := sc.Write(outB); err != nil {
+				return g.mapUpstreamErr(ctx, r, err)
+			}
+		}
+		return nil
+	}
+	if err := push(prefix); err != nil {
+		return err
+	}
+	bp := relayBufPool.Get().(*[]byte)
+	defer relayBufPool.Put(bp)
+	for {
+		n, err := in.Read(*bp)
+		if n > 0 {
+			if perr := push((*bp)[:n]); perr != nil {
+				return perr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The client leg died mid-stream: cancel, not upstream fault.
+			g.canceled.Add(1)
+			return err
+		}
+	}
+	if eng != nil {
+		t0 := time.Now()
+		tail, err := eng.Finish()
+		xns += time.Since(t0).Nanoseconds()
+		r.c.transcodeNs.Add(xns)
+		if err != nil {
+			return fmt.Errorf("gateway: request transcode: %w", err)
+		}
+		r.c.fastTier.Add(1)
+		if len(tail) > 0 {
+			if _, err := sc.Write(tail); err != nil {
+				return g.mapUpstreamErr(ctx, r, err)
+			}
+		}
+	}
+	if err := sc.CloseSend(); err != nil {
+		return g.mapUpstreamErr(ctx, r, err)
+	}
+	return nil
+}
+
+// readReplyCapped buffers the upstream reply leg, failing with a typed
+// budget error past the payload cap.
+func readReplyCapped(sc *orb.StreamCall, maxBytes int) ([]byte, error) {
+	bp := relayBufPool.Get().(*[]byte)
+	defer relayBufPool.Put(bp)
+	var reply []byte
+	for {
+		n, err := sc.Read(*bp)
+		reply = append(reply, (*bp)[:n]...)
+		if len(reply) > maxBytes {
+			return nil, limits.Exceededf("gateway: reply payload of more than %d bytes", maxBytes)
+		}
+		if err == io.EOF {
+			return reply, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"repro/internal/testutil"
 	"sync"
 	"testing"
 )
@@ -15,7 +16,7 @@ import (
 // (clients don't pool — callers keep replies) and the server's dispatch
 // goroutine. A regression here means a pool stopped being hit.
 func TestRoundTripAllocs(t *testing.T) {
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race-detector instrumentation inflates allocation counts")
 	}
 	s, err := NewServer("127.0.0.1:0", WithBufPooling())

@@ -55,14 +55,25 @@ const (
 	// names the request. Old servers drop it (unknown kind), new servers
 	// cancel the per-request context.
 	kindCancel = 6
+	// Stream frames (protocol version 3). A stream is an id-correlated
+	// call whose request and reply bodies travel as chunk frames under
+	// credit-based flow control instead of single buffered frames; see
+	// stream.go. Old peers never see them: clients only open streams on
+	// connections whose hello negotiated v3.
+	kindStreamOpen   = 7  // client → server; op is the method, body empty
+	kindStreamChunk  = 8  // either direction; body is one payload chunk
+	kindStreamClose  = 9  // either direction; op is a status (see below)
+	kindStreamCredit = 10 // either direction; op grants op bytes of credit
 )
 
 const magic = "MBRD"
 
 // protoVersion is the maximum protocol version this build speaks.
 // Version 2 adds a millisecond deadline budget to request frames and the
-// hello/cancel frame kinds.
-const protoVersion = 2
+// hello/cancel frame kinds. Version 3 adds the stream frame kinds with
+// credit-based flow control; stream-open frames carry the same budget
+// field v2 gave requests.
+const protoVersion = 3
 
 // Default frame limits.
 const (
@@ -196,6 +207,10 @@ type Limits struct {
 	// makes a client ignore hellos — the interop tests use it to pin one
 	// side down.
 	MaxProtoVersion int
+	// StreamWindow is the initial per-stream flow-control credit this
+	// endpoint grants its peer, in bytes; it bounds the bytes in flight
+	// per stream direction. 0 selects DefaultStreamWindow.
+	StreamWindow int
 	// PoolBufs opts a server into recycling per-request state: request
 	// body buffers are drawn from a pool and returned once the reply is
 	// on the wire, and request contexts are pooled rather than built
@@ -225,6 +240,9 @@ func (l Limits) withDefaults() Limits {
 		l.MaxProtoVersion = protoVersion
 	case l.MaxProtoVersion > protoVersion:
 		l.MaxProtoVersion = protoVersion
+	}
+	if l.StreamWindow <= 0 {
+		l.StreamWindow = DefaultStreamWindow
 	}
 	return l
 }
@@ -312,7 +330,7 @@ func writeFrame(w io.Writer, f frame, lim Limits) (int, error) {
 	buf = append(buf, ver, f.kind)
 	buf = binary.LittleEndian.AppendUint64(buf, f.id)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.key)))
-	if ver >= 2 && f.kind == kindRequest {
+	if (ver >= 2 && f.kind == kindRequest) || (ver >= 3 && f.kind == kindStreamOpen) {
 		buf = binary.LittleEndian.AppendUint32(buf, f.budget)
 	}
 	buf = append(buf, f.key...)
@@ -398,7 +416,7 @@ func (fr *frameReader) read() (frame, error) {
 		return f, fmt.Errorf("orb: bad magic %q", head[:4])
 	}
 	ver := head[4]
-	if ver != 1 && (ver != 2 || fr.lim.MaxProtoVersion < 2) {
+	if ver < 1 || int(ver) > fr.lim.MaxProtoVersion {
 		return f, fmt.Errorf("orb: unsupported version %d", ver)
 	}
 	f.ver = ver
@@ -408,7 +426,7 @@ func (fr *frameReader) read() (frame, error) {
 	if uint64(keyLen) > uint64(fr.lim.MaxKey) {
 		return f, fmt.Errorf("%w: object key of %d bytes exceeds %d", ErrFrameTooLarge, keyLen, fr.lim.MaxKey)
 	}
-	if ver >= 2 && f.kind == kindRequest {
+	if (ver >= 2 && f.kind == kindRequest) || (ver >= 3 && f.kind == kindStreamOpen) {
 		bud := fr.scratch[18:22]
 		if _, err := io.ReadFull(fr.r, bud); err != nil {
 			return f, err
@@ -665,12 +683,13 @@ type Server struct {
 	expired  atomic.Int64
 	canceled atomic.Int64
 
-	mu       sync.Mutex
-	handlers map[string]Handler
-	conns    map[net.Conn]struct{}
-	closed   bool
-	draining bool
-	wg       sync.WaitGroup
+	mu             sync.Mutex
+	handlers       map[string]Handler
+	streamHandlers map[string]StreamHandler
+	conns          map[net.Conn]struct{}
+	closed         bool
+	draining       bool
+	wg             sync.WaitGroup
 }
 
 // NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
@@ -681,10 +700,11 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("orb: listen: %w", err)
 	}
 	s := &Server{
-		ln:       ln,
-		lim:      applyOptions(opts),
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
+		ln:             ln,
+		lim:            applyOptions(opts),
+		handlers:       make(map[string]Handler),
+		streamHandlers: make(map[string]StreamHandler),
+		conns:          make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -728,6 +748,7 @@ func (s *Server) Unregister(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.handlers, key)
+	delete(s.streamHandlers, key)
 }
 
 // Close stops the listener and all connections, and waits for the
@@ -821,6 +842,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	var cancelMu sync.Mutex
 	cancels := make(map[uint64]*serverCtx)
 	defer reqWG.Wait()
+	ss := &srvStreams{s: s, conn: conn, writeMu: &writeMu, lim: s.lim, pool: pool,
+		m: make(map[uint64]*srvStream)}
+	// Declared after reqWG.Wait so it runs first: wake every stream
+	// handler blocked on a read or a credit before waiting them out.
+	defer ss.failAll(ErrConnClosed)
 	if s.lim.MaxProtoVersion >= 2 {
 		// Advertise v2 before reading anything. v1 clients parse this as a
 		// frame for a request they never made and drop it.
@@ -943,6 +969,55 @@ func (s *Server) serveConn(conn net.Conn) {
 				defer writeMu.Unlock()
 				_, _ = writeFrame(conn, reply, s.lim)
 			}()
+		case kindStreamOpen:
+			s.mu.Lock()
+			sh := s.streamHandlers[f.key]
+			s.mu.Unlock()
+			req := f
+			if pool {
+				putBodyBuf(req.body)
+			}
+			req.body = nil
+			// Same dispatch gates as buffered requests: expired budgets
+			// shed before the concurrency cap, both answered with typed
+			// error frames.
+			var deadline time.Time
+			if req.budget > 0 {
+				deadline = req.hdrAt.Add(time.Duration(req.budget) * time.Millisecond)
+				if over := time.Since(deadline); over >= 0 {
+					s.expired.Add(1)
+					reply := frame{kind: kindError, id: req.id, op: codeErrExpired,
+						body: []byte(fmt.Sprintf("budget of %dms spent %v before dispatch", req.budget, over.Round(time.Millisecond)))}
+					writeMu.Lock()
+					_, _ = writeFrame(conn, reply, s.lim)
+					writeMu.Unlock()
+					continue
+				}
+			}
+			if sh == nil {
+				reply := frame{kind: kindError, id: req.id,
+					body: []byte(fmt.Sprintf("no stream object %q", req.key))}
+				writeMu.Lock()
+				_, _ = writeFrame(conn, reply, s.lim)
+				writeMu.Unlock()
+				continue
+			}
+			if inFlight.Load() >= int64(s.lim.MaxPerConn) {
+				s.shed.Add(1)
+				reply := frame{kind: kindError, id: req.id, op: codeErrOverloaded,
+					body: []byte(fmt.Sprintf("connection exceeds %d concurrent requests", s.lim.MaxPerConn))}
+				writeMu.Lock()
+				_, _ = writeFrame(conn, reply, s.lim)
+				writeMu.Unlock()
+				continue
+			}
+			ss.dispatch(req, sh, acquireServerCtx(pool, deadline, req.budget > 0), &reqWG, &inFlight)
+		case kindStreamChunk, kindStreamClose, kindStreamCredit:
+			if !ss.handleFrame(f) {
+				// Flow-control violation: the peer wrote past its credit.
+				// The connection is the unit of trust; kill it.
+				return
+			}
 		case kindCancel:
 			cancelMu.Lock()
 			rc := cancels[f.id]
@@ -952,6 +1027,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			cancelMu.Unlock()
 			if rc != nil {
+				s.canceled.Add(1)
+			} else if ss.cancel(f.id) {
 				s.canceled.Add(1)
 			}
 			if pool {
@@ -1042,6 +1119,7 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan result
+	streams map[uint64]*StreamCall
 	err     error
 	done    chan struct{}
 }
@@ -1064,6 +1142,7 @@ func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, err
 		conn:    conn,
 		lim:     applyOptions(opts),
 		pending: make(map[uint64]chan result),
+		streams: make(map[uint64]*StreamCall),
 		done:    make(chan struct{}),
 		verCh:   make(chan struct{}),
 	}
@@ -1125,6 +1204,10 @@ func (c *Client) fail(err error) {
 		delete(c.pending, id)
 		ch <- result{err: c.err}
 	}
+	for id, sc := range c.streams {
+		delete(c.streams, id)
+		sc.connFail(c.err)
+	}
 }
 
 func (c *Client) readLoop() {
@@ -1150,9 +1233,18 @@ func (c *Client) readLoop() {
 		c.mu.Lock()
 		ch := c.pending[f.id]
 		delete(c.pending, f.id)
+		var sc *StreamCall
+		if ch == nil {
+			// Stream-correlated frames (chunks, closes, credits — and
+			// error/reply frames answering a stream open) route to the
+			// live stream call instead of the pending map.
+			sc = c.streams[f.id]
+		}
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- result{f: f}
+		} else if sc != nil {
+			sc.onFrame(f)
 		}
 	}
 }

@@ -1,0 +1,769 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Streaming calls (protocol version 3).
+//
+// A stream is an id-correlated call whose bodies travel as a chunk
+// sequence instead of one buffered frame, so payloads are no longer
+// bounded by MaxBody. The wire conversation:
+//
+//	client                                server
+//	  ── kindStreamOpen(id, key, op, budget) ─▶   dispatch StreamHandler
+//	  ── kindStreamChunk(id, bytes) … ───────▶    handler reads
+//	  ◀─ kindStreamCredit(id, n) ── … ────────    as it consumes
+//	  ── kindStreamClose(id, 0) ─────────────▶    request body EOF
+//	  ◀─ kindStreamChunk(id, bytes) … ────────    handler writes reply
+//	  ── kindStreamCredit(id, n) … ──────────▶    client reads
+//	  ◀─ kindStreamClose(id, status) ─────────    call complete
+//
+// Flow control is credit-based per stream and direction: a sender starts
+// with the protocol-fixed initialStreamCredit and may only put that many
+// body bytes on the wire until the receiver grants more. Receivers top
+// the sender up to their configured Limits.StreamWindow immediately on
+// open and re-grant as the consumer drains, so a slow reader exerts
+// backpressure all the way to the origin instead of buffering.
+//
+// Close-frame status: 0 is clean EOF; any other value is the request's
+// error-frame code plus one (so codeErrGeneric's zero value stays
+// distinguishable from success), with the message in the body. Whole-call
+// failures before any reply chunk travel as ordinary kindError frames —
+// clients see identical typed errors either way.
+//
+// Budgets and cancellation reuse the v2 machinery: open frames carry the
+// millisecond budget exactly like request frames, handlers get the same
+// pooled deadline context, and kindCancel aborts a stream by id.
+//
+// v1/v2 interop: OpenStream on a connection that did not negotiate v3
+// returns a call in buffered fallback — writes accumulate up to MaxBody
+// and CloseSend performs an ordinary buffered invoke; payloads past the
+// cap fail fast with ErrFrameTooLarge.
+
+// DefaultStreamWindow is the default per-stream, per-direction
+// flow-control window (1 MiB).
+const DefaultStreamWindow = 1 << 20
+
+// initialStreamCredit is the credit a sender holds the instant a stream
+// opens, before any grant arrives — small enough that a receiver with a
+// tiny configured window is never flooded, large enough that short
+// streams finish without waiting a round trip.
+const initialStreamCredit = 64 << 10
+
+// maxStreamChunk bounds the body of one chunk frame. Well under any
+// sane MaxBody, so chunk frames pass every peer's frame limit.
+const maxStreamChunk = 256 << 10
+
+// ErrStreamProto reports a peer violating stream flow control (chunks
+// past the granted credit); the connection is torn down.
+var ErrStreamProto = errors.New("orb: stream flow-control violation")
+
+// streamCloseErr reconstructs the typed error a non-zero close status
+// carries (status = error-frame code + 1).
+func streamCloseErr(op uint32, body []byte) error {
+	return errFromFrame(frame{kind: kindError, op: op - 1, body: body})
+}
+
+// streamCloseStatus maps a handler error to a close-frame status and
+// message, the inverse of streamCloseErr.
+func streamCloseStatus(err error) (uint32, []byte) {
+	code, body := errFrameCode(err)
+	return code + 1, body
+}
+
+// chunkQueue is the receive side of one stream direction: delivered
+// chunks, credit accounting, and a condition variable for the consumer.
+type chunkQueue struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	q        [][]byte
+	cur      []byte
+	eof      bool  // clean close received
+	err      error // terminal failure
+	pool     bool  // chunk buffers came from the server body pool
+	window   int   // configured receive window
+	granted  int   // total credit granted to the peer (incl. initial)
+	received int   // total body bytes delivered by the peer
+	consumed int   // total body bytes handed to the consumer
+	// grant puts a credit frame on the wire; called without mu held.
+	grant func(n int)
+}
+
+func (cq *chunkQueue) init(window int, pool bool, grant func(n int)) {
+	cq.cond.L = &cq.mu
+	cq.window = window
+	cq.pool = pool
+	cq.grant = grant
+	cq.granted = initialStreamCredit
+}
+
+// topUp grants the peer the configured window beyond the protocol
+// initial, called once at stream setup.
+func (cq *chunkQueue) topUp() {
+	cq.mu.Lock()
+	extra := cq.window - cq.granted
+	if extra > 0 {
+		cq.granted += extra
+	}
+	cq.mu.Unlock()
+	if extra > 0 {
+		cq.grant(extra)
+	}
+}
+
+// deliver enqueues one received chunk. It reports false when the peer
+// overran its credit, which the caller must treat as a connection-fatal
+// protocol violation.
+func (cq *chunkQueue) deliver(body []byte) bool {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.received += len(body)
+	if cq.received > cq.granted {
+		return false
+	}
+	if cq.err != nil || cq.eof {
+		// Late chunk after terminal state: drop it.
+		if cq.pool {
+			putBodyBuf(body)
+		}
+		return true
+	}
+	cq.q = append(cq.q, body)
+	cq.cond.Broadcast()
+	return true
+}
+
+// closeSend marks clean end of the peer's data.
+func (cq *chunkQueue) closeEOF() {
+	cq.mu.Lock()
+	cq.eof = true
+	cq.cond.Broadcast()
+	cq.mu.Unlock()
+}
+
+// fail terminates the queue; blocked readers return err. Queued chunks
+// are released.
+func (cq *chunkQueue) fail(err error) {
+	cq.mu.Lock()
+	if cq.err == nil {
+		cq.err = err
+	}
+	if cq.pool {
+		for _, b := range cq.q {
+			putBodyBuf(b)
+		}
+		if cq.cur != nil {
+			putBodyBuf(cq.cur)
+			cq.cur = nil
+		}
+	}
+	cq.q = nil
+	cq.cond.Broadcast()
+	cq.mu.Unlock()
+}
+
+// read implements io.Reader over the queue, granting credit back to the
+// peer as bytes are consumed (batched to a quarter window so credit
+// frames stay rare).
+func (cq *chunkQueue) read(p []byte) (int, error) {
+	cq.mu.Lock()
+	for {
+		if len(cq.cur) == 0 && len(cq.q) > 0 {
+			if cq.cur != nil && cq.pool {
+				putBodyBuf(cq.cur)
+			}
+			cq.cur = cq.q[0]
+			cq.q[0] = nil
+			cq.q = cq.q[1:]
+		}
+		if len(cq.cur) > 0 {
+			n := copy(p, cq.cur)
+			cq.cur = cq.cur[n:]
+			cq.consumed += n
+			var due int
+			if cq.err == nil && cq.granted-cq.consumed < cq.window-cq.window/4 {
+				due = cq.window - (cq.granted - cq.consumed)
+				cq.granted += due
+			}
+			cq.mu.Unlock()
+			if due > 0 {
+				cq.grant(due)
+			}
+			return n, nil
+		}
+		if cq.err != nil {
+			err := cq.err
+			cq.mu.Unlock()
+			return 0, err
+		}
+		if cq.eof {
+			cq.mu.Unlock()
+			return 0, io.EOF
+		}
+		cq.cond.Wait()
+	}
+}
+
+// creditGate is the send side of one stream direction: the sender's
+// remaining credit and terminal state.
+type creditGate struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	credit int
+	err    error
+	sent   bool // at least one chunk reached the wire
+	closed bool
+}
+
+func (cg *creditGate) init() {
+	cg.cond.L = &cg.mu
+	cg.credit = initialStreamCredit
+}
+
+func (cg *creditGate) add(n int) {
+	cg.mu.Lock()
+	cg.credit += n
+	cg.cond.Broadcast()
+	cg.mu.Unlock()
+}
+
+func (cg *creditGate) fail(err error) {
+	cg.mu.Lock()
+	if cg.err == nil {
+		cg.err = err
+	}
+	cg.cond.Broadcast()
+	cg.mu.Unlock()
+}
+
+// reserve blocks until at least one byte of credit is available and
+// returns min(want, credit), claiming it. A zero return means the gate
+// failed; the error is returned.
+func (cg *creditGate) reserve(want int) (int, error) {
+	cg.mu.Lock()
+	defer cg.mu.Unlock()
+	for {
+		if cg.err != nil {
+			return 0, cg.err
+		}
+		if cg.closed {
+			return 0, errors.New("orb: write on closed stream")
+		}
+		if cg.credit > 0 {
+			n := want
+			if n > cg.credit {
+				n = cg.credit
+			}
+			cg.credit -= n
+			cg.sent = true
+			return n, nil
+		}
+		cg.cond.Wait()
+	}
+}
+
+func (cg *creditGate) anySent() bool {
+	cg.mu.Lock()
+	defer cg.mu.Unlock()
+	return cg.sent
+}
+
+// StreamReader is the request-body reader handed to a StreamHandler: an
+// io.Reader over the client's chunks that returns io.EOF at the client's
+// clean close and a typed error if the stream dies mid-body.
+type StreamReader struct {
+	cq chunkQueue
+}
+
+// Read implements io.Reader.
+func (r *StreamReader) Read(p []byte) (int, error) { return r.cq.read(p) }
+
+// StreamWriter is the reply-body writer handed to a StreamHandler:
+// chunks go to the client under its flow-control credit.
+type StreamWriter struct {
+	gate creditGate
+	// send puts one chunk frame on the wire; nil-safe after failure.
+	send func(b []byte) error
+}
+
+// Write implements io.Writer, blocking while the client's credit is
+// exhausted.
+func (w *StreamWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		want := len(p)
+		if want > maxStreamChunk {
+			want = maxStreamChunk
+		}
+		n, err := w.gate.reserve(want)
+		if err != nil {
+			return total, err
+		}
+		if err := w.send(p[:n]); err != nil {
+			w.gate.fail(err)
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Wrote reports whether any reply chunk reached the wire (used to decide
+// between an error frame and a mid-stream close on handler failure).
+func (w *StreamWriter) Wrote() bool { return w.gate.anySent() }
+
+// StreamHandler serves one streaming call: read the request body from
+// in (io.EOF marks its end), write the reply body to out. A nil return
+// closes the reply stream cleanly; an error is delivered to the client
+// as a typed error (before any reply chunk) or a mid-stream abort
+// (after). ctx carries the propagated budget and is canceled by client
+// cancel frames and connection teardown.
+type StreamHandler func(ctx context.Context, op uint32, in *StreamReader, out *StreamWriter) error
+
+// CallStream invokes h with panic isolation, like Call.
+func CallStream(ctx context.Context, h StreamHandler, op uint32, in *StreamReader, out *StreamWriter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrServerPanic, r)
+		}
+	}()
+	return h(ctx, op, in, out)
+}
+
+// RegisterStream exports a streaming object under a key. A key may carry
+// both a buffered Handler and a StreamHandler; buffered requests and
+// stream opens dispatch independently.
+func (s *Server) RegisterStream(key string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streamHandlers[key] = h
+}
+
+// srvStream is one live stream on a server connection.
+type srvStream struct {
+	id  uint64
+	ctx *serverCtx
+	rd  *StreamReader
+	wr  *StreamWriter
+}
+
+// srvStreams tracks the live streams of one server connection.
+type srvStreams struct {
+	s       *Server
+	conn    io.Writer
+	writeMu *sync.Mutex
+	lim     Limits
+	pool    bool
+
+	mu sync.Mutex
+	m  map[uint64]*srvStream
+}
+
+func (ss *srvStreams) write(f frame) error {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	_, err := writeFrame(ss.conn, f, ss.lim)
+	return err
+}
+
+func (ss *srvStreams) get(id uint64) *srvStream {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.m[id]
+}
+
+func (ss *srvStreams) remove(id uint64) {
+	ss.mu.Lock()
+	delete(ss.m, id)
+	ss.mu.Unlock()
+}
+
+// cancel aborts a live stream by id (kindCancel); reports whether the id
+// named one.
+func (ss *srvStreams) cancel(id uint64) bool {
+	st := ss.get(id)
+	if st == nil {
+		return false
+	}
+	st.ctx.cancel(context.Canceled)
+	st.rd.cq.fail(ErrCanceled)
+	st.wr.gate.fail(ErrCanceled)
+	return true
+}
+
+// failAll tears down every live stream (connection death).
+func (ss *srvStreams) failAll(err error) {
+	ss.mu.Lock()
+	streams := make([]*srvStream, 0, len(ss.m))
+	for _, st := range ss.m {
+		streams = append(streams, st)
+	}
+	ss.m = map[uint64]*srvStream{}
+	ss.mu.Unlock()
+	for _, st := range streams {
+		st.ctx.cancel(err)
+		st.rd.cq.fail(err)
+		st.wr.gate.fail(err)
+	}
+}
+
+// dispatch runs one stream handler on its own goroutine, mirroring the
+// buffered request dispatch: panic isolation, budget-expiry mapping, and
+// a typed terminal frame — an error frame if no reply chunk went out, a
+// non-zero close status if one did, a clean close on success.
+func (ss *srvStreams) dispatch(req frame, sh StreamHandler, reqCtx *serverCtx, reqWG *sync.WaitGroup, inFlight *atomic.Int64) {
+	st := &srvStream{id: req.id, ctx: reqCtx, rd: &StreamReader{}, wr: &StreamWriter{}}
+	st.rd.cq.init(ss.lim.StreamWindow, ss.pool, func(n int) {
+		_ = ss.write(frame{kind: kindStreamCredit, id: req.id, op: uint32(n)})
+	})
+	st.wr.gate.init()
+	st.wr.send = func(b []byte) error {
+		return ss.write(frame{kind: kindStreamChunk, id: req.id, body: b})
+	}
+	ss.mu.Lock()
+	ss.m[req.id] = st
+	ss.mu.Unlock()
+	hadBudget := req.budget > 0
+	pool := ss.pool
+	inFlight.Add(1)
+	reqWG.Add(1)
+	go func() {
+		defer reqWG.Done()
+		defer inFlight.Add(-1)
+		defer func() {
+			ss.remove(req.id)
+			// Release chunk buffers the handler never consumed; chunks
+			// arriving after the removal above drop at the map miss.
+			st.rd.cq.fail(ErrConnClosed)
+			reqCtx.release(pool)
+		}()
+		// Top the client's send window up from the protocol-fixed
+		// initial credit to this endpoint's configured window.
+		st.rd.cq.topUp()
+		err := CallStream(reqCtx, sh, req.op, st.rd, st.wr)
+		if err == nil {
+			_ = ss.write(frame{kind: kindStreamClose, id: req.id, op: 0})
+			return
+		}
+		if errors.Is(err, ErrServerPanic) {
+			ss.s.panics.Add(1)
+		}
+		// Same budget-expiry mapping as buffered requests: a handler
+		// that bailed because the propagated budget ran out reports
+		// ErrExpired, not a generic failure.
+		if hadBudget && !errors.Is(err, ErrExpired) &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrDeadline)) &&
+			reqCtx.Err() != nil {
+			err = fmt.Errorf("%w: handler abandoned at budget expiry: %v", ErrExpired, err)
+		}
+		if st.wr.Wrote() {
+			status, body := streamCloseStatus(err)
+			_ = ss.write(frame{kind: kindStreamClose, id: req.id, op: status, body: body})
+		} else {
+			code, body := errFrameCode(err)
+			_ = ss.write(frame{kind: kindError, id: req.id, op: code, body: body})
+		}
+	}()
+}
+
+// handleFrame dispatches one stream-kind frame on a server connection.
+// It reports false on a protocol violation that must kill the connection.
+func (ss *srvStreams) handleFrame(f frame) bool {
+	switch f.kind {
+	case kindStreamChunk:
+		st := ss.get(f.id)
+		if st == nil {
+			// Stream already finished (e.g. handler errored); drop.
+			if ss.pool {
+				putBodyBuf(f.body)
+			}
+			return true
+		}
+		return st.rd.cq.deliver(f.body)
+	case kindStreamClose:
+		st := ss.get(f.id)
+		if st != nil {
+			if f.op == 0 {
+				st.rd.cq.closeEOF()
+			} else {
+				st.rd.cq.fail(streamCloseErr(f.op, f.body))
+			}
+		}
+		if ss.pool {
+			putBodyBuf(f.body)
+		}
+		return true
+	case kindStreamCredit:
+		if st := ss.get(f.id); st != nil {
+			st.wr.gate.add(int(f.op))
+		}
+		if ss.pool {
+			putBodyBuf(f.body)
+		}
+		return true
+	}
+	return true
+}
+
+// errStreamClosed is the terminal state of a StreamCall released by its
+// owner before the call finished.
+var errStreamClosed = errors.New("orb: stream call closed")
+
+// StreamCall is one streaming invocation from the client side: Write the
+// request body in any splits, CloseSend to mark its end, Read the reply
+// body to io.EOF, then Close. A handler may emit reply chunks while the
+// request body is still arriving, so callers moving more than a window's
+// worth in both directions must Read concurrently with their Writes —
+// writing everything first deadlocks against flow control once the
+// unread reply exhausts its credit. On connections that did not negotiate v3
+// the call runs in buffered fallback: writes accumulate up to the
+// client's MaxBody (past it, writes fail fast wrapping ErrFrameTooLarge)
+// and CloseSend performs an ordinary buffered invoke.
+type StreamCall struct {
+	c   *Client
+	ctx context.Context
+	id  uint64
+	key string
+	op  uint32
+
+	recv chunkQueue
+	gate creditGate
+
+	fallback  bool
+	fbMu      sync.Mutex
+	fbBuf     []byte
+	fbDone    bool
+	closeOnce sync.Once
+	finished  chan struct{}
+}
+
+// OpenStream starts a streaming call to the object's op. The context
+// governs the whole call: its budget travels in the open frame, and its
+// cancellation aborts the stream (a cancel frame stops the server). The
+// caller must Close the returned call.
+func (c *Client) OpenStream(ctx context.Context, key string, op uint32) (*StreamCall, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	vctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		// Bound the negotiation wait: a v1 server never sends a hello.
+		var cancel context.CancelFunc
+		vctx, cancel = context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+	}
+	ver := c.AwaitVersion(vctx)
+	sc := &StreamCall{c: c, ctx: ctx, key: key, op: op, finished: make(chan struct{})}
+	if ver < 3 {
+		sc.fallback = true
+		sc.recv.init(c.lim.StreamWindow, false, func(int) {})
+		return sc, nil
+	}
+	sc.gate.init()
+	sc.recv.init(c.lim.StreamWindow, false, func(n int) {
+		_ = c.write(context.Background(), frame{kind: kindStreamCredit, id: sc.id, op: uint32(n)})
+	})
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	sc.id = c.nextID
+	c.streams[sc.id] = sc
+	c.mu.Unlock()
+	fr := frame{kind: kindStreamOpen, ver: 3, id: sc.id, key: key, op: op, budget: budgetMillis(ctx)}
+	if err := c.write(ctx, fr); err != nil {
+		c.removeStream(sc.id)
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				err := ctxErr(ctx.Err())
+				sc.gate.fail(err)
+				sc.recv.fail(err)
+				go c.sendCancel(sc.id)
+			case <-sc.finished:
+			}
+		}()
+	}
+	// Grant the server's reply direction this client's full window.
+	sc.recv.topUp()
+	return sc, nil
+}
+
+func (c *Client) removeStream(id uint64) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
+}
+
+// onFrame routes one stream-correlated frame from the read loop.
+func (sc *StreamCall) onFrame(f frame) {
+	switch f.kind {
+	case kindStreamChunk:
+		if !sc.recv.deliver(f.body) {
+			err := ErrStreamProto
+			sc.gate.fail(err)
+			sc.recv.fail(err)
+		}
+	case kindStreamClose:
+		if f.op == 0 {
+			sc.recv.closeEOF()
+		} else {
+			err := streamCloseErr(f.op, f.body)
+			sc.recv.fail(err)
+			sc.gate.fail(err)
+		}
+	case kindStreamCredit:
+		sc.gate.add(int(f.op))
+	case kindError:
+		err := errFromFrame(f)
+		sc.gate.fail(err)
+		sc.recv.fail(err)
+	case kindReply:
+		// Defensive: a reply frame for a stream id is treated as the
+		// whole reply body.
+		sc.recv.deliverRaw(f.body)
+		sc.recv.closeEOF()
+	}
+}
+
+// connFail terminates the call when its connection dies.
+func (sc *StreamCall) connFail(err error) {
+	sc.gate.fail(err)
+	sc.recv.fail(err)
+}
+
+// Write sends the next split of the request body, blocking while the
+// server's flow-control credit is exhausted. It fails fast once the
+// server answered with an error.
+func (sc *StreamCall) Write(p []byte) (int, error) {
+	if sc.fallback {
+		sc.fbMu.Lock()
+		defer sc.fbMu.Unlock()
+		if sc.fbDone {
+			return 0, errors.New("orb: write on closed stream")
+		}
+		if len(sc.fbBuf)+len(p) > sc.c.lim.MaxBody {
+			return 0, fmt.Errorf("%w: stream of %d bytes exceeds buffered fallback cap %d (peer speaks protocol < 3)",
+				ErrFrameTooLarge, len(sc.fbBuf)+len(p), sc.c.lim.MaxBody)
+		}
+		sc.fbBuf = append(sc.fbBuf, p...)
+		return len(p), nil
+	}
+	total := 0
+	for len(p) > 0 {
+		want := len(p)
+		if want > maxStreamChunk {
+			want = maxStreamChunk
+		}
+		n, err := sc.gate.reserve(want)
+		if err != nil {
+			return total, err
+		}
+		if err := sc.c.write(sc.ctx, frame{kind: kindStreamChunk, id: sc.id, body: p[:n]}); err != nil {
+			sc.gate.fail(err)
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// CloseSend marks the end of the request body. In buffered fallback this
+// is where the whole call executes; its error is also surfaced to Read.
+func (sc *StreamCall) CloseSend() error {
+	if sc.fallback {
+		sc.fbMu.Lock()
+		if sc.fbDone {
+			sc.fbMu.Unlock()
+			return nil
+		}
+		sc.fbDone = true
+		body := sc.fbBuf
+		sc.fbMu.Unlock()
+		reply, err := sc.c.InvokeContext(sc.ctx, sc.key, sc.op, body)
+		if err != nil {
+			sc.recv.fail(err)
+			return err
+		}
+		sc.recv.deliverRaw(reply)
+		sc.recv.closeEOF()
+		return nil
+	}
+	if !sc.gate.close() {
+		return nil
+	}
+	return sc.c.write(sc.ctx, frame{kind: kindStreamClose, id: sc.id, op: 0})
+}
+
+// Read returns the next reply-body bytes, io.EOF at the server's clean
+// close, or the call's typed error.
+func (sc *StreamCall) Read(p []byte) (int, error) { return sc.recv.read(p) }
+
+// Finished reports whether the call reached a terminal state (clean
+// reply EOF or a failure).
+func (sc *StreamCall) Finished() bool {
+	sc.recv.mu.Lock()
+	defer sc.recv.mu.Unlock()
+	return sc.recv.err != nil || sc.recv.eof
+}
+
+// Close releases the call. If the call has not finished, the server is
+// sent a best-effort cancel and local waiters fail with a typed error.
+func (sc *StreamCall) Close() error {
+	sc.closeOnce.Do(func() {
+		close(sc.finished)
+		if sc.fallback {
+			sc.fbMu.Lock()
+			sc.fbDone = true
+			sc.fbMu.Unlock()
+			return
+		}
+		done := sc.Finished()
+		sc.c.removeStream(sc.id)
+		sc.gate.fail(errStreamClosed)
+		if !done {
+			sc.recv.fail(errStreamClosed)
+			go sc.c.sendCancel(sc.id)
+		}
+	})
+	return nil
+}
+
+// deliverRaw enqueues a chunk outside flow-control accounting (buffered
+// fallback replies, defensive reply frames).
+func (cq *chunkQueue) deliverRaw(b []byte) {
+	cq.mu.Lock()
+	if cq.err == nil && !cq.eof {
+		cq.q = append(cq.q, b)
+		cq.cond.Broadcast()
+	}
+	cq.mu.Unlock()
+}
+
+// close marks the send side done; reports false if already closed or
+// failed (no close frame should go out).
+func (cg *creditGate) close() bool {
+	cg.mu.Lock()
+	defer cg.mu.Unlock()
+	if cg.closed || cg.err != nil {
+		return false
+	}
+	cg.closed = true
+	return true
+}

@@ -1,0 +1,78 @@
+package resil
+
+// Streaming calls through the pool. A stream is stateful — chunks
+// already forwarded cannot be replayed — so the resilience envelope is
+// deliberately thinner than InvokeContext's: hedging never applies, and
+// retries cover only the open itself (acquiring a connection and writing
+// the open frame), i.e. the window before any payload is committed. Once
+// the StreamCall is handed to the caller, failures are final and surface
+// as typed mid-stream errors.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// OpenStream opens a streaming call on a pooled connection. The open is
+// retried with backoff on connection-level failure exactly like a
+// buffered call, but once the stream is returned no retry or hedge ever
+// fires — the caller owns delivery from the first chunk on.
+//
+// done must be called exactly once when the caller is finished with the
+// stream (after Close), with the stream's terminal error (nil on
+// success): it returns the connection to the pool, or discards it when
+// the error condemns it.
+func (c *Client) OpenStream(ctx context.Context, key string, op uint32) (sc *orb.StreamCall, done func(error), err error) {
+	if c.opts.CallTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			ctx = &deadlineCtx{Context: ctx, dl: time.Now().Add(c.opts.CallTimeout)}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.opts.RetryBudget.Withdraw() {
+				c.budgetExhausted.Add(1)
+				return nil, nil, fmt.Errorf("%w: after %d attempts to %s: %w", ErrRetryBudget, attempt, c.addr, lastErr)
+			}
+			c.retries.Add(1)
+			if err := c.backoff(ctx, attempt); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		pc, err := c.acquire(ctx, nil)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, nil, err
+			}
+			lastErr = err
+			continue
+		}
+		sc, err := pc.c.OpenStream(ctx, key, op)
+		if err != nil {
+			c.release(pc)
+			if discardable(err) {
+				c.discard(pc)
+			}
+			lastErr = err
+			if !retryable(err) {
+				return nil, nil, err
+			}
+			continue
+		}
+		c.opts.RetryBudget.Deposit()
+		done := func(callErr error) {
+			c.release(pc)
+			if callErr != nil && discardable(callErr) {
+				c.discard(pc)
+			}
+		}
+		return sc, done, nil
+	}
+	return nil, nil, fmt.Errorf("resil: %d attempts to %s failed: %w", c.opts.MaxAttempts, c.addr, lastErr)
+}

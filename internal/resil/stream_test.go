@@ -1,0 +1,176 @@
+package resil
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// streamEchoOrb starts an orb server whose "echo" object echoes stream
+// bodies back chunk-at-a-time.
+func streamEchoOrb(t *testing.T) *orb.Server {
+	t.Helper()
+	s := echoOrb(t)
+	s.RegisterStream("echo", func(ctx context.Context, op uint32, in *orb.StreamReader, out *orb.StreamWriter) error {
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := in.Read(buf)
+			if n > 0 {
+				if _, werr := out.Write(buf[:n]); werr != nil {
+					return werr
+				}
+			}
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return s
+}
+
+// streamOnce runs one small echo stream end to end and returns the
+// reply body. Bodies stay well under a credit window, so sequential
+// write-then-read is safe here.
+func streamOnce(t *testing.T, c *Client, body []byte) []byte {
+	t.Helper()
+	sc, done, err := c.OpenStream(context.Background(), "echo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done(nil)
+	return reply
+}
+
+func TestOpenStreamPooledEchoAndReuse(t *testing.T) {
+	s := streamEchoOrb(t)
+	c := newClient(t, s.Addr(), Options{PoolSize: 2})
+	for i := 0; i < 5; i++ {
+		body := bytes.Repeat([]byte{byte(i + 1)}, 1024)
+		if got := streamOnce(t, c, body); !bytes.Equal(got, body) {
+			t.Fatalf("round %d: reply mismatch (%d bytes)", i, len(got))
+		}
+	}
+	if st := c.Stats(); st.Dials != 1 || st.Conns != 1 {
+		t.Errorf("stats = %+v, want 1 dial / 1 conn after 5 sequential streams", st)
+	}
+	// The same pooled connection still serves buffered calls between
+	// streams.
+	if reply, err := c.Invoke("echo", 0, []byte("hi")); err != nil || !bytes.Equal(reply, []byte("hi")) {
+		t.Fatalf("buffered invoke after streams: %q, %v", reply, err)
+	}
+	if st := c.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d after mixing streams and calls", st.Dials)
+	}
+}
+
+func TestOpenStreamRetriesConnFailure(t *testing.T) {
+	c := newClient(t, "127.0.0.1:1", Options{
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	_, _, err := c.OpenStream(context.Background(), "echo", 1)
+	if err == nil {
+		t.Fatal("open against dead address succeeded")
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Errorf("retries = 0; the open itself should retry like a buffered call")
+	}
+}
+
+func TestOpenStreamNeverHedges(t *testing.T) {
+	s := streamEchoOrb(t)
+	c := newClient(t, s.Addr(), Options{Hedge: true, HedgeAfter: time.Nanosecond})
+	for i := 0; i < 3; i++ {
+		streamOnce(t, c, []byte("payload"))
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Errorf("hedges = %d; streams are stateful and must never hedge", st.Hedges)
+	}
+}
+
+func TestOpenStreamDoneDiscardsCondemnedConn(t *testing.T) {
+	s := streamEchoOrb(t)
+	c := newClient(t, s.Addr(), Options{PoolSize: 1})
+	sc, done, err := c.OpenStream(context.Background(), "echo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Write([]byte("first chunk")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server mid-stream: the failure is terminal (no retry) and
+	// condemns the pooled connection when reported through done.
+	_ = s.Close()
+	var termErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for termErr == nil && time.Now().Before(deadline) {
+		if _, err := sc.Write([]byte("x")); err != nil {
+			termErr = err
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if termErr == nil {
+		t.Fatal("writes kept succeeding after server death")
+	}
+	_ = sc.Close()
+	done(termErr)
+	if st := c.Stats(); st.Conns != 0 {
+		t.Errorf("conns = %d, want 0 after done(connErr) condemned the conn", st.Conns)
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d; mid-stream failures must not retry", st.Retries)
+	}
+}
+
+func TestOpenStreamDoneKeepsConnOnRemoteError(t *testing.T) {
+	s := streamEchoOrb(t)
+	s.RegisterStream("bad", func(ctx context.Context, op uint32, in *orb.StreamReader, out *orb.StreamWriter) error {
+		return errors.New("handler kaboom")
+	})
+	c := newClient(t, s.Addr(), Options{PoolSize: 1})
+	sc, done, err := c.OpenStream(context.Background(), "bad", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sc.CloseSend()
+	_, rerr := io.ReadAll(sc)
+	var re *orb.RemoteError
+	if !errors.As(rerr, &re) {
+		t.Fatalf("read error = %v, want RemoteError", rerr)
+	}
+	_ = sc.Close()
+	done(rerr)
+	// A remote handler error says nothing about connection health.
+	if st := c.Stats(); st.Conns != 1 {
+		t.Errorf("conns = %d, want 1 kept after a remote error", st.Conns)
+	}
+	if got := streamOnce(t, c, []byte("still works")); !bytes.Equal(got, []byte("still works")) {
+		t.Fatalf("echo after remote error = %q", got)
+	}
+	if st := c.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want 1 (conn survived the remote error)", st.Dials)
+	}
+}

@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/mtype"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+func BenchmarkSteadyPush(b *testing.B) {
+	a := mtype.NewList(mtype.RecordOf(i32(), f64t()))
+	bb := mtype.NewList(mtype.RecordOf(f64t(), i32()))
+	xc := buildXC(b, a, bb)
+	vs := make([]value.Value, 256)
+	for i := range vs {
+		vs[i] = value.NewRecord(value.NewInt(int64(i)), value.Real{V: 1.5})
+	}
+	src, _ := wire.Marshal(a, value.FromSlice(vs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(xc, Options{})
+		for off := 0; off < len(src); off += 512 {
+			end := off + 512
+			if end > len(src) {
+				end = len(src)
+			}
+			if err := eng.Push(src[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			eng.Take()
+		}
+		if _, err := eng.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Release()
+	}
+}

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// DefaultPipeWindow bounds the converted bytes a Pipe holds between its
+// writer and reader before Write blocks (1 MiB).
+const DefaultPipeWindow = 1 << 20
+
+// ErrPipeClosed is returned by writes after the reader side closed.
+var ErrPipeClosed = errors.New("stream: pipe closed by reader")
+
+// Pipe wraps a streaming Transcoder in a concurrent Writer/Reader pair:
+// the writer pushes source bytes in arbitrary splits, the reader pulls
+// converted bytes, and a bounded window between them provides
+// backpressure — a slow reader blocks the writer once window bytes of
+// converted output are pending. window <= 0 selects DefaultPipeWindow.
+//
+// The pair owns the engine: it is released once both ends are closed.
+// Close the writer to finish the stream (running final validation);
+// CloseWithError on either end aborts it.
+func Pipe(t *Transcoder, window int) (*PipeWriter, *PipeReader) {
+	if window <= 0 {
+		window = DefaultPipeWindow
+	}
+	p := &pipe{t: t, window: window}
+	p.cond.L = &p.mu
+	return &PipeWriter{p: p}, &PipeReader{p: p}
+}
+
+type pipe struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	t      *Transcoder
+	buf    []byte // converted bytes awaiting the reader
+	ri     int    // read cursor into buf
+	window int
+	werr   error // writer-side terminal error (incl. transcode failures)
+	rerr   error // reader-side close reason
+	wdone  bool  // writer closed; buf holds everything remaining
+	closed int   // ends closed; engine released at 2
+}
+
+func (p *pipe) release() {
+	p.closed++
+	if p.closed == 2 && p.t != nil {
+		p.t.Release()
+		p.t = nil
+	}
+}
+
+// PipeWriter is the push side of a Pipe.
+type PipeWriter struct{ p *pipe }
+
+// Write pushes one source split, blocking while the converted backlog
+// exceeds the pipe window. It returns the transcoder's terminal error if
+// conversion fails, or ErrPipeClosed if the reader gave up.
+func (w *PipeWriter) Write(b []byte) (int, error) {
+	p := w.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf)-p.ri > p.window && p.rerr == nil && p.werr == nil && !p.wdone {
+		p.cond.Wait()
+	}
+	if p.werr != nil {
+		return 0, p.werr
+	}
+	if p.rerr != nil {
+		return 0, p.rerr
+	}
+	if p.wdone {
+		return 0, errors.New("stream: write after close")
+	}
+	if err := p.t.Push(b); err != nil {
+		p.werr = err
+		p.cond.Broadcast()
+		return 0, err
+	}
+	if out := p.t.Take(); len(out) > 0 {
+		p.buf = append(p.buf, out...)
+		p.cond.Broadcast()
+	}
+	return len(b), nil
+}
+
+// Close finishes the stream: final validation runs, the tail is handed
+// to the reader, and the reader sees io.EOF once it drains. The
+// validation error, if any, is returned here and to the reader.
+func (w *PipeWriter) Close() error {
+	p := w.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wdone {
+		return p.werr
+	}
+	p.wdone = true
+	if p.werr == nil && p.rerr == nil {
+		tail, err := p.t.Finish()
+		if err != nil {
+			p.werr = err
+		} else {
+			p.buf = append(p.buf, tail...)
+		}
+	}
+	p.release()
+	p.cond.Broadcast()
+	return p.werr
+}
+
+// CloseWithError aborts the stream; the reader observes err.
+func (w *PipeWriter) CloseWithError(err error) error {
+	if err == nil {
+		return w.Close()
+	}
+	p := w.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wdone {
+		return p.werr
+	}
+	p.wdone = true
+	p.werr = err
+	p.release()
+	p.cond.Broadcast()
+	return nil
+}
+
+// PipeReader is the pull side of a Pipe.
+type PipeReader struct {
+	p      *pipe
+	closed bool
+}
+
+// Read pulls converted bytes, blocking until some are available, the
+// writer closes (io.EOF after the backlog drains), or the stream fails.
+func (r *PipeReader) Read(b []byte) (int, error) {
+	p := r.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.ri < len(p.buf) {
+			n := copy(b, p.buf[p.ri:])
+			p.ri += n
+			if p.ri == len(p.buf) {
+				p.buf = p.buf[:0]
+				p.ri = 0
+			}
+			p.cond.Broadcast()
+			return n, nil
+		}
+		if p.werr != nil {
+			return 0, p.werr
+		}
+		if p.rerr != nil {
+			return 0, p.rerr
+		}
+		if p.wdone {
+			return 0, io.EOF
+		}
+		p.cond.Wait()
+	}
+}
+
+// Close releases the reader; a still-active writer fails with
+// ErrPipeClosed.
+func (r *PipeReader) Close() error { return r.CloseWithError(ErrPipeClosed) }
+
+// CloseWithError releases the reader with a specific abort reason.
+func (r *PipeReader) CloseWithError(err error) error {
+	p := r.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if p.rerr == nil {
+		if err == nil {
+			err = ErrPipeClosed
+		}
+		p.rerr = err
+	}
+	p.release()
+	p.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package testutil holds tiny helpers shared by the repo's test suites.
+package testutil
+
+// RaceEnabled reports that the race detector is active. See
+// race_enabled.go.
+const RaceEnabled = false

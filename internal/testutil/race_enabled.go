@@ -1,0 +1,10 @@
+//go:build race
+
+// Package testutil holds tiny helpers shared by the repo's test suites.
+package testutil
+
+// RaceEnabled reports that the race detector is active. Its
+// instrumentation adds allocations of its own, so allocation-ceiling
+// tests skip themselves under -race; the CI load-smoke job runs them
+// uninstrumented, where the ceilings are exact.
+const RaceEnabled = true

@@ -347,7 +347,7 @@ func (c *compiler) skipForNew(t *mtype.Type) (skipFn, error) {
 				return 0, err
 			}
 			if uint64(off)+n > uint64(len(src)) {
-				return 0, fmt.Errorf("transcode: truncated port reference")
+				return 0, fmt.Errorf("transcode: %w (port reference)", wire.ErrShort)
 			}
 			return off + int(n), nil
 		}, nil
@@ -394,8 +394,14 @@ func depthErr() error {
 	return limits.Exceededf("transcode: value nesting exceeds depth budget of %d", wire.MaxDecodeDepth)
 }
 
+// errTruncated is preallocated: the streaming executor (SeqStep) hits a
+// short read at nearly every window boundary and rolls it back, so
+// formatting an offset into each would put fmt.Errorf on the per-chunk
+// resume path.
+var errTruncated = fmt.Errorf("transcode: %w inside value", wire.ErrShort)
+
 func truncErr(off int) error {
-	return fmt.Errorf("transcode: truncated input at offset %d", off)
+	return errTruncated
 }
 
 func discErr(disc uint64, alts int) error {

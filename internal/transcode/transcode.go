@@ -107,6 +107,13 @@ type Transcoder struct {
 	outEst    int
 	outExact  bool
 	arenaHint int
+
+	// Sequence streaming support (see seq.go): when both declared types
+	// are list-shaped and the per-element conversion compiles, seqElem is
+	// the element program and seqBulk its copy-safe layout (nil when the
+	// element needs structural re-emission). Populated by Compile.
+	seqElem emitFn
+	seqBulk *layout
 }
 
 // Compile fuses a coercion plan with the declared source and destination
@@ -130,11 +137,39 @@ func Compile(p *plan.Plan, a, b *mtype.Type) (*Transcoder, error) {
 	}
 	est, exact := wire.EstimateSize(b)
 	t := &Transcoder{
-		root:      root,
-		outEst:    est,
-		outExact:  exact,
-		arenaHint: c.maxLeaves * 4,
+		root:     root,
+		outEst:   est,
+		outExact: exact,
 	}
+	// If the root pair is list-shaped, expose the per-element program so
+	// internal/stream can run the sequence chunk-at-a-time. Failure here
+	// is not an error — the one-shot program above already compiled, the
+	// pair just is not streamable.
+	if elemA, listA := mtype.ListElem(a); listA {
+		if elemB, listB := mtype.ListElem(b); listB {
+			var elem emitFn
+			var bulk *layout
+			var serr error
+			switch p.Root.Kind {
+			case compare.DecSame:
+				elem, serr = c.ident(elemA, elemB)
+				if serr == nil {
+					if lay := c.analyze(elemA); lay.copySafe() {
+						bulk = lay
+					}
+				}
+			case compare.DecChoice:
+				elem, bulk, serr = c.listParts(p.Root, elemA, elemB)
+			default:
+				serr = unsupported("non-list plan on list-shaped pair")
+			}
+			if serr == nil {
+				t.seqElem = elem
+				t.seqBulk = bulk
+			}
+		}
+	}
+	t.arenaHint = c.maxLeaves * 4
 	t.pool.New = func() any { return &xctx{arena: make([]int, 0, t.arenaHint)} }
 	return t, nil
 }
@@ -297,11 +332,24 @@ func (c *compiler) choicePair(n *plan.Node, tA, tB *mtype.Type) (emitFn, error) 
 // conversion restricted to its head leaves, with the tail recursion
 // replaced by the element loop.
 func (c *compiler) listPair(n *plan.Node, elemA, elemB *mtype.Type) (emitFn, error) {
+	elemEmit, bulk, err := c.listParts(n, elemA, elemB)
+	if err != nil {
+		return nil, err
+	}
+	return listEmit(elemEmit, bulk), nil
+}
+
+// listParts compiles the per-element program of a list-shaped DecChoice
+// plan, returning the element emitter and, when the pair is a copy-safe
+// identity, its bulk layout. Shared by listPair (which wraps it in the
+// count-prefixed loop) and Compile's streaming probe (which exposes the
+// element program for chunk-at-a-time execution).
+func (c *compiler) listParts(n *plan.Node, elemA, elemB *mtype.Type) (emitFn, *layout, error) {
 	if len(n.AltMap) != 2 || n.AltMap[0] != 0 || n.AltMap[1] != 1 {
-		return nil, unsupported("list choice with permuted alternatives")
+		return nil, nil, unsupported("list choice with permuted alternatives")
 	}
 	if len(n.AltPlans) != 2 || n.AltPlans[1] == nil {
-		return nil, unsupported("malformed list plan")
+		return nil, nil, unsupported("malformed list plan")
 	}
 	cons := n.AltPlans[1]
 	var elemEmit emitFn
@@ -311,7 +359,7 @@ func (c *compiler) listPair(n *plan.Node, elemA, elemB *mtype.Type) (emitFn, err
 	case compare.DecSame:
 		elemEmit, err = c.ident(elemA, elemB)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if lay := c.analyze(elemA); lay.copySafe() {
 			bulk = lay
@@ -319,12 +367,12 @@ func (c *compiler) listPair(n *plan.Node, elemA, elemB *mtype.Type) (emitFn, err
 	case compare.DecRecord:
 		elemEmit, err = c.consElem(cons)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	default:
-		return nil, unsupported("list cons cell with plan kind %d", cons.Kind)
+		return nil, nil, unsupported("list cons cell with plan kind %d", cons.Kind)
 	}
-	return listEmit(elemEmit, bulk), nil
+	return elemEmit, bulk, nil
 }
 
 // consElem derives the per-element conversion from a cons-cell record
@@ -415,7 +463,7 @@ func portEmit() emitFn {
 			return err
 		}
 		if uint64(off)+n > uint64(len(x.src)) {
-			return fmt.Errorf("transcode: truncated port reference")
+			return fmt.Errorf("transcode: %w (port reference)", wire.ErrShort)
 		}
 		x.dst = wire.AppendUint(x.dst, x.base, 4, n)
 		x.dst = append(x.dst, x.src[off:off+int(n)]...)

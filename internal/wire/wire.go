@@ -14,6 +14,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
@@ -330,13 +331,21 @@ func AlignUp(off, n int) int {
 	return (off + n - 1) / n * n
 }
 
+// ErrShort marks errors caused by the input ending before the value did.
+// Streaming decoders classify on it: while more input may still arrive, a
+// wrapped ErrShort means "feed me more bytes", whereas any other decode
+// error is final no matter how much input follows. One-shot decoding
+// semantics are unchanged — the sentinel only adds errors.Is identity to
+// the truncation errors that already existed.
+var ErrShort = errors.New("truncated input")
+
 // ReadUint aligns off to size bytes (relative to the start of data),
 // bounds-checks, and reads a little-endian integer of that size,
 // returning the value and the offset just past it.
 func ReadUint(data []byte, off, size int) (uint64, int, error) {
 	off = AlignUp(off, size)
 	if off+size > len(data) {
-		return 0, 0, fmt.Errorf("wire: truncated input at offset %d", off)
+		return 0, 0, fmt.Errorf("wire: %w at offset %d", ErrShort, off)
 	}
 	var u uint64
 	switch size {
